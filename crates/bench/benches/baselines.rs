@@ -1,0 +1,42 @@
+//! E5/E6/E9 wall-clock: the baseline protocols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fame::baselines::direct::{build_direct_schedule, run_direct_exchange, TriangleAdversary};
+use fame::baselines::gossip::run_gossip;
+use fame::baselines::naive::run_naive_exchange;
+use fame::problem::AmeInstance;
+use radio_network::adversaries::NoAdversary;
+use secure_radio_bench::workloads::complete_pairs;
+
+fn bench_naive(c: &mut Criterion) {
+    c.bench_function("baselines/naive_thm2_trial", |b| {
+        b.iter(|| run_naive_exchange(8, 2, 80, 3).expect("runs"))
+    });
+}
+
+fn bench_direct(c: &mut Criterion) {
+    let t = 2;
+    let instance = AmeInstance::new(6, complete_pairs(6)).unwrap();
+    c.bench_function("baselines/direct_triangle_attack", |b| {
+        b.iter(|| {
+            let schedule = build_direct_schedule(instance.pairs(), t + 1, 3);
+            let adversary = TriangleAdversary::new(t, schedule);
+            run_direct_exchange(&instance, t, 3, adversary, 9).expect("runs")
+        })
+    });
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/gossip");
+    group.sample_size(10);
+    for &n in &[12usize, 18] {
+        group.bench_with_input(BenchmarkId::new("quiet", n), &n, |b, &n| {
+            b.iter(|| run_gossip(n, 1, NoAdversary, 100_000, 3).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_naive, bench_direct, bench_gossip);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E3 wall-clock: full f-AME executions (Figure 3, column "f-AME").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame;
+use radio_network::adversaries::RandomJammer;
+use secure_radio_bench::workloads::random_pairs;
+use secure_radio_bench::Regime;
+
+fn bench_fame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fame");
+    group.sample_size(10);
+    let t = 2;
+    for &regime in &[Regime::Minimal, Regime::Wide, Regime::UltraWide] {
+        let p = regime.params(t, 0);
+        for &e in &[10usize, 20] {
+            let pairs = random_pairs(p.n(), e, 3);
+            let instance = AmeInstance::new(p.n(), pairs.iter().copied()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("random_jam/{}", regime.label()), e),
+                &(p, instance.clone()),
+                |b, (p, instance)| {
+                    b.iter(|| run_fame(instance, p, RandomJammer::new(7), 5).expect("runs"))
+                },
+            );
+        }
+        let pairs = random_pairs(p.n(), 20, 3);
+        let instance = AmeInstance::new(p.n(), pairs.iter().copied()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("omniscient/{}", regime.label()), 20),
+            &(p, instance),
+            |b, (p, instance)| {
+                b.iter(|| {
+                    let adv = OmniscientJammer::new(
+                        p,
+                        instance.pairs(),
+                        TransmissionPolicy::PreferEdges,
+                        FeedbackPolicy::Quiet,
+                        3,
+                    );
+                    run_fame(instance, p, adv, 5).expect("runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fame);
+criterion_main!(benches);

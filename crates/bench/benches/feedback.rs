@@ -1,0 +1,33 @@
+//! E2 wall-clock: one `communication-feedback` invocation (Figure 3,
+//! column "communication-feedback") across the channel regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fame::feedback::{default_witness_sets, run_feedback};
+use radio_network::adversaries::RandomJammer;
+use secure_radio_bench::Regime;
+
+fn bench_feedback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("communication_feedback");
+    group.sample_size(20);
+    for &regime in &[Regime::Minimal, Regime::Wide] {
+        let t = 2;
+        let p = regime.params(t, 0);
+        let flags = vec![true, false, true];
+        let sets = default_witness_sets(&p, flags.len());
+        group.bench_with_input(
+            BenchmarkId::new(regime.label(), p.n()),
+            &(p, sets, flags),
+            |b, (p, sets, flags)| {
+                b.iter(|| {
+                    run_feedback(p, sets.clone(), flags, RandomJammer::new(3), 11)
+                        .expect("feedback runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feedback);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E1 wall-clock: the standalone starred-edge removal game (Figure 3,
+//! column "greedy-removal"). Round counts come from the `fig3_table`
+//! binary; this tracks the simulator's own speed.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use removal_game::game::GameState;
+use removal_game::greedy::greedy_proposal;
+use removal_game::referee::{AdversarialReferee, GenerousReferee, Referee};
+use secure_radio_bench::workloads::random_pairs;
+
+fn play<R: Referee>(n: usize, pairs: &[(usize, usize)], t: usize, mut referee: R) -> usize {
+    let mut game = GameState::new(n, pairs.iter().copied(), t).unwrap();
+    let mut moves = 0;
+    while let Some(p) = greedy_proposal(&game) {
+        let resp = referee.respond(&game, &p);
+        game.apply_response(&p, &resp).unwrap();
+        moves += 1;
+    }
+    moves
+}
+
+fn bench_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_removal");
+    for &e in &[40usize, 80, 160] {
+        let pairs = random_pairs(40, e, 7);
+        group.bench_with_input(
+            BenchmarkId::new("adversarial_referee", e),
+            &pairs,
+            |b, pairs| b.iter(|| play(40, black_box(pairs), 2, AdversarialReferee::new())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("generous_referee", e),
+            &pairs,
+            |b, pairs| b.iter(|| play(40, black_box(pairs), 2, GenerousReferee)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_game);
+criterion_main!(benches);

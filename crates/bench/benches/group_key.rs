@@ -1,0 +1,39 @@
+//! E7 wall-clock: the three-part group-key establishment (Section 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fame::group_key::{establish_group_key, establish_pairwise_keys};
+use fame::Params;
+use radio_network::adversaries::{NoAdversary, RandomJammer};
+
+fn bench_group_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_key");
+    group.sample_size(10);
+    let p = Params::minimal(36, 2).unwrap();
+    group.bench_with_input(BenchmarkId::new("part1_pairwise", 36), &p, |b, p| {
+        b.iter(|| establish_pairwise_keys(p, NoAdversary, 3).expect("runs"))
+    });
+    group.bench_with_input(BenchmarkId::new("full_quiet", 36), &p, |b, p| {
+        b.iter(|| {
+            establish_group_key(p, NoAdversary, NoAdversary, NoAdversary, 3, false)
+                .expect("runs")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("full_jammed", 36), &p, |b, p| {
+        b.iter(|| {
+            establish_group_key(
+                p,
+                RandomJammer::new(1),
+                RandomJammer::new(2),
+                RandomJammer::new(3),
+                3,
+                false,
+            )
+            .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_key);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8 wall-clock: long-lived secure-channel sessions (Section 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fame::longlived::{run_longlived, ScriptEntry};
+use fame::Params;
+use radio_crypto::key::SymmetricKey;
+use radio_network::adversaries::RandomJammer;
+
+fn bench_longlived(c: &mut Criterion) {
+    let mut group = c.benchmark_group("longlived");
+    group.sample_size(20);
+    for &t in &[1usize, 2] {
+        let p = Params::minimal(Params::min_nodes(t, t + 1).max(36), t).unwrap();
+        let key = SymmetricKey::from_bytes([5u8; 32]);
+        let keys: Vec<Option<SymmetricKey>> = (0..p.n()).map(|_| Some(key)).collect();
+        let script: Vec<ScriptEntry> = (0..10)
+            .map(|e| ScriptEntry {
+                eround: e,
+                sender: (e as usize * 3 + 1) % p.n(),
+                message: format!("msg{e}").into_bytes(),
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("10_broadcasts", t),
+            &(p, keys, script),
+            |b, (p, keys, script)| {
+                b.iter(|| {
+                    run_longlived(p, keys, script, RandomJammer::new(9), 7, false)
+                        .expect("runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_longlived);
+criterion_main!(benches);

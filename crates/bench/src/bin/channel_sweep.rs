@@ -1,0 +1,68 @@
+//! E14: the channel dividend — f-AME cost as `C` grows from `t+1` to
+//! `2t²` at fixed `n`, `t`, `|E|`.
+//!
+//! Section 5.5 is a table of three operating points; this experiment fills
+//! in the curve between them: each extra channel buys shorter feedback
+//! (escape probability `(C−t)/C` rises) and — past `2t` — bigger game
+//! moves. The regime boundaries of Figure 3 appear as visible knees.
+
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame;
+use fame::Params;
+use radio_network::adversaries::RandomJammer;
+use secure_radio_bench::workloads::random_pairs;
+use secure_radio_bench::Table;
+
+fn main() {
+    let seed = 0xC5EE9;
+    let t = 2;
+    // n large enough for every C in the sweep.
+    let n = (t + 1..=2 * t * t)
+        .map(|c| Params::min_nodes(t, c))
+        .max()
+        .unwrap()
+        .max(64);
+
+    println!("# Channel sweep (E14): rounds vs C at fixed n={n}, t={t}, |E|=24\n");
+
+    let mut table = Table::new(
+        "f-AME cost per channel count (random jammer)",
+        &[
+            "C", "regime", "cap", "feedback mode", "rounds", "moves", "rounds/move",
+            "cover<=t",
+        ],
+    );
+    let pairs = random_pairs(n, 24, seed);
+    for c in t + 1..=2 * t * t {
+        let p = Params::new(n, t, c).expect("params");
+        let instance = AmeInstance::new(n, pairs.iter().copied()).expect("instance");
+        let run = run_fame(&instance, &p, RandomJammer::new(seed), seed).expect("runs");
+        let regime = if c >= 2 * t * t {
+            "2t^2"
+        } else if c >= 2 * t {
+            "2t..2t^2"
+        } else {
+            "t+1..2t"
+        };
+        table.row([
+            c.to_string(),
+            regime.to_string(),
+            p.proposal_cap().to_string(),
+            format!("{:?}", p.feedback_mode()),
+            run.outcome.rounds.to_string(),
+            run.moves.to_string(),
+            format!("{:.0}", run.outcome.rounds as f64 / run.moves.max(1) as f64),
+            if run.outcome.is_d_disruptable(t) { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Reading: adding channels pays twice — cheaper feedback everywhere \
+         (the (C−t)/C escape probability), and from C = 2t on, double-size \
+         game moves. The knees match the Figure 3 regime boundaries. Note \
+         the tree-feedback point: at small t its constants exceed the \
+         sequential loop (the asymptotic win needs k = C/t >> log k; see \
+         `fame::tree_feedback` tests) — Figure 3's third row is an \
+         asymptotic statement, faithfully reproduced as such."
+    );
+}

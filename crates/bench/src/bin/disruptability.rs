@@ -1,0 +1,135 @@
+//! E4 + E6: disruptability bounds, verified with exact vertex cover.
+//!
+//! * **E4 (Theorem 6)** — f-AME's disruption cover never exceeds `t`, for
+//!   every adversary in the roster, including schedule-aware attackers.
+//! * **E6 (Section 5 intro)** — the direct no-surrogate baseline is pinned
+//!   to a cover of exactly `2t` by the triangle-isolation attack.
+
+use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
+use fame::baselines::direct::{build_direct_schedule, run_direct_exchange, TriangleAdversary};
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame;
+use fame::{FameFrame, Params};
+use radio_network::adversaries::{
+    BusyChannelJammer, NoAdversary, RandomJammer, Spoofer, SweepJammer,
+};
+use radio_network::Adversary;
+use secure_radio_bench::workloads::{complete_pairs, random_pairs};
+use secure_radio_bench::Table;
+
+fn fame_roster(p: &Params, pairs: &[(usize, usize)], seed: u64) -> Vec<(String, Box<dyn Adversary<FameFrame>>)> {
+    let forged = FameFrame::Vector {
+        owner: 0,
+        messages: [(1usize, b"forged".to_vec())].into_iter().collect(),
+    };
+    vec![
+        ("none".into(), Box::new(NoAdversary)),
+        ("random-jammer".into(), Box::new(RandomJammer::new(seed))),
+        ("sweep-jammer".into(), Box::new(SweepJammer::new())),
+        (
+            "busy-channel".into(),
+            Box::new(BusyChannelJammer::new(seed, 8)),
+        ),
+        (
+            "spoofer".into(),
+            Box::new(Spoofer::new(seed, move |_, _| forged.clone())),
+        ),
+        (
+            "omni/prefer-edges".into(),
+            Box::new(OmniscientJammer::new(
+                p,
+                pairs,
+                TransmissionPolicy::PreferEdges,
+                FeedbackPolicy::Quiet,
+                seed,
+            )),
+        ),
+        (
+            "omni/prefer-nodes".into(),
+            Box::new(OmniscientJammer::new(
+                p,
+                pairs,
+                TransmissionPolicy::PreferNodes,
+                FeedbackPolicy::Random,
+                seed,
+            )),
+        ),
+        (
+            "omni/victims+spoof".into(),
+            Box::new(
+                OmniscientJammer::new(
+                    p,
+                    pairs,
+                    TransmissionPolicy::Victims(vec![0, 1, 2, 3]),
+                    FeedbackPolicy::Sweep,
+                    seed,
+                )
+                .with_spoofing(),
+            ),
+        ),
+    ]
+}
+
+fn main() {
+    let seed = 77;
+    println!("# Disruptability: f-AME's t bound vs the direct baseline's 2t\n");
+
+    let mut table = Table::new(
+        "E4 — f-AME disruption cover across the adversary roster (bound: t)",
+        &[
+            "adversary", "t", "|E|", "delivered", "failed", "cover", "<=t", "auth-violations",
+        ],
+    );
+    for &t in &[2usize, 3] {
+        let p = Params::minimal(Params::min_nodes(t, t + 1), t).expect("params");
+        let pairs = random_pairs(p.n(), 24, seed);
+        let instance = AmeInstance::new(p.n(), pairs.iter().copied()).expect("instance");
+        for (name, adversary) in fame_roster(&p, instance.pairs(), seed) {
+            let run = run_fame(&instance, &p, adversary, seed).expect("fame runs");
+            let cover = run.outcome.disruption_cover();
+            table.row([
+                name,
+                t.to_string(),
+                pairs.len().to_string(),
+                run.outcome.delivered_count().to_string(),
+                run.outcome.disruption_edges().len().to_string(),
+                cover.to_string(),
+                if cover <= t { "yes" } else { "VIOLATED" }.to_string(),
+                run.outcome
+                    .authentication_violations(&instance)
+                    .len()
+                    .to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    let mut table = Table::new(
+        "E6 — direct (no-surrogate) baseline under triangle isolation (cover hits 2t)",
+        &["t", "n", "|E|", "delivered", "failed", "cover", "== 2t"],
+    );
+    for &t in &[2usize, 3] {
+        let n = 3 * t;
+        let instance = AmeInstance::new(n, complete_pairs(n)).expect("instance");
+        let schedule = build_direct_schedule(instance.pairs(), t + 1, 3);
+        let adversary = TriangleAdversary::new(t, schedule);
+        let outcome = run_direct_exchange(&instance, t, 3, adversary, seed).expect("runs");
+        let cover = outcome.disruption_cover();
+        table.row([
+            t.to_string(),
+            n.to_string(),
+            instance.len().to_string(),
+            outcome.delivered_count().to_string(),
+            outcome.disruption_edges().len().to_string(),
+            cover.to_string(),
+            if cover == 2 * t { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Paper claims reproduced: f-AME stays within a vertex cover of t \
+         under every attacker (Theorem 6, optimal by Theorem 2), while \
+         direct source-to-destination scheduling is forced to 2t by the \
+         triangle attack (Section 5's motivation for surrogates)."
+    );
+}

@@ -1,0 +1,138 @@
+//! E12 + E13: the Section 8 extensions.
+//!
+//! * **E12 (residual delivery, §8 open question 3)** — f-AME faithfully
+//!   stops at a residue with vertex cover ≤ t; the residual phase sweeps
+//!   the leftovers best-effort. Measured: the upgrade in delivered pairs,
+//!   with awareness preserved.
+//! * **E13 (Byzantine-robust variant, §8 open question 1)** — surrogates
+//!   eliminated, every message direct from its source: `2t`-disruptable,
+//!   as the paper sketches.
+
+use fame::byzantine::run_byzantine_fame;
+use fame::pointtopoint::{run_pairwise_slot, PairSession};
+use fame::problem::AmeInstance;
+use fame::residual::run_fame_with_residual;
+use fame::Params;
+use radio_crypto::key::SymmetricKey;
+use radio_network::adversaries::{NoAdversary, RandomJammer};
+use secure_radio_bench::workloads::{disjoint_pairs, random_pairs};
+use secure_radio_bench::Table;
+
+fn main() {
+    let seed = 0xE57;
+    println!("# Section 8 extensions: residual delivery & Byzantine-robust variant\n");
+
+    // ---- E12: residual upgrade ---------------------------------------------
+    let mut table = Table::new(
+        "E12 — residual sweeps upgrade the leftover t-cover (t=2)",
+        &[
+            "adversary",
+            "|E|",
+            "plain delivered",
+            "with residual",
+            "extra rounds",
+            "aware",
+        ],
+    );
+    let p = Params::minimal(40, 2).expect("params");
+    for (label, jam) in [("none", false), ("random-jammer", true)] {
+        for &m in &[7usize, 13, 19] {
+            let pairs = disjoint_pairs(p.n(), m);
+            let inst = AmeInstance::new(p.n(), pairs.iter().copied()).expect("instance");
+            let (merged, plain) = if jam {
+                run_fame_with_residual(
+                    &inst,
+                    &p,
+                    RandomJammer::new(seed),
+                    RandomJammer::new(seed + 1),
+                    2,
+                    seed,
+                )
+                .expect("runs")
+            } else {
+                run_fame_with_residual(&inst, &p, NoAdversary, NoAdversary, 2, seed)
+                    .expect("runs")
+            };
+            table.row([
+                label.to_string(),
+                m.to_string(),
+                format!("{}/{}", plain.outcome.delivered_count(), m),
+                format!("{}/{}", merged.delivered_count(), m),
+                (merged.rounds - plain.outcome.rounds).to_string(),
+                if merged.awareness_violations().is_empty() {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+
+    // ---- E13: Byzantine-robust variant --------------------------------------
+    let mut table = Table::new(
+        "E13 — Byzantine-robust (no surrogates): 2t-disruptable, direct-only",
+        &["t", "|E|", "rounds", "moves", "delivered", "cover", "<=2t", "forged"],
+    );
+    for &t in &[2usize, 3] {
+        let p = Params::minimal(Params::min_nodes(t, t + 1), t).expect("params");
+        let pairs = random_pairs(p.n(), 24, seed);
+        let inst = AmeInstance::new(p.n(), pairs.iter().copied()).expect("instance");
+        let (outcome, moves) =
+            run_byzantine_fame(&inst, &p, RandomJammer::new(seed), seed).expect("runs");
+        let cover = outcome.disruption_cover();
+        table.row([
+            t.to_string(),
+            pairs.len().to_string(),
+            outcome.rounds.to_string(),
+            moves.to_string(),
+            outcome.delivered_count().to_string(),
+            cover.to_string(),
+            if cover <= 2 * t { "yes" } else { "NO" }.to_string(),
+            outcome
+                .authentication_violations(&inst)
+                .len()
+                .to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    // ---- E15: concurrent point-to-point channels ----------------------------
+    let mut table = Table::new(
+        "E15 — concurrent pairwise channels (one Θ(t log n) slot, jamming)",
+        &["pairs/slot", "slot rounds", "delivered", "throughput ×"],
+    );
+    let p = Params::minimal(40, 2).expect("params");
+    let group = SymmetricKey::from_bytes([0x42; 32]);
+    for pairs in 1..=p.c() {
+        let sessions: Vec<PairSession> = (0..pairs)
+            .map(|i| PairSession {
+                a: i,
+                b: 20 + i,
+                message: format!("p2p-{i}").into_bytes(),
+            })
+            .collect();
+        let report =
+            run_pairwise_slot(&p, &group, &sessions, RandomJammer::new(seed), seed)
+                .expect("runs");
+        table.row([
+            pairs.to_string(),
+            report.rounds.to_string(),
+            format!(
+                "{}/{}",
+                report.delivered.iter().filter(|d| d.is_some()).count(),
+                pairs
+            ),
+            format!("{:.1}", report.delivery_rate() * pairs as f64),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Reading: residual sweeps recover every leftover pair when the \
+         adversary is absent or oblivious (no worst-case guarantee exists — \
+         Theorem 2); the surrogate-free variant pays the predicted factor \
+         of two in resilience; and per-pair hopping keys let up to C pairs \
+         share one broadcast slot — Section 8's three practical sketches."
+    );
+}

@@ -1,0 +1,87 @@
+//! E9: gossip vs f-AME — what authentication and optimal resilience cost.
+//!
+//! The paper (Sections 1–2) argues that gossip in the style of \[13\]
+//! cannot solve AME: it provides **no authentication** (receivers accept
+//! any rumor frame), only suboptimal (`2t`) resilience, and — for the
+//! oblivious schedules \[13\] analyses — exponential running time in `t`.
+//!
+//! This experiment runs our randomized gossip and f-AME on the same
+//! all-to-all workload and tabulates the property gap alongside the round
+//! counts. Gossip's raw delivery can be fast (randomized, unauthenticated
+//! flooding is cheap); what it cannot do is tell real rumors from forged
+//! ones — the `forged accepted` column — or bound which nodes fail.
+
+use fame::baselines::gossip::run_gossip;
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame;
+use fame::Params;
+use radio_network::adversaries::{RandomJammer, Spoofer};
+use radio_network::ChannelId;
+use secure_radio_bench::workloads::complete_pairs;
+use secure_radio_bench::Table;
+
+fn main() {
+    let seed = 0x60551;
+    println!("# Gossip vs f-AME (E9): the price and value of authentication\n");
+
+    let mut table = Table::new(
+        "all-to-all exchange, spoofing + jamming adversaries",
+        &[
+            "protocol",
+            "t",
+            "n",
+            "rounds",
+            "completed",
+            "forged accepted",
+            "resilience",
+            "sender awareness",
+        ],
+    );
+
+    for &t in &[1usize, 2] {
+        let n = Params::min_nodes(t, t + 1).max(18);
+
+        // Gossip under a spoofer (it also jams by colliding).
+        let spoofer = Spoofer::new(seed, |round, ch: ChannelId| {
+            fame::baselines::gossip::RumorFrame {
+                origin: (round as usize + ch.index()) % 7,
+                payload: format!("forged-{round}").into_bytes(),
+            }
+        });
+        let gossip = run_gossip(n, t, spoofer, 400_000, seed).expect("gossip runs");
+        table.row([
+            "oblivious-gossip".to_string(),
+            t.to_string(),
+            n.to_string(),
+            gossip.rounds.to_string(),
+            if gossip.completed { "yes" } else { "NO" }.to_string(),
+            gossip.forged_slots.to_string(),
+            "2t (almost-gossip)".to_string(),
+            "none".to_string(),
+        ]);
+
+        // f-AME on the complete exchange with jamming.
+        let p = Params::minimal(n, t).expect("params");
+        let instance = AmeInstance::new(n, complete_pairs(n)).expect("instance");
+        let run = run_fame(&instance, &p, RandomJammer::new(seed), seed).expect("fame runs");
+        let forged = run.outcome.authentication_violations(&instance).len();
+        table.row([
+            "f-AME".to_string(),
+            t.to_string(),
+            n.to_string(),
+            run.outcome.rounds.to_string(),
+            "yes (t-disruptable)".to_string(),
+            forged.to_string(),
+            format!("t (cover = {})", run.outcome.disruption_cover()),
+            "yes".to_string(),
+        ]);
+    }
+
+    println!("{table}");
+    println!(
+        "Reading: gossip floods fast but accepts forged rumors and cannot \
+         certify who failed; f-AME pays a polylog factor in rounds and in \
+         exchange gets zero forgeries, exact sender awareness, and an \
+         optimal t-bounded disruption cover — the paper's core trade-off."
+    );
+}

@@ -1,0 +1,106 @@
+//! E8: **Section 7** — the long-lived secure channel.
+//!
+//! Paper claims: after setup, one emulated round costs `Θ(t·log n)` real
+//! rounds (`O(log n)` once `C ≥ 2t`), with w.h.p. delivery, secrecy, and
+//! authentication.
+
+use fame::longlived::{run_longlived, ScriptEntry};
+use radio_crypto::key::SymmetricKey;
+use radio_network::adversaries::{BusyChannelJammer, NoAdversary, RandomJammer};
+use secure_radio_bench::{ratio, Regime, Table};
+
+fn script(broadcasts: u64, n: usize) -> Vec<ScriptEntry> {
+    (0..broadcasts)
+        .map(|e| ScriptEntry {
+            eround: e,
+            sender: (3 + 5 * e as usize) % n,
+            message: format!("broadcast #{e}").into_bytes(),
+        })
+        .collect()
+}
+
+fn main() {
+    let seed = 0x1096u64;
+    println!("# Long-lived communication service (Section 7)\n");
+
+    let mut table = Table::new(
+        "emulated-round cost and delivery rate (20 broadcasts)",
+        &[
+            "regime",
+            "t",
+            "n",
+            "rounds/emulated",
+            "theory",
+            "cost/theory",
+            "adversary",
+            "delivery",
+        ],
+    );
+    for &regime in &[Regime::Minimal, Regime::Wide] {
+        for &t in &[1usize, 2, 3] {
+            let p = regime.params(t, 40);
+            let n = p.n();
+            let key = SymmetricKey::from_bytes([7u8; 32]);
+            let keys: Vec<Option<SymmetricKey>> = (0..n).map(|_| Some(key)).collect();
+            let entries = script(20, n);
+            let holders = vec![true; n];
+            let ln_n = (n as f64).ln();
+            let theory = match regime {
+                Regime::Minimal => (t + 1) as f64 * ln_n,
+                _ => ln_n,
+            };
+            for (label, rate) in [
+                ("none", {
+                    let r = run_longlived(&p, &keys, &entries, NoAdversary, seed, false)
+                        .expect("runs");
+                    r.delivery_rate(&entries, &holders)
+                }),
+                ("random-jammer", {
+                    let r = run_longlived(
+                        &p,
+                        &keys,
+                        &entries,
+                        RandomJammer::new(seed),
+                        seed,
+                        false,
+                    )
+                    .expect("runs");
+                    r.delivery_rate(&entries, &holders)
+                }),
+                ("busy-channel", {
+                    let r = run_longlived(
+                        &p,
+                        &keys,
+                        &entries,
+                        BusyChannelJammer::new(seed, 8),
+                        seed,
+                        false,
+                    )
+                    .expect("runs");
+                    r.delivery_rate(&entries, &holders)
+                }),
+            ] {
+                table.row([
+                    regime.label().to_string(),
+                    t.to_string(),
+                    n.to_string(),
+                    p.epoch_rounds().to_string(),
+                    match regime {
+                        Regime::Minimal => "t ln n".to_string(),
+                        _ => "ln n".to_string(),
+                    },
+                    ratio(p.epoch_rounds(), theory),
+                    label.to_string(),
+                    format!("{:.2}%", rate * 100.0),
+                ]);
+            }
+        }
+    }
+    println!("{table}");
+    println!(
+        "Shape checks: emulated-round cost tracks t·ln n (minimal) and \
+         ln n (C >= 2t); delivery stays at 100% w.h.p. because the hopping \
+         sequence is keyed — even the history-aware busy-channel jammer \
+         cannot predict the next channel."
+    );
+}

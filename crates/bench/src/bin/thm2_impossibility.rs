@@ -1,0 +1,87 @@
+//! E5: **Theorem 2** — no protocol beats `t`-disruptability, because a
+//! purely randomized exchange cannot be authenticated.
+//!
+//! The simulating adversary mirrors each naive sender's channel
+//! distribution with a forged payload; real and forged executions are
+//! indistinguishable to the receiver, so the first accepted frame is
+//! forged with probability `≈ 1/2`. f-AME's deterministic slot ownership
+//! removes the ambiguity: its spoof-acceptance count is structurally zero
+//! in the very same adversarial model.
+
+use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
+use fame::baselines::naive::naive_exchange_trials;
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame;
+use fame::Params;
+use secure_radio_bench::workloads::disjoint_pairs;
+use secure_radio_bench::Table;
+
+fn main() {
+    let seed = 0xBAD_C0DE;
+    println!("# Theorem 2 — authentication is impossible without structure\n");
+
+    let mut table = Table::new(
+        "naive randomized exchange vs f-AME under spoofing adversaries",
+        &[
+            "protocol",
+            "t",
+            "trials",
+            "accepted real",
+            "accepted fake",
+            "fooled",
+            "undecided",
+        ],
+    );
+
+    for &t in &[1usize, 2, 3] {
+        let trials = 80;
+        let rounds = 40 * (t as u64 + 1);
+        let report = naive_exchange_trials(4 * t, t, rounds, trials, seed).expect("runs");
+        table.row([
+            "naive-random".to_string(),
+            t.to_string(),
+            trials.to_string(),
+            report.accepted_real.to_string(),
+            report.accepted_fake.to_string(),
+            format!("{:.1}%", report.fooled_fraction() * 100.0),
+            report.undecided.to_string(),
+        ]);
+    }
+
+    for &t in &[1usize, 2, 3] {
+        let p = Params::minimal(Params::min_nodes(t, t + 1).max(24), t).expect("params");
+        let pairs = disjoint_pairs(p.n(), (p.n() / 2).min(8));
+        let instance = AmeInstance::new(p.n(), pairs.iter().copied()).expect("instance");
+        let adversary = OmniscientJammer::new(
+            &p,
+            instance.pairs(),
+            TransmissionPolicy::PreferEdges,
+            FeedbackPolicy::Quiet,
+            seed,
+        )
+        .with_spoofing();
+        let run = run_fame(&instance, &p, adversary, seed).expect("fame runs");
+        let delivered = run.outcome.delivered_count();
+        let forged = run.outcome.authentication_violations(&instance).len();
+        table.row([
+            "f-AME (spoofing jammer)".to_string(),
+            t.to_string(),
+            "1".to_string(),
+            delivered.to_string(),
+            forged.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * forged as f64 / delivered.max(1) as f64
+            ),
+            (pairs.len() - delivered).to_string(),
+        ]);
+    }
+
+    println!("{table}");
+    println!(
+        "Paper claim: the naive receiver accepts the forgery with \
+         probability 1/2 (Theorem 2's indistinguishability argument); \
+         f-AME accepts zero forgeries because every receiving slot has a \
+         deterministic owner."
+    );
+}

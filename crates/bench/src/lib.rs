@@ -1,0 +1,118 @@
+//! # secure-radio-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! Dolev, Gilbert, Guerraoui & Newport (PODC 2008). Each binary under
+//! `src/bin/` prints one experiment's table (see the experiment index in
+//! `DESIGN.md` and the recorded results in `EXPERIMENTS.md`):
+//!
+//! | binary | experiment | paper source |
+//! |---|---|---|
+//! | `fig3_table` | E1–E3 | Figure 3 (the complexity table) |
+//! | `thm2_impossibility` | E5 | Theorem 2 |
+//! | `disruptability` | E4, E6 | Theorem 6 + §5 intro |
+//! | `group_key_scaling` | E7 | Section 6 |
+//! | `longlived_latency` | E8 | Section 7 |
+//! | `gossip_vs_fame` | E9 | Section 2 / \[13\] |
+//! | `compact_audit` | E10 | Section 5.6 |
+//! | `whp_knee` | E11 | Lemma 5 constants |
+//! | `extensions` | E12, E13, E15 | Section 8 open questions (1), (3), (4) |
+//! | `channel_sweep` | E14 | Section 5.5, between the table rows |
+//!
+//! The measured quantity is **rounds of the synchronous model** — the unit
+//! all the paper's theorems are stated in. The Criterion benches under
+//! `benches/` additionally track wall-clock time of the simulator itself.
+
+pub mod table;
+pub mod workloads;
+
+pub use table::Table;
+
+use fame::Params;
+
+/// The three channel regimes of Figure 3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Regime {
+    /// `C = t + 1` — the minimal configuration.
+    Minimal,
+    /// `C = 2t` — Section 5.5, Case 1.
+    Wide,
+    /// `C = 2t²` — Section 5.5, Case 2 (tree feedback).
+    UltraWide,
+}
+
+impl Regime {
+    /// All regimes in table order.
+    pub const ALL: [Regime; 3] = [Regime::Minimal, Regime::Wide, Regime::UltraWide];
+
+    /// The channel count for threshold `t`.
+    ///
+    /// `Wide`/`UltraWide` degenerate at `t = 1`; callers should skip those
+    /// rows (`channels` still returns a valid count).
+    pub fn channels(&self, t: usize) -> usize {
+        match self {
+            Regime::Minimal => t + 1,
+            Regime::Wide => (2 * t).max(t + 1),
+            Regime::UltraWide => (2 * t * t).max(t + 1),
+        }
+    }
+
+    /// Human-readable label matching Figure 3's rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Regime::Minimal => "C = t+1",
+            Regime::Wide => "C = 2t",
+            Regime::UltraWide => "C = 2t^2",
+        }
+    }
+
+    /// Validated parameters with the smallest admissible `n` unless a
+    /// larger `n` is given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid combinations (harness configuration errors).
+    pub fn params(&self, t: usize, n: usize) -> Params {
+        let c = self.channels(t);
+        let n = n.max(Params::min_nodes(t, c));
+        Params::new(n, t, c).expect("harness params valid")
+    }
+}
+
+/// Format a `f64` ratio to two decimals (for the "measured/theory" table
+/// columns).
+pub fn ratio(measured: u64, theory: f64) -> String {
+    if theory == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", measured as f64 / theory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regime_channels() {
+        assert_eq!(Regime::Minimal.channels(3), 4);
+        assert_eq!(Regime::Wide.channels(3), 6);
+        assert_eq!(Regime::UltraWide.channels(3), 18);
+        // t = 1 degeneracy: floors at t+1.
+        assert_eq!(Regime::Wide.channels(1), 2);
+    }
+
+    #[test]
+    fn regime_params_validate() {
+        for regime in Regime::ALL {
+            let p = regime.params(2, 0);
+            assert_eq!(p.t(), 2);
+            assert_eq!(p.c(), regime.channels(2));
+        }
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(100, 50.0), "2.00");
+        assert_eq!(ratio(1, 0.0), "-");
+    }
+}

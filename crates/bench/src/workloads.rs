@@ -1,0 +1,86 @@
+//! Workload generators for the experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `m` random distinct ordered pairs over `n` nodes.
+pub fn random_pairs(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(
+        m <= n * (n - 1),
+        "cannot draw {m} distinct pairs from {n} nodes"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4a11_0ad5);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < m {
+        let v = rng.gen_range(0..n);
+        let w = rng.gen_range(0..n);
+        if v != w {
+            set.insert((v, w));
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// `m` pairwise node-disjoint ordered pairs (`m <= n/2`).
+pub fn disjoint_pairs(n: usize, m: usize) -> Vec<(usize, usize)> {
+    assert!(2 * m <= n, "need 2m <= n for disjoint pairs");
+    (0..m).map(|i| (2 * i, 2 * i + 1)).collect()
+}
+
+/// The complete directed graph on nodes `0..m` (inside a network of `n >=
+/// m` nodes).
+pub fn complete_pairs(m: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(m * (m - 1));
+    for v in 0..m {
+        for w in 0..m {
+            if v != w {
+                pairs.push((v, w));
+            }
+        }
+    }
+    pairs
+}
+
+/// A directed ring over nodes `0..m`.
+pub fn ring_pairs(m: usize) -> Vec<(usize, usize)> {
+    (0..m).map(|i| (i, (i + 1) % m)).collect()
+}
+
+/// A star: node 0 exchanges with nodes `1..=m` in both directions.
+pub fn star_pairs(m: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(2 * m);
+    for w in 1..=m {
+        pairs.push((0, w));
+        pairs.push((w, 0));
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_pairs_distinct_and_in_range() {
+        let pairs = random_pairs(10, 30, 7);
+        assert_eq!(pairs.len(), 30);
+        let set: std::collections::BTreeSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert!(pairs.iter().all(|&(v, w)| v < 10 && w < 10 && v != w));
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(disjoint_pairs(10, 3), vec![(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(complete_pairs(3).len(), 6);
+        assert_eq!(ring_pairs(4).len(), 4);
+        assert_eq!(star_pairs(3).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn rejects_impossible_counts() {
+        let _ = random_pairs(3, 100, 1);
+    }
+}

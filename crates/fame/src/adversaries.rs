@@ -1,0 +1,373 @@
+//! Protocol-aware adversaries for f-AME.
+//!
+//! The model (Section 3) lets the adversary know the protocol, all public
+//! inputs, and every completed round. Since f-AME's schedule is a
+//! deterministic function of public information, a strong attacker can
+//! *recompute* the schedule and aim its `t` channels exactly — this module
+//! implements that attacker. Theorem 6 says even this cannot push the
+//! disruption cover past `t`, which is what the E4 experiments verify.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+use radio_network::{Adversary, AdversaryAction, AdversaryView, ChannelId, Emission};
+use removal_game::game::{GameState, ProposalItem};
+
+use crate::messages::FameFrame;
+use crate::schedule::{build_schedule, MoveSchedule};
+use crate::Params;
+
+/// Which transmission-round channels the omniscient jammer targets.
+#[derive(Clone, Debug)]
+pub enum TransmissionPolicy {
+    /// Leave the transmission round alone.
+    Quiet,
+    /// Jam channels `0..t` of the move.
+    FirstChannels,
+    /// Jam the channels carrying *edge* items first — blocking message
+    /// deliveries and forcing the game to make progress through stars only
+    /// (the slowest legal referee, mirroring
+    /// [`AdversarialReferee`](removal_game::referee::AdversarialReferee)).
+    PreferEdges,
+    /// Jam the channels carrying *node* items first (starve the surrogate
+    /// supply).
+    PreferNodes,
+    /// Jam any channel whose item involves one of these victims (as owner
+    /// or receiver), then fall back to edges. This is how an attacker tries
+    /// to pin the full disruption budget on chosen nodes.
+    Victims(Vec<usize>),
+    /// Jam `t` uniformly random used channels of the move.
+    Random,
+}
+
+/// What the omniscient jammer does during feedback rounds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FeedbackPolicy {
+    /// Stay quiet (all budget spent on the transmission round).
+    Quiet,
+    /// Jam `t` random channels every feedback round, trying to starve
+    /// listeners of `<true, r>` reports (Lemma 5 says this fails w.h.p.).
+    Random,
+    /// Sweep a `t`-channel window across the spectrum.
+    Sweep,
+}
+
+/// A schedule-tracking attacker: replays the deterministic f-AME schedule
+/// on a private *shadow* copy of the game and spends its `t` channels
+/// according to the configured policies.
+///
+/// With [`OmniscientJammer::with_spoofing`] it transmits forged
+/// [`FameFrame::Vector`] frames instead of noise on the jammed transmission
+/// channels — these always collide with the scheduled honest transmitter,
+/// so tests use this mode to confirm the structural-authentication argument
+/// of Section 5.4.
+#[derive(Clone, Debug)]
+pub struct OmniscientJammer {
+    params: Params,
+    tx_policy: TransmissionPolicy,
+    fb_policy: FeedbackPolicy,
+    spoof: bool,
+    rng: SmallRng,
+    // --- shadow protocol state ---
+    game: GameState,
+    surrogates: BTreeMap<usize, Vec<usize>>,
+    schedule: Option<MoveSchedule>,
+    move_round: u64,
+    jammed_tx: BTreeSet<usize>,
+    sweep_offset: usize,
+    desynced: bool,
+}
+
+impl OmniscientJammer {
+    /// Build the attacker for a given public instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the public inputs are inconsistent (they are validated the
+    /// same way the honest nodes validate them).
+    pub fn new(
+        params: &Params,
+        pairs: &[(usize, usize)],
+        tx_policy: TransmissionPolicy,
+        fb_policy: FeedbackPolicy,
+        seed: u64,
+    ) -> Self {
+        let game = GameState::new(params.n(), pairs.iter().copied(), params.t())
+            .expect("valid instance")
+            .with_proposal_cap(params.proposal_cap())
+            .expect("valid cap");
+        let surrogates = BTreeMap::new();
+        let schedule = build_schedule(params, &game, &surrogates).expect("schedulable");
+        OmniscientJammer {
+            params: *params,
+            tx_policy,
+            fb_policy,
+            spoof: false,
+            rng: SmallRng::seed_from_u64(seed ^ 0x0517_0A44_11E5_2BAD),
+            game,
+            surrogates,
+            schedule,
+            move_round: 0,
+            jammed_tx: BTreeSet::new(),
+            sweep_offset: 0,
+            desynced: false,
+        }
+    }
+
+    /// Switch jam emissions to forged `Vector` frames.
+    #[must_use]
+    pub fn with_spoofing(mut self) -> Self {
+        self.spoof = true;
+        self
+    }
+
+    /// `true` if the shadow simulation ever failed to rebuild a schedule
+    /// (would indicate divergence — never expected, asserted in tests).
+    pub fn desynced(&self) -> bool {
+        self.desynced
+    }
+
+    fn pick_transmission_targets(&mut self, k: usize) -> Vec<usize> {
+        let t = self.params.t();
+        let schedule = self.schedule.as_ref().expect("active move");
+        let mut ranked: Vec<usize> = match &self.tx_policy {
+            TransmissionPolicy::Quiet => Vec::new(),
+            TransmissionPolicy::FirstChannels => (0..k).collect(),
+            TransmissionPolicy::PreferEdges => {
+                let mut edges: Vec<usize> = (0..k)
+                    .filter(|&c| matches!(schedule.channels[c].item, ProposalItem::Edge(..)))
+                    .collect();
+                let nodes: Vec<usize> = (0..k)
+                    .filter(|&c| matches!(schedule.channels[c].item, ProposalItem::Node(_)))
+                    .collect();
+                edges.extend(nodes);
+                edges
+            }
+            TransmissionPolicy::PreferNodes => {
+                let mut nodes: Vec<usize> = (0..k)
+                    .filter(|&c| matches!(schedule.channels[c].item, ProposalItem::Node(_)))
+                    .collect();
+                let edges: Vec<usize> = (0..k)
+                    .filter(|&c| matches!(schedule.channels[c].item, ProposalItem::Edge(..)))
+                    .collect();
+                nodes.extend(edges);
+                nodes
+            }
+            TransmissionPolicy::Victims(victims) => {
+                let involves = |c: usize| {
+                    let plan = &schedule.channels[c];
+                    victims.contains(&plan.owner)
+                        || plan.receiver.map(|r| victims.contains(&r)).unwrap_or(false)
+                };
+                let mut hit: Vec<usize> = (0..k).filter(|&c| involves(c)).collect();
+                let rest: Vec<usize> = (0..k)
+                    .filter(|&c| {
+                        !involves(c)
+                            && matches!(schedule.channels[c].item, ProposalItem::Edge(..))
+                    })
+                    .collect();
+                hit.extend(rest);
+                hit
+            }
+            TransmissionPolicy::Random => {
+                let picks = sample(&mut self.rng, k, t.min(k));
+                return picks.iter().collect();
+            }
+        };
+        ranked.truncate(t);
+        ranked
+    }
+
+    fn feedback_action(&mut self, c: usize, t: usize) -> AdversaryAction<FameFrame> {
+        match self.fb_policy {
+            FeedbackPolicy::Quiet => AdversaryAction::idle(),
+            FeedbackPolicy::Random => {
+                let picks = sample(&mut self.rng, c, t.min(c));
+                AdversaryAction::jam(picks.iter().map(ChannelId))
+            }
+            FeedbackPolicy::Sweep => {
+                let start = self.sweep_offset % c;
+                self.sweep_offset = (self.sweep_offset + t) % c;
+                AdversaryAction::jam((0..t.min(c)).map(|i| ChannelId((start + i) % c)))
+            }
+        }
+    }
+
+    /// Apply the move outcome to the shadow state: the true `D` is exactly
+    /// the used channels the attacker did not jam (honest transmitters are
+    /// always present on scheduled channels).
+    fn finish_move(&mut self) {
+        let schedule = self.schedule.take().expect("active move");
+        let k = schedule.k();
+        let d: Vec<usize> = (0..k).filter(|c| !self.jammed_tx.contains(c)).collect();
+        let response: Vec<ProposalItem> = d.iter().map(|&c| schedule.channels[c].item).collect();
+        if !response.is_empty() {
+            self.game
+                .apply_response(&schedule.proposal, &response)
+                .expect("shadow replay of a valid response");
+            for &c in &d {
+                if let ProposalItem::Node(v) = schedule.channels[c].item {
+                    self.surrogates
+                        .insert(v, schedule.witness_blocks[c].clone());
+                }
+            }
+        }
+        self.jammed_tx.clear();
+        self.move_round = 0;
+        match build_schedule(&self.params, &self.game, &self.surrogates) {
+            Ok(next) => self.schedule = next,
+            Err(_) => {
+                self.desynced = true;
+                self.schedule = None;
+            }
+        }
+    }
+}
+
+impl Adversary<FameFrame> for OmniscientJammer {
+    fn act(
+        &mut self,
+        _round: u64,
+        view: &AdversaryView<'_, FameFrame>,
+    ) -> AdversaryAction<FameFrame> {
+        let t = self.params.t();
+        let Some(schedule) = self.schedule.as_ref() else {
+            return AdversaryAction::idle();
+        };
+        let k = schedule.k();
+        let fb_rounds = self.params.feedback_rounds(k);
+
+        let action = if self.move_round == 0 {
+            // Transmission round: target per policy.
+            let targets = self.pick_transmission_targets(k);
+            self.jammed_tx = targets.iter().copied().collect();
+            let mut action = AdversaryAction::idle();
+            for &c in &targets {
+                if self.spoof {
+                    let owner = self.schedule.as_ref().expect("move").channels[c].owner;
+                    action.push(
+                        ChannelId(c),
+                        Emission::Spoof(FameFrame::Vector {
+                            owner,
+                            messages: [(0usize, b"FORGED".to_vec())].into_iter().collect(),
+                        }),
+                    );
+                } else {
+                    action.push(ChannelId(c), Emission::Noise);
+                }
+            }
+            action
+        } else {
+            self.feedback_action(view.channels, t)
+        };
+
+        // Advance the shadow clock.
+        self.move_round += 1;
+        if self.move_round == 1 + fb_rounds {
+            self.finish_move();
+        }
+        action
+    }
+
+    fn name(&self) -> &'static str {
+        "omniscient-jammer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::AmeInstance;
+    use crate::protocol::run_fame;
+
+    fn params() -> Params {
+        Params::minimal(40, 2).unwrap()
+    }
+
+    fn pairs() -> Vec<(usize, usize)> {
+        (0..10).map(|i| (i, i + 20)).collect()
+    }
+
+    fn run_with(tx: TransmissionPolicy, fb: FeedbackPolicy, spoof: bool) -> crate::FameRun {
+        let p = params();
+        let inst = AmeInstance::new(p.n(), pairs()).unwrap();
+        let mut adv = OmniscientJammer::new(&p, inst.pairs(), tx, fb, 5);
+        if spoof {
+            adv = adv.with_spoofing();
+        }
+        run_fame(&inst, &p, adv, 31).unwrap()
+    }
+
+    #[test]
+    fn prefer_edges_still_t_disruptable() {
+        let p = params();
+        let inst = AmeInstance::new(p.n(), pairs()).unwrap();
+        let run = run_with(TransmissionPolicy::PreferEdges, FeedbackPolicy::Quiet, false);
+        assert!(
+            run.outcome.is_d_disruptable(p.t()),
+            "cover {} > t (failed {:?})",
+            run.outcome.disruption_cover(),
+            run.outcome.disruption_edges()
+        );
+        assert!(run.outcome.authentication_violations(&inst).is_empty());
+        assert!(run.outcome.awareness_violations().is_empty());
+    }
+
+    #[test]
+    fn victim_targeting_still_t_disruptable() {
+        let p = params();
+        let run = run_with(
+            TransmissionPolicy::Victims(vec![0, 1, 2, 20, 21]),
+            FeedbackPolicy::Random,
+            false,
+        );
+        assert!(run.outcome.is_d_disruptable(p.t()));
+    }
+
+    #[test]
+    fn spoofing_never_accepted_even_from_schedule_aware_attacker() {
+        let p = params();
+        let inst = AmeInstance::new(p.n(), pairs()).unwrap();
+        let run = run_with(TransmissionPolicy::PreferEdges, FeedbackPolicy::Quiet, true);
+        assert!(run.outcome.authentication_violations(&inst).is_empty());
+        // Spoofs on scheduled channels collide; none may be delivered to a
+        // scheduled listener as a clean frame.
+        assert!(run.outcome.is_d_disruptable(p.t()));
+    }
+
+    #[test]
+    fn feedback_attacks_do_not_break_agreement() {
+        let p = params();
+        for fb in [FeedbackPolicy::Random, FeedbackPolicy::Sweep] {
+            let run = run_with(TransmissionPolicy::FirstChannels, fb, false);
+            assert!(
+                run.outcome.awareness_violations().is_empty(),
+                "feedback attack {fb:?} broke sender/receiver agreement"
+            );
+            assert!(run.outcome.is_d_disruptable(p.t()));
+        }
+    }
+
+    #[test]
+    fn shadow_stays_in_sync() {
+        let p = params();
+        let inst = AmeInstance::new(p.n(), pairs()).unwrap();
+        let adv = OmniscientJammer::new(
+            &p,
+            inst.pairs(),
+            TransmissionPolicy::PreferEdges,
+            FeedbackPolicy::Quiet,
+            5,
+        );
+        // Run manually so we can inspect the adversary afterwards.
+        let nodes = crate::protocol::make_nodes(&inst, &p, 77).unwrap();
+        let cfg = radio_network::NetworkConfig::new(p.c(), p.t()).unwrap();
+        let mut sim = radio_network::Simulation::new(cfg, nodes, adv, 77).unwrap();
+        sim.run(crate::protocol::round_budget(&p, inst.len()))
+            .unwrap();
+        assert!(!sim.adversary().desynced());
+    }
+}

@@ -1,0 +1,334 @@
+//! Direct scheduled exchange — no surrogates — and the triangle-isolation
+//! attack that caps it at `2t`-disruptability (Section 5's motivating
+//! counterexample).
+//!
+//! The schedule is deterministic and public: the edge set is repeatedly
+//! partitioned into groups of at most `C` node-disjoint edges; each group
+//! occupies one round, one edge per channel. Every scheduled channel has a
+//! known honest transmitter, so (like f-AME) spoofing is impossible —
+//! but because each message travels **directly** from source to
+//! destination, the adversary can isolate `t` disjoint triangles: any
+//! channel carrying two nodes of the same triple gets jammed, so no
+//! intra-triple edge is ever delivered. The disruption graph then contains
+//! `t` edge-disjoint triangles, whose minimum vertex cover is exactly `2t`.
+//!
+//! The paper's Section 8 notes that this surrogate-free pattern is also the
+//! natural fallback under Byzantine node corruptions (every rumor heard
+//! directly from its source), achieving `2t`-disruptability there.
+
+use std::collections::BTreeSet;
+
+use radio_network::{
+    Action, Adversary, AdversaryAction, AdversaryView, ChannelId, EngineError, NetworkConfig,
+    Protocol, Reception, Simulation,
+};
+
+use crate::messages::Payload;
+use crate::problem::{AmeInstance, AmeOutcome, PairResult};
+
+/// One scheduled slot: an edge on a channel in a specific round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DirectSlot {
+    /// The pair being served.
+    pub edge: (usize, usize),
+    /// The channel assigned.
+    pub channel: usize,
+}
+
+/// The public deterministic schedule: `rounds[r]` lists the slots of round
+/// `r`. Each round's edges are node-disjoint; the whole edge set is swept
+/// `passes` times.
+pub fn build_direct_schedule(
+    pairs: &[(usize, usize)],
+    channels: usize,
+    passes: usize,
+) -> Vec<Vec<DirectSlot>> {
+    let mut rounds: Vec<Vec<DirectSlot>> = Vec::new();
+    for _ in 0..passes {
+        let mut remaining: Vec<(usize, usize)> = pairs.to_vec();
+        while !remaining.is_empty() {
+            let mut used_nodes: BTreeSet<usize> = BTreeSet::new();
+            let mut group: Vec<DirectSlot> = Vec::new();
+            let mut leftover: Vec<(usize, usize)> = Vec::new();
+            for &(v, w) in &remaining {
+                if group.len() < channels && !used_nodes.contains(&v) && !used_nodes.contains(&w)
+                {
+                    used_nodes.insert(v);
+                    used_nodes.insert(w);
+                    group.push(DirectSlot {
+                        edge: (v, w),
+                        channel: group.len(),
+                    });
+                } else {
+                    leftover.push((v, w));
+                }
+            }
+            rounds.push(group);
+            remaining = leftover;
+        }
+    }
+    rounds
+}
+
+/// A node of the direct-exchange baseline.
+#[derive(Clone, Debug)]
+pub struct DirectNode {
+    id: usize,
+    schedule: Vec<Vec<DirectSlot>>,
+    outbox: std::collections::BTreeMap<usize, Payload>,
+    inbox: std::collections::BTreeMap<(usize, usize), Payload>,
+    round: u64,
+}
+
+/// The frame: source, destination, and the message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirectFrame {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// The message `m_{from,to}`.
+    pub payload: Payload,
+}
+
+impl DirectNode {
+    /// Build node `id` with the public schedule and its private outbox.
+    pub fn new(
+        id: usize,
+        schedule: Vec<Vec<DirectSlot>>,
+        outbox: std::collections::BTreeMap<usize, Payload>,
+    ) -> Self {
+        DirectNode {
+            id,
+            schedule,
+            outbox,
+            inbox: std::collections::BTreeMap::new(),
+            round: 0,
+        }
+    }
+
+    /// Messages received (authenticated structurally by the schedule).
+    pub fn inbox(&self) -> &std::collections::BTreeMap<(usize, usize), Payload> {
+        &self.inbox
+    }
+}
+
+impl Protocol for DirectNode {
+    type Msg = DirectFrame;
+
+    fn begin_round(&mut self, _round: u64) -> Action<DirectFrame> {
+        let Some(group) = self.schedule.get(self.round as usize) else {
+            return Action::Sleep;
+        };
+        for slot in group {
+            let (v, w) = slot.edge;
+            if v == self.id {
+                let payload = self.outbox.get(&w).cloned().unwrap_or_default();
+                return Action::Transmit {
+                    channel: ChannelId(slot.channel),
+                    frame: DirectFrame {
+                        from: v,
+                        to: w,
+                        payload,
+                    },
+                };
+            }
+            if w == self.id {
+                return Action::Listen {
+                    channel: ChannelId(slot.channel),
+                };
+            }
+        }
+        Action::Sleep
+    }
+
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<DirectFrame>>) {
+        if let (Some(group), Some(Reception { frame: Some(f), channel })) =
+            (self.schedule.get(self.round as usize), &reception)
+        {
+            // Structural authentication: accept only if the schedule says
+            // this exact sender owns this slot.
+            let expected = group
+                .iter()
+                .find(|s| s.channel == channel.index())
+                .map(|s| s.edge);
+            if expected == Some((f.from, f.to)) && f.to == self.id {
+                self.inbox.insert((f.from, f.to), f.payload.clone());
+            }
+        }
+        self.round += 1;
+    }
+
+    fn is_done(&self) -> bool {
+        self.round as usize >= self.schedule.len()
+    }
+}
+
+/// The triangle-isolation adversary: given `t` disjoint triples, jams every
+/// scheduled channel that carries two nodes of the same triple.
+#[derive(Clone, Debug)]
+pub struct TriangleAdversary {
+    triples: Vec<[usize; 3]>,
+    schedule: Vec<Vec<DirectSlot>>,
+}
+
+impl TriangleAdversary {
+    /// Target the canonical triples `{3i, 3i+1, 3i+2}` for `i < t`,
+    /// recomputing the public `schedule`.
+    pub fn new(t: usize, schedule: Vec<Vec<DirectSlot>>) -> Self {
+        TriangleAdversary {
+            triples: (0..t).map(|i| [3 * i, 3 * i + 1, 3 * i + 2]).collect(),
+            schedule,
+        }
+    }
+}
+
+impl Adversary<DirectFrame> for TriangleAdversary {
+    fn act(
+        &mut self,
+        round: u64,
+        _view: &AdversaryView<'_, DirectFrame>,
+    ) -> AdversaryAction<DirectFrame> {
+        let Some(group) = self.schedule.get(round as usize) else {
+            return AdversaryAction::idle();
+        };
+        let mut jams = Vec::new();
+        for triple in &self.triples {
+            for slot in group {
+                let (v, w) = slot.edge;
+                let hits = triple.contains(&v) as usize + triple.contains(&w) as usize;
+                if hits >= 2 {
+                    jams.push(ChannelId(slot.channel));
+                    break; // at most one channel per triple per round
+                }
+            }
+        }
+        jams.sort_unstable();
+        jams.dedup();
+        AdversaryAction::jam(jams)
+    }
+
+    fn name(&self) -> &'static str {
+        "triangle-isolation"
+    }
+}
+
+/// Run the direct-exchange baseline over an instance.
+///
+/// The returned outcome's `sender_view` is filled from the receivers'
+/// ground truth: the baseline has no feedback phase, so it provides **no**
+/// sender awareness of its own — one of the properties f-AME adds.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn run_direct_exchange<A>(
+    instance: &AmeInstance,
+    t: usize,
+    passes: usize,
+    adversary: A,
+    seed: u64,
+) -> Result<AmeOutcome, EngineError>
+where
+    A: Adversary<DirectFrame>,
+{
+    let c = t + 1;
+    let cfg = NetworkConfig::new(c, t)?;
+    let schedule = build_direct_schedule(instance.pairs(), c, passes);
+    let total_rounds = schedule.len() as u64;
+    let nodes: Vec<DirectNode> = (0..instance.n())
+        .map(|id| DirectNode::new(id, schedule.clone(), instance.outbox_of(id)))
+        .collect();
+    let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
+    let report = sim.run(total_rounds + 2)?;
+    let nodes = sim.into_nodes();
+    let mut outcome = AmeOutcome {
+        rounds: report.rounds,
+        ..AmeOutcome::default()
+    };
+    for &(v, w) in instance.pairs() {
+        let result = match nodes[w].inbox().get(&(v, w)) {
+            Some(m) => PairResult::Delivered(m.clone()),
+            None => PairResult::Failed,
+        };
+        outcome
+            .sender_view
+            .insert((v, w), result.is_delivered());
+        outcome.results.insert((v, w), result);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_network::adversaries::NoAdversary;
+    use removal_game::vertex_cover::min_cover_size;
+
+    /// Complete directed graph on `m` nodes.
+    fn complete_pairs(m: usize) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for v in 0..m {
+            for w in 0..m {
+                if v != w {
+                    pairs.push((v, w));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn schedule_is_node_disjoint_and_complete() {
+        let pairs = complete_pairs(6);
+        let schedule = build_direct_schedule(&pairs, 3, 1);
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for group in &schedule {
+            let mut nodes_used: BTreeSet<usize> = BTreeSet::new();
+            for slot in group {
+                assert!(nodes_used.insert(slot.edge.0));
+                assert!(nodes_used.insert(slot.edge.1));
+                seen.insert(slot.edge);
+            }
+            assert!(group.len() <= 3);
+        }
+        assert_eq!(seen.len(), pairs.len(), "every edge scheduled");
+    }
+
+    #[test]
+    fn quiet_network_delivers_everything() {
+        let t = 2;
+        let inst = AmeInstance::new(6, complete_pairs(6)).unwrap();
+        let outcome = run_direct_exchange(&inst, t, 1, NoAdversary, 3).unwrap();
+        assert_eq!(outcome.delivered_count(), inst.len());
+        assert!(outcome.authentication_violations(&inst).is_empty());
+    }
+
+    /// The headline: triangle isolation forces a disruption cover of
+    /// exactly 2t — the direct baseline cannot do better than
+    /// 2t-disruptability, while f-AME achieves t.
+    #[test]
+    fn triangle_attack_forces_2t_cover() {
+        let t = 2;
+        let n = 3 * t; // two disjoint triples
+        let inst = AmeInstance::new(n, complete_pairs(n)).unwrap();
+        let schedule = build_direct_schedule(inst.pairs(), t + 1, 3);
+        let adversary = TriangleAdversary::new(t, schedule);
+        let outcome = run_direct_exchange(&inst, t, 3, adversary, 9).unwrap();
+        // Intra-triple pairs all failed; their cover is exactly 2t.
+        let cover = min_cover_size(&outcome.disruption_edges());
+        assert_eq!(cover, 2 * t, "failed: {:?}", outcome.disruption_edges());
+        assert!(!outcome.is_d_disruptable(2 * t - 1));
+        // No forged message was ever accepted (scheduling still authentic).
+        assert!(outcome.authentication_violations(&inst).is_empty());
+        // Inter-triple pairs all got through.
+        for &(v, w) in inst.pairs() {
+            let same_triple = v / 3 == w / 3;
+            assert_eq!(
+                outcome.results[&(v, w)].is_delivered(),
+                !same_triple,
+                "pair {v}->{w}"
+            );
+        }
+    }
+}

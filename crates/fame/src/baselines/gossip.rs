@@ -1,0 +1,225 @@
+//! Oblivious randomized gossip in the spirit of Dolev et al. \[13\]
+//! ("Gossiping in a multi-channel radio network", DISC 2007).
+//!
+//! Every node owns one rumor. In each round every node independently picks
+//! a uniformly random channel and flips a coin: transmit its rumor set
+//! digest — here, its own rumor — or listen. The protocol is *oblivious*
+//! (no adaptation to the execution) and achieves only "almost gossip": all
+//! but `t` rumors reach all but `t` nodes.
+//!
+//! Two properties make it a foil for f-AME (experiment E9):
+//! * **slow**: completing the exchange takes far more rounds than f-AME's
+//!   scheduled moves (for general `t`, the bound in \[13\] is
+//!   `O((en/t)^{t+1})`);
+//! * **unauthenticated**: receivers accept any rumor frame, so a spoofing
+//!   adversary can seed forged rumors (we measure this too).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use radio_network::{
+    Action, Adversary, ChannelId, EngineError, NetworkConfig, Protocol, Reception, Simulation,
+};
+
+/// A rumor frame: claimed origin plus payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RumorFrame {
+    /// Claimed originator.
+    pub origin: usize,
+    /// The rumor bytes.
+    pub payload: Vec<u8>,
+}
+
+/// The canonical rumor payload of node `v`.
+pub fn rumor_of(v: usize) -> Vec<u8> {
+    format!("rumor:{v}").into_bytes()
+}
+
+/// A gossiping node.
+#[derive(Clone, Debug)]
+pub struct GossipNode {
+    id: usize,
+    c: usize,
+    rng: SmallRng,
+    known: Vec<Option<Vec<u8>>>,
+    done: bool,
+}
+
+impl GossipNode {
+    /// Node `id` among `n` nodes on `c` channels.
+    pub fn new(id: usize, n: usize, c: usize, seed: u64) -> Self {
+        let mut known = vec![None; n];
+        known[id] = Some(rumor_of(id));
+        GossipNode {
+            id,
+            c,
+            rng: SmallRng::seed_from_u64(seed ^ (id as u64) << 8 ^ 0x60551),
+            known,
+            done: false,
+        }
+    }
+
+    /// Rumors known so far (index = claimed origin).
+    pub fn known(&self) -> &[Option<Vec<u8>>] {
+        &self.known
+    }
+
+    /// Number of distinct origins known.
+    pub fn known_count(&self) -> usize {
+        self.known.iter().filter(|k| k.is_some()).count()
+    }
+
+    /// Externally signalled termination (the oracle runner decides).
+    pub fn stop(&mut self) {
+        self.done = true;
+    }
+}
+
+impl Protocol for GossipNode {
+    type Msg = RumorFrame;
+
+    fn begin_round(&mut self, _round: u64) -> Action<RumorFrame> {
+        if self.done {
+            return Action::Sleep;
+        }
+        let channel = ChannelId(self.rng.gen_range(0..self.c));
+        if self.rng.gen_bool(0.5) {
+            Action::Transmit {
+                channel,
+                frame: RumorFrame {
+                    origin: self.id,
+                    payload: rumor_of(self.id),
+                },
+            }
+        } else {
+            Action::Listen { channel }
+        }
+    }
+
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<RumorFrame>>) {
+        if let Some(Reception {
+            frame: Some(RumorFrame { origin, payload }),
+            ..
+        }) = reception
+        {
+            // Oblivious and unauthenticated: first writer wins.
+            if origin < self.known.len() && self.known[origin].is_none() {
+                self.known[origin] = Some(payload);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Result of a gossip run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GossipReport {
+    /// Rounds until the almost-gossip condition held (or the cap).
+    pub rounds: u64,
+    /// `true` if the condition was met within the cap.
+    pub completed: bool,
+    /// Number of (node, origin) slots holding a *forged* payload.
+    pub forged_slots: usize,
+}
+
+/// Run oblivious gossip until all but `t` nodes know all but `t` rumors
+/// (checked by an omniscient oracle every `check_every` rounds), or until
+/// `max_rounds`.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn run_gossip<A>(
+    n: usize,
+    t: usize,
+    adversary: A,
+    max_rounds: u64,
+    seed: u64,
+) -> Result<GossipReport, EngineError>
+where
+    A: Adversary<RumorFrame>,
+{
+    let c = t + 1;
+    let cfg = NetworkConfig::new(c, t)?;
+    let nodes: Vec<GossipNode> = (0..n).map(|id| GossipNode::new(id, n, c, seed)).collect();
+    let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
+
+    let target = n.saturating_sub(t);
+    let mut rounds = 0u64;
+    let mut completed = false;
+    while rounds < max_rounds {
+        sim.step()?;
+        rounds += 1;
+        if rounds.is_multiple_of(8) {
+            let satisfied = sim
+                .nodes()
+                .iter()
+                .filter(|node| node.known_count() >= target)
+                .count();
+            if satisfied >= target {
+                completed = true;
+                break;
+            }
+        }
+    }
+    let forged_slots = sim
+        .nodes()
+        .iter()
+        .map(|node| {
+            node.known()
+                .iter()
+                .enumerate()
+                .filter(|(origin, k)| matches!(k, Some(p) if p != &rumor_of(*origin)))
+                .count()
+        })
+        .sum();
+    Ok(GossipReport {
+        rounds,
+        completed,
+        forged_slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_network::adversaries::{NoAdversary, RandomJammer, Spoofer};
+
+    #[test]
+    fn gossip_completes_quietly() {
+        let report = run_gossip(12, 1, NoAdversary, 20_000, 3).unwrap();
+        assert!(report.completed, "gossip never completed: {report:?}");
+        assert_eq!(report.forged_slots, 0);
+    }
+
+    #[test]
+    fn gossip_survives_random_jamming_slowly() {
+        let quiet = run_gossip(12, 1, NoAdversary, 50_000, 3).unwrap();
+        let jammed = run_gossip(12, 1, RandomJammer::new(9), 50_000, 3).unwrap();
+        assert!(jammed.completed);
+        assert!(
+            jammed.rounds >= quiet.rounds,
+            "jamming should not speed gossip up: quiet={} jammed={}",
+            quiet.rounds,
+            jammed.rounds
+        );
+    }
+
+    /// The authentication gap: a spoofer seeds forged rumors that honest
+    /// nodes accept — something structurally impossible in f-AME.
+    #[test]
+    fn gossip_accepts_forged_rumors() {
+        let spoofer = Spoofer::new(4, |_round, ch: ChannelId| RumorFrame {
+            origin: 0,
+            payload: format!("forged-on-{}", ch.index()).into_bytes(),
+        });
+        let report = run_gossip(12, 1, spoofer, 20_000, 11).unwrap();
+        assert!(
+            report.forged_slots > 0,
+            "expected forged rumors to be accepted: {report:?}"
+        );
+    }
+}

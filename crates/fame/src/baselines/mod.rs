@@ -1,0 +1,16 @@
+//! Baseline protocols the paper compares against (or uses as foils).
+//!
+//! * [`naive`] — a purely randomized exchange with no authentication
+//!   structure; Theorem 2's *simulating adversary* makes receivers accept
+//!   forged messages about half the time (experiment E5).
+//! * [`direct`] — deterministic direct scheduling without surrogates; the
+//!   *triangle-isolation* attack from Section 5 pins its disruption cover
+//!   to `2t`, twice f-AME's bound (experiment E6). A simple modification of
+//!   this baseline is also the paper's Section 8 sketch for tolerating
+//!   Byzantine corruptions at `2t`-disruptability.
+//! * [`gossip`] — an oblivious randomized gossip in the spirit of
+//!   Dolev et al. \[13\]; used for the who-wins comparison of experiment E9.
+
+pub mod direct;
+pub mod gossip;
+pub mod naive;

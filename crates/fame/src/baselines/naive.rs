@@ -1,0 +1,298 @@
+//! The naive purely-randomized exchange, and Theorem 2's simulating
+//! adversary that defeats it.
+//!
+//! Protocol: `t` disjoint sender/receiver pairs. Every round each sender
+//! broadcasts its message on a uniformly random channel; each receiver
+//! listens on a uniformly random channel and **accepts the first frame
+//! addressed to it** — there is no schedule, so the receiver has no way to
+//! tell who transmitted.
+//!
+//! Theorem 2's adversary simulates every sender with the same channel
+//! distribution but a *forged* payload. To a receiver, the real and
+//! simulated executions are statistically indistinguishable, so the first
+//! accepted frame is forged with probability `≈ 1/2` — the experiment E5
+//! measures exactly that. f-AME's deterministic scheduling removes this
+//! ambiguity entirely (spoof acceptance is structurally zero).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use radio_network::{
+    Action, Adversary, AdversaryAction, AdversaryView, ChannelId, EngineError, Emission,
+    NetworkConfig, Protocol, Reception, Simulation,
+};
+
+/// A frame of the naive protocol: claimed source, destination, payload.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NaiveFrame {
+    /// Claimed sender.
+    pub from: usize,
+    /// Intended receiver.
+    pub to: usize,
+    /// The payload ("real" or forged).
+    pub payload: Vec<u8>,
+}
+
+/// The canonical real payload for pair `i`.
+pub fn real_payload(i: usize) -> Vec<u8> {
+    format!("real:{i}").into_bytes()
+}
+
+/// The forged payload Theorem 2's adversary disseminates for pair `i`.
+pub fn fake_payload(i: usize) -> Vec<u8> {
+    format!("fake:{i}").into_bytes()
+}
+
+/// One node of the naive protocol. Nodes `0..t` send to nodes `t..2t`
+/// (pair `i` is `(i, i + t)`).
+#[derive(Clone, Debug)]
+pub struct NaiveNode {
+    id: usize,
+    t: usize,
+    c: usize,
+    remaining: u64,
+    rng: SmallRng,
+    accepted: Option<Vec<u8>>,
+}
+
+impl NaiveNode {
+    /// Node `id` on `c` channels, with `t` pairs, running for `rounds`.
+    pub fn new(id: usize, t: usize, c: usize, rounds: u64, seed: u64) -> Self {
+        NaiveNode {
+            id,
+            t,
+            c,
+            remaining: rounds,
+            rng: SmallRng::seed_from_u64(seed ^ (id as u64) << 16 ^ 0x4A1F),
+            accepted: None,
+        }
+    }
+
+    /// What the receiver accepted, if anything.
+    pub fn accepted(&self) -> Option<&Vec<u8>> {
+        self.accepted.as_ref()
+    }
+
+    fn is_sender(&self) -> bool {
+        self.id < self.t
+    }
+
+    fn is_receiver(&self) -> bool {
+        self.id >= self.t && self.id < 2 * self.t
+    }
+}
+
+impl Protocol for NaiveNode {
+    type Msg = NaiveFrame;
+
+    fn begin_round(&mut self, _round: u64) -> Action<NaiveFrame> {
+        if self.remaining == 0 {
+            return Action::Sleep;
+        }
+        let channel = ChannelId(self.rng.gen_range(0..self.c));
+        if self.is_sender() {
+            Action::Transmit {
+                channel,
+                frame: NaiveFrame {
+                    from: self.id,
+                    to: self.id + self.t,
+                    payload: real_payload(self.id),
+                },
+            }
+        } else if self.is_receiver() {
+            Action::Listen { channel }
+        } else {
+            Action::Sleep
+        }
+    }
+
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<NaiveFrame>>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+        }
+        if self.accepted.is_none() {
+            if let Some(Reception {
+                frame: Some(frame), ..
+            }) = reception
+            {
+                // No authentication structure: accept anything addressed to
+                // me with the right claimed source.
+                if frame.to == self.id && frame.from + self.t == self.id {
+                    self.accepted = Some(frame.payload);
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Theorem 2's adversary: simulates each sender with the same channel
+/// distribution and a forged payload.
+#[derive(Clone, Debug)]
+pub struct SimulatingAdversary {
+    t: usize,
+    rng: SmallRng,
+}
+
+impl SimulatingAdversary {
+    /// Simulate the `t` senders.
+    pub fn new(t: usize, seed: u64) -> Self {
+        SimulatingAdversary {
+            t,
+            rng: SmallRng::seed_from_u64(seed ^ 0x0005_1AD1_u64),
+        }
+    }
+}
+
+impl Adversary<NaiveFrame> for SimulatingAdversary {
+    fn act(
+        &mut self,
+        _round: u64,
+        view: &AdversaryView<'_, NaiveFrame>,
+    ) -> AdversaryAction<NaiveFrame> {
+        let mut action = AdversaryAction::idle();
+        let mut used = vec![false; view.channels];
+        for i in 0..self.t {
+            // Same distribution as the honest sender: uniform channel.
+            let ch = self.rng.gen_range(0..view.channels);
+            if used[ch] {
+                // Two simulated senders on one channel: their frames
+                // collide anyway; emitting one is equivalent.
+                continue;
+            }
+            used[ch] = true;
+            action.push(
+                ChannelId(ch),
+                Emission::Spoof(NaiveFrame {
+                    from: i,
+                    to: i + self.t,
+                    payload: fake_payload(i),
+                }),
+            );
+        }
+        action
+    }
+
+    fn name(&self) -> &'static str {
+        "thm2-simulating"
+    }
+}
+
+/// Result of a naive-exchange experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NaiveReport {
+    /// Receivers that accepted the genuine payload.
+    pub accepted_real: usize,
+    /// Receivers that accepted the forged payload.
+    pub accepted_fake: usize,
+    /// Receivers that accepted nothing.
+    pub undecided: usize,
+}
+
+impl NaiveReport {
+    /// Fraction of deciding receivers that were fooled.
+    pub fn fooled_fraction(&self) -> f64 {
+        let decided = self.accepted_real + self.accepted_fake;
+        if decided == 0 {
+            0.0
+        } else {
+            self.accepted_fake as f64 / decided as f64
+        }
+    }
+}
+
+/// Run the naive exchange with `t` pairs on `t + 1` channels for `rounds`
+/// rounds against the simulating adversary.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn run_naive_exchange(
+    n: usize,
+    t: usize,
+    rounds: u64,
+    seed: u64,
+) -> Result<NaiveReport, EngineError> {
+    assert!(n >= 2 * t, "need at least 2t nodes");
+    let c = t + 1;
+    let cfg = NetworkConfig::new(c, t)?;
+    let nodes: Vec<NaiveNode> = (0..n).map(|id| NaiveNode::new(id, t, c, rounds, seed)).collect();
+    let adversary = SimulatingAdversary::new(t, seed.wrapping_add(1));
+    let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
+    sim.run(rounds + 2)?;
+    let mut report = NaiveReport::default();
+    for node in sim.nodes() {
+        if !node.is_receiver() {
+            continue;
+        }
+        let i = node.id - t;
+        match node.accepted() {
+            Some(p) if p == &real_payload(i) => report.accepted_real += 1,
+            Some(p) if p == &fake_payload(i) => report.accepted_fake += 1,
+            Some(_) => {}
+            None => report.undecided += 1,
+        }
+    }
+    Ok(report)
+}
+
+/// Aggregate many independent trials (experiment E5).
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn naive_exchange_trials(
+    n: usize,
+    t: usize,
+    rounds: u64,
+    trials: u64,
+    seed: u64,
+) -> Result<NaiveReport, EngineError> {
+    let mut total = NaiveReport::default();
+    for trial in 0..trials {
+        let r = run_naive_exchange(n, t, rounds, seed.wrapping_add(trial * 7919))?;
+        total.accepted_real += r.accepted_real;
+        total.accepted_fake += r.accepted_fake;
+        total.undecided += r.undecided;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Theorem 2 in action: with the simulating adversary, roughly half of
+    /// the accepted messages are forged.
+    #[test]
+    fn simulating_adversary_fools_half() {
+        let report = naive_exchange_trials(10, 2, 60, 60, 42).unwrap();
+        let f = report.fooled_fraction();
+        assert!(
+            (0.35..=0.65).contains(&f),
+            "expected ~50% fooled, got {f:.3} ({report:?})"
+        );
+        // Nearly everyone decides (plenty of rounds).
+        assert!(report.undecided < 10, "{report:?}");
+    }
+
+    /// Without the adversary the protocol is fine — the problem is not
+    /// delivery but authentication.
+    #[test]
+    fn honest_runs_deliver_real_payloads() {
+        let c = 3;
+        let cfg = NetworkConfig::new(c, 2).unwrap();
+        let nodes: Vec<NaiveNode> = (0..10).map(|id| NaiveNode::new(id, 2, c, 80, 5)).collect();
+        let mut sim = Simulation::new(cfg, nodes, radio_network::adversaries::NoAdversary, 5)
+            .unwrap();
+        sim.run(90).unwrap();
+        for node in sim.nodes() {
+            if node.is_receiver() {
+                assert_eq!(node.accepted(), Some(&real_payload(node.id - 2)));
+            }
+        }
+    }
+}

@@ -1,0 +1,718 @@
+//! Shared secret group key establishment (Section 6).
+//!
+//! Three parts, each an independently simulated protocol phase:
+//!
+//! 1. **Initialize shared keys** — run f-AME over the *(t+1)-leader
+//!    spanner* with one-round Diffie–Hellman messages. Every pair that
+//!    f-AME serves in both directions derives a pairwise secret key; at
+//!    most `t` nodes (a vertex cover of the disruption graph) are left out.
+//!    Cost: `O(n·t³·log n)` rounds — the dominant part.
+//! 2. **Disseminate leader keys** — each *complete* leader (one that
+//!    exchanged keys with at least `n − t` nodes) picks a leader key and
+//!    sends it to each partner during a dedicated epoch, encrypted under
+//!    their pairwise key and hopping on a channel sequence derived from
+//!    that key — the adversary, lacking the key, cannot predict the
+//!    channel and blocks each round with probability at most `t/C`.
+//! 3. **Key agreement** — `2t + 1` non-leader reporters broadcast which
+//!    leader they heard from (smallest first) together with a hash of that
+//!    leader's key. A node adopts the smallest leader for which it can
+//!    *verify* at least `t + 1` distinct reports (verification requires
+//!    knowing the leader key, which forged reports cannot survive).
+//!
+//! The result: all but at most `t` nodes agree on one group key the
+//! adversary does not know.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use radio_crypto::cipher::SealedBox;
+use radio_crypto::dh::{DhConfig, KeyPair, PublicKey};
+use radio_crypto::key::{Digest, SymmetricKey};
+use radio_crypto::prf::ChannelHopper;
+use removal_game::spanner::leader_spanner;
+
+use radio_network::{
+    Action, Adversary, ChannelId, NetworkConfig, Protocol, Reception, Simulation, Stats,
+    Trace, TraceRetention,
+};
+
+use crate::problem::{AmeInstance, PairResult};
+use crate::protocol::{run_fame, FameError};
+use crate::{FameFrame, Params};
+
+/// Frames of Parts 2 and 3.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum KeyFrame {
+    /// Part 2: an encrypted, authenticated leader-key (or "incomplete")
+    /// transmission under a pairwise key.
+    Sealed(SealedBox),
+    /// Part 3: a leader report.
+    Report {
+        /// The reporting node (one of the `2t+1` reporters).
+        reporter: usize,
+        /// The smallest leader the reporter received a key from.
+        leader: usize,
+        /// Fingerprint of that leader key (verifiable only by nodes that
+        /// also hold the key — unforgeable for keys the adversary lacks).
+        key_hash: Digest,
+    },
+}
+
+/// Which leaders are complete, and every node's pairwise keys — the public
+/// + private outputs of Part 1 consumed by Part 2.
+#[derive(Clone, Debug)]
+pub struct PairwiseKeys {
+    /// `keys[x]`: partner -> shared symmetric key (for nodes paired with a
+    /// leader in both directions).
+    pub keys: Vec<BTreeMap<usize, SymmetricKey>>,
+    /// Leaders that exchanged keys with at least `n − t` nodes.
+    pub complete_leaders: Vec<usize>,
+    /// Rounds Part 1 took.
+    pub rounds: u64,
+    /// Game moves f-AME simulated.
+    pub moves: usize,
+    /// Network stats of Part 1.
+    pub stats: Stats,
+}
+
+/// Derive Part 1 from an f-AME run over the leader spanner.
+///
+/// # Errors
+///
+/// Propagates f-AME failures.
+pub fn establish_pairwise_keys<A>(
+    params: &Params,
+    adversary: A,
+    seed: u64,
+) -> Result<PairwiseKeys, FameError>
+where
+    A: Adversary<FameFrame>,
+{
+    let n = params.n();
+    let t = params.t();
+    let dh = DhConfig::default();
+    let keypairs: Vec<KeyPair> = (0..n)
+        .map(|v| KeyPair::generate(&dh, seed ^ ((v as u64) << 24) ^ 0xD1F))
+        .collect();
+
+    let pairs = leader_spanner(n, t);
+    let mut instance = AmeInstance::new(n, pairs.iter().copied()).expect("valid spanner");
+    for &(v, w) in &pairs {
+        instance = instance
+            .with_message(v, w, keypairs[v].public().0.to_be_bytes().to_vec())
+            .expect("pair exists");
+    }
+
+    let run = run_fame(&instance, params, adversary, seed)?;
+
+    // Pairwise keys: both directions must have been delivered; each side
+    // derives the key from the *received* public value (authenticated by
+    // f-AME), not from an oracle.
+    let mut keys: Vec<BTreeMap<usize, SymmetricKey>> = vec![BTreeMap::new(); n];
+    let mut partners: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for &(v, w) in instance.pairs() {
+        if v > w {
+            continue; // handle each unordered pair once
+        }
+        let fwd = &run.outcome.results[&(v, w)];
+        let bwd = &run.outcome.results[&(w, v)];
+        if let (PairResult::Delivered(pv_bytes), PairResult::Delivered(pw_bytes)) = (fwd, bwd) {
+            let pub_v = PublicKey(u64::from_be_bytes(
+                pv_bytes.as_slice().try_into().expect("8-byte public key"),
+            ));
+            let pub_w = PublicKey(u64::from_be_bytes(
+                pw_bytes.as_slice().try_into().expect("8-byte public key"),
+            ));
+            // w received v's key; v received w's key.
+            keys[w].insert(v, keypairs[w].shared_key(pub_v));
+            keys[v].insert(w, keypairs[v].shared_key(pub_w));
+            partners[v].insert(w);
+            partners[w].insert(v);
+        }
+    }
+
+    let complete_leaders: Vec<usize> = (0..=t)
+        .filter(|&l| partners[l].len() + 1 >= n - t)
+        .collect();
+
+    Ok(PairwiseKeys {
+        keys,
+        complete_leaders,
+        rounds: run.outcome.rounds,
+        moves: run.moves,
+        stats: run.stats,
+    })
+}
+
+/// The deterministic Part 2 epoch order: `(leader, partner)` pairs.
+pub fn part2_epochs(params: &Params) -> Vec<(usize, usize)> {
+    let mut epochs = Vec::new();
+    for v in 0..=params.t() {
+        for w in 0..params.n() {
+            if w != v {
+                epochs.push((v, w));
+            }
+        }
+    }
+    epochs
+}
+
+/// Part 2 node: leaders disseminate their leader key to every partner over
+/// secret hopping sequences.
+#[derive(Clone, Debug)]
+pub struct Part2Node {
+    id: usize,
+    params: Params,
+    epochs: Vec<(usize, usize)>,
+    epoch_len: u64,
+    pairwise: BTreeMap<usize, SymmetricKey>,
+    /// My leader key, if I am a complete leader.
+    my_leader_key: Option<SymmetricKey>,
+    /// Leader keys received: leader -> key.
+    received: BTreeMap<usize, SymmetricKey>,
+    round: u64,
+}
+
+impl Part2Node {
+    /// Build node `id` for Part 2.
+    pub fn new(
+        id: usize,
+        params: Params,
+        pairwise: BTreeMap<usize, SymmetricKey>,
+        my_leader_key: Option<SymmetricKey>,
+    ) -> Self {
+        Part2Node {
+            id,
+            epochs: part2_epochs(&params),
+            epoch_len: params.epoch_rounds(),
+            params,
+            pairwise,
+            my_leader_key,
+            received: BTreeMap::new(),
+            round: 0,
+        }
+    }
+
+    /// Leader keys this node received, keyed by leader.
+    pub fn received(&self) -> &BTreeMap<usize, SymmetricKey> {
+        &self.received
+    }
+
+    fn total_rounds(&self) -> u64 {
+        self.epochs.len() as u64 * self.epoch_len
+    }
+
+    fn current_epoch(&self) -> Option<(usize, usize)> {
+        self.epochs
+            .get((self.round / self.epoch_len) as usize)
+            .copied()
+    }
+}
+
+impl Protocol for Part2Node {
+    type Msg = KeyFrame;
+
+    fn begin_round(&mut self, _round: u64) -> Action<KeyFrame> {
+        let Some((v, w)) = self.current_epoch() else {
+            return Action::Sleep;
+        };
+        if self.id == v {
+            let Some(k) = self.pairwise.get(&w) else {
+                return Action::Sleep; // no shared secret: stay silent
+            };
+            let channel = ChannelHopper::new(k, self.params.c()).channel_for(self.round);
+            // Complete leader sends its key (tag 1); otherwise "incomplete"
+            // (tag 0). Both encrypted + MACed under the pairwise key.
+            let payload = match &self.my_leader_key {
+                Some(lk) => {
+                    let mut p = vec![1u8];
+                    p.extend_from_slice(lk.as_bytes());
+                    p
+                }
+                None => vec![0u8],
+            };
+            Action::Transmit {
+                channel: ChannelId(channel),
+                frame: KeyFrame::Sealed(SealedBox::seal(k, self.round, &payload)),
+            }
+        } else if self.id == w {
+            let Some(k) = self.pairwise.get(&v) else {
+                return Action::Sleep;
+            };
+            let channel = ChannelHopper::new(k, self.params.c()).channel_for(self.round);
+            Action::Listen {
+                channel: ChannelId(channel),
+            }
+        } else {
+            Action::Sleep
+        }
+    }
+
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<KeyFrame>>) {
+        if let Some((v, w)) = self.current_epoch() {
+            if self.id == w {
+                if let Some(Reception {
+                    frame: Some(KeyFrame::Sealed(sealed)),
+                    ..
+                }) = reception
+                {
+                    // The MAC rejects spoofed/foreign frames outright.
+                    if let Some(k) = self.pairwise.get(&v) {
+                        if let Some(payload) = sealed.open(k) {
+                            if payload.first() == Some(&1) && payload.len() == 33 {
+                                let key_bytes: [u8; 32] =
+                                    payload[1..].try_into().expect("33-byte payload");
+                                self.received
+                                    .entry(v)
+                                    .or_insert_with(|| SymmetricKey::from_bytes(key_bytes));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.round += 1;
+    }
+
+    fn is_done(&self) -> bool {
+        self.round >= self.total_rounds()
+    }
+}
+
+/// The deterministic reporter set `S`: the first `2t + 1` non-leaders.
+pub fn reporters(params: &Params) -> Vec<usize> {
+    let t = params.t();
+    (t + 1..t + 1 + 2 * t + 1).collect()
+}
+
+/// Part 3 node: reporters broadcast (smallest leader, key hash); everyone
+/// verifies and adopts the smallest leader with `t + 1` verified reports.
+#[derive(Clone, Debug)]
+pub struct Part3Node {
+    id: usize,
+    params: Params,
+    reporters: Vec<usize>,
+    epoch_len: u64,
+    /// Leader keys I know (own key for a leader, received keys otherwise).
+    leader_keys: BTreeMap<usize, SymmetricKey>,
+    /// My report, if I am a reporter with something to report.
+    my_report: Option<(usize, Digest)>,
+    /// Verified reports heard: leader -> set of reporters.
+    verified: BTreeMap<usize, BTreeSet<usize>>,
+    round: u64,
+    rng: SmallRng,
+}
+
+impl Part3Node {
+    /// Build node `id` for Part 3 from the leader keys it holds.
+    pub fn new(
+        id: usize,
+        params: Params,
+        leader_keys: BTreeMap<usize, SymmetricKey>,
+        seed: u64,
+    ) -> Self {
+        let reporters = reporters(&params);
+        let my_report = if reporters.contains(&id) {
+            leader_keys
+                .iter()
+                .next()
+                .map(|(&leader, key)| (leader, key.fingerprint()))
+        } else {
+            None
+        };
+        let mut verified: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        if let Some((leader, _)) = my_report {
+            verified.entry(leader).or_default().insert(id);
+        }
+        Part3Node {
+            id,
+            epoch_len: params.report_epoch_rounds(),
+            params,
+            reporters,
+            leader_keys,
+            my_report,
+            verified,
+            round: 0,
+            rng: SmallRng::seed_from_u64(seed ^ (id as u64) << 40 ^ 0x9A47),
+        }
+    }
+
+    fn total_rounds(&self) -> u64 {
+        self.reporters.len() as u64 * self.epoch_len
+    }
+
+    fn current_reporter(&self) -> Option<usize> {
+        self.reporters
+            .get((self.round / self.epoch_len) as usize)
+            .copied()
+    }
+
+    /// The adoption rule: the smallest leader with at least `t + 1`
+    /// verified, distinct reports.
+    pub fn adopted(&self) -> Option<(usize, SymmetricKey)> {
+        let need = self.params.t() + 1;
+        self.verified
+            .iter()
+            .find(|(_, who)| who.len() >= need)
+            .and_then(|(&leader, _)| {
+                self.leader_keys.get(&leader).map(|k| (leader, *k))
+            })
+    }
+}
+
+impl Protocol for Part3Node {
+    type Msg = KeyFrame;
+
+    fn begin_round(&mut self, _round: u64) -> Action<KeyFrame> {
+        let Some(reporter) = self.current_reporter() else {
+            return Action::Sleep;
+        };
+        let channel = ChannelId(self.rng.gen_range(0..self.params.c()));
+        if self.id == reporter {
+            match self.my_report {
+                Some((leader, key_hash)) => Action::Transmit {
+                    channel,
+                    frame: KeyFrame::Report {
+                        reporter,
+                        leader,
+                        key_hash,
+                    },
+                },
+                None => Action::Sleep, // nothing to report
+            }
+        } else {
+            Action::Listen { channel }
+        }
+    }
+
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<KeyFrame>>) {
+        let current = self.current_reporter();
+        if let Some(Reception {
+            frame:
+                Some(KeyFrame::Report {
+                    reporter,
+                    leader,
+                    key_hash,
+                }),
+            ..
+        }) = reception
+        {
+            // Accept only reports attributed to the epoch's owner, and only
+            // if we can verify the hash against a leader key we hold.
+            if Some(reporter) == current {
+                if let Some(k) = self.leader_keys.get(&leader) {
+                    if k.fingerprint() == key_hash {
+                        self.verified.entry(leader).or_default().insert(reporter);
+                    }
+                }
+            }
+        }
+        self.round += 1;
+    }
+
+    fn is_done(&self) -> bool {
+        self.round >= self.total_rounds()
+    }
+}
+
+/// Per-part round counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct GroupKeyRounds {
+    /// Part 1 (f-AME over the leader spanner).
+    pub part1: u64,
+    /// Part 2 (leader-key dissemination).
+    pub part2: u64,
+    /// Part 3 (agreement).
+    pub part3: u64,
+}
+
+impl GroupKeyRounds {
+    /// Total rounds across all parts.
+    pub fn total(&self) -> u64 {
+        self.part1 + self.part2 + self.part3
+    }
+}
+
+/// The outcome of the full group-key protocol.
+#[derive(Clone, Debug)]
+pub struct GroupKeyReport {
+    /// Per node: the adopted `(leader, key)`, or `None` for nodes that
+    /// (correctly) know they have no group key.
+    pub adopted: Vec<Option<(usize, SymmetricKey)>>,
+    /// Complete leaders after Part 1.
+    pub complete_leaders: Vec<usize>,
+    /// Round counts per part.
+    pub rounds: GroupKeyRounds,
+    /// f-AME game moves in Part 1.
+    pub fame_moves: usize,
+    /// Part 2 trace (kept for secrecy audits when `keep_traces`).
+    pub part2_trace: Option<Trace<KeyFrame>>,
+    /// Part 3 trace (kept for secrecy audits when `keep_traces`).
+    pub part3_trace: Option<Trace<KeyFrame>>,
+}
+
+impl GroupKeyReport {
+    /// Number of nodes holding a group key.
+    pub fn holders(&self) -> usize {
+        self.adopted.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// `true` if every holder holds the same `(leader, key)`.
+    pub fn agreement(&self) -> bool {
+        let mut it = self.adopted.iter().flatten();
+        match it.next() {
+            Some(first) => it.all(|a| a == first),
+            None => true,
+        }
+    }
+
+    /// The agreed group key, if any holder exists.
+    pub fn group_key(&self) -> Option<SymmetricKey> {
+        self.adopted.iter().flatten().next().map(|&(_, k)| k)
+    }
+}
+
+/// Run the complete three-part protocol.
+///
+/// `adv1/adv2/adv3` attack the three phases independently (the model's
+/// adversary is adaptive; fresh state per phase only strengthens the
+/// experiment surface). Set `keep_traces` to retain the Part 2/3 traces for
+/// secrecy auditing.
+///
+/// # Errors
+///
+/// Propagates phase failures.
+pub fn establish_group_key<A1, A2, A3>(
+    params: &Params,
+    adv1: A1,
+    adv2: A2,
+    adv3: A3,
+    seed: u64,
+    keep_traces: bool,
+) -> Result<GroupKeyReport, FameError>
+where
+    A1: Adversary<FameFrame>,
+    A2: Adversary<KeyFrame>,
+    A3: Adversary<KeyFrame>,
+{
+    let n = params.n();
+    let t = params.t();
+
+    // ---- Part 1 -----------------------------------------------------------
+    let pairwise = establish_pairwise_keys(params, adv1, seed)?;
+
+    // Leader keys: fresh random keys for complete leaders.
+    let leader_key_of = |l: usize| -> SymmetricKey {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x1EAD ^ ((l as u64) << 16));
+        let mut bytes = [0u8; 32];
+        rng.fill(&mut bytes);
+        SymmetricKey::from_bytes(bytes)
+    };
+
+    // ---- Part 2 -----------------------------------------------------------
+    let retention = if keep_traces {
+        TraceRetention::All
+    } else {
+        TraceRetention::LastRounds(8)
+    };
+    let cfg = NetworkConfig::new(params.c(), t)
+        .map_err(FameError::Engine)?
+        .with_retention(retention);
+    let part2_nodes: Vec<Part2Node> = (0..n)
+        .map(|id| {
+            let my_leader_key = if pairwise.complete_leaders.contains(&id) {
+                Some(leader_key_of(id))
+            } else {
+                None
+            };
+            Part2Node::new(id, *params, pairwise.keys[id].clone(), my_leader_key)
+        })
+        .collect();
+    let mut sim2 = Simulation::new(cfg, part2_nodes, adv2, seed).map_err(FameError::Engine)?;
+    let epochs2 = part2_epochs(params).len() as u64 * params.epoch_rounds();
+    let report2 = sim2.run(epochs2 + 2).map_err(FameError::Engine)?;
+    let part2_trace = keep_traces.then(|| sim2.trace().clone());
+    let part2_nodes = sim2.into_nodes();
+
+    // ---- Part 3 -----------------------------------------------------------
+    let cfg3 = NetworkConfig::new(params.c(), t)
+        .map_err(FameError::Engine)?
+        .with_retention(retention);
+    let part3_nodes: Vec<Part3Node> = (0..n)
+        .map(|id| {
+            let mut leader_keys = part2_nodes[id].received().clone();
+            if pairwise.complete_leaders.contains(&id) {
+                leader_keys.insert(id, leader_key_of(id));
+            }
+            Part3Node::new(id, *params, leader_keys, seed)
+        })
+        .collect();
+    let mut sim3 = Simulation::new(cfg3, part3_nodes, adv3, seed).map_err(FameError::Engine)?;
+    let epochs3 = reporters(params).len() as u64 * params.report_epoch_rounds();
+    let report3 = sim3.run(epochs3 + 2).map_err(FameError::Engine)?;
+    let part3_trace = keep_traces.then(|| sim3.trace().clone());
+    let part3_nodes = sim3.into_nodes();
+
+    Ok(GroupKeyReport {
+        adopted: part3_nodes.iter().map(Part3Node::adopted).collect(),
+        complete_leaders: pairwise.complete_leaders,
+        rounds: GroupKeyRounds {
+            part1: pairwise.rounds,
+            part2: report2.rounds,
+            part3: report3.rounds,
+        },
+        fame_moves: pairwise.moves,
+        part2_trace,
+        part3_trace,
+    })
+}
+
+#[cfg(test)]
+mod part_unit_tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::minimal(40, 2).unwrap()
+    }
+
+    #[test]
+    fn part2_epoch_order_covers_every_leader_pair() {
+        let p = params();
+        let epochs = part2_epochs(&p);
+        assert_eq!(epochs.len(), (p.t() + 1) * (p.n() - 1));
+        for v in 0..=p.t() {
+            for w in 0..p.n() {
+                if v != w {
+                    assert!(epochs.contains(&(v, w)), "missing epoch ({v},{w})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn part2_silent_without_pairwise_key() {
+        use radio_network::Protocol;
+        let p = params();
+        // Node 0 is the leader of epoch 0 but holds no pairwise keys.
+        let mut node = Part2Node::new(0, p, BTreeMap::new(), None);
+        assert!(matches!(
+            node.begin_round(0),
+            radio_network::Action::Sleep
+        ));
+    }
+
+    #[test]
+    fn part3_adoption_needs_t_plus_1_verified_reports() {
+        let p = params();
+        let key = SymmetricKey::from_bytes([9u8; 32]);
+        let mut leader_keys = BTreeMap::new();
+        leader_keys.insert(1usize, key);
+        // Reporter id 3 is in S; it self-reports leader 1.
+        let node = Part3Node::new(3, p, leader_keys.clone(), 5);
+        // Only its own report so far: not enough (needs t+1 = 3).
+        assert_eq!(node.adopted(), None);
+
+        // Simulate hearing two more verified reports.
+        let mut node = node;
+        node.verified.entry(1).or_default().insert(4);
+        node.verified.entry(1).or_default().insert(5);
+        assert_eq!(node.adopted(), Some((1, key)));
+    }
+
+    #[test]
+    fn part3_prefers_smallest_verified_leader() {
+        let p = params();
+        let k0 = SymmetricKey::from_bytes([1u8; 32]);
+        let k2 = SymmetricKey::from_bytes([2u8; 32]);
+        let mut leader_keys = BTreeMap::new();
+        leader_keys.insert(0usize, k0);
+        leader_keys.insert(2usize, k2);
+        let mut node = Part3Node::new(20, p, leader_keys, 7);
+        for r in [4usize, 5, 6] {
+            node.verified.entry(2).or_default().insert(r);
+        }
+        for r in [4usize, 5, 6] {
+            node.verified.entry(0).or_default().insert(r);
+        }
+        assert_eq!(node.adopted(), Some((0, k0)));
+    }
+
+    #[test]
+    fn part3_cannot_adopt_unknown_key() {
+        let p = params();
+        // Reports verified for leader 0, but this node never got K_0.
+        let mut node = Part3Node::new(20, p, BTreeMap::new(), 7);
+        for r in [4usize, 5, 6] {
+            node.verified.entry(0).or_default().insert(r);
+        }
+        assert_eq!(node.adopted(), None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_network::adversaries::{NoAdversary, RandomJammer};
+
+    fn params() -> Params {
+        Params::minimal(40, 2).unwrap()
+    }
+
+    #[test]
+    fn quiet_network_agrees_on_a_key() {
+        let p = params();
+        let report =
+            establish_group_key(&p, NoAdversary, NoAdversary, NoAdversary, 3, false).unwrap();
+        assert!(report.agreement());
+        assert!(
+            report.holders() >= p.n() - p.t(),
+            "only {} of {} hold the key",
+            report.holders(),
+            p.n()
+        );
+        assert!(!report.complete_leaders.is_empty());
+    }
+
+    #[test]
+    fn jammed_network_still_agrees() {
+        let p = params();
+        let report = establish_group_key(
+            &p,
+            RandomJammer::new(1),
+            RandomJammer::new(2),
+            RandomJammer::new(3),
+            5,
+            false,
+        )
+        .unwrap();
+        assert!(report.agreement(), "holders disagree on the group key");
+        assert!(
+            report.holders() >= p.n() - p.t(),
+            "only {} of {} hold the key",
+            report.holders(),
+            p.n()
+        );
+    }
+
+    #[test]
+    fn part1_dominates_cost() {
+        let p = params();
+        let report =
+            establish_group_key(&p, NoAdversary, NoAdversary, NoAdversary, 9, false).unwrap();
+        assert!(
+            report.rounds.part1 > report.rounds.part2 + report.rounds.part3,
+            "paper: total cost dominated by Part 1; got {:?}",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn reporters_are_nonleaders() {
+        let p = params();
+        let s = reporters(&p);
+        assert_eq!(s.len(), 2 * p.t() + 1);
+        assert!(s.iter().all(|&r| r > p.t()));
+    }
+}

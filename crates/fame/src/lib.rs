@@ -1,0 +1,67 @@
+//! # fame — fast Authenticated Message Exchange
+//!
+//! The primary contribution of Dolev, Gilbert, Guerraoui & Newport,
+//! *Secure Communication Over Radio Channels* (PODC 2008), plus everything
+//! built on top of it:
+//!
+//! * [`feedback`] — the `communication-feedback` routine (Figure 1,
+//!   Lemma 5);
+//! * [`schedule`] — deterministic move scheduling with surrogates and
+//!   witness blocks (Section 5.4);
+//! * [`protocol`] — **f-AME** itself: `t`-disruptable authenticated message
+//!   exchange in `O(|E|·t²·log n)` rounds (Theorem 6), with the wide-band
+//!   `C ≥ 2t` optimization of Section 5.5 selected automatically through
+//!   [`Params`];
+//! * [`adversaries`] — protocol-aware attackers (schedule-tracking jammers,
+//!   the triangle-isolation attack, Theorem 2's simulating adversary);
+//! * [`compact`] — the constant-message-size variant (Section 5.6): gossip
+//!   epochs, reconstruction-hash decoding, vector signatures;
+//! * [`group_key`] — shared secret group key establishment (Section 6);
+//! * [`longlived`] — the long-lived secure channel emulation (Section 7);
+//! * [`baselines`] — comparison protocols: direct scheduled exchange (only
+//!   `2t`-disruptable), oblivious gossip, and the naive randomized exchange
+//!   that Theorem 2's adversary defeats.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use fame::{AmeInstance, Params, run_fame};
+//! use radio_network::adversaries::RandomJammer;
+//!
+//! # fn main() -> Result<(), fame::FameError> {
+//! let params = Params::minimal(40, 2)?; // n=40 nodes, t=2, C=3 channels
+//! let pairs = [(0, 5), (1, 6), (2, 7)];
+//! let instance = AmeInstance::new(params.n(), pairs).unwrap();
+//! let run = run_fame(&instance, &params, RandomJammer::new(7), 42)?;
+//! // Theorem 6: the failed pairs have a vertex cover of at most t.
+//! assert!(run.outcome.is_d_disruptable(params.t()));
+//! // Definition 1: nothing forged was accepted, senders know what landed.
+//! assert!(run.outcome.authentication_violations(&instance).is_empty());
+//! assert!(run.outcome.awareness_violations().is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversaries;
+pub mod baselines;
+pub mod byzantine;
+pub mod compact;
+pub mod feedback;
+pub mod group_key;
+pub mod longlived;
+pub mod messages;
+pub mod params;
+pub mod pointtopoint;
+pub mod problem;
+pub mod protocol;
+pub mod residual;
+pub mod schedule;
+pub mod tree_feedback;
+
+pub use messages::{FameFrame, MessageVector, Payload};
+pub use params::{Params, ParamsError};
+pub use problem::{AmeInstance, AmeOutcome, PairResult};
+pub use protocol::{run_fame, run_fame_with_inspector, FameError, FameNode, FameRun};

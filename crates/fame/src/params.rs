@@ -1,0 +1,366 @@
+//! Protocol parameters: network shape plus explicit Θ-constants.
+//!
+//! The paper states all running times as `Θ(·)` with unspecified constants.
+//! [`Params`] makes every constant explicit and sweepable (experiment E11
+//! plots the w.h.p. "knee" as `feedback_scale` varies). Defaults are chosen
+//! so each union-bound event fails with probability at most `n^{-3}`.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parameter validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParamsError {
+    /// Fewer than `t + 1` channels — the model requires `t < C`.
+    TooFewChannels {
+        /// Channels requested.
+        c: usize,
+        /// Adversary budget.
+        t: usize,
+    },
+    /// `t` must be at least 1 for the protocols to be interesting.
+    ZeroThreshold,
+    /// Not enough nodes for a full schedule: the paper requires
+    /// `n > 3(t+1)^2 + 2(t+1)`; we require the slightly stronger
+    /// `n >= 3*cap + block*cap` (see [`Params::min_nodes`]).
+    TooFewNodes {
+        /// Nodes supplied.
+        n: usize,
+        /// Minimum required.
+        min: usize,
+    },
+    /// A scale multiplier must be positive.
+    NonPositiveScale {
+        /// Which multiplier was wrong.
+        which: &'static str,
+    },
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::TooFewChannels { c, t } => {
+                write!(f, "need C >= t+1 channels, got C={c}, t={t}")
+            }
+            ParamsError::ZeroThreshold => write!(f, "adversary threshold t must be >= 1"),
+            ParamsError::TooFewNodes { n, min } => {
+                write!(f, "need at least {min} nodes for the schedule, got {n}")
+            }
+            ParamsError::NonPositiveScale { which } => {
+                write!(f, "scale multiplier `{which}` must be positive")
+            }
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+/// Which feedback implementation a deployment uses (Section 5.5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FeedbackMode {
+    /// Figure 1's per-channel loop — any `C > t`.
+    Sequential,
+    /// The parallel-prefix merge tree — requires `C ≥ 2t²` (and `t ≥ 2`
+    /// for it to beat the sequential loop).
+    Tree,
+}
+
+/// All parameters of an f-AME deployment.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Params {
+    n: usize,
+    t: usize,
+    c: usize,
+    /// Multiplier on the `(C/(C-t))·ln n` feedback repetition count.
+    pub feedback_scale: f64,
+    /// Multiplier on the `t·ln n` epochs of group-key Part 2 and the
+    /// long-lived service.
+    pub epoch_scale: f64,
+    /// Multiplier on the `t²·ln n` epochs of the gossip phase (§5.6) and
+    /// group-key Part 3.
+    pub gossip_scale: f64,
+}
+
+impl Params {
+    /// Validated parameters for `n` nodes, threshold `t`, `c` channels.
+    ///
+    /// # Errors
+    ///
+    /// See [`ParamsError`]; in particular `n` must be at least
+    /// [`Params::min_nodes`]`(t, c)`.
+    pub fn new(n: usize, t: usize, c: usize) -> Result<Self, ParamsError> {
+        if t == 0 {
+            return Err(ParamsError::ZeroThreshold);
+        }
+        if c < t + 1 {
+            return Err(ParamsError::TooFewChannels { c, t });
+        }
+        let p = Params {
+            n,
+            t,
+            c,
+            feedback_scale: 4.0,
+            epoch_scale: 6.0,
+            gossip_scale: 4.0,
+        };
+        let min = Params::min_nodes(t, c);
+        if n < min {
+            return Err(ParamsError::TooFewNodes { n, min });
+        }
+        Ok(p)
+    }
+
+    /// The paper's focus configuration: `C = t + 1` channels.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Params::new`].
+    pub fn minimal(n: usize, t: usize) -> Result<Self, ParamsError> {
+        Params::new(n, t, t + 1)
+    }
+
+    /// Override the feedback repetition multiplier.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamsError::NonPositiveScale`] if `scale <= 0`.
+    pub fn with_feedback_scale(mut self, scale: f64) -> Result<Self, ParamsError> {
+        if scale <= 0.0 {
+            return Err(ParamsError::NonPositiveScale {
+                which: "feedback_scale",
+            });
+        }
+        self.feedback_scale = scale;
+        Ok(self)
+    }
+
+    /// Override the epoch multiplier (group key Part 2 / long-lived).
+    ///
+    /// # Errors
+    ///
+    /// [`ParamsError::NonPositiveScale`] if `scale <= 0`.
+    pub fn with_epoch_scale(mut self, scale: f64) -> Result<Self, ParamsError> {
+        if scale <= 0.0 {
+            return Err(ParamsError::NonPositiveScale {
+                which: "epoch_scale",
+            });
+        }
+        self.epoch_scale = scale;
+        Ok(self)
+    }
+
+    /// Override the gossip/report epoch multiplier.
+    ///
+    /// # Errors
+    ///
+    /// [`ParamsError::NonPositiveScale`] if `scale <= 0`.
+    pub fn with_gossip_scale(mut self, scale: f64) -> Result<Self, ParamsError> {
+        if scale <= 0.0 {
+            return Err(ParamsError::NonPositiveScale {
+                which: "gossip_scale",
+            });
+        }
+        self.gossip_scale = scale;
+        Ok(self)
+    }
+
+    /// Number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adversary threshold `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of channels `C`.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// `ln n`, floored at 1 (so tiny test networks still repeat).
+    pub fn ln_n(&self) -> f64 {
+        (self.n as f64).ln().max(1.0)
+    }
+
+    /// The feedback implementation this deployment selects: the
+    /// parallel-prefix [`FeedbackMode::Tree`] once `C ≥ 2t²` (Section 5.5,
+    /// Case 2), otherwise Figure 1's sequential loop.
+    pub fn feedback_mode(&self) -> FeedbackMode {
+        if self.t >= 2 && self.c >= 2 * self.t * self.t {
+            FeedbackMode::Tree
+        } else {
+            FeedbackMode::Sequential
+        }
+    }
+
+    /// Proposal-size cap per move (`k`): `t + 1` in the minimal regime;
+    /// `2t` once `C >= 2t` (Section 5.5, Case 1 — bigger proposals mean the
+    /// referee must concede at least `k - t` items per move, so the game
+    /// finishes in `O(|E|/t)` moves); `⌊C/t⌋` proposal channels in the
+    /// `C ≥ 2t²` regime (Section 5.5, Case 2).
+    pub fn proposal_cap(&self) -> usize {
+        Params::cap_for(self.t, self.c)
+    }
+
+    fn cap_for(t: usize, c: usize) -> usize {
+        if t >= 2 && c >= 2 * t * t {
+            c / t
+        } else if c >= 2 * t && 2 * t > t + 1 {
+            2 * t
+        } else {
+            t + 1
+        }
+    }
+
+    /// Repetitions of one tree-merge direction:
+    /// `ceil(feedback_scale · 2 · ln n)` (escape probability ≥ 1/2 on a
+    /// `2t`-channel merge group).
+    pub fn merge_reps(&self) -> u64 {
+        (self.feedback_scale * 2.0 * self.ln_n()).ceil().max(1.0) as u64
+    }
+
+    /// Feedback repetitions per reported channel:
+    /// `ceil(feedback_scale · (C/(C-t)) · ln n)`.
+    ///
+    /// For `C = t+1` this is `Θ(t·log n)`; for `C >= 2t` it is `Θ(log n)`.
+    pub fn feedback_reps(&self) -> usize {
+        let ratio = self.c as f64 / (self.c - self.t) as f64;
+        (self.feedback_scale * ratio * self.ln_n()).ceil().max(1.0) as usize
+    }
+
+    /// Physical rounds of one full feedback invocation reporting `k`
+    /// channels: `k · feedback_reps` sequentially, or
+    /// `⌈log₂ k⌉ · 2 · merge_reps + feedback_reps` with the tree.
+    pub fn feedback_rounds(&self, k: usize) -> u64 {
+        match self.feedback_mode() {
+            FeedbackMode::Sequential => (k * self.feedback_reps()) as u64,
+            FeedbackMode::Tree => {
+                let levels = if k <= 1 {
+                    0u64
+                } else {
+                    (usize::BITS - (k - 1).leading_zeros()) as u64
+                };
+                levels * 2 * self.merge_reps() + self.feedback_reps() as u64
+            }
+        }
+    }
+
+    /// Physical rounds for one simulated game move (1 transmission round +
+    /// feedback on `k` channels).
+    pub fn move_rounds(&self, k: usize) -> u64 {
+        1 + self.feedback_rounds(k)
+    }
+
+    /// Rounds of one pairwise epoch in group-key Part 2 / one emulated
+    /// round of the long-lived service: `ceil(epoch_scale · (t+1) · ln n)`
+    /// in the minimal regime; `O(log n)` once the hop-escape probability is
+    /// constant (`C >= 2t`).
+    pub fn epoch_rounds(&self) -> u64 {
+        let escape = (self.c - self.t) as f64 / self.c as f64;
+        (self.epoch_scale * self.ln_n() / escape).ceil().max(1.0) as u64
+    }
+
+    /// Rounds of one broadcast/report epoch where *both* endpoints hop at
+    /// random (group-key Part 3, gossip phase of §5.6):
+    /// `ceil(gossip_scale · C·(C/(C-t)) · ln n)` — the rendezvous
+    /// probability on a random channel pair is `(1/C)·((C-t)/C)`.
+    pub fn report_epoch_rounds(&self) -> u64 {
+        let rendezvous = (1.0 / self.c as f64) * ((self.c - self.t) as f64 / self.c as f64);
+        (self.gossip_scale * self.ln_n() / rendezvous)
+            .ceil()
+            .max(1.0) as u64
+    }
+
+    /// Witness-block size per channel: `max(3(t+1), C)` listeners.
+    ///
+    /// `3(t+1)` guarantees the surrogate pool of Invariant 2; at least `C`
+    /// members are needed so `W[c]` can occupy every channel during
+    /// feedback (Figure 1's `rank`).
+    pub fn witness_block(&self) -> usize {
+        (3 * (self.t + 1)).max(self.c)
+    }
+
+    /// Minimum `n` for which a schedule always exists:
+    /// `3·cap` involved nodes (items, endpoints, surrogates) plus
+    /// `witness_block · cap` distinct witnesses.
+    ///
+    /// For `C = t+1` this is `3(t+1)(t+2)` — the same order as the paper's
+    /// `n > 3(t+1)² + 2(t+1)`, slightly strengthened so surrogate
+    /// transmitters never collide with witness blocks.
+    pub fn min_nodes(t: usize, c: usize) -> usize {
+        let cap = Params::cap_for(t, c);
+        let block = (3 * (t + 1)).max(c);
+        3 * cap + block * cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert_eq!(Params::new(100, 0, 3).unwrap_err(), ParamsError::ZeroThreshold);
+        assert_eq!(
+            Params::new(100, 3, 3).unwrap_err(),
+            ParamsError::TooFewChannels { c: 3, t: 3 }
+        );
+        let min = Params::min_nodes(2, 3);
+        assert_eq!(
+            Params::new(min - 1, 2, 3).unwrap_err(),
+            ParamsError::TooFewNodes { n: min - 1, min }
+        );
+        assert!(Params::new(min, 2, 3).is_ok());
+    }
+
+    #[test]
+    fn minimal_regime_shapes() {
+        // t = 2, C = 3, n = 60.
+        let p = Params::minimal(60, 2).unwrap();
+        assert_eq!(p.proposal_cap(), 3);
+        assert_eq!(p.witness_block(), 9);
+        // feedback reps = ceil(4 * 3 * ln 60) = ceil(4*3*4.094) = 50
+        assert_eq!(p.feedback_reps(), 50);
+        assert_eq!(p.feedback_rounds(3), 150);
+        assert_eq!(p.move_rounds(3), 151);
+    }
+
+    #[test]
+    fn wide_regime_cap_and_cheap_feedback() {
+        // t = 3, C = 6 = 2t: cap 6, reps Θ(log n) (ratio C/(C-t) = 2).
+        let p = Params::new(200, 3, 6).unwrap();
+        assert_eq!(p.proposal_cap(), 6);
+        let minimal = Params::minimal(200, 3).unwrap();
+        assert!(p.feedback_reps() <= minimal.feedback_reps() / 2 + 1,
+            "wide feedback {} should be much cheaper than minimal {}",
+            p.feedback_reps(), minimal.feedback_reps());
+    }
+
+    #[test]
+    fn t1_wide_cap_falls_back() {
+        // t = 1: 2t = 2 == t+1, so cap stays 2.
+        let p = Params::new(50, 1, 4).unwrap();
+        assert_eq!(p.proposal_cap(), 2);
+    }
+
+    #[test]
+    fn scales_must_be_positive() {
+        let p = Params::minimal(60, 2).unwrap();
+        assert!(p.with_feedback_scale(0.0).is_err());
+        assert!(p.with_epoch_scale(-1.0).is_err());
+        assert!(p.with_gossip_scale(0.5).is_ok());
+    }
+
+    #[test]
+    fn min_nodes_matches_paper_order() {
+        // paper: n > 3(t+1)^2 + 2(t+1); ours: 3(t+1)(t+2) for C = t+1.
+        for t in 1..6 {
+            let ours = Params::min_nodes(t, t + 1);
+            let paper = 3 * (t + 1) * (t + 1) + 2 * (t + 1);
+            assert!(ours >= paper, "t={t}: ours {ours} vs paper {paper}");
+            assert!(ours <= paper + 2 * (t + 1), "not unreasonably larger");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The Authenticated Message Exchange problem (Definition 1).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use removal_game::vertex_cover::{has_cover_at_most, min_cover_size};
+
+use crate::messages::Payload;
+
+/// An AME instance: the ordered pairs `E` that want to exchange messages,
+/// and the messages themselves (known only to their sources — the runner
+/// hands each node exactly its own slice).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AmeInstance {
+    n: usize,
+    pairs: Vec<(usize, usize)>,
+    messages: BTreeMap<(usize, usize), Payload>,
+}
+
+/// Problems with an instance description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InstanceError {
+    /// A pair references a node `>= n`.
+    NodeOutOfRange {
+        /// The offending pair.
+        pair: (usize, usize),
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A pair sends to itself.
+    SelfPair(usize),
+    /// A message was supplied for a pair not in `E`.
+    MessageWithoutPair((usize, usize)),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::NodeOutOfRange { pair, n } => {
+                write!(f, "pair {pair:?} references a node >= n={n}")
+            }
+            InstanceError::SelfPair(v) => write!(f, "node {v} cannot exchange with itself"),
+            InstanceError::MessageWithoutPair(p) => {
+                write!(f, "message supplied for pair {p:?} which is not in E")
+            }
+        }
+    }
+}
+
+impl Error for InstanceError {}
+
+impl AmeInstance {
+    /// Build an instance; pairs are deduplicated and messages default to a
+    /// canonical test payload (`"m:v->w"` bytes) unless overridden with
+    /// [`AmeInstance::with_message`].
+    ///
+    /// # Errors
+    ///
+    /// See [`InstanceError`].
+    pub fn new<I>(n: usize, pairs: I) -> Result<Self, InstanceError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut ps: Vec<(usize, usize)> = Vec::new();
+        for (v, w) in pairs {
+            if v >= n || w >= n {
+                return Err(InstanceError::NodeOutOfRange { pair: (v, w), n });
+            }
+            if v == w {
+                return Err(InstanceError::SelfPair(v));
+            }
+            ps.push((v, w));
+        }
+        ps.sort_unstable();
+        ps.dedup();
+        let messages = ps
+            .iter()
+            .map(|&(v, w)| ((v, w), format!("m:{v}->{w}").into_bytes()))
+            .collect();
+        Ok(AmeInstance {
+            n,
+            pairs: ps,
+            messages,
+        })
+    }
+
+    /// Override the message for a pair.
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::MessageWithoutPair`] if `(v, w)` is not in `E`.
+    pub fn with_message(
+        mut self,
+        v: usize,
+        w: usize,
+        payload: Payload,
+    ) -> Result<Self, InstanceError> {
+        if !self.pairs.contains(&(v, w)) {
+            return Err(InstanceError::MessageWithoutPair((v, w)));
+        }
+        self.messages.insert((v, w), payload);
+        Ok(self)
+    }
+
+    /// Number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The ordered pair set `E`, sorted.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// `|E|`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when `E` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The ground-truth message for a pair (test oracle; the protocol hands
+    /// each node only its own outgoing slice via
+    /// [`AmeInstance::outbox_of`]).
+    pub fn message(&self, v: usize, w: usize) -> Option<&Payload> {
+        self.messages.get(&(v, w))
+    }
+
+    /// The outgoing messages of node `v`: `w -> m_{v,w}`.
+    pub fn outbox_of(&self, v: usize) -> BTreeMap<usize, Payload> {
+        self.messages
+            .iter()
+            .filter(|((src, _), _)| *src == v)
+            .map(|((_, w), m)| (*w, m.clone()))
+            .collect()
+    }
+}
+
+/// The result one pair obtains from an AME execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PairResult {
+    /// `w` output `<(v,w), m>`: the payload `w` accepted as authentic.
+    Delivered(Payload),
+    /// `w` output `<(v,w), fail>`.
+    Failed,
+}
+
+impl PairResult {
+    /// `true` for [`PairResult::Delivered`].
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, PairResult::Delivered(_))
+    }
+}
+
+/// The outcome of an AME execution over a whole instance.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AmeOutcome {
+    /// Per-pair results as output by the *destination*.
+    pub results: BTreeMap<(usize, usize), PairResult>,
+    /// Per-pair success as believed by the *source* (sender awareness).
+    pub sender_view: BTreeMap<(usize, usize), bool>,
+    /// Physical rounds the execution took.
+    pub rounds: u64,
+}
+
+impl AmeOutcome {
+    /// The failed pairs — the edge set of the disruption graph `G_d`.
+    pub fn disruption_edges(&self) -> Vec<(usize, usize)> {
+        self.results
+            .iter()
+            .filter(|(_, r)| !r.is_delivered())
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Exact minimum vertex cover of the disruption graph.
+    pub fn disruption_cover(&self) -> usize {
+        min_cover_size(&self.disruption_edges())
+    }
+
+    /// Definition 1 property 3: is the outcome `d`-disruptable?
+    pub fn is_d_disruptable(&self, d: usize) -> bool {
+        has_cover_at_most(&self.disruption_edges(), d)
+    }
+
+    /// Definition 1 property 1 (authentication) against the ground truth:
+    /// every delivered payload must equal the instance's message; returns
+    /// the list of violations (empty = authentic).
+    pub fn authentication_violations(&self, instance: &AmeInstance) -> Vec<(usize, usize)> {
+        self.results
+            .iter()
+            .filter_map(|(&(v, w), r)| match r {
+                PairResult::Delivered(m) if instance.message(v, w) != Some(m) => Some((v, w)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Definition 1 property 2 (sender awareness): the sender's belief must
+    /// match the destination's output for every pair; returns mismatches.
+    pub fn awareness_violations(&self) -> Vec<(usize, usize)> {
+        self.results
+            .iter()
+            .filter_map(|(&p, r)| {
+                let sender_thinks = self.sender_view.get(&p).copied().unwrap_or(false);
+                if sender_thinks != r.is_delivered() {
+                    Some(p)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Count of delivered pairs.
+    pub fn delivered_count(&self) -> usize {
+        self.results.values().filter(|r| r.is_delivered()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_validation() {
+        assert!(matches!(
+            AmeInstance::new(3, [(0, 5)]),
+            Err(InstanceError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            AmeInstance::new(3, [(1, 1)]),
+            Err(InstanceError::SelfPair(1))
+        ));
+        let inst = AmeInstance::new(3, [(0, 1), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(inst.pairs(), &[(0, 1), (1, 2)]);
+        assert_eq!(inst.message(0, 1).unwrap(), b"m:0->1");
+    }
+
+    #[test]
+    fn outbox_slices() {
+        let inst = AmeInstance::new(4, [(0, 1), (0, 2), (3, 0)]).unwrap();
+        let outbox = inst.outbox_of(0);
+        assert_eq!(outbox.len(), 2);
+        assert!(outbox.contains_key(&1) && outbox.contains_key(&2));
+        assert_eq!(inst.outbox_of(1).len(), 0);
+    }
+
+    #[test]
+    fn custom_message() {
+        let inst = AmeInstance::new(3, [(0, 1)])
+            .unwrap()
+            .with_message(0, 1, b"dh-public-key".to_vec())
+            .unwrap();
+        assert_eq!(inst.message(0, 1).unwrap(), b"dh-public-key");
+        assert!(AmeInstance::new(3, [(0, 1)])
+            .unwrap()
+            .with_message(1, 2, vec![])
+            .is_err());
+    }
+
+    #[test]
+    fn outcome_analysis() {
+        let inst = AmeInstance::new(6, [(0, 1), (2, 3), (4, 5)]).unwrap();
+        let mut out = AmeOutcome::default();
+        out.results
+            .insert((0, 1), PairResult::Delivered(b"m:0->1".to_vec()));
+        out.results.insert((2, 3), PairResult::Failed);
+        out.results
+            .insert((4, 5), PairResult::Delivered(b"forged!".to_vec()));
+        out.sender_view.insert((0, 1), true);
+        out.sender_view.insert((2, 3), true); // sender wrongly believes success
+        out.sender_view.insert((4, 5), true);
+
+        assert_eq!(out.disruption_edges(), vec![(2, 3)]);
+        assert_eq!(out.disruption_cover(), 1);
+        assert!(out.is_d_disruptable(1));
+        assert!(!out.is_d_disruptable(0));
+        assert_eq!(out.authentication_violations(&inst), vec![(4, 5)]);
+        assert_eq!(out.awareness_violations(), vec![(2, 3)]);
+        assert_eq!(out.delivered_count(), 2);
+    }
+}

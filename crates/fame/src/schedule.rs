@@ -1,0 +1,463 @@
+//! Deterministic move scheduling for f-AME (Section 5.4).
+//!
+//! Given identical local game state, every node derives — with zero
+//! communication — the same assignment of this move's proposal items to
+//! channels, the same transmitter for each channel (the item's node, the
+//! edge's source, or a deterministically chosen *surrogate* when the source
+//! is busy), the same receiver, and the same witness blocks. This shared
+//! determinism is what makes the adversary unable to spoof: every receiving
+//! channel has exactly one known honest transmitter, so a forged broadcast
+//! can only collide.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use removal_game::game::{GameState, Proposal, ProposalItem};
+use removal_game::greedy::greedy_proposal;
+
+use crate::params::Params;
+
+/// Why a schedule could not be built (all are programming/configuration
+/// errors — the `Params` validation makes them unreachable in a correctly
+/// assembled deployment).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScheduleError {
+    /// A starred source has no recorded surrogate block (Invariant 2
+    /// violated).
+    MissingSurrogates {
+        /// The starred node.
+        owner: usize,
+    },
+    /// All of a source's surrogates are busy this move.
+    NotEnoughSurrogates {
+        /// The starred node.
+        owner: usize,
+    },
+    /// Not enough uninvolved nodes to fill the witness blocks.
+    NotEnoughWitnesses {
+        /// Nodes needed.
+        needed: usize,
+        /// Nodes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::MissingSurrogates { owner } => {
+                write!(f, "starred node {owner} has no surrogate block recorded")
+            }
+            ScheduleError::NotEnoughSurrogates { owner } => {
+                write!(f, "no available surrogate for starred node {owner}")
+            }
+            ScheduleError::NotEnoughWitnesses { needed, available } => {
+                write!(f, "need {needed} witnesses, only {available} uninvolved nodes")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
+
+/// The plan for one transmission channel during a move.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChannelPlan {
+    /// The proposal item this channel carries.
+    pub item: ProposalItem,
+    /// The node whose message vector is transmitted (`v` for both node
+    /// items and edges — never the surrogate's own identity).
+    pub owner: usize,
+    /// Who physically transmits: the owner, or one of its surrogates.
+    pub transmitter: usize,
+    /// The scheduled receiver (an edge's destination); node items have no
+    /// dedicated receiver beyond the witnesses.
+    pub receiver: Option<usize>,
+}
+
+/// The complete deterministic schedule of one simulated game move.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MoveSchedule {
+    /// The canonical greedy proposal this move simulates.
+    pub proposal: Proposal,
+    /// Per transmission channel `0..k`: what happens there.
+    pub channels: Vec<ChannelPlan>,
+    /// Per transmission channel: the `witness_block()` listeners (sorted).
+    /// These are the nodes that learn a starred node's vector (surrogate
+    /// pool, Invariant 2).
+    pub witness_blocks: Vec<Vec<usize>>,
+    /// Per transmission channel: `W[c]` — the first `C` members of the
+    /// witness block, who run `communication-feedback` for that channel.
+    pub feedback_witnesses: Vec<Vec<usize>>,
+}
+
+impl MoveSchedule {
+    /// Number of transmission channels used this move (`k`).
+    pub fn k(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The transmission channel this node transmits on, if any.
+    pub fn transmit_channel(&self, node: usize) -> Option<usize> {
+        self.channels.iter().position(|p| p.transmitter == node)
+    }
+
+    /// The transmission channel this node receives on, if any.
+    pub fn receive_channel(&self, node: usize) -> Option<usize> {
+        self.channels.iter().position(|p| p.receiver == Some(node))
+    }
+
+    /// The channel this node witnesses (listens on) as a block member.
+    pub fn witness_channel(&self, node: usize) -> Option<usize> {
+        self.witness_blocks.iter().position(|b| b.binary_search(&node).is_ok())
+    }
+
+    /// `true` if `node` is a feedback witness (`W[c]` member) for channel `c`.
+    pub fn is_feedback_witness(&self, node: usize, c: usize) -> bool {
+        self.feedback_witnesses[c].binary_search(&node).is_ok()
+    }
+}
+
+/// Build the schedule for the next move, or `Ok(None)` when greedy-removal
+/// has terminated (the AME run is complete).
+///
+/// `surrogates` maps each starred node to its recorded surrogate pool (the
+/// witness block of the move that starred it).
+///
+/// # Errors
+///
+/// See [`ScheduleError`].
+pub fn build_schedule(
+    params: &Params,
+    game: &GameState,
+    surrogates: &BTreeMap<usize, Vec<usize>>,
+) -> Result<Option<MoveSchedule>, ScheduleError> {
+    let proposal = match greedy_proposal(game) {
+        Some(p) => p,
+        None => return Ok(None),
+    };
+    let k = proposal.len();
+
+    // Nodes involved as items, sources, or destinations.
+    let mut involved: BTreeSet<usize> = BTreeSet::new();
+    let mut receivers: BTreeSet<usize> = BTreeSet::new();
+    for item in &proposal {
+        match *item {
+            ProposalItem::Node(v) => {
+                involved.insert(v);
+            }
+            ProposalItem::Edge(v, w) => {
+                involved.insert(v);
+                involved.insert(w);
+                receivers.insert(w);
+            }
+        }
+    }
+
+    // Assign transmitters channel by channel (deterministic order).
+    let mut assigned: BTreeSet<usize> = BTreeSet::new();
+    let mut channels: Vec<ChannelPlan> = Vec::with_capacity(k);
+    for item in &proposal {
+        let plan = match *item {
+            ProposalItem::Node(v) => {
+                assigned.insert(v);
+                ChannelPlan {
+                    item: *item,
+                    owner: v,
+                    transmitter: v,
+                    receiver: None,
+                }
+            }
+            ProposalItem::Edge(v, w) => {
+                let source_free = !receivers.contains(&v) && !assigned.contains(&v);
+                let transmitter = if source_free {
+                    v
+                } else {
+                    // The source is busy; it must be starred (greedy only
+                    // emits P2 edges, whose sources are starred), so a
+                    // surrogate pool exists.
+                    let pool = surrogates
+                        .get(&v)
+                        .ok_or(ScheduleError::MissingSurrogates { owner: v })?;
+                    *pool
+                        .iter()
+                        .find(|s| !involved.contains(s) && !assigned.contains(s))
+                        .ok_or(ScheduleError::NotEnoughSurrogates { owner: v })?
+                };
+                assigned.insert(transmitter);
+                ChannelPlan {
+                    item: *item,
+                    owner: v,
+                    transmitter,
+                    receiver: Some(w),
+                }
+            }
+        };
+        channels.push(plan);
+    }
+
+    // Witness blocks: lowest-id uninvolved nodes, in consecutive chunks.
+    let block = params.witness_block();
+    let busy: BTreeSet<usize> = involved.union(&assigned).copied().collect();
+    let free: Vec<usize> = (0..params.n()).filter(|v| !busy.contains(v)).collect();
+    let needed = block * k;
+    if free.len() < needed {
+        return Err(ScheduleError::NotEnoughWitnesses {
+            needed,
+            available: free.len(),
+        });
+    }
+    let witness_blocks: Vec<Vec<usize>> = (0..k)
+        .map(|c| free[c * block..(c + 1) * block].to_vec())
+        .collect();
+    let feedback_witnesses: Vec<Vec<usize>> = witness_blocks
+        .iter()
+        .map(|b| b[..params.c()].to_vec())
+        .collect();
+
+    Ok(Some(MoveSchedule {
+        proposal,
+        channels,
+        witness_blocks,
+        feedback_witnesses,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::minimal(40, 2).unwrap()
+    }
+
+    fn empty_surrogates() -> BTreeMap<usize, Vec<usize>> {
+        BTreeMap::new()
+    }
+
+    #[test]
+    fn terminated_game_yields_none() {
+        let p = params();
+        let game = GameState::new(p.n(), [(0, 1)], p.t()).unwrap();
+        // P1 = {0}: fewer than t+1 = 3 items => greedy terminated.
+        assert_eq!(build_schedule(&p, &game, &empty_surrogates()).unwrap(), None);
+    }
+
+    #[test]
+    fn node_items_transmit_themselves() {
+        let p = params();
+        let game = GameState::new(p.n(), [(0, 5), (1, 6), (2, 7)], p.t()).unwrap();
+        let s = build_schedule(&p, &game, &empty_surrogates())
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.k(), 3);
+        for plan in &s.channels {
+            match plan.item {
+                ProposalItem::Node(v) => {
+                    assert_eq!(plan.transmitter, v);
+                    assert_eq!(plan.owner, v);
+                    assert_eq!(plan.receiver, None);
+                }
+                ProposalItem::Edge(..) => panic!("expected node items first"),
+            }
+        }
+    }
+
+    #[test]
+    fn witness_blocks_are_disjoint_and_uninvolved() {
+        let p = params();
+        let game = GameState::new(p.n(), [(0, 5), (1, 6), (2, 7)], p.t()).unwrap();
+        let s = build_schedule(&p, &game, &empty_surrogates())
+            .unwrap()
+            .unwrap();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for block in &s.witness_blocks {
+            assert_eq!(block.len(), p.witness_block());
+            for &w in block {
+                assert!(seen.insert(w), "witness {w} reused across blocks");
+                assert!(s.transmit_channel(w).is_none());
+                assert!(s.receive_channel(w).is_none());
+            }
+        }
+        // W[c] ⊆ block, |W[c]| = C.
+        for (wb, fw) in s.witness_blocks.iter().zip(&s.feedback_witnesses) {
+            assert_eq!(fw.len(), p.c());
+            assert!(fw.iter().all(|w| wb.contains(w)));
+        }
+    }
+
+    #[test]
+    fn busy_source_gets_surrogate() {
+        // Star node 0 with a recorded surrogate pool, then schedule two
+        // edges from 0 — the second must use a surrogate.
+        let p = params();
+        let mut game = GameState::new(p.n(), [(0, 5), (0, 6), (0, 7), (1, 8)], p.t()).unwrap();
+        // star 0 legally: propose three fresh nodes, referee concedes 0.
+        let star = vec![
+            ProposalItem::Node(0),
+            ProposalItem::Node(1),
+            ProposalItem::Node(30),
+        ];
+        game.apply_response(&star, &[ProposalItem::Node(0)]).unwrap();
+        let mut surrogates = BTreeMap::new();
+        surrogates.insert(0, vec![20, 21, 22, 23, 24, 25, 26, 27, 28]);
+
+        let s = build_schedule(&p, &game, &surrogates).unwrap().unwrap();
+        // Proposal should be [Node(1), Edge(0,5), Edge(0,6)]: P1 = {1}
+        // (source 0 is starred), P2 = edges avoiding node 1 = (0,5), (0,6),
+        // (0,7) — destination-disjoint, capped at 3 items.
+        assert_eq!(s.proposal[0], ProposalItem::Node(1));
+        assert_eq!(s.proposal[1], ProposalItem::Edge(0, 5));
+        assert_eq!(s.proposal[2], ProposalItem::Edge(0, 6));
+        // First edge: source 0 free -> transmits itself.
+        assert_eq!(s.channels[1].transmitter, 0);
+        // Second edge: source busy -> smallest available surrogate (20).
+        assert_eq!(s.channels[2].transmitter, 20);
+        assert_eq!(s.channels[2].owner, 0);
+        // Surrogate is excluded from the witness blocks.
+        for block in &s.witness_blocks {
+            assert!(!block.contains(&20));
+        }
+    }
+
+    #[test]
+    fn missing_surrogate_pool_is_an_error() {
+        let p = params();
+        let mut game = GameState::new(p.n(), [(0, 5), (0, 6), (0, 7), (1, 8)], p.t()).unwrap();
+        let star = vec![
+            ProposalItem::Node(0),
+            ProposalItem::Node(1),
+            ProposalItem::Node(30),
+        ];
+        game.apply_response(&star, &[ProposalItem::Node(0)]).unwrap();
+        // No surrogate record for 0 -> schedule must fail loudly.
+        assert_eq!(
+            build_schedule(&p, &game, &empty_surrogates()).unwrap_err(),
+            ScheduleError::MissingSurrogates { owner: 0 }
+        );
+    }
+
+    #[test]
+    fn chain_edges_source_is_also_destination() {
+        // Edges (v,w) and (w,z) may share w; w must listen, so (w,z) needs
+        // a surrogate for w.
+        let p = params();
+        let mut game = GameState::new(p.n(), [(4, 5), (5, 6), (1, 7), (2, 8)], p.t()).unwrap();
+        // Star 4 and 5 so that P1 = {1, 2} and both chain edges live in P2.
+        let star = vec![
+            ProposalItem::Node(4),
+            ProposalItem::Node(5),
+            ProposalItem::Node(30),
+        ];
+        game.apply_response(&star, &[ProposalItem::Node(4), ProposalItem::Node(5)])
+            .unwrap();
+        let mut surrogates = BTreeMap::new();
+        surrogates.insert(4, vec![20, 21, 22]);
+        surrogates.insert(5, vec![23, 24, 25]);
+        let s = build_schedule(&p, &game, &surrogates).unwrap().unwrap();
+        // Proposal: [Node(1), Node(2), Edge(4,5)] — the cap fills with the
+        // first destination-disjoint P2 edge.
+        assert_eq!(s.proposal[2], ProposalItem::Edge(4, 5));
+        // Source 4 is not a receiver this move, so it transmits itself.
+        assert_eq!(s.channels[2].transmitter, 4);
+
+        // Now remove Node items from the pool by starring 1, 2 and re-run:
+        let star2 = vec![
+            ProposalItem::Node(1),
+            ProposalItem::Node(2),
+            ProposalItem::Node(31),
+        ];
+        game.apply_response(&star2, &[ProposalItem::Node(1), ProposalItem::Node(2)])
+            .unwrap();
+        let mut surrogates = surrogates.clone();
+        surrogates.insert(1, vec![26, 27, 28]);
+        surrogates.insert(2, vec![29, 30, 31]);
+        let s = build_schedule(&p, &game, &surrogates).unwrap().unwrap();
+        // Proposal is now pure edges: (1,7), (2,8), (4,5) destination-
+        // disjoint; all sources free.
+        assert_eq!(
+            s.proposal,
+            vec![
+                ProposalItem::Edge(1, 7),
+                ProposalItem::Edge(2, 8),
+                ProposalItem::Edge(4, 5)
+            ]
+        );
+        // (5,6) remains for a later move; when proposed together with
+        // (4,5), node 5 is a receiver, so (5,6) would need 5's surrogate.
+    }
+
+    #[test]
+    fn chain_in_one_move_uses_surrogate() {
+        let p = params();
+        let mut game = GameState::new(p.n(), [(4, 5), (5, 6), (6, 7)], p.t()).unwrap();
+        for v in [4usize, 5, 6] {
+            let star = vec![
+                ProposalItem::Node(v),
+                ProposalItem::Node(34),
+                ProposalItem::Node(35),
+            ];
+            game.apply_response(&star, &[ProposalItem::Node(v)]).unwrap();
+        }
+        let mut surrogates = BTreeMap::new();
+        surrogates.insert(4, vec![20, 21, 22]);
+        surrogates.insert(5, vec![23, 24, 25]);
+        surrogates.insert(6, vec![26, 27, 28]);
+        let s = build_schedule(&p, &game, &surrogates).unwrap().unwrap();
+        assert_eq!(
+            s.proposal,
+            vec![
+                ProposalItem::Edge(4, 5),
+                ProposalItem::Edge(5, 6),
+                ProposalItem::Edge(6, 7)
+            ]
+        );
+        // 4 free; 5 is a receiver -> surrogate 23; 6 is a receiver ->
+        // surrogate 26.
+        assert_eq!(s.channels[0].transmitter, 4);
+        assert_eq!(s.channels[1].transmitter, 23);
+        assert_eq!(s.channels[2].transmitter, 26);
+    }
+
+    #[test]
+    fn role_accessors_are_consistent() {
+        let p = params();
+        let game = GameState::new(p.n(), [(0, 5), (1, 6), (2, 7)], p.t()).unwrap();
+        let s = build_schedule(&p, &game, &empty_surrogates()).unwrap().unwrap();
+        for node in 0..p.n() {
+            let roles = [
+                s.transmit_channel(node).is_some(),
+                s.receive_channel(node).is_some(),
+                s.witness_channel(node).is_some(),
+            ];
+            // A node has at most one role in the transmission round.
+            assert!(
+                roles.iter().filter(|&&r| r).count() <= 1,
+                "node {node} has multiple roles"
+            );
+            // Feedback witnesses are block members of the same channel.
+            for c in 0..s.k() {
+                if s.is_feedback_witness(node, c) {
+                    assert_eq!(s.witness_channel(node), Some(c));
+                }
+            }
+        }
+        // Transmitters match the channel plans exactly.
+        for (c, plan) in s.channels.iter().enumerate() {
+            assert_eq!(s.transmit_channel(plan.transmitter), Some(c));
+            if let Some(r) = plan.receiver {
+                assert_eq!(s.receive_channel(r), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let p = params();
+        let game = GameState::new(p.n(), [(0, 5), (1, 6), (2, 7), (3, 8)], p.t()).unwrap();
+        let a = build_schedule(&p, &game, &empty_surrogates()).unwrap();
+        let b = build_schedule(&p, &game, &empty_surrogates()).unwrap();
+        assert_eq!(a, b);
+    }
+}

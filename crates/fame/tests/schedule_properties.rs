@@ -1,0 +1,120 @@
+//! Property tests: every schedule f-AME can ever build is well-formed.
+//!
+//! Random games are advanced by random legal referee responses, and at
+//! every state the deterministic schedule must satisfy the structural
+//! requirements the correctness proof relies on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use fame::schedule::build_schedule;
+use fame::Params;
+use removal_game::game::{GameState, ProposalItem};
+use removal_game::greedy::greedy_proposal;
+use removal_game::referee::{RandomReferee, Referee};
+
+fn arb_pairs(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::btree_set((0..n, 0..n), 1..30)
+        .prop_map(|s| s.into_iter().filter(|&(v, w)| v != w).collect())
+}
+
+/// Walk a random game, mirroring what f-AME's move application does to the
+/// surrogate map, and check every schedule on the way.
+fn check_all_schedules(params: &Params, pairs: Vec<(usize, usize)>, seed: u64) -> Result<(), TestCaseError> {
+    let mut game = GameState::new(params.n(), pairs, params.t())
+        .unwrap()
+        .with_proposal_cap(params.proposal_cap())
+        .unwrap();
+    let mut surrogates: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut referee = RandomReferee::new(seed);
+    let mut guard = 0;
+
+    loop {
+        let schedule = build_schedule(params, &game, &surrogates).unwrap();
+        let Some(schedule) = schedule else { break };
+
+        // --- structural checks ------------------------------------------
+        let k = schedule.k();
+        prop_assert_eq!(schedule.proposal.len(), k);
+        prop_assert!(k > params.t() && k <= params.proposal_cap());
+        game.validate_proposal(&schedule.proposal).unwrap();
+
+        // One distinct transmitter per channel; receivers distinct;
+        // transmitter never simultaneously a receiver.
+        let mut transmitters = BTreeSet::new();
+        let mut receivers = BTreeSet::new();
+        for plan in &schedule.channels {
+            prop_assert!(transmitters.insert(plan.transmitter), "transmitter reused");
+            if let Some(r) = plan.receiver {
+                prop_assert!(receivers.insert(r), "receiver reused");
+                prop_assert_ne!(r, plan.transmitter);
+            }
+            // The transmitter is the owner or one of its recorded
+            // surrogates (who therefore holds the owner's vector).
+            if plan.transmitter != plan.owner {
+                let pool = surrogates.get(&plan.owner).expect("surrogate pool exists");
+                prop_assert!(pool.contains(&plan.transmitter));
+            }
+        }
+        prop_assert!(transmitters.is_disjoint(&receivers));
+
+        // Witness blocks: right size, disjoint from everyone active and
+        // from each other; W[c] is a prefix-subset of the block with C
+        // members.
+        let mut seen = BTreeSet::new();
+        for (block, fw) in schedule.witness_blocks.iter().zip(&schedule.feedback_witnesses) {
+            prop_assert_eq!(block.len(), params.witness_block());
+            prop_assert_eq!(fw.len(), params.c());
+            for w in block {
+                prop_assert!(seen.insert(*w), "witness reused across blocks");
+                prop_assert!(!transmitters.contains(w));
+                prop_assert!(!receivers.contains(w));
+            }
+            prop_assert!(fw.iter().all(|w| block.contains(w)));
+        }
+
+        // --- advance the game like a move application ---------------------
+        let response = referee.respond(&game, &schedule.proposal);
+        for item in &response {
+            if let ProposalItem::Node(v) = item {
+                let c = schedule
+                    .proposal
+                    .iter()
+                    .position(|i| i == item)
+                    .expect("item in proposal");
+                surrogates.insert(*v, schedule.witness_blocks[c].clone());
+            }
+        }
+        game.apply_response(&schedule.proposal, &response).unwrap();
+
+        guard += 1;
+        prop_assert!(guard < 500, "game failed to converge");
+    }
+
+    // Terminated: greedy agrees.
+    prop_assert!(greedy_proposal(&game).is_none());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_always_well_formed_minimal(
+        pairs in arb_pairs(36),
+        seed in 0u64..1000,
+    ) {
+        let params = Params::minimal(36, 2).unwrap();
+        check_all_schedules(&params, pairs, seed)?;
+    }
+
+    #[test]
+    fn schedules_always_well_formed_wide(
+        pairs in arb_pairs(48),
+        seed in 0u64..1000,
+    ) {
+        let params = Params::new(48, 2, 4).unwrap();
+        check_all_schedules(&params, pairs, seed)?;
+    }
+}

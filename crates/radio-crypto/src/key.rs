@@ -1,0 +1,131 @@
+//! Fixed-size byte newtypes: digests and symmetric keys.
+
+use std::fmt;
+
+/// A 256-bit hash digest.
+///
+/// Also used as the wire representation of the paper's reconstruction hashes
+/// (`H1`) and vector signatures (`H2`), see Section 5.6.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// Wrap raw digest bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lowercase hex rendering (64 chars).
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// A short prefix for logs/tables.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Truncate to a `u64` (big-endian prefix) — handy for seeding RNGs.
+    pub fn to_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8-byte prefix"))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A 256-bit symmetric key (pairwise key, leader key, or group key).
+///
+/// Deliberately *not* `Display` and with a redacted `Debug`, so keys do not
+/// leak into logs or experiment tables by accident.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymmetricKey([u8; 32]);
+
+impl SymmetricKey {
+    /// Wrap raw key bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        SymmetricKey(bytes)
+    }
+
+    /// Derive a key from a digest (e.g. hash of a DH shared secret).
+    pub fn from_digest(d: Digest) -> Self {
+        SymmetricKey(*d.as_bytes())
+    }
+
+    /// The raw bytes (needed by the MAC/cipher internals).
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// A non-reversible fingerprint suitable for public comparison — this is
+    /// what Part 3 of the group-key protocol broadcasts ("a hash of the key").
+    pub fn fingerprint(&self) -> Digest {
+        let mut h = crate::sha256::Sha256::new();
+        h.update(b"secure-radio/key-fingerprint");
+        h.update(&self.0);
+        h.finalize()
+    }
+}
+
+impl fmt::Debug for SymmetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Redacted on purpose; show the fingerprint prefix only.
+        write!(f, "SymmetricKey(fp:{}…)", self.fingerprint().short_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip_shape() {
+        let d = Digest::from_bytes([0xab; 32]);
+        assert_eq!(d.to_hex().len(), 64);
+        assert!(d.to_hex().starts_with("abab"));
+        assert_eq!(d.short_hex(), "abababab");
+    }
+
+    #[test]
+    fn debug_of_key_is_redacted() {
+        let k = SymmetricKey::from_bytes([7; 32]);
+        let dbg = format!("{k:?}");
+        assert!(dbg.contains("fp:"));
+        assert!(!dbg.contains("0707"), "raw key bytes leaked: {dbg}");
+    }
+
+    #[test]
+    fn fingerprint_differs_from_key() {
+        let k = SymmetricKey::from_bytes([7; 32]);
+        assert_ne!(k.fingerprint().as_bytes(), k.as_bytes());
+        // and is stable
+        assert_eq!(k.fingerprint(), k.fingerprint());
+    }
+
+    #[test]
+    fn digest_to_u64_uses_prefix() {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&0xDEAD_BEEF_0BAD_F00Du64.to_be_bytes());
+        assert_eq!(Digest::from_bytes(bytes).to_u64(), 0xDEAD_BEEF_0BAD_F00D);
+    }
+}

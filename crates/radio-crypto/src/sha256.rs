@@ -1,0 +1,256 @@
+//! SHA-256, implemented from scratch per FIPS 180-4.
+//!
+//! The paper (Section 5.6) assumes two "secure hash functions" `H1` and `H2`
+//! for reconstruction hashes and vector signatures. We provide real SHA-256;
+//! the `fame::compact` module derives `H1`/`H2` from it with domain
+//! separation prefixes.
+//!
+//! Validated against the NIST / FIPS 180-4 example vectors in the tests.
+
+use crate::key::Digest;
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash values: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```rust
+/// use radio_crypto::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finalize().to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes processed so far (for the length suffix).
+    length: u64,
+    buffer: [u8; 64],
+    buffered: usize,
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            length: 0,
+            buffer: [0u8; 64],
+            buffered: 0,
+        }
+    }
+
+    /// Convenience: hash `data` in one call.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorb more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        // Fill the partial block first.
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    /// Finish and produce the 32-byte digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.length.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update(&[0x80]);
+        // `update` mutated self.length; only buffer state matters now.
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // Append length without re-entering update's length bookkeeping.
+        self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest::from_bytes(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-4 / NIST example vectors.
+    #[test]
+    fn nist_vectors() {
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+            (
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+                "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(&Sha256::digest(input).to_hex(), expected);
+        }
+    }
+
+    /// The classic million-'a' vector, exercising many blocks.
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    /// Incremental hashing must agree with one-shot hashing for every split.
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..300).map(|i| (i * 7 % 251) as u8).collect();
+        let oneshot = Sha256::digest(&data);
+        for split in 0..data.len() {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    /// Padding boundary cases: lengths around the 55/56/64-byte edges.
+    #[test]
+    fn padding_boundaries() {
+        // Computed with the reference implementation; spot-check a couple of
+        // well-known ones and assert all lengths are distinct.
+        let mut digests = Vec::new();
+        for len in 50..70 {
+            let data = vec![0x61u8; len];
+            digests.push(Sha256::digest(&data));
+        }
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                assert_ne!(digests[i], digests[j]);
+            }
+        }
+        // len = 64 (exactly one block of 'a')
+        assert_eq!(
+            Sha256::digest(&[b'a'; 64]).to_hex(),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        assert_ne!(Sha256::digest(b"ab"), Sha256::digest(b"ba"));
+    }
+}

@@ -1,0 +1,82 @@
+//! A jammer glued to a fixed channel set.
+
+use crate::adversary::{Adversary, AdversaryAction, AdversaryView};
+use crate::node::ChannelId;
+
+/// Jams the same set of channels every round.
+///
+/// Useful as a worst case for protocols whose channel usage is static, and
+/// as a deterministic fixture in tests.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FixedJammer {
+    channels: Vec<ChannelId>,
+}
+
+impl FixedJammer {
+    /// Jam exactly `channels` every round.
+    pub fn new<I>(channels: I) -> Self
+    where
+        I: IntoIterator<Item = ChannelId>,
+    {
+        let mut channels: Vec<ChannelId> = channels.into_iter().collect();
+        channels.sort_unstable();
+        channels.dedup();
+        FixedJammer { channels }
+    }
+
+    /// Jam channels `0..k` every round.
+    pub fn first_channels(k: usize) -> Self {
+        FixedJammer::new((0..k).map(ChannelId))
+    }
+}
+
+impl<M> Adversary<M> for FixedJammer {
+    fn act(&mut self, _round: u64, view: &AdversaryView<'_, M>) -> AdversaryAction<M> {
+        AdversaryAction::jam(
+            self.channels
+                .iter()
+                .copied()
+                .filter(|c| c.index() < view.channels)
+                .take(view.budget),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-jammer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn jams_declared_channels() {
+        let mut adv = FixedJammer::first_channels(2);
+        let trace: Trace<u8> = Trace::default();
+        let view = AdversaryView {
+            channels: 3,
+            budget: 2,
+            nodes: 4,
+            trace: &trace,
+        };
+        let action = adv.act(0, &view);
+        let chans: Vec<_> = action.transmissions.iter().map(|(c, _)| c.index()).collect();
+        assert_eq!(chans, vec![0, 1]);
+    }
+
+    #[test]
+    fn dedups_and_respects_budget() {
+        let mut adv = FixedJammer::new([ChannelId(1), ChannelId(1), ChannelId(0), ChannelId(2)]);
+        let trace: Trace<u8> = Trace::default();
+        let view = AdversaryView {
+            channels: 3,
+            budget: 2,
+            nodes: 4,
+            trace: &trace,
+        };
+        let action = adv.act(0, &view);
+        assert_eq!(action.len(), 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! A mixed jam/spoof adversary.
+
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+use crate::adversary::{Adversary, AdversaryAction, AdversaryView, Emission};
+use crate::node::ChannelId;
+
+/// Each round, picks `t` random channels; on each, flips a biased coin
+/// between jamming (noise) and spoofing (forged frame).
+///
+/// `spoof_probability` of 0.0 degenerates to [`RandomJammer`]-like behaviour,
+/// 1.0 to [`Spoofer`]-like behaviour.
+///
+/// [`RandomJammer`]: crate::adversaries::RandomJammer
+/// [`Spoofer`]: crate::adversaries::Spoofer
+#[derive(Clone, Debug)]
+pub struct HybridAdversary<F> {
+    rng: SmallRng,
+    spoof_probability: f64,
+    forge: F,
+}
+
+impl<F> HybridAdversary<F> {
+    /// A hybrid attacker; forged frames come from `forge(round, channel)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spoof_probability` is not within `[0, 1]`.
+    pub fn new(seed: u64, spoof_probability: f64, forge: F) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&spoof_probability),
+            "spoof_probability must be in [0,1], got {spoof_probability}"
+        );
+        HybridAdversary {
+            rng: SmallRng::seed_from_u64(seed ^ 0x11B2_1DAD),
+            spoof_probability,
+            forge,
+        }
+    }
+}
+
+impl<M, F> Adversary<M> for HybridAdversary<F>
+where
+    F: FnMut(u64, ChannelId) -> M,
+{
+    fn act(&mut self, round: u64, view: &AdversaryView<'_, M>) -> AdversaryAction<M> {
+        let budget = view.budget.min(view.channels);
+        let picks = sample(&mut self.rng, view.channels, budget);
+        let mut action = AdversaryAction::idle();
+        for ch in picks.iter().map(ChannelId) {
+            if self.rng.gen_bool(self.spoof_probability) {
+                action.push(ch, Emission::Spoof((self.forge)(round, ch)));
+            } else {
+                action.push(ch, Emission::Noise);
+            }
+        }
+        action
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn mixes_noise_and_spoofs() {
+        let trace: Trace<u8> = Trace::default();
+        let view = AdversaryView {
+            channels: 8,
+            budget: 4,
+            nodes: 2,
+            trace: &trace,
+        };
+        let mut adv = HybridAdversary::new(2, 0.5, |_, _| 0u8);
+        let (mut noise, mut spoof) = (0, 0);
+        for round in 0..100 {
+            for (_, e) in adv.act(round, &view).transmissions {
+                match e {
+                    Emission::Noise => noise += 1,
+                    Emission::Spoof(_) => spoof += 1,
+                }
+            }
+        }
+        assert!(noise > 50, "expected a healthy mix, noise={noise}");
+        assert!(spoof > 50, "expected a healthy mix, spoof={spoof}");
+    }
+
+    #[test]
+    #[should_panic(expected = "spoof_probability")]
+    fn rejects_bad_probability() {
+        let _ = HybridAdversary::new(0, 1.5, |_: u64, _: ChannelId| 0u8);
+    }
+}

@@ -1,0 +1,100 @@
+//! A roster of protocol-agnostic adversaries.
+//!
+//! These attackers only use information the model grants them: the public
+//! parameters and the trace of completed rounds. Protocol-aware attackers
+//! (which recompute a protocol's deterministic schedule to jam optimally —
+//! e.g. the triangle-isolation attack of Section 5 or the simulating
+//! adversary of Theorem 2) live in the `fame` crate next to the protocols
+//! they target.
+
+mod busy;
+mod fixed;
+mod hybrid;
+mod random;
+mod spoofer;
+mod sweep;
+
+pub use busy::BusyChannelJammer;
+pub use fixed::FixedJammer;
+pub use hybrid::HybridAdversary;
+pub use random::RandomJammer;
+pub use spoofer::Spoofer;
+pub use sweep::SweepJammer;
+
+use crate::adversary::{Adversary, AdversaryAction, AdversaryView};
+
+/// The benign environment: never transmits.
+///
+/// ```rust
+/// use radio_network::{Adversary, AdversaryView, Trace, adversaries::NoAdversary};
+/// let mut adv = NoAdversary;
+/// let trace: Trace<u32> = Trace::default();
+/// let view = AdversaryView { channels: 3, budget: 2, nodes: 5, trace: &trace };
+/// assert!(adv.act(0, &view).is_empty());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct NoAdversary;
+
+impl<M> Adversary<M> for NoAdversary {
+    fn act(&mut self, _round: u64, _view: &AdversaryView<'_, M>) -> AdversaryAction<M> {
+        AdversaryAction::idle()
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    /// Every stock adversary must respect the budget on every round, for a
+    /// spread of configurations.
+    #[test]
+    fn roster_respects_budget() {
+        let trace: Trace<u64> = Trace::default();
+        for (c, t) in [(2usize, 1usize), (3, 2), (5, 2), (8, 7), (16, 3)] {
+            let view = AdversaryView {
+                channels: c,
+                budget: t,
+                nodes: 10,
+                trace: &trace,
+            };
+            let mut roster: Vec<Box<dyn Adversary<u64>>> = vec![
+                Box::new(NoAdversary),
+                Box::new(RandomJammer::new(7)),
+                Box::new(SweepJammer::new()),
+                Box::new(FixedJammer::first_channels(t)),
+                Box::new(BusyChannelJammer::new(9, 8)),
+                Box::new(Spoofer::new(3, |round, ch: crate::ChannelId| {
+                    round + ch.index() as u64
+                })),
+                Box::new(HybridAdversary::new(5, 0.5, |_, _| 42u64)),
+            ];
+            for adv in roster.iter_mut() {
+                for round in 0..50 {
+                    let action = adv.act(round, &view);
+                    assert!(
+                        action.len() <= t,
+                        "{} exceeded budget: {} > {} (C={})",
+                        adv.name(),
+                        action.len(),
+                        t,
+                        c
+                    );
+                    let mut chans: Vec<_> =
+                        action.transmissions.iter().map(|(c, _)| *c).collect();
+                    chans.sort_unstable();
+                    let before = chans.len();
+                    chans.dedup();
+                    assert_eq!(before, chans.len(), "{} duplicated a channel", adv.name());
+                    for ch in chans {
+                        assert!(ch.index() < c, "{} out of range", adv.name());
+                    }
+                }
+            }
+        }
+    }
+}

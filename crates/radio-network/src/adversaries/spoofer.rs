@@ -1,0 +1,71 @@
+//! A message-forging adversary.
+
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+use crate::adversary::{Adversary, AdversaryAction, AdversaryView, Emission};
+use crate::node::ChannelId;
+
+/// Spoofs forged frames on `t` random channels every round.
+///
+/// The forged frame is produced by a caller-supplied factory, so protocol
+/// test suites can inject *plausible* fakes (e.g. well-formed protocol
+/// messages with wrong contents) rather than garbage. Spoofs that land on a
+/// channel with an honest transmitter merely collide, so this adversary is
+/// simultaneously a jammer.
+#[derive(Clone, Debug)]
+pub struct Spoofer<F> {
+    rng: SmallRng,
+    forge: F,
+}
+
+impl<F> Spoofer<F> {
+    /// A spoofer forging frames with `forge(round, channel)`.
+    pub fn new(seed: u64, forge: F) -> Self {
+        Spoofer {
+            rng: SmallRng::seed_from_u64(seed ^ 0x5F00_F5F0),
+            forge,
+        }
+    }
+}
+
+impl<M, F> Adversary<M> for Spoofer<F>
+where
+    F: FnMut(u64, ChannelId) -> M,
+{
+    fn act(&mut self, round: u64, view: &AdversaryView<'_, M>) -> AdversaryAction<M> {
+        let budget = view.budget.min(view.channels);
+        let picks = sample(&mut self.rng, view.channels, budget);
+        let mut action = AdversaryAction::idle();
+        for ch in picks.iter().map(ChannelId) {
+            action.push(ch, Emission::Spoof((self.forge)(round, ch)));
+        }
+        action
+    }
+
+    fn name(&self) -> &'static str {
+        "spoofer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn all_emissions_are_spoofs() {
+        let trace: Trace<u64> = Trace::default();
+        let view = AdversaryView {
+            channels: 4,
+            budget: 3,
+            nodes: 2,
+            trace: &trace,
+        };
+        let mut adv = Spoofer::new(1, |round, ch: ChannelId| round * 10 + ch.index() as u64);
+        let action = adv.act(7, &view);
+        assert_eq!(action.len(), 3);
+        assert!(action.transmissions.iter().all(|(_, e)| e.is_spoof()));
+    }
+}

@@ -1,0 +1,70 @@
+//! A jammer that sweeps a window across the spectrum.
+
+use crate::adversary::{Adversary, AdversaryAction, AdversaryView};
+use crate::node::ChannelId;
+
+/// Jams a contiguous window of `t` channels, sliding by `t` each round
+/// (wrapping). Over `ceil(C/t)` rounds every channel gets hit.
+///
+/// A classic pattern for frequency-sweeping interference sources.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SweepJammer {
+    offset: usize,
+}
+
+impl SweepJammer {
+    /// A sweep starting at channel 0.
+    pub fn new() -> Self {
+        SweepJammer::default()
+    }
+
+    /// A sweep starting at `offset`.
+    pub fn starting_at(offset: usize) -> Self {
+        SweepJammer { offset }
+    }
+}
+
+impl<M> Adversary<M> for SweepJammer {
+    fn act(&mut self, _round: u64, view: &AdversaryView<'_, M>) -> AdversaryAction<M> {
+        if view.budget == 0 {
+            return AdversaryAction::idle();
+        }
+        let start = self.offset % view.channels;
+        let action = AdversaryAction::jam(
+            (0..view.budget.min(view.channels)).map(|i| ChannelId((start + i) % view.channels)),
+        );
+        self.offset = (self.offset + view.budget) % view.channels;
+        action
+    }
+
+    fn name(&self) -> &'static str {
+        "sweep-jammer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    #[test]
+    fn sweeps_entire_spectrum() {
+        let trace: Trace<u8> = Trace::default();
+        let view = AdversaryView {
+            channels: 5,
+            budget: 2,
+            nodes: 4,
+            trace: &trace,
+        };
+        let mut adv = SweepJammer::new();
+        let mut hit = [0u32; 5];
+        for round in 0..10 {
+            for (c, _) in adv.act(round, &view).transmissions {
+                hit[c.index()] += 1;
+            }
+        }
+        assert!(hit.iter().all(|&h| h > 0));
+        // 10 rounds x 2 channels = 20 jams spread over 5 channels.
+        assert_eq!(hit.iter().sum::<u32>(), 20);
+    }
+}

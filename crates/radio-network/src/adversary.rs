@@ -1,0 +1,114 @@
+//! The adversary interface: a `t`-channel jamming/spoofing attacker with
+//! full hindsight (Section 3 of the paper).
+
+use crate::node::ChannelId;
+use crate::trace::Trace;
+
+/// What the adversary emits on one channel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Emission<M> {
+    /// Raw energy: collides with an honest frame; sounds like silence on an
+    /// otherwise idle channel (listeners cannot detect collisions).
+    Noise,
+    /// A forged frame: delivered verbatim to listeners if the channel is
+    /// otherwise idle, otherwise it merely collides.
+    Spoof(M),
+}
+
+impl<M> Emission<M> {
+    /// `true` for [`Emission::Spoof`].
+    pub fn is_spoof(&self) -> bool {
+        matches!(self, Emission::Spoof(_))
+    }
+}
+
+/// The adversary's move for one round: at most `t` distinct channels, each
+/// carrying either noise or a spoofed frame.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AdversaryAction<M> {
+    /// `(channel, emission)` pairs; the engine rejects duplicates and
+    /// more than `t` entries.
+    pub transmissions: Vec<(ChannelId, Emission<M>)>,
+}
+
+impl<M> AdversaryAction<M> {
+    /// An empty action (the adversary stays quiet this round).
+    pub fn idle() -> Self {
+        AdversaryAction {
+            transmissions: Vec::new(),
+        }
+    }
+
+    /// Jam every channel in `channels` with noise.
+    pub fn jam<I>(channels: I) -> Self
+    where
+        I: IntoIterator<Item = ChannelId>,
+    {
+        AdversaryAction {
+            transmissions: channels
+                .into_iter()
+                .map(|c| (c, Emission::Noise))
+                .collect(),
+        }
+    }
+
+    /// Add one more transmission.
+    pub fn push(&mut self, channel: ChannelId, emission: Emission<M>) {
+        self.transmissions.push((channel, emission));
+    }
+
+    /// Number of channels used.
+    pub fn len(&self) -> usize {
+        self.transmissions.len()
+    }
+
+    /// `true` when the adversary does nothing.
+    pub fn is_empty(&self) -> bool {
+        self.transmissions.is_empty()
+    }
+}
+
+/// Read-only view handed to the adversary each round.
+///
+/// The adversary listens on all `C` channels and, per the model, learns every
+/// random choice made in *completed* rounds: the [`Trace`] contains the full
+/// per-round record of what every honest node did. It never contains the
+/// current round — the adversary must commit before the honest nodes' current
+/// coins are revealed.
+#[derive(Debug)]
+pub struct AdversaryView<'a, M> {
+    /// Number of channels `C`.
+    pub channels: usize,
+    /// Adversary budget `t`.
+    pub budget: usize,
+    /// Number of honest nodes `n`.
+    pub nodes: usize,
+    /// Everything that happened in completed rounds.
+    pub trace: &'a Trace<M>,
+}
+
+/// A malicious attacker controlling up to `t` channels per round.
+///
+/// Implementations decide, per round, which channels to disrupt and whether
+/// to jam or spoof, based on the full history of completed rounds. Exceeding
+/// the budget is an engine error, not a silent clamp — see
+/// [`EngineError::AdversaryBudgetExceeded`](crate::EngineError::AdversaryBudgetExceeded).
+pub trait Adversary<M> {
+    /// Decide this round's transmissions.
+    fn act(&mut self, round: u64, view: &AdversaryView<'_, M>) -> AdversaryAction<M>;
+
+    /// Human-readable name used in reports and experiment tables.
+    fn name(&self) -> &'static str {
+        "adversary"
+    }
+}
+
+impl<M> Adversary<M> for Box<dyn Adversary<M>> {
+    fn act(&mut self, round: u64, view: &AdversaryView<'_, M>) -> AdversaryAction<M> {
+        (**self).act(round, view)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,492 @@
+//! The round-resolution engine: pure channel semantics of the model.
+
+use crate::adversary::{AdversaryAction, Emission};
+use crate::error::EngineError;
+use crate::node::{Action, ChannelId, NodeId};
+use crate::stats::Stats;
+use crate::trace::{RoundRecord, Trace, TraceRetention};
+
+/// Static configuration of the radio network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NetworkConfig {
+    channels: usize,
+    budget: usize,
+    retention: TraceRetention,
+}
+
+impl NetworkConfig {
+    /// A network with `channels` channels and an adversary able to disrupt
+    /// up to `budget` (= `t`) of them per round.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::TooFewChannels`] if `channels < 2` (the model
+    ///   requires `C > 1`).
+    /// * [`EngineError::BudgetTooLarge`] if `budget >= channels` (the model
+    ///   requires `t < C`; with `t >= C` no communication is possible).
+    pub fn new(channels: usize, budget: usize) -> Result<Self, EngineError> {
+        if channels < 2 {
+            return Err(EngineError::TooFewChannels { channels });
+        }
+        if budget >= channels {
+            return Err(EngineError::BudgetTooLarge { budget, channels });
+        }
+        Ok(NetworkConfig {
+            channels,
+            budget,
+            retention: TraceRetention::default(),
+        })
+    }
+
+    /// The minimal interesting configuration of the paper: `C = t + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkConfig::new`].
+    pub fn minimal(t: usize) -> Result<Self, EngineError> {
+        NetworkConfig::new(t + 1, t)
+    }
+
+    /// Replace the trace-retention policy (default: keep everything).
+    #[must_use]
+    pub fn with_retention(mut self, retention: TraceRetention) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// Number of channels `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Adversary budget `t`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Trace-retention policy.
+    pub fn retention(&self) -> TraceRetention {
+        self.retention
+    }
+}
+
+/// How a single channel resolved in one round.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChannelOutcome<M> {
+    /// Nobody (honest or adversarial) transmitted.
+    Idle,
+    /// Exactly one honest transmitter: its frame was delivered.
+    Delivered {
+        /// The transmitting node.
+        from: NodeId,
+        /// The delivered frame.
+        frame: M,
+    },
+    /// The adversary spoofed an otherwise idle channel: forged frame delivered.
+    SpoofDelivered {
+        /// The forged frame.
+        frame: M,
+    },
+    /// Two or more transmitters (any mix of honest/adversarial): all lost.
+    Collision {
+        /// Honest transmitters involved.
+        honest: Vec<NodeId>,
+        /// `true` if the adversary contributed to the collision.
+        adversary: bool,
+    },
+    /// The adversary emitted pure noise on an otherwise idle channel
+    /// (indistinguishable from silence for listeners).
+    NoiseOnly,
+}
+
+impl<M: Clone> ChannelOutcome<M> {
+    /// The frame listeners on this channel receive (`None` = silence/collision).
+    pub fn heard(&self) -> Option<M> {
+        match self {
+            ChannelOutcome::Delivered { frame, .. } | ChannelOutcome::SpoofDelivered { frame } => {
+                Some(frame.clone())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The full resolution of one round: per-channel outcomes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoundResolution<M> {
+    /// Round number resolved.
+    pub round: u64,
+    /// Outcome per channel, indexed by channel id.
+    pub outcomes: Vec<ChannelOutcome<M>>,
+}
+
+impl<M: Clone> RoundResolution<M> {
+    /// What a listener tuned to `channel` hears.
+    pub fn heard_on(&self, channel: ChannelId) -> Option<M> {
+        self.outcomes[channel.index()].heard()
+    }
+}
+
+/// The radio medium: resolves rounds, accumulates the [`Trace`] and [`Stats`].
+///
+/// `Network` is deliberately free of nodes and adversaries — it is a pure
+/// referee. Use [`Simulation`](crate::Simulation) to drive full protocol
+/// stacks, or call [`Network::resolve_round`] directly in unit tests.
+#[derive(Debug)]
+pub struct Network<M> {
+    cfg: NetworkConfig,
+    round: u64,
+    trace: Trace<M>,
+    stats: Stats,
+}
+
+impl<M: Clone> Network<M> {
+    /// A fresh network at round 0.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        Network {
+            cfg,
+            round: 0,
+            trace: Trace::new(cfg.retention()),
+            stats: Stats::default(),
+        }
+    }
+
+    /// The configuration this network runs with.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// The next round to be resolved.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The accumulated execution trace.
+    pub fn trace(&self) -> &Trace<M> {
+        &self.trace
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resolve one round given every honest action and the adversary's move.
+    ///
+    /// `actions[i]` is the action of node `i`. Returns per-channel outcomes;
+    /// the caller distributes receptions to listeners (or uses
+    /// [`Simulation`](crate::Simulation) which does so automatically).
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::ChannelOutOfRange`] /
+    ///   [`EngineError::AdversaryChannelOutOfRange`] on bad channels;
+    /// * [`EngineError::AdversaryBudgetExceeded`] if the adversary used more
+    ///   than `t` channels;
+    /// * [`EngineError::AdversaryDuplicateChannel`] if it listed one channel
+    ///   twice.
+    pub fn resolve_round(
+        &mut self,
+        actions: &[Action<M>],
+        adversary: AdversaryAction<M>,
+    ) -> Result<RoundResolution<M>, EngineError> {
+        let c = self.cfg.channels();
+        // -- validate ---------------------------------------------------
+        for (i, action) in actions.iter().enumerate() {
+            if let Some(ch) = action.channel() {
+                if ch.index() >= c {
+                    return Err(EngineError::ChannelOutOfRange {
+                        node: NodeId(i),
+                        channel: ch,
+                        channels: c,
+                    });
+                }
+            }
+        }
+        if adversary.len() > self.cfg.budget() {
+            return Err(EngineError::AdversaryBudgetExceeded {
+                used: adversary.len(),
+                budget: self.cfg.budget(),
+                round: self.round,
+            });
+        }
+        let mut seen = vec![false; c];
+        for (ch, _) in &adversary.transmissions {
+            if ch.index() >= c {
+                return Err(EngineError::AdversaryChannelOutOfRange {
+                    channel: *ch,
+                    channels: c,
+                });
+            }
+            if seen[ch.index()] {
+                return Err(EngineError::AdversaryDuplicateChannel {
+                    channel: *ch,
+                    round: self.round,
+                });
+            }
+            seen[ch.index()] = true;
+        }
+
+        // -- gather per channel ------------------------------------------
+        let mut honest_tx: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); c];
+        let mut listeners: Vec<(NodeId, ChannelId)> = Vec::new();
+        for (i, action) in actions.iter().enumerate() {
+            match action {
+                Action::Transmit { channel, frame } => {
+                    honest_tx[channel.index()].push((NodeId(i), frame.clone()));
+                }
+                Action::Listen { channel } => listeners.push((NodeId(i), *channel)),
+                Action::Sleep => {}
+            }
+        }
+        let mut adv_tx: Vec<Option<Emission<M>>> = vec![None; c];
+        for (ch, emission) in &adversary.transmissions {
+            adv_tx[ch.index()] = Some(emission.clone());
+        }
+
+        // -- resolve -------------------------------------------------------
+        let mut outcomes: Vec<ChannelOutcome<M>> = Vec::with_capacity(c);
+        for ch in 0..c {
+            let honest = &honest_tx[ch];
+            let adv = &adv_tx[ch];
+            let outcome = match (honest.len(), adv) {
+                (0, None) => ChannelOutcome::Idle,
+                (0, Some(Emission::Noise)) => ChannelOutcome::NoiseOnly,
+                (0, Some(Emission::Spoof(frame))) => ChannelOutcome::SpoofDelivered {
+                    frame: frame.clone(),
+                },
+                (1, None) => {
+                    let (from, frame) = honest[0].clone();
+                    ChannelOutcome::Delivered { from, frame }
+                }
+                // one honest + adversary, or >=2 honest: collision.
+                _ => ChannelOutcome::Collision {
+                    honest: honest.iter().map(|&(id, _)| id).collect(),
+                    adversary: adv.is_some(),
+                },
+            };
+            outcomes.push(outcome);
+        }
+
+        // -- stats ---------------------------------------------------------
+        self.stats.rounds += 1;
+        self.stats.adversary_transmissions += adversary.len() as u64;
+        for (ch, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                ChannelOutcome::Delivered { .. } => {
+                    self.stats.honest_transmissions += 1;
+                    self.stats.honest_deliveries += 1;
+                }
+                ChannelOutcome::SpoofDelivered { .. } => {
+                    if listeners.iter().any(|&(_, l)| l.index() == ch) {
+                        self.stats.spoofs_delivered += 1;
+                    }
+                }
+                ChannelOutcome::Collision { honest, adversary } => {
+                    self.stats.honest_transmissions += honest.len() as u64;
+                    self.stats.collisions += honest.len() as u64;
+                    if *adversary {
+                        self.stats.jams_effective += 1;
+                    }
+                }
+                ChannelOutcome::Idle | ChannelOutcome::NoiseOnly => {}
+            }
+        }
+        for &(_, ch) in &listeners {
+            match outcomes[ch.index()].heard() {
+                Some(_) => self.stats.frames_received += 1,
+                None => self.stats.silent_receptions += 1,
+            }
+        }
+
+        // -- trace -----------------------------------------------------------
+        let delivered: Vec<Option<M>> = outcomes.iter().map(ChannelOutcome::heard).collect();
+        let mut transmissions = Vec::new();
+        for (ch, txs) in honest_tx.iter().enumerate() {
+            for (id, frame) in txs {
+                transmissions.push((*id, ChannelId(ch), frame.clone()));
+            }
+        }
+        self.trace.push(RoundRecord {
+            round: self.round,
+            transmissions,
+            listeners,
+            adversary: adversary.transmissions,
+            delivered,
+        });
+
+        let resolution = RoundResolution {
+            round: self.round,
+            outcomes,
+        };
+        self.round += 1;
+        Ok(resolution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig::new(3, 2).unwrap()
+    }
+
+    fn tx(ch: usize, frame: u32) -> Action<u32> {
+        Action::Transmit {
+            channel: ChannelId(ch),
+            frame,
+        }
+    }
+
+    fn listen(ch: usize) -> Action<u32> {
+        Action::Listen {
+            channel: ChannelId(ch),
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(
+            NetworkConfig::new(1, 0),
+            Err(EngineError::TooFewChannels { channels: 1 })
+        );
+        assert_eq!(
+            NetworkConfig::new(3, 3),
+            Err(EngineError::BudgetTooLarge {
+                budget: 3,
+                channels: 3
+            })
+        );
+        assert!(NetworkConfig::new(2, 1).is_ok());
+        let minimal = NetworkConfig::minimal(4).unwrap();
+        assert_eq!(minimal.channels(), 5);
+        assert_eq!(minimal.budget(), 4);
+    }
+
+    #[test]
+    fn single_transmitter_delivers() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let res = net
+            .resolve_round(&[tx(0, 7), listen(0), listen(1)], AdversaryAction::idle())
+            .unwrap();
+        assert_eq!(res.heard_on(ChannelId(0)), Some(7));
+        assert_eq!(res.heard_on(ChannelId(1)), None);
+        assert_eq!(net.stats().honest_deliveries, 1);
+        assert_eq!(net.stats().frames_received, 1);
+        assert_eq!(net.stats().silent_receptions, 1);
+    }
+
+    #[test]
+    fn two_honest_transmitters_collide() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let res = net
+            .resolve_round(&[tx(0, 1), tx(0, 2), listen(0)], AdversaryAction::idle())
+            .unwrap();
+        assert_eq!(res.heard_on(ChannelId(0)), None);
+        assert!(matches!(
+            res.outcomes[0],
+            ChannelOutcome::Collision {
+                ref honest,
+                adversary: false
+            } if honest.len() == 2
+        ));
+        assert_eq!(net.stats().collisions, 2);
+    }
+
+    #[test]
+    fn jam_collides_with_honest_frame() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let adv = AdversaryAction::jam([ChannelId(0)]);
+        let res = net.resolve_round(&[tx(0, 1), listen(0)], adv).unwrap();
+        assert_eq!(res.heard_on(ChannelId(0)), None);
+        assert_eq!(net.stats().jams_effective, 1);
+        assert_eq!(net.stats().collisions, 1);
+    }
+
+    #[test]
+    fn spoof_on_idle_channel_delivers_fake() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let mut adv = AdversaryAction::idle();
+        adv.push(ChannelId(1), Emission::Spoof(666));
+        let res = net.resolve_round(&[listen(1)], adv).unwrap();
+        assert_eq!(res.heard_on(ChannelId(1)), Some(666));
+        assert_eq!(net.stats().spoofs_delivered, 1);
+    }
+
+    #[test]
+    fn spoof_concurrent_with_honest_collides() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let mut adv = AdversaryAction::idle();
+        adv.push(ChannelId(0), Emission::Spoof(666));
+        let res = net.resolve_round(&[tx(0, 1), listen(0)], adv).unwrap();
+        assert_eq!(res.heard_on(ChannelId(0)), None);
+        assert_eq!(net.stats().spoofs_delivered, 0);
+        assert_eq!(net.stats().jams_effective, 1);
+    }
+
+    #[test]
+    fn noise_on_idle_channel_sounds_like_silence() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let adv = AdversaryAction::jam([ChannelId(2)]);
+        let res = net.resolve_round(&[listen(2)], adv).unwrap();
+        assert_eq!(res.heard_on(ChannelId(2)), None);
+        assert!(matches!(res.outcomes[2], ChannelOutcome::NoiseOnly));
+    }
+
+    #[test]
+    fn budget_enforced_not_clamped() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let adv = AdversaryAction::jam([ChannelId(0), ChannelId(1), ChannelId(2)]);
+        let err = net.resolve_round(&[], adv).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::AdversaryBudgetExceeded {
+                used: 3,
+                budget: 2,
+                round: 0
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_adversary_channel_rejected() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let adv = AdversaryAction::jam([ChannelId(1), ChannelId(1)]);
+        let err = net.resolve_round(&[], adv).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::AdversaryDuplicateChannel {
+                channel: ChannelId(1),
+                round: 0
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_channels_rejected() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let err = net
+            .resolve_round(&[tx(9, 0)], AdversaryAction::idle())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ChannelOutOfRange { .. }));
+
+        let adv = AdversaryAction::jam([ChannelId(17)]);
+        let err = net.resolve_round(&[], adv).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::AdversaryChannelOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn trace_records_round() {
+        let mut net: Network<u32> = Network::new(cfg());
+        net.resolve_round(&[tx(0, 5), listen(0)], AdversaryAction::idle())
+            .unwrap();
+        let rec = net.trace().last().unwrap();
+        assert_eq!(rec.transmissions, vec![(NodeId(0), ChannelId(0), 5)]);
+        assert_eq!(rec.listeners, vec![(NodeId(1), ChannelId(0))]);
+        assert_eq!(rec.delivered, vec![Some(5), None, None]);
+    }
+}

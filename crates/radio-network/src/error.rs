@@ -1,0 +1,111 @@
+//! Error type for the simulation engine.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::{ChannelId, NodeId};
+
+/// Errors surfaced by [`Network`](crate::Network) and
+/// [`Simulation`](crate::Simulation).
+///
+/// The engine validates its inputs (channel bounds, adversary budget) instead
+/// of silently clamping them, so experiments can never accidentally run with
+/// a stronger or weaker adversary than configured.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The network was configured with fewer than two channels.
+    TooFewChannels {
+        /// Channels requested.
+        channels: usize,
+    },
+    /// The adversary budget `t` must satisfy `t < C`.
+    BudgetTooLarge {
+        /// Budget requested.
+        budget: usize,
+        /// Channels available.
+        channels: usize,
+    },
+    /// An honest node used a channel outside `0..C`.
+    ChannelOutOfRange {
+        /// Offending node.
+        node: NodeId,
+        /// Offending channel.
+        channel: ChannelId,
+        /// Channels available.
+        channels: usize,
+    },
+    /// The adversary used a channel outside `0..C`.
+    AdversaryChannelOutOfRange {
+        /// Offending channel.
+        channel: ChannelId,
+        /// Channels available.
+        channels: usize,
+    },
+    /// The adversary transmitted on more than `t` channels in one round.
+    AdversaryBudgetExceeded {
+        /// Channels the adversary attempted to use.
+        used: usize,
+        /// Configured budget `t`.
+        budget: usize,
+        /// Round in which the violation happened.
+        round: u64,
+    },
+    /// The adversary listed the same channel twice in one round.
+    AdversaryDuplicateChannel {
+        /// Duplicated channel.
+        channel: ChannelId,
+        /// Round in which the violation happened.
+        round: u64,
+    },
+    /// A simulation ran past its round limit without all nodes terminating.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+        /// Number of nodes still running.
+        unfinished: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TooFewChannels { channels } => {
+                write!(f, "network needs at least 2 channels, got {channels}")
+            }
+            EngineError::BudgetTooLarge { budget, channels } => write!(
+                f,
+                "adversary budget t={budget} must be smaller than channel count C={channels}"
+            ),
+            EngineError::ChannelOutOfRange {
+                node,
+                channel,
+                channels,
+            } => write!(
+                f,
+                "node {node} used {channel} but only {channels} channels exist"
+            ),
+            EngineError::AdversaryChannelOutOfRange { channel, channels } => write!(
+                f,
+                "adversary used {channel} but only {channels} channels exist"
+            ),
+            EngineError::AdversaryBudgetExceeded {
+                used,
+                budget,
+                round,
+            } => write!(
+                f,
+                "adversary transmitted on {used} channels in round {round}, budget is {budget}"
+            ),
+            EngineError::AdversaryDuplicateChannel { channel, round } => write!(
+                f,
+                "adversary listed {channel} twice in round {round}"
+            ),
+            EngineError::RoundLimitExceeded { limit, unfinished } => write!(
+                f,
+                "simulation hit the {limit}-round limit with {unfinished} nodes unfinished"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}

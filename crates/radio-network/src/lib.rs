@@ -1,0 +1,73 @@
+//! # radio-network
+//!
+//! A synchronous, multi-channel, single-hop radio network simulator with a
+//! malicious (jamming + spoofing) adversary, implementing the exact model of
+//!
+//! > Dolev, Gilbert, Guerraoui, Newport.
+//! > *Secure Communication Over Radio Channels.* PODC 2008, Section 3.
+//!
+//! ## Model
+//!
+//! * `n` honest nodes, `C > 1` channels, lock-step synchronous rounds.
+//! * Per round each node either **transmits** on one channel, **listens** on
+//!   one channel, or **sleeps**.
+//! * If exactly one transmitter (honest or adversarial) is active on a
+//!   channel, every listener on that channel receives the frame. If zero or
+//!   two-or-more transmitters are active, listeners receive nothing — and
+//!   nodes *cannot* distinguish silence from collision (no collision
+//!   detection).
+//! * The adversary transmits on up to `t < C` channels per round and listens
+//!   on all `C` channels. It can **jam** (collide with an honest frame) and
+//!   **spoof** (inject a fake frame on an otherwise idle channel). It learns
+//!   every completed round in full — including the honest nodes' random
+//!   choices — but never the current round's choices before acting.
+//!
+//! ## Architecture
+//!
+//! * [`Network`] — pure round-resolution engine (channel semantics above).
+//! * [`Protocol`] — the state-machine trait honest nodes implement.
+//! * [`Adversary`] — the attacker trait; batteries included in
+//!   [`adversaries`].
+//! * [`Simulation`] — drives a vector of protocol nodes plus one adversary
+//!   against a [`Network`] until completion, collecting a [`Trace`] and
+//!   [`Stats`].
+//!
+//! ## Example
+//!
+//! ```rust
+//! use radio_network::{adversaries::RandomJammer, NetworkConfig, Simulation};
+//! use radio_network::testing::BeaconNode;
+//!
+//! # fn main() -> Result<(), radio_network::EngineError> {
+//! // Three channels, adversary may disrupt up to two per round.
+//! let cfg = NetworkConfig::new(3, 2)?;
+//! // Ten beacon nodes that broadcast/listen at random (a toy protocol).
+//! let nodes: Vec<BeaconNode> = (0..10).map(|i| BeaconNode::new(i, 3, 7)).collect();
+//! let adversary = RandomJammer::new(42);
+//! let mut sim = Simulation::new(cfg, nodes, adversary, 99)?;
+//! let report = sim.run(1_000)?;
+//! assert!(report.rounds <= 1_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversaries;
+mod adversary;
+mod engine;
+mod error;
+mod node;
+mod simulation;
+mod stats;
+pub mod testing;
+mod trace;
+
+pub use adversary::{Adversary, AdversaryAction, AdversaryView, Emission};
+pub use engine::{ChannelOutcome, Network, NetworkConfig, RoundResolution};
+pub use error::EngineError;
+pub use node::{Action, ChannelId, NodeId, Protocol, Reception};
+pub use simulation::{Inspector, Simulation, SimulationReport};
+pub use stats::Stats;
+pub use trace::{RoundRecord, Trace, TraceRetention};

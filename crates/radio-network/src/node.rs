@@ -1,0 +1,147 @@
+//! Node-facing types: identities, per-round actions, and the [`Protocol`]
+//! state-machine trait implemented by honest nodes.
+
+use std::fmt;
+
+/// Identity of an honest node (`p_1 … p_n` in the paper, zero-indexed here).
+///
+/// A plain newtype over `usize` so protocol crates can use node ids as vector
+/// indices without casts scattered around.
+///
+/// ```rust
+/// use radio_network::NodeId;
+/// let p = NodeId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(format!("{p}"), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index (usable directly as a `Vec` index).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// One of the `C` communication channels, zero-indexed.
+///
+/// ```rust
+/// use radio_network::ChannelId;
+/// let c = ChannelId(0);
+/// assert_eq!(c.index(), 0);
+/// assert_eq!(format!("{c}"), "ch0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct ChannelId(pub usize);
+
+impl ChannelId {
+    /// The underlying index (usable directly as a `Vec` index).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl From<usize> for ChannelId {
+    fn from(i: usize) -> Self {
+        ChannelId(i)
+    }
+}
+
+/// What a node does during one synchronous round.
+///
+/// The model of the paper (Section 3) allows a node to use a single channel
+/// per round, either to transmit or to receive; it may also stay idle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action<M> {
+    /// Broadcast `frame` on `channel`.
+    Transmit {
+        /// Channel the frame is broadcast on.
+        channel: ChannelId,
+        /// Payload broadcast this round.
+        frame: M,
+    },
+    /// Tune to `channel` and receive whatever the channel resolves to.
+    Listen {
+        /// Channel tuned to.
+        channel: ChannelId,
+    },
+    /// Do nothing this round.
+    Sleep,
+}
+
+impl<M> Action<M> {
+    /// The channel this action occupies, if any.
+    pub fn channel(&self) -> Option<ChannelId> {
+        match self {
+            Action::Transmit { channel, .. } | Action::Listen { channel } => Some(*channel),
+            Action::Sleep => None,
+        }
+    }
+
+    /// `true` if this action is a transmission.
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, Action::Transmit { .. })
+    }
+
+    /// `true` if this action is a listen.
+    pub fn is_listen(&self) -> bool {
+        matches!(self, Action::Listen { .. })
+    }
+}
+
+/// What a listening node hears at the end of a round.
+///
+/// `frame == None` encodes *silence-or-collision*: per the model, a node
+/// cannot distinguish an idle channel from a collided one.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reception<M> {
+    /// The channel the node was tuned to.
+    pub channel: ChannelId,
+    /// The received frame, or `None` on silence/collision.
+    pub frame: Option<M>,
+}
+
+/// State machine implemented by an honest protocol node.
+///
+/// The [`Simulation`](crate::Simulation) driver calls [`Protocol::begin_round`]
+/// on every node (collecting actions), resolves the round, then calls
+/// [`Protocol::end_round`] with the node's reception (present only when the
+/// node listened). A node must base decisions solely on its own state — that
+/// is what makes agreement properties of the paper's protocols meaningful.
+pub trait Protocol {
+    /// The frame type broadcast over the air.
+    type Msg: Clone;
+
+    /// Called at the start of round `round`; returns the node's action.
+    fn begin_round(&mut self, round: u64) -> Action<Self::Msg>;
+
+    /// Called at the end of round `round`.
+    ///
+    /// `reception` is `Some` exactly when the node chose [`Action::Listen`]
+    /// this round.
+    fn end_round(&mut self, round: u64, reception: Option<Reception<Self::Msg>>);
+
+    /// `true` once the node has terminated its protocol.
+    fn is_done(&self) -> bool;
+}

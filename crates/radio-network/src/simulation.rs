@@ -1,0 +1,281 @@
+//! The simulation driver: protocol nodes + adversary + network, run to
+//! completion.
+
+use crate::adversary::{Adversary, AdversaryView};
+use crate::engine::{Network, NetworkConfig};
+use crate::error::EngineError;
+use crate::node::{Action, Protocol, Reception};
+use crate::stats::Stats;
+use crate::trace::Trace;
+
+/// Outcome of a completed simulation run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimulationReport {
+    /// Rounds executed before every node terminated.
+    pub rounds: u64,
+    /// Final statistics snapshot.
+    pub stats: Stats,
+}
+
+/// A hook invoked after every resolved round, used by tests to check
+/// cross-node invariants (the paper's Invariants 1–3) without the nodes
+/// sharing any state at runtime.
+pub type Inspector<'a, P> = dyn FnMut(u64, &[P]) + 'a;
+
+/// Drives `n` protocol nodes and one adversary against a [`Network`].
+///
+/// The driver enforces the information flow of the model: nodes see only
+/// their own receptions; the adversary sees the full trace of completed
+/// rounds but never the current round's actions.
+#[derive(Debug)]
+pub struct Simulation<P: Protocol, A> {
+    nodes: Vec<P>,
+    adversary: A,
+    network: Network<P::Msg>,
+}
+
+impl<P, A> Simulation<P, A>
+where
+    P: Protocol,
+    P::Msg: Clone,
+    A: Adversary<P::Msg>,
+{
+    /// Assemble a simulation. `_seed` is kept for API symmetry with future
+    /// drivers that inject per-node randomness; nodes own their RNGs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the network constructor (none
+    /// today, `cfg` is pre-validated; kept fallible for future proofing).
+    pub fn new(
+        cfg: NetworkConfig,
+        nodes: Vec<P>,
+        adversary: A,
+        _seed: u64,
+    ) -> Result<Self, EngineError> {
+        Ok(Simulation {
+            nodes,
+            adversary,
+            network: Network::new(cfg),
+        })
+    }
+
+    /// The nodes, for post-run output extraction.
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Consume the simulation, returning the nodes.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.nodes
+    }
+
+    /// The adversary, for post-run inspection.
+    pub fn adversary(&self) -> &A {
+        &self.adversary
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &Trace<P::Msg> {
+        self.network.trace()
+    }
+
+    /// The statistics so far.
+    pub fn stats(&self) -> &Stats {
+        self.network.stats()
+    }
+
+    /// `true` once every node reports [`Protocol::is_done`].
+    pub fn all_done(&self) -> bool {
+        self.nodes.iter().all(Protocol::is_done)
+    }
+
+    /// Execute exactly one round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine validation failures (bad channels, adversary
+    /// over budget).
+    pub fn step(&mut self) -> Result<(), EngineError> {
+        let round = self.network.round();
+
+        // Adversary commits first, seeing only completed rounds.
+        let view = AdversaryView {
+            channels: self.network.config().channels(),
+            budget: self.network.config().budget(),
+            nodes: self.nodes.len(),
+            trace: self.network.trace(),
+        };
+        let adv_action = self.adversary.act(round, &view);
+
+        // Honest nodes choose their actions.
+        let actions: Vec<Action<P::Msg>> =
+            self.nodes.iter_mut().map(|n| n.begin_round(round)).collect();
+
+        let resolution = self.network.resolve_round(&actions, adv_action)?;
+
+        // Deliver receptions.
+        for (node, action) in self.nodes.iter_mut().zip(&actions) {
+            let reception = match action {
+                Action::Listen { channel } => Some(Reception {
+                    channel: *channel,
+                    frame: resolution.heard_on(*channel),
+                }),
+                _ => None,
+            };
+            node.end_round(round, reception);
+        }
+        Ok(())
+    }
+
+    /// Run until every node is done, or until `max_rounds` have elapsed.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::RoundLimitExceeded`] if nodes are still running at the
+    /// limit, plus any engine validation failure from [`Simulation::step`].
+    pub fn run(&mut self, max_rounds: u64) -> Result<SimulationReport, EngineError> {
+        self.run_with_inspector(max_rounds, &mut |_, _| {})
+    }
+
+    /// Like [`Simulation::run`], invoking `inspector` after every round with
+    /// the round number and a read-only view of all nodes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::run`].
+    pub fn run_with_inspector(
+        &mut self,
+        max_rounds: u64,
+        inspector: &mut Inspector<'_, P>,
+    ) -> Result<SimulationReport, EngineError> {
+        let start = self.network.round();
+        while !self.all_done() {
+            if self.network.round() - start >= max_rounds {
+                return Err(EngineError::RoundLimitExceeded {
+                    limit: max_rounds,
+                    unfinished: self.nodes.iter().filter(|n| !n.is_done()).count(),
+                });
+            }
+            self.step()?;
+            inspector(self.network.round() - 1, &self.nodes);
+        }
+        Ok(SimulationReport {
+            rounds: self.network.round() - start,
+            stats: *self.network.stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversaries::NoAdversary;
+    use crate::node::ChannelId;
+
+    /// A node that transmits its id on round 0..k (if `talker`) then stops.
+    struct CountdownNode {
+        id: usize,
+        remaining: u32,
+        talker: bool,
+        heard: Vec<u32>,
+    }
+
+    impl Protocol for CountdownNode {
+        type Msg = u32;
+
+        fn begin_round(&mut self, _round: u64) -> Action<u32> {
+            if self.remaining == 0 {
+                return Action::Sleep;
+            }
+            if self.talker {
+                Action::Transmit {
+                    channel: ChannelId(0),
+                    frame: self.id as u32,
+                }
+            } else {
+                Action::Listen {
+                    channel: ChannelId(0),
+                }
+            }
+        }
+
+        fn end_round(&mut self, _round: u64, reception: Option<Reception<u32>>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+            }
+            if let Some(Reception {
+                frame: Some(frame), ..
+            }) = reception
+            {
+                self.heard.push(frame);
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    #[test]
+    fn listener_hears_single_talker() {
+        let cfg = NetworkConfig::new(2, 1).unwrap();
+        let nodes = vec![
+            CountdownNode {
+                id: 0,
+                remaining: 3,
+                talker: true,
+                heard: vec![],
+            },
+            CountdownNode {
+                id: 1,
+                remaining: 3,
+                talker: false,
+                heard: vec![],
+            },
+        ];
+        let mut sim = Simulation::new(cfg, nodes, NoAdversary, 0).unwrap();
+        let report = sim.run(10).unwrap();
+        assert_eq!(report.rounds, 3);
+        assert_eq!(sim.nodes()[1].heard, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn round_limit_is_an_error() {
+        let cfg = NetworkConfig::new(2, 1).unwrap();
+        let nodes = vec![CountdownNode {
+            id: 0,
+            remaining: 100,
+            talker: true,
+            heard: vec![],
+        }];
+        let mut sim = Simulation::new(cfg, nodes, NoAdversary, 0).unwrap();
+        let err = sim.run(5).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::RoundLimitExceeded {
+                limit: 5,
+                unfinished: 1
+            }
+        );
+    }
+
+    #[test]
+    fn inspector_sees_every_round() {
+        let cfg = NetworkConfig::new(2, 1).unwrap();
+        let nodes = vec![CountdownNode {
+            id: 0,
+            remaining: 4,
+            talker: true,
+            heard: vec![],
+        }];
+        let mut sim = Simulation::new(cfg, nodes, NoAdversary, 0).unwrap();
+        let mut seen = Vec::new();
+        sim.run_with_inspector(10, &mut |round, nodes| {
+            assert_eq!(nodes.len(), 1);
+            seen.push(round);
+        })
+        .unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Aggregate execution statistics, kept exact regardless of trace retention.
+
+use std::fmt;
+
+/// Counters accumulated over an execution.
+///
+/// All counters are exact even when the [`Trace`](crate::Trace) retains only
+/// a sliding window of rounds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Stats {
+    /// Rounds resolved.
+    pub rounds: u64,
+    /// Honest frames transmitted.
+    pub honest_transmissions: u64,
+    /// Honest frames delivered to at least one listener.
+    pub honest_deliveries: u64,
+    /// Honest transmissions lost to a collision (honest-honest or jam).
+    pub collisions: u64,
+    /// Adversary emissions (noise or spoof).
+    pub adversary_transmissions: u64,
+    /// Adversary spoofs that reached listeners (idle channel + listeners present).
+    pub spoofs_delivered: u64,
+    /// Adversary emissions that collided with at least one honest frame.
+    pub jams_effective: u64,
+    /// Listen actions that returned silence/collision.
+    pub silent_receptions: u64,
+    /// Listen actions that returned a frame (honest or spoofed).
+    pub frames_received: u64,
+}
+
+impl Stats {
+    /// Fraction of honest transmissions that were delivered, in `[0, 1]`.
+    ///
+    /// Returns `1.0` for an execution with no transmissions.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.honest_transmissions == 0 {
+            1.0
+        } else {
+            self.honest_deliveries as f64 / self.honest_transmissions as f64
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} tx={} delivered={} collisions={} adv_tx={} spoofed={} jams={}",
+            self.rounds,
+            self.honest_transmissions,
+            self.honest_deliveries,
+            self.collisions,
+            self.adversary_transmissions,
+            self.spoofs_delivered,
+            self.jams_effective,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_rate_handles_zero() {
+        assert_eq!(Stats::default().delivery_rate(), 1.0);
+        let s = Stats {
+            honest_transmissions: 4,
+            honest_deliveries: 1,
+            ..Stats::default()
+        };
+        assert!((s.delivery_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Stats::default()).is_empty());
+    }
+}

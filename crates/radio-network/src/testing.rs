@@ -1,0 +1,94 @@
+//! Small fixture protocols for tests, benches, and doc examples.
+//!
+//! These are *not* part of the paper — they exist so the engine can be
+//! exercised and demonstrated without pulling in the full `fame` stack.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::node::{Action, ChannelId, Protocol, Reception};
+
+/// A toy node: each round flips a coin, then transmits its id on a random
+/// channel or listens on a random channel; stops after a fixed number of
+/// rounds. Records everything it heard.
+#[derive(Clone, Debug)]
+pub struct BeaconNode {
+    id: usize,
+    channels: usize,
+    remaining: u32,
+    rng: SmallRng,
+    heard: Vec<(u64, u64)>,
+}
+
+impl BeaconNode {
+    /// A beacon node with identity `id` on a `channels`-channel network,
+    /// running for `rounds` rounds.
+    pub fn new(id: usize, channels: usize, rounds: u32) -> Self {
+        BeaconNode {
+            id,
+            channels,
+            remaining: rounds,
+            rng: SmallRng::seed_from_u64(0xBEAC_0000 ^ id as u64),
+            heard: Vec::new(),
+        }
+    }
+
+    /// `(round, frame)` pairs this node received.
+    pub fn heard(&self) -> &[(u64, u64)] {
+        &self.heard
+    }
+}
+
+impl Protocol for BeaconNode {
+    type Msg = u64;
+
+    fn begin_round(&mut self, _round: u64) -> Action<u64> {
+        if self.remaining == 0 {
+            return Action::Sleep;
+        }
+        let channel = ChannelId(self.rng.gen_range(0..self.channels));
+        if self.rng.gen_bool(0.5) {
+            Action::Transmit {
+                channel,
+                frame: self.id as u64,
+            }
+        } else {
+            Action::Listen { channel }
+        }
+    }
+
+    fn end_round(&mut self, round: u64, reception: Option<Reception<u64>>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+        }
+        if let Some(Reception {
+            frame: Some(frame), ..
+        }) = reception
+        {
+            self.heard.push((round, frame));
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversaries::NoAdversary;
+    use crate::engine::NetworkConfig;
+    use crate::simulation::Simulation;
+
+    #[test]
+    fn beacons_hear_each_other_without_adversary() {
+        let cfg = NetworkConfig::new(2, 1).unwrap();
+        let nodes: Vec<BeaconNode> = (0..6).map(|i| BeaconNode::new(i, 2, 200)).collect();
+        let mut sim = Simulation::new(cfg, nodes, NoAdversary, 0).unwrap();
+        let report = sim.run(300).unwrap();
+        assert_eq!(report.rounds, 200);
+        let total_heard: usize = sim.nodes().iter().map(|n| n.heard().len()).sum();
+        assert!(total_heard > 0, "some frame should get through");
+    }
+}

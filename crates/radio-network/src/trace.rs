@@ -1,0 +1,208 @@
+//! Execution traces: the complete, per-round record of everything that
+//! happened on the air.
+//!
+//! Traces serve three masters:
+//! * the **adversary**, which (per the model) learns all completed rounds;
+//! * **tests**, which assert invariants over executions;
+//! * **experiments**, which mine traces for statistics.
+
+use std::collections::VecDeque;
+
+use crate::adversary::Emission;
+use crate::node::{ChannelId, NodeId};
+
+/// How much history a [`Trace`] retains.
+///
+/// Long experiments (the group-key setup runs for `Θ(n·t³·log n)` rounds)
+/// would otherwise accumulate gigabytes of per-round records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub enum TraceRetention {
+    /// Keep every round (default; right for tests and short runs).
+    #[default]
+    All,
+    /// Keep only the most recent `k` rounds; older records are dropped but
+    /// aggregate statistics remain exact.
+    LastRounds(usize),
+}
+
+/// Everything that happened in one round.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoundRecord<M> {
+    /// Round number (0-based).
+    pub round: u64,
+    /// Honest transmissions `(node, channel, frame)`.
+    pub transmissions: Vec<(NodeId, ChannelId, M)>,
+    /// Honest listeners `(node, channel)`.
+    pub listeners: Vec<(NodeId, ChannelId)>,
+    /// The adversary's emissions this round.
+    pub adversary: Vec<(ChannelId, Emission<M>)>,
+    /// Per-channel resolution: `Some(frame)` if a frame was delivered to
+    /// listeners of that channel (index = channel).
+    pub delivered: Vec<Option<M>>,
+}
+
+impl<M> RoundRecord<M> {
+    /// Channels on which at least one honest node transmitted.
+    pub fn busy_channels(&self) -> Vec<ChannelId> {
+        let mut chans: Vec<ChannelId> = self.transmissions.iter().map(|&(_, c, _)| c).collect();
+        chans.sort_unstable();
+        chans.dedup();
+        chans
+    }
+
+    /// `true` if the adversary delivered a spoofed frame on `channel` —
+    /// i.e. it spoofed there and no honest node transmitted on it.
+    pub fn spoof_delivered(&self, channel: ChannelId) -> bool {
+        let adversary_spoofed = self
+            .adversary
+            .iter()
+            .any(|(c, e)| *c == channel && e.is_spoof());
+        let honest_busy = self.transmissions.iter().any(|&(_, c, _)| c == channel);
+        adversary_spoofed && !honest_busy && self.delivered[channel.index()].is_some()
+    }
+}
+
+/// The record of an execution: an ordered collection of [`RoundRecord`]s
+/// (subject to [`TraceRetention`]).
+#[derive(Clone, Debug)]
+pub struct Trace<M> {
+    retention: TraceRetention,
+    records: VecDeque<RoundRecord<M>>,
+    completed_rounds: u64,
+}
+
+impl<M> Trace<M> {
+    /// An empty trace with the given retention policy.
+    pub fn new(retention: TraceRetention) -> Self {
+        Trace {
+            retention,
+            records: VecDeque::new(),
+            completed_rounds: 0,
+        }
+    }
+
+    /// Total number of completed rounds (independent of retention).
+    pub fn completed_rounds(&self) -> u64 {
+        self.completed_rounds
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &RoundRecord<M>> {
+        self.records.iter()
+    }
+
+    /// The most recent retained record, if any.
+    pub fn last(&self) -> Option<&RoundRecord<M>> {
+        self.records.back()
+    }
+
+    /// The record for round `round`, if still retained.
+    pub fn round(&self, round: u64) -> Option<&RoundRecord<M>> {
+        // Records are contiguous, so index arithmetic suffices.
+        let first = self.records.front()?.round;
+        if round < first {
+            return None;
+        }
+        self.records.get((round - first) as usize)
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no record is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub(crate) fn push(&mut self, record: RoundRecord<M>) {
+        debug_assert_eq!(record.round, self.completed_rounds, "trace out of order");
+        self.records.push_back(record);
+        self.completed_rounds += 1;
+        if let TraceRetention::LastRounds(k) = self.retention {
+            while self.records.len() > k {
+                self.records.pop_front();
+            }
+        }
+    }
+}
+
+impl<M> Default for Trace<M> {
+    fn default() -> Self {
+        Trace::new(TraceRetention::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: u64) -> RoundRecord<u32> {
+        RoundRecord {
+            round,
+            transmissions: vec![(NodeId(0), ChannelId(0), round as u32)],
+            listeners: vec![(NodeId(1), ChannelId(0))],
+            adversary: vec![],
+            delivered: vec![Some(round as u32), None],
+        }
+    }
+
+    #[test]
+    fn retains_all_by_default() {
+        let mut trace = Trace::default();
+        for r in 0..100 {
+            trace.push(record(r));
+        }
+        assert_eq!(trace.len(), 100);
+        assert_eq!(trace.completed_rounds(), 100);
+        assert_eq!(trace.round(57).unwrap().round, 57);
+    }
+
+    #[test]
+    fn bounded_retention_drops_oldest() {
+        let mut trace = Trace::new(TraceRetention::LastRounds(10));
+        for r in 0..100 {
+            trace.push(record(r));
+        }
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.completed_rounds(), 100);
+        assert!(trace.round(89).is_none());
+        assert_eq!(trace.round(90).unwrap().round, 90);
+        assert_eq!(trace.round(99).unwrap().round, 99);
+        assert!(trace.round(100).is_none());
+    }
+
+    #[test]
+    fn spoof_detection_requires_idle_channel() {
+        let mut rec = record(0);
+        rec.adversary = vec![(ChannelId(0), Emission::Spoof(9))];
+        // Honest node transmits on ch0 too => not a delivered spoof.
+        assert!(!rec.spoof_delivered(ChannelId(0)));
+
+        let rec2: RoundRecord<u32> = RoundRecord {
+            round: 0,
+            transmissions: vec![],
+            listeners: vec![(NodeId(1), ChannelId(1))],
+            adversary: vec![(ChannelId(1), Emission::Spoof(9))],
+            delivered: vec![None, Some(9)],
+        };
+        assert!(rec2.spoof_delivered(ChannelId(1)));
+    }
+
+    #[test]
+    fn busy_channels_dedup_sorted() {
+        let rec: RoundRecord<u32> = RoundRecord {
+            round: 0,
+            transmissions: vec![
+                (NodeId(0), ChannelId(2), 1),
+                (NodeId(1), ChannelId(0), 2),
+                (NodeId(2), ChannelId(2), 3),
+            ],
+            listeners: vec![],
+            adversary: vec![],
+            delivered: vec![None, None, None],
+        };
+        assert_eq!(rec.busy_channels(), vec![ChannelId(0), ChannelId(2)]);
+    }
+}

@@ -1,0 +1,466 @@
+//! The (G,t)-starred-edge removal game (Section 5.1).
+//!
+//! A *player* repeatedly proposes exactly `t + 1` items — nodes to be
+//! *starred* or edges to be *removed* — subject to Restrictions 1–4; a
+//! *referee* answers with a non-empty subset which the player applies. The
+//! game ends when the remaining graph has a vertex cover of size at most
+//! `t`.
+//!
+//! f-AME (in the `fame` crate) simulates this game on the network: the
+//! referee's answer is derived from which channels the adversary failed to
+//! disrupt.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::DiGraph;
+use crate::vertex_cover::has_cover_at_most;
+
+/// One element of a proposal: a node (to star) or an edge (to remove).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ProposalItem {
+    /// Star this node (in f-AME: the node recruits surrogates by
+    /// broadcasting its message vector to the channel's witnesses).
+    Node(usize),
+    /// Remove this edge (in f-AME: deliver `m_{v,w}` from `v` — or one of
+    /// its surrogates — to `w`).
+    Edge(usize, usize),
+}
+
+impl fmt::Display for ProposalItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProposalItem::Node(v) => write!(f, "★{v}"),
+            ProposalItem::Edge(v, w) => write!(f, "{v}→{w}"),
+        }
+    }
+}
+
+/// A player proposal: exactly `t + 1` items satisfying Restrictions 1–4.
+pub type Proposal = Vec<ProposalItem>;
+
+/// Violations of the game rules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GameError {
+    /// `t` must be smaller than the number of vertices.
+    BadThreshold {
+        /// Requested threshold.
+        t: usize,
+        /// Vertices in the graph.
+        n: usize,
+    },
+    /// Restriction 1: a proposal must have between `t + 1` and the game's
+    /// proposal cap items (exactly `t + 1` in the paper's base game).
+    WrongProposalSize {
+        /// Items proposed.
+        got: usize,
+        /// Minimum items required (`t + 1`).
+        min: usize,
+        /// Maximum items allowed (the cap; `t + 1` unless widened).
+        max: usize,
+    },
+    /// The proposal cap must be at least `t + 1`.
+    BadProposalCap {
+        /// Requested cap.
+        cap: usize,
+        /// Threshold `t`.
+        t: usize,
+    },
+    /// A proposed node is not in the graph / a proposed edge is absent.
+    UnknownItem(ProposalItem),
+    /// A node was proposed twice, or appears in a proposed edge
+    /// (Restriction 2), or an item repeats.
+    DuplicateInvolvement(usize),
+    /// Restriction 3: two proposed edges share a destination.
+    SharedDestination(usize),
+    /// Restriction 4: two proposed edges share an unstarred source.
+    UnstarredSharedSource(usize),
+    /// A proposed node is already starred (no progress possible).
+    AlreadyStarred(usize),
+    /// The referee must answer with a non-empty subset of the proposal.
+    EmptyResponse,
+    /// The referee answered with an item outside the proposal.
+    ResponseNotInProposal(ProposalItem),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::BadThreshold { t, n } => {
+                write!(f, "threshold t={t} must be < n={n}")
+            }
+            GameError::WrongProposalSize { got, min, max } => {
+                write!(f, "proposal has {got} items, game requires {min}..={max}")
+            }
+            GameError::BadProposalCap { cap, t } => {
+                write!(f, "proposal cap {cap} must be at least t+1 = {}", t + 1)
+            }
+            GameError::UnknownItem(item) => write!(f, "proposed item {item} not in the game"),
+            GameError::DuplicateInvolvement(v) => {
+                write!(f, "node {v} appears more than once in the proposal")
+            }
+            GameError::SharedDestination(w) => {
+                write!(f, "two proposed edges share destination {w}")
+            }
+            GameError::UnstarredSharedSource(v) => {
+                write!(f, "two proposed edges share unstarred source {v}")
+            }
+            GameError::AlreadyStarred(v) => write!(f, "node {v} is already starred"),
+            GameError::EmptyResponse => write!(f, "referee response must be non-empty"),
+            GameError::ResponseNotInProposal(item) => {
+                write!(f, "referee returned {item} which was not proposed")
+            }
+        }
+    }
+}
+
+impl Error for GameError {}
+
+/// The full game state: remaining graph `G`, starred set `S`, threshold `t`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GameState {
+    graph: DiGraph,
+    starred: BTreeSet<usize>,
+    t: usize,
+    proposal_cap: usize,
+    moves: usize,
+}
+
+impl GameState {
+    /// Start a game on `n` vertices with the given directed edges and
+    /// threshold `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::BadThreshold`] if `t >= n`.
+    pub fn new<I>(n: usize, edges: I, t: usize) -> Result<Self, GameError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        if t >= n {
+            return Err(GameError::BadThreshold { t, n });
+        }
+        Ok(GameState {
+            graph: DiGraph::from_edges(n, edges),
+            starred: BTreeSet::new(),
+            t,
+            proposal_cap: t + 1,
+            moves: 0,
+        })
+    }
+
+    /// Widen the proposal size to up to `cap` items (Section 5.5: with
+    /// `C >= 2t` channels the player proposes `2t` items per move and the
+    /// referee must concede at least `cap - t` of them).
+    ///
+    /// # Errors
+    ///
+    /// [`GameError::BadProposalCap`] if `cap < t + 1`.
+    pub fn with_proposal_cap(mut self, cap: usize) -> Result<Self, GameError> {
+        if cap < self.t + 1 {
+            return Err(GameError::BadProposalCap { cap, t: self.t });
+        }
+        self.proposal_cap = cap;
+        Ok(self)
+    }
+
+    /// The maximum proposal size (`t + 1` unless widened).
+    pub fn proposal_cap(&self) -> usize {
+        self.proposal_cap
+    }
+
+    /// The remaining game graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The starred set `S`.
+    pub fn starred(&self) -> &BTreeSet<usize> {
+        &self.starred
+    }
+
+    /// The threshold `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Moves applied so far.
+    pub fn moves(&self) -> usize {
+        self.moves
+    }
+
+    /// `true` iff the remaining graph has a vertex cover of size ≤ `t`
+    /// (the game's winning condition), decided exactly.
+    pub fn cover_at_most_t(&self) -> bool {
+        let edges: Vec<(usize, usize)> = self.graph.edges().collect();
+        has_cover_at_most(&edges, self.t)
+    }
+
+    /// Check Restrictions 1–4 for `proposal` against the current state.
+    ///
+    /// # Errors
+    ///
+    /// The specific [`GameError`] variant describing the violated rule.
+    pub fn validate_proposal(&self, proposal: &Proposal) -> Result<(), GameError> {
+        // Restriction 1: between t + 1 and the cap (exactly t + 1 in the
+        // paper's base game, where the cap equals t + 1).
+        if proposal.len() < self.t + 1 || proposal.len() > self.proposal_cap {
+            return Err(GameError::WrongProposalSize {
+                got: proposal.len(),
+                min: self.t + 1,
+                max: self.proposal_cap,
+            });
+        }
+
+        let mut node_items: BTreeSet<usize> = BTreeSet::new();
+        let mut destinations: BTreeSet<usize> = BTreeSet::new();
+        let mut sources: BTreeSet<usize> = BTreeSet::new();
+
+        for item in proposal {
+            match *item {
+                ProposalItem::Node(v) => {
+                    if v >= self.graph.vertex_count() {
+                        return Err(GameError::UnknownItem(*item));
+                    }
+                    if self.starred.contains(&v) {
+                        return Err(GameError::AlreadyStarred(v));
+                    }
+                    if !node_items.insert(v) {
+                        return Err(GameError::DuplicateInvolvement(v));
+                    }
+                }
+                ProposalItem::Edge(v, w) => {
+                    if !self.graph.has_edge(v, w) {
+                        return Err(GameError::UnknownItem(*item));
+                    }
+                    // Restriction 3: destination-disjoint edges.
+                    if !destinations.insert(w) {
+                        return Err(GameError::SharedDestination(w));
+                    }
+                    // Restriction 4: shared source only if starred.
+                    if !sources.insert(v) && !self.starred.contains(&v) {
+                        return Err(GameError::UnstarredSharedSource(v));
+                    }
+                }
+            }
+        }
+
+        // Restriction 2: node items are disjoint from all edge endpoints.
+        for item in proposal {
+            if let ProposalItem::Edge(v, w) = *item {
+                if node_items.contains(&v) {
+                    return Err(GameError::DuplicateInvolvement(v));
+                }
+                if node_items.contains(&w) {
+                    return Err(GameError::DuplicateInvolvement(w));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply the referee's `response` to `proposal`: chosen nodes are
+    /// starred, chosen edges removed.
+    ///
+    /// # Errors
+    ///
+    /// * any proposal violation (the proposal is re-validated);
+    /// * [`GameError::EmptyResponse`] if `response` is empty;
+    /// * [`GameError::ResponseNotInProposal`] if the referee cheats.
+    pub fn apply_response(
+        &mut self,
+        proposal: &Proposal,
+        response: &[ProposalItem],
+    ) -> Result<(), GameError> {
+        self.validate_proposal(proposal)?;
+        if response.is_empty() {
+            return Err(GameError::EmptyResponse);
+        }
+        let proposed: BTreeSet<ProposalItem> = proposal.iter().copied().collect();
+        for item in response {
+            if !proposed.contains(item) {
+                return Err(GameError::ResponseNotInProposal(*item));
+            }
+        }
+        for item in response {
+            match *item {
+                ProposalItem::Node(v) => {
+                    self.starred.insert(v);
+                }
+                ProposalItem::Edge(v, w) => {
+                    self.graph.remove_edge(v, w);
+                }
+            }
+        }
+        self.moves += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_game() -> GameState {
+        // 0→1, 2→3, 4→5, t = 1 (so proposals have 2 items).
+        GameState::new(6, [(0, 1), (2, 3), (4, 5)], 1).unwrap()
+    }
+
+    #[test]
+    fn threshold_validated() {
+        assert_eq!(
+            GameState::new(2, [(0, 1)], 2).unwrap_err(),
+            GameError::BadThreshold { t: 2, n: 2 }
+        );
+    }
+
+    #[test]
+    fn restriction_1_exact_size() {
+        let g = path_game();
+        let p = vec![ProposalItem::Edge(0, 1)];
+        assert_eq!(
+            g.validate_proposal(&p).unwrap_err(),
+            GameError::WrongProposalSize {
+                got: 1,
+                min: 2,
+                max: 2
+            }
+        );
+    }
+
+    #[test]
+    fn widened_cap_allows_larger_proposals() {
+        let g = GameState::new(8, [(0, 1), (2, 3), (4, 5), (6, 7)], 1)
+            .unwrap()
+            .with_proposal_cap(3)
+            .unwrap();
+        let p = vec![
+            ProposalItem::Edge(0, 1),
+            ProposalItem::Edge(2, 3),
+            ProposalItem::Edge(4, 5),
+        ];
+        g.validate_proposal(&p).unwrap();
+        // Four items exceed the cap.
+        let p4 = vec![
+            ProposalItem::Edge(0, 1),
+            ProposalItem::Edge(2, 3),
+            ProposalItem::Edge(4, 5),
+            ProposalItem::Edge(6, 7),
+        ];
+        assert!(matches!(
+            g.validate_proposal(&p4).unwrap_err(),
+            GameError::WrongProposalSize { got: 4, .. }
+        ));
+        // A cap below t+1 is rejected.
+        assert_eq!(
+            GameState::new(4, [(0, 1)], 1)
+                .unwrap()
+                .with_proposal_cap(1)
+                .unwrap_err(),
+            GameError::BadProposalCap { cap: 1, t: 1 }
+        );
+    }
+
+    #[test]
+    fn restriction_2_nodes_disjoint_from_edges() {
+        let g = path_game();
+        let p = vec![ProposalItem::Node(0), ProposalItem::Edge(0, 1)];
+        assert_eq!(
+            g.validate_proposal(&p).unwrap_err(),
+            GameError::DuplicateInvolvement(0)
+        );
+        let p = vec![ProposalItem::Node(1), ProposalItem::Edge(0, 1)];
+        assert_eq!(
+            g.validate_proposal(&p).unwrap_err(),
+            GameError::DuplicateInvolvement(1)
+        );
+    }
+
+    #[test]
+    fn restriction_3_destination_disjoint() {
+        let mut g = GameState::new(4, [(0, 2), (1, 2), (0, 3)], 1).unwrap();
+        let p = vec![ProposalItem::Edge(0, 2), ProposalItem::Edge(1, 2)];
+        assert_eq!(
+            g.validate_proposal(&p).unwrap_err(),
+            GameError::SharedDestination(2)
+        );
+        // destination-disjoint version is fine once source 0 is starred or
+        // sources differ:
+        let p = vec![ProposalItem::Edge(1, 2), ProposalItem::Edge(0, 3)];
+        g.validate_proposal(&p).unwrap();
+        g.apply_response(&p, &p.clone()).unwrap();
+        assert!(!g.graph().has_edge(1, 2));
+    }
+
+    #[test]
+    fn restriction_4_shared_source_needs_star() {
+        let mut g = GameState::new(4, [(0, 1), (0, 2)], 1).unwrap();
+        let p = vec![ProposalItem::Edge(0, 1), ProposalItem::Edge(0, 2)];
+        assert_eq!(
+            g.validate_proposal(&p).unwrap_err(),
+            GameError::UnstarredSharedSource(0)
+        );
+        // After starring 0 the same proposal becomes legal.
+        let star = vec![ProposalItem::Node(0), ProposalItem::Node(3)];
+        g.apply_response(&star, &[ProposalItem::Node(0)]).unwrap();
+        g.validate_proposal(&p).unwrap();
+    }
+
+    #[test]
+    fn referee_must_answer_from_proposal() {
+        let mut g = path_game();
+        let p = vec![ProposalItem::Edge(0, 1), ProposalItem::Edge(2, 3)];
+        assert_eq!(
+            g.apply_response(&p, &[]).unwrap_err(),
+            GameError::EmptyResponse
+        );
+        assert_eq!(
+            g.apply_response(&p, &[ProposalItem::Edge(4, 5)]).unwrap_err(),
+            GameError::ResponseNotInProposal(ProposalItem::Edge(4, 5))
+        );
+    }
+
+    #[test]
+    fn applying_updates_state() {
+        let mut g = path_game();
+        let p = vec![ProposalItem::Node(0), ProposalItem::Edge(2, 3)];
+        g.apply_response(&p, &[ProposalItem::Node(0), ProposalItem::Edge(2, 3)])
+            .unwrap();
+        assert!(g.starred().contains(&0));
+        assert!(!g.graph().has_edge(2, 3));
+        assert_eq!(g.moves(), 1);
+    }
+
+    #[test]
+    fn winning_condition_is_exact() {
+        // Triangle with t=1: VC is 2, so not complete.
+        let g = GameState::new(3, [(0, 1), (1, 2), (2, 0)], 1).unwrap();
+        assert!(!g.cover_at_most_t());
+        // Single edge with t=1: VC is 1 -> complete.
+        let g = GameState::new(3, [(0, 1)], 1).unwrap();
+        assert!(g.cover_at_most_t());
+    }
+
+    #[test]
+    fn proposing_missing_edge_rejected() {
+        let g = path_game();
+        let p = vec![ProposalItem::Edge(0, 1), ProposalItem::Edge(1, 0)];
+        assert_eq!(
+            g.validate_proposal(&p).unwrap_err(),
+            GameError::UnknownItem(ProposalItem::Edge(1, 0))
+        );
+    }
+
+    #[test]
+    fn starring_twice_rejected() {
+        let mut g = path_game();
+        let p = vec![ProposalItem::Node(0), ProposalItem::Node(2)];
+        g.apply_response(&p, &[ProposalItem::Node(0)]).unwrap();
+        let p2 = vec![ProposalItem::Node(0), ProposalItem::Node(2)];
+        assert_eq!(
+            g.validate_proposal(&p2).unwrap_err(),
+            GameError::AlreadyStarred(0)
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! A small, deterministic directed-graph type.
+//!
+//! Vertices are `0..n`. Edge iteration order is always sorted
+//! lexicographically — determinism matters because every f-AME node replays
+//! the same game locally and must derive byte-identical proposals.
+
+use std::collections::BTreeSet;
+
+/// A directed graph over vertices `0..n` with no self-loops or parallel
+/// edges.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DiGraph {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl DiGraph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Build from an edge list (ignores duplicates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge touches a vertex `>= n` or is a self-loop.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when no edges remain.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Insert edge `(u, v)`. Returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices or self-loops.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        self.edges.insert((u, v))
+    }
+
+    /// Remove edge `(u, v)`. Returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        self.edges.remove(&(u, v))
+    }
+
+    /// `true` if edge `(u, v)` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// All edges in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Sorted list of vertices that are the source of at least one edge.
+    pub fn sources(&self) -> Vec<usize> {
+        let mut srcs: Vec<usize> = self.edges.iter().map(|&(u, _)| u).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        srcs
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.edges.range((v, 0)..(v, self.n)).count()
+    }
+
+    /// Out-neighbours of `v`, sorted.
+    pub fn out_neighbors(&self, v: usize) -> Vec<usize> {
+        self.edges.range((v, 0)..(v, self.n)).map(|&(_, w)| w).collect()
+    }
+
+    /// Degree of `v` in the underlying undirected graph.
+    pub fn undirected_degree(&self, v: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(u, w)| u == v || w == v)
+            .count()
+    }
+
+    /// `true` if the *undirected view* of the graph is connected after
+    /// deleting the vertex set `removed` (vertices with no remaining edges
+    /// and not in `removed` still count — they only disconnect the graph if
+    /// some other component has edges).
+    ///
+    /// Used by tests to certify the (t+1)-connectivity of leader spanners.
+    pub fn connected_without(&self, removed: &BTreeSet<usize>) -> bool {
+        let alive: Vec<usize> = (0..self.n).filter(|v| !removed.contains(v)).collect();
+        if alive.len() <= 1 {
+            return true;
+        }
+        // Undirected adjacency over alive vertices.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            if !removed.contains(&u) && !removed.contains(&v) {
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        }
+        let start = alive[0];
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        alive.into_iter().all(|v| seen[v])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_query() {
+        let mut g = DiGraph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(0, 1), "duplicate should be ignored");
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0), "direction matters");
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn deterministic_sorted_iteration() {
+        let g = DiGraph::from_edges(5, [(3, 1), (0, 2), (3, 0), (1, 4)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 2), (1, 4), (3, 0), (3, 1)]);
+        assert_eq!(g.sources(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (3, 0)]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.out_degree(1), 0);
+        assert_eq!(g.undirected_degree(0), 3);
+        assert_eq!(g.out_neighbors(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn connectivity_probe() {
+        // 0-1-2-3 path (directed arbitrarily).
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 1), (2, 3)]);
+        assert!(g.connected_without(&BTreeSet::new()));
+        // Removing vertex 1 cuts {0} from {2,3}? 0 has no other edges, and
+        // removing 1 leaves 0 isolated with edges remaining at 2-3.
+        let removed: BTreeSet<usize> = [1].into_iter().collect();
+        assert!(!g.connected_without(&removed));
+        // Removing 0 leaves 1-2-3 connected.
+        let removed: BTreeSet<usize> = [0].into_iter().collect();
+        assert!(g.connected_without(&removed));
+    }
+}

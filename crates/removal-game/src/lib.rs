@@ -1,0 +1,60 @@
+//! # removal-game
+//!
+//! The graph-theoretic core of Dolev, Gilbert, Guerraoui & Newport,
+//! *Secure Communication Over Radio Channels* (PODC 2008), Section 5:
+//!
+//! * [`graph`] — a small deterministic directed-graph type;
+//! * [`vertex_cover`] — **exact** bounded vertex-cover decision (FPT
+//!   branching), used to *verify* the paper's d-disruptability property
+//!   rather than approximate it;
+//! * [`game`] — the **(G,t)-starred-edge removal game** (Section 5.1):
+//!   proposal restrictions 1–4, referee responses, game termination;
+//! * [`greedy`] — the **greedy-removal** strategy (Section 5.2): the
+//!   canonical deterministic proposal every f-AME node recomputes locally,
+//!   with the termination condition of Lemma 3;
+//! * [`referee`] — referee strategies for standalone game analysis
+//!   (generous, adversarial, random);
+//! * [`spanner`] — the *(t+1)-leader spanner* edge set used to initialize
+//!   f-AME for group-key establishment (Section 6, Part 1).
+//!
+//! ## Example: play the game to completion
+//!
+//! ```rust
+//! use removal_game::game::GameState;
+//! use removal_game::greedy::greedy_proposal;
+//! use removal_game::referee::{GenerousReferee, Referee};
+//!
+//! # fn main() -> Result<(), removal_game::game::GameError> {
+//! // A ring of 8 nodes exchanging messages pairwise, t = 2.
+//! let edges: Vec<(usize, usize)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+//! let mut game = GameState::new(8, edges, 2)?;
+//! let mut referee = GenerousReferee;
+//! let mut moves = 0;
+//! while let Some(proposal) = greedy_proposal(&game) {
+//!     let response = referee.respond(&game, &proposal);
+//!     game.apply_response(&proposal, &response)?;
+//!     moves += 1;
+//! }
+//! // Lemma 3: once greedy has no move, the vertex cover is at most t.
+//! assert!(game.cover_at_most_t());
+//! assert!(moves <= 3 * 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod game;
+pub mod graph;
+pub mod greedy;
+pub mod referee;
+pub mod spanner;
+pub mod vertex_cover;
+
+pub use game::{GameError, GameState, Proposal, ProposalItem};
+pub use graph::DiGraph;
+pub use greedy::greedy_proposal;
+pub use referee::{AdversarialReferee, GenerousReferee, RandomReferee, Referee};
+pub use spanner::leader_spanner;
+pub use vertex_cover::{has_cover_at_most, min_cover_size};

@@ -1,0 +1,159 @@
+//! Referee strategies for standalone analysis of the starred-edge removal
+//! game.
+//!
+//! In f-AME the referee's answer is *physically determined*: the items on
+//! channels the adversary failed to disrupt. These synthetic referees let
+//! the game be studied (and benchmarked — experiment E1) in isolation:
+//!
+//! * [`GenerousReferee`] — accepts everything (models no interference);
+//! * [`AdversarialReferee`] — concedes exactly one item, preferring stars
+//!   over edge removals (the slowest legal referee, exercising the
+//!   Theorem 4 upper bound);
+//! * [`RandomReferee`] — a random non-empty subset (models oblivious
+//!   jamming).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::game::{GameState, Proposal, ProposalItem};
+
+/// A referee: answers a proposal with a non-empty subset.
+pub trait Referee {
+    /// Choose the subset of `proposal` that succeeds this move.
+    fn respond(&mut self, state: &GameState, proposal: &Proposal) -> Vec<ProposalItem>;
+
+    /// Name for reports.
+    fn name(&self) -> &'static str {
+        "referee"
+    }
+}
+
+/// Returns the entire proposal (the no-adversary best case).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GenerousReferee;
+
+impl Referee for GenerousReferee {
+    fn respond(&mut self, _state: &GameState, proposal: &Proposal) -> Vec<ProposalItem> {
+        proposal.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "generous"
+    }
+}
+
+/// Concedes the legal minimum — `max(1, k - t)` items for a `k`-item
+/// proposal — preferring node items.
+///
+/// This models the physical adversary exactly: with `k` channels in use it
+/// can disrupt at most `t`, so `k - t` items always get through. Starring a
+/// node does not remove an edge, so preferring stars forces the player to
+/// spend the most moves — the worst case of Theorem 4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AdversarialReferee;
+
+impl AdversarialReferee {
+    /// A fresh adversarial referee.
+    pub fn new() -> Self {
+        AdversarialReferee
+    }
+}
+
+impl Referee for AdversarialReferee {
+    fn respond(&mut self, state: &GameState, proposal: &Proposal) -> Vec<ProposalItem> {
+        let concede = proposal.len().saturating_sub(state.t()).max(1);
+        let mut picks: Vec<ProposalItem> = proposal
+            .iter()
+            .filter(|item| matches!(item, ProposalItem::Node(_)))
+            .copied()
+            .collect();
+        for item in proposal {
+            if picks.len() >= concede {
+                break;
+            }
+            if matches!(item, ProposalItem::Edge(_, _)) {
+                picks.push(*item);
+            }
+        }
+        picks.truncate(concede);
+        picks
+    }
+
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+}
+
+/// Concedes a uniformly random non-empty subset.
+#[derive(Clone, Debug)]
+pub struct RandomReferee {
+    rng: SmallRng,
+}
+
+impl RandomReferee {
+    /// A random referee with its own RNG stream.
+    pub fn new(seed: u64) -> Self {
+        RandomReferee {
+            rng: SmallRng::seed_from_u64(seed ^ 0x00FE_FEE5),
+        }
+    }
+}
+
+impl Referee for RandomReferee {
+    fn respond(&mut self, _state: &GameState, proposal: &Proposal) -> Vec<ProposalItem> {
+        loop {
+            let chosen: Vec<ProposalItem> = proposal
+                .iter()
+                .filter(|_| self.rng.gen_bool(0.5))
+                .copied()
+                .collect();
+            if !chosen.is_empty() {
+                return chosen;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state_and_proposal() -> (GameState, Proposal) {
+        let state = GameState::new(4, [(0, 1), (2, 3)], 1).unwrap();
+        let proposal = vec![ProposalItem::Edge(0, 1), ProposalItem::Edge(2, 3)];
+        (state, proposal)
+    }
+
+    #[test]
+    fn generous_returns_all() {
+        let (state, p) = state_and_proposal();
+        assert_eq!(GenerousReferee.respond(&state, &p), p);
+    }
+
+    #[test]
+    fn adversarial_prefers_stars() {
+        let (state, _) = state_and_proposal();
+        let p = vec![ProposalItem::Edge(0, 1), ProposalItem::Node(2)];
+        let resp = AdversarialReferee::new().respond(&state, &p);
+        assert_eq!(resp, vec![ProposalItem::Node(2)]);
+        // Without a star it concedes the first edge.
+        let p = vec![ProposalItem::Edge(0, 1), ProposalItem::Edge(2, 3)];
+        let resp = AdversarialReferee::new().respond(&state, &p);
+        assert_eq!(resp, vec![ProposalItem::Edge(0, 1)]);
+    }
+
+    #[test]
+    fn random_is_nonempty_subset() {
+        let (state, p) = state_and_proposal();
+        let mut referee = RandomReferee::new(3);
+        for _ in 0..50 {
+            let resp = referee.respond(&state, &p);
+            assert!(!resp.is_empty());
+            assert!(resp.iter().all(|item| p.contains(item)));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The (t+1)-leader spanner (Section 6, Part 1).
+//!
+//! A sparse, `(t+1)`-connected set of ordered pairs: choose `t + 1`
+//! *leaders* and connect every leader with every other node, in both
+//! directions (a one-round Diffie–Hellman exchange needs a message in each
+//! direction). The result has `Θ(n·(t+1))` ordered pairs — the "sparse
+//! t+1-connected graph with n(t+1) edges" the paper initializes f-AME with.
+//!
+//! Intuition for resilience: the adversary can permanently disrupt at most
+//! `t` nodes (t-disruptability of f-AME), but every non-leader is connected
+//! to `t + 1` distinct leaders, so at least one leader exchange survives for
+//! every node outside the disrupted set.
+
+use crate::graph::DiGraph;
+
+/// The leader set used by [`leader_spanner`]: nodes `0..t+1`.
+pub fn leaders(t: usize) -> Vec<usize> {
+    (0..=t).collect()
+}
+
+/// Ordered pairs of the (t+1)-leader spanner on `n` nodes: all `(v, w)`
+/// with `v` or `w` a leader (and `v != w`), both directions included.
+///
+/// # Panics
+///
+/// Panics unless `n > t + 1` (there must be at least one non-leader).
+///
+/// ```rust
+/// use removal_game::leader_spanner;
+/// let pairs = leader_spanner(6, 1); // leaders {0, 1}
+/// // every non-leader appears with every leader, both directions
+/// assert!(pairs.contains(&(0, 5)) && pairs.contains(&(5, 0)));
+/// assert!(pairs.contains(&(1, 3)) && pairs.contains(&(3, 1)));
+/// // leader-leader pairs are included too
+/// assert!(pairs.contains(&(0, 1)) && pairs.contains(&(1, 0)));
+/// ```
+pub fn leader_spanner(n: usize, t: usize) -> Vec<(usize, usize)> {
+    assert!(
+        n > t + 1,
+        "leader spanner needs n > t+1 (n={n}, t={t})"
+    );
+    let leader_count = t + 1;
+    let mut pairs = Vec::with_capacity(2 * leader_count * n);
+    for l in 0..leader_count {
+        for w in 0..n {
+            if l == w {
+                continue;
+            }
+            pairs.push((l, w));
+            // Avoid duplicating leader-leader pairs: (l, w) and (w, l) with
+            // both leaders would each be generated once by their own l-loop.
+            if w >= leader_count {
+                pairs.push((w, l));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Build the spanner as a [`DiGraph`] (handy for connectivity tests).
+pub fn leader_spanner_graph(n: usize, t: usize) -> DiGraph {
+    DiGraph::from_edges(n, leader_spanner(n, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn size_is_linear_in_n_times_t() {
+        for (n, t) in [(10, 1), (20, 2), (30, 3)] {
+            let pairs = leader_spanner(n, t);
+            // Exact count: ordered leader<->non-leader pairs: 2*(t+1)*(n-t-1);
+            // ordered leader<->leader pairs: (t+1)*t.
+            let expected = 2 * (t + 1) * (n - t - 1) + (t + 1) * t;
+            assert_eq!(pairs.len(), expected, "n={n}, t={t}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_no_self_pairs() {
+        let pairs = leader_spanner(12, 2);
+        let set: BTreeSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), pairs.len());
+        assert!(pairs.iter().all(|&(v, w)| v != w));
+    }
+
+    #[test]
+    fn survives_removal_of_any_t_vertices() {
+        // (t+1)-connectivity: removing any t vertices leaves the undirected
+        // view connected. Brute-force over all t-subsets for small n.
+        let (n, t) = (8, 2);
+        let g = leader_spanner_graph(n, t);
+        for a in 0..n {
+            for b in a + 1..n {
+                let removed: BTreeSet<usize> = [a, b].into_iter().collect();
+                assert!(
+                    g.connected_without(&removed),
+                    "disconnected after removing {{{a},{b}}}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonleader_touches_all_leaders() {
+        let (n, t) = (9, 2);
+        let pairs: BTreeSet<(usize, usize)> = leader_spanner(n, t).into_iter().collect();
+        for w in t + 1..n {
+            for l in leaders(t) {
+                assert!(pairs.contains(&(l, w)));
+                assert!(pairs.contains(&(w, l)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs n > t+1")]
+    fn too_small_network_rejected() {
+        let _ = leader_spanner(3, 2);
+    }
+}

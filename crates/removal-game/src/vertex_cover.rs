@@ -1,0 +1,213 @@
+//! Exact bounded vertex cover.
+//!
+//! The paper's *d-disruptability* property (Definition 1) is stated in terms
+//! of the **minimum vertex cover** of the disruption graph. To verify the
+//! property honestly we decide `VC(G) ≤ k` *exactly*, with the classic FPT
+//! branching algorithm: time `O(2^k · |E|)`, entirely practical for the
+//! small `t` the experiments use.
+//!
+//! Direction is irrelevant for covers, so the functions take plain edge
+//! lists and work on the underlying undirected simple graph.
+
+use std::collections::BTreeSet;
+
+fn normalize(edges: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut set: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for &(u, v) in edges {
+        if u != v {
+            set.insert((u.min(v), u.max(v)));
+        }
+    }
+    set.into_iter().collect()
+}
+
+fn branch(edges: &[(usize, usize)], k: usize) -> bool {
+    if edges.is_empty() {
+        return true;
+    }
+    if k == 0 {
+        return false;
+    }
+    // Kernel rule: any vertex with degree > k must be in every cover of
+    // size <= k (the recursion re-applies the rule after each deletion).
+    let mut degree: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for &(u, v) in edges {
+        *degree.entry(u).or_insert(0) += 1;
+        *degree.entry(v).or_insert(0) += 1;
+    }
+    if let Some((&forced, _)) = degree.iter().find(|&(_, &d)| d > k) {
+        let rest: Vec<(usize, usize)> = edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| u != forced && v != forced)
+            .collect();
+        return branch(&rest, k - 1);
+    }
+    // After kernelization every degree is <= k, so a k-cover touches at
+    // most k*k edges.
+    if edges.len() > k * k {
+        return false;
+    }
+    // Branch on an arbitrary edge: one endpoint must be in the cover.
+    let (u, v) = edges[0];
+    for pick in [u, v] {
+        let rest: Vec<(usize, usize)> = edges
+            .iter()
+            .copied()
+            .filter(|&(a, b)| a != pick && b != pick)
+            .collect();
+        if branch(&rest, k - 1) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Decide exactly whether the graph given by `edges` has a vertex cover of
+/// size at most `k`.
+///
+/// ```rust
+/// use removal_game::has_cover_at_most;
+/// // A triangle needs 2 vertices.
+/// let tri = [(0, 1), (1, 2), (2, 0)];
+/// assert!(!has_cover_at_most(&tri, 1));
+/// assert!(has_cover_at_most(&tri, 2));
+/// ```
+pub fn has_cover_at_most(edges: &[(usize, usize)], k: usize) -> bool {
+    let e = normalize(edges);
+    branch(&e, k)
+}
+
+/// The exact minimum vertex-cover size of the graph given by `edges`.
+pub fn min_cover_size(edges: &[(usize, usize)]) -> usize {
+    let e = normalize(edges);
+    if e.is_empty() {
+        return 0;
+    }
+    // A maximal matching lower-bounds VC/2 and upper-bounds via 2*matching;
+    // search k in [matching, 2*matching].
+    let mut matched: BTreeSet<usize> = BTreeSet::new();
+    let mut matching = 0usize;
+    for &(u, v) in &e {
+        if !matched.contains(&u) && !matched.contains(&v) {
+            matched.insert(u);
+            matched.insert(v);
+            matching += 1;
+        }
+    }
+    for k in matching..=2 * matching {
+        if has_cover_at_most(&e, k) {
+            return k;
+        }
+    }
+    unreachable!("2 * maximal matching always covers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference: enumerate all vertex subsets by bitmask.
+    fn brute_force_min_cover(edges: &[(usize, usize)]) -> usize {
+        let e = normalize(edges);
+        if e.is_empty() {
+            return 0;
+        }
+        let verts: Vec<usize> = {
+            let mut v: Vec<usize> = e.iter().flat_map(|&(a, b)| [a, b]).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let m = verts.len();
+        assert!(m <= 20, "brute force only for tiny graphs");
+        let mut best = m;
+        for mask in 0u32..(1 << m) {
+            let chosen: BTreeSet<usize> = (0..m)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| verts[i])
+                .collect();
+            if chosen.len() < best
+                && e.iter().all(|&(u, v)| chosen.contains(&u) || chosen.contains(&v))
+            {
+                best = chosen.len();
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn simple_cases() {
+        assert_eq!(min_cover_size(&[]), 0);
+        assert_eq!(min_cover_size(&[(0, 1)]), 1);
+        assert_eq!(min_cover_size(&[(0, 1), (1, 2)]), 1);
+        assert_eq!(min_cover_size(&[(0, 1), (1, 2), (2, 0)]), 2);
+        // star: center covers all
+        assert_eq!(min_cover_size(&[(0, 1), (0, 2), (0, 3), (0, 4)]), 1);
+        // two disjoint edges
+        assert_eq!(min_cover_size(&[(0, 1), (2, 3)]), 2);
+        // K4 needs 3
+        assert_eq!(
+            min_cover_size(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+            3
+        );
+    }
+
+    #[test]
+    fn directions_and_duplicates_ignored() {
+        assert_eq!(min_cover_size(&[(0, 1), (1, 0), (0, 1)]), 1);
+        assert!(has_cover_at_most(&[(3, 3)], 0), "self loop filtered");
+    }
+
+    #[test]
+    fn triangles_attack_shape() {
+        // t edge-disjoint triangles -> min cover exactly 2t (the shape the
+        // paper uses to show direct exchange is 2t-disruptable).
+        for t in 1..5 {
+            let mut edges = Vec::new();
+            for i in 0..t {
+                let base = 3 * i;
+                edges.push((base, base + 1));
+                edges.push((base + 1, base + 2));
+                edges.push((base + 2, base));
+            }
+            assert_eq!(min_cover_size(&edges), 2 * t);
+            assert!(!has_cover_at_most(&edges, 2 * t - 1));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..40 {
+            let n = rng.gen_range(2..9);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng.gen_bool(0.4) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            assert_eq!(
+                min_cover_size(&edges),
+                brute_force_min_cover(&edges),
+                "edges: {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_is_monotone() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)];
+        let min = min_cover_size(&edges);
+        for k in 0..min {
+            assert!(!has_cover_at_most(&edges, k));
+        }
+        for k in min..8 {
+            assert!(has_cover_at_most(&edges, k));
+        }
+    }
+}

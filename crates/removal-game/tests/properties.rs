@@ -1,0 +1,160 @@
+//! Property-based tests for the starred-edge removal game.
+
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+use removal_game::game::{GameState, ProposalItem};
+use removal_game::greedy::{greedy_proposal, p1, p2};
+use removal_game::referee::{AdversarialReferee, GenerousReferee, RandomReferee, Referee};
+use removal_game::vertex_cover::{has_cover_at_most, min_cover_size};
+
+/// Random directed graphs on up to 12 vertices.
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    btree_set((0..n, 0..n), 0..40).prop_map(move |set| {
+        set.into_iter().filter(|&(u, v)| u != v).collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    /// Every proposal greedy emits satisfies Restrictions 1–4 (validated by
+    /// the game's own rule checker), for every intermediate state of a game
+    /// played against a random referee.
+    #[test]
+    fn greedy_proposals_always_legal(
+        edges in arb_edges(10),
+        t in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let mut state = GameState::new(10, edges, t).unwrap();
+        let mut referee = RandomReferee::new(seed);
+        let mut guard = 0;
+        while let Some(p) = greedy_proposal(&state) {
+            prop_assert!(state.validate_proposal(&p).is_ok());
+            let resp = referee.respond(&state, &p);
+            state.apply_response(&p, &resp).unwrap();
+            guard += 1;
+            prop_assert!(guard <= 200, "game did not converge");
+        }
+    }
+
+    /// Lemma 3: when greedy terminates, the remaining graph has vertex
+    /// cover at most t — checked with the exact decision procedure.
+    #[test]
+    fn termination_implies_small_cover(
+        edges in arb_edges(10),
+        t in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let mut state = GameState::new(10, edges, t).unwrap();
+        let mut referee = RandomReferee::new(seed);
+        while let Some(p) = greedy_proposal(&state) {
+            let resp = referee.respond(&state, &p);
+            state.apply_response(&p, &resp).unwrap();
+        }
+        let remaining: Vec<_> = state.graph().edges().collect();
+        prop_assert!(
+            has_cover_at_most(&remaining, t),
+            "terminated with VC > t: edges {remaining:?}"
+        );
+    }
+
+    /// Theorem 4: against *any* referee the game finishes in O(|E|) moves —
+    /// concretely at most |E| + n moves, since every move removes an edge
+    /// or stars a fresh node.
+    #[test]
+    fn move_bound_theorem_4(
+        edges in arb_edges(12),
+        t in 1usize..4,
+    ) {
+        let e = edges.len();
+        let mut state = GameState::new(12, edges, t).unwrap();
+        let mut referee = AdversarialReferee::new();
+        let mut moves = 0;
+        while let Some(p) = greedy_proposal(&state) {
+            let resp = referee.respond(&state, &p);
+            state.apply_response(&p, &resp).unwrap();
+            moves += 1;
+            prop_assert!(moves <= e + 12, "exceeded |E| + n moves");
+        }
+    }
+
+    /// The P1/P2 pools match their set-theoretic definitions.
+    #[test]
+    fn pools_are_consistent(edges in arb_edges(10), t in 1usize..4) {
+        let state = GameState::new(10, edges, t).unwrap();
+        let p1v = p1(&state);
+        // P1 ⊆ sources, none starred (S is empty at the start).
+        for &v in &p1v {
+            prop_assert!(state.graph().out_degree(v) > 0);
+        }
+        // P2 edges avoid P1 entirely.
+        for (v, w) in p2(&state) {
+            prop_assert!(!p1v.contains(&v) && !p1v.contains(&w));
+        }
+    }
+
+    /// Generous referee (no interference): every pair's message is delivered
+    /// unless the final cover bound makes that unnecessary; the game always
+    /// converges with at most |E| + n moves and empties quickly.
+    #[test]
+    fn generous_games_converge(edges in arb_edges(10), t in 1usize..4) {
+        let e = edges.len();
+        let mut state = GameState::new(10, edges, t).unwrap();
+        let mut referee = GenerousReferee;
+        let mut moves = 0;
+        while let Some(p) = greedy_proposal(&state) {
+            let resp = referee.respond(&state, &p);
+            state.apply_response(&p, &resp).unwrap();
+            moves += 1;
+        }
+        prop_assert!(moves <= e + 10);
+        prop_assert!(state.cover_at_most_t());
+    }
+
+    /// min_cover_size is consistent with the decision procedure.
+    #[test]
+    fn cover_size_consistency(edges in arb_edges(9)) {
+        let k = min_cover_size(&edges);
+        prop_assert!(has_cover_at_most(&edges, k));
+        if k > 0 {
+            prop_assert!(!has_cover_at_most(&edges, k - 1));
+        }
+    }
+
+    /// Covers are monotone under edge deletion: removing an edge never
+    /// increases the minimum cover.
+    #[test]
+    fn cover_monotone_under_deletion(edges in arb_edges(9)) {
+        prop_assume!(!edges.is_empty());
+        let full = min_cover_size(&edges);
+        let mut smaller = edges.clone();
+        smaller.pop();
+        prop_assert!(min_cover_size(&smaller) <= full);
+    }
+
+    /// A starred node never re-enters P1 and proposals never propose it as
+    /// a node item again.
+    #[test]
+    fn starred_nodes_leave_p1(
+        edges in arb_edges(10),
+        t in 1usize..4,
+    ) {
+        let mut state = GameState::new(10, edges, t).unwrap();
+        let mut referee = GenerousReferee;
+        let mut starred_so_far: Vec<usize> = Vec::new();
+        while let Some(p) = greedy_proposal(&state) {
+            for item in &p {
+                if let ProposalItem::Node(v) = item {
+                    prop_assert!(!starred_so_far.contains(v), "re-proposed starred {v}");
+                }
+            }
+            let resp = referee.respond(&state, &p);
+            for item in &resp {
+                if let ProposalItem::Node(v) = item {
+                    starred_so_far.push(*v);
+                }
+            }
+            state.apply_response(&p, &resp).unwrap();
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Establish a shared secret group key with no pre-shared secrets and no
+//! trusted infrastructure, while an adversary jams `t` channels per round
+//! (Section 6 of the paper).
+//!
+//! ```text
+//! cargo run --example group_key
+//! ```
+
+use secure_radio::fame::group_key::establish_group_key;
+use secure_radio::fame::Params;
+use secure_radio::net::adversaries::RandomJammer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::minimal(40, 2)?;
+    println!(
+        "establishing a group key among n={} nodes, t={} jammed channels/round…",
+        params.n(),
+        params.t()
+    );
+
+    let report = establish_group_key(
+        &params,
+        RandomJammer::new(1), // attacks Part 1 (f-AME + Diffie-Hellman)
+        RandomJammer::new(2), // attacks Part 2 (leader-key dissemination)
+        RandomJammer::new(3), // attacks Part 3 (agreement)
+        2024,
+        false,
+    )?;
+
+    println!(
+        "rounds: part1={} part2={} part3={} (total {})",
+        report.rounds.part1,
+        report.rounds.part2,
+        report.rounds.part3,
+        report.rounds.total()
+    );
+    println!("complete leaders: {:?}", report.complete_leaders);
+    println!(
+        "key holders: {}/{} (paper guarantees >= n - t = {})",
+        report.holders(),
+        params.n(),
+        params.n() - params.t()
+    );
+    assert!(report.agreement(), "all holders must share one key");
+    let key = report.group_key().expect("some node holds the key");
+    println!("agreed group key fingerprint: {}", key.fingerprint().short_hex());
+
+    for (node, adopted) in report.adopted.iter().enumerate().take(8) {
+        match adopted {
+            Some((leader, _)) => println!("  node {node:>2}: adopted leader {leader}'s key"),
+            None => println!("  node {node:>2}: knows it has no key"),
+        }
+    }
+    println!("  …");
+    Ok(())
+}

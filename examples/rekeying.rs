@@ -1,0 +1,140 @@
+//! Dynamic re-keying after a key compromise — the paper's introduction
+//! motivates establishing keys *in-band* precisely so that a group can
+//! "re-key dynamically, for example, after the detection of a compromised
+//! device".
+//!
+//! ```text
+//! cargo run --example rekeying
+//! ```
+//!
+//! This example shows the full life cycle:
+//! 1. the group establishes key `K1` over the air (Section 6);
+//! 2. the long-lived channel hums along under an ordinary jammer;
+//! 3. `K1` leaks — the adversary now predicts every hop and jams the
+//!    exact channel each round: delivery collapses;
+//! 4. the group re-runs the establishment protocol (new coins), derives
+//!    `K2`, and service resumes at full delivery.
+
+use secure_radio::crypto::key::SymmetricKey;
+use secure_radio::crypto::prf::ChannelHopper;
+use secure_radio::fame::group_key::establish_group_key;
+use secure_radio::fame::longlived::{run_longlived, ScriptEntry};
+use secure_radio::fame::Params;
+use secure_radio::net::adversaries::RandomJammer;
+use secure_radio::net::{
+    Adversary, AdversaryAction, AdversaryView, ChannelId,
+};
+
+/// The nightmare attacker: it *knows the group key*, so it computes the
+/// hopping sequence and parks on exactly the right channel every round.
+struct KeyCompromiseJammer {
+    hopper: ChannelHopper,
+}
+
+impl KeyCompromiseJammer {
+    fn new(key: SymmetricKey, channels: usize) -> Self {
+        KeyCompromiseJammer {
+            hopper: ChannelHopper::new(&key, channels),
+        }
+    }
+}
+
+impl<M> Adversary<M> for KeyCompromiseJammer {
+    fn act(&mut self, round: u64, _view: &AdversaryView<'_, M>) -> AdversaryAction<M> {
+        AdversaryAction::jam([ChannelId(self.hopper.channel_for(round))])
+    }
+
+    fn name(&self) -> &'static str {
+        "key-compromise"
+    }
+}
+
+fn establish(params: &Params, seed: u64) -> Vec<Option<SymmetricKey>> {
+    let report = establish_group_key(
+        params,
+        RandomJammer::new(seed),
+        RandomJammer::new(seed + 1),
+        RandomJammer::new(seed + 2),
+        seed,
+        false,
+    )
+    .expect("group key establishment");
+    assert!(report.agreement());
+    println!(
+        "  established key {} in {} rounds ({}/{} holders)",
+        report.group_key().expect("key").fingerprint().short_hex(),
+        report.rounds.total(),
+        report.holders(),
+        params.n()
+    );
+    report.adopted.iter().map(|a| a.map(|(_, k)| k)).collect()
+}
+
+fn chat(
+    label: &str,
+    params: &Params,
+    keys: &[Option<SymmetricKey>],
+    adversary: impl Adversary<secure_radio::crypto::SealedBox>,
+    seed: u64,
+) -> f64 {
+    // Only key holders may broadcast (the <= t unkeyed nodes know they
+    // are outside the service).
+    let holders_idx: Vec<usize> = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(i, k)| k.is_some().then_some(i))
+        .collect();
+    let script: Vec<ScriptEntry> = (0..6)
+        .map(|e| ScriptEntry {
+            eround: e,
+            sender: holders_idx[(5 + 7 * e as usize) % holders_idx.len()],
+            message: format!("status update {e}").into_bytes(),
+        })
+        .collect();
+    let report = run_longlived(params, keys, &script, adversary, seed, false)
+        .expect("session runs");
+    let holders: Vec<bool> = keys.iter().map(Option::is_some).collect();
+    let rate = report.delivery_rate(&script, &holders);
+    println!("  {label}: delivery {:.1}%", rate * 100.0);
+    rate
+}
+
+fn main() {
+    let params = Params::minimal(40, 2).expect("params");
+
+    println!("phase 1: establish K1 over hostile spectrum");
+    let keys1 = establish(&params, 1001);
+    let k1 = keys1.iter().flatten().next().copied().expect("holder");
+
+    println!("phase 2: normal operation (ordinary jammer)");
+    let healthy = chat("session under random jammer", &params, &keys1, RandomJammer::new(7), 11);
+    assert!(healthy > 0.99);
+
+    println!("phase 3: K1 leaks — the adversary hops WITH the group");
+    let compromised = chat(
+        "session under key-compromise jammer",
+        &params,
+        &keys1,
+        KeyCompromiseJammer::new(k1, params.c()),
+        13,
+    );
+    assert!(
+        compromised < 0.01,
+        "a key-holding jammer should kill the channel, got {compromised}"
+    );
+
+    println!("phase 4: re-key in-band (fresh coins), service restored");
+    let keys2 = establish(&params, 2002);
+    let k2 = keys2.iter().flatten().next().copied().expect("holder");
+    assert_ne!(k1.fingerprint(), k2.fingerprint(), "new key must differ");
+    // The attacker still holds the OLD key: useless against K2.
+    let restored = chat(
+        "session under stale-key jammer",
+        &params,
+        &keys2,
+        KeyCompromiseJammer::new(k1, params.c()),
+        17,
+    );
+    assert!(restored > 0.99);
+    println!("\nre-keying restores the service without any out-of-band contact");
+}

@@ -1,0 +1,26 @@
+//! # secure-radio
+//!
+//! Facade crate for the full Rust reproduction of
+//!
+//! > Dolev, Gilbert, Guerraoui, Newport.
+//! > *Secure Communication Over Radio Channels.* PODC 2008.
+//!
+//! It re-exports the four library crates of the workspace:
+//!
+//! * [`net`] (`radio-network`) — the synchronous multi-channel radio model
+//!   with a jamming/spoofing adversary (paper §3);
+//! * [`crypto`] (`radio-crypto`) — SHA-256, HMAC, PRF channel hopping,
+//!   Diffie–Hellman, authenticated encryption (substrates for §5.6–§7);
+//! * [`game`] (`removal-game`) — the (G,t)-starred-edge removal game and the
+//!   greedy-removal strategy (§5.1–§5.2);
+//! * [`fame`] — the f-AME protocol, its wide-band and compact variants, the
+//!   shared group key, the long-lived service, and the baselines (§5.4–§7).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub use fame;
+pub use radio_crypto as crypto;
+pub use radio_network as net;
+pub use removal_game as game;

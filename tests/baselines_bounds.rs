@@ -1,0 +1,124 @@
+//! The baselines behave exactly as the paper says they must: the naive
+//! exchange is fooled about half the time (Theorem 2), the direct
+//! baseline is pinned at 2t (Section 5), and gossip trades speed for
+//! authentication (Section 2).
+
+use fame::baselines::direct::{build_direct_schedule, run_direct_exchange, TriangleAdversary};
+use fame::baselines::gossip::{run_gossip, RumorFrame};
+use fame::baselines::naive::naive_exchange_trials;
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame;
+use fame::Params;
+use radio_network::adversaries::{NoAdversary, RandomJammer, Spoofer};
+use radio_network::ChannelId;
+use removal_game::vertex_cover::min_cover_size;
+
+fn complete_pairs(m: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for v in 0..m {
+        for w in 0..m {
+            if v != w {
+                pairs.push((v, w));
+            }
+        }
+    }
+    pairs
+}
+
+#[test]
+fn theorem_2_half_fooled() {
+    for t in [1usize, 2] {
+        let report = naive_exchange_trials(4 * t, t, 50 * (t as u64 + 1), 50, 3).unwrap();
+        let fooled = report.fooled_fraction();
+        assert!(
+            (0.3..=0.7).contains(&fooled),
+            "t={t}: expected ~half fooled, got {fooled}"
+        );
+    }
+}
+
+#[test]
+fn fame_zero_fooled_same_model() {
+    // The same claim f-AME is measured against in E5: zero forgeries.
+    let t = 2;
+    let p = Params::minimal(40, t).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..6).map(|i| (i, i + t + 10)).collect();
+    let instance = AmeInstance::new(p.n(), pairs).unwrap();
+    let forged = fame::FameFrame::Vector {
+        owner: 0,
+        messages: [(12usize, b"fake".to_vec())].into_iter().collect(),
+    };
+    let run = run_fame(
+        &instance,
+        &p,
+        Spoofer::new(9, move |_, _| forged.clone()),
+        91,
+    )
+    .unwrap();
+    assert!(run.outcome.authentication_violations(&instance).is_empty());
+}
+
+#[test]
+fn triangle_attack_cover_is_exactly_2t() {
+    for t in [2usize, 3] {
+        let n = 3 * t;
+        let instance = AmeInstance::new(n, complete_pairs(n)).unwrap();
+        let schedule = build_direct_schedule(instance.pairs(), t + 1, 4);
+        let outcome = run_direct_exchange(
+            &instance,
+            t,
+            4,
+            TriangleAdversary::new(t, schedule),
+            93,
+        )
+        .unwrap();
+        assert_eq!(min_cover_size(&outcome.disruption_edges()), 2 * t);
+    }
+}
+
+#[test]
+fn fame_beats_triangle_attack_on_the_same_workload() {
+    // The exact scenario that breaks the direct baseline: f-AME holds t.
+    let t = 2;
+    let m = 3 * t; // the six nodes the triangles target
+    let p = Params::minimal(40, t).unwrap();
+    let instance = AmeInstance::new(p.n(), complete_pairs(m)).unwrap();
+    let adv = fame::adversaries::OmniscientJammer::new(
+        &p,
+        instance.pairs(),
+        fame::adversaries::TransmissionPolicy::PreferEdges,
+        fame::adversaries::FeedbackPolicy::Quiet,
+        5,
+    );
+    let run = run_fame(&instance, &p, adv, 95).unwrap();
+    assert!(
+        run.outcome.is_d_disruptable(t),
+        "cover {} > t={}",
+        run.outcome.disruption_cover(),
+        t
+    );
+}
+
+#[test]
+fn gossip_completes_but_accepts_forgeries() {
+    let spoofer = Spoofer::new(11, |round, ch: ChannelId| RumorFrame {
+        origin: (round as usize + ch.index()) % 5,
+        payload: b"imposter".to_vec(),
+    });
+    let report = run_gossip(14, 1, spoofer, 60_000, 5).unwrap();
+    assert!(report.completed);
+    assert!(report.forged_slots > 0, "gossip should be spoofable");
+
+    // Under a quiet network: no forgeries, faster completion.
+    let quiet = run_gossip(14, 1, NoAdversary, 60_000, 5).unwrap();
+    assert!(quiet.completed);
+    assert_eq!(quiet.forged_slots, 0);
+}
+
+#[test]
+fn gossip_slows_under_jamming() {
+    let quiet = run_gossip(14, 2, NoAdversary, 200_000, 7).unwrap();
+    let jammed = run_gossip(14, 2, RandomJammer::new(3), 200_000, 7).unwrap();
+    assert!(quiet.completed && jammed.completed);
+    assert!(jammed.rounds >= quiet.rounds);
+}

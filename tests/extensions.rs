@@ -1,0 +1,70 @@
+//! The Section 8 extensions compose with the rest of the stack: group-key
+//! setup feeding point-to-point sessions, residual delivery after f-AME,
+//! and the Byzantine-robust variant on the same instances.
+
+use fame::byzantine::run_byzantine_fame;
+use fame::group_key::establish_group_key;
+use fame::pointtopoint::{pair_key, run_pairwise_slot, PairSession};
+use fame::problem::AmeInstance;
+use fame::residual::run_fame_with_residual;
+use fame::Params;
+use radio_network::adversaries::{NoAdversary, RandomJammer};
+
+#[test]
+fn group_key_feeds_pairwise_sessions() {
+    // End to end: establish the group key over the air, then run three
+    // concurrent pairwise sessions keyed from it.
+    let p = Params::minimal(40, 2).unwrap();
+    let report = establish_group_key(
+        &p,
+        RandomJammer::new(31),
+        RandomJammer::new(32),
+        RandomJammer::new(33),
+        101,
+        false,
+    )
+    .unwrap();
+    assert!(report.agreement());
+    let group = report.group_key().expect("established");
+
+    let sessions = vec![
+        PairSession { a: 4, b: 24, message: b"alpha".to_vec() },
+        PairSession { a: 5, b: 25, message: b"beta".to_vec() },
+        PairSession { a: 6, b: 26, message: b"gamma".to_vec() },
+    ];
+    let p2p = run_pairwise_slot(&p, &group, &sessions, RandomJammer::new(34), 103).unwrap();
+    assert!(p2p.delivery_rate() > 0.99, "sessions: {:?}", p2p.delivered);
+    assert_eq!(p2p.delivered[0].as_deref(), Some(&b"alpha"[..]));
+    // The sub-keys are derived, never equal to the group key.
+    assert_ne!(pair_key(&group, 4, 24), group);
+}
+
+#[test]
+fn byzantine_variant_on_the_fame_workload() {
+    // Same instance through both protocols: f-AME gets cover <= t,
+    // the surrogate-free variant gets cover <= 2t, both authentic.
+    let p = Params::minimal(40, 2).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..10).map(|i| (i, i + 12)).collect();
+    let inst = AmeInstance::new(p.n(), pairs).unwrap();
+
+    let fame_run = fame::run_fame(&inst, &p, RandomJammer::new(3), 105).unwrap();
+    let (byz_outcome, _) = run_byzantine_fame(&inst, &p, RandomJammer::new(3), 105).unwrap();
+
+    assert!(fame_run.outcome.is_d_disruptable(p.t()));
+    assert!(byz_outcome.is_d_disruptable(2 * p.t()));
+    assert!(fame_run.outcome.authentication_violations(&inst).is_empty());
+    assert!(byz_outcome.authentication_violations(&inst).is_empty());
+}
+
+#[test]
+fn residual_then_longlived_pipeline() {
+    // The full user story: AME exchange with residual cleanup, then a
+    // secure session keyed separately — everything in one process.
+    let p = Params::minimal(40, 2).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..7).map(|i| (2 * i, 2 * i + 1)).collect();
+    let inst = AmeInstance::new(p.n(), pairs.iter().copied()).unwrap();
+    let (merged, _) =
+        run_fame_with_residual(&inst, &p, NoAdversary, NoAdversary, 2, 107).unwrap();
+    assert_eq!(merged.delivered_count(), pairs.len());
+    assert!(merged.awareness_violations().is_empty());
+}

@@ -1,0 +1,35 @@
+//! The `secure-radio` facade: the four crates compose through the
+//! re-exports exactly as the README shows.
+
+use secure_radio::crypto::dh::{DhConfig, KeyPair};
+use secure_radio::crypto::SealedBox;
+use secure_radio::fame::{run_fame, AmeInstance, Params};
+use secure_radio::game::game::GameState;
+use secure_radio::game::greedy::greedy_proposal;
+use secure_radio::net::adversaries::RandomJammer;
+use secure_radio::net::NetworkConfig;
+
+#[test]
+fn facade_composes() {
+    // net
+    let cfg = NetworkConfig::minimal(2).unwrap();
+    assert_eq!(cfg.channels(), 3);
+
+    // crypto
+    let dh = DhConfig::default();
+    let a = KeyPair::generate(&dh, 1);
+    let b = KeyPair::generate(&dh, 2);
+    let k = a.shared_key(b.public());
+    let boxed = SealedBox::seal(&k, 0, b"facade");
+    assert_eq!(boxed.open(&k).as_deref(), Some(&b"facade"[..]));
+
+    // game
+    let game = GameState::new(6, [(0, 1), (2, 3), (4, 5)], 1).unwrap();
+    assert!(greedy_proposal(&game).is_some());
+
+    // fame, end to end
+    let p = Params::minimal(40, 2).unwrap();
+    let instance = AmeInstance::new(p.n(), [(0, 9), (1, 8), (2, 7)]).unwrap();
+    let run = run_fame(&instance, &p, RandomJammer::new(1), 5).unwrap();
+    assert!(run.outcome.is_d_disruptable(2));
+}

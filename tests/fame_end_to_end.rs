@@ -1,0 +1,132 @@
+//! End-to-end f-AME grid: workload shapes × adversaries × thresholds,
+//! asserting all three Definition 1 properties every time.
+
+use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame;
+use fame::{FameFrame, Params};
+use radio_network::adversaries::{
+    BusyChannelJammer, HybridAdversary, NoAdversary, RandomJammer, Spoofer, SweepJammer,
+};
+use radio_network::Adversary;
+
+fn forged() -> FameFrame {
+    FameFrame::Vector {
+        owner: 3,
+        messages: [(9usize, b"bogus".to_vec())].into_iter().collect(),
+    }
+}
+
+fn roster(p: &Params, pairs: &[(usize, usize)], seed: u64) -> Vec<Box<dyn Adversary<FameFrame>>> {
+    vec![
+        Box::new(NoAdversary),
+        Box::new(RandomJammer::new(seed)),
+        Box::new(SweepJammer::new()),
+        Box::new(BusyChannelJammer::new(seed, 6)),
+        Box::new(Spoofer::new(seed, |_, _| forged())),
+        Box::new(HybridAdversary::new(seed, 0.5, |_, _| forged())),
+        Box::new(OmniscientJammer::new(
+            p,
+            pairs,
+            TransmissionPolicy::PreferEdges,
+            FeedbackPolicy::Sweep,
+            seed,
+        )),
+        Box::new(
+            OmniscientJammer::new(
+                p,
+                pairs,
+                TransmissionPolicy::Victims(vec![0, 1]),
+                FeedbackPolicy::Random,
+                seed,
+            )
+            .with_spoofing(),
+        ),
+    ]
+}
+
+fn assert_definition_1(p: &Params, pairs: Vec<(usize, usize)>, seed: u64) {
+    let instance = AmeInstance::new(p.n(), pairs).unwrap();
+    for adversary in roster(p, instance.pairs(), seed) {
+        let name = adversary.name();
+        let run = run_fame(&instance, p, adversary, seed).unwrap();
+        assert!(
+            run.outcome.authentication_violations(&instance).is_empty(),
+            "{name}: accepted a forged payload"
+        );
+        assert!(
+            run.outcome.awareness_violations().is_empty(),
+            "{name}: sender/destination views disagree"
+        );
+        assert!(
+            run.outcome.is_d_disruptable(p.t()),
+            "{name}: disruption cover {} > t={} (failed {:?})",
+            run.outcome.disruption_cover(),
+            p.t(),
+            run.outcome.disruption_edges()
+        );
+    }
+}
+
+#[test]
+fn disjoint_pairs_t2() {
+    let p = Params::minimal(40, 2).unwrap();
+    assert_definition_1(&p, (0..9).map(|i| (2 * i, 2 * i + 1)).collect(), 5);
+}
+
+#[test]
+fn ring_workload_t2() {
+    let p = Params::minimal(40, 2).unwrap();
+    assert_definition_1(&p, (0..14).map(|i| (i, (i + 1) % 14)).collect(), 7);
+}
+
+#[test]
+fn star_workload_t2() {
+    // All pairs share node 0: heavy surrogate usage.
+    let p = Params::minimal(40, 2).unwrap();
+    let mut pairs: Vec<(usize, usize)> = (1..9).map(|w| (0, w)).collect();
+    pairs.extend((1..5).map(|w| (w, 0)));
+    assert_definition_1(&p, pairs, 9);
+}
+
+#[test]
+fn bidirectional_pairs_t2() {
+    let p = Params::minimal(40, 2).unwrap();
+    let mut pairs = Vec::new();
+    for i in 0..6 {
+        pairs.push((i, i + 10));
+        pairs.push((i + 10, i));
+    }
+    assert_definition_1(&p, pairs, 11);
+}
+
+#[test]
+fn disjoint_pairs_t1() {
+    let p = Params::minimal(Params::min_nodes(1, 2), 1).unwrap();
+    assert_definition_1(&p, (0..6).map(|i| (2 * i, 2 * i + 1)).collect(), 13);
+}
+
+#[test]
+fn dense_random_t3() {
+    let p = Params::minimal(Params::min_nodes(3, 4), 3).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..20).map(|i| (i % 7, 10 + (i * 3) % 17)).collect();
+    let pairs: Vec<(usize, usize)> = pairs.into_iter().filter(|(v, w)| v != w).collect();
+    assert_definition_1(&p, pairs, 17);
+}
+
+#[test]
+fn tree_regime_grid() {
+    let p = Params::new(Params::min_nodes(2, 8), 2, 8).unwrap();
+    assert_definition_1(&p, (0..8).map(|i| (i, i + 16)).collect(), 19);
+}
+
+#[test]
+fn large_instance_smoke() {
+    // A bigger run to exercise long executions end to end.
+    let p = Params::minimal(60, 2).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..30).map(|i| (i, 30 + (i * 7) % 30)).collect();
+    let instance = AmeInstance::new(p.n(), pairs).unwrap();
+    let run = run_fame(&instance, &p, RandomJammer::new(3), 23).unwrap();
+    assert!(run.outcome.is_d_disruptable(2));
+    assert!(run.outcome.rounds > 0);
+}

@@ -1,0 +1,152 @@
+//! Theorem 6's three invariants, checked live on real executions.
+//!
+//! These tests drive f-AME with an inspector hook and verify, at every
+//! move boundary, the invariants the correctness proof rests on:
+//!
+//! 1. every node holds an identical game graph `G` and starred set `S`;
+//! 2. every starred node's message vector is held by at least `3(t+1)`
+//!    surrogate candidates;
+//! 3. the game graph coincides with the true disruption graph (an edge
+//!    remains iff the destination has not received the message).
+
+use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame_with_inspector;
+use fame::{FameNode, Params};
+use radio_network::adversaries::RandomJammer;
+
+fn check_invariants(nodes: &[FameNode], instance: &AmeInstance, t: usize) {
+    let reference = &nodes[0];
+
+    // Invariant 1: identical game state everywhere.
+    for node in nodes.iter().skip(1) {
+        assert_eq!(
+            node.game(),
+            reference.game(),
+            "node {} diverged from node 0's game state",
+            node.id()
+        );
+        assert_eq!(
+            node.surrogates(),
+            reference.surrogates(),
+            "node {} diverged on surrogate pools",
+            node.id()
+        );
+    }
+
+    // Invariant 2: every starred node's vector is widely held.
+    for (&starred, pool) in reference.surrogates() {
+        assert!(
+            pool.len() >= 3 * (t + 1),
+            "starred {starred} has only {} surrogates",
+            pool.len()
+        );
+        let holders = nodes
+            .iter()
+            .filter(|n| {
+                n.learned()
+                    .get(&starred)
+                    .is_some_and(|vector| *vector == instance.outbox_of(starred))
+            })
+            .count();
+        assert!(
+            holders >= 3 * (t + 1),
+            "only {holders} nodes hold {starred}'s true vector"
+        );
+    }
+
+    // Invariant 3: game graph == disruption graph.
+    for &(v, w) in instance.pairs() {
+        let edge_remains = reference.game().graph().has_edge(v, w);
+        let delivered = nodes[w].inbox().contains_key(&(v, w));
+        assert_eq!(
+            edge_remains, !delivered,
+            "edge ({v},{w}) remains={edge_remains} but delivered={delivered}"
+        );
+        if delivered {
+            assert_eq!(
+                nodes[w].inbox()[&(v, w)],
+                *instance.message(v, w).expect("pair exists"),
+                "destination accepted a wrong payload for ({v},{w})"
+            );
+        }
+    }
+}
+
+fn run_with_invariants(
+    params: &Params,
+    pairs: &[(usize, usize)],
+    use_omniscient: bool,
+    seed: u64,
+) {
+    let instance = AmeInstance::new(params.n(), pairs.iter().copied()).unwrap();
+    let mut last_moves = usize::MAX;
+    let mut checks = 0usize;
+    let mut inspector = |_round: u64, nodes: &[FameNode]| {
+        let moves = nodes[0].moves();
+        if moves != last_moves {
+            last_moves = moves;
+            check_invariants(nodes, &instance, params.t());
+            checks += 1;
+        }
+    };
+    let run = if use_omniscient {
+        let adv = OmniscientJammer::new(
+            params,
+            instance.pairs(),
+            TransmissionPolicy::PreferEdges,
+            FeedbackPolicy::Random,
+            seed,
+        );
+        run_fame_with_inspector(&instance, params, adv, seed, &mut inspector).unwrap()
+    } else {
+        run_fame_with_inspector(
+            &instance,
+            params,
+            RandomJammer::new(seed),
+            seed,
+            &mut inspector,
+        )
+        .unwrap()
+    };
+    assert!(checks > 1, "inspector never fired");
+    assert!(run.outcome.is_d_disruptable(params.t()));
+}
+
+#[test]
+fn invariants_hold_under_random_jamming() {
+    let params = Params::minimal(40, 2).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..10).map(|i| (i, i + 15)).collect();
+    run_with_invariants(&params, &pairs, false, 11);
+}
+
+#[test]
+fn invariants_hold_under_omniscient_jamming() {
+    let params = Params::minimal(40, 2).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..10).map(|i| (i, i + 15)).collect();
+    run_with_invariants(&params, &pairs, true, 13);
+}
+
+#[test]
+fn invariants_hold_with_shared_sources_forcing_surrogates() {
+    // A star from node 0 forces starring + surrogate transmissions.
+    let params = Params::minimal(40, 2).unwrap();
+    let mut pairs: Vec<(usize, usize)> = (1..8).map(|w| (0, w + 10)).collect();
+    pairs.push((1, 25));
+    pairs.push((2, 26));
+    run_with_invariants(&params, &pairs, true, 17);
+}
+
+#[test]
+fn invariants_hold_at_t3() {
+    let params = Params::minimal(Params::min_nodes(3, 4), 3).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..12).map(|i| (i, i + 20)).collect();
+    run_with_invariants(&params, &pairs, false, 19);
+}
+
+#[test]
+fn invariants_hold_in_wide_regime() {
+    let params = Params::new(Params::min_nodes(2, 4), 2, 4).unwrap();
+    let pairs: Vec<(usize, usize)> = (0..10).map(|i| (i, i + 12)).collect();
+    run_with_invariants(&params, &pairs, false, 23);
+}

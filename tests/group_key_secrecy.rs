@@ -1,0 +1,132 @@
+//! Group-key establishment (Section 6): agreement, resilience, and — the
+//! part that justifies "secret" — an audit that no key material ever
+//! crosses the air in the clear.
+
+use fame::group_key::{establish_group_key, KeyFrame};
+use fame::Params;
+use radio_network::adversaries::{NoAdversary, RandomJammer, Spoofer, SweepJammer};
+use radio_network::Trace;
+
+/// Every byte sequence the adversary could have observed in a Part 2/3
+/// trace: sealed-frame ciphertexts and report hashes.
+fn observable_bytes(trace: &Trace<KeyFrame>) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for rec in trace.records() {
+        for (_, _, frame) in &rec.transmissions {
+            match frame {
+                KeyFrame::Sealed(sealed) => {
+                    out.push(sealed.ciphertext.clone());
+                    out.push(sealed.tag.as_bytes().to_vec());
+                }
+                KeyFrame::Report { key_hash, .. } => {
+                    out.push(key_hash.as_bytes().to_vec());
+                }
+            }
+        }
+    }
+    out
+}
+
+fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.len() >= needle.len()
+        && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[test]
+fn group_key_never_appears_on_the_air() {
+    let p = Params::minimal(40, 2).unwrap();
+    let report = establish_group_key(
+        &p,
+        NoAdversary,
+        NoAdversary,
+        NoAdversary,
+        41,
+        true, // keep traces for the audit
+    )
+    .unwrap();
+    assert!(report.agreement());
+    let key = report.group_key().expect("established");
+    let key_bytes = key.as_bytes();
+
+    for trace in [
+        report.part2_trace.as_ref().expect("kept"),
+        report.part3_trace.as_ref().expect("kept"),
+    ] {
+        for observed in observable_bytes(trace) {
+            assert!(
+                !contains_subslice(&observed, key_bytes),
+                "raw group-key bytes appeared on the air"
+            );
+            // Not even an 8-byte prefix may leak.
+            assert!(
+                !contains_subslice(&observed, &key_bytes[..8]),
+                "group-key prefix appeared on the air"
+            );
+        }
+    }
+}
+
+#[test]
+fn agreement_and_coverage_under_jamming() {
+    let p = Params::minimal(40, 2).unwrap();
+    for seed in [1u64, 2, 3] {
+        let report = establish_group_key(
+            &p,
+            RandomJammer::new(seed),
+            SweepJammer::new(),
+            RandomJammer::new(seed + 10),
+            seed,
+            false,
+        )
+        .unwrap();
+        assert!(report.agreement(), "seed {seed}: holders disagree");
+        assert!(
+            report.holders() >= p.n() - p.t(),
+            "seed {seed}: only {}/{} hold the key",
+            report.holders(),
+            p.n()
+        );
+        assert!(!report.complete_leaders.is_empty());
+    }
+}
+
+#[test]
+fn forged_reports_cannot_hijack_agreement() {
+    // Part 3 under a spoofer that floods forged reports claiming leader 0
+    // with a bogus hash: verification requires knowing the leader key, so
+    // nothing changes.
+    let p = Params::minimal(40, 2).unwrap();
+    let forged_hash = radio_crypto::Sha256::digest(b"not the real key");
+    let spoofer = Spoofer::new(5, move |_round, _ch| KeyFrame::Report {
+        reporter: 3, // the reporter id is whoever's epoch it is; try a few
+        leader: 0,
+        key_hash: forged_hash,
+    });
+    let report = establish_group_key(&p, NoAdversary, NoAdversary, spoofer, 43, false).unwrap();
+    assert!(report.agreement());
+    assert!(report.holders() >= p.n() - p.t());
+    // Every adopted leader must be a complete leader with a real key.
+    for adopted in report.adopted.iter().flatten() {
+        assert!(
+            report.complete_leaders.contains(&adopted.0),
+            "a node adopted non-complete leader {}",
+            adopted.0
+        );
+    }
+}
+
+#[test]
+fn all_three_parts_attacked_simultaneously() {
+    let p = Params::minimal(40, 2).unwrap();
+    let report = establish_group_key(
+        &p,
+        RandomJammer::new(7),
+        RandomJammer::new(8),
+        SweepJammer::new(),
+        47,
+        false,
+    )
+    .unwrap();
+    assert!(report.agreement());
+    assert!(report.holders() >= p.n() - p.t());
+}

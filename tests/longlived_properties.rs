@@ -1,0 +1,169 @@
+//! Long-lived service (Section 7): t-reliability, secrecy, authentication
+//! — including a replay attacker that retransmits genuine old frames.
+
+use fame::longlived::{run_longlived, ScriptEntry};
+use fame::Params;
+use radio_crypto::cipher::SealedBox;
+use radio_crypto::key::SymmetricKey;
+use radio_network::adversaries::{BusyChannelJammer, NoAdversary, RandomJammer};
+use radio_network::{Adversary, AdversaryAction, AdversaryView, ChannelId, Emission};
+
+fn params() -> Params {
+    Params::minimal(40, 2).unwrap()
+}
+
+fn group_key() -> SymmetricKey {
+    SymmetricKey::from_bytes([0xAB; 32])
+}
+
+fn keys(p: &Params) -> Vec<Option<SymmetricKey>> {
+    (0..p.n()).map(|_| Some(group_key())).collect()
+}
+
+fn script() -> Vec<ScriptEntry> {
+    vec![
+        ScriptEntry { eround: 0, sender: 2, message: b"alpha".to_vec() },
+        ScriptEntry { eround: 1, sender: 9, message: b"bravo".to_vec() },
+        ScriptEntry { eround: 2, sender: 2, message: b"charlie".to_vec() },
+        ScriptEntry { eround: 3, sender: 30, message: b"delta".to_vec() },
+    ]
+}
+
+#[test]
+fn reliability_under_history_aware_jamming() {
+    let p = params();
+    let report = run_longlived(
+        &p,
+        &keys(&p),
+        &script(),
+        BusyChannelJammer::new(5, 12),
+        51,
+        false,
+    )
+    .unwrap();
+    let holders = vec![true; p.n()];
+    let rate = report.delivery_rate(&script(), &holders);
+    assert!(rate > 0.999, "delivery {rate} under history-aware jamming");
+}
+
+/// An attacker that captures genuine sealed frames and replays them on
+/// random channels in *later* emulated rounds. The nonce binding must make
+/// every replay fall on deaf ears.
+struct ReplayAdversary {
+    captured: Vec<SealedBox>,
+    rng: rand::rngs::SmallRng,
+}
+
+impl ReplayAdversary {
+    fn new(seed: u64) -> Self {
+        use rand::SeedableRng;
+        ReplayAdversary {
+            captured: Vec::new(),
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary<SealedBox> for ReplayAdversary {
+    fn act(&mut self, _round: u64, view: &AdversaryView<'_, SealedBox>) -> AdversaryAction<SealedBox> {
+        use rand::Rng;
+        // Capture everything transmitted in completed rounds.
+        if let Some(rec) = view.trace.last() {
+            for (_, _, frame) in &rec.transmissions {
+                if self.captured.len() < 64 {
+                    self.captured.push(frame.clone());
+                }
+            }
+        }
+        // Replay an old frame on a couple of random channels.
+        let mut action = AdversaryAction::idle();
+        let mut used = vec![false; view.channels];
+        for _ in 0..view.budget {
+            if let Some(frame) = self.captured.first().cloned() {
+                let ch = self.rng.gen_range(0..view.channels);
+                if !used[ch] {
+                    used[ch] = true;
+                    action.push(ChannelId(ch), Emission::Spoof(frame));
+                }
+            }
+        }
+        action
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
+#[test]
+fn replayed_frames_are_rejected() {
+    let p = params();
+    let report = run_longlived(&p, &keys(&p), &script(), ReplayAdversary::new(3), 53, false)
+        .unwrap();
+    // Every accepted message must match the script entry for its slot —
+    // a replay of slot-0's frame during slot 2 must not be accepted.
+    for (node, received) in report.received.iter().enumerate() {
+        for (e, (sender, message)) in received {
+            let genuine = script()
+                .iter()
+                .any(|s| s.eround == *e && s.sender == *sender && &s.message == message);
+            assert!(genuine, "node {node} accepted a replayed/forged frame at slot {e}");
+        }
+    }
+}
+
+#[test]
+fn wrong_key_cannot_forge() {
+    let p = params();
+    let eve_key = SymmetricKey::from_bytes([0xEE; 32]);
+    let spoofer = radio_network::adversaries::Spoofer::new(7, move |round, _ch| {
+        SealedBox::seal(&eve_key, round / 67, b"\x00\x00\x00\x02EVE SAYS HI")
+    });
+    let report = run_longlived(&p, &keys(&p), &script(), spoofer, 57, false).unwrap();
+    for received in &report.received {
+        for (_, message) in received.values() {
+            assert!(!message.windows(3).any(|w| w == b"EVE"), "forged content accepted");
+        }
+    }
+}
+
+#[test]
+fn mixed_key_population_isolated() {
+    // Nodes 0 and 1 missed the key (the <= t excluded nodes).
+    let p = params();
+    let mut ks = keys(&p);
+    ks[0] = None;
+    ks[1] = None;
+    let report = run_longlived(&p, &ks, &script(), RandomJammer::new(5), 59, false).unwrap();
+    assert!(report.received[0].is_empty());
+    assert!(report.received[1].is_empty());
+    // Everyone else still gets everything.
+    let holders: Vec<bool> = ks.iter().map(Option::is_some).collect();
+    assert!(report.delivery_rate(&script(), &holders) > 0.999);
+}
+
+#[test]
+fn emulated_round_cost_matches_params() {
+    let p = params();
+    let report = run_longlived(&p, &keys(&p), &script(), NoAdversary, 61, false).unwrap();
+    assert_eq!(report.rounds, 4 * p.epoch_rounds());
+    assert_eq!(report.epoch_len, p.epoch_rounds());
+}
+
+#[test]
+fn wide_band_halves_latency() {
+    let t = 2;
+    let n = Params::min_nodes(t, 2 * t).max(48);
+    let minimal = Params::new(n, t, t + 1).unwrap();
+    let wide = Params::new(n, t, 2 * t).unwrap();
+    assert!(
+        wide.epoch_rounds() < minimal.epoch_rounds(),
+        "C >= 2t should cut the per-message cost: {} !< {}",
+        wide.epoch_rounds(),
+        minimal.epoch_rounds()
+    );
+    let ks: Vec<Option<SymmetricKey>> = (0..n).map(|_| Some(group_key())).collect();
+    let report = run_longlived(&wide, &ks, &script(), RandomJammer::new(5), 63, false).unwrap();
+    let holders = vec![true; n];
+    assert!(report.delivery_rate(&script(), &holders) > 0.999);
+}
