@@ -1,0 +1,222 @@
+//! Hot-path bench: raw `Network::resolve_round` throughput.
+//!
+//! Measures the scratch-buffer engine against `baseline` — a faithful
+//! copy of the pre-refactor round-resolution loop (fresh `Vec`s every
+//! round, extra frame clones, unconditional record construction) — across
+//! the trace-retention policies, for a cheap `u64` frame and a clone-heavy
+//! `Vec<u8>` frame.
+//!
+//! Besides the usual criterion output, `main` writes the measured
+//! per-round times to `BENCH_engine.json` so the perf trajectory of this
+//! path is tracked in-repo.
+
+use criterion::{black_box, summaries_json, Criterion, Summary};
+use radio_network::{
+    Action, AdversaryAction, ChannelId, ChannelOutcome, Emission, Network, NetworkConfig, NodeId,
+    RoundRecord, TraceRetention,
+};
+use std::collections::VecDeque;
+
+const CHANNELS: usize = 8;
+const BUDGET: usize = 2;
+const NODES: usize = 64;
+const ROUNDS_PER_ITER: usize = 64;
+
+/// The actions of one synthetic round: a deterministic mix of transmitters
+/// (some colliding), listeners, and sleepers.
+fn actions<M: Clone>(round: usize, frame: &M) -> Vec<Action<M>> {
+    (0..NODES)
+        .map(|i| match i % 4 {
+            0 => Action::Transmit {
+                channel: ChannelId((i + round) % CHANNELS),
+                frame: frame.clone(),
+            },
+            1 | 2 => Action::Listen {
+                channel: ChannelId((i + 2 * round) % CHANNELS),
+            },
+            _ => Action::Sleep,
+        })
+        .collect()
+}
+
+fn adversary<M>(round: usize) -> AdversaryAction<M> {
+    AdversaryAction::jam([
+        ChannelId(round % CHANNELS),
+        ChannelId((round + 3) % CHANNELS),
+    ])
+}
+
+/// A faithful reproduction of the round loop as it was before the
+/// scratch-buffer refactor: every round allocates fresh gather buffers,
+/// clones each frame twice (gather + record), and always builds the trace
+/// record. Retention semantics match `TraceRetention::LastRounds(k)`.
+mod baseline {
+    use super::*;
+
+    pub struct NaiveNetwork<M> {
+        channels: usize,
+        round: u64,
+        keep_last: usize,
+        pub records: VecDeque<RoundRecord<M>>,
+    }
+
+    impl<M: Clone> NaiveNetwork<M> {
+        pub fn new(channels: usize, keep_last: usize) -> Self {
+            NaiveNetwork {
+                channels,
+                round: 0,
+                keep_last,
+                records: VecDeque::new(),
+            }
+        }
+
+        pub fn resolve_round(
+            &mut self,
+            actions: &[Action<M>],
+            adversary: AdversaryAction<M>,
+        ) -> Vec<ChannelOutcome<M>> {
+            let c = self.channels;
+            let mut honest_tx: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); c];
+            let mut listeners: Vec<(NodeId, ChannelId)> = Vec::new();
+            for (i, action) in actions.iter().enumerate() {
+                match action {
+                    Action::Transmit { channel, frame } => {
+                        honest_tx[channel.index()].push((NodeId(i), frame.clone()));
+                    }
+                    Action::Listen { channel } => listeners.push((NodeId(i), *channel)),
+                    Action::Sleep => {}
+                }
+            }
+            let mut adv_tx: Vec<Option<Emission<M>>> = vec![None; c];
+            for (ch, emission) in &adversary.transmissions {
+                adv_tx[ch.index()] = Some(emission.clone());
+            }
+
+            let mut outcomes: Vec<ChannelOutcome<M>> = Vec::with_capacity(c);
+            for ch in 0..c {
+                let honest = &honest_tx[ch];
+                let adv = &adv_tx[ch];
+                let outcome = match (honest.len(), adv) {
+                    (0, None) => ChannelOutcome::Idle,
+                    (0, Some(Emission::Noise)) => ChannelOutcome::NoiseOnly,
+                    (0, Some(Emission::Spoof(frame))) => ChannelOutcome::SpoofDelivered {
+                        frame: frame.clone(),
+                    },
+                    (1, None) => {
+                        let (from, frame) = honest[0].clone();
+                        ChannelOutcome::Delivered { from, frame }
+                    }
+                    _ => ChannelOutcome::Collision {
+                        honest: honest.iter().map(|&(id, _)| id).collect(),
+                        adversary: adv.is_some(),
+                    },
+                };
+                outcomes.push(outcome);
+            }
+
+            let delivered: Vec<Option<M>> = outcomes.iter().map(ChannelOutcome::heard).collect();
+            let mut transmissions = Vec::new();
+            for (ch, txs) in honest_tx.iter().enumerate() {
+                for (id, frame) in txs {
+                    transmissions.push((*id, ChannelId(ch), frame.clone()));
+                }
+            }
+            self.records.push_back(RoundRecord {
+                round: self.round,
+                transmissions,
+                listeners,
+                adversary: adversary.transmissions,
+                delivered,
+            });
+            while self.records.len() > self.keep_last {
+                self.records.pop_front();
+            }
+            self.round += 1;
+            outcomes
+        }
+    }
+}
+
+fn bench_frame_kind<M: Clone>(c: &mut Criterion, kind: &str, frame: &M) {
+    let mut group = c.benchmark_group(&format!("resolve_round/{kind}"));
+    group.sample_size(20);
+
+    // Pre-build the action schedule once; the engine sees &[Action<M>].
+    let schedule: Vec<Vec<Action<M>>> = (0..ROUNDS_PER_ITER).map(|r| actions(r, frame)).collect();
+
+    // Each timed iteration is a self-contained unit — fresh network, then
+    // ROUNDS_PER_ITER resolved rounds — so no variant accumulates state
+    // across iterations (under `All` an ever-growing trace would otherwise
+    // distort later samples) and all variants stay comparable.
+    group.bench_function("baseline_last64", |b| {
+        b.iter(|| {
+            let mut net = baseline::NaiveNetwork::new(CHANNELS, 64);
+            for (r, acts) in schedule.iter().enumerate() {
+                black_box(net.resolve_round(acts, adversary(r)));
+            }
+        })
+    });
+
+    for (label, retention) in [
+        ("engine_all", TraceRetention::All),
+        ("engine_last64", TraceRetention::LastRounds(64)),
+        ("engine_none", TraceRetention::None),
+    ] {
+        group.bench_function(label, |b| {
+            let cfg = NetworkConfig::new(CHANNELS, BUDGET)
+                .unwrap()
+                .with_retention(retention);
+            b.iter(|| {
+                let mut net: Network<M> = Network::new(cfg);
+                for (r, acts) in schedule.iter().enumerate() {
+                    black_box(net.resolve_round(acts, adversary(r)).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_frame_kind(&mut c, "u64", &0xFEEDu64);
+    bench_frame_kind(&mut c, "vec256", &vec![0xA5u8; 256]);
+
+    let summaries: Vec<Summary> = c.take_summaries();
+    if summaries.iter().all(|s| s.median_ns > 0.0) {
+        // Normalize to per-round cost (each iteration resolves
+        // ROUNDS_PER_ITER rounds) before writing the JSON baseline.
+        let per_round: Vec<Summary> = summaries
+            .iter()
+            .map(|s| Summary {
+                id: s.id.clone(),
+                samples: s.samples,
+                iters_per_sample: s.iters_per_sample,
+                median_ns: s.median_ns / ROUNDS_PER_ITER as f64,
+                mean_ns: s.mean_ns / ROUNDS_PER_ITER as f64,
+                min_ns: s.min_ns / ROUNDS_PER_ITER as f64,
+                max_ns: s.max_ns / ROUNDS_PER_ITER as f64,
+            })
+            .collect();
+        // cargo runs benches with the package dir as CWD; write the
+        // baseline next to the other BENCH_*.json at the workspace root.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+        std::fs::write(path, summaries_json(&per_round)).expect("write BENCH_engine.json");
+        println!("\nwrote BENCH_engine.json (times are ns per resolved round)");
+        for kind in ["u64", "vec256"] {
+            let median = |needle: &str| {
+                per_round
+                    .iter()
+                    .find(|s| s.id == format!("resolve_round/{kind}/{needle}"))
+                    .map(|s| s.median_ns)
+            };
+            if let (Some(naive), Some(lean)) = (median("baseline_last64"), median("engine_none")) {
+                println!(
+                    "{kind}: baseline {naive:.0} ns/round -> retention-none engine \
+                     {lean:.0} ns/round ({:.2}x)",
+                    naive / lean
+                );
+            }
+        }
+    }
+}

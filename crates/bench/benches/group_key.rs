@@ -15,8 +15,7 @@ fn bench_group_key(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("full_quiet", 36), &p, |b, p| {
         b.iter(|| {
-            establish_group_key(p, NoAdversary, NoAdversary, NoAdversary, 3, false)
-                .expect("runs")
+            establish_group_key(p, NoAdversary, NoAdversary, NoAdversary, 3, false).expect("runs")
         })
     });
     group.bench_with_input(BenchmarkId::new("full_jammed", 36), &p, |b, p| {

@@ -26,8 +26,7 @@ fn bench_longlived(c: &mut Criterion) {
             &(p, keys, script),
             |b, (p, keys, script)| {
                 b.iter(|| {
-                    run_longlived(p, keys, script, RandomJammer::new(9), 7, false)
-                        .expect("runs")
+                    run_longlived(p, keys, script, RandomJammer::new(9), 7, false).expect("runs")
                 })
             },
         );

@@ -5,16 +5,19 @@
 //! in the curve between them: each extra channel buys shorter feedback
 //! (escape probability `(C−t)/C` rises) and — past `2t` — bigger game
 //! moves. The regime boundaries of Figure 3 appear as visible knees.
+//!
+//! Runs through [`ExperimentRunner`]: every channel count is a
+//! [`ScenarioSpec`] whose trials execute in parallel with deterministic
+//! per-trial seeds; aggregates land in `BENCH_channel_sweep.json`.
 
-use fame::problem::AmeInstance;
-use fame::protocol::run_fame;
 use fame::Params;
-use radio_network::adversaries::RandomJammer;
-use secure_radio_bench::workloads::random_pairs;
-use secure_radio_bench::Table;
+use secure_radio_bench::{
+    AdversaryChoice, Aggregate, BenchReport, ExperimentRunner, ScenarioSpec, Table, Workload,
+};
 
 fn main() {
     let seed = 0xC5EE9;
+    let trials = 8;
     let t = 2;
     // n large enough for every C in the sweep.
     let n = (t + 1..=2 * t * t)
@@ -23,20 +26,25 @@ fn main() {
         .unwrap()
         .max(64);
 
-    println!("# Channel sweep (E14): rounds vs C at fixed n={n}, t={t}, |E|=24\n");
-
-    let mut table = Table::new(
-        "f-AME cost per channel count (random jammer)",
-        &[
-            "C", "regime", "cap", "feedback mode", "rounds", "moves", "rounds/move",
-            "cover<=t",
-        ],
+    println!(
+        "# Channel sweep (E14): rounds vs C at fixed n={n}, t={t}, |E|=24 \
+         ({trials} trials/point)\n"
     );
-    let pairs = random_pairs(n, 24, seed);
+
+    let runner = ExperimentRunner::new();
+    let mut headers = vec!["C", "regime", "cap", "feedback mode"];
+    headers.extend(Aggregate::table_headers());
+    let mut table = Table::new("f-AME cost per channel count (random jammer)", &headers);
+    let mut report = BenchReport::new("channel_sweep");
+
     for c in t + 1..=2 * t * t {
-        let p = Params::new(n, t, c).expect("params");
-        let instance = AmeInstance::new(n, pairs.iter().copied()).expect("instance");
-        let run = run_fame(&instance, &p, RandomJammer::new(seed), seed).expect("runs");
+        let spec = ScenarioSpec::new(format!("C={c}"), n, t, c)
+            .with_workload(Workload::RandomPairs { edges: 24 })
+            .with_adversary(AdversaryChoice::RandomJam)
+            .with_trials(trials)
+            .with_seed(seed);
+        let p = spec.params();
+        let result = runner.run_fame_scenario(&spec).expect("scenario runs");
         let regime = if c >= 2 * t * t {
             "2t^2"
         } else if c >= 2 * t {
@@ -44,18 +52,19 @@ fn main() {
         } else {
             "t+1..2t"
         };
-        table.row([
+        let mut cells = vec![
             c.to_string(),
             regime.to_string(),
             p.proposal_cap().to_string(),
             format!("{:?}", p.feedback_mode()),
-            run.outcome.rounds.to_string(),
-            run.moves.to_string(),
-            format!("{:.0}", run.outcome.rounds as f64 / run.moves.max(1) as f64),
-            if run.outcome.is_d_disruptable(t) { "yes" } else { "NO" }.to_string(),
-        ]);
+        ];
+        cells.extend(result.aggregate.table_cells());
+        table.row(cells);
+        report.push(spec, result.aggregate);
     }
     println!("{table}");
+    let path = report.write_default().expect("write BENCH json");
+    println!("wrote {}", path.display());
     println!(
         "Reading: adding channels pays twice — cheaper feedback everywhere \
          (the (C−t)/C escape probability), and from C = 2t on, double-size \

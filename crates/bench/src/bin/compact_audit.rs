@@ -6,7 +6,7 @@
 //! vectors to a polynomial set from which the vector signature selects the
 //! authentic one.
 
-use fame::compact::{run_compact_fame, reconstruction_hashes};
+use fame::compact::{reconstruction_hashes, run_compact_fame};
 use fame::messages::FameFrame;
 use fame::problem::AmeInstance;
 use fame::protocol::run_fame;

@@ -50,8 +50,7 @@ fn main() {
                 )
                 .expect("runs")
             } else {
-                run_fame_with_residual(&inst, &p, NoAdversary, NoAdversary, 2, seed)
-                    .expect("runs")
+                run_fame_with_residual(&inst, &p, NoAdversary, NoAdversary, 2, seed).expect("runs")
             };
             table.row([
                 label.to_string(),
@@ -73,7 +72,16 @@ fn main() {
     // ---- E13: Byzantine-robust variant --------------------------------------
     let mut table = Table::new(
         "E13 — Byzantine-robust (no surrogates): 2t-disruptable, direct-only",
-        &["t", "|E|", "rounds", "moves", "delivered", "cover", "<=2t", "forged"],
+        &[
+            "t",
+            "|E|",
+            "rounds",
+            "moves",
+            "delivered",
+            "cover",
+            "<=2t",
+            "forged",
+        ],
     );
     for &t in &[2usize, 3] {
         let p = Params::minimal(Params::min_nodes(t, t + 1), t).expect("params");
@@ -90,10 +98,7 @@ fn main() {
             outcome.delivered_count().to_string(),
             cover.to_string(),
             if cover <= 2 * t { "yes" } else { "NO" }.to_string(),
-            outcome
-                .authentication_violations(&inst)
-                .len()
-                .to_string(),
+            outcome.authentication_violations(&inst).len().to_string(),
         ]);
     }
     println!("{table}");
@@ -114,8 +119,7 @@ fn main() {
             })
             .collect();
         let report =
-            run_pairwise_slot(&p, &group, &sessions, RandomJammer::new(seed), seed)
-                .expect("runs");
+            run_pairwise_slot(&p, &group, &sessions, RandomJammer::new(seed), seed).expect("runs");
         table.row([
             pairs.to_string(),
             report.rounds.to_string(),

@@ -17,9 +17,9 @@
 
 use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
 use fame::feedback::{default_witness_sets, run_feedback};
+use fame::params::FeedbackMode;
 use fame::problem::AmeInstance;
 use fame::protocol::run_fame;
-use fame::params::FeedbackMode;
 use radio_network::adversaries::RandomJammer;
 use removal_game::game::GameState;
 use removal_game::greedy::greedy_proposal;
@@ -50,9 +50,7 @@ fn main() {
     // ---- Column 1: greedy-removal (E1) -------------------------------------
     let mut t1 = Table::new(
         "greedy-removal: game moves (adversarial referee)",
-        &[
-            "regime", "t", "|E|", "moves", "theory", "moves/theory",
-        ],
+        &["regime", "t", "|E|", "moves", "theory", "moves/theory"],
     );
     for &regime in &Regime::ALL {
         for &t in &[2usize, 3] {
@@ -80,7 +78,14 @@ fn main() {
     let mut t2 = Table::new(
         "communication-feedback: rounds per invocation (k = proposal cap blocks)",
         &[
-            "regime", "t", "n", "k", "rounds", "theory", "rounds/theory", "agreement",
+            "regime",
+            "t",
+            "n",
+            "k",
+            "rounds",
+            "theory",
+            "rounds/theory",
+            "agreement",
         ],
     );
     for &regime in &Regime::ALL {
@@ -98,8 +103,7 @@ fn main() {
             // Verify agreement by actually running one invocation (flags
             // alternate true/false) under random jamming.
             let flags: Vec<bool> = (0..k).map(|i| i % 2 == 0).collect();
-            let agreement = if k * p.c() <= p.n() && p.feedback_mode() == FeedbackMode::Sequential
-            {
+            let agreement = if k * p.c() <= p.n() && p.feedback_mode() == FeedbackMode::Sequential {
                 let ds = run_feedback(
                     &p,
                     default_witness_sets(&p, k),
@@ -108,8 +112,12 @@ fn main() {
                     seed,
                 )
                 .expect("feedback runs");
-                let expected: std::collections::BTreeSet<usize> =
-                    flags.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+                let expected: std::collections::BTreeSet<usize> = flags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| i)
+                    .collect();
                 if ds.iter().all(|d| d == &expected) {
                     "yes"
                 } else {
@@ -140,7 +148,14 @@ fn main() {
     let mut t3 = Table::new(
         "f-AME: total rounds vs |E| (schedule-aware PreferEdges jammer)",
         &[
-            "regime", "t", "n", "|E|", "rounds", "moves", "theory", "rounds/theory",
+            "regime",
+            "t",
+            "n",
+            "|E|",
+            "rounds",
+            "moves",
+            "theory",
+            "rounds/theory",
         ],
     );
     for &regime in &Regime::ALL {

@@ -10,74 +10,116 @@
 //! counts. Gossip's raw delivery can be fast (randomized, unauthenticated
 //! flooding is cheap); what it cannot do is tell real rumors from forged
 //! ones — the `forged accepted` column — or bound which nodes fail.
+//!
+//! Runs through [`ExperimentRunner`]: both protocols are multi-trial
+//! scenarios with parallel, deterministically seeded trials; aggregates
+//! land in `BENCH_gossip_vs_fame.json`.
 
-use fame::baselines::gossip::run_gossip;
-use fame::problem::AmeInstance;
-use fame::protocol::run_fame;
 use fame::Params;
-use radio_network::adversaries::{RandomJammer, Spoofer};
-use radio_network::ChannelId;
-use secure_radio_bench::workloads::complete_pairs;
-use secure_radio_bench::Table;
+use radio_network::adversaries::Spoofer;
+use radio_network::{seed, ChannelId};
+use secure_radio_bench::{
+    AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table, TrialError, TrialOutcome,
+    Workload,
+};
 
 fn main() {
-    let seed = 0x60551;
+    let base_seed = 0x60551;
+    let trials = 6;
     println!("# Gossip vs f-AME (E9): the price and value of authentication\n");
 
+    let runner = ExperimentRunner::new();
     let mut table = Table::new(
-        "all-to-all exchange, spoofing + jamming adversaries",
+        format!("all-to-all exchange, spoofing + jamming adversaries ({trials} trials)"),
         &[
             "protocol",
             "t",
             "n",
-            "rounds",
+            "rounds p50",
+            "rounds max",
             "completed",
             "forged accepted",
             "resilience",
             "sender awareness",
         ],
     );
+    let mut report = BenchReport::new("gossip_vs_fame");
 
     for &t in &[1usize, 2] {
         let n = Params::min_nodes(t, t + 1).max(18);
 
         // Gossip under a spoofer (it also jams by colliding).
-        let spoofer = Spoofer::new(seed, |round, ch: ChannelId| {
-            fame::baselines::gossip::RumorFrame {
-                origin: (round as usize + ch.index()) % 7,
-                payload: format!("forged-{round}").into_bytes(),
-            }
-        });
-        let gossip = run_gossip(n, t, spoofer, 400_000, seed).expect("gossip runs");
+        let gossip_spec = ScenarioSpec::new(format!("gossip t={t}"), n, t, t + 1)
+            .with_workload(Workload::AllToAll)
+            .with_adversary(AdversaryChoice::Spoof) // label only; frames forged below
+            .with_trials(trials)
+            .with_seed(base_seed);
+        let gossip = runner
+            .run(&gossip_spec, |ctx| {
+                let spoofer = Spoofer::new(seed::derive(ctx.seed, 1), |round, ch: ChannelId| {
+                    fame::baselines::gossip::RumorFrame {
+                        origin: (round as usize + ch.index()) % 7,
+                        payload: format!("forged-{round}").into_bytes(),
+                    }
+                });
+                let run = fame::baselines::gossip::run_gossip(n, t, spoofer, 400_000, ctx.seed)
+                    .map_err(|e| TrialError {
+                        trial: ctx.trial,
+                        message: e.to_string(),
+                    })?;
+                Ok(TrialOutcome {
+                    rounds: run.rounds,
+                    moves: 0,
+                    cover: None,
+                    violations: run.forged_slots as u64,
+                    // "ok" = the flood completed; the forgery gap shows up
+                    // in `violations`.
+                    ok: run.completed,
+                })
+            })
+            .expect("gossip scenario runs");
         table.row([
             "oblivious-gossip".to_string(),
             t.to_string(),
             n.to_string(),
-            gossip.rounds.to_string(),
-            if gossip.completed { "yes" } else { "NO" }.to_string(),
-            gossip.forged_slots.to_string(),
+            gossip.aggregate.rounds.median.to_string(),
+            gossip.aggregate.rounds.max.to_string(),
+            format!("{}/{}", gossip.aggregate.ok_count, trials),
+            gossip.aggregate.violations.to_string(),
             "2t (almost-gossip)".to_string(),
             "none".to_string(),
         ]);
+        report.push(gossip_spec, gossip.aggregate);
 
         // f-AME on the complete exchange with jamming.
-        let p = Params::minimal(n, t).expect("params");
-        let instance = AmeInstance::new(n, complete_pairs(n)).expect("instance");
-        let run = run_fame(&instance, &p, RandomJammer::new(seed), seed).expect("fame runs");
-        let forged = run.outcome.authentication_violations(&instance).len();
+        let fame_spec = ScenarioSpec::new(format!("f-AME t={t}"), n, t, t + 1)
+            .with_workload(Workload::AllToAll)
+            .with_adversary(AdversaryChoice::RandomJam)
+            .with_trials(trials)
+            .with_seed(base_seed);
+        let fame_result = runner
+            .run_fame_scenario(&fame_spec)
+            .expect("fame scenario runs");
         table.row([
             "f-AME".to_string(),
             t.to_string(),
             n.to_string(),
-            run.outcome.rounds.to_string(),
-            "yes (t-disruptable)".to_string(),
-            forged.to_string(),
-            format!("t (cover = {})", run.outcome.disruption_cover()),
+            fame_result.aggregate.rounds.median.to_string(),
+            fame_result.aggregate.rounds.max.to_string(),
+            format!(
+                "{}/{} (t-disruptable)",
+                fame_result.aggregate.ok_count, trials
+            ),
+            fame_result.aggregate.violations.to_string(),
+            format!("t (max cover = {})", fame_result.aggregate.cover_max),
             "yes".to_string(),
         ]);
+        report.push(fame_spec, fame_result.aggregate);
     }
 
     println!("{table}");
+    let path = report.write_default().expect("write BENCH json");
+    println!("wrote {}", path.display());
     println!(
         "Reading: gossip floods fast but accepts forged rumors and cannot \
          certify who failed; f-AME pays a polylog factor in rounds and in \

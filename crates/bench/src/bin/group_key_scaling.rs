@@ -18,7 +18,14 @@ fn main() {
     let mut table = Table::new(
         "rounds vs n (t = 2, jamming adversary on every part)",
         &[
-            "n", "part1", "part2", "part3", "total", "n (t+1)^3 ln n", "total/theory", "holders",
+            "n",
+            "part1",
+            "part2",
+            "part3",
+            "total",
+            "n (t+1)^3 ln n",
+            "total/theory",
+            "holders",
             "agree",
         ],
     );
@@ -52,8 +59,16 @@ fn main() {
     let mut table = Table::new(
         "rounds vs t (n = max(min_nodes, 64))",
         &[
-            "t", "n", "part1", "part2", "part3", "total", "n (t+1)^3 ln n", "total/theory",
-            "holders", "agree",
+            "t",
+            "n",
+            "part1",
+            "part2",
+            "part3",
+            "total",
+            "n (t+1)^3 ln n",
+            "total/theory",
+            "holders",
+            "agree",
         ],
     );
     for &t in &[1usize, 2, 3] {

@@ -51,20 +51,14 @@ fn main() {
             };
             for (label, rate) in [
                 ("none", {
-                    let r = run_longlived(&p, &keys, &entries, NoAdversary, seed, false)
-                        .expect("runs");
+                    let r =
+                        run_longlived(&p, &keys, &entries, NoAdversary, seed, false).expect("runs");
                     r.delivery_rate(&entries, &holders)
                 }),
                 ("random-jammer", {
-                    let r = run_longlived(
-                        &p,
-                        &keys,
-                        &entries,
-                        RandomJammer::new(seed),
-                        seed,
-                        false,
-                    )
-                    .expect("runs");
+                    let r =
+                        run_longlived(&p, &keys, &entries, RandomJammer::new(seed), seed, false)
+                            .expect("runs");
                     r.delivery_rate(&entries, &holders)
                 }),
                 ("busy-channel", {

@@ -69,10 +69,7 @@ fn main() {
             "1".to_string(),
             delivered.to_string(),
             forged.to_string(),
-            format!(
-                "{:.1}%",
-                100.0 * forged as f64 / delivered.max(1) as f64
-            ),
+            format!("{:.1}%", 100.0 * forged as f64 / delivered.max(1) as f64),
             (pairs.len() - delivered).to_string(),
         ]);
     }

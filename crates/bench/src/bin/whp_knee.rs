@@ -6,42 +6,74 @@
 //! fraction of trials in which some node's `D` differs from the true flag
 //! set — under random jamming. Failures collapse exponentially once the
 //! constant clears the Chernoff threshold, justifying the default of 4.
+//!
+//! Runs through [`ExperimentRunner`]: each scale is a scenario whose 40
+//! trials execute in parallel with deterministic per-trial seeds; the `ok`
+//! column counts agreeing trials and lands in `BENCH_whp_knee.json`.
+
+use std::collections::BTreeSet;
 
 use fame::feedback::{default_witness_sets, run_feedback};
 use fame::Params;
 use radio_network::adversaries::RandomJammer;
-use secure_radio_bench::Table;
+use radio_network::seed;
+use secure_radio_bench::{
+    AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table, TrialError, TrialOutcome,
+    Workload,
+};
 
 fn main() {
     println!("# Lemma 5 w.h.p. knee: feedback_scale sweep (E11)\n");
 
+    let trials = 40;
+    let (n, t) = (40, 2);
+    let runner = ExperimentRunner::new();
     let mut table = Table::new(
-        "agreement failure rate vs feedback_scale (t=2, n=40, 40 trials)",
-        &["scale", "reps/channel", "failures", "trials", "failure rate"],
+        format!("agreement failure rate vs feedback_scale (t={t}, n={n}, {trials} trials)"),
+        &[
+            "scale",
+            "reps/channel",
+            "failures",
+            "trials",
+            "failure rate",
+        ],
     );
-    let trials = 40u64;
+    let mut report = BenchReport::new("whp_knee");
+
     for &scale in &[0.1f64, 0.25, 0.5, 1.0, 2.0, 4.0] {
-        let p = Params::minimal(40, 2)
+        let spec = ScenarioSpec::new(format!("scale={scale}"), n, t, t + 1)
+            .with_workload(Workload::None)
+            .with_adversary(AdversaryChoice::RandomJam)
+            .with_trials(trials)
+            .with_seed(0x5CA1E);
+        let p = Params::minimal(n, t)
             .expect("params")
             .with_feedback_scale(scale)
             .expect("positive scale");
         let flags = [true, false, true];
-        let expected: std::collections::BTreeSet<usize> =
-            [0usize, 2].into_iter().collect();
-        let mut failures = 0u64;
-        for trial in 0..trials {
-            let ds = run_feedback(
-                &p,
-                default_witness_sets(&p, flags.len()),
-                &flags,
-                RandomJammer::new(trial * 131 + 7),
-                trial * 977 + 13,
-            )
-            .expect("feedback runs");
-            if ds.iter().any(|d| d != &expected) {
-                failures += 1;
-            }
-        }
+        let expected: BTreeSet<usize> = [0usize, 2].into_iter().collect();
+
+        let result = runner
+            .run(&spec, |ctx| {
+                let ds = run_feedback(
+                    &p,
+                    default_witness_sets(&p, flags.len()),
+                    &flags,
+                    RandomJammer::new(seed::derive(ctx.seed, 1)),
+                    ctx.seed,
+                )
+                .map_err(|e| TrialError {
+                    trial: ctx.trial,
+                    message: e.to_string(),
+                })?;
+                Ok(TrialOutcome {
+                    ok: ds.iter().all(|d| d == &expected),
+                    ..TrialOutcome::default()
+                })
+            })
+            .expect("feedback scenario runs");
+
+        let failures = trials - result.aggregate.ok_count;
         table.row([
             format!("{scale}"),
             p.feedback_reps().to_string(),
@@ -49,8 +81,11 @@ fn main() {
             trials.to_string(),
             format!("{:.1}%", 100.0 * failures as f64 / trials as f64),
         ]);
+        report.push(spec, result.aggregate);
     }
     println!("{table}");
+    let path = report.write_default().expect("write BENCH json");
+    println!("wrote {}", path.display());
     println!(
         "Reading: below the knee, listeners miss <true, r> reports and \
          nodes disagree on D; at the default scale the failure rate is 0 \

@@ -22,9 +22,13 @@
 //! all the paper's theorems are stated in. The Criterion benches under
 //! `benches/` additionally track wall-clock time of the simulator itself.
 
+pub mod runner;
+pub mod scenario;
 pub mod table;
 pub mod workloads;
 
+pub use runner::{Aggregate, BenchReport, ExperimentRunner, TrialCtx, TrialError, TrialOutcome};
+pub use scenario::{AdversaryChoice, ScenarioSpec, Workload};
 pub use table::Table;
 
 use fame::Params;

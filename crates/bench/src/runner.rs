@@ -1,0 +1,590 @@
+//! The experiment runner: fans a scenario's independent trials across
+//! threads with deterministic per-trial seeding, then folds the outcomes
+//! into an [`Aggregate`] with text-table and JSON emitters.
+//!
+//! ## Determinism contract
+//!
+//! A trial function must be a pure function of `(spec, trial index, seed)`.
+//! The runner derives the seed for trial `i` as
+//! [`ScenarioSpec::trial_seed`]`(i)` and collects outcomes *by trial
+//! index*, so a parallel run is bit-identical to a sequential run of the
+//! same scenario — `tests/determinism.rs` property-tests exactly that.
+//!
+//! ## Trace retention
+//!
+//! Multi-trial sweeps should not retain full execution traces (a long
+//! group-key setup can retain gigabytes). The fame-layer helpers inherit
+//! `run_fame`'s bounded `TraceRetention::LastRounds(64)`; custom trial
+//! closures that drive the engine directly should pick their policy with
+//! [`default_retention`] — `TraceRetention::None` (the allocation-free
+//! fast path) for multi-trial scenarios, keep-everything for one-shot
+//! runs where the trace is the product.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::thread;
+
+use fame::problem::AmeInstance;
+use fame::protocol::run_fame;
+use fame::Params;
+use radio_network::TraceRetention;
+
+use crate::scenario::ScenarioSpec;
+use crate::Table;
+
+/// Everything a trial function gets to see.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialCtx<'a> {
+    /// The scenario being run.
+    pub spec: &'a ScenarioSpec,
+    /// Trial index within the scenario (`0..spec.trials`).
+    pub trial: usize,
+    /// This trial's seed (= `spec.trial_seed(trial)`).
+    pub seed: u64,
+}
+
+/// The measured quantities of one trial.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TrialOutcome {
+    /// Physical rounds of the synchronous model.
+    pub rounds: u64,
+    /// Removal-game moves (0 where the experiment has no game).
+    pub moves: u64,
+    /// Minimum vertex cover of the disruption graph, if measured.
+    pub cover: Option<usize>,
+    /// Authentication/forgery violations observed.
+    pub violations: u64,
+    /// Experiment-specific success flag (agreement reached, properties
+    /// held, exchange completed, …).
+    pub ok: bool,
+}
+
+/// A trial that could not produce an outcome (engine error, round-budget
+/// overrun, …).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TrialError {
+    /// Trial index that failed.
+    pub trial: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for TrialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial {} failed: {}", self.trial, self.message)
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+/// Distribution summary of a per-trial quantity.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Dist {
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower-of-middle-two for even counts — exact, not
+    /// interpolated, to keep parallel/sequential aggregates bit-identical).
+    pub median: u64,
+    /// 95th percentile by nearest rank.
+    pub p95: u64,
+}
+
+impl Dist {
+    /// Summarize `samples` (empty input yields all zeros).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Dist::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let nearest_rank = |q_num: usize, q_den: usize| {
+            let rank = (sorted.len() * q_num).div_ceil(q_den).max(1);
+            sorted[rank - 1]
+        };
+        Dist {
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            median: sorted[(sorted.len() - 1) / 2],
+            p95: nearest_rank(95, 100),
+        }
+    }
+}
+
+/// Per-scenario aggregate over all trials.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Aggregate {
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Distribution of round counts.
+    pub rounds: Dist,
+    /// Distribution of game-move counts.
+    pub moves: Dist,
+    /// Trials that measured a disruption cover.
+    pub cover_measured: usize,
+    /// Of those, trials whose cover stayed within the scenario's `t`.
+    pub cover_within_t: usize,
+    /// Largest cover observed (0 if never measured).
+    pub cover_max: usize,
+    /// Total violations across trials.
+    pub violations: u64,
+    /// Trials whose success flag was set.
+    pub ok_count: usize,
+}
+
+impl Aggregate {
+    /// Fold trial outcomes (in trial order) into an aggregate.
+    pub fn from_outcomes(t: usize, outcomes: &[TrialOutcome]) -> Self {
+        let rounds: Vec<u64> = outcomes.iter().map(|o| o.rounds).collect();
+        let moves: Vec<u64> = outcomes.iter().map(|o| o.moves).collect();
+        let covers: Vec<usize> = outcomes.iter().filter_map(|o| o.cover).collect();
+        Aggregate {
+            trials: outcomes.len(),
+            rounds: Dist::from_samples(&rounds),
+            moves: Dist::from_samples(&moves),
+            cover_measured: covers.len(),
+            cover_within_t: covers.iter().filter(|&&c| c <= t).count(),
+            cover_max: covers.iter().copied().max().unwrap_or(0),
+            violations: outcomes.iter().map(|o| o.violations).sum(),
+            ok_count: outcomes.iter().filter(|o| o.ok).count(),
+        }
+    }
+
+    /// Table headers matching [`Aggregate::table_cells`].
+    pub fn table_headers() -> [&'static str; 9] {
+        [
+            "trials",
+            "rounds p50",
+            "rounds mean",
+            "rounds p95",
+            "rounds max",
+            "moves p50",
+            "cover<=t",
+            "violations",
+            "ok",
+        ]
+    }
+
+    /// This aggregate as table cells (pair with [`Aggregate::table_headers`]).
+    pub fn table_cells(&self) -> [String; 9] {
+        [
+            self.trials.to_string(),
+            self.rounds.median.to_string(),
+            format!("{:.1}", self.rounds.mean),
+            self.rounds.p95.to_string(),
+            self.rounds.max.to_string(),
+            self.moves.median.to_string(),
+            format!("{}/{}", self.cover_within_t, self.cover_measured),
+            self.violations.to_string(),
+            format!("{}/{}", self.ok_count, self.trials),
+        ]
+    }
+}
+
+/// Result of running one scenario: ordered per-trial outcomes plus their
+/// aggregate.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScenarioResult {
+    /// Outcomes indexed by trial.
+    pub outcomes: Vec<TrialOutcome>,
+    /// The fold of `outcomes`.
+    pub aggregate: Aggregate,
+}
+
+/// Executes scenarios, fanning trials across OS threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentRunner {
+    threads: usize,
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        ExperimentRunner::new()
+    }
+}
+
+impl ExperimentRunner {
+    /// A runner using every available core.
+    pub fn new() -> Self {
+        let threads = thread::available_parallelism().map_or(4, |n| n.get());
+        ExperimentRunner { threads }
+    }
+
+    /// A single-threaded runner (the reference execution order).
+    pub fn sequential() -> Self {
+        ExperimentRunner { threads: 1 }
+    }
+
+    /// A runner with an explicit thread count (floored at 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ExperimentRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The number of worker threads this runner fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every trial of `spec` through `trial`, in parallel, collecting
+    /// outcomes by trial index.
+    ///
+    /// `trial` must be deterministic in its [`TrialCtx`] (see the module
+    /// docs); under that contract the result is independent of the thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed failing trial's [`TrialError`], if any trial
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trial` panics (the panic is propagated).
+    pub fn run<F>(&self, spec: &ScenarioSpec, trial: F) -> Result<ScenarioResult, TrialError>
+    where
+        F: Fn(&TrialCtx<'_>) -> Result<TrialOutcome, TrialError> + Sync,
+    {
+        let trials = spec.trials;
+        let mut slots: Vec<Option<Result<TrialOutcome, TrialError>>> = vec![None; trials];
+        let chunk = trials.div_ceil(self.threads).max(1);
+        thread::scope(|scope| {
+            for (chunk_idx, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                let trial = &trial;
+                scope.spawn(move || {
+                    for (offset, slot) in chunk_slots.iter_mut().enumerate() {
+                        let index = chunk_idx * chunk + offset;
+                        let ctx = TrialCtx {
+                            spec,
+                            trial: index,
+                            seed: spec.trial_seed(index),
+                        };
+                        *slot = Some(trial(&ctx));
+                    }
+                });
+            }
+        });
+        let mut outcomes = Vec::with_capacity(trials);
+        for slot in slots {
+            match slot.expect("every trial slot filled") {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(err) => return Err(err),
+            }
+        }
+        let aggregate = Aggregate::from_outcomes(spec.t, &outcomes);
+        Ok(ScenarioResult {
+            outcomes,
+            aggregate,
+        })
+    }
+
+    /// [`ExperimentRunner::run`] with the standard f-AME trial
+    /// ([`fame_trial`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExperimentRunner::run`].
+    pub fn run_fame_scenario(&self, spec: &ScenarioSpec) -> Result<ScenarioResult, TrialError> {
+        // Workload/instance are trial-invariant: build once, share.
+        let params = spec.params();
+        let instance = spec.instance();
+        self.run(spec, |ctx| fame_trial_on(&params, &instance, ctx))
+    }
+}
+
+/// The standard f-AME trial as a free function (for callers composing
+/// their own sweeps): run the scenario's instance against its adversary
+/// and report rounds, moves, disruption cover, and property violations.
+///
+/// Rebuilds the instance per call; [`ExperimentRunner::run_fame_scenario`]
+/// shares one instance across trials instead.
+///
+/// # Errors
+///
+/// [`TrialError`] on engine/validation failure.
+pub fn fame_trial(ctx: &TrialCtx<'_>) -> Result<TrialOutcome, TrialError> {
+    fame_trial_on(&ctx.spec.params(), &ctx.spec.instance(), ctx)
+}
+
+/// The single source of truth for f-AME trial accounting.
+fn fame_trial_on(
+    params: &Params,
+    instance: &AmeInstance,
+    ctx: &TrialCtx<'_>,
+) -> Result<TrialOutcome, TrialError> {
+    let adversary = ctx.spec.adversary.build(params, instance.pairs(), ctx.seed);
+    let run = run_fame(instance, params, adversary, ctx.seed).map_err(|e| TrialError {
+        trial: ctx.trial,
+        message: e.to_string(),
+    })?;
+    let cover = run.outcome.disruption_cover();
+    let violations = run.outcome.authentication_violations(instance).len() as u64
+        + run.outcome.awareness_violations().len() as u64;
+    Ok(TrialOutcome {
+        rounds: run.outcome.rounds,
+        moves: run.moves as u64,
+        cover: Some(cover),
+        violations,
+        ok: cover <= ctx.spec.t && violations == 0,
+    })
+}
+
+/// The trace-retention policy trial helpers should use: keep nothing for
+/// multi-trial sweeps (statistics stay exact), keep everything for
+/// one-shot runs where the trace *is* the product.
+pub fn default_retention(trials: usize) -> TraceRetention {
+    if trials > 1 {
+        TraceRetention::None
+    } else {
+        TraceRetention::All
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A named collection of `(scenario, aggregate)` rows with a table and a
+/// `BENCH_<name>.json` emitter.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    name: String,
+    rows: Vec<(ScenarioSpec, Aggregate)>,
+}
+
+impl BenchReport {
+    /// An empty report named `name` (written to `BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchReport {
+            name: name.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one scenario's aggregate.
+    pub fn push(&mut self, spec: ScenarioSpec, aggregate: Aggregate) -> &mut Self {
+        self.rows.push((spec, aggregate));
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table (scenario columns + aggregate
+    /// columns).
+    pub fn table(&self, title: &str) -> Table {
+        let mut headers = vec!["scenario", "n", "t", "C", "workload", "adversary"];
+        headers.extend(Aggregate::table_headers());
+        let mut table = Table::new(title, &headers);
+        for (spec, agg) in &self.rows {
+            let mut cells = vec![
+                spec.name.clone(),
+                spec.n.to_string(),
+                spec.t.to_string(),
+                spec.channels.to_string(),
+                spec.workload.label(),
+                spec.adversary.label().to_string(),
+            ];
+            cells.extend(agg.table_cells());
+            table.row(cells);
+        }
+        table
+    }
+
+    /// The report as a JSON document (hand-rolled — the offline build has
+    /// no serde).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"report\": \"{}\",\n", json_escape(&self.name)));
+        out.push_str("  \"scenarios\": [\n");
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|(spec, a)| {
+                format!(
+                    "    {{\"scenario\":\"{}\",\"n\":{},\"t\":{},\"channels\":{},\
+                     \"workload\":\"{}\",\"adversary\":\"{}\",\"trials\":{},\
+                     \"base_seed\":{},\"rounds\":{{\"min\":{},\"median\":{},\"mean\":{:.2},\
+                     \"p95\":{},\"max\":{}}},\"moves\":{{\"min\":{},\"median\":{},\
+                     \"mean\":{:.2},\"p95\":{},\"max\":{}}},\"cover_measured\":{},\
+                     \"cover_within_t\":{},\"cover_max\":{},\"violations\":{},\"ok\":{}}}",
+                    json_escape(&spec.name),
+                    spec.n,
+                    spec.t,
+                    spec.channels,
+                    json_escape(&spec.workload.label()),
+                    json_escape(spec.adversary.label()),
+                    spec.trials,
+                    spec.base_seed,
+                    a.rounds.min,
+                    a.rounds.median,
+                    a.rounds.mean,
+                    a.rounds.p95,
+                    a.rounds.max,
+                    a.moves.min,
+                    a.moves.median,
+                    a.moves.mean,
+                    a.moves.p95,
+                    a.moves.max,
+                    a.cover_measured,
+                    a.cover_within_t,
+                    a.cover_max,
+                    a.violations,
+                    a.ok_count,
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<name>.json` under `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from file creation/write.
+    pub fn write(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let path = dir.as_ref().join(format!("BENCH_{}.json", self.name));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Write `BENCH_<name>.json` in the current directory (the repo root
+    /// when invoked via `cargo run`), returning the path.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from file creation/write.
+    pub fn write_default(&self) -> std::io::Result<PathBuf> {
+        self.write(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AdversaryChoice, Workload};
+
+    fn tiny_spec(trials: usize) -> ScenarioSpec {
+        ScenarioSpec::new("tiny", 0, 1, 2)
+            .with_workload(Workload::RandomPairs { edges: 4 })
+            .with_adversary(AdversaryChoice::RandomJam)
+            .with_trials(trials)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn dist_summaries() {
+        let d = Dist::from_samples(&[5, 1, 9, 3, 7]);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 9);
+        assert_eq!(d.median, 5);
+        assert_eq!(d.p95, 9);
+        assert!((d.mean - 5.0).abs() < 1e-9);
+        assert_eq!(Dist::from_samples(&[]), Dist::default());
+        // Even count: lower-of-middle-two.
+        assert_eq!(Dist::from_samples(&[1, 2, 3, 4]).median, 2);
+    }
+
+    #[test]
+    fn aggregate_counts() {
+        let outcomes = [
+            TrialOutcome {
+                rounds: 10,
+                moves: 2,
+                cover: Some(1),
+                violations: 0,
+                ok: true,
+            },
+            TrialOutcome {
+                rounds: 30,
+                moves: 4,
+                cover: Some(5),
+                violations: 2,
+                ok: false,
+            },
+            TrialOutcome {
+                rounds: 20,
+                moves: 3,
+                cover: None,
+                violations: 0,
+                ok: true,
+            },
+        ];
+        let a = Aggregate::from_outcomes(2, &outcomes);
+        assert_eq!(a.trials, 3);
+        assert_eq!(a.cover_measured, 2);
+        assert_eq!(a.cover_within_t, 1);
+        assert_eq!(a.cover_max, 5);
+        assert_eq!(a.violations, 2);
+        assert_eq!(a.ok_count, 2);
+        assert_eq!(a.rounds.median, 20);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let spec = tiny_spec(8);
+        let seq = ExperimentRunner::sequential()
+            .run_fame_scenario(&spec)
+            .unwrap();
+        let par = ExperimentRunner::with_threads(4)
+            .run_fame_scenario(&spec)
+            .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.outcomes.len(), 8);
+    }
+
+    #[test]
+    fn errors_surface_lowest_trial() {
+        let spec = tiny_spec(6);
+        let err = ExperimentRunner::with_threads(3)
+            .run(&spec, |ctx| {
+                if ctx.trial >= 2 {
+                    Err(TrialError {
+                        trial: ctx.trial,
+                        message: "boom".into(),
+                    })
+                } else {
+                    Ok(TrialOutcome::default())
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.trial, 2);
+    }
+
+    #[test]
+    fn report_json_and_table() {
+        let spec = tiny_spec(2);
+        let result = ExperimentRunner::sequential()
+            .run_fame_scenario(&spec)
+            .unwrap();
+        let mut report = BenchReport::new("unit");
+        report.push(spec, result.aggregate);
+        let json = report.json();
+        assert!(json.contains("\"report\": \"unit\""));
+        assert!(json.contains("\"scenario\":\"tiny\""));
+        assert!(json.contains("\"rounds\":{\"min\":"));
+        let table = report.table("unit");
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn retention_default_bounded_for_sweeps() {
+        assert_eq!(default_retention(1), TraceRetention::All);
+        assert_eq!(default_retention(2), TraceRetention::None);
+    }
+}

@@ -1,0 +1,340 @@
+//! Scenario descriptions for the experiment runner: *what* to run, fully
+//! parameterized and seed-deterministic, decoupled from *how* trials are
+//! executed (see [`runner`](crate::runner)).
+
+use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
+use fame::problem::AmeInstance;
+use fame::{FameFrame, Params};
+use radio_network::adversaries::{
+    BusyChannelJammer, NoAdversary, RandomJammer, Spoofer, SweepJammer,
+};
+use radio_network::{seed, Adversary};
+
+use crate::workloads::{complete_pairs, disjoint_pairs, random_pairs, ring_pairs, star_pairs};
+use crate::Regime;
+
+/// The message-exchange workload a scenario runs over.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// `edges` random distinct ordered pairs (seeded from the scenario's
+    /// base seed, so every trial sees the same instance).
+    RandomPairs {
+        /// Number of distinct ordered pairs.
+        edges: usize,
+    },
+    /// The complete directed graph over all `n` nodes.
+    AllToAll,
+    /// `pairs` node-disjoint exchanges.
+    Disjoint {
+        /// Number of disjoint pairs (`2 * pairs <= n`).
+        pairs: usize,
+    },
+    /// A directed ring over all nodes.
+    Ring,
+    /// A star centred on node 0 with `leaves` spokes, both directions.
+    Star {
+        /// Number of leaf nodes.
+        leaves: usize,
+    },
+    /// No AME instance — for experiments (e.g. feedback sub-protocol
+    /// sweeps) that drive the stack below the AME layer.
+    None,
+}
+
+impl Workload {
+    /// Materialize the pair list for an `n`-node network.
+    pub fn pairs(&self, n: usize, seed: u64) -> Vec<(usize, usize)> {
+        match *self {
+            Workload::RandomPairs { edges } => random_pairs(n, edges, seed),
+            Workload::AllToAll => complete_pairs(n),
+            Workload::Disjoint { pairs } => disjoint_pairs(n, pairs),
+            Workload::Ring => ring_pairs(n),
+            Workload::Star { leaves } => star_pairs(leaves),
+            Workload::None => Vec::new(),
+        }
+    }
+
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> String {
+        match *self {
+            Workload::RandomPairs { edges } => format!("random-{edges}"),
+            Workload::AllToAll => "all-to-all".into(),
+            Workload::Disjoint { pairs } => format!("disjoint-{pairs}"),
+            Workload::Ring => "ring".into(),
+            Workload::Star { leaves } => format!("star-{leaves}"),
+            Workload::None => "none".into(),
+        }
+    }
+}
+
+/// Which attacker a scenario pits the protocol against — the full roster
+/// from the disruptability experiment, constructible from a trial seed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdversaryChoice {
+    /// No interference.
+    None,
+    /// Jams `t` uniformly random channels per round.
+    RandomJam,
+    /// Deterministically sweeps channel blocks.
+    SweepJam,
+    /// Jams the historically busiest channels (window of recent rounds).
+    BusyChannel {
+        /// How many recent rounds to mine for channel usage.
+        window: usize,
+    },
+    /// Spoofs forged vector frames on random channels.
+    Spoof,
+    /// Schedule-aware jammer preferring in-play edges, quiet in feedback.
+    OmniPreferEdges,
+    /// Schedule-aware jammer preferring high-degree nodes, random feedback.
+    OmniPreferNodes,
+    /// Schedule-aware jammer focusing victims, sweeping feedback, spoofing.
+    OmniVictimsSpoof {
+        /// The victim node ids to focus on.
+        victims: Vec<usize>,
+    },
+}
+
+impl AdversaryChoice {
+    /// Every standard attacker (as in the disruptability roster).
+    pub fn roster() -> Vec<AdversaryChoice> {
+        vec![
+            AdversaryChoice::None,
+            AdversaryChoice::RandomJam,
+            AdversaryChoice::SweepJam,
+            AdversaryChoice::BusyChannel { window: 8 },
+            AdversaryChoice::Spoof,
+            AdversaryChoice::OmniPreferEdges,
+            AdversaryChoice::OmniPreferNodes,
+            AdversaryChoice::OmniVictimsSpoof {
+                victims: vec![0, 1, 2, 3],
+            },
+        ]
+    }
+
+    /// Short label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdversaryChoice::None => "none",
+            AdversaryChoice::RandomJam => "random-jammer",
+            AdversaryChoice::SweepJam => "sweep-jammer",
+            AdversaryChoice::BusyChannel { .. } => "busy-channel",
+            AdversaryChoice::Spoof => "spoofer",
+            AdversaryChoice::OmniPreferEdges => "omni/prefer-edges",
+            AdversaryChoice::OmniPreferNodes => "omni/prefer-nodes",
+            AdversaryChoice::OmniVictimsSpoof { .. } => "omni/victims+spoof",
+        }
+    }
+
+    /// Build the attacker for one trial.
+    pub fn build(
+        &self,
+        params: &Params,
+        pairs: &[(usize, usize)],
+        seed: u64,
+    ) -> Box<dyn Adversary<FameFrame>> {
+        match self {
+            AdversaryChoice::None => Box::new(NoAdversary),
+            AdversaryChoice::RandomJam => Box::new(RandomJammer::new(seed)),
+            AdversaryChoice::SweepJam => Box::new(SweepJammer::new()),
+            AdversaryChoice::BusyChannel { window } => {
+                Box::new(BusyChannelJammer::new(seed, *window))
+            }
+            AdversaryChoice::Spoof => {
+                let forged = FameFrame::Vector {
+                    owner: 0,
+                    messages: [(1usize, b"forged".to_vec())].into_iter().collect(),
+                };
+                Box::new(Spoofer::new(seed, move |_, _| forged.clone()))
+            }
+            AdversaryChoice::OmniPreferEdges => Box::new(OmniscientJammer::new(
+                params,
+                pairs,
+                TransmissionPolicy::PreferEdges,
+                FeedbackPolicy::Quiet,
+                seed,
+            )),
+            AdversaryChoice::OmniPreferNodes => Box::new(OmniscientJammer::new(
+                params,
+                pairs,
+                TransmissionPolicy::PreferNodes,
+                FeedbackPolicy::Random,
+                seed,
+            )),
+            AdversaryChoice::OmniVictimsSpoof { victims } => Box::new(
+                OmniscientJammer::new(
+                    params,
+                    pairs,
+                    TransmissionPolicy::Victims(victims.clone()),
+                    FeedbackPolicy::Sweep,
+                    seed,
+                )
+                .with_spoofing(),
+            ),
+        }
+    }
+}
+
+/// A fully parameterized experiment point: one network configuration, one
+/// workload, one adversary, `trials` independent repetitions.
+///
+/// Everything downstream — per-trial seeds, the workload instance, the
+/// attacker — derives deterministically from `base_seed`, so a scenario is
+/// a pure description: running it twice (sequentially or in parallel)
+/// yields bit-identical results.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScenarioSpec {
+    /// Scenario name (also the row label in reports).
+    pub name: String,
+    /// Honest node count `n`.
+    pub n: usize,
+    /// Adversary budget `t`.
+    pub t: usize,
+    /// Channel count `C` (`t < C`).
+    pub channels: usize,
+    /// The exchange workload.
+    pub workload: Workload,
+    /// The attacker.
+    pub adversary: AdversaryChoice,
+    /// Independent repetitions.
+    pub trials: usize,
+    /// Root of the scenario's deterministic seed tree.
+    pub base_seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A scenario at explicit `(n, t, C)`.
+    ///
+    /// `n` is stored verbatim — it is what custom trial closures should
+    /// simulate. The fame-layer helpers go through [`ScenarioSpec::params`],
+    /// which floors `n` to the protocol's minimum admissible node count;
+    /// use [`ScenarioSpec::in_regime`] (or pass `Params::min_nodes(t, c)`)
+    /// when you want the floored value reflected in reports.
+    pub fn new(name: impl Into<String>, n: usize, t: usize, channels: usize) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            n,
+            t,
+            channels,
+            workload: Workload::AllToAll,
+            adversary: AdversaryChoice::RandomJam,
+            trials: 1,
+            base_seed: 0,
+        }
+    }
+
+    /// A scenario in one of Figure 3's channel regimes, with `n` floored to
+    /// the regime's minimum admissible node count.
+    pub fn in_regime(name: impl Into<String>, regime: Regime, t: usize, n: usize) -> Self {
+        let params = regime.params(t, n);
+        ScenarioSpec::new(name, params.n(), params.t(), params.c())
+    }
+
+    /// Set the workload.
+    #[must_use]
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Set the adversary.
+    #[must_use]
+    pub fn with_adversary(mut self, adversary: AdversaryChoice) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Set the number of trials.
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Set the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Validated protocol parameters for this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `(n, t, C)` combinations — scenario construction
+    /// is harness configuration, not user input.
+    pub fn params(&self) -> Params {
+        let n = self.n.max(Params::min_nodes(self.t, self.channels));
+        Params::new(n, self.t, self.channels).expect("scenario params valid")
+    }
+
+    /// The seed stream for trial `trial` (stream 0 is reserved for the
+    /// workload, so trials start at stream 1).
+    pub fn trial_seed(&self, trial: usize) -> u64 {
+        seed::derive(self.base_seed, trial as u64 + 1)
+    }
+
+    /// The workload's pair list — identical across all trials of this
+    /// scenario (only protocol/adversary coins vary per trial).
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.workload
+            .pairs(self.params().n(), seed::derive(self.base_seed, 0))
+    }
+
+    /// The AME instance for this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload produces an invalid instance (harness
+    /// configuration error).
+    pub fn instance(&self) -> AmeInstance {
+        AmeInstance::new(self.params().n(), self.pairs()).expect("scenario instance valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_pairs_deterministic() {
+        let w = Workload::RandomPairs { edges: 12 };
+        assert_eq!(w.pairs(20, 7), w.pairs(20, 7));
+        assert_ne!(w.pairs(20, 7), w.pairs(20, 8));
+        assert_eq!(w.pairs(20, 7).len(), 12);
+        assert_eq!(Workload::AllToAll.pairs(5, 0).len(), 20);
+        assert!(Workload::None.pairs(5, 0).is_empty());
+    }
+
+    #[test]
+    fn spec_seed_streams_are_distinct() {
+        let spec = ScenarioSpec::new("s", 40, 2, 3).with_seed(99);
+        let mut seeds: Vec<u64> = (0..50).map(|i| spec.trial_seed(i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 50);
+        // Same instance for every trial.
+        assert_eq!(spec.pairs(), spec.pairs());
+    }
+
+    #[test]
+    fn roster_builds_against_params() {
+        let spec = ScenarioSpec::new("s", 40, 2, 3)
+            .with_workload(Workload::RandomPairs { edges: 10 })
+            .with_seed(3);
+        let p = spec.params();
+        let pairs = spec.pairs();
+        for choice in AdversaryChoice::roster() {
+            let _ = choice.build(&p, &pairs, 42);
+            assert!(!choice.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn regime_constructor_floors_n() {
+        let spec = ScenarioSpec::in_regime("s", Regime::Minimal, 2, 0);
+        assert!(spec.n >= Params::min_nodes(2, 3));
+        assert_eq!(spec.channels, 3);
+    }
+}

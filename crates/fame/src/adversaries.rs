@@ -165,8 +165,7 @@ impl OmniscientJammer {
                 let mut hit: Vec<usize> = (0..k).filter(|&c| involves(c)).collect();
                 let rest: Vec<usize> = (0..k)
                     .filter(|&c| {
-                        !involves(c)
-                            && matches!(schedule.channels[c].item, ProposalItem::Edge(..))
+                        !involves(c) && matches!(schedule.channels[c].item, ProposalItem::Edge(..))
                     })
                     .collect();
                 hit.extend(rest);
@@ -305,7 +304,11 @@ mod tests {
     fn prefer_edges_still_t_disruptable() {
         let p = params();
         let inst = AmeInstance::new(p.n(), pairs()).unwrap();
-        let run = run_with(TransmissionPolicy::PreferEdges, FeedbackPolicy::Quiet, false);
+        let run = run_with(
+            TransmissionPolicy::PreferEdges,
+            FeedbackPolicy::Quiet,
+            false,
+        );
         assert!(
             run.outcome.is_d_disruptable(p.t()),
             "cover {} > t (failed {:?})",

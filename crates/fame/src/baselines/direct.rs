@@ -51,8 +51,7 @@ pub fn build_direct_schedule(
             let mut group: Vec<DirectSlot> = Vec::new();
             let mut leftover: Vec<(usize, usize)> = Vec::new();
             for &(v, w) in &remaining {
-                if group.len() < channels && !used_nodes.contains(&v) && !used_nodes.contains(&w)
-                {
+                if group.len() < channels && !used_nodes.contains(&v) && !used_nodes.contains(&w) {
                     used_nodes.insert(v);
                     used_nodes.insert(w);
                     group.push(DirectSlot {
@@ -143,8 +142,13 @@ impl Protocol for DirectNode {
     }
 
     fn end_round(&mut self, _round: u64, reception: Option<Reception<DirectFrame>>) {
-        if let (Some(group), Some(Reception { frame: Some(f), channel })) =
-            (self.schedule.get(self.round as usize), &reception)
+        if let (
+            Some(group),
+            Some(Reception {
+                frame: Some(f),
+                channel,
+            }),
+        ) = (self.schedule.get(self.round as usize), &reception)
         {
             // Structural authentication: accept only if the schedule says
             // this exact sender owns this slot.
@@ -251,9 +255,7 @@ where
             Some(m) => PairResult::Delivered(m.clone()),
             None => PairResult::Failed,
         };
-        outcome
-            .sender_view
-            .insert((v, w), result.is_delivered());
+        outcome.sender_view.insert((v, w), result.is_delivered());
         outcome.results.insert((v, w), result);
     }
     Ok(outcome)

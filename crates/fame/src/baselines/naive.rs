@@ -18,7 +18,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use radio_network::{
-    Action, Adversary, AdversaryAction, AdversaryView, ChannelId, EngineError, Emission,
+    Action, Adversary, AdversaryAction, AdversaryView, ChannelId, Emission, EngineError,
     NetworkConfig, Protocol, Reception, Simulation,
 };
 
@@ -219,7 +219,9 @@ pub fn run_naive_exchange(
     assert!(n >= 2 * t, "need at least 2t nodes");
     let c = t + 1;
     let cfg = NetworkConfig::new(c, t)?;
-    let nodes: Vec<NaiveNode> = (0..n).map(|id| NaiveNode::new(id, t, c, rounds, seed)).collect();
+    let nodes: Vec<NaiveNode> = (0..n)
+        .map(|id| NaiveNode::new(id, t, c, rounds, seed))
+        .collect();
     let adversary = SimulatingAdversary::new(t, seed.wrapping_add(1));
     let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
     sim.run(rounds + 2)?;
@@ -286,8 +288,8 @@ mod tests {
         let c = 3;
         let cfg = NetworkConfig::new(c, 2).unwrap();
         let nodes: Vec<NaiveNode> = (0..10).map(|id| NaiveNode::new(id, 2, c, 80, 5)).collect();
-        let mut sim = Simulation::new(cfg, nodes, radio_network::adversaries::NoAdversary, 5)
-            .unwrap();
+        let mut sim =
+            Simulation::new(cfg, nodes, radio_network::adversaries::NoAdversary, 5).unwrap();
         sim.run(90).unwrap();
         for node in sim.nodes() {
             if node.is_receiver() {

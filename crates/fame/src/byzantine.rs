@@ -66,7 +66,9 @@ fn witness_blocks(params: &Params, involved: &BTreeSet<usize>, k: usize) -> Vec<
         free.len() >= block * k,
         "params validation guarantees enough witnesses"
     );
-    (0..k).map(|c| free[c * block..(c + 1) * block].to_vec()).collect()
+    (0..k)
+        .map(|c| free[c * block..(c + 1) * block].to_vec())
+        .collect()
 }
 
 /// One node of the Byzantine-robust variant.
@@ -140,8 +142,10 @@ impl ByzantineNode {
         let k = proposal.len();
         let involved = Self::involved(proposal);
         let blocks = witness_blocks(&self.params, &involved, k);
-        let witness_sets: Vec<Vec<usize>> =
-            blocks.iter().map(|b| b[..self.params.c()].to_vec()).collect();
+        let witness_sets: Vec<Vec<usize>> = blocks
+            .iter()
+            .map(|b| b[..self.params.c()].to_vec())
+            .collect();
         let my_flags: Vec<Option<bool>> = (0..k)
             .map(|c| {
                 witness_sets[c].binary_search(&self.id).ok().map(|_| {
@@ -337,8 +341,9 @@ mod tests {
 
     #[test]
     fn matching_proposal_is_node_disjoint() {
-        let remaining: BTreeSet<(usize, usize)> =
-            [(0, 1), (0, 2), (1, 3), (4, 5), (6, 7), (8, 9)].into_iter().collect();
+        let remaining: BTreeSet<(usize, usize)> = [(0, 1), (0, 2), (1, 3), (4, 5), (6, 7), (8, 9)]
+            .into_iter()
+            .collect();
         let p = matching_proposal(&remaining, 2).unwrap();
         assert_eq!(p, vec![(0, 1), (4, 5), (6, 7)]);
         let mut seen = BTreeSet::new();
@@ -394,13 +399,8 @@ mod tests {
             owner: 0,
             messages: [(10usize, b"evil".to_vec())].into_iter().collect(),
         };
-        let (outcome, _) = run_byzantine_fame(
-            &inst,
-            &p,
-            Spoofer::new(9, move |_, _| forged.clone()),
-            11,
-        )
-        .unwrap();
+        let (outcome, _) =
+            run_byzantine_fame(&inst, &p, Spoofer::new(9, move |_, _| forged.clone()), 11).unwrap();
         assert!(outcome.authentication_violations(&inst).is_empty());
     }
 

@@ -30,8 +30,7 @@ use radio_crypto::key::Digest;
 use radio_crypto::sha256::Sha256;
 
 use radio_network::{
-    Action, Adversary, ChannelId, NetworkConfig, Protocol, Reception, Simulation,
-    TraceRetention,
+    Action, Adversary, ChannelId, NetworkConfig, Protocol, Reception, Simulation, TraceRetention,
 };
 
 use crate::messages::{FameFrame, Payload};
@@ -162,16 +161,19 @@ impl Protocol for GossipPhaseNode {
     }
 
     fn end_round(&mut self, _round: u64, reception: Option<Reception<FameFrame>>) {
-        if let (Some((owner, index, _)), Some(Reception {
-            frame:
-                Some(FameFrame::GossipChunk {
-                    owner: fowner,
-                    index: findex,
-                    payload,
-                    reconstruction,
-                }),
-            ..
-        })) = (self.current_epoch(), reception)
+        if let (
+            Some((owner, index, _)),
+            Some(Reception {
+                frame:
+                    Some(FameFrame::GossipChunk {
+                        owner: fowner,
+                        index: findex,
+                        payload,
+                        reconstruction,
+                    }),
+                ..
+            }),
+        ) = (self.current_epoch(), reception)
         {
             // Accept chunks claimed for the current epoch only — forged
             // ones included; reconstruction + signatures sort them out.
@@ -374,8 +376,7 @@ mod tests {
     fn reconstruction_finds_the_true_chain_among_forgeries() {
         let msgs: Vec<Payload> = vec![b"one".to_vec(), b"two".to_vec()];
         let hashes = reconstruction_hashes(&msgs);
-        let mut candidates: BTreeMap<(usize, usize), BTreeSet<(Payload, Digest)>> =
-            BTreeMap::new();
+        let mut candidates: BTreeMap<(usize, usize), BTreeSet<(Payload, Digest)>> = BTreeMap::new();
         candidates
             .entry((7, 0))
             .or_default()

@@ -34,8 +34,8 @@ use radio_crypto::prf::ChannelHopper;
 use removal_game::spanner::leader_spanner;
 
 use radio_network::{
-    Action, Adversary, ChannelId, NetworkConfig, Protocol, Reception, Simulation, Stats,
-    Trace, TraceRetention,
+    Action, Adversary, ChannelId, NetworkConfig, Protocol, Reception, Simulation, Stats, Trace,
+    TraceRetention,
 };
 
 use crate::problem::{AmeInstance, PairResult};
@@ -356,9 +356,7 @@ impl Part3Node {
         self.verified
             .iter()
             .find(|(_, who)| who.len() >= need)
-            .and_then(|(&leader, _)| {
-                self.leader_keys.get(&leader).map(|k| (leader, *k))
-            })
+            .and_then(|(&leader, _)| self.leader_keys.get(&leader).map(|k| (leader, *k)))
     }
 }
 
@@ -418,7 +416,7 @@ impl Protocol for Part3Node {
 }
 
 /// Per-part round counts.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct GroupKeyRounds {
     /// Part 1 (f-AME over the leader spanner).
     pub part1: u64,
@@ -597,10 +595,7 @@ mod part_unit_tests {
         let p = params();
         // Node 0 is the leader of epoch 0 but holds no pairwise keys.
         let mut node = Part2Node::new(0, p, BTreeMap::new(), None);
-        assert!(matches!(
-            node.begin_round(0),
-            radio_network::Action::Sleep
-        ));
+        assert!(matches!(node.begin_round(0), radio_network::Action::Sleep));
     }
 
     #[test]

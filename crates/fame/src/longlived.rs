@@ -128,9 +128,13 @@ impl Protocol for LongLivedNode {
     }
 
     fn end_round(&mut self, _round: u64, reception: Option<Reception<SealedBox>>) {
-        if let (Some(key), Some(Reception {
-            frame: Some(sealed), ..
-        })) = (&self.key, &reception)
+        if let (
+            Some(key),
+            Some(Reception {
+                frame: Some(sealed),
+                ..
+            }),
+        ) = (&self.key, &reception)
         {
             let e = self.current_eround();
             // Authentication: MAC must verify under K *and* the frame must
@@ -181,9 +185,7 @@ impl LongLivedReport {
                     continue;
                 }
                 all += 1;
-                if received.get(&entry.eround)
-                    == Some(&(entry.sender, entry.message.clone()))
-                {
+                if received.get(&entry.eround) == Some(&(entry.sender, entry.message.clone())) {
                     ok += 1;
                 }
             }
@@ -247,11 +249,7 @@ where
     let report = sim.run(total + 2)?;
     let trace = keep_trace.then(|| sim.trace().clone());
     Ok(LongLivedReport {
-        received: sim
-            .nodes()
-            .iter()
-            .map(|n| n.received().clone())
-            .collect(),
+        received: sim.nodes().iter().map(|n| n.received().clone()).collect(),
         rounds: report.rounds,
         epoch_len: params.epoch_rounds(),
         stats: report.stats,
@@ -334,8 +332,7 @@ mod tests {
     fn jammed_channel_still_delivers_whp() {
         let p = params();
         let ks = keys(&p, &[]);
-        let report =
-            run_longlived(&p, &ks, &script(), RandomJammer::new(7), 9, false).unwrap();
+        let report = run_longlived(&p, &ks, &script(), RandomJammer::new(7), 9, false).unwrap();
         let holders = vec![true; p.n()];
         let rate = report.delivery_rate(&script(), &holders);
         assert!(rate > 0.999, "delivery rate {rate} too low under jamming");

@@ -88,10 +88,7 @@ mod tests {
         let mut messages = MessageVector::new();
         messages.insert(1, vec![0]);
         messages.insert(2, vec![1]);
-        let f = FameFrame::Vector {
-            owner: 0,
-            messages,
-        };
+        let f = FameFrame::Vector { owner: 0, messages };
         assert_eq!(f.payload_values(), 2);
         assert_eq!(FameFrame::FeedbackFalse.payload_values(), 0);
         assert_eq!(FameFrame::FeedbackTrue { reported: 1 }.payload_values(), 0);

@@ -302,7 +302,10 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert_eq!(Params::new(100, 0, 3).unwrap_err(), ParamsError::ZeroThreshold);
+        assert_eq!(
+            Params::new(100, 0, 3).unwrap_err(),
+            ParamsError::ZeroThreshold
+        );
         assert_eq!(
             Params::new(100, 3, 3).unwrap_err(),
             ParamsError::TooFewChannels { c: 3, t: 3 }
@@ -333,9 +336,12 @@ mod tests {
         let p = Params::new(200, 3, 6).unwrap();
         assert_eq!(p.proposal_cap(), 6);
         let minimal = Params::minimal(200, 3).unwrap();
-        assert!(p.feedback_reps() <= minimal.feedback_reps() / 2 + 1,
+        assert!(
+            p.feedback_reps() <= minimal.feedback_reps() / 2 + 1,
             "wide feedback {} should be much cheaper than minimal {}",
-            p.feedback_reps(), minimal.feedback_reps());
+            p.feedback_reps(),
+            minimal.feedback_reps()
+        );
     }
 
     #[test]

@@ -95,8 +95,13 @@ impl Protocol for P2pNode {
     }
 
     fn end_round(&mut self, _round: u64, reception: Option<Reception<SealedBox>>) {
-        if let (Some((_, key)), Some(Reception { frame: Some(sealed), .. })) =
-            (&self.receiving, &reception)
+        if let (
+            Some((_, key)),
+            Some(Reception {
+                frame: Some(sealed),
+                ..
+            }),
+        ) = (&self.receiving, &reception)
         {
             if self.received.is_none() && sealed.nonce == self.round {
                 if let Some(plain) = sealed.open(key) {
@@ -127,8 +132,7 @@ impl P2pReport {
         if self.delivered.is_empty() {
             return 1.0;
         }
-        self.delivered.iter().filter(|d| d.is_some()).count() as f64
-            / self.delivered.len() as f64
+        self.delivered.iter().filter(|d| d.is_some()).count() as f64 / self.delivered.len() as f64
     }
 }
 
@@ -158,8 +162,16 @@ where
     let mut role: BTreeMap<usize, usize> = BTreeMap::new();
     for (i, s) in sessions.iter().enumerate() {
         assert_ne!(s.a, s.b, "self-session");
-        assert!(role.insert(s.a, i).is_none(), "node {} in two sessions", s.a);
-        assert!(role.insert(s.b, i).is_none(), "node {} in two sessions", s.b);
+        assert!(
+            role.insert(s.a, i).is_none(),
+            "node {} in two sessions",
+            s.a
+        );
+        assert!(
+            role.insert(s.b, i).is_none(),
+            "node {} in two sessions",
+            s.b
+        );
         assert!(s.a < params.n() && s.b < params.n());
     }
     let total_rounds = params.epoch_rounds();
@@ -185,8 +197,8 @@ where
             node
         })
         .collect();
-    let cfg = NetworkConfig::new(params.c(), params.t())?
-        .with_retention(TraceRetention::LastRounds(8));
+    let cfg =
+        NetworkConfig::new(params.c(), params.t())?.with_retention(TraceRetention::LastRounds(8));
     let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
     let report = sim.run(total_rounds + 2)?;
     let nodes = sim.into_nodes();
@@ -240,12 +252,23 @@ mod tests {
         // aggregate throughput triples vs the broadcast channel.
         let p = params();
         let sessions = vec![
-            PairSession { a: 0, b: 10, message: b"one".to_vec() },
-            PairSession { a: 1, b: 11, message: b"two".to_vec() },
-            PairSession { a: 2, b: 12, message: b"three".to_vec() },
+            PairSession {
+                a: 0,
+                b: 10,
+                message: b"one".to_vec(),
+            },
+            PairSession {
+                a: 1,
+                b: 11,
+                message: b"two".to_vec(),
+            },
+            PairSession {
+                a: 2,
+                b: 12,
+                message: b"three".to_vec(),
+            },
         ];
-        let report =
-            run_pairwise_slot(&p, &group(), &sessions, RandomJammer::new(5), 7).unwrap();
+        let report = run_pairwise_slot(&p, &group(), &sessions, RandomJammer::new(5), 7).unwrap();
         assert!(
             report.delivery_rate() > 0.99,
             "all pairs should land w.h.p.: {:?}",
@@ -262,8 +285,16 @@ mod tests {
         // 0's message even when hoppers collide.
         let p = params();
         let sessions = vec![
-            PairSession { a: 0, b: 10, message: b"secret for 10".to_vec() },
-            PairSession { a: 1, b: 11, message: b"secret for 11".to_vec() },
+            PairSession {
+                a: 0,
+                b: 10,
+                message: b"secret for 10".to_vec(),
+            },
+            PairSession {
+                a: 1,
+                b: 11,
+                message: b"secret for 11".to_vec(),
+            },
         ];
         let report = run_pairwise_slot(&p, &group(), &sessions, NoAdversary, 9).unwrap();
         assert_eq!(report.delivered[0].as_deref(), Some(&b"secret for 10"[..]));
@@ -275,8 +306,16 @@ mod tests {
     fn one_transceiver_per_node() {
         let p = params();
         let sessions = vec![
-            PairSession { a: 0, b: 1, message: vec![] },
-            PairSession { a: 1, b: 2, message: vec![] },
+            PairSession {
+                a: 0,
+                b: 1,
+                message: vec![],
+            },
+            PairSession {
+                a: 1,
+                b: 2,
+                message: vec![],
+            },
         ];
         let _ = run_pairwise_slot(&p, &group(), &sessions, NoAdversary, 1);
     }

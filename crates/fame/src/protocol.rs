@@ -92,10 +92,7 @@ impl fmt::Display for FameError {
             FameError::InstanceMismatch {
                 instance_n,
                 params_n,
-            } => write!(
-                f,
-                "instance has n={instance_n} but params say n={params_n}"
-            ),
+            } => write!(f, "instance has n={instance_n} but params say n={params_n}"),
             FameError::Game(e) => write!(f, "game error: {e}"),
             FameError::Schedule(e) => write!(f, "schedule error: {e}"),
             FameError::Engine(e) => write!(f, "engine error: {e}"),
@@ -326,14 +323,11 @@ impl FameNode {
                     ProposalItem::Node(v) => {
                         // v is starred: its vector is now held by the whole
                         // witness block (Invariant 2).
-                        self.surrogates.insert(v, schedule.witness_blocks[c].clone());
+                        self.surrogates
+                            .insert(v, schedule.witness_blocks[c].clone());
                         if schedule.witness_blocks[c].binary_search(&self.id).is_ok() {
                             if let Some(Reception {
-                                frame:
-                                    Some(FameFrame::Vector {
-                                        owner,
-                                        messages,
-                                    }),
+                                frame: Some(FameFrame::Vector { owner, messages }),
                                 channel,
                             }) = &self.heard_tx
                             {
@@ -555,8 +549,8 @@ where
     A: Adversary<FameFrame>,
 {
     let nodes = make_nodes(instance, params, seed)?;
-    let cfg = NetworkConfig::new(params.c(), params.t())?
-        .with_retention(TraceRetention::LastRounds(64));
+    let cfg =
+        NetworkConfig::new(params.c(), params.t())?.with_retention(TraceRetention::LastRounds(64));
     let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
     let report = sim.run_with_inspector(round_budget(params, instance.len()), inspector)?;
     let nodes = sim.into_nodes();
@@ -645,13 +639,7 @@ mod tests {
             owner: 0,
             messages: [(5usize, b"forged".to_vec())].into_iter().collect(),
         };
-        let run = run_fame(
-            &inst,
-            &p,
-            Spoofer::new(9, move |_, _| forged.clone()),
-            23,
-        )
-        .unwrap();
+        let run = run_fame(&inst, &p, Spoofer::new(9, move |_, _| forged.clone()), 23).unwrap();
         // Authentication: nothing forged is ever accepted.
         assert!(run.outcome.authentication_violations(&inst).is_empty());
         assert!(run.outcome.awareness_violations().is_empty());

@@ -108,9 +108,10 @@ impl ResidualNode {
     }
 
     fn witness_sets(&self) -> Vec<Vec<usize>> {
-        let involved: BTreeSet<usize> =
-            self.current().iter().flat_map(|&(v, w)| [v, w]).collect();
-        let free: Vec<usize> = (0..self.params.n()).filter(|v| !involved.contains(v)).collect();
+        let involved: BTreeSet<usize> = self.current().iter().flat_map(|&(v, w)| [v, w]).collect();
+        let free: Vec<usize> = (0..self.params.n())
+            .filter(|v| !involved.contains(v))
+            .collect();
         let c = self.params.c();
         self.current()
             .iter()
@@ -149,7 +150,9 @@ impl ResidualNode {
         // passes (every node skips identically: `delivered` is derived
         // from the shared feedback).
         while self.slot < self.slots.len()
-            && self.slots[self.slot].iter().all(|p| self.delivered.contains(p))
+            && self.slots[self.slot]
+                .iter()
+                .all(|p| self.delivered.contains(p))
         {
             self.slot += 1;
         }
@@ -296,9 +299,9 @@ where
     let cfg = NetworkConfig::new(params.c(), params.t())
         .map_err(FameError::Engine)?
         .with_retention(TraceRetention::LastRounds(8));
-    let mut sim = Simulation::new(cfg, nodes, residual_adversary, seed).map_err(FameError::Engine)?;
-    let budget =
-        (slots.len() as u64 + 2) * (1 + params.feedback_rounds(params.c())) * 2 + 16;
+    let mut sim =
+        Simulation::new(cfg, nodes, residual_adversary, seed).map_err(FameError::Engine)?;
+    let budget = (slots.len() as u64 + 2) * (1 + params.feedback_rounds(params.c())) * 2 + 16;
     let report = sim.run(budget).map_err(FameError::Engine)?;
     let nodes = sim.into_nodes();
 
@@ -306,7 +309,9 @@ where
     merged.rounds += report.rounds;
     for &(v, w) in &failed {
         if let Some(m) = nodes[w].inbox.get(&(v, w)) {
-            merged.results.insert((v, w), PairResult::Delivered(m.clone()));
+            merged
+                .results
+                .insert((v, w), PairResult::Delivered(m.clone()));
         }
         merged
             .sender_view
@@ -351,8 +356,15 @@ mod tests {
         let inst = AmeInstance::new(p.n(), pairs.iter().copied()).unwrap();
         let (merged, plain) =
             run_fame_with_residual(&inst, &p, NoAdversary, NoAdversary, 2, 5).unwrap();
-        assert!(plain.outcome.delivered_count() < pairs.len(), "premise: residue exists");
-        assert_eq!(merged.delivered_count(), pairs.len(), "residual phase must finish the job");
+        assert!(
+            plain.outcome.delivered_count() < pairs.len(),
+            "premise: residue exists"
+        );
+        assert_eq!(
+            merged.delivered_count(),
+            pairs.len(),
+            "residual phase must finish the job"
+        );
         assert!(merged.authentication_violations(&inst).is_empty());
         assert!(merged.awareness_violations().is_empty());
     }
@@ -362,15 +374,9 @@ mod tests {
         let p = params();
         let pairs: Vec<(usize, usize)> = (0..10).map(|i| (i, i + 13)).collect();
         let inst = AmeInstance::new(p.n(), pairs).unwrap();
-        let (merged, plain) = run_fame_with_residual(
-            &inst,
-            &p,
-            RandomJammer::new(3),
-            RandomJammer::new(4),
-            3,
-            7,
-        )
-        .unwrap();
+        let (merged, plain) =
+            run_fame_with_residual(&inst, &p, RandomJammer::new(3), RandomJammer::new(4), 3, 7)
+                .unwrap();
         // Residual deliveries can only shrink the disruption graph.
         assert!(merged.delivered_count() >= plain.outcome.delivered_count());
         assert!(merged.is_d_disruptable(p.t()));

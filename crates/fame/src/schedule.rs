@@ -53,7 +53,10 @@ impl fmt::Display for ScheduleError {
                 write!(f, "no available surrogate for starred node {owner}")
             }
             ScheduleError::NotEnoughWitnesses { needed, available } => {
-                write!(f, "need {needed} witnesses, only {available} uninvolved nodes")
+                write!(
+                    f,
+                    "need {needed} witnesses, only {available} uninvolved nodes"
+                )
             }
         }
     }
@@ -110,7 +113,9 @@ impl MoveSchedule {
 
     /// The channel this node witnesses (listens on) as a block member.
     pub fn witness_channel(&self, node: usize) -> Option<usize> {
-        self.witness_blocks.iter().position(|b| b.binary_search(&node).is_ok())
+        self.witness_blocks
+            .iter()
+            .position(|b| b.binary_search(&node).is_ok())
     }
 
     /// `true` if `node` is a feedback witness (`W[c]` member) for channel `c`.
@@ -241,7 +246,10 @@ mod tests {
         let p = params();
         let game = GameState::new(p.n(), [(0, 1)], p.t()).unwrap();
         // P1 = {0}: fewer than t+1 = 3 items => greedy terminated.
-        assert_eq!(build_schedule(&p, &game, &empty_surrogates()).unwrap(), None);
+        assert_eq!(
+            build_schedule(&p, &game, &empty_surrogates()).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -299,7 +307,8 @@ mod tests {
             ProposalItem::Node(1),
             ProposalItem::Node(30),
         ];
-        game.apply_response(&star, &[ProposalItem::Node(0)]).unwrap();
+        game.apply_response(&star, &[ProposalItem::Node(0)])
+            .unwrap();
         let mut surrogates = BTreeMap::new();
         surrogates.insert(0, vec![20, 21, 22, 23, 24, 25, 26, 27, 28]);
 
@@ -330,7 +339,8 @@ mod tests {
             ProposalItem::Node(1),
             ProposalItem::Node(30),
         ];
-        game.apply_response(&star, &[ProposalItem::Node(0)]).unwrap();
+        game.apply_response(&star, &[ProposalItem::Node(0)])
+            .unwrap();
         // No surrogate record for 0 -> schedule must fail loudly.
         assert_eq!(
             build_schedule(&p, &game, &empty_surrogates()).unwrap_err(),
@@ -398,7 +408,8 @@ mod tests {
                 ProposalItem::Node(34),
                 ProposalItem::Node(35),
             ];
-            game.apply_response(&star, &[ProposalItem::Node(v)]).unwrap();
+            game.apply_response(&star, &[ProposalItem::Node(v)])
+                .unwrap();
         }
         let mut surrogates = BTreeMap::new();
         surrogates.insert(4, vec![20, 21, 22]);
@@ -424,7 +435,9 @@ mod tests {
     fn role_accessors_are_consistent() {
         let p = params();
         let game = GameState::new(p.n(), [(0, 5), (1, 6), (2, 7)], p.t()).unwrap();
-        let s = build_schedule(&p, &game, &empty_surrogates()).unwrap().unwrap();
+        let s = build_schedule(&p, &game, &empty_surrogates())
+            .unwrap()
+            .unwrap();
         for node in 0..p.n() {
             let roles = [
                 s.transmit_channel(node).is_some(),

@@ -395,7 +395,10 @@ mod tests {
     fn tree_agrees_under_jamming() {
         let p = tree_params();
         let flags = [false, true, false, true];
-        for (i, d) in run_tree(&p, &flags, RandomJammer::new(3), 7).iter().enumerate() {
+        for (i, d) in run_tree(&p, &flags, RandomJammer::new(3), 7)
+            .iter()
+            .enumerate()
+        {
             assert_eq!(d, &expected(&flags), "node {i}");
         }
     }
@@ -404,7 +407,10 @@ mod tests {
     fn tree_handles_non_power_of_two() {
         let p = tree_params();
         let flags = [true, false, true];
-        for (i, d) in run_tree(&p, &flags, RandomJammer::new(9), 11).iter().enumerate() {
+        for (i, d) in run_tree(&p, &flags, RandomJammer::new(9), 11)
+            .iter()
+            .enumerate()
+        {
             assert_eq!(d, &expected(&flags), "node {i}");
         }
     }

@@ -21,7 +21,11 @@ fn arb_pairs(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
 
 /// Walk a random game, mirroring what f-AME's move application does to the
 /// surrogate map, and check every schedule on the way.
-fn check_all_schedules(params: &Params, pairs: Vec<(usize, usize)>, seed: u64) -> Result<(), TestCaseError> {
+fn check_all_schedules(
+    params: &Params,
+    pairs: Vec<(usize, usize)>,
+    seed: u64,
+) -> Result<(), TestCaseError> {
     let mut game = GameState::new(params.n(), pairs, params.t())
         .unwrap()
         .with_proposal_cap(params.proposal_cap())
@@ -63,7 +67,11 @@ fn check_all_schedules(params: &Params, pairs: Vec<(usize, usize)>, seed: u64) -
         // from each other; W[c] is a prefix-subset of the block with C
         // members.
         let mut seen = BTreeSet::new();
-        for (block, fw) in schedule.witness_blocks.iter().zip(&schedule.feedback_witnesses) {
+        for (block, fw) in schedule
+            .witness_blocks
+            .iter()
+            .zip(&schedule.feedback_witnesses)
+        {
             prop_assert_eq!(block.len(), params.witness_block());
             prop_assert_eq!(fw.len(), params.c());
             for w in block {

@@ -54,11 +54,7 @@ impl SealedBox {
     /// the (globally unique) round or epoch number.
     pub fn seal(key: &SymmetricKey, nonce: u64, plaintext: &[u8]) -> Self {
         let stream = keystream(key, nonce, plaintext.len());
-        let ciphertext: Vec<u8> = plaintext
-            .iter()
-            .zip(&stream)
-            .map(|(p, s)| p ^ s)
-            .collect();
+        let ciphertext: Vec<u8> = plaintext.iter().zip(&stream).map(|(p, s)| p ^ s).collect();
         let tag = hmac_sha256(&mac_key(key), &mac_input(nonce, &ciphertext));
         SealedBox {
             nonce,

@@ -130,8 +130,13 @@ mod tests {
     fn hopper_differs_across_keys() {
         let a = ChannelHopper::new(&key(3), 16);
         let b = ChannelHopper::new(&key(4), 16);
-        let same = (0..64).filter(|&r| a.channel_for(r) == b.channel_for(r)).count();
-        assert!(same < 16, "sequences should look independent, {same}/64 equal");
+        let same = (0..64)
+            .filter(|&r| a.channel_for(r) == b.channel_for(r))
+            .count();
+        assert!(
+            same < 16,
+            "sequences should look independent, {same}/64 equal"
+        );
     }
 
     #[test]

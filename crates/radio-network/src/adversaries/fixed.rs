@@ -62,7 +62,11 @@ mod tests {
             trace: &trace,
         };
         let action = adv.act(0, &view);
-        let chans: Vec<_> = action.transmissions.iter().map(|(c, _)| c.index()).collect();
+        let chans: Vec<_> = action
+            .transmissions
+            .iter()
+            .map(|(c, _)| c.index())
+            .collect();
         assert_eq!(chans, vec![0, 1]);
     }
 

@@ -84,8 +84,7 @@ mod tests {
                         t,
                         c
                     );
-                    let mut chans: Vec<_> =
-                        action.transmissions.iter().map(|(c, _)| *c).collect();
+                    let mut chans: Vec<_> = action.transmissions.iter().map(|(c, _)| *c).collect();
                     chans.sort_unstable();
                     let before = chans.len();
                     chans.dedup();

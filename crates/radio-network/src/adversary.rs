@@ -45,10 +45,7 @@ impl<M> AdversaryAction<M> {
         I: IntoIterator<Item = ChannelId>,
     {
         AdversaryAction {
-            transmissions: channels
-                .into_iter()
-                .map(|c| (c, Emission::Noise))
-                .collect(),
+            transmissions: channels.into_iter().map(|c| (c, Emission::Noise)).collect(),
         }
     }
 

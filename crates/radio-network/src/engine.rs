@@ -138,6 +138,41 @@ pub struct Network<M> {
     round: u64,
     trace: Trace<M>,
     stats: Stats,
+    scratch: Scratch<M>,
+}
+
+/// Per-round working buffers, reused across rounds so that steady-state
+/// round resolution allocates nothing beyond what the returned
+/// [`RoundResolution`] and the retained trace records themselves need.
+#[derive(Debug)]
+struct Scratch<M> {
+    /// Honest transmissions gathered per channel (index = channel).
+    honest_tx: Vec<Vec<(NodeId, M)>>,
+    /// Honest listeners this round.
+    listeners: Vec<(NodeId, ChannelId)>,
+    /// Per channel, the index into the adversary's transmission list
+    /// (doubles as the duplicate-channel check).
+    adv_idx: Vec<Option<usize>>,
+}
+
+impl<M> Scratch<M> {
+    fn new(channels: usize) -> Self {
+        Scratch {
+            honest_tx: (0..channels).map(|_| Vec::new()).collect(),
+            listeners: Vec::new(),
+            adv_idx: vec![None; channels],
+        }
+    }
+
+    fn reset(&mut self) {
+        for txs in &mut self.honest_tx {
+            txs.clear();
+        }
+        self.listeners.clear();
+        for slot in &mut self.adv_idx {
+            *slot = None;
+        }
+    }
 }
 
 impl<M: Clone> Network<M> {
@@ -148,6 +183,7 @@ impl<M: Clone> Network<M> {
             round: 0,
             trace: Trace::new(cfg.retention()),
             stats: Stats::default(),
+            scratch: Scratch::new(cfg.channels()),
         }
     }
 
@@ -210,45 +246,42 @@ impl<M: Clone> Network<M> {
                 round: self.round,
             });
         }
-        let mut seen = vec![false; c];
-        for (ch, _) in &adversary.transmissions {
+        self.scratch.reset();
+        for (i, (ch, _)) in adversary.transmissions.iter().enumerate() {
             if ch.index() >= c {
                 return Err(EngineError::AdversaryChannelOutOfRange {
                     channel: *ch,
                     channels: c,
                 });
             }
-            if seen[ch.index()] {
+            if self.scratch.adv_idx[ch.index()].is_some() {
                 return Err(EngineError::AdversaryDuplicateChannel {
                     channel: *ch,
                     round: self.round,
                 });
             }
-            seen[ch.index()] = true;
+            self.scratch.adv_idx[ch.index()] = Some(i);
         }
 
-        // -- gather per channel ------------------------------------------
-        let mut honest_tx: Vec<Vec<(NodeId, M)>> = vec![Vec::new(); c];
-        let mut listeners: Vec<(NodeId, ChannelId)> = Vec::new();
+        // -- gather per channel (into reused scratch buffers) --------------
         for (i, action) in actions.iter().enumerate() {
             match action {
                 Action::Transmit { channel, frame } => {
-                    honest_tx[channel.index()].push((NodeId(i), frame.clone()));
+                    self.scratch.honest_tx[channel.index()].push((NodeId(i), frame.clone()));
                 }
-                Action::Listen { channel } => listeners.push((NodeId(i), *channel)),
+                Action::Listen { channel } => self.scratch.listeners.push((NodeId(i), *channel)),
                 Action::Sleep => {}
             }
         }
-        let mut adv_tx: Vec<Option<Emission<M>>> = vec![None; c];
-        for (ch, emission) in &adversary.transmissions {
-            adv_tx[ch.index()] = Some(emission.clone());
-        }
 
         // -- resolve -------------------------------------------------------
+        // With record retention off, delivered frames can be *moved* out of
+        // the scratch buffer instead of cloned — nothing else needs them.
+        let keeps_records = self.cfg.retention().keeps_records();
         let mut outcomes: Vec<ChannelOutcome<M>> = Vec::with_capacity(c);
         for ch in 0..c {
-            let honest = &honest_tx[ch];
-            let adv = &adv_tx[ch];
+            let honest = &mut self.scratch.honest_tx[ch];
+            let adv = self.scratch.adv_idx[ch].map(|i| &adversary.transmissions[i].1);
             let outcome = match (honest.len(), adv) {
                 (0, None) => ChannelOutcome::Idle,
                 (0, Some(Emission::Noise)) => ChannelOutcome::NoiseOnly,
@@ -256,8 +289,16 @@ impl<M: Clone> Network<M> {
                     frame: frame.clone(),
                 },
                 (1, None) => {
-                    let (from, frame) = honest[0].clone();
-                    ChannelOutcome::Delivered { from, frame }
+                    if keeps_records {
+                        let (from, frame) = &honest[0];
+                        ChannelOutcome::Delivered {
+                            from: *from,
+                            frame: frame.clone(),
+                        }
+                    } else {
+                        let (from, frame) = honest.pop().expect("exactly one transmitter");
+                        ChannelOutcome::Delivered { from, frame }
+                    }
                 }
                 // one honest + adversary, or >=2 honest: collision.
                 _ => ChannelOutcome::Collision {
@@ -278,13 +319,15 @@ impl<M: Clone> Network<M> {
                     self.stats.honest_deliveries += 1;
                 }
                 ChannelOutcome::SpoofDelivered { .. } => {
-                    if listeners.iter().any(|&(_, l)| l.index() == ch) {
+                    if self.scratch.listeners.iter().any(|&(_, l)| l.index() == ch) {
                         self.stats.spoofs_delivered += 1;
                     }
                 }
                 ChannelOutcome::Collision { honest, adversary } => {
                     self.stats.honest_transmissions += honest.len() as u64;
                     self.stats.collisions += honest.len() as u64;
+                    // A popped delivered frame never lands here: scratch
+                    // buffers with >=2 entries are left intact above.
                     if *adversary {
                         self.stats.jams_effective += 1;
                     }
@@ -292,7 +335,7 @@ impl<M: Clone> Network<M> {
                 ChannelOutcome::Idle | ChannelOutcome::NoiseOnly => {}
             }
         }
-        for &(_, ch) in &listeners {
+        for &(_, ch) in &self.scratch.listeners {
             match outcomes[ch.index()].heard() {
                 Some(_) => self.stats.frames_received += 1,
                 None => self.stats.silent_receptions += 1,
@@ -300,20 +343,25 @@ impl<M: Clone> Network<M> {
         }
 
         // -- trace -----------------------------------------------------------
-        let delivered: Vec<Option<M>> = outcomes.iter().map(ChannelOutcome::heard).collect();
-        let mut transmissions = Vec::new();
-        for (ch, txs) in honest_tx.iter().enumerate() {
-            for (id, frame) in txs {
-                transmissions.push((*id, ChannelId(ch), frame.clone()));
+        if keeps_records {
+            let delivered: Vec<Option<M>> = outcomes.iter().map(ChannelOutcome::heard).collect();
+            let tx_total: usize = self.scratch.honest_tx.iter().map(Vec::len).sum();
+            let mut transmissions = Vec::with_capacity(tx_total);
+            for (ch, txs) in self.scratch.honest_tx.iter_mut().enumerate() {
+                for (id, frame) in txs.drain(..) {
+                    transmissions.push((id, ChannelId(ch), frame));
+                }
             }
+            self.trace.push(RoundRecord {
+                round: self.round,
+                transmissions,
+                listeners: std::mem::take(&mut self.scratch.listeners),
+                adversary: adversary.transmissions,
+                delivered,
+            });
+        } else {
+            self.trace.note_round();
         }
-        self.trace.push(RoundRecord {
-            round: self.round,
-            transmissions,
-            listeners,
-            adversary: adversary.transmissions,
-            delivered,
-        });
 
         let resolution = RoundResolution {
             round: self.round,
@@ -477,6 +525,55 @@ mod tests {
             err,
             EngineError::AdversaryChannelOutOfRange { .. }
         ));
+    }
+
+    #[test]
+    fn retention_none_same_outcomes_and_stats_no_records() {
+        let mut traced: Network<u32> = Network::new(cfg());
+        let mut lean: Network<u32> = Network::new(cfg().with_retention(TraceRetention::None));
+        for round in 0..20u32 {
+            let actions = [
+                tx(round as usize % 3, round),
+                tx((round as usize + 1) % 3, round + 100),
+                tx((round as usize + 1) % 3, round + 200),
+                listen(round as usize % 3),
+                listen((round as usize + 2) % 3),
+            ];
+            let adv = AdversaryAction::jam([ChannelId((round as usize + 2) % 3)]);
+            let a = traced.resolve_round(&actions, adv.clone()).unwrap();
+            let b = lean.resolve_round(&actions, adv).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(traced.stats(), lean.stats());
+        assert_eq!(lean.trace().completed_rounds(), 20);
+        assert!(lean.trace().is_empty());
+        assert_eq!(traced.trace().len(), 20);
+    }
+
+    #[test]
+    fn scratch_state_does_not_leak_across_rounds() {
+        let mut net: Network<u32> = Network::new(cfg());
+        // Round 0: busy channel 0 (collision), spoof on 1.
+        let mut adv = AdversaryAction::idle();
+        adv.push(ChannelId(1), Emission::Spoof(9));
+        net.resolve_round(&[tx(0, 1), tx(0, 2), listen(1)], adv)
+            .unwrap();
+        // Round 1: everything idle except one clean delivery on channel 2 —
+        // nothing from round 0 may bleed in.
+        let res = net
+            .resolve_round(
+                &[tx(2, 7), listen(2), Action::Sleep],
+                AdversaryAction::idle(),
+            )
+            .unwrap();
+        assert_eq!(res.heard_on(ChannelId(0)), None);
+        assert_eq!(res.heard_on(ChannelId(1)), None);
+        assert_eq!(res.heard_on(ChannelId(2)), Some(7));
+        assert!(matches!(res.outcomes[0], ChannelOutcome::Idle));
+        assert!(matches!(res.outcomes[1], ChannelOutcome::Idle));
+        let rec = net.trace().last().unwrap();
+        assert_eq!(rec.transmissions, vec![(NodeId(0), ChannelId(2), 7)]);
+        assert_eq!(rec.listeners, vec![(NodeId(1), ChannelId(2))]);
     }
 
     #[test]

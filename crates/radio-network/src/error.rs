@@ -96,10 +96,9 @@ impl fmt::Display for EngineError {
                 f,
                 "adversary transmitted on {used} channels in round {round}, budget is {budget}"
             ),
-            EngineError::AdversaryDuplicateChannel { channel, round } => write!(
-                f,
-                "adversary listed {channel} twice in round {round}"
-            ),
+            EngineError::AdversaryDuplicateChannel { channel, round } => {
+                write!(f, "adversary listed {channel} twice in round {round}")
+            }
             EngineError::RoundLimitExceeded { limit, unfinished } => write!(
                 f,
                 "simulation hit the {limit}-round limit with {unfinished} nodes unfinished"

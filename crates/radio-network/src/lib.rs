@@ -59,6 +59,7 @@ mod adversary;
 mod engine;
 mod error;
 mod node;
+pub mod seed;
 mod simulation;
 mod stats;
 pub mod testing;

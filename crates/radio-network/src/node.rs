@@ -14,7 +14,7 @@ use std::fmt;
 /// assert_eq!(p.index(), 3);
 /// assert_eq!(format!("{p}"), "p3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NodeId(pub usize);
 
 impl NodeId {
@@ -45,7 +45,7 @@ impl From<usize> for NodeId {
 /// assert_eq!(c.index(), 0);
 /// assert_eq!(format!("{c}"), "ch0");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct ChannelId(pub usize);
 
 impl ChannelId {
@@ -132,6 +132,20 @@ pub struct Reception<M> {
 pub trait Protocol {
     /// The frame type broadcast over the air.
     type Msg: Clone;
+
+    /// Called once by the driver before round 0, with a seed derived
+    /// deterministically from the simulation seed and this node's index
+    /// (see [`seed::derive`](crate::seed::derive)).
+    ///
+    /// Nodes whose behavior is randomized should reset their RNG from it so
+    /// that a simulation's outcome is a pure function of
+    /// [`Simulation::new`](crate::Simulation::new)'s `seed`. Nodes that are
+    /// deterministic, or that deliberately manage their own randomness (the
+    /// `fame` protocol stack threads seeds through its own constructors),
+    /// keep the default no-op.
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
+    }
 
     /// Called at the start of round `round`; returns the node's action.
     fn begin_round(&mut self, round: u64) -> Action<Self::Msg>;

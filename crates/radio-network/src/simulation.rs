@@ -40,8 +40,14 @@ where
     P::Msg: Clone,
     A: Adversary<P::Msg>,
 {
-    /// Assemble a simulation. `_seed` is kept for API symmetry with future
-    /// drivers that inject per-node randomness; nodes own their RNGs.
+    /// Assemble a simulation.
+    ///
+    /// `seed` is fanned out into one deterministic stream per node via
+    /// [`seed::derive`](crate::seed::derive) and handed to each node through
+    /// [`Protocol::reseed`] before round 0 — so randomized nodes replay
+    /// bit-identically for the same `seed` regardless of how they were
+    /// constructed. Protocols that manage their own randomness keep the
+    /// default no-op `reseed` and are unaffected.
     ///
     /// # Errors
     ///
@@ -49,10 +55,13 @@ where
     /// today, `cfg` is pre-validated; kept fallible for future proofing).
     pub fn new(
         cfg: NetworkConfig,
-        nodes: Vec<P>,
+        mut nodes: Vec<P>,
         adversary: A,
-        _seed: u64,
+        seed: u64,
     ) -> Result<Self, EngineError> {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.reseed(crate::seed::derive(seed, i as u64));
+        }
         Ok(Simulation {
             nodes,
             adversary,
@@ -109,8 +118,11 @@ where
         let adv_action = self.adversary.act(round, &view);
 
         // Honest nodes choose their actions.
-        let actions: Vec<Action<P::Msg>> =
-            self.nodes.iter_mut().map(|n| n.begin_round(round)).collect();
+        let actions: Vec<Action<P::Msg>> = self
+            .nodes
+            .iter_mut()
+            .map(|n| n.begin_round(round))
+            .collect();
 
         let resolution = self.network.resolve_round(&actions, adv_action)?;
 

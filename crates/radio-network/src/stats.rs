@@ -6,7 +6,7 @@ use std::fmt;
 ///
 /// All counters are exact even when the [`Trace`](crate::Trace) retains only
 /// a sliding window of rounds.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Stats {
     /// Rounds resolved.
     pub rounds: u64,

@@ -42,6 +42,10 @@ impl BeaconNode {
 impl Protocol for BeaconNode {
     type Msg = u64;
 
+    fn reseed(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
     fn begin_round(&mut self, _round: u64) -> Action<u64> {
         if self.remaining == 0 {
             return Action::Sleep;
@@ -80,6 +84,24 @@ mod tests {
     use crate::adversaries::NoAdversary;
     use crate::engine::NetworkConfig;
     use crate::simulation::Simulation;
+
+    #[test]
+    fn simulation_seed_drives_beacon_randomness() {
+        let run = |seed| {
+            let cfg = NetworkConfig::new(2, 1).unwrap();
+            let nodes: Vec<BeaconNode> = (0..4).map(|i| BeaconNode::new(i, 2, 50)).collect();
+            let mut sim = Simulation::new(cfg, nodes, NoAdversary, seed).unwrap();
+            sim.run(100).unwrap();
+            sim.nodes()
+                .iter()
+                .map(|n| n.heard().to_vec())
+                .collect::<Vec<_>>()
+        };
+        // The nodes were constructed identically — only the simulation seed
+        // differs, so any difference proves the reseed wiring works.
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
 
     #[test]
     fn beacons_hear_each_other_without_adversary() {

@@ -15,7 +15,7 @@ use crate::node::{ChannelId, NodeId};
 ///
 /// Long experiments (the group-key setup runs for `Θ(n·t³·log n)` rounds)
 /// would otherwise accumulate gigabytes of per-round records.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum TraceRetention {
     /// Keep every round (default; right for tests and short runs).
     #[default]
@@ -23,6 +23,18 @@ pub enum TraceRetention {
     /// Keep only the most recent `k` rounds; older records are dropped but
     /// aggregate statistics remain exact.
     LastRounds(usize),
+    /// Keep no per-round records at all. The engine then skips building
+    /// records entirely — the allocation-free hot path for multi-trial
+    /// experiment sweeps. Aggregate [`Stats`](crate::Stats) remain exact,
+    /// but adversaries that mine the trace see an empty history.
+    None,
+}
+
+impl TraceRetention {
+    /// `true` if this policy stores per-round records at all.
+    pub fn keeps_records(&self) -> bool {
+        !matches!(self, TraceRetention::None)
+    }
 }
 
 /// Everything that happened in one round.
@@ -118,13 +130,24 @@ impl<M> Trace<M> {
 
     pub(crate) fn push(&mut self, record: RoundRecord<M>) {
         debug_assert_eq!(record.round, self.completed_rounds, "trace out of order");
-        self.records.push_back(record);
         self.completed_rounds += 1;
-        if let TraceRetention::LastRounds(k) = self.retention {
-            while self.records.len() > k {
-                self.records.pop_front();
+        match self.retention {
+            TraceRetention::None => {}
+            TraceRetention::All => self.records.push_back(record),
+            TraceRetention::LastRounds(k) => {
+                self.records.push_back(record);
+                while self.records.len() > k {
+                    self.records.pop_front();
+                }
             }
         }
+    }
+
+    /// Count a completed round without storing a record (the
+    /// [`TraceRetention::None`] fast path — the engine never builds the
+    /// record in the first place).
+    pub(crate) fn note_round(&mut self) {
+        self.completed_rounds += 1;
     }
 }
 

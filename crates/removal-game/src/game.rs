@@ -18,7 +18,7 @@ use crate::graph::DiGraph;
 use crate::vertex_cover::has_cover_at_most;
 
 /// One element of a proposal: a node (to star) or an edge (to remove).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum ProposalItem {
     /// Star this node (in f-AME: the node recruits surrogates by
     /// broadcasting its message vector to the channel's witnesses).
@@ -416,7 +416,8 @@ mod tests {
             GameError::EmptyResponse
         );
         assert_eq!(
-            g.apply_response(&p, &[ProposalItem::Edge(4, 5)]).unwrap_err(),
+            g.apply_response(&p, &[ProposalItem::Edge(4, 5)])
+                .unwrap_err(),
             GameError::ResponseNotInProposal(ProposalItem::Edge(4, 5))
         );
     }

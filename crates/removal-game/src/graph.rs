@@ -95,7 +95,10 @@ impl DiGraph {
 
     /// Out-neighbours of `v`, sorted.
     pub fn out_neighbors(&self, v: usize) -> Vec<usize> {
-        self.edges.range((v, 0)..(v, self.n)).map(|&(_, w)| w).collect()
+        self.edges
+            .range((v, 0)..(v, self.n))
+            .map(|&(_, w)| w)
+            .collect()
     }
 
     /// Degree of `v` in the underlying undirected graph.

@@ -35,10 +35,7 @@ pub fn leaders(t: usize) -> Vec<usize> {
 /// assert!(pairs.contains(&(0, 1)) && pairs.contains(&(1, 0)));
 /// ```
 pub fn leader_spanner(n: usize, t: usize) -> Vec<(usize, usize)> {
-    assert!(
-        n > t + 1,
-        "leader spanner needs n > t+1 (n={n}, t={t})"
-    );
+    assert!(n > t + 1, "leader spanner needs n > t+1 (n={n}, t={t})");
     let leader_count = t + 1;
     let mut pairs = Vec::with_capacity(2 * leader_count * n);
     for l in 0..leader_count {

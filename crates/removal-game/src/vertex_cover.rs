@@ -128,7 +128,8 @@ mod tests {
                 .map(|i| verts[i])
                 .collect();
             if chosen.len() < best
-                && e.iter().all(|&(u, v)| chosen.contains(&u) || chosen.contains(&v))
+                && e.iter()
+                    .all(|&(u, v)| chosen.contains(&u) || chosen.contains(&v))
             {
                 best = chosen.len();
             }

@@ -10,9 +10,8 @@ use removal_game::vertex_cover::{has_cover_at_most, min_cover_size};
 
 /// Random directed graphs on up to 12 vertices.
 fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    btree_set((0..n, 0..n), 0..40).prop_map(move |set| {
-        set.into_iter().filter(|&(u, v)| u != v).collect::<Vec<_>>()
-    })
+    btree_set((0..n, 0..n), 0..40)
+        .prop_map(move |set| set.into_iter().filter(|&(u, v)| u != v).collect::<Vec<_>>())
 }
 
 proptest! {

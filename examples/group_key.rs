@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(report.agreement(), "all holders must share one key");
     let key = report.group_key().expect("some node holds the key");
-    println!("agreed group key fingerprint: {}", key.fingerprint().short_hex());
+    println!(
+        "agreed group key fingerprint: {}",
+        key.fingerprint().short_hex()
+    );
 
     for (node, adopted) in report.adopted.iter().enumerate().take(8) {
         match adopted {

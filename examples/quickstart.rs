@@ -32,12 +32,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A jamming adversary that disrupts two random channels every round.
     let run = run_fame(&instance, &params, RandomJammer::new(7), 42)?;
 
-    println!("f-AME finished in {} rounds / {} game moves", run.outcome.rounds, run.moves);
-    println!("delivered: {}/{}", run.outcome.delivered_count(), pairs.len());
+    println!(
+        "f-AME finished in {} rounds / {} game moves",
+        run.outcome.rounds, run.moves
+    );
+    println!(
+        "delivered: {}/{}",
+        run.outcome.delivered_count(),
+        pairs.len()
+    );
     for ((v, w), result) in &run.outcome.results {
         match result {
             secure_radio::fame::PairResult::Delivered(m) => {
-                println!("  {v:>2} -> {w:<2}  delivered: {:?}", String::from_utf8_lossy(m));
+                println!(
+                    "  {v:>2} -> {w:<2}  delivered: {:?}",
+                    String::from_utf8_lossy(m)
+                );
             }
             secure_radio::fame::PairResult::Failed => {
                 println!("  {v:>2} -> {w:<2}  FAILED (inside the t-cover)");

@@ -21,9 +21,7 @@ use secure_radio::fame::group_key::establish_group_key;
 use secure_radio::fame::longlived::{run_longlived, ScriptEntry};
 use secure_radio::fame::Params;
 use secure_radio::net::adversaries::RandomJammer;
-use secure_radio::net::{
-    Adversary, AdversaryAction, AdversaryView, ChannelId,
-};
+use secure_radio::net::{Adversary, AdversaryAction, AdversaryView, ChannelId};
 
 /// The nightmare attacker: it *knows the group key*, so it computes the
 /// hopping sequence and parks on exactly the right channel every round.
@@ -91,8 +89,8 @@ fn chat(
             message: format!("status update {e}").into_bytes(),
         })
         .collect();
-    let report = run_longlived(params, keys, &script, adversary, seed, false)
-        .expect("session runs");
+    let report =
+        run_longlived(params, keys, &script, adversary, seed, false).expect("session runs");
     let holders: Vec<bool> = keys.iter().map(Option::is_some).collect();
     let rate = report.delivery_rate(&script, &holders);
     println!("  {label}: delivery {:.1}%", rate * 100.0);
@@ -107,7 +105,13 @@ fn main() {
     let k1 = keys1.iter().flatten().next().copied().expect("holder");
 
     println!("phase 2: normal operation (ordinary jammer)");
-    let healthy = chat("session under random jammer", &params, &keys1, RandomJammer::new(7), 11);
+    let healthy = chat(
+        "session under random jammer",
+        &params,
+        &keys1,
+        RandomJammer::new(7),
+        11,
+    );
     assert!(healthy > 0.99);
 
     println!("phase 3: K1 leaks — the adversary hops WITH the group");

@@ -38,10 +38,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- the chat session -------------------------------------------------
     let keys: Vec<_> = report.adopted.iter().map(|a| a.map(|(_, k)| k)).collect();
     let script = vec![
-        ScriptEntry { eround: 0, sender: 5, message: b"anyone copy?".to_vec() },
-        ScriptEntry { eround: 1, sender: 23, message: b"loud and clear".to_vec() },
-        ScriptEntry { eround: 2, sender: 5, message: b"rendezvous at dawn".to_vec() },
-        ScriptEntry { eround: 3, sender: 31, message: b"ack. out.".to_vec() },
+        ScriptEntry {
+            eround: 0,
+            sender: 5,
+            message: b"anyone copy?".to_vec(),
+        },
+        ScriptEntry {
+            eround: 1,
+            sender: 23,
+            message: b"loud and clear".to_vec(),
+        },
+        ScriptEntry {
+            eround: 2,
+            sender: 5,
+            message: b"rendezvous at dawn".to_vec(),
+        },
+        ScriptEntry {
+            eround: 3,
+            sender: 31,
+            message: b"ack. out.".to_vec(),
+        },
     ];
     // The chat runs against a *history-aware* jammer; the keyed hopping
     // sequence makes its hindsight useless.

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `radio_network` docs.)
     let budget = round_budget(&params, instance.len());
     let draw_rounds = 60u64;
-    println!("spectrum waterfall (first {draw_rounds} rounds, C = {}):\n", params.c());
+    println!(
+        "spectrum waterfall (first {draw_rounds} rounds, C = {}):\n",
+        params.c()
+    );
     println!("round | ch0 ch1 ch2");
     println!("------+------------");
     let mut drawn = 0u64;
@@ -46,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let rec = sim.trace().last().expect("just stepped");
             let mut cells = Vec::new();
             for ch in 0..params.c() {
-                let honest = rec.transmissions.iter().filter(|&&(_, c, _)| c.index() == ch).count();
+                let honest = rec
+                    .transmissions
+                    .iter()
+                    .filter(|&&(_, c, _)| c.index() == ch)
+                    .count();
                 let adv = rec.adversary.iter().any(|(c, _)| c.index() == ch);
                 let spoofed = rec.spoof_delivered(secure_radio::net::ChannelId(ch));
                 let cell = match (honest, adv, spoofed) {

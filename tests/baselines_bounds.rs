@@ -64,14 +64,8 @@ fn triangle_attack_cover_is_exactly_2t() {
         let n = 3 * t;
         let instance = AmeInstance::new(n, complete_pairs(n)).unwrap();
         let schedule = build_direct_schedule(instance.pairs(), t + 1, 4);
-        let outcome = run_direct_exchange(
-            &instance,
-            t,
-            4,
-            TriangleAdversary::new(t, schedule),
-            93,
-        )
-        .unwrap();
+        let outcome =
+            run_direct_exchange(&instance, t, 4, TriangleAdversary::new(t, schedule), 93).unwrap();
         assert_eq!(min_cover_size(&outcome.disruption_edges()), 2 * t);
     }
 }

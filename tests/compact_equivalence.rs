@@ -1,7 +1,7 @@
 //! Section 5.6: the constant-message-size variant behaves like plain f-AME
 //! (same guarantees) while keeping frames at O(1) values.
 
-use fame::compact::{run_compact_fame, reconstruction_hashes, vector_signature};
+use fame::compact::{reconstruction_hashes, run_compact_fame, vector_signature};
 use fame::messages::FameFrame;
 use fame::problem::{AmeInstance, PairResult};
 use fame::protocol::run_fame;
@@ -74,10 +74,19 @@ fn reconstruction_rejects_spliced_chains() {
     let msgs = vec![b"real-1".to_vec(), b"real-2".to_vec()];
     let hashes = reconstruction_hashes(&msgs);
     let mut candidates: Candidates = BTreeMap::new();
-    candidates.entry((0, 0)).or_default().insert((msgs[0].clone(), hashes[0]));
-    candidates.entry((0, 1)).or_default().insert((msgs[1].clone(), hashes[1]));
+    candidates
+        .entry((0, 0))
+        .or_default()
+        .insert((msgs[0].clone(), hashes[0]));
+    candidates
+        .entry((0, 1))
+        .or_default()
+        .insert((msgs[1].clone(), hashes[1]));
     // Splice attempt: forged first message with the *true* tag.
-    candidates.entry((0, 0)).or_default().insert((b"fake-1".to_vec(), hashes[0]));
+    candidates
+        .entry((0, 0))
+        .or_default()
+        .insert((b"fake-1".to_vec(), hashes[0]));
     let chains = fame::compact::reconstruct_chains(&candidates, 0, 2);
     // Only the genuine chain survives: the forged head fails the link
     // check because H(fake-1 ‖ r_1) != r_0.

@@ -6,8 +6,10 @@ use fame::longlived::{run_longlived, ScriptEntry};
 use fame::problem::AmeInstance;
 use fame::protocol::run_fame;
 use fame::Params;
+use proptest::prelude::*;
 use radio_crypto::key::SymmetricKey;
 use radio_network::adversaries::RandomJammer;
+use secure_radio_bench::{AdversaryChoice, ExperimentRunner, ScenarioSpec, Workload};
 
 #[test]
 fn fame_runs_are_reproducible() {
@@ -68,4 +70,33 @@ fn longlived_is_reproducible() {
     let b = run_longlived(&p, &keys, &script, RandomJammer::new(2), 7, false).unwrap();
     assert_eq!(a.received, b.received);
     assert_eq!(a.rounds, b.rounds);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The runner's core guarantee: a multi-threaded run of a scenario is
+    /// bit-identical — per-trial outcomes *and* aggregates — to a
+    /// sequential run at the same base seed, for arbitrary seeds, trial
+    /// counts, thread counts, and workload sizes.
+    #[test]
+    fn parallel_runner_matches_sequential(
+        seed in 0u64..1_000_000,
+        trials in 2usize..6,
+        threads in 2usize..8,
+        edges in 4usize..16,
+    ) {
+        let spec = ScenarioSpec::new("determinism", 0, 1, 2)
+            .with_workload(Workload::RandomPairs { edges })
+            .with_adversary(AdversaryChoice::RandomJam)
+            .with_trials(trials)
+            .with_seed(seed);
+        let sequential = ExperimentRunner::sequential()
+            .run_fame_scenario(&spec)
+            .expect("sequential run succeeds");
+        let parallel = ExperimentRunner::with_threads(threads)
+            .run_fame_scenario(&spec)
+            .expect("parallel run succeeds");
+        prop_assert_eq!(sequential, parallel);
+    }
 }

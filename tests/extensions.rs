@@ -28,9 +28,21 @@ fn group_key_feeds_pairwise_sessions() {
     let group = report.group_key().expect("established");
 
     let sessions = vec![
-        PairSession { a: 4, b: 24, message: b"alpha".to_vec() },
-        PairSession { a: 5, b: 25, message: b"beta".to_vec() },
-        PairSession { a: 6, b: 26, message: b"gamma".to_vec() },
+        PairSession {
+            a: 4,
+            b: 24,
+            message: b"alpha".to_vec(),
+        },
+        PairSession {
+            a: 5,
+            b: 25,
+            message: b"beta".to_vec(),
+        },
+        PairSession {
+            a: 6,
+            b: 26,
+            message: b"gamma".to_vec(),
+        },
     ];
     let p2p = run_pairwise_slot(&p, &group, &sessions, RandomJammer::new(34), 103).unwrap();
     assert!(p2p.delivery_rate() > 0.99, "sessions: {:?}", p2p.delivered);
@@ -63,8 +75,7 @@ fn residual_then_longlived_pipeline() {
     let p = Params::minimal(40, 2).unwrap();
     let pairs: Vec<(usize, usize)> = (0..7).map(|i| (2 * i, 2 * i + 1)).collect();
     let inst = AmeInstance::new(p.n(), pairs.iter().copied()).unwrap();
-    let (merged, _) =
-        run_fame_with_residual(&inst, &p, NoAdversary, NoAdversary, 2, 107).unwrap();
+    let (merged, _) = run_fame_with_residual(&inst, &p, NoAdversary, NoAdversary, 2, 107).unwrap();
     assert_eq!(merged.delivered_count(), pairs.len());
     assert!(merged.awareness_violations().is_empty());
 }

@@ -73,12 +73,7 @@ fn check_invariants(nodes: &[FameNode], instance: &AmeInstance, t: usize) {
     }
 }
 
-fn run_with_invariants(
-    params: &Params,
-    pairs: &[(usize, usize)],
-    use_omniscient: bool,
-    seed: u64,
-) {
+fn run_with_invariants(params: &Params, pairs: &[(usize, usize)], use_omniscient: bool, seed: u64) {
     let instance = AmeInstance::new(params.n(), pairs.iter().copied()).unwrap();
     let mut last_moves = usize::MAX;
     let mut checks = 0usize;

@@ -28,8 +28,7 @@ fn observable_bytes(trace: &Trace<KeyFrame>) -> Vec<Vec<u8>> {
 }
 
 fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
-    haystack.len() >= needle.len()
-        && haystack.windows(needle.len()).any(|w| w == needle)
+    haystack.len() >= needle.len() && haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 #[test]

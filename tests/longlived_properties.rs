@@ -22,10 +22,26 @@ fn keys(p: &Params) -> Vec<Option<SymmetricKey>> {
 
 fn script() -> Vec<ScriptEntry> {
     vec![
-        ScriptEntry { eround: 0, sender: 2, message: b"alpha".to_vec() },
-        ScriptEntry { eround: 1, sender: 9, message: b"bravo".to_vec() },
-        ScriptEntry { eround: 2, sender: 2, message: b"charlie".to_vec() },
-        ScriptEntry { eround: 3, sender: 30, message: b"delta".to_vec() },
+        ScriptEntry {
+            eround: 0,
+            sender: 2,
+            message: b"alpha".to_vec(),
+        },
+        ScriptEntry {
+            eround: 1,
+            sender: 9,
+            message: b"bravo".to_vec(),
+        },
+        ScriptEntry {
+            eround: 2,
+            sender: 2,
+            message: b"charlie".to_vec(),
+        },
+        ScriptEntry {
+            eround: 3,
+            sender: 30,
+            message: b"delta".to_vec(),
+        },
     ]
 }
 
@@ -65,7 +81,11 @@ impl ReplayAdversary {
 }
 
 impl Adversary<SealedBox> for ReplayAdversary {
-    fn act(&mut self, _round: u64, view: &AdversaryView<'_, SealedBox>) -> AdversaryAction<SealedBox> {
+    fn act(
+        &mut self,
+        _round: u64,
+        view: &AdversaryView<'_, SealedBox>,
+    ) -> AdversaryAction<SealedBox> {
         use rand::Rng;
         // Capture everything transmitted in completed rounds.
         if let Some(rec) = view.trace.last() {
@@ -98,8 +118,8 @@ impl Adversary<SealedBox> for ReplayAdversary {
 #[test]
 fn replayed_frames_are_rejected() {
     let p = params();
-    let report = run_longlived(&p, &keys(&p), &script(), ReplayAdversary::new(3), 53, false)
-        .unwrap();
+    let report =
+        run_longlived(&p, &keys(&p), &script(), ReplayAdversary::new(3), 53, false).unwrap();
     // Every accepted message must match the script entry for its slot —
     // a replay of slot-0's frame during slot 2 must not be accepted.
     for (node, received) in report.received.iter().enumerate() {
@@ -107,7 +127,10 @@ fn replayed_frames_are_rejected() {
             let genuine = script()
                 .iter()
                 .any(|s| s.eround == *e && s.sender == *sender && &s.message == message);
-            assert!(genuine, "node {node} accepted a replayed/forged frame at slot {e}");
+            assert!(
+                genuine,
+                "node {node} accepted a replayed/forged frame at slot {e}"
+            );
         }
     }
 }
@@ -122,7 +145,10 @@ fn wrong_key_cannot_forge() {
     let report = run_longlived(&p, &keys(&p), &script(), spoofer, 57, false).unwrap();
     for received in &report.received {
         for (_, message) in received.values() {
-            assert!(!message.windows(3).any(|w| w == b"EVE"), "forged content accepted");
+            assert!(
+                !message.windows(3).any(|w| w == b"EVE"),
+                "forged content accepted"
+            );
         }
     }
 }

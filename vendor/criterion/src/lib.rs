@@ -1,0 +1,368 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of criterion's API the workspace's benches use — real
+//! measurements (warm-up, N timed samples, median/mean/min/max per-iteration
+//! time), minus criterion's statistical machinery (no outlier analysis, no
+//! HTML reports, no change detection).
+//!
+//! Extras for scripting: every completed benchmark is recorded and
+//! available via [`Criterion::take_summaries`] (or [`summaries_json`]), so
+//! harness-free `main`s can persist results — e.g. the
+//! `engine_hot_path` bench writes `BENCH_engine.json` this way.
+//!
+//! When run with `--test` (as `cargo test --benches` does), every benchmark
+//! executes exactly one iteration, so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured result of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time, nanoseconds.
+    pub max_ns: f64,
+}
+
+impl Summary {
+    /// This summary as a JSON object (hand-rolled; no serde offline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+            self.id.replace('\\', "\\\\").replace('"', "\\\""),
+            self.samples,
+            self.iters_per_sample,
+            self.median_ns,
+            self.mean_ns,
+            self.min_ns,
+            self.max_ns,
+        )
+    }
+}
+
+/// Render a slice of summaries as a JSON array.
+pub fn summaries_json(summaries: &[Summary]) -> String {
+    let rows: Vec<String> = summaries
+        .iter()
+        .map(|s| format!("  {}", s.to_json()))
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Measurement settings plus the sink for completed [`Summary`]s.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    summaries: Vec<Summary>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Default number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let summary = run_bench(id, self.sample_size, self.test_mode, |b| f(b));
+        self.summaries.push(summary);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Drain every summary recorded so far (oldest first).
+    pub fn take_summaries(&mut self) -> Vec<Summary> {
+        std::mem::take(&mut self.summaries)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.render());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let summary = run_bench(&full, samples, self.parent.test_mode, |b| f(b, input));
+        self.parent.summaries.push(summary);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.render());
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let summary = run_bench(&full, samples, self.parent.test_mode, |b| f(b));
+        self.parent.summaries.push(summary);
+        self
+    }
+
+    /// Close the group (kept for API compatibility; drop would do).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus a displayed parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id with a bare parameter (no function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` runs of `f` (the routine under measurement).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, samples: usize, test_mode: bool, mut routine: F) -> Summary
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        println!("{id}: ok (test mode, 1 iteration)");
+        return Summary {
+            id: id.to_string(),
+            samples: 1,
+            iters_per_sample: 1,
+            median_ns: 0.0,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+        };
+    }
+
+    // Warm-up + calibration: find an iteration count that runs for at least
+    // ~2ms per sample (or 25 iters, whichever is smaller in time).
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let ns = b.elapsed.as_nanos().max(1) as u64;
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break ns / iters;
+        }
+        iters = iters
+            .saturating_mul((2_000_000 / ns + 1).clamp(2, 100))
+            .min(1 << 20);
+    };
+    // Cap total runtime: aim for <= ~40ms of measurement per benchmark.
+    let budget_ns: u64 = 40_000_000;
+    let per_sample = (budget_ns / samples as u64).max(1);
+    iters = (per_sample / per_iter_ns.max(1)).clamp(1, 1 << 22);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = if per_iter.len() % 2 == 1 {
+        per_iter[per_iter.len() / 2]
+    } else {
+        (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
+    };
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let summary = Summary {
+        id: id.to_string(),
+        samples,
+        iters_per_sample: iters,
+        median_ns: median,
+        mean_ns: mean,
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+    };
+    println!(
+        "{id:<56} median {:>12} mean {:>12} ({} samples x {} iters)",
+        format_ns(summary.median_ns),
+        format_ns(summary.mean_ns),
+        samples,
+        iters,
+    );
+    summary
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declare a group of benchmark functions (`fn(&mut Criterion)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let summaries = c.take_summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].id, "noop");
+        assert_eq!(summaries[1].id, "grp/sum/10");
+        let json = summaries_json(&summaries);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"id\":\"noop\""));
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).render(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").render(), "p");
+        assert_eq!(BenchmarkId::from("bare").render(), "bare");
+    }
+}

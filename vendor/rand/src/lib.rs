@@ -1,0 +1,382 @@
+//! Offline stand-in for [`rand`](https://crates.io/crates/rand) 0.8.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the handful of `rand` APIs the workspace actually uses are reimplemented
+//! here, API-compatible with rand 0.8:
+//!
+//! * [`RngCore`], [`SeedableRng`] (with `seed_from_u64`), [`Rng`]
+//!   (`gen_range` over half-open/inclusive integer ranges, `gen_bool`);
+//! * [`rngs::SmallRng`] — xoshiro256++, the same algorithm rand 0.8 uses on
+//!   64-bit platforms (seed expansion via SplitMix64, also matching rand);
+//! * [`seq::index::sample`] — partial Fisher–Yates sampling of distinct
+//!   indices.
+//!
+//! Streams are *not* guaranteed bit-identical to upstream rand; the
+//! workspace only relies on determinism (same seed ⇒ same stream), never on
+//! cross-library reproducibility. Swap this path dependency back to the
+//! real crate when a registry is available — no source changes needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw word and byte output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it through SplitMix64 exactly like
+    /// rand 0.8 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Steele, Lea & Flood), as used by rand_core.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sampling from a range, dispatched by range type (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from `self` using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types that support uniform range sampling.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`. Panics if the range is empty.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`. Panics if `low > high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                low.wrapping_add(uniform_u128(span, rng) as $ty)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as u128) - (low as u128) + 1;
+                low.wrapping_add(uniform_u128(span, rng) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Unbiased uniform draw from `[0, span)` (`span > 0`) by rejection.
+fn uniform_u128<R: RngCore + ?Sized>(span: u128, rng: &mut R) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // span fits in u64+1 for all our integer types; draw 64 bits and reject
+    // the biased tail.
+    let span64 = span as u64; // span <= u64::MAX + 1; span == 2^64 has zone == MAX
+    if span > u64::MAX as u128 {
+        return rng.next_u64() as u128;
+    }
+    let zone = u64::MAX - (u64::MAX % span64) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Convenience extensions over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Fill `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T)
+    where
+        Self: Sized,
+    {
+        dest.fill_from(self)
+    }
+
+    /// `true` with probability `p` (`0.0 <= p <= 1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // 53-bit mantissa fraction, like rand's Bernoulli on the fast path.
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Buffer types [`Rng::fill`] can populate.
+pub trait Fill {
+    /// Overwrite `self` with random data from `rng`.
+    fn fill_from<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++ (Blackman &
+    /// Vigna), the algorithm behind rand 0.8's 64-bit `SmallRng`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    /// Index sampling (mirrors `rand::seq::index`).
+    pub mod index {
+        use crate::{Rng, RngCore};
+
+        /// A set of sampled indices.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterate over the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// `true` if no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Convert into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length`, in random
+        /// order, via a partial Fisher–Yates shuffle.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length` (same contract as rand).
+        pub fn sample<R: RngCore>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} from {length} indices"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::index::sample;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(0..=5);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_values() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn sample_distinct_and_complete() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let picks = sample(&mut rng, 10, 10);
+        let mut sorted: Vec<usize> = picks.iter().collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+
+        let picks = sample(&mut rng, 100, 5);
+        assert_eq!(picks.len(), 5);
+        let mut v: Vec<usize> = picks.iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
