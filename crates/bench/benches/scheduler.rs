@@ -1,0 +1,158 @@
+//! Scheduler bench: contiguous per-thread chunking (a faithful copy of the
+//! pre-work-stealing `ExperimentRunner::run`) vs the work-stealing runner,
+//! on two trial mixes:
+//!
+//! * **skewed** — the first `TRIALS/THREADS` trials cost ~100× the rest,
+//!   so chunking serializes every expensive trial onto one worker while
+//!   stealing spreads them across all workers;
+//! * **uniform** — every trial costs the same, the best case for
+//!   chunking; stealing must not regress here beyond claim-counter noise.
+//!
+//! Besides the usual criterion output, `main` writes the measured times to
+//! `BENCH_scheduler.json` so the chunked-vs-stealing delta is tracked
+//! in-repo.
+
+use criterion::{black_box, summaries_json, Criterion, Summary};
+use secure_radio_bench::{ExperimentRunner, ScenarioSpec, TrialCtx, TrialError, TrialOutcome};
+use std::thread;
+
+const TRIALS: usize = 64;
+const THREADS: usize = 8;
+const EXPENSIVE_SPINS: u64 = 400_000;
+const CHEAP_SPINS: u64 = 4_000;
+
+/// Deterministic spin work standing in for a simulation trial.
+fn spin(seed: u64, spins: u64) -> TrialOutcome {
+    let mut acc = seed | 1;
+    for i in 0..spins {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    TrialOutcome {
+        rounds: acc % 997,
+        moves: acc % 31,
+        cover: None,
+        violations: 0,
+        ok: true,
+    }
+}
+
+/// The adversarial shape for chunking: the first chunk (trials
+/// `0..TRIALS/THREADS`) carries all the expensive trials — the "slow
+/// scenario prefix" seen in real sweeps (omniscient jammers first, cheap
+/// baselines after) — so one worker serializes them while the others idle;
+/// stealing spreads them across all workers.
+fn skewed(ctx: &TrialCtx<'_>) -> Result<TrialOutcome, TrialError> {
+    let spins = if ctx.trial < TRIALS / THREADS {
+        EXPENSIVE_SPINS
+    } else {
+        CHEAP_SPINS
+    };
+    Ok(spin(ctx.seed, spins))
+}
+
+fn uniform(ctx: &TrialCtx<'_>) -> Result<TrialOutcome, TrialError> {
+    Ok(spin(ctx.seed, CHEAP_SPINS))
+}
+
+/// A faithful reproduction of `ExperimentRunner::run` as it was before the
+/// work-stealing refactor: trials dealt to threads in contiguous chunks up
+/// front, each worker marching through its chunk in order.
+mod chunked {
+    use super::*;
+
+    pub fn run<F>(threads: usize, spec: &ScenarioSpec, trial: F) -> Vec<TrialOutcome>
+    where
+        F: Fn(&TrialCtx<'_>) -> Result<TrialOutcome, TrialError> + Sync,
+    {
+        let trials = spec.trials;
+        let mut slots: Vec<Option<Result<TrialOutcome, TrialError>>> = vec![None; trials];
+        let chunk = trials.div_ceil(threads).max(1);
+        thread::scope(|scope| {
+            for (chunk_idx, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                let trial = &trial;
+                scope.spawn(move || {
+                    for (offset, slot) in chunk_slots.iter_mut().enumerate() {
+                        let index = chunk_idx * chunk + offset;
+                        let ctx = TrialCtx {
+                            spec,
+                            trial: index,
+                            seed: spec.trial_seed(index),
+                        };
+                        *slot = Some(trial(&ctx));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every trial slot filled").expect("trial ok"))
+            .collect()
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    // The spec only feeds trial count and seeds; the trial closures above
+    // never touch the network stack.
+    let spec = ScenarioSpec::new("sched", 0, 1, 2)
+        .with_trials(TRIALS)
+        .with_seed(7);
+
+    for (mix, trial) in [
+        ("skewed", skewed as fn(&TrialCtx<'_>) -> _),
+        ("uniform", uniform as fn(&TrialCtx<'_>) -> _),
+    ] {
+        let mut group = c.benchmark_group(&format!("scheduler/{mix}"));
+        group.sample_size(15);
+        group.bench_function("chunked", |b| {
+            b.iter(|| black_box(chunked::run(THREADS, &spec, trial)))
+        });
+        group.bench_function("stealing", |b| {
+            let runner = ExperimentRunner::with_threads(THREADS);
+            b.iter(|| black_box(runner.run(&spec, trial).expect("runs")))
+        });
+        group.finish();
+    }
+
+    // Sanity: both schedulers produce identical outcome vectors.
+    let a = chunked::run(THREADS, &spec, skewed);
+    let b = ExperimentRunner::with_threads(THREADS)
+        .run(&spec, skewed)
+        .expect("runs");
+    assert_eq!(a, b.outcomes, "schedulers disagree on outcomes");
+
+    let summaries: Vec<Summary> = c.take_summaries();
+    if summaries.iter().all(|s| s.median_ns > 0.0) {
+        // The delta only materializes with real cores: on a 1-core host
+        // both schedulers serialize and measure ~1x. Record the host's
+        // parallelism next to the numbers so they stay interpretable.
+        let host = thread::available_parallelism().map_or(1, |n| n.get());
+        let json = format!(
+            "{{\n  \"host_threads\": {host},\n  \"workers\": {THREADS},\n  \
+             \"trials\": {TRIALS},\n  \"summaries\": {}}}\n",
+            summaries_json(&summaries)
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scheduler.json");
+        std::fs::write(path, json).expect("write BENCH_scheduler.json");
+        println!(
+            "\nwrote BENCH_scheduler.json (times are ns per {TRIALS}-trial scenario; \
+             host has {host} hardware threads)"
+        );
+        for mix in ["skewed", "uniform"] {
+            let median = |needle: &str| {
+                summaries
+                    .iter()
+                    .find(|s| s.id == format!("scheduler/{mix}/{needle}"))
+                    .map(|s| s.median_ns)
+            };
+            if let (Some(chunked), Some(stealing)) = (median("chunked"), median("stealing")) {
+                println!(
+                    "{mix}: chunked {:.2} ms -> stealing {:.2} ms ({:.2}x)",
+                    chunked / 1e6,
+                    stealing / 1e6,
+                    chunked / stealing
+                );
+            }
+        }
+    }
+}

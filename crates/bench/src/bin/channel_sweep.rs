@@ -12,12 +12,13 @@
 
 use fame::Params;
 use secure_radio_bench::{
-    AdversaryChoice, Aggregate, BenchReport, ExperimentRunner, ScenarioSpec, Table, Workload,
+    smoke, smoke_trials, AdversaryChoice, Aggregate, BenchReport, ExperimentRunner, ScenarioSpec,
+    Table, Workload,
 };
 
 fn main() {
     let seed = 0xC5EE9;
-    let trials = 8;
+    let trials = smoke_trials(8);
     let t = 2;
     // n large enough for every C in the sweep.
     let n = (t + 1..=2 * t * t)
@@ -37,7 +38,13 @@ fn main() {
     let mut table = Table::new("f-AME cost per channel count (random jammer)", &headers);
     let mut report = BenchReport::new("channel_sweep");
 
-    for c in t + 1..=2 * t * t {
+    // Smoke mode samples the regime endpoints instead of the full curve.
+    let channel_counts: Vec<usize> = if smoke() {
+        vec![t + 1, 2 * t * t]
+    } else {
+        (t + 1..=2 * t * t).collect()
+    };
+    for c in channel_counts {
         let spec = ScenarioSpec::new(format!("C={c}"), n, t, c)
             .with_workload(Workload::RandomPairs { edges: 24 })
             .with_adversary(AdversaryChoice::RandomJam)

@@ -5,20 +5,33 @@
 //! reconstruction-hash chains prune the exponentially many candidate
 //! vectors to a polynomial set from which the vector signature selects the
 //! authentic one.
+//!
+//! Runs through [`ExperimentRunner`]: both variants are multi-trial
+//! scenarios on the same star workload (worst case for plain frame size),
+//! each trial under fresh spoofer/jammer coins, trials in parallel under
+//! the work-stealing scheduler; aggregates land in
+//! `BENCH_compact_audit.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use fame::compact::{reconstruction_hashes, run_compact_fame};
 use fame::messages::FameFrame;
-use fame::problem::AmeInstance;
 use fame::protocol::run_fame;
-use fame::Params;
 use radio_network::adversaries::{RandomJammer, Spoofer};
-use secure_radio_bench::workloads::star_pairs;
-use secure_radio_bench::Table;
+use radio_network::seed;
+use secure_radio_bench::{
+    smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table, TrialError,
+    TrialOutcome, Workload,
+};
 
 fn main() {
-    let seed = 0xC0;
-    println!("# Compact f-AME (Section 5.6): constant-size frames\n");
+    let base_seed = 0xC0;
+    let t = 2;
+    let trials = smoke_trials(6);
+    println!("# Compact f-AME (Section 5.6): constant-size frames — {trials} trials/variant\n");
 
+    let runner = ExperimentRunner::new();
+    let mut report = BenchReport::new("compact_audit");
     let mut table = Table::new(
         "plain vs compact f-AME under gossip-phase spoof flood + jamming",
         &[
@@ -26,85 +39,148 @@ fn main() {
             "t",
             "|E|",
             "max values/frame",
-            "rounds",
+            "rounds p50",
             "delivered",
             "forged accepted",
             "cover<=t",
         ],
     );
 
-    let t = 2;
-    let p = Params::minimal(40, t).expect("params");
     // A star workload maximizes one node's outbox (worst case for plain
     // frame size: node 0 carries |E|/2 values in every vector frame).
-    let pairs = star_pairs(10);
-    let instance = AmeInstance::new(p.n(), pairs.iter().copied()).expect("instance");
-    let plain_max_values = instance.outbox_of(0).len();
+    let leaves = 10;
 
-    let plain = run_fame(&instance, &p, RandomJammer::new(seed), seed).expect("plain runs");
+    // ---- Plain f-AME under jamming -----------------------------------------
+    let plain_spec = ScenarioSpec::new("E10 plain", 40, t, t + 1)
+        .with_workload(Workload::Star { leaves })
+        .with_adversary(AdversaryChoice::RandomJam)
+        .with_trials(trials)
+        .with_seed(base_seed);
+    let params = plain_spec.params();
+    let instance = plain_spec.instance();
+    let plain_max_values = instance.outbox_of(0).len();
+    let delivered_plain = AtomicU64::new(0);
+    let plain = runner
+        .run(&plain_spec, |ctx| {
+            let adversary = plain_spec
+                .adversary
+                .build(&params, instance.pairs(), ctx.seed);
+            let run =
+                run_fame(&instance, &params, adversary, ctx.seed).map_err(|e| TrialError {
+                    trial: ctx.trial,
+                    message: e.to_string(),
+                })?;
+            delivered_plain.fetch_add(run.outcome.delivered_count() as u64, Ordering::Relaxed);
+            let forged = run.outcome.authentication_violations(&instance).len() as u64;
+            let cover = run.outcome.disruption_cover();
+            Ok(TrialOutcome {
+                rounds: run.outcome.rounds,
+                moves: run.moves as u64,
+                cover: Some(cover),
+                violations: forged,
+                ok: forged == 0 && cover <= t,
+            })
+        })
+        .expect("plain scenario runs");
     table.row([
         "plain f-AME".to_string(),
         t.to_string(),
         instance.len().to_string(),
         plain_max_values.to_string(),
-        plain.outcome.rounds.to_string(),
-        plain.outcome.delivered_count().to_string(),
-        plain
-            .outcome
-            .authentication_violations(&instance)
-            .len()
-            .to_string(),
-        if plain.outcome.is_d_disruptable(t) {
-            "yes"
-        } else {
-            "NO"
-        }
-        .to_string(),
+        plain.aggregate.rounds.median.to_string(),
+        format!(
+            "{}/{}",
+            delivered_plain.into_inner(),
+            instance.len() * trials
+        ),
+        plain.aggregate.violations.to_string(),
+        format!(
+            "{}/{}",
+            plain.aggregate.cover_within_t, plain.aggregate.cover_measured
+        ),
     ]);
+    report.push(plain_spec, plain.aggregate);
 
-    // Gossip-phase spoofer: injects *plausible* chunks (self-consistent
-    // terminal hashes), the worst case for reconstruction.
-    let spoofer = Spoofer::new(seed, |round, _ch| {
-        let forged = format!("forged-{round}").into_bytes();
-        let tag = reconstruction_hashes(std::slice::from_ref(&forged))[0];
-        FameFrame::GossipChunk {
-            owner: (round % 11) as usize,
-            index: 0,
-            payload: forged,
-            reconstruction: tag,
-        }
-    });
-    let compact =
-        run_compact_fame(&instance, &p, spoofer, RandomJammer::new(seed), seed).expect("runs");
+    // ---- Compact f-AME under spoof flood + jamming -------------------------
+    // The gossip-phase spoofer is bespoke (it forges *plausible* chunks with
+    // self-consistent terminal hashes, the worst case for reconstruction);
+    // the spec's adversary field carries the closest roster label.
+    let compact_spec = ScenarioSpec::new("E10 compact", 40, t, t + 1)
+        .with_workload(Workload::Star { leaves })
+        .with_adversary(AdversaryChoice::Spoof)
+        .with_trials(trials)
+        .with_seed(base_seed ^ 0xC0117AC7);
+    let delivered_compact = AtomicU64::new(0);
+    let max_frame_values = AtomicU64::new(0);
+    let gossip_stats = AtomicU64::new(0); // packed: misses summed
+    let compact = runner
+        .run(&compact_spec, |ctx| {
+            let spoofer = Spoofer::new(seed::derive(ctx.seed, 1), |round, _ch| {
+                let forged = format!("forged-{round}").into_bytes();
+                let tag = reconstruction_hashes(std::slice::from_ref(&forged))[0];
+                FameFrame::GossipChunk {
+                    owner: (round % 11) as usize,
+                    index: 0,
+                    payload: forged,
+                    reconstruction: tag,
+                }
+            });
+            let run = run_compact_fame(
+                &instance,
+                &params,
+                spoofer,
+                RandomJammer::new(seed::derive(ctx.seed, 2)),
+                ctx.seed,
+            )
+            .map_err(|e| TrialError {
+                trial: ctx.trial,
+                message: e.to_string(),
+            })?;
+            delivered_compact.fetch_add(run.outcome.delivered_count() as u64, Ordering::Relaxed);
+            max_frame_values.fetch_max(run.max_frame_values as u64, Ordering::Relaxed);
+            gossip_stats.fetch_add(run.gossip_misses as u64, Ordering::Relaxed);
+            let forged = run.outcome.authentication_violations(&instance).len() as u64;
+            let cover = run.outcome.disruption_cover();
+            Ok(TrialOutcome {
+                rounds: run.outcome.rounds,
+                cover: Some(cover),
+                violations: forged,
+                ok: forged == 0 && cover <= t,
+                ..TrialOutcome::default()
+            })
+        })
+        .expect("compact scenario runs");
+    let compact_max = max_frame_values.into_inner();
     table.row([
         "compact f-AME".to_string(),
         t.to_string(),
         instance.len().to_string(),
-        compact.max_frame_values.to_string(),
-        compact.outcome.rounds.to_string(),
-        compact.outcome.delivered_count().to_string(),
-        compact
-            .outcome
-            .authentication_violations(&instance)
-            .len()
-            .to_string(),
-        if compact.outcome.is_d_disruptable(t) {
-            "yes"
-        } else {
-            "NO"
-        }
-        .to_string(),
+        compact_max.to_string(),
+        compact.aggregate.rounds.median.to_string(),
+        format!(
+            "{}/{}",
+            delivered_compact.into_inner(),
+            instance.len() * trials
+        ),
+        compact.aggregate.violations.to_string(),
+        format!(
+            "{}/{}",
+            compact.aggregate.cover_within_t, compact.aggregate.cover_measured
+        ),
     ]);
+    report.push(compact_spec, compact.aggregate);
 
     println!("{table}");
     println!(
-        "gossip rounds: {} | signature-exchange rounds: {} | gossip misses: {}",
-        compact.gossip_rounds, compact.fame_rounds, compact.gossip_misses
+        "gossip misses across {trials} trials: {}",
+        gossip_stats.into_inner()
     );
+    let path = report.write_default().expect("write BENCH json");
+    println!("wrote {}", path.display());
     println!(
-        "\nReading: frames drop from {plain_max_values} AME values to 2 \
-         (payload + reconstruction hash) with no authenticity loss — the \
-         forged chunks the spoofer injected were pruned by the hash chains \
-         and the vector signature."
+        "\nReading: frames drop from {plain_max_values} AME values to \
+         {compact_max} (payload + reconstruction hash) with no authenticity \
+         loss — the forged chunks the spoofer injected were pruned by the \
+         hash chains and the vector signature."
     );
 }

@@ -15,13 +15,14 @@ use fame::problem::AmeInstance;
 use fame::Params;
 use secure_radio_bench::workloads::complete_pairs;
 use secure_radio_bench::{
-    AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, TrialError, TrialOutcome,
-    Workload,
+    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, TrialError,
+    TrialOutcome, Workload,
 };
 
 fn main() {
     let seed = 77;
-    let trials = 4;
+    let trials = smoke_trials(4);
+    let ts: &[usize] = if smoke() { &[2] } else { &[2, 3] };
     println!("# Disruptability: f-AME's t bound vs the direct baseline's 2t\n");
 
     let runner = ExperimentRunner::new();
@@ -29,7 +30,7 @@ fn main() {
 
     // E4 — the full adversary roster against f-AME.
     let mut e4 = BenchReport::new("disruptability_e4");
-    for &t in &[2usize, 3] {
+    for &t in ts {
         for adversary in AdversaryChoice::roster() {
             let spec =
                 ScenarioSpec::new(format!("E4 t={t}"), Params::min_nodes(t, t + 1), t, t + 1)
@@ -55,7 +56,7 @@ fn main() {
 
     // E6 — direct (no-surrogate) baseline under triangle isolation.
     let mut e6 = BenchReport::new("disruptability_e6");
-    for &t in &[2usize, 3] {
+    for &t in ts {
         let n = 3 * t;
         let spec = ScenarioSpec::new(format!("E6 direct t={t}"), n, t, t + 1)
             .with_workload(Workload::AllToAll)

@@ -19,13 +19,14 @@ use fame::Params;
 use radio_network::adversaries::Spoofer;
 use radio_network::{seed, ChannelId};
 use secure_radio_bench::{
-    AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table, TrialError, TrialOutcome,
-    Workload,
+    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table,
+    TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
     let base_seed = 0x60551;
-    let trials = 6;
+    let trials = smoke_trials(6);
+    let ts: &[usize] = if smoke() { &[1] } else { &[1, 2] };
     println!("# Gossip vs f-AME (E9): the price and value of authentication\n");
 
     let runner = ExperimentRunner::new();
@@ -45,7 +46,7 @@ fn main() {
     );
     let mut report = BenchReport::new("gossip_vs_fame");
 
-    for &t in &[1usize, 2] {
+    for &t in ts {
         let n = Params::min_nodes(t, t + 1).max(18);
 
         // Gossip under a spoofer (it also jams by colliding).

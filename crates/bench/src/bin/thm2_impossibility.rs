@@ -7,19 +7,30 @@
 //! forged with probability `≈ 1/2`. f-AME's deterministic slot ownership
 //! removes the ambiguity: its spoof-acceptance count is structurally zero
 //! in the very same adversarial model.
+//!
+//! Runs through [`ExperimentRunner`]: both protocols are multi-trial
+//! scenarios (each naive trial is one independent exchange under fresh
+//! coins; each f-AME trial faces the spoofing schedule-aware jammer),
+//! trials execute in parallel under the work-stealing scheduler, and
+//! aggregates land in `BENCH_thm2_impossibility.json`.
 
-use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
-use fame::baselines::naive::naive_exchange_trials;
-use fame::problem::AmeInstance;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fame::baselines::naive::run_naive_exchange;
 use fame::protocol::run_fame;
 use fame::Params;
-use secure_radio_bench::workloads::disjoint_pairs;
-use secure_radio_bench::Table;
+use secure_radio_bench::{
+    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table,
+    TrialError, TrialOutcome, Workload,
+};
 
 fn main() {
     let seed = 0xBAD_C0DE;
+    let ts: &[usize] = if smoke() { &[1] } else { &[1, 2, 3] };
     println!("# Theorem 2 — authentication is impossible without structure\n");
 
+    let runner = ExperimentRunner::new();
+    let mut report = BenchReport::new("thm2_impossibility");
     let mut table = Table::new(
         "naive randomized exchange vs f-AME under spoofing adversaries",
         &[
@@ -33,48 +44,99 @@ fn main() {
         ],
     );
 
-    for &t in &[1usize, 2, 3] {
-        let trials = 80;
+    for &t in ts {
+        let trials = smoke_trials(80);
         let rounds = 40 * (t as u64 + 1);
-        let report = naive_exchange_trials(4 * t, t, rounds, trials, seed).expect("runs");
+        // The simulating adversary lives inside run_naive_exchange; the
+        // spec's adversary field is the closest roster label.
+        let spec = ScenarioSpec::new(format!("E5 naive t={t}"), 4 * t, t, t + 1)
+            .with_workload(Workload::None)
+            .with_adversary(AdversaryChoice::Spoof)
+            .with_trials(trials)
+            .with_seed(seed ^ t as u64);
+        let (real, fake, undecided) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+        let result = runner
+            .run(&spec, |ctx| {
+                let r = run_naive_exchange(4 * t, t, rounds, ctx.seed).map_err(|e| TrialError {
+                    trial: ctx.trial,
+                    message: e.to_string(),
+                })?;
+                real.fetch_add(r.accepted_real as u64, Ordering::Relaxed);
+                fake.fetch_add(r.accepted_fake as u64, Ordering::Relaxed);
+                undecided.fetch_add(r.undecided as u64, Ordering::Relaxed);
+                Ok(TrialOutcome {
+                    rounds,
+                    violations: r.accepted_fake as u64,
+                    ok: r.accepted_fake == 0,
+                    ..TrialOutcome::default()
+                })
+            })
+            .expect("naive scenario runs");
+        let (real, fake, undecided) =
+            (real.into_inner(), fake.into_inner(), undecided.into_inner());
+        let decided = real + fake;
         table.row([
             "naive-random".to_string(),
             t.to_string(),
             trials.to_string(),
-            report.accepted_real.to_string(),
-            report.accepted_fake.to_string(),
-            format!("{:.1}%", report.fooled_fraction() * 100.0),
-            report.undecided.to_string(),
+            real.to_string(),
+            fake.to_string(),
+            format!("{:.1}%", 100.0 * fake as f64 / decided.max(1) as f64),
+            undecided.to_string(),
         ]);
+        report.push(spec, result.aggregate);
     }
 
-    for &t in &[1usize, 2, 3] {
-        let p = Params::minimal(Params::min_nodes(t, t + 1).max(24), t).expect("params");
-        let pairs = disjoint_pairs(p.n(), (p.n() / 2).min(8));
-        let instance = AmeInstance::new(p.n(), pairs.iter().copied()).expect("instance");
-        let adversary = OmniscientJammer::new(
-            &p,
-            instance.pairs(),
-            TransmissionPolicy::PreferEdges,
-            FeedbackPolicy::Quiet,
-            seed,
-        )
-        .with_spoofing();
-        let run = run_fame(&instance, &p, adversary, seed).expect("fame runs");
-        let delivered = run.outcome.delivered_count();
-        let forged = run.outcome.authentication_violations(&instance).len();
+    for &t in ts {
+        let trials = smoke_trials(6);
+        let n = Params::min_nodes(t, t + 1).max(24);
+        let pairs_count = (n / 2).min(8);
+        let spec = ScenarioSpec::new(format!("E5 f-AME t={t}"), n, t, t + 1)
+            .with_workload(Workload::Disjoint { pairs: pairs_count })
+            .with_adversary(AdversaryChoice::OmniSpoof)
+            .with_trials(trials)
+            .with_seed(seed ^ (t as u64) << 4);
+        let params = spec.params();
+        let instance = spec.instance();
+        let delivered_total = AtomicU64::new(0);
+        let result = runner
+            .run(&spec, |ctx| {
+                let adversary = spec.adversary.build(&params, instance.pairs(), ctx.seed);
+                let run =
+                    run_fame(&instance, &params, adversary, ctx.seed).map_err(|e| TrialError {
+                        trial: ctx.trial,
+                        message: e.to_string(),
+                    })?;
+                let delivered = run.outcome.delivered_count() as u64;
+                delivered_total.fetch_add(delivered, Ordering::Relaxed);
+                let forged = run.outcome.authentication_violations(&instance).len() as u64;
+                let cover = run.outcome.disruption_cover();
+                Ok(TrialOutcome {
+                    rounds: run.outcome.rounds,
+                    moves: run.moves as u64,
+                    cover: Some(cover),
+                    violations: forged,
+                    ok: forged == 0 && cover <= t,
+                })
+            })
+            .expect("fame scenario runs");
+        let delivered = delivered_total.into_inner();
+        let forged = result.aggregate.violations;
         table.row([
             "f-AME (spoofing jammer)".to_string(),
             t.to_string(),
-            "1".to_string(),
+            trials.to_string(),
             delivered.to_string(),
             forged.to_string(),
             format!("{:.1}%", 100.0 * forged as f64 / delivered.max(1) as f64),
-            (pairs.len() - delivered).to_string(),
+            ((pairs_count * trials) as u64 - delivered).to_string(),
         ]);
+        report.push(spec, result.aggregate);
     }
 
     println!("{table}");
+    let path = report.write_default().expect("write BENCH json");
+    println!("wrote {}", path.display());
     println!(
         "Paper claim: the naive receiver accepts the forgery with \
          probability 1/2 (Theorem 2's indistinguishability argument); \

@@ -18,14 +18,14 @@ use fame::Params;
 use radio_network::adversaries::RandomJammer;
 use radio_network::seed;
 use secure_radio_bench::{
-    AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table, TrialError, TrialOutcome,
-    Workload,
+    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table,
+    TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
     println!("# Lemma 5 w.h.p. knee: feedback_scale sweep (E11)\n");
 
-    let trials = 40;
+    let trials = smoke_trials(40);
     let (n, t) = (40, 2);
     let runner = ExperimentRunner::new();
     let mut table = Table::new(
@@ -40,7 +40,12 @@ fn main() {
     );
     let mut report = BenchReport::new("whp_knee");
 
-    for &scale in &[0.1f64, 0.25, 0.5, 1.0, 2.0, 4.0] {
+    let scales: &[f64] = if smoke() {
+        &[0.1, 4.0]
+    } else {
+        &[0.1, 0.25, 0.5, 1.0, 2.0, 4.0]
+    };
+    for &scale in scales {
         let spec = ScenarioSpec::new(format!("scale={scale}"), n, t, t + 1)
             .with_workload(Workload::None)
             .with_adversary(AdversaryChoice::RandomJam)

@@ -18,6 +18,11 @@
 //! | `extensions` | E12, E13, E15 | Section 8 open questions (1), (3), (4) |
 //! | `channel_sweep` | E14 | Section 5.5, between the table rows |
 //!
+//! Every binary runs its sweep through [`ExperimentRunner`] — multi-trial
+//! scenarios with work-stealing parallel, deterministically seeded trials
+//! — and writes its aggregates to `BENCH_<name>.json`. Set `BENCH_SMOKE=1`
+//! (see [`smoke`]) to shrink every sweep to a CI-sized grid.
+//!
 //! The measured quantity is **rounds of the synchronous model** — the unit
 //! all the paper's theorems are stated in. The Criterion benches under
 //! `benches/` additionally track wall-clock time of the simulator itself.
@@ -79,6 +84,23 @@ impl Regime {
         let c = self.channels(t);
         let n = n.max(Params::min_nodes(t, c));
         Params::new(n, t, c).expect("harness params valid")
+    }
+}
+
+/// `true` when the `BENCH_SMOKE` environment variable is set: every
+/// experiment binary shrinks its sweep to a tiny scenario grid with few
+/// trials, so CI can execute all ten bins end-to-end in seconds (see the
+/// `experiments-smoke` job in `.github/workflows/ci.yml`).
+pub fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+/// `full` trials per scenario normally, 2 under [`smoke`] mode.
+pub fn smoke_trials(full: usize) -> usize {
+    if smoke() {
+        full.min(2)
+    } else {
+        full
     }
 }
 

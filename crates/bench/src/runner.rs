@@ -2,13 +2,31 @@
 //! threads with deterministic per-trial seeding, then folds the outcomes
 //! into an [`Aggregate`] with text-table and JSON emitters.
 //!
+//! ## Scheduling
+//!
+//! Workers *steal* trials from a shared atomic claim index rather than
+//! being dealt contiguous chunks up front. Trial costs are wildly
+//! heterogeneous (an omniscient-jammer trial or a group-key setup can cost
+//! orders of magnitude more than a feedback invocation), so static
+//! chunking routinely parked every other thread behind one slow chunk;
+//! with stealing, a worker that finishes a cheap trial immediately claims
+//! the next unclaimed index, keeping all cores busy until the scenario
+//! drains. `benches/scheduler.rs` measures the delta on a deliberately
+//! skewed workload and records it in `BENCH_scheduler.json`.
+//!
 //! ## Determinism contract
 //!
 //! A trial function must be a pure function of `(spec, trial index, seed)`.
 //! The runner derives the seed for trial `i` as
-//! [`ScenarioSpec::trial_seed`]`(i)` and collects outcomes *by trial
-//! index*, so a parallel run is bit-identical to a sequential run of the
-//! same scenario — `tests/determinism.rs` property-tests exactly that.
+//! [`ScenarioSpec::trial_seed`]`(i)` — never from thread identity or claim
+//! order — and each worker tags every outcome with its trial index. After
+//! the join, outcomes are sorted back into trial order before folding, so
+//! *which* worker ran a trial (and when it was stolen) is invisible in the
+//! result: a run is bit-identical across any thread count, including the
+//! sequential one. When trials fail, the error reported is the
+//! lowest-*indexed* failure, not the first one observed on the wall clock.
+//! `tests/determinism.rs` property-tests both guarantees across 1/2/7/16
+//! threads under a skewed-cost trial function.
 //!
 //! ## Trace retention
 //!
@@ -22,6 +40,8 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
 use fame::problem::AmeInstance;
@@ -108,7 +128,9 @@ impl Dist {
         Dist {
             min: sorted[0],
             max: sorted[sorted.len() - 1],
-            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            // u128 accumulator: a u64 sum wraps silently once round counts
+            // times trial counts get large enough.
+            mean: sorted.iter().map(|&s| u128::from(s)).sum::<u128>() as f64 / sorted.len() as f64,
             median: sorted[(sorted.len() - 1) / 2],
             p95: nearest_rank(95, 100),
         }
@@ -231,17 +253,21 @@ impl ExperimentRunner {
         self.threads
     }
 
-    /// Run every trial of `spec` through `trial`, in parallel, collecting
-    /// outcomes by trial index.
+    /// Run every trial of `spec` through `trial`, work-stealing across the
+    /// runner's threads, collecting outcomes by trial index.
+    ///
+    /// Workers claim trial indices from a shared atomic counter, so a slow
+    /// trial never strands the rest of its (former) chunk behind it; every
+    /// idle worker immediately picks up the next unclaimed trial.
     ///
     /// `trial` must be deterministic in its [`TrialCtx`] (see the module
     /// docs); under that contract the result is independent of the thread
-    /// count.
+    /// count and of the claim order.
     ///
     /// # Errors
     ///
     /// The lowest-indexed failing trial's [`TrialError`], if any trial
-    /// fails.
+    /// fails — regardless of which worker observed a failure first.
     ///
     /// # Panics
     ///
@@ -251,28 +277,44 @@ impl ExperimentRunner {
         F: Fn(&TrialCtx<'_>) -> Result<TrialOutcome, TrialError> + Sync,
     {
         let trials = spec.trials;
-        let mut slots: Vec<Option<Result<TrialOutcome, TrialError>>> = vec![None; trials];
-        let chunk = trials.div_ceil(self.threads).max(1);
+        let workers = self.threads.min(trials).max(1);
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, Result<TrialOutcome, TrialError>)>> =
+            Mutex::new(Vec::with_capacity(trials));
         thread::scope(|scope| {
-            for (chunk_idx, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
-                let trial = &trial;
+            for _ in 0..workers {
+                let (next, collected, trial) = (&next, &collected, &trial);
                 scope.spawn(move || {
-                    for (offset, slot) in chunk_slots.iter_mut().enumerate() {
-                        let index = chunk_idx * chunk + offset;
+                    let mut local = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= trials {
+                            break;
+                        }
                         let ctx = TrialCtx {
                             spec,
                             trial: index,
                             seed: spec.trial_seed(index),
                         };
-                        *slot = Some(trial(&ctx));
+                        local.push((index, trial(&ctx)));
                     }
+                    // One merge per worker, after its last trial: the lock
+                    // is never contended while trials run.
+                    collected
+                        .lock()
+                        .expect("no poisoned worker")
+                        .append(&mut local);
                 });
             }
         });
+        let mut collected = collected.into_inner().expect("no poisoned worker");
+        collected.sort_unstable_by_key(|&(index, _)| index);
         let mut outcomes = Vec::with_capacity(trials);
-        for slot in slots {
-            match slot.expect("every trial slot filled") {
+        for (slot, (index, result)) in collected.into_iter().enumerate() {
+            assert_eq!(slot, index, "every trial claimed exactly once");
+            match result {
                 Ok(outcome) => outcomes.push(outcome),
+                // Sorted by index, so the first error is the lowest-indexed.
                 Err(err) => return Err(err),
             }
         }
@@ -346,7 +388,22 @@ pub fn default_retention(trials: usize) -> TraceRetention {
 }
 
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// A named collection of `(scenario, aggregate)` rows with a table and a
@@ -480,7 +537,7 @@ mod tests {
     use crate::scenario::{AdversaryChoice, Workload};
 
     fn tiny_spec(trials: usize) -> ScenarioSpec {
-        ScenarioSpec::new("tiny", 0, 1, 2)
+        ScenarioSpec::new("tiny", Params::min_nodes(1, 2), 1, 2)
             .with_workload(Workload::RandomPairs { edges: 4 })
             .with_adversary(AdversaryChoice::RandomJam)
             .with_trials(trials)
@@ -564,6 +621,116 @@ mod tests {
             })
             .unwrap_err();
         assert_eq!(err.trial, 2);
+    }
+
+    #[test]
+    fn first_trial_failure_wins_even_when_later_trials_succeed() {
+        // Under work stealing, trial 0 (made the slowest here) is typically
+        // the *last* failure observed on the wall clock; the runner must
+        // still report it, not a faster-failing or succeeding later trial.
+        let spec = tiny_spec(8);
+        let err = ExperimentRunner::with_threads(4)
+            .run(&spec, |ctx| {
+                if ctx.trial == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    Err(TrialError {
+                        trial: 0,
+                        message: "slow failure".into(),
+                    })
+                } else if ctx.trial == 5 {
+                    Err(TrialError {
+                        trial: 5,
+                        message: "fast failure".into(),
+                    })
+                } else {
+                    Ok(TrialOutcome::default())
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.trial, 0);
+        assert_eq!(err.message, "slow failure");
+    }
+
+    #[test]
+    fn zero_trials_yields_empty_result() {
+        let spec = tiny_spec(0);
+        let result = ExperimentRunner::with_threads(4)
+            .run(&spec, |_| panic!("no trial should run"))
+            .unwrap();
+        assert!(result.outcomes.is_empty());
+        assert_eq!(result.aggregate.trials, 0);
+        assert_eq!(result.aggregate.rounds, Dist::default());
+    }
+
+    #[test]
+    fn more_threads_than_trials() {
+        let spec = tiny_spec(3);
+        let few = ExperimentRunner::with_threads(1)
+            .run_fame_scenario(&spec)
+            .unwrap();
+        let many = ExperimentRunner::with_threads(16)
+            .run_fame_scenario(&spec)
+            .unwrap();
+        assert_eq!(few, many);
+        assert_eq!(many.outcomes.len(), 3);
+    }
+
+    #[test]
+    fn dist_mean_does_not_wrap_near_u64_max() {
+        let samples = vec![u64::MAX - 2, u64::MAX - 1, u64::MAX];
+        let d = Dist::from_samples(&samples);
+        // A u64 accumulator would wrap twice; the mean must sit next to
+        // u64::MAX instead of near zero.
+        assert!(d.mean > u64::MAX as f64 * 0.99, "mean wrapped: {}", d.mean);
+        assert_eq!(d.min, u64::MAX - 2);
+        assert_eq!(d.max, u64::MAX);
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\\b\"c"), "a\\\\b\\\"c");
+        assert_eq!(
+            json_escape("line\nbreak\tand\rmore"),
+            "line\\nbreak\\tand\\rmore"
+        );
+        assert_eq!(json_escape("bell\u{7}null\u{0}"), "bell\\u0007null\\u0000");
+    }
+
+    #[test]
+    fn report_emits_control_safe_labels() {
+        let spec = ScenarioSpec::new("evil\nname\t\"quoted\"", 0, 1, 2).with_trials(1);
+        let mut report = BenchReport::new("esc");
+        report.push(
+            spec,
+            Aggregate::from_outcomes(1, &[TrialOutcome::default()]),
+        );
+        let json = report.json();
+        assert!(json.contains("evil\\nname\\t\\\"quoted\\\""));
+        assert!(!json.contains("evil\nname"));
+    }
+
+    #[test]
+    #[should_panic(expected = "below Params::min_nodes")]
+    fn undersized_n_is_rejected_not_inflated() {
+        // Regression: params() used to floor n to min_nodes silently, so a
+        // BENCH_*.json row could describe a network that was never run.
+        let spec = ScenarioSpec::new("undersized", 4, 1, 2).with_trials(1);
+        assert!(spec.n < Params::min_nodes(spec.t, spec.channels));
+        let _ = ExperimentRunner::sequential().run_fame_scenario(&spec);
+    }
+
+    #[test]
+    fn report_n_matches_the_network_that_ran() {
+        let spec = tiny_spec(1);
+        let params_n = spec.params().n();
+        assert_eq!(spec.n, params_n);
+        let result = ExperimentRunner::sequential()
+            .run_fame_scenario(&spec)
+            .unwrap();
+        let mut report = BenchReport::new("n_check");
+        report.push(spec.clone(), result.aggregate);
+        assert!(report.json().contains(&format!("\"n\":{params_n},")));
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum Workload {
         /// Number of leaf nodes.
         leaves: usize,
     },
+    /// `count` scripted broadcasts over the long-lived service (Section 7)
+    /// — no AME pair list; the script is derived by the trial closure.
+    Broadcasts {
+        /// Number of emulated-round broadcasts.
+        count: u64,
+    },
     /// No AME instance — for experiments (e.g. feedback sub-protocol
     /// sweeps) that drive the stack below the AME layer.
     None,
@@ -50,7 +56,7 @@ impl Workload {
             Workload::Disjoint { pairs } => disjoint_pairs(n, pairs),
             Workload::Ring => ring_pairs(n),
             Workload::Star { leaves } => star_pairs(leaves),
-            Workload::None => Vec::new(),
+            Workload::Broadcasts { .. } | Workload::None => Vec::new(),
         }
     }
 
@@ -62,6 +68,7 @@ impl Workload {
             Workload::Disjoint { pairs } => format!("disjoint-{pairs}"),
             Workload::Ring => "ring".into(),
             Workload::Star { leaves } => format!("star-{leaves}"),
+            Workload::Broadcasts { count } => format!("broadcasts-{count}"),
             Workload::None => "none".into(),
         }
     }
@@ -86,6 +93,10 @@ pub enum AdversaryChoice {
     Spoof,
     /// Schedule-aware jammer preferring in-play edges, quiet in feedback.
     OmniPreferEdges,
+    /// [`AdversaryChoice::OmniPreferEdges`] plus spoofed frames — the
+    /// Theorem 2 setting: jamming and forgery from one schedule-aware
+    /// attacker.
+    OmniSpoof,
     /// Schedule-aware jammer preferring high-degree nodes, random feedback.
     OmniPreferNodes,
     /// Schedule-aware jammer focusing victims, sweeping feedback, spoofing.
@@ -105,6 +116,7 @@ impl AdversaryChoice {
             AdversaryChoice::BusyChannel { window: 8 },
             AdversaryChoice::Spoof,
             AdversaryChoice::OmniPreferEdges,
+            AdversaryChoice::OmniSpoof,
             AdversaryChoice::OmniPreferNodes,
             AdversaryChoice::OmniVictimsSpoof {
                 victims: vec![0, 1, 2, 3],
@@ -121,6 +133,7 @@ impl AdversaryChoice {
             AdversaryChoice::BusyChannel { .. } => "busy-channel",
             AdversaryChoice::Spoof => "spoofer",
             AdversaryChoice::OmniPreferEdges => "omni/prefer-edges",
+            AdversaryChoice::OmniSpoof => "omni/prefer-edges+spoof",
             AdversaryChoice::OmniPreferNodes => "omni/prefer-nodes",
             AdversaryChoice::OmniVictimsSpoof { .. } => "omni/victims+spoof",
         }
@@ -154,6 +167,16 @@ impl AdversaryChoice {
                 FeedbackPolicy::Quiet,
                 seed,
             )),
+            AdversaryChoice::OmniSpoof => Box::new(
+                OmniscientJammer::new(
+                    params,
+                    pairs,
+                    TransmissionPolicy::PreferEdges,
+                    FeedbackPolicy::Quiet,
+                    seed,
+                )
+                .with_spoofing(),
+            ),
             AdversaryChoice::OmniPreferNodes => Box::new(OmniscientJammer::new(
                 params,
                 pairs,
@@ -205,11 +228,13 @@ pub struct ScenarioSpec {
 impl ScenarioSpec {
     /// A scenario at explicit `(n, t, C)`.
     ///
-    /// `n` is stored verbatim — it is what custom trial closures should
-    /// simulate. The fame-layer helpers go through [`ScenarioSpec::params`],
-    /// which floors `n` to the protocol's minimum admissible node count;
-    /// use [`ScenarioSpec::in_regime`] (or pass `Params::min_nodes(t, c)`)
-    /// when you want the floored value reflected in reports.
+    /// `n` is stored verbatim — it is what the trial simulates and what
+    /// reports emit. The fame-layer helpers go through
+    /// [`ScenarioSpec::params`], which *rejects* an `n` below the
+    /// protocol's minimum admissible node count rather than silently
+    /// inflating it (size the spec via [`ScenarioSpec::in_regime`] or
+    /// [`Params::min_nodes`]); custom trial closures that bypass `params`
+    /// may use any `n` their own simulation accepts.
     pub fn new(name: impl Into<String>, n: usize, t: usize, channels: usize) -> Self {
         ScenarioSpec {
             name: name.into(),
@@ -258,15 +283,29 @@ impl ScenarioSpec {
         self
     }
 
-    /// Validated protocol parameters for this scenario.
+    /// Validated protocol parameters for this scenario, at exactly
+    /// [`ScenarioSpec::n`] nodes.
     ///
     /// # Panics
     ///
     /// Panics on invalid `(n, t, C)` combinations — scenario construction
-    /// is harness configuration, not user input.
+    /// is harness configuration, not user input. In particular an `n`
+    /// below [`Params::min_nodes`] is rejected, **not** silently inflated:
+    /// a silently resized network would leave `BENCH_*.json` describing a
+    /// run that never happened. Size the spec explicitly with
+    /// [`ScenarioSpec::in_regime`] or [`Params::min_nodes`].
     pub fn params(&self) -> Params {
-        let n = self.n.max(Params::min_nodes(self.t, self.channels));
-        Params::new(n, self.t, self.channels).expect("scenario params valid")
+        let min = Params::min_nodes(self.t, self.channels);
+        assert!(
+            self.n >= min,
+            "scenario '{}' requests n={} below Params::min_nodes({}, {}) = {min}; \
+             size the spec explicitly (ScenarioSpec::in_regime or Params::min_nodes)",
+            self.name,
+            self.n,
+            self.t,
+            self.channels,
+        );
+        Params::new(self.n, self.t, self.channels).expect("scenario params valid")
     }
 
     /// The seed stream for trial `trial` (stream 0 is reserved for the
@@ -305,6 +344,8 @@ mod tests {
         assert_eq!(w.pairs(20, 7).len(), 12);
         assert_eq!(Workload::AllToAll.pairs(5, 0).len(), 20);
         assert!(Workload::None.pairs(5, 0).is_empty());
+        assert!(Workload::Broadcasts { count: 9 }.pairs(5, 0).is_empty());
+        assert_eq!(Workload::Broadcasts { count: 9 }.label(), "broadcasts-9");
     }
 
     #[test]
@@ -336,5 +377,17 @@ mod tests {
         let spec = ScenarioSpec::in_regime("s", Regime::Minimal, 2, 0);
         assert!(spec.n >= Params::min_nodes(2, 3));
         assert_eq!(spec.channels, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "below Params::min_nodes")]
+    fn params_rejects_undersized_n() {
+        let _ = ScenarioSpec::new("s", 1, 2, 3).params();
+    }
+
+    #[test]
+    fn params_keeps_admissible_n_verbatim() {
+        let n = Params::min_nodes(2, 3) + 5;
+        assert_eq!(ScenarioSpec::new("s", n, 2, 3).params().n(), n);
     }
 }

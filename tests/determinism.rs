@@ -9,7 +9,9 @@ use fame::Params;
 use proptest::prelude::*;
 use radio_crypto::key::SymmetricKey;
 use radio_network::adversaries::RandomJammer;
-use secure_radio_bench::{AdversaryChoice, ExperimentRunner, ScenarioSpec, Workload};
+use secure_radio_bench::{
+    AdversaryChoice, ExperimentRunner, ScenarioSpec, TrialCtx, TrialError, TrialOutcome, Workload,
+};
 
 #[test]
 fn fame_runs_are_reproducible() {
@@ -86,7 +88,7 @@ proptest! {
         threads in 2usize..8,
         edges in 4usize..16,
     ) {
-        let spec = ScenarioSpec::new("determinism", 0, 1, 2)
+        let spec = ScenarioSpec::new("determinism", Params::min_nodes(1, 2), 1, 2)
             .with_workload(Workload::RandomPairs { edges })
             .with_adversary(AdversaryChoice::RandomJam)
             .with_trials(trials)
@@ -99,4 +101,53 @@ proptest! {
             .expect("parallel run succeeds");
         prop_assert_eq!(sequential, parallel);
     }
+
+    /// Work stealing under deliberately skewed trial costs: every seventh
+    /// trial burns ~200x the work of its neighbours (the load shape that
+    /// used to strand contiguous chunks behind one slow thread), yet the
+    /// per-trial outcomes and aggregates stay bit-identical across 1, 2, 7
+    /// and 16 worker threads.
+    #[test]
+    fn work_stealing_is_deterministic_under_skewed_costs(
+        seed in 0u64..u64::MAX,
+        trials in 0usize..33,
+    ) {
+        let spec = ScenarioSpec::new("skewed", 0, 1, 2)
+            .with_trials(trials)
+            .with_seed(seed);
+        let reference = ExperimentRunner::sequential()
+            .run(&spec, skewed_cost_trial)
+            .expect("sequential run succeeds");
+        prop_assert_eq!(reference.outcomes.len(), trials);
+        for threads in [2usize, 7, 16] {
+            let stolen = ExperimentRunner::with_threads(threads)
+                .run(&spec, skewed_cost_trial)
+                .expect("parallel run succeeds");
+            prop_assert_eq!(&reference, &stolen);
+        }
+    }
+}
+
+/// A seed-deterministic trial whose cost is wildly uneven across trial
+/// indices: the expensive trials land on a stride, so contiguous chunking
+/// would serialize them onto one worker while stealing spreads them out.
+fn skewed_cost_trial(ctx: &TrialCtx<'_>) -> Result<TrialOutcome, TrialError> {
+    let spins: u64 = if ctx.trial.is_multiple_of(7) {
+        200_000
+    } else {
+        1_000
+    };
+    let mut acc = ctx.seed | 1;
+    for i in 0..spins {
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(i ^ ctx.trial as u64);
+    }
+    Ok(TrialOutcome {
+        rounds: acc % 997,
+        moves: acc % 31,
+        cover: acc.is_multiple_of(3).then_some((acc % 5) as usize),
+        violations: acc % 2,
+        ok: acc.is_multiple_of(4),
+    })
 }
