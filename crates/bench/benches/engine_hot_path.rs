@@ -6,21 +6,35 @@
 //! the trace-retention policies, for a cheap `u64` frame and a clone-heavy
 //! `Vec<u8>` frame.
 //!
+//! A second group (`sinks/*`) compares the pluggable [`TraceSink`]s under
+//! full record construction (`TraceRetention::All` semantics) on a larger
+//! grid, where retention cost dominates: the classic in-memory trace vs a
+//! [`ChannelSink`] streaming line-delimited JSON to a file from a
+//! background writer thread (both overflow policies) vs the record-free
+//! [`NullSink`] floor.
+//!
 //! Besides the usual criterion output, `main` writes the measured
 //! per-round times to `BENCH_engine.json` so the perf trajectory of this
 //! path is tracked in-repo.
 
 use criterion::{black_box, summaries_json, Criterion, Summary};
 use radio_network::{
-    Action, AdversaryAction, ChannelId, ChannelOutcome, Emission, Network, NetworkConfig, NodeId,
-    RoundRecord, TraceRetention,
+    Action, AdversaryAction, ChannelId, ChannelOutcome, ChannelSink, Emission, InMemorySink,
+    Network, NetworkConfig, NodeId, NullSink, OverflowPolicy, RoundRecord, TraceRetention,
+    TraceSink,
 };
 use std::collections::VecDeque;
+use std::fmt::Debug;
 
 const CHANNELS: usize = 8;
 const BUDGET: usize = 2;
 const NODES: usize = 64;
 const ROUNDS_PER_ITER: usize = 64;
+/// The sink-comparison grid: long enough that what happens to finished
+/// records (retain / stream / drop) dominates over per-round constants.
+const SINK_ROUNDS_PER_ITER: usize = 1024;
+/// Queue capacity between the round loop and the trace-writer thread.
+const SINK_QUEUE: usize = 256;
 
 /// The actions of one synthetic round: a deterministic mix of transmitters
 /// (some colliding), listeners, and sleepers.
@@ -137,7 +151,7 @@ mod baseline {
     }
 }
 
-fn bench_frame_kind<M: Clone>(c: &mut Criterion, kind: &str, frame: &M) {
+fn bench_frame_kind<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str, frame: &M) {
     let mut group = c.benchmark_group(&format!("resolve_round/{kind}"));
     group.sample_size(20);
 
@@ -177,25 +191,110 @@ fn bench_frame_kind<M: Clone>(c: &mut Criterion, kind: &str, frame: &M) {
     group.finish();
 }
 
+/// The sink shoot-out: identical schedule and full record construction
+/// for every variant except the `NullSink` floor; only the destination of
+/// finished records differs.
+///
+/// Unlike the `resolve_round/*` group, the network (and its sink) lives
+/// across *all* samples of a variant and each timed iteration advances it
+/// by another `SINK_ROUNDS_PER_ITER` rounds — the steady-state regime of
+/// a long experiment, which is where retention policy matters: the
+/// in-memory `All` trace keeps growing for the whole measurement, while
+/// the streaming sinks stay flat and pay only the channel handoff on the
+/// timed loop (serialization and I/O run on the writer thread; the final
+/// drain/join happens after measurement). On a single-core host the
+/// writer thread competes with the round loop for the one CPU, so the
+/// channel rows are an upper bound there — real cores only widen the gap.
+fn bench_sinks<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str, frame: &M) {
+    let mut group = c.benchmark_group(&format!("sinks/{kind}"));
+    group.sample_size(10);
+
+    let schedule: Vec<Vec<Action<M>>> = (0..SINK_ROUNDS_PER_ITER)
+        .map(|r| actions(r, frame))
+        .collect();
+    let cfg = NetworkConfig::new(CHANNELS, BUDGET).unwrap();
+    let trace_path = std::env::temp_dir().join(format!(
+        "secure-radio-bench-sink-{}-{kind}.jsonl",
+        std::process::id()
+    ));
+
+    type MakeSink<M> = Box<dyn Fn() -> Box<dyn TraceSink<M>>>;
+    let variants: Vec<(&str, MakeSink<M>)> = vec![
+        (
+            "inmemory_all",
+            Box::new(|| Box::new(InMemorySink::new(TraceRetention::All))),
+        ),
+        ("channel_block", {
+            let path = trace_path.clone();
+            Box::new(move || {
+                Box::new(
+                    ChannelSink::create(&path, SINK_QUEUE, OverflowPolicy::Block)
+                        .expect("create trace file"),
+                )
+            })
+        }),
+        ("channel_drop", {
+            let path = trace_path.clone();
+            Box::new(move || {
+                Box::new(
+                    ChannelSink::create(&path, SINK_QUEUE, OverflowPolicy::DropNewest)
+                        .expect("create trace file"),
+                )
+            })
+        }),
+        ("null", Box::new(|| Box::new(NullSink::new()))),
+    ];
+    for (label, make_sink) in variants {
+        let mut net: Network<M> = Network::with_sink(cfg, make_sink());
+        let mut round = 0usize;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for i in 0..SINK_ROUNDS_PER_ITER {
+                    let acts = &schedule[(round + i) % SINK_ROUNDS_PER_ITER];
+                    black_box(net.resolve_round(acts, adversary(round + i)).unwrap());
+                }
+                round += SINK_ROUNDS_PER_ITER;
+                net.stats().dropped_records
+            })
+        });
+        // Teardown (drain + join for the channel sinks) outside the
+        // measurement, like a real experiment finishing after its sweep.
+        drop(net);
+    }
+    group.finish();
+    std::fs::remove_file(&trace_path).ok();
+}
+
 fn main() {
     let mut c = Criterion::default();
     bench_frame_kind(&mut c, "u64", &0xFEEDu64);
     bench_frame_kind(&mut c, "vec256", &vec![0xA5u8; 256]);
+    bench_sinks(&mut c, "u64", &0xFEEDu64);
+    bench_sinks(&mut c, "vec256", &vec![0xA5u8; 256]);
 
     let summaries: Vec<Summary> = c.take_summaries();
     if summaries.iter().all(|s| s.median_ns > 0.0) {
-        // Normalize to per-round cost (each iteration resolves
-        // ROUNDS_PER_ITER rounds) before writing the JSON baseline.
+        // Normalize to per-round cost (each iteration resolves a full
+        // schedule — ROUNDS_PER_ITER rounds for the `resolve_round/*`
+        // group, SINK_ROUNDS_PER_ITER for `sinks/*`) before writing the
+        // JSON baseline.
         let per_round: Vec<Summary> = summaries
             .iter()
-            .map(|s| Summary {
-                id: s.id.clone(),
-                samples: s.samples,
-                iters_per_sample: s.iters_per_sample,
-                median_ns: s.median_ns / ROUNDS_PER_ITER as f64,
-                mean_ns: s.mean_ns / ROUNDS_PER_ITER as f64,
-                min_ns: s.min_ns / ROUNDS_PER_ITER as f64,
-                max_ns: s.max_ns / ROUNDS_PER_ITER as f64,
+            .map(|s| {
+                let rounds = if s.id.starts_with("sinks/") {
+                    SINK_ROUNDS_PER_ITER as f64
+                } else {
+                    ROUNDS_PER_ITER as f64
+                };
+                Summary {
+                    id: s.id.clone(),
+                    samples: s.samples,
+                    iters_per_sample: s.iters_per_sample,
+                    median_ns: s.median_ns / rounds,
+                    mean_ns: s.mean_ns / rounds,
+                    min_ns: s.min_ns / rounds,
+                    max_ns: s.max_ns / rounds,
+                }
             })
             .collect();
         // cargo runs benches with the package dir as CWD; write the
@@ -215,6 +314,23 @@ fn main() {
                     "{kind}: baseline {naive:.0} ns/round -> retention-none engine \
                      {lean:.0} ns/round ({:.2}x)",
                     naive / lean
+                );
+            }
+            let sink = |needle: &str| {
+                per_round
+                    .iter()
+                    .find(|s| s.id == format!("sinks/{kind}/{needle}"))
+                    .map(|s| s.median_ns)
+            };
+            if let (Some(mem), Some(drop), Some(null)) =
+                (sink("inmemory_all"), sink("channel_drop"), sink("null"))
+            {
+                println!(
+                    "{kind} sinks @{SINK_ROUNDS_PER_ITER} rounds: in-memory {mem:.0} \
+                     ns/round, channel(drop) {drop:.0} ns/round ({:.2}x), \
+                     null {null:.0} ns/round ({:.2}x)",
+                    mem / drop,
+                    mem / null
                 );
             }
         }

@@ -33,6 +33,7 @@ fn spin(seed: u64, spins: u64) -> TrialOutcome {
         cover: None,
         violations: 0,
         ok: true,
+        dropped_records: 0,
     }
 }
 

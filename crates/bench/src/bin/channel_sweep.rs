@@ -9,15 +9,22 @@
 //! Runs through [`ExperimentRunner`]: every channel count is a
 //! [`ScenarioSpec`] whose trials execute in parallel with deterministic
 //! per-trial seeds; aggregates land in `BENCH_channel_sweep.json`.
+//!
+//! Pass `--trace-out <dir>` to additionally stream every trial's full
+//! execution trace to `<dir>/C-<c>.trial<k>.jsonl` (one JSON object per
+//! round; schema in `docs/TRACE_FORMAT.md`). Writing happens on a
+//! background thread per trial; add `--trace-lossy` to drop (and count)
+//! records instead of blocking when the writer falls behind.
 
 use fame::Params;
 use secure_radio_bench::{
     smoke, smoke_trials, AdversaryChoice, Aggregate, BenchReport, ExperimentRunner, ScenarioSpec,
-    Table, Workload,
+    Table, TraceOutput, Workload,
 };
 
 fn main() {
     let seed = 0xC5EE9;
+    let trace = TraceOutput::from_args();
     let trials = smoke_trials(8);
     let t = 2;
     // n large enough for every C in the sweep.
@@ -49,7 +56,8 @@ fn main() {
             .with_workload(Workload::RandomPairs { edges: 24 })
             .with_adversary(AdversaryChoice::RandomJam)
             .with_trials(trials)
-            .with_seed(seed);
+            .with_seed(seed)
+            .with_trace_output(trace.clone());
         let p = spec.params();
         let result = runner.run_fame_scenario(&spec).expect("scenario runs");
         let regime = if c >= 2 * t * t {
@@ -72,6 +80,12 @@ fn main() {
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
+    if let TraceOutput::Stream { dir, .. } = &trace {
+        println!(
+            "streamed per-trial traces to {} (schema: docs/TRACE_FORMAT.md)",
+            dir.display()
+        );
+    }
     println!(
         "Reading: adding channels pays twice — cheaper feedback everywhere \
          (the (C−t)/C escape probability), and from C = 2t on, double-size \

@@ -83,6 +83,7 @@ fn main() {
                         // For the baseline, "ok" records the paper's claim:
                         // the triangle attack forces the cover all the way to 2t.
                         ok: cover == 2 * t,
+                        dropped_records: 0,
                     })
                 })
                 .expect("direct scenario runs");

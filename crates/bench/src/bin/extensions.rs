@@ -182,6 +182,7 @@ fn main() {
                     cover: None,
                     violations: forged,
                     ok: cover <= 2 * t && forged == 0,
+                    dropped_records: 0,
                 })
             })
             .expect("byzantine scenario runs");

@@ -76,6 +76,7 @@ fn main() {
                     // "ok" = the flood completed; the forgery gap shows up
                     // in `violations`.
                     ok: run.completed,
+                    dropped_records: 0,
                 })
             })
             .expect("gossip scenario runs");

@@ -9,17 +9,24 @@
 //! the scripted broadcasts under fresh protocol/jammer coins — trials
 //! execute in parallel under the work-stealing scheduler, and aggregates
 //! land in `BENCH_longlived_latency.json`.
+//!
+//! Pass `--trace-out <dir>` to additionally stream every trial's full
+//! execution trace to a line-delimited JSON file (schema in
+//! `docs/TRACE_FORMAT.md`); `--trace-lossy` drops (and counts) records
+//! instead of blocking when the writer thread falls behind.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use fame::longlived::{run_longlived, ScriptEntry};
+use fame::longlived::{
+    run_longlived, run_longlived_streaming, ScriptEntry, LONGLIVED_TRACE_WINDOW,
+};
 use radio_crypto::cipher::SealedBox;
 use radio_crypto::key::SymmetricKey;
 use radio_network::adversaries::{BusyChannelJammer, NoAdversary, RandomJammer};
-use radio_network::{seed, Adversary};
+use radio_network::{seed, Adversary, TraceRetention};
 use secure_radio_bench::{
     ratio, smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, Regime,
-    ScenarioSpec, Table, TrialError, TrialOutcome, Workload,
+    ScenarioSpec, Table, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 fn script(broadcasts: u64, n: usize) -> Vec<ScriptEntry> {
@@ -48,6 +55,7 @@ fn sealed_adversary(choice: &AdversaryChoice, seed: u64) -> Box<dyn Adversary<Se
 
 fn main() {
     let base_seed = 0x1096u64;
+    let trace = TraceOutput::from_args();
     let trials = smoke_trials(4);
     let broadcasts: u64 = if smoke() { 5 } else { 20 };
     let regimes: &[Regime] = if smoke() {
@@ -100,7 +108,8 @@ fn main() {
                 .with_workload(Workload::Broadcasts { count: broadcasts })
                 .with_adversary(adversary)
                 .with_trials(trials)
-                .with_seed(base_seed ^ (t as u64) << 8);
+                .with_seed(base_seed ^ (t as u64) << 8)
+                .with_trace_output(trace.clone());
                 let entries = script(broadcasts, n);
                 let key = SymmetricKey::from_bytes([7u8; 32]);
                 let keys: Vec<Option<SymmetricKey>> = (0..n).map(|_| Some(key)).collect();
@@ -108,12 +117,28 @@ fn main() {
                 let result = runner
                     .run(&spec, |ctx| {
                         let adv = sealed_adversary(&spec.adversary, seed::derive(ctx.seed, 1));
-                        let r = run_longlived(&p, &keys, &entries, adv, ctx.seed, false).map_err(
-                            |e| TrialError {
+                        // Streamed traces keep the window run_longlived
+                        // uses, so trace-mining jammers replay identically.
+                        let sink = ctx
+                            .spec
+                            .trial_sink(
+                                ctx.trial,
+                                TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW),
+                            )
+                            .map_err(|e| TrialError {
                                 trial: ctx.trial,
-                                message: e.to_string(),
-                            },
-                        )?;
+                                message: format!("trace sink: {e}"),
+                            })?;
+                        let r = match sink {
+                            Some(sink) => {
+                                run_longlived_streaming(&p, &keys, &entries, adv, ctx.seed, sink)
+                            }
+                            None => run_longlived(&p, &keys, &entries, adv, ctx.seed, false),
+                        }
+                        .map_err(|e| TrialError {
+                            trial: ctx.trial,
+                            message: e.to_string(),
+                        })?;
                         let mut missed = 0u64;
                         let mut total = 0u64;
                         for entry in &entries {
@@ -123,7 +148,9 @@ fn main() {
                                 }
                                 total += 1;
                                 let got = received.get(&entry.eround);
-                                if got != Some(&(entry.sender, entry.message.clone())) {
+                                if got
+                                    .is_none_or(|(s, m)| *s != entry.sender || *m != entry.message)
+                                {
                                     missed += 1;
                                 }
                             }
@@ -134,6 +161,7 @@ fn main() {
                             rounds: r.rounds,
                             violations: missed,
                             ok: missed == 0,
+                            dropped_records: r.stats.dropped_records,
                             ..TrialOutcome::default()
                         })
                     })
@@ -159,6 +187,12 @@ fn main() {
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
+    if let TraceOutput::Stream { dir, .. } = &trace {
+        println!(
+            "streamed per-trial traces to {} (schema: docs/TRACE_FORMAT.md)",
+            dir.display()
+        );
+    }
     println!(
         "Shape checks: emulated-round cost tracks t·ln n (minimal) and \
          ln n (C >= 2t); delivery stays at 100% w.h.p. because the hopping \

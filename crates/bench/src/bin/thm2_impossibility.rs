@@ -117,6 +117,7 @@ fn main() {
                     cover: Some(cover),
                     violations: forged,
                     ok: forged == 0 && cover <= t,
+                    dropped_records: 0,
                 })
             })
             .expect("fame scenario runs");

@@ -20,8 +20,16 @@
 //!
 //! Every binary runs its sweep through [`ExperimentRunner`] — multi-trial
 //! scenarios with work-stealing parallel, deterministically seeded trials
-//! — and writes its aggregates to `BENCH_<name>.json`. Set `BENCH_SMOKE=1`
-//! (see [`smoke`]) to shrink every sweep to a CI-sized grid.
+//! — and writes its aggregates to `BENCH_<name>.json` (schema:
+//! `docs/BENCH_FORMAT.md`). Set `BENCH_SMOKE=1` (see [`smoke`]) to shrink
+//! every sweep to a CI-sized grid.
+//!
+//! Module map: [`scenario`] describes *what* to run ([`ScenarioSpec`],
+//! [`Workload`], [`AdversaryChoice`], and [`TraceOutput`] — per-trial
+//! trace streaming to line-delimited JSON files, schema in
+//! `docs/TRACE_FORMAT.md`); [`runner`] is *how* trials execute and fold
+//! ([`ExperimentRunner`], [`Aggregate`], [`BenchReport`]); [`workloads`]
+//! generates pair lists; [`table`] renders aligned text tables.
 //!
 //! The measured quantity is **rounds of the synchronous model** — the unit
 //! all the paper's theorems are stated in. The Criterion benches under
@@ -33,7 +41,7 @@ pub mod table;
 pub mod workloads;
 
 pub use runner::{Aggregate, BenchReport, ExperimentRunner, TrialCtx, TrialError, TrialOutcome};
-pub use scenario::{AdversaryChoice, ScenarioSpec, Workload};
+pub use scenario::{AdversaryChoice, ScenarioSpec, TraceOutput, Workload};
 pub use table::Table;
 
 use fame::Params;

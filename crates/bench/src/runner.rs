@@ -45,9 +45,9 @@ use std::sync::Mutex;
 use std::thread;
 
 use fame::problem::AmeInstance;
-use fame::protocol::run_fame;
+use fame::protocol::{run_fame, run_fame_streaming, FAME_TRACE_WINDOW};
 use fame::Params;
-use radio_network::TraceRetention;
+use radio_network::{json_escape, TraceRetention};
 
 use crate::scenario::ScenarioSpec;
 use crate::Table;
@@ -77,6 +77,10 @@ pub struct TrialOutcome {
     /// Experiment-specific success flag (agreement reached, properties
     /// held, exchange completed, …).
     pub ok: bool,
+    /// Round records a lossy trace sink discarded during this trial
+    /// (see [`radio_network::Stats::dropped_records`]); 0 for in-memory
+    /// and lossless-streamed trials.
+    pub dropped_records: u64,
 }
 
 /// A trial that could not produce an outcome (engine error, round-budget
@@ -156,6 +160,11 @@ pub struct Aggregate {
     pub violations: u64,
     /// Trials whose success flag was set.
     pub ok_count: usize,
+    /// Total trace records dropped by lossy sinks across trials — nonzero
+    /// only for streamed traces under
+    /// [`OverflowPolicy::DropNewest`](radio_network::OverflowPolicy::DropNewest),
+    /// so lossy trace files are visible in `BENCH_*.json`.
+    pub dropped_records: u64,
 }
 
 impl Aggregate {
@@ -173,6 +182,7 @@ impl Aggregate {
             cover_max: covers.iter().copied().max().unwrap_or(0),
             violations: outcomes.iter().map(|o| o.violations).sum(),
             ok_count: outcomes.iter().filter(|o| o.ok).count(),
+            dropped_records: outcomes.iter().map(|o| o.dropped_records).sum(),
         }
     }
 
@@ -360,7 +370,20 @@ fn fame_trial_on(
     ctx: &TrialCtx<'_>,
 ) -> Result<TrialOutcome, TrialError> {
     let adversary = ctx.spec.adversary.build(params, instance.pairs(), ctx.seed);
-    let run = run_fame(instance, params, adversary, ctx.seed).map_err(|e| TrialError {
+    // Streamed traces keep the same in-memory window run_fame uses, so
+    // trace-mining adversaries replay bit-identically either way.
+    let sink = ctx
+        .spec
+        .trial_sink(ctx.trial, TraceRetention::LastRounds(FAME_TRACE_WINDOW))
+        .map_err(|e| TrialError {
+            trial: ctx.trial,
+            message: format!("trace sink: {e}"),
+        })?;
+    let run = match sink {
+        Some(sink) => run_fame_streaming(instance, params, adversary, ctx.seed, sink),
+        None => run_fame(instance, params, adversary, ctx.seed),
+    }
+    .map_err(|e| TrialError {
         trial: ctx.trial,
         message: e.to_string(),
     })?;
@@ -373,6 +396,7 @@ fn fame_trial_on(
         cover: Some(cover),
         violations,
         ok: cover <= ctx.spec.t && violations == 0,
+        dropped_records: run.stats.dropped_records,
     })
 }
 
@@ -385,25 +409,6 @@ pub fn default_retention(trials: usize) -> TraceRetention {
     } else {
         TraceRetention::All
     }
-}
-
-fn json_escape(s: &str) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '\\' => out.push_str("\\\\"),
-            '"' => out.push_str("\\\""),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                write!(out, "\\u{:04x}", c as u32).expect("write to String");
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// A named collection of `(scenario, aggregate)` rows with a table and a
@@ -476,7 +481,8 @@ impl BenchReport {
                      \"base_seed\":{},\"rounds\":{{\"min\":{},\"median\":{},\"mean\":{:.2},\
                      \"p95\":{},\"max\":{}}},\"moves\":{{\"min\":{},\"median\":{},\
                      \"mean\":{:.2},\"p95\":{},\"max\":{}}},\"cover_measured\":{},\
-                     \"cover_within_t\":{},\"cover_max\":{},\"violations\":{},\"ok\":{}}}",
+                     \"cover_within_t\":{},\"cover_max\":{},\"violations\":{},\"ok\":{},\
+                     \"dropped_records\":{}}}",
                     json_escape(&spec.name),
                     spec.n,
                     spec.t,
@@ -500,6 +506,7 @@ impl BenchReport {
                     a.cover_max,
                     a.violations,
                     a.ok_count,
+                    a.dropped_records,
                 )
             })
             .collect();
@@ -566,6 +573,7 @@ mod tests {
                 cover: Some(1),
                 violations: 0,
                 ok: true,
+                dropped_records: 0,
             },
             TrialOutcome {
                 rounds: 30,
@@ -573,6 +581,7 @@ mod tests {
                 cover: Some(5),
                 violations: 2,
                 ok: false,
+                dropped_records: 7,
             },
             TrialOutcome {
                 rounds: 20,
@@ -580,6 +589,7 @@ mod tests {
                 cover: None,
                 violations: 0,
                 ok: true,
+                dropped_records: 3,
             },
         ];
         let a = Aggregate::from_outcomes(2, &outcomes);
@@ -590,6 +600,7 @@ mod tests {
         assert_eq!(a.violations, 2);
         assert_eq!(a.ok_count, 2);
         assert_eq!(a.rounds.median, 20);
+        assert_eq!(a.dropped_records, 10);
     }
 
     #[test]

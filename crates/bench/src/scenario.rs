@@ -2,13 +2,15 @@
 //! parameterized and seed-deterministic, decoupled from *how* trials are
 //! executed (see [`runner`](crate::runner)).
 
+use std::path::PathBuf;
+
 use fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
 use fame::problem::AmeInstance;
 use fame::{FameFrame, Params};
 use radio_network::adversaries::{
     BusyChannelJammer, NoAdversary, RandomJammer, Spoofer, SweepJammer,
 };
-use radio_network::{seed, Adversary};
+use radio_network::{seed, Adversary, ChannelSink, OverflowPolicy, TraceRetention, TraceSink};
 
 use crate::workloads::{complete_pairs, disjoint_pairs, random_pairs, ring_pairs, star_pairs};
 use crate::Regime;
@@ -198,6 +200,73 @@ impl AdversaryChoice {
     }
 }
 
+/// Where a scenario's execution traces go.
+///
+/// The default keeps traces in memory per the executing layer's retention
+/// policy (bounded windows for multi-trial sweeps). [`TraceOutput::Stream`]
+/// additionally streams every round record to a line-delimited JSON file
+/// per trial via a [`ChannelSink`] — serialization and I/O run on a
+/// background writer thread, off the round loop. The schema is specified
+/// in `docs/TRACE_FORMAT.md`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum TraceOutput {
+    /// In-memory only (the executing layer's retention policy applies).
+    #[default]
+    Memory,
+    /// Stream each trial's trace to `<dir>/<scenario-slug>.trial<k>.jsonl`.
+    Stream {
+        /// Directory for the trace files (created if missing).
+        dir: PathBuf,
+        /// What to do when the writer falls behind the round loop:
+        /// lossless backpressure or counted drops.
+        policy: OverflowPolicy,
+    },
+}
+
+impl TraceOutput {
+    /// `true` when trials stream their traces to files.
+    pub fn is_stream(&self) -> bool {
+        matches!(self, TraceOutput::Stream { .. })
+    }
+
+    /// Parse the experiment bins' shared CLI contract from the process
+    /// arguments: `--trace-out <dir>` selects [`TraceOutput::Stream`]
+    /// (default policy: lossless [`OverflowPolicy::Block`]), and
+    /// `--trace-lossy` switches to [`OverflowPolicy::DropNewest`]
+    /// (dropped records are counted in `BENCH_*.json`). Without
+    /// `--trace-out`, traces stay in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--trace-out` is given without a directory (CLI
+    /// misuse, reported at startup).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let lossy = args.iter().any(|a| a == "--trace-lossy");
+        match args.iter().position(|a| a == "--trace-out") {
+            Some(i) => {
+                let dir = args
+                    .get(i + 1)
+                    .filter(|a| !a.starts_with("--"))
+                    .unwrap_or_else(|| panic!("--trace-out needs a directory"));
+                TraceOutput::Stream {
+                    dir: PathBuf::from(dir),
+                    policy: if lossy {
+                        OverflowPolicy::DropNewest
+                    } else {
+                        OverflowPolicy::Block
+                    },
+                }
+            }
+            None => TraceOutput::Memory,
+        }
+    }
+}
+
+/// Bounded queue capacity (records) between a trial's round loop and its
+/// trace-writer thread under [`TraceOutput::Stream`].
+pub const TRACE_QUEUE_CAPACITY: usize = 1024;
+
 /// A fully parameterized experiment point: one network configuration, one
 /// workload, one adversary, `trials` independent repetitions.
 ///
@@ -223,6 +292,8 @@ pub struct ScenarioSpec {
     pub trials: usize,
     /// Root of the scenario's deterministic seed tree.
     pub base_seed: u64,
+    /// Where execution traces go (in memory, or streamed to files).
+    pub trace: TraceOutput,
 }
 
 impl ScenarioSpec {
@@ -245,6 +316,7 @@ impl ScenarioSpec {
             adversary: AdversaryChoice::RandomJam,
             trials: 1,
             base_seed: 0,
+            trace: TraceOutput::Memory,
         }
     }
 
@@ -281,6 +353,57 @@ impl ScenarioSpec {
     pub fn with_seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
         self
+    }
+
+    /// Set the trace output (see [`TraceOutput`]).
+    #[must_use]
+    pub fn with_trace_output(mut self, trace: TraceOutput) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The trace-file path trial `trial` streams to under
+    /// [`TraceOutput::Stream`] (`None` for in-memory scenarios). The file
+    /// name is the scenario name with non-alphanumeric characters mapped
+    /// to `-`.
+    pub fn trace_path(&self, trial: usize) -> Option<PathBuf> {
+        let TraceOutput::Stream { dir, .. } = &self.trace else {
+            return None;
+        };
+        let slug: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        Some(dir.join(format!("{slug}.trial{trial}.jsonl")))
+    }
+
+    /// Build the per-trial streaming sink this spec requests, if any.
+    ///
+    /// `history` is the in-memory window the sink also retains — pass the
+    /// executing layer's retention (e.g. `LastRounds(FAME_TRACE_WINDOW)`
+    /// for f-AME) so trace-mining adversaries behave bit-identically to a
+    /// non-streamed run. Frames are rendered with their `Debug` form, as
+    /// `docs/TRACE_FORMAT.md` specifies.
+    ///
+    /// # Errors
+    ///
+    /// Directory/file creation errors.
+    pub fn trial_sink<M>(
+        &self,
+        trial: usize,
+        history: TraceRetention,
+    ) -> std::io::Result<Option<Box<dyn TraceSink<M>>>>
+    where
+        M: Clone + std::fmt::Debug + Send + 'static,
+    {
+        let TraceOutput::Stream { dir, policy } = &self.trace else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = self.trace_path(trial).expect("stream output has a path");
+        let sink = ChannelSink::create(path, TRACE_QUEUE_CAPACITY, *policy)?.with_history(history);
+        Ok(Some(Box::new(sink)))
     }
 
     /// Validated protocol parameters for this scenario, at exactly

@@ -4,8 +4,15 @@
 //! *Secure Communication Over Radio Channels* (PODC 2008), plus everything
 //! built on top of it:
 //!
+//! Module ↦ paper section:
+//!
+//! * [`problem`] — the Authenticated Message Exchange problem
+//!   (Definition 1); [`messages`] — the wire frames it is played over;
+//! * [`params`] — network shape `(n, t, C)` plus explicit Θ-constants
+//!   for every bound the paper leaves implicit;
 //! * [`feedback`] — the `communication-feedback` routine (Figure 1,
-//!   Lemma 5);
+//!   Lemma 5); [`tree_feedback`] — its parallel-prefix variant for
+//!   `C ≥ 2t²` (Section 5.5, Case 2);
 //! * [`schedule`] — deterministic move scheduling with surrogates and
 //!   witness blocks (Section 5.4);
 //! * [`protocol`] — **f-AME** itself: `t`-disruptable authenticated message
@@ -20,7 +27,10 @@
 //! * [`longlived`] — the long-lived secure channel emulation (Section 7);
 //! * [`baselines`] — comparison protocols: direct scheduled exchange (only
 //!   `2t`-disruptable), oblivious gossip, and the naive randomized exchange
-//!   that Theorem 2's adversary defeats.
+//!   that Theorem 2's adversary defeats (Section 2);
+//! * [`byzantine`], [`residual`], [`pointtopoint`] — the Section 8 open
+//!   questions (1), (3) and (4): Byzantine node corruptions, best-effort
+//!   residual delivery, and concurrent point-to-point channels.
 //!
 //! ## Quickstart
 //!
@@ -64,4 +74,7 @@ pub mod tree_feedback;
 pub use messages::{FameFrame, MessageVector, Payload};
 pub use params::{Params, ParamsError};
 pub use problem::{AmeInstance, AmeOutcome, PairResult};
-pub use protocol::{run_fame, run_fame_with_inspector, FameError, FameNode, FameRun};
+pub use protocol::{
+    run_fame, run_fame_streaming, run_fame_with_inspector, FameError, FameNode, FameRun,
+    FAME_TRACE_WINDOW,
+};

@@ -25,7 +25,7 @@ use radio_crypto::prf::ChannelHopper;
 
 use radio_network::{
     Action, Adversary, ChannelId, EngineError, NetworkConfig, Protocol, Reception, Simulation,
-    Stats, Trace, TraceRetention,
+    Stats, Trace, TraceRetention, TraceSink,
 };
 
 use crate::Params;
@@ -219,6 +219,50 @@ pub fn run_longlived<A>(
 where
     A: Adversary<SealedBox>,
 {
+    run_longlived_inner(params, keys, script, adversary, seed, keep_trace, None)
+}
+
+/// Like [`run_longlived`] but handing every finished round to `sink`
+/// (e.g. a [`ChannelSink`](radio_network::ChannelSink) streaming the
+/// trace to a file). To keep the execution bit-identical to
+/// [`run_longlived`]'s `keep_trace = false` run, give the sink a retained
+/// history of `TraceRetention::LastRounds(`[`LONGLIVED_TRACE_WINDOW`]`)`
+/// so trace-mining adversaries observe the same past. The report's
+/// `trace` field is `None` — the stream is the product.
+///
+/// # Errors
+///
+/// Same as [`run_longlived`].
+pub fn run_longlived_streaming<A>(
+    params: &Params,
+    keys: &[Option<SymmetricKey>],
+    script: &[ScriptEntry],
+    adversary: A,
+    seed: u64,
+    sink: Box<dyn TraceSink<SealedBox>>,
+) -> Result<LongLivedReport, EngineError>
+where
+    A: Adversary<SealedBox>,
+{
+    run_longlived_inner(params, keys, script, adversary, seed, false, Some(sink))
+}
+
+/// The in-memory history window a non-`keep_trace` long-lived run retains
+/// for its trace-mining adversaries (rounds).
+pub const LONGLIVED_TRACE_WINDOW: usize = 8;
+
+fn run_longlived_inner<A>(
+    params: &Params,
+    keys: &[Option<SymmetricKey>],
+    script: &[ScriptEntry],
+    adversary: A,
+    seed: u64,
+    keep_trace: bool,
+    sink: Option<Box<dyn TraceSink<SealedBox>>>,
+) -> Result<LongLivedReport, EngineError>
+where
+    A: Adversary<SealedBox>,
+{
     assert_eq!(keys.len(), params.n(), "one key slot per node");
     let emulated_rounds = script.iter().map(|e| e.eround + 1).max().unwrap_or(0);
     for entry in script {
@@ -231,7 +275,7 @@ where
     let retention = if keep_trace {
         TraceRetention::All
     } else {
-        TraceRetention::LastRounds(8)
+        TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW)
     };
     let cfg = NetworkConfig::new(params.c(), params.t())?.with_retention(retention);
     let nodes: Vec<LongLivedNode> = (0..params.n())
@@ -244,7 +288,10 @@ where
             LongLivedNode::new(id, *params, keys[id], my_script, emulated_rounds)
         })
         .collect();
-    let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
+    let mut sim = match sink {
+        Some(sink) => Simulation::with_sink(cfg, nodes, adversary, seed, sink)?,
+        None => Simulation::new(cfg, nodes, adversary, seed)?,
+    };
     let total = emulated_rounds * params.epoch_rounds();
     let report = sim.run(total + 2)?;
     let trace = keep_trace.then(|| sim.trace().clone());

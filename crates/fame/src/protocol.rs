@@ -22,7 +22,7 @@ use std::fmt;
 
 use radio_network::{
     Action, Adversary, ChannelId, EngineError, NetworkConfig, Protocol, Reception, Simulation,
-    Stats, TraceRetention,
+    Stats, TraceRetention, TraceSink,
 };
 use removal_game::game::{GameError, GameState, ProposalItem};
 
@@ -548,10 +548,61 @@ pub fn run_fame_with_inspector<A>(
 where
     A: Adversary<FameFrame>,
 {
+    run_fame_inner(instance, params, adversary, seed, None, inspector)
+}
+
+/// Like [`run_fame`] but handing every finished round to `sink` (e.g. a
+/// [`ChannelSink`](radio_network::ChannelSink) streaming the trace to a
+/// file). To keep the execution bit-identical to [`run_fame`]'s, give the
+/// sink the same retained history f-AME runs with —
+/// `TraceRetention::LastRounds(`[`FAME_TRACE_WINDOW`]`)` — so
+/// trace-mining adversaries observe the same past.
+///
+/// # Errors
+///
+/// Same as [`run_fame`].
+pub fn run_fame_streaming<A>(
+    instance: &AmeInstance,
+    params: &Params,
+    adversary: A,
+    seed: u64,
+    sink: Box<dyn TraceSink<FameFrame>>,
+) -> Result<FameRun, FameError>
+where
+    A: Adversary<FameFrame>,
+{
+    run_fame_inner(
+        instance,
+        params,
+        adversary,
+        seed,
+        Some(sink),
+        &mut |_, _| {},
+    )
+}
+
+/// The in-memory history window every f-AME run retains for its
+/// trace-mining adversaries (rounds).
+pub const FAME_TRACE_WINDOW: usize = 64;
+
+fn run_fame_inner<A>(
+    instance: &AmeInstance,
+    params: &Params,
+    adversary: A,
+    seed: u64,
+    sink: Option<Box<dyn TraceSink<FameFrame>>>,
+    inspector: &mut dyn FnMut(u64, &[FameNode]),
+) -> Result<FameRun, FameError>
+where
+    A: Adversary<FameFrame>,
+{
     let nodes = make_nodes(instance, params, seed)?;
-    let cfg =
-        NetworkConfig::new(params.c(), params.t())?.with_retention(TraceRetention::LastRounds(64));
-    let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
+    let cfg = NetworkConfig::new(params.c(), params.t())?
+        .with_retention(TraceRetention::LastRounds(FAME_TRACE_WINDOW));
+    let mut sim = match sink {
+        Some(sink) => Simulation::with_sink(cfg, nodes, adversary, seed, sink)?,
+        None => Simulation::new(cfg, nodes, adversary, seed)?,
+    };
     let report = sim.run_with_inspector(round_budget(params, instance.len()), inspector)?;
     let nodes = sim.into_nodes();
     if let Some(node) = nodes.iter().find(|n| n.failure().is_some()) {

@@ -13,7 +13,9 @@
 //! * [`dh`] — one-round Diffie–Hellman key exchange over a prime field
 //!   (Section 6, Part 1);
 //! * [`cipher`] — authenticated encryption (PRF keystream + HMAC tag) for
-//!   the encrypted leader keys and the emulated secure channel.
+//!   the encrypted leader keys and the emulated secure channel
+//!   (Sections 6–7);
+//! * [`key`] — the shared key/digest value types the above exchange.
 //!
 //! ## Security disclaimer
 //!

@@ -3,6 +3,7 @@
 use crate::adversary::{AdversaryAction, Emission};
 use crate::error::EngineError;
 use crate::node::{Action, ChannelId, NodeId};
+use crate::sink::{InMemorySink, NullSink, TraceSink};
 use crate::stats::Stats;
 use crate::trace::{RoundRecord, Trace, TraceRetention};
 
@@ -127,7 +128,8 @@ impl<M: Clone> RoundResolution<M> {
     }
 }
 
-/// The radio medium: resolves rounds, accumulates the [`Trace`] and [`Stats`].
+/// The radio medium: resolves rounds, hands each finished round to a
+/// [`TraceSink`], and accumulates [`Stats`].
 ///
 /// `Network` is deliberately free of nodes and adversaries — it is a pure
 /// referee. Use [`Simulation`](crate::Simulation) to drive full protocol
@@ -136,7 +138,7 @@ impl<M: Clone> RoundResolution<M> {
 pub struct Network<M> {
     cfg: NetworkConfig,
     round: u64,
-    trace: Trace<M>,
+    sink: Box<dyn TraceSink<M>>,
     stats: Stats,
     scratch: Scratch<M>,
 }
@@ -175,13 +177,28 @@ impl<M> Scratch<M> {
     }
 }
 
-impl<M: Clone> Network<M> {
-    /// A fresh network at round 0.
+impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
+    /// A fresh network at round 0, observing rounds with the default
+    /// in-memory sink: [`NullSink`] under [`TraceRetention::None`],
+    /// [`InMemorySink`] with the config's retention otherwise.
     pub fn new(cfg: NetworkConfig) -> Self {
+        let sink: Box<dyn TraceSink<M>> = match cfg.retention() {
+            TraceRetention::None => Box::new(NullSink::new()),
+            retention => Box::new(InMemorySink::new(retention)),
+        };
+        Network::with_sink(cfg, sink)
+    }
+
+    /// A fresh network handing every finished round to `sink` instead of
+    /// the default in-memory trace. The config's
+    /// [`retention`](NetworkConfig::retention) is ignored — the sink
+    /// alone decides what is stored (and whether records are built at
+    /// all, via [`TraceSink::wants_records`]).
+    pub fn with_sink(cfg: NetworkConfig, sink: Box<dyn TraceSink<M>>) -> Self {
         Network {
             cfg,
             round: 0,
-            trace: Trace::new(cfg.retention()),
+            sink,
             stats: Stats::default(),
             scratch: Scratch::new(cfg.channels()),
         }
@@ -197,9 +214,15 @@ impl<M: Clone> Network<M> {
         self.round
     }
 
-    /// The accumulated execution trace.
+    /// The execution history retained by the sink (empty — but with an
+    /// exact completed-round count — for streaming/null sinks).
     pub fn trace(&self) -> &Trace<M> {
-        &self.trace
+        self.sink.history()
+    }
+
+    /// The sink observing this network's rounds.
+    pub fn sink(&self) -> &dyn TraceSink<M> {
+        self.sink.as_ref()
     }
 
     /// The accumulated statistics.
@@ -275,9 +298,10 @@ impl<M: Clone> Network<M> {
         }
 
         // -- resolve -------------------------------------------------------
-        // With record retention off, delivered frames can be *moved* out of
-        // the scratch buffer instead of cloned — nothing else needs them.
-        let keeps_records = self.cfg.retention().keeps_records();
+        // When the sink wants no records, delivered frames can be *moved*
+        // out of the scratch buffer instead of cloned — nothing else needs
+        // them.
+        let keeps_records = self.sink.wants_records();
         let mut outcomes: Vec<ChannelOutcome<M>> = Vec::with_capacity(c);
         for ch in 0..c {
             let honest = &mut self.scratch.honest_tx[ch];
@@ -352,15 +376,18 @@ impl<M: Clone> Network<M> {
                     transmissions.push((id, ChannelId(ch), frame));
                 }
             }
-            self.trace.push(RoundRecord {
+            self.sink.record(RoundRecord {
                 round: self.round,
                 transmissions,
                 listeners: std::mem::take(&mut self.scratch.listeners),
                 adversary: adversary.transmissions,
                 delivered,
             });
+            // Lossy sinks (bounded channel, drop policy) discard records;
+            // mirror their counter so lossiness is visible in the stats.
+            self.stats.dropped_records = self.sink.dropped_records();
         } else {
-            self.trace.note_round();
+            self.sink.note_round();
         }
 
         let resolution = RoundResolution {

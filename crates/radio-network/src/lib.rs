@@ -22,15 +22,24 @@
 //!   every completed round in full — including the honest nodes' random
 //!   choices — but never the current round's choices before acting.
 //!
-//! ## Architecture
+//! ## Architecture (module ↦ paper section)
 //!
-//! * [`Network`] — pure round-resolution engine (channel semantics above).
-//! * [`Protocol`] — the state-machine trait honest nodes implement.
-//! * [`Adversary`] — the attacker trait; batteries included in
-//!   [`adversaries`].
+//! * [`Network`] (`engine`) — pure round-resolution engine implementing
+//!   the §3 channel semantics above.
+//! * [`Protocol`] (`node`) — the state-machine trait honest §3 nodes
+//!   implement.
+//! * [`Adversary`] (`adversary`) — the §3 attacker trait (budget `t`,
+//!   full hindsight); batteries included in [`adversaries`].
 //! * [`Simulation`] — drives a vector of protocol nodes plus one adversary
-//!   against a [`Network`] until completion, collecting a [`Trace`] and
-//!   [`Stats`].
+//!   against a [`Network`] until completion, enforcing the §3 information
+//!   flow, collecting a [`Trace`] and [`Stats`].
+//! * [`TraceSink`] (`sink`) — where finished [`RoundRecord`]s go:
+//!   retained in memory ([`InMemorySink`]), discarded ([`NullSink`]), or
+//!   streamed off the round loop to a line-delimited JSON file by a
+//!   background writer thread ([`ChannelSink`]; format in
+//!   `docs/TRACE_FORMAT.md`).
+//! * `seed` — deterministic seed-stream derivation, the reproducibility
+//!   substrate every experiment relies on (not in the paper).
 //!
 //! ## Example
 //!
@@ -61,6 +70,7 @@ mod error;
 mod node;
 pub mod seed;
 mod simulation;
+mod sink;
 mod stats;
 pub mod testing;
 mod trace;
@@ -70,5 +80,9 @@ pub use engine::{ChannelOutcome, Network, NetworkConfig, RoundResolution};
 pub use error::EngineError;
 pub use node::{Action, ChannelId, NodeId, Protocol, Reception};
 pub use simulation::{Inspector, Simulation, SimulationReport};
+pub use sink::{
+    json_escape, record_line, ChannelSink, InMemorySink, NullSink, OverflowPolicy, SinkReport,
+    TraceSink,
+};
 pub use stats::Stats;
 pub use trace::{RoundRecord, Trace, TraceRetention};

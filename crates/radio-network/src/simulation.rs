@@ -5,6 +5,7 @@ use crate::adversary::{Adversary, AdversaryView};
 use crate::engine::{Network, NetworkConfig};
 use crate::error::EngineError;
 use crate::node::{Action, Protocol, Reception};
+use crate::sink::TraceSink;
 use crate::stats::Stats;
 use crate::trace::Trace;
 
@@ -37,7 +38,7 @@ pub struct Simulation<P: Protocol, A> {
 impl<P, A> Simulation<P, A>
 where
     P: Protocol,
-    P::Msg: Clone,
+    P::Msg: Clone + std::fmt::Debug + Send + 'static,
     A: Adversary<P::Msg>,
 {
     /// Assemble a simulation.
@@ -66,6 +67,32 @@ where
             nodes,
             adversary,
             network: Network::new(cfg),
+        })
+    }
+
+    /// Like [`Simulation::new`], but the network hands every finished
+    /// round to `sink` instead of the default in-memory trace (see
+    /// [`Network::with_sink`]). Node seeding is identical, so for sinks
+    /// that retain the same history a run is bit-identical to
+    /// [`Simulation::new`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulation::new`].
+    pub fn with_sink(
+        cfg: NetworkConfig,
+        mut nodes: Vec<P>,
+        adversary: A,
+        seed: u64,
+        sink: Box<dyn TraceSink<P::Msg>>,
+    ) -> Result<Self, EngineError> {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.reseed(crate::seed::derive(seed, i as u64));
+        }
+        Ok(Simulation {
+            nodes,
+            adversary,
+            network: Network::with_sink(cfg, sink),
         })
     }
 

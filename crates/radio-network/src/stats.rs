@@ -26,6 +26,11 @@ pub struct Stats {
     pub silent_receptions: u64,
     /// Listen actions that returned a frame (honest or spoofed).
     pub frames_received: u64,
+    /// Round records discarded by a lossy [`TraceSink`](crate::TraceSink)
+    /// (e.g. a full [`ChannelSink`](crate::ChannelSink) queue under
+    /// [`OverflowPolicy::DropNewest`](crate::OverflowPolicy::DropNewest)).
+    /// Always 0 for lossless sinks.
+    pub dropped_records: u64,
 }
 
 impl Stats {
@@ -45,7 +50,7 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rounds={} tx={} delivered={} collisions={} adv_tx={} spoofed={} jams={}",
+            "rounds={} tx={} delivered={} collisions={} adv_tx={} spoofed={} jams={} dropped={}",
             self.rounds,
             self.honest_transmissions,
             self.honest_deliveries,
@@ -53,6 +58,7 @@ impl fmt::Display for Stats {
             self.adversary_transmissions,
             self.spoofs_delivered,
             self.jams_effective,
+            self.dropped_records,
         )
     }
 }

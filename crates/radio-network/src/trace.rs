@@ -98,6 +98,11 @@ impl<M> Trace<M> {
         self.completed_rounds
     }
 
+    /// The retention policy this trace applies on [`Trace::push`].
+    pub fn retention(&self) -> TraceRetention {
+        self.retention
+    }
+
     /// The retained records, oldest first.
     pub fn records(&self) -> impl Iterator<Item = &RoundRecord<M>> {
         self.records.iter()
@@ -128,7 +133,12 @@ impl<M> Trace<M> {
         self.records.is_empty()
     }
 
-    pub(crate) fn push(&mut self, record: RoundRecord<M>) {
+    /// Append the record of the next round, applying the retention
+    /// policy. Records must arrive in round order (starting at the
+    /// current [`Trace::completed_rounds`]); custom
+    /// [`TraceSink`](crate::TraceSink) implementations use this to
+    /// maintain their retained history.
+    pub fn push(&mut self, record: RoundRecord<M>) {
         debug_assert_eq!(record.round, self.completed_rounds, "trace out of order");
         self.completed_rounds += 1;
         match self.retention {
@@ -146,7 +156,7 @@ impl<M> Trace<M> {
     /// Count a completed round without storing a record (the
     /// [`TraceRetention::None`] fast path — the engine never builds the
     /// record in the first place).
-    pub(crate) fn note_round(&mut self) {
+    pub fn note_round(&mut self) {
         self.completed_rounds += 1;
     }
 }

@@ -149,5 +149,6 @@ fn skewed_cost_trial(ctx: &TrialCtx<'_>) -> Result<TrialOutcome, TrialError> {
         cover: acc.is_multiple_of(3).then_some((acc % 5) as usize),
         violations: acc % 2,
         ok: acc.is_multiple_of(4),
+        dropped_records: 0,
     })
 }
