@@ -11,19 +11,27 @@
 //! per-trial seeds; aggregates land in `BENCH_channel_sweep.json`.
 //!
 //! Pass `--trace-out <dir>` to additionally stream every trial's full
-//! execution trace to `<dir>/C-<c>.trial<k>.jsonl` (one JSON object per
-//! round; schema in `docs/TRACE_FORMAT.md`). Writing happens on a
-//! background thread per trial; add `--trace-lossy` to drop (and count)
-//! records instead of blocking when the writer falls behind.
+//! execution trace to `<dir>/C-<c>-<hash>.trial<k>.jsonl` (one JSON
+//! object per round; schema in `docs/TRACE_FORMAT.md`). Writing happens
+//! on a background thread per trial; add `--trace-lossy` to drop (and
+//! count) records instead of blocking when the writer falls behind.
+//!
+//! Supports the shared sharding contract (`--shard k/N`, `--merge <dir>`;
+//! see `secure_radio_bench::shard`) for splitting the sweep across
+//! processes or machines.
 
 use fame::Params;
 use secure_radio_bench::{
-    smoke, smoke_trials, AdversaryChoice, Aggregate, BenchReport, ExperimentRunner, ScenarioSpec,
-    Table, TraceOutput, Workload,
+    smoke, smoke_trials, AdversaryChoice, Aggregate, ExperimentRunner, ScenarioSpec, ShardMode,
+    ShardedReport, Table, TraceOutput, Workload,
 };
 
 fn main() {
     let seed = 0xC5EE9;
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("channel_sweep") {
+        return;
+    }
     let trace = TraceOutput::from_args();
     let trials = smoke_trials(8);
     let t = 2;
@@ -43,7 +51,7 @@ fn main() {
     let mut headers = vec!["C", "regime", "cap", "feedback mode"];
     headers.extend(Aggregate::table_headers());
     let mut table = Table::new("f-AME cost per channel count (random jammer)", &headers);
-    let mut report = BenchReport::new("channel_sweep");
+    let mut report = ShardedReport::new("channel_sweep", shard);
 
     // Smoke mode samples the regime endpoints instead of the full curve.
     let channel_counts: Vec<usize> = if smoke() {
@@ -59,7 +67,12 @@ fn main() {
             .with_seed(seed)
             .with_trace_output(trace.clone());
         let p = spec.params();
-        let result = runner.run_fame_scenario(&spec).expect("scenario runs");
+        let Some(result) = report
+            .run(&spec, || runner.run_fame_scenario(&spec))
+            .expect("scenario runs")
+        else {
+            continue; // another shard's scenario
+        };
         let regime = if c >= 2 * t * t {
             "2t^2"
         } else if c >= 2 * t {
@@ -75,7 +88,6 @@ fn main() {
         ];
         cells.extend(result.aggregate.table_cells());
         table.row(cells);
-        report.push(spec, result.aggregate);
     }
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");

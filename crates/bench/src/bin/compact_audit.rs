@@ -20,18 +20,22 @@ use fame::protocol::run_fame;
 use radio_network::adversaries::{RandomJammer, Spoofer};
 use radio_network::seed;
 use secure_radio_bench::{
-    smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table, TrialError,
-    TrialOutcome, Workload,
+    smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport, Table,
+    TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("compact_audit") {
+        return;
+    }
     let base_seed = 0xC0;
     let t = 2;
     let trials = smoke_trials(6);
     println!("# Compact f-AME (Section 5.6): constant-size frames — {trials} trials/variant\n");
 
     let runner = ExperimentRunner::new();
-    let mut report = BenchReport::new("compact_audit");
+    let mut report = ShardedReport::new("compact_audit", shard);
     let mut table = Table::new(
         "plain vs compact f-AME under gossip-phase spoof flood + jamming",
         &[
@@ -60,47 +64,50 @@ fn main() {
     let instance = plain_spec.instance();
     let plain_max_values = instance.outbox_of(0).len();
     let delivered_plain = AtomicU64::new(0);
-    let plain = runner
-        .run(&plain_spec, |ctx| {
-            let adversary = plain_spec
-                .adversary
-                .build(&params, instance.pairs(), ctx.seed);
-            let run =
-                run_fame(&instance, &params, adversary, ctx.seed).map_err(|e| TrialError {
-                    trial: ctx.trial,
-                    message: e.to_string(),
-                })?;
-            delivered_plain.fetch_add(run.outcome.delivered_count() as u64, Ordering::Relaxed);
-            let forged = run.outcome.authentication_violations(&instance).len() as u64;
-            let cover = run.outcome.disruption_cover();
-            Ok(TrialOutcome {
-                rounds: run.outcome.rounds,
-                moves: run.moves as u64,
-                cover: Some(cover),
-                violations: forged,
-                ok: forged == 0 && cover <= t,
-                dropped_records: 0,
+    let plain = report
+        .run(&plain_spec, || {
+            runner.run(&plain_spec, |ctx| {
+                let adversary = plain_spec
+                    .adversary
+                    .build(&params, instance.pairs(), ctx.seed);
+                let run =
+                    run_fame(&instance, &params, adversary, ctx.seed).map_err(|e| TrialError {
+                        trial: ctx.trial,
+                        message: e.to_string(),
+                    })?;
+                delivered_plain.fetch_add(run.outcome.delivered_count() as u64, Ordering::Relaxed);
+                let forged = run.outcome.authentication_violations(&instance).len() as u64;
+                let cover = run.outcome.disruption_cover();
+                Ok(TrialOutcome {
+                    rounds: run.outcome.rounds,
+                    moves: run.moves as u64,
+                    cover: Some(cover),
+                    violations: forged,
+                    ok: forged == 0 && cover <= t,
+                    dropped_records: 0,
+                })
             })
         })
         .expect("plain scenario runs");
-    table.row([
-        "plain f-AME".to_string(),
-        t.to_string(),
-        instance.len().to_string(),
-        plain_max_values.to_string(),
-        plain.aggregate.rounds.median.to_string(),
-        format!(
-            "{}/{}",
-            delivered_plain.into_inner(),
-            instance.len() * trials
-        ),
-        plain.aggregate.violations.to_string(),
-        format!(
-            "{}/{}",
-            plain.aggregate.cover_within_t, plain.aggregate.cover_measured
-        ),
-    ]);
-    report.push(plain_spec, plain.aggregate);
+    if let Some(plain) = plain {
+        table.row([
+            "plain f-AME".to_string(),
+            t.to_string(),
+            instance.len().to_string(),
+            plain_max_values.to_string(),
+            plain.aggregate.rounds.median.to_string(),
+            format!(
+                "{}/{}",
+                delivered_plain.into_inner(),
+                instance.len() * trials
+            ),
+            plain.aggregate.violations.to_string(),
+            format!(
+                "{}/{}",
+                plain.aggregate.cover_within_t, plain.aggregate.cover_measured
+            ),
+        ]);
+    }
 
     // ---- Compact f-AME under spoof flood + jamming -------------------------
     // The gossip-phase spoofer is bespoke (it forges *plausible* chunks with
@@ -114,62 +121,66 @@ fn main() {
     let delivered_compact = AtomicU64::new(0);
     let max_frame_values = AtomicU64::new(0);
     let gossip_stats = AtomicU64::new(0); // packed: misses summed
-    let compact = runner
-        .run(&compact_spec, |ctx| {
-            let spoofer = Spoofer::new(seed::derive(ctx.seed, 1), |round, _ch| {
-                let forged = format!("forged-{round}").into_bytes();
-                let tag = reconstruction_hashes(std::slice::from_ref(&forged))[0];
-                FameFrame::GossipChunk {
-                    owner: (round % 11) as usize,
-                    index: 0,
-                    payload: forged,
-                    reconstruction: tag,
-                }
-            });
-            let run = run_compact_fame(
-                &instance,
-                &params,
-                spoofer,
-                RandomJammer::new(seed::derive(ctx.seed, 2)),
-                ctx.seed,
-            )
-            .map_err(|e| TrialError {
-                trial: ctx.trial,
-                message: e.to_string(),
-            })?;
-            delivered_compact.fetch_add(run.outcome.delivered_count() as u64, Ordering::Relaxed);
-            max_frame_values.fetch_max(run.max_frame_values as u64, Ordering::Relaxed);
-            gossip_stats.fetch_add(run.gossip_misses as u64, Ordering::Relaxed);
-            let forged = run.outcome.authentication_violations(&instance).len() as u64;
-            let cover = run.outcome.disruption_cover();
-            Ok(TrialOutcome {
-                rounds: run.outcome.rounds,
-                cover: Some(cover),
-                violations: forged,
-                ok: forged == 0 && cover <= t,
-                ..TrialOutcome::default()
+    let compact = report
+        .run(&compact_spec, || {
+            runner.run(&compact_spec, |ctx| {
+                let spoofer = Spoofer::new(seed::derive(ctx.seed, 1), |round, _ch| {
+                    let forged = format!("forged-{round}").into_bytes();
+                    let tag = reconstruction_hashes(std::slice::from_ref(&forged))[0];
+                    FameFrame::GossipChunk {
+                        owner: (round % 11) as usize,
+                        index: 0,
+                        payload: forged,
+                        reconstruction: tag,
+                    }
+                });
+                let run = run_compact_fame(
+                    &instance,
+                    &params,
+                    spoofer,
+                    RandomJammer::new(seed::derive(ctx.seed, 2)),
+                    ctx.seed,
+                )
+                .map_err(|e| TrialError {
+                    trial: ctx.trial,
+                    message: e.to_string(),
+                })?;
+                delivered_compact
+                    .fetch_add(run.outcome.delivered_count() as u64, Ordering::Relaxed);
+                max_frame_values.fetch_max(run.max_frame_values as u64, Ordering::Relaxed);
+                gossip_stats.fetch_add(run.gossip_misses as u64, Ordering::Relaxed);
+                let forged = run.outcome.authentication_violations(&instance).len() as u64;
+                let cover = run.outcome.disruption_cover();
+                Ok(TrialOutcome {
+                    rounds: run.outcome.rounds,
+                    cover: Some(cover),
+                    violations: forged,
+                    ok: forged == 0 && cover <= t,
+                    ..TrialOutcome::default()
+                })
             })
         })
         .expect("compact scenario runs");
     let compact_max = max_frame_values.into_inner();
-    table.row([
-        "compact f-AME".to_string(),
-        t.to_string(),
-        instance.len().to_string(),
-        compact_max.to_string(),
-        compact.aggregate.rounds.median.to_string(),
-        format!(
-            "{}/{}",
-            delivered_compact.into_inner(),
-            instance.len() * trials
-        ),
-        compact.aggregate.violations.to_string(),
-        format!(
-            "{}/{}",
-            compact.aggregate.cover_within_t, compact.aggregate.cover_measured
-        ),
-    ]);
-    report.push(compact_spec, compact.aggregate);
+    if let Some(compact) = compact {
+        table.row([
+            "compact f-AME".to_string(),
+            t.to_string(),
+            instance.len().to_string(),
+            compact_max.to_string(),
+            compact.aggregate.rounds.median.to_string(),
+            format!(
+                "{}/{}",
+                delivered_compact.into_inner(),
+                instance.len() * trials
+            ),
+            compact.aggregate.violations.to_string(),
+            format!(
+                "{}/{}",
+                compact.aggregate.cover_within_t, compact.aggregate.cover_measured
+            ),
+        ]);
+    }
 
     println!("{table}");
     println!(

@@ -15,18 +15,22 @@ use fame::problem::AmeInstance;
 use fame::Params;
 use secure_radio_bench::workloads::complete_pairs;
 use secure_radio_bench::{
-    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, TrialError,
-    TrialOutcome, Workload,
+    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, ShardMode,
+    ShardedReport, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("disruptability") {
+        return;
+    }
     let seed = 77;
     let trials = smoke_trials(4);
     let ts: &[usize] = if smoke() { &[2] } else { &[2, 3] };
     println!("# Disruptability: f-AME's t bound vs the direct baseline's 2t\n");
 
     let runner = ExperimentRunner::new();
-    let mut report = BenchReport::new("disruptability");
+    let mut report = ShardedReport::new("disruptability", shard);
 
     // E4 — the full adversary roster against f-AME.
     let mut e4 = BenchReport::new("disruptability_e4");
@@ -38,15 +42,19 @@ fn main() {
                     .with_adversary(adversary)
                     .with_trials(trials)
                     .with_seed(seed);
-            let result = runner.run_fame_scenario(&spec).expect("fame scenario runs");
+            let Some(result) = report
+                .run(&spec, || runner.run_fame_scenario(&spec))
+                .expect("fame scenario runs")
+            else {
+                continue; // another shard's scenario
+            };
             assert_eq!(
                 result.aggregate.cover_within_t,
                 result.aggregate.cover_measured,
                 "Theorem 6 violated by {} at t={t}",
                 spec.adversary.label(),
             );
-            e4.push(spec.clone(), result.aggregate.clone());
-            report.push(spec, result.aggregate);
+            e4.push(spec, result.aggregate);
         }
     }
     println!(
@@ -63,9 +71,9 @@ fn main() {
             .with_adversary(AdversaryChoice::None) // the triangle attack is bespoke
             .with_trials(trials)
             .with_seed(seed);
-        let result =
-            runner
-                .run(&spec, |ctx| {
+        let Some(result) = report
+            .run(&spec, || {
+                runner.run(&spec, |ctx| {
                     let instance = AmeInstance::new(n, complete_pairs(n)).expect("instance");
                     let schedule = build_direct_schedule(instance.pairs(), t + 1, 3);
                     let adversary = TriangleAdversary::new(t, schedule);
@@ -86,13 +94,16 @@ fn main() {
                         dropped_records: 0,
                     })
                 })
-                .expect("direct scenario runs");
+            })
+            .expect("direct scenario runs")
+        else {
+            continue; // another shard's scenario
+        };
         assert_eq!(
             result.aggregate.ok_count, trials,
             "triangle attack failed to pin the direct baseline to 2t at t={t}"
         );
-        e6.push(spec.clone(), result.aggregate.clone());
-        report.push(spec, result.aggregate);
+        e6.push(spec, result.aggregate);
     }
     println!(
         "{}",

@@ -26,11 +26,15 @@ use radio_network::adversaries::{NoAdversary, RandomJammer};
 use radio_network::seed;
 use secure_radio_bench::workloads::disjoint_pairs;
 use secure_radio_bench::{
-    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table,
-    TrialError, TrialOutcome, Workload,
+    smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport,
+    Table, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("extensions") {
+        return;
+    }
     let base_seed = 0xE57;
     let trials = smoke_trials(4);
     println!(
@@ -39,7 +43,7 @@ fn main() {
     );
 
     let runner = ExperimentRunner::new();
-    let mut report = BenchReport::new("extensions");
+    let mut report = ShardedReport::new("extensions", shard);
 
     // ---- E12: residual upgrade ---------------------------------------------
     let mut table = Table::new(
@@ -76,39 +80,53 @@ fn main() {
             let plain_delivered = AtomicU64::new(0);
             let merged_delivered = AtomicU64::new(0);
             let extra_rounds = AtomicU64::new(0);
-            let result = runner
-                .run(&spec, |ctx| {
-                    let jam = matches!(spec.adversary, AdversaryChoice::RandomJam);
-                    let (merged, plain) = if jam {
-                        run_fame_with_residual(
-                            &instance,
-                            &p,
-                            RandomJammer::new(seed::derive(ctx.seed, 1)),
-                            RandomJammer::new(seed::derive(ctx.seed, 2)),
-                            2,
-                            ctx.seed,
-                        )
-                    } else {
-                        run_fame_with_residual(&instance, &p, NoAdversary, NoAdversary, 2, ctx.seed)
-                    }
-                    .map_err(|e| TrialError {
-                        trial: ctx.trial,
-                        message: e.to_string(),
-                    })?;
-                    plain_delivered
-                        .fetch_add(plain.outcome.delivered_count() as u64, Ordering::Relaxed);
-                    merged_delivered.fetch_add(merged.delivered_count() as u64, Ordering::Relaxed);
-                    extra_rounds.fetch_add(merged.rounds - plain.outcome.rounds, Ordering::Relaxed);
-                    let aware = merged.awareness_violations().is_empty();
-                    Ok(TrialOutcome {
-                        rounds: merged.rounds,
-                        moves: plain.moves as u64,
-                        violations: merged.awareness_violations().len() as u64,
-                        ok: aware,
-                        ..TrialOutcome::default()
+            let Some(result) = report
+                .run(&spec, || {
+                    runner.run(&spec, |ctx| {
+                        let jam = matches!(spec.adversary, AdversaryChoice::RandomJam);
+                        let (merged, plain) = if jam {
+                            run_fame_with_residual(
+                                &instance,
+                                &p,
+                                RandomJammer::new(seed::derive(ctx.seed, 1)),
+                                RandomJammer::new(seed::derive(ctx.seed, 2)),
+                                2,
+                                ctx.seed,
+                            )
+                        } else {
+                            run_fame_with_residual(
+                                &instance,
+                                &p,
+                                NoAdversary,
+                                NoAdversary,
+                                2,
+                                ctx.seed,
+                            )
+                        }
+                        .map_err(|e| TrialError {
+                            trial: ctx.trial,
+                            message: e.to_string(),
+                        })?;
+                        plain_delivered
+                            .fetch_add(plain.outcome.delivered_count() as u64, Ordering::Relaxed);
+                        merged_delivered
+                            .fetch_add(merged.delivered_count() as u64, Ordering::Relaxed);
+                        extra_rounds
+                            .fetch_add(merged.rounds - plain.outcome.rounds, Ordering::Relaxed);
+                        let aware = merged.awareness_violations().is_empty();
+                        Ok(TrialOutcome {
+                            rounds: merged.rounds,
+                            moves: plain.moves as u64,
+                            violations: merged.awareness_violations().len() as u64,
+                            ok: aware,
+                            ..TrialOutcome::default()
+                        })
                     })
                 })
-                .expect("residual scenario runs");
+                .expect("residual scenario runs")
+            else {
+                continue; // another shard's scenario
+            };
             table.row([
                 spec.adversary.label().to_string(),
                 m.to_string(),
@@ -121,7 +139,6 @@ fn main() {
                     format!("NO ({}/{trials})", result.aggregate.ok_count)
                 },
             ]);
-            report.push(spec, result.aggregate);
         }
     }
     println!("{table}");
@@ -156,36 +173,41 @@ fn main() {
         let p13 = spec.params();
         let delivered = AtomicU64::new(0);
         let cover_max = AtomicU64::new(0);
-        let result = runner
-            .run(&spec, |ctx| {
-                let (outcome, moves) = run_byzantine_fame(
-                    &instance,
-                    &p13,
-                    RandomJammer::new(seed::derive(ctx.seed, 1)),
-                    ctx.seed,
-                )
-                .map_err(|e| TrialError {
-                    trial: ctx.trial,
-                    message: e.to_string(),
-                })?;
-                delivered.fetch_add(outcome.delivered_count() as u64, Ordering::Relaxed);
-                let cover = outcome.disruption_cover();
-                cover_max.fetch_max(cover as u64, Ordering::Relaxed);
-                let forged = outcome.authentication_violations(&instance).len() as u64;
-                Ok(TrialOutcome {
-                    rounds: outcome.rounds,
-                    moves: moves as u64,
-                    // The aggregate's cover_within_t judges against t, but
-                    // this variant's bound is 2t — keep the cover out of
-                    // the generic aggregate (a legitimate cover in (t, 2t]
-                    // would read as a violation) and judge it in `ok`.
-                    cover: None,
-                    violations: forged,
-                    ok: cover <= 2 * t && forged == 0,
-                    dropped_records: 0,
+        let Some(result) = report
+            .run(&spec, || {
+                runner.run(&spec, |ctx| {
+                    let (outcome, moves) = run_byzantine_fame(
+                        &instance,
+                        &p13,
+                        RandomJammer::new(seed::derive(ctx.seed, 1)),
+                        ctx.seed,
+                    )
+                    .map_err(|e| TrialError {
+                        trial: ctx.trial,
+                        message: e.to_string(),
+                    })?;
+                    delivered.fetch_add(outcome.delivered_count() as u64, Ordering::Relaxed);
+                    let cover = outcome.disruption_cover();
+                    cover_max.fetch_max(cover as u64, Ordering::Relaxed);
+                    let forged = outcome.authentication_violations(&instance).len() as u64;
+                    Ok(TrialOutcome {
+                        rounds: outcome.rounds,
+                        moves: moves as u64,
+                        // The aggregate's cover_within_t judges against t, but
+                        // this variant's bound is 2t — keep the cover out of
+                        // the generic aggregate (a legitimate cover in (t, 2t]
+                        // would read as a violation) and judge it in `ok`.
+                        cover: None,
+                        violations: forged,
+                        ok: cover <= 2 * t && forged == 0,
+                        dropped_records: 0,
+                    })
                 })
             })
-            .expect("byzantine scenario runs");
+            .expect("byzantine scenario runs")
+        else {
+            continue; // another shard's scenario
+        };
         assert_eq!(
             result.aggregate.ok_count, trials,
             "Byzantine-robust variant exceeded 2t-disruptability at t={t}"
@@ -200,7 +222,6 @@ fn main() {
             "yes".to_string(),
             result.aggregate.violations.to_string(),
         ]);
-        report.push(spec, result.aggregate);
     }
     println!("{table}");
 
@@ -227,29 +248,34 @@ fn main() {
             })
             .collect();
         let delivered = AtomicU64::new(0);
-        let result = runner
-            .run(&spec, |ctx| {
-                let r = run_pairwise_slot(
-                    &p,
-                    &group,
-                    &sessions,
-                    RandomJammer::new(seed::derive(ctx.seed, 1)),
-                    ctx.seed,
-                )
-                .map_err(|e| TrialError {
-                    trial: ctx.trial,
-                    message: e.to_string(),
-                })?;
-                let got = r.delivered.iter().filter(|d| d.is_some()).count() as u64;
-                delivered.fetch_add(got, Ordering::Relaxed);
-                Ok(TrialOutcome {
-                    rounds: r.rounds,
-                    violations: pairs as u64 - got,
-                    ok: got == pairs as u64,
-                    ..TrialOutcome::default()
+        let Some(result) = report
+            .run(&spec, || {
+                runner.run(&spec, |ctx| {
+                    let r = run_pairwise_slot(
+                        &p,
+                        &group,
+                        &sessions,
+                        RandomJammer::new(seed::derive(ctx.seed, 1)),
+                        ctx.seed,
+                    )
+                    .map_err(|e| TrialError {
+                        trial: ctx.trial,
+                        message: e.to_string(),
+                    })?;
+                    let got = r.delivered.iter().filter(|d| d.is_some()).count() as u64;
+                    delivered.fetch_add(got, Ordering::Relaxed);
+                    Ok(TrialOutcome {
+                        rounds: r.rounds,
+                        violations: pairs as u64 - got,
+                        ok: got == pairs as u64,
+                        ..TrialOutcome::default()
+                    })
                 })
             })
-            .expect("pairwise scenario runs");
+            .expect("pairwise scenario runs")
+        else {
+            continue; // another shard's scenario
+        };
         let got = delivered.into_inner();
         table.row([
             pairs.to_string(),
@@ -257,7 +283,6 @@ fn main() {
             format!("{got}/{}", pairs * trials),
             format!("{:.1}", got as f64 / trials as f64),
         ]);
-        report.push(spec, result.aggregate);
     }
     println!("{table}");
 

@@ -28,8 +28,8 @@ use removal_game::greedy::greedy_proposal;
 use removal_game::referee::{AdversarialReferee, Referee};
 use secure_radio_bench::workloads::random_pairs;
 use secure_radio_bench::{
-    ratio, smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, Regime,
-    ScenarioSpec, Table, TrialError, TrialOutcome, Workload,
+    ratio, smoke, smoke_trials, AdversaryChoice, ExperimentRunner, Regime, ScenarioSpec, ShardMode,
+    ShardedReport, Table, TrialError, TrialOutcome, Workload,
 };
 
 /// Moves of the standalone game under the adversarial referee.
@@ -49,6 +49,10 @@ fn greedy_moves(n: usize, pairs: &[(usize, usize)], t: usize, cap: usize) -> usi
 }
 
 fn main() {
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("fig3_table") {
+        return;
+    }
     let seed = 20080818; // PODC'08 started August 18.
     let trials = smoke_trials(6);
     let regimes: &[Regime] = if smoke() {
@@ -62,7 +66,7 @@ fn main() {
     println!("# Figure 3 — f-AME complexity across channel regimes ({trials} trials/point)\n");
 
     let runner = ExperimentRunner::new();
-    let mut report = BenchReport::new("fig3_table");
+    let mut report = ShardedReport::new("fig3_table", shard);
 
     // ---- Column 1: greedy-removal (E1) -------------------------------------
     let mut t1 = Table::new(
@@ -92,19 +96,24 @@ fn main() {
                 .with_adversary(AdversaryChoice::None)
                 .with_trials(trials)
                 .with_seed(seed ^ (edges as u64) << 8);
-                let result = runner
-                    .run(&spec, |ctx| {
-                        // Fresh random instance per trial: the aggregate
-                        // sweeps the instance distribution, not one draw.
-                        let pairs = random_pairs(p.n(), edges, ctx.seed);
-                        let moves = greedy_moves(p.n(), &pairs, t, p.proposal_cap());
-                        Ok(TrialOutcome {
-                            moves: moves as u64,
-                            ok: true,
-                            ..TrialOutcome::default()
+                let Some(result) = report
+                    .run(&spec, || {
+                        runner.run(&spec, |ctx| {
+                            // Fresh random instance per trial: the aggregate
+                            // sweeps the instance distribution, not one draw.
+                            let pairs = random_pairs(p.n(), edges, ctx.seed);
+                            let moves = greedy_moves(p.n(), &pairs, t, p.proposal_cap());
+                            Ok(TrialOutcome {
+                                moves: moves as u64,
+                                ok: true,
+                                ..TrialOutcome::default()
+                            })
                         })
                     })
-                    .expect("greedy scenario runs");
+                    .expect("greedy scenario runs")
+                else {
+                    continue; // another shard's scenario
+                };
                 // Theory: each move concedes >= max(1, cap - t) items.
                 let per_move = (p.proposal_cap() - t).max(1);
                 let theory = (edges + p.n()) as f64 / per_move as f64;
@@ -117,7 +126,6 @@ fn main() {
                     format!("(|E|+n)/{per_move}"),
                     ratio(result.aggregate.moves.median, theory),
                 ]);
-                report.push(spec, result.aggregate);
             }
         }
     }
@@ -164,39 +172,39 @@ fn main() {
                         .with_adversary(AdversaryChoice::RandomJam)
                         .with_trials(trials)
                         .with_seed(seed ^ 0xE2);
-                let result = runner
-                    .run(&spec, |ctx| {
-                        let ds = run_feedback(
-                            &p,
-                            default_witness_sets(&p, flags.len()),
-                            &flags,
-                            RandomJammer::new(seed::derive(ctx.seed, 1)),
-                            ctx.seed,
-                        )
-                        .map_err(|e| TrialError {
-                            trial: ctx.trial,
-                            message: e.to_string(),
-                        })?;
-                        let expected: std::collections::BTreeSet<usize> = flags
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, &b)| b)
-                            .map(|(i, _)| i)
-                            .collect();
-                        Ok(TrialOutcome {
-                            rounds,
-                            ok: ds.iter().all(|d| d == &expected),
-                            ..TrialOutcome::default()
+                let result = report
+                    .run(&spec, || {
+                        runner.run(&spec, |ctx| {
+                            let ds = run_feedback(
+                                &p,
+                                default_witness_sets(&p, flags.len()),
+                                &flags,
+                                RandomJammer::new(seed::derive(ctx.seed, 1)),
+                                ctx.seed,
+                            )
+                            .map_err(|e| TrialError {
+                                trial: ctx.trial,
+                                message: e.to_string(),
+                            })?;
+                            let expected: std::collections::BTreeSet<usize> = flags
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &b)| b)
+                                .map(|(i, _)| i)
+                                .collect();
+                            Ok(TrialOutcome {
+                                rounds,
+                                ok: ds.iter().all(|d| d == &expected),
+                                ..TrialOutcome::default()
+                            })
                         })
                     })
                     .expect("feedback scenario runs");
-                let agreement = if result.aggregate.ok_count == trials {
-                    "yes".to_string()
-                } else {
-                    format!("NO ({}/{trials})", result.aggregate.ok_count)
-                };
-                report.push(spec, result.aggregate);
-                agreement
+                match result {
+                    Some(result) if result.aggregate.ok_count == trials => "yes".to_string(),
+                    Some(result) => format!("NO ({}/{trials})", result.aggregate.ok_count),
+                    None => "(other shard)".to_string(),
+                }
             } else {
                 "(see fame runs)".to_string()
             };
@@ -246,7 +254,12 @@ fn main() {
             .with_adversary(AdversaryChoice::OmniPreferEdges)
             .with_trials(trials)
             .with_seed(seed + e as u64);
-            let result = runner.run_fame_scenario(&spec).expect("fame scenario runs");
+            let Some(result) = report
+                .run(&spec, || runner.run_fame_scenario(&spec))
+                .expect("fame scenario runs")
+            else {
+                continue; // another shard's scenario
+            };
             assert_eq!(
                 result.aggregate.cover_within_t, result.aggregate.cover_measured,
                 "disruptability violated in the harness ({})",
@@ -273,7 +286,6 @@ fn main() {
                 .to_string(),
                 ratio(result.aggregate.rounds.median, theory),
             ]);
-            report.push(spec, result.aggregate);
         }
     }
     println!("{t3}");

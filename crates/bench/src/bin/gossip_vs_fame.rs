@@ -19,11 +19,15 @@ use fame::Params;
 use radio_network::adversaries::Spoofer;
 use radio_network::{seed, ChannelId};
 use secure_radio_bench::{
-    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table,
-    TrialError, TrialOutcome, Workload,
+    smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport,
+    Table, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("gossip_vs_fame") {
+        return;
+    }
     let base_seed = 0x60551;
     let trials = smoke_trials(6);
     let ts: &[usize] = if smoke() { &[1] } else { &[1, 2] };
@@ -44,7 +48,7 @@ fn main() {
             "sender awareness",
         ],
     );
-    let mut report = BenchReport::new("gossip_vs_fame");
+    let mut report = ShardedReport::new("gossip_vs_fame", shard);
 
     for &t in ts {
         let n = Params::min_nodes(t, t + 1).max(18);
@@ -55,43 +59,47 @@ fn main() {
             .with_adversary(AdversaryChoice::Spoof) // label only; frames forged below
             .with_trials(trials)
             .with_seed(base_seed);
-        let gossip = runner
-            .run(&gossip_spec, |ctx| {
-                let spoofer = Spoofer::new(seed::derive(ctx.seed, 1), |round, ch: ChannelId| {
-                    fame::baselines::gossip::RumorFrame {
-                        origin: (round as usize + ch.index()) % 7,
-                        payload: format!("forged-{round}").into_bytes(),
-                    }
-                });
-                let run = fame::baselines::gossip::run_gossip(n, t, spoofer, 400_000, ctx.seed)
-                    .map_err(|e| TrialError {
-                        trial: ctx.trial,
-                        message: e.to_string(),
-                    })?;
-                Ok(TrialOutcome {
-                    rounds: run.rounds,
-                    moves: 0,
-                    cover: None,
-                    violations: run.forged_slots as u64,
-                    // "ok" = the flood completed; the forgery gap shows up
-                    // in `violations`.
-                    ok: run.completed,
-                    dropped_records: 0,
+        let gossip = report
+            .run(&gossip_spec, || {
+                runner.run(&gossip_spec, |ctx| {
+                    let spoofer =
+                        Spoofer::new(seed::derive(ctx.seed, 1), |round, ch: ChannelId| {
+                            fame::baselines::gossip::RumorFrame {
+                                origin: (round as usize + ch.index()) % 7,
+                                payload: format!("forged-{round}").into_bytes(),
+                            }
+                        });
+                    let run = fame::baselines::gossip::run_gossip(n, t, spoofer, 400_000, ctx.seed)
+                        .map_err(|e| TrialError {
+                            trial: ctx.trial,
+                            message: e.to_string(),
+                        })?;
+                    Ok(TrialOutcome {
+                        rounds: run.rounds,
+                        moves: 0,
+                        cover: None,
+                        violations: run.forged_slots as u64,
+                        // "ok" = the flood completed; the forgery gap shows up
+                        // in `violations`.
+                        ok: run.completed,
+                        dropped_records: 0,
+                    })
                 })
             })
             .expect("gossip scenario runs");
-        table.row([
-            "oblivious-gossip".to_string(),
-            t.to_string(),
-            n.to_string(),
-            gossip.aggregate.rounds.median.to_string(),
-            gossip.aggregate.rounds.max.to_string(),
-            format!("{}/{}", gossip.aggregate.ok_count, trials),
-            gossip.aggregate.violations.to_string(),
-            "2t (almost-gossip)".to_string(),
-            "none".to_string(),
-        ]);
-        report.push(gossip_spec, gossip.aggregate);
+        if let Some(gossip) = gossip {
+            table.row([
+                "oblivious-gossip".to_string(),
+                t.to_string(),
+                n.to_string(),
+                gossip.aggregate.rounds.median.to_string(),
+                gossip.aggregate.rounds.max.to_string(),
+                format!("{}/{}", gossip.aggregate.ok_count, trials),
+                gossip.aggregate.violations.to_string(),
+                "2t (almost-gossip)".to_string(),
+                "none".to_string(),
+            ]);
+        }
 
         // f-AME on the complete exchange with jamming.
         let fame_spec = ScenarioSpec::new(format!("f-AME t={t}"), n, t, t + 1)
@@ -99,24 +107,25 @@ fn main() {
             .with_adversary(AdversaryChoice::RandomJam)
             .with_trials(trials)
             .with_seed(base_seed);
-        let fame_result = runner
-            .run_fame_scenario(&fame_spec)
+        let fame_result = report
+            .run(&fame_spec, || runner.run_fame_scenario(&fame_spec))
             .expect("fame scenario runs");
-        table.row([
-            "f-AME".to_string(),
-            t.to_string(),
-            n.to_string(),
-            fame_result.aggregate.rounds.median.to_string(),
-            fame_result.aggregate.rounds.max.to_string(),
-            format!(
-                "{}/{} (t-disruptable)",
-                fame_result.aggregate.ok_count, trials
-            ),
-            fame_result.aggregate.violations.to_string(),
-            format!("t (max cover = {})", fame_result.aggregate.cover_max),
-            "yes".to_string(),
-        ]);
-        report.push(fame_spec, fame_result.aggregate);
+        if let Some(fame_result) = fame_result {
+            table.row([
+                "f-AME".to_string(),
+                t.to_string(),
+                n.to_string(),
+                fame_result.aggregate.rounds.median.to_string(),
+                fame_result.aggregate.rounds.max.to_string(),
+                format!(
+                    "{}/{} (t-disruptable)",
+                    fame_result.aggregate.ok_count, trials
+                ),
+                fame_result.aggregate.violations.to_string(),
+                format!("t (max cover = {})", fame_result.aggregate.cover_max),
+                "yes".to_string(),
+            ]);
+        }
     }
 
     println!("{table}");

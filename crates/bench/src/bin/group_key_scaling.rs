@@ -20,8 +20,8 @@ use fame::group_key::{establish_group_key, GroupKeyRounds};
 use radio_network::adversaries::RandomJammer;
 use radio_network::seed;
 use secure_radio_bench::{
-    ratio, smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec,
-    Table, TrialError, TrialOutcome, Workload,
+    ratio, smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode,
+    ShardedReport, Table, TrialError, TrialOutcome, Workload,
 };
 
 const BASE_SEED: u64 = 0x6B07;
@@ -31,7 +31,7 @@ const BASE_SEED: u64 = 0x6B07;
 /// the table.
 fn run_point(
     runner: &ExperimentRunner,
-    report: &mut BenchReport,
+    report: &mut ShardedReport,
     table: &mut Table,
     sweep: &str,
     n: usize,
@@ -45,35 +45,40 @@ fn run_point(
         .with_seed(BASE_SEED);
     let params = spec.params();
     let parts: Mutex<Vec<(usize, GroupKeyRounds, usize, bool)>> = Mutex::new(Vec::new());
-    let result = runner
-        .run(&spec, |ctx| {
-            let gk = establish_group_key(
-                &params,
-                RandomJammer::new(seed::derive(ctx.seed, 1)),
-                RandomJammer::new(seed::derive(ctx.seed, 2)),
-                RandomJammer::new(seed::derive(ctx.seed, 3)),
-                ctx.seed,
-                false,
-            )
-            .map_err(|e| TrialError {
-                trial: ctx.trial,
-                message: e.to_string(),
-            })?;
-            let holders = gk.holders();
-            let agree = gk.agreement();
-            parts
-                .lock()
-                .expect("no poisoned trial")
-                .push((ctx.trial, gk.rounds, holders, agree));
-            Ok(TrialOutcome {
-                rounds: gk.rounds.total(),
-                moves: gk.fame_moves as u64,
-                violations: u64::from(!agree),
-                ok: agree && holders + t >= n,
-                ..TrialOutcome::default()
+    let Some(result) = report
+        .run(&spec, || {
+            runner.run(&spec, |ctx| {
+                let gk = establish_group_key(
+                    &params,
+                    RandomJammer::new(seed::derive(ctx.seed, 1)),
+                    RandomJammer::new(seed::derive(ctx.seed, 2)),
+                    RandomJammer::new(seed::derive(ctx.seed, 3)),
+                    ctx.seed,
+                    false,
+                )
+                .map_err(|e| TrialError {
+                    trial: ctx.trial,
+                    message: e.to_string(),
+                })?;
+                let holders = gk.holders();
+                let agree = gk.agreement();
+                parts
+                    .lock()
+                    .expect("no poisoned trial")
+                    .push((ctx.trial, gk.rounds, holders, agree));
+                Ok(TrialOutcome {
+                    rounds: gk.rounds.total(),
+                    moves: gk.fame_moves as u64,
+                    violations: u64::from(!agree),
+                    ok: agree && holders + t >= n,
+                    ..TrialOutcome::default()
+                })
             })
         })
-        .expect("group key scenario runs");
+        .expect("group key scenario runs")
+    else {
+        return; // another shard's scenario
+    };
     let mut parts = parts.into_inner().expect("no poisoned trial");
     parts.sort_unstable_by_key(|&(trial, ..)| trial);
     let mean = |f: fn(&GroupKeyRounds) -> u64| {
@@ -98,17 +103,20 @@ fn run_point(
             format!("NO ({}/{trials})", result.aggregate.ok_count)
         },
     ]);
-    report.push(spec, result.aggregate);
 }
 
 fn main() {
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("group_key_scaling") {
+        return;
+    }
     println!(
         "# Group key establishment (Section 6) — {} trials/point\n",
         smoke_trials(4)
     );
 
     let runner = ExperimentRunner::new();
-    let mut report = BenchReport::new("group_key_scaling");
+    let mut report = ShardedReport::new("group_key_scaling", shard);
     let mut table = Table::new(
         "rounds vs n and t (jamming adversary on every part; parts are means)",
         &[

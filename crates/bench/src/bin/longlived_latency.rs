@@ -25,8 +25,8 @@ use radio_crypto::key::SymmetricKey;
 use radio_network::adversaries::{BusyChannelJammer, NoAdversary, RandomJammer};
 use radio_network::{seed, Adversary, TraceRetention};
 use secure_radio_bench::{
-    ratio, smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, Regime,
-    ScenarioSpec, Table, TraceOutput, TrialError, TrialOutcome, Workload,
+    ratio, smoke, smoke_trials, AdversaryChoice, ExperimentRunner, Regime, ScenarioSpec, ShardMode,
+    ShardedReport, Table, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 fn script(broadcasts: u64, n: usize) -> Vec<ScriptEntry> {
@@ -55,6 +55,10 @@ fn sealed_adversary(choice: &AdversaryChoice, seed: u64) -> Box<dyn Adversary<Se
 
 fn main() {
     let base_seed = 0x1096u64;
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("longlived_latency") {
+        return;
+    }
     let trace = TraceOutput::from_args();
     let trials = smoke_trials(4);
     let broadcasts: u64 = if smoke() { 5 } else { 20 };
@@ -70,7 +74,7 @@ fn main() {
     );
 
     let runner = ExperimentRunner::new();
-    let mut report = BenchReport::new("longlived_latency");
+    let mut report = ShardedReport::new("longlived_latency", shard);
     let mut table = Table::new(
         "emulated-round cost and delivery rate",
         &[
@@ -114,8 +118,8 @@ fn main() {
                 let key = SymmetricKey::from_bytes([7u8; 32]);
                 let keys: Vec<Option<SymmetricKey>> = (0..n).map(|_| Some(key)).collect();
                 let (hits, slots) = (AtomicU64::new(0), AtomicU64::new(0));
-                let result = runner
-                    .run(&spec, |ctx| {
+                let result = report.run(&spec, || {
+                    runner.run(&spec, |ctx| {
                         let adv = sealed_adversary(&spec.adversary, seed::derive(ctx.seed, 1));
                         // Streamed traces keep the window run_longlived
                         // uses, so trace-mining jammers replay identically.
@@ -165,7 +169,10 @@ fn main() {
                             ..TrialOutcome::default()
                         })
                     })
-                    .expect("longlived scenario runs");
+                });
+                let Some(_result) = result.expect("longlived scenario runs") else {
+                    continue; // another shard's scenario
+                };
                 let rate = hits.into_inner() as f64 / slots.into_inner().max(1) as f64;
                 table.row([
                     regime.label().to_string(),
@@ -180,7 +187,6 @@ fn main() {
                     spec.adversary.label().to_string(),
                     format!("{:.2}%", rate * 100.0),
                 ]);
-                report.push(spec, result.aggregate);
             }
         }
     }

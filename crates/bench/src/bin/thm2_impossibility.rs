@@ -20,17 +20,21 @@ use fame::baselines::naive::run_naive_exchange;
 use fame::protocol::run_fame;
 use fame::Params;
 use secure_radio_bench::{
-    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table,
-    TrialError, TrialOutcome, Workload,
+    smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport,
+    Table, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("thm2_impossibility") {
+        return;
+    }
     let seed = 0xBAD_C0DE;
     let ts: &[usize] = if smoke() { &[1] } else { &[1, 2, 3] };
     println!("# Theorem 2 — authentication is impossible without structure\n");
 
     let runner = ExperimentRunner::new();
-    let mut report = BenchReport::new("thm2_impossibility");
+    let mut report = ShardedReport::new("thm2_impossibility", shard);
     let mut table = Table::new(
         "naive randomized exchange vs f-AME under spoofing adversaries",
         &[
@@ -55,23 +59,29 @@ fn main() {
             .with_trials(trials)
             .with_seed(seed ^ t as u64);
         let (real, fake, undecided) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
-        let result = runner
-            .run(&spec, |ctx| {
-                let r = run_naive_exchange(4 * t, t, rounds, ctx.seed).map_err(|e| TrialError {
-                    trial: ctx.trial,
-                    message: e.to_string(),
-                })?;
-                real.fetch_add(r.accepted_real as u64, Ordering::Relaxed);
-                fake.fetch_add(r.accepted_fake as u64, Ordering::Relaxed);
-                undecided.fetch_add(r.undecided as u64, Ordering::Relaxed);
-                Ok(TrialOutcome {
-                    rounds,
-                    violations: r.accepted_fake as u64,
-                    ok: r.accepted_fake == 0,
-                    ..TrialOutcome::default()
+        let Some(_result) = report
+            .run(&spec, || {
+                runner.run(&spec, |ctx| {
+                    let r =
+                        run_naive_exchange(4 * t, t, rounds, ctx.seed).map_err(|e| TrialError {
+                            trial: ctx.trial,
+                            message: e.to_string(),
+                        })?;
+                    real.fetch_add(r.accepted_real as u64, Ordering::Relaxed);
+                    fake.fetch_add(r.accepted_fake as u64, Ordering::Relaxed);
+                    undecided.fetch_add(r.undecided as u64, Ordering::Relaxed);
+                    Ok(TrialOutcome {
+                        rounds,
+                        violations: r.accepted_fake as u64,
+                        ok: r.accepted_fake == 0,
+                        ..TrialOutcome::default()
+                    })
                 })
             })
-            .expect("naive scenario runs");
+            .expect("naive scenario runs")
+        else {
+            continue; // another shard's scenario
+        };
         let (real, fake, undecided) =
             (real.into_inner(), fake.into_inner(), undecided.into_inner());
         let decided = real + fake;
@@ -84,7 +94,6 @@ fn main() {
             format!("{:.1}%", 100.0 * fake as f64 / decided.max(1) as f64),
             undecided.to_string(),
         ]);
-        report.push(spec, result.aggregate);
     }
 
     for &t in ts {
@@ -99,28 +108,34 @@ fn main() {
         let params = spec.params();
         let instance = spec.instance();
         let delivered_total = AtomicU64::new(0);
-        let result = runner
-            .run(&spec, |ctx| {
-                let adversary = spec.adversary.build(&params, instance.pairs(), ctx.seed);
-                let run =
-                    run_fame(&instance, &params, adversary, ctx.seed).map_err(|e| TrialError {
-                        trial: ctx.trial,
-                        message: e.to_string(),
+        let Some(result) = report
+            .run(&spec, || {
+                runner.run(&spec, |ctx| {
+                    let adversary = spec.adversary.build(&params, instance.pairs(), ctx.seed);
+                    let run = run_fame(&instance, &params, adversary, ctx.seed).map_err(|e| {
+                        TrialError {
+                            trial: ctx.trial,
+                            message: e.to_string(),
+                        }
                     })?;
-                let delivered = run.outcome.delivered_count() as u64;
-                delivered_total.fetch_add(delivered, Ordering::Relaxed);
-                let forged = run.outcome.authentication_violations(&instance).len() as u64;
-                let cover = run.outcome.disruption_cover();
-                Ok(TrialOutcome {
-                    rounds: run.outcome.rounds,
-                    moves: run.moves as u64,
-                    cover: Some(cover),
-                    violations: forged,
-                    ok: forged == 0 && cover <= t,
-                    dropped_records: 0,
+                    let delivered = run.outcome.delivered_count() as u64;
+                    delivered_total.fetch_add(delivered, Ordering::Relaxed);
+                    let forged = run.outcome.authentication_violations(&instance).len() as u64;
+                    let cover = run.outcome.disruption_cover();
+                    Ok(TrialOutcome {
+                        rounds: run.outcome.rounds,
+                        moves: run.moves as u64,
+                        cover: Some(cover),
+                        violations: forged,
+                        ok: forged == 0 && cover <= t,
+                        dropped_records: 0,
+                    })
                 })
             })
-            .expect("fame scenario runs");
+            .expect("fame scenario runs")
+        else {
+            continue; // another shard's scenario
+        };
         let delivered = delivered_total.into_inner();
         let forged = result.aggregate.violations;
         table.row([
@@ -132,7 +147,6 @@ fn main() {
             format!("{:.1}%", 100.0 * forged as f64 / delivered.max(1) as f64),
             ((pairs_count * trials) as u64 - delivered).to_string(),
         ]);
-        report.push(spec, result.aggregate);
     }
 
     println!("{table}");

@@ -18,11 +18,15 @@ use fame::Params;
 use radio_network::adversaries::RandomJammer;
 use radio_network::seed;
 use secure_radio_bench::{
-    smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, Table,
-    TrialError, TrialOutcome, Workload,
+    smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport,
+    Table, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
+    let shard = ShardMode::from_args();
+    if shard.handle_merge("whp_knee") {
+        return;
+    }
     println!("# Lemma 5 w.h.p. knee: feedback_scale sweep (E11)\n");
 
     let trials = smoke_trials(40);
@@ -38,7 +42,7 @@ fn main() {
             "failure rate",
         ],
     );
-    let mut report = BenchReport::new("whp_knee");
+    let mut report = ShardedReport::new("whp_knee", shard);
 
     let scales: &[f64] = if smoke() {
         &[0.1, 4.0]
@@ -58,25 +62,30 @@ fn main() {
         let flags = [true, false, true];
         let expected: BTreeSet<usize> = [0usize, 2].into_iter().collect();
 
-        let result = runner
-            .run(&spec, |ctx| {
-                let ds = run_feedback(
-                    &p,
-                    default_witness_sets(&p, flags.len()),
-                    &flags,
-                    RandomJammer::new(seed::derive(ctx.seed, 1)),
-                    ctx.seed,
-                )
-                .map_err(|e| TrialError {
-                    trial: ctx.trial,
-                    message: e.to_string(),
-                })?;
-                Ok(TrialOutcome {
-                    ok: ds.iter().all(|d| d == &expected),
-                    ..TrialOutcome::default()
+        let Some(result) = report
+            .run(&spec, || {
+                runner.run(&spec, |ctx| {
+                    let ds = run_feedback(
+                        &p,
+                        default_witness_sets(&p, flags.len()),
+                        &flags,
+                        RandomJammer::new(seed::derive(ctx.seed, 1)),
+                        ctx.seed,
+                    )
+                    .map_err(|e| TrialError {
+                        trial: ctx.trial,
+                        message: e.to_string(),
+                    })?;
+                    Ok(TrialOutcome {
+                        ok: ds.iter().all(|d| d == &expected),
+                        ..TrialOutcome::default()
+                    })
                 })
             })
-            .expect("feedback scenario runs");
+            .expect("feedback scenario runs")
+        else {
+            continue; // another shard's scenario
+        };
 
         let failures = trials - result.aggregate.ok_count;
         table.row([
@@ -86,7 +95,6 @@ fn main() {
             trials.to_string(),
             format!("{:.1}%", 100.0 * failures as f64 / trials as f64),
         ]);
-        report.push(spec, result.aggregate);
     }
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");

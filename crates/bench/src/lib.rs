@@ -28,20 +28,27 @@
 //! [`Workload`], [`AdversaryChoice`], and [`TraceOutput`] — per-trial
 //! trace streaming to line-delimited JSON files, schema in
 //! `docs/TRACE_FORMAT.md`); [`runner`] is *how* trials execute and fold
-//! ([`ExperimentRunner`], [`Aggregate`], [`BenchReport`]); [`workloads`]
-//! generates pair lists; [`table`] renders aligned text tables.
+//! ([`ExperimentRunner`], [`Aggregate`], [`BenchReport`]); [`shard`]
+//! splits a bin's scenario grid across processes/machines (`--shard k/N`)
+//! and merges the shard files back byte-identically (`--merge <dir>`);
+//! [`json`] is the hand-rolled no-serde JSON reader behind the merge;
+//! [`workloads`] generates pair lists; [`table`] renders aligned text
+//! tables.
 //!
 //! The measured quantity is **rounds of the synchronous model** — the unit
 //! all the paper's theorems are stated in. The Criterion benches under
 //! `benches/` additionally track wall-clock time of the simulator itself.
 
+pub mod json;
 pub mod runner;
 pub mod scenario;
+pub mod shard;
 pub mod table;
 pub mod workloads;
 
 pub use runner::{Aggregate, BenchReport, ExperimentRunner, TrialCtx, TrialError, TrialOutcome};
 pub use scenario::{AdversaryChoice, ScenarioSpec, TraceOutput, Workload};
+pub use shard::{merge_shards, Shard, ShardMode, ShardedReport};
 pub use table::Table;
 
 use fame::Params;

@@ -38,7 +38,6 @@
 //! fast path) for multi-trial scenarios, keep-everything for one-shot
 //! runs where the trace is the product.
 
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -81,6 +80,55 @@ pub struct TrialOutcome {
     /// (see [`radio_network::Stats::dropped_records`]); 0 for in-memory
     /// and lossless-streamed trials.
     pub dropped_records: u64,
+}
+
+impl TrialOutcome {
+    /// This outcome as a single-line JSON object. Shard files carry every
+    /// trial outcome verbatim (`docs/BENCH_FORMAT.md`, *Shard files*), so
+    /// the merger can re-fold [`Aggregate`]s through the exact same
+    /// [`Aggregate::from_outcomes`] an unsharded run uses — that is what
+    /// makes the merged report byte-identical.
+    pub fn json(&self) -> String {
+        let cover = match self.cover {
+            Some(c) => c.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"rounds\":{},\"moves\":{},\"cover\":{cover},\"violations\":{},\
+             \"ok\":{},\"dropped_records\":{}}}",
+            self.rounds, self.moves, self.violations, self.ok, self.dropped_records,
+        )
+    }
+
+    /// Parse an outcome from the object [`TrialOutcome::json`] emits.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing/mistyped field.
+    pub fn from_json(v: &crate::json::Json) -> Result<TrialOutcome, String> {
+        use crate::json::{field, u64_field};
+        const CTX: &str = "trial outcome";
+        let cover_field = field(v, "cover", CTX)?;
+        let cover = if cover_field.is_null() {
+            None
+        } else {
+            Some(
+                cover_field
+                    .as_usize()
+                    .ok_or_else(|| format!("{CTX}: field \"cover\" is not an integer or null"))?,
+            )
+        };
+        Ok(TrialOutcome {
+            rounds: u64_field(v, "rounds", CTX)?,
+            moves: u64_field(v, "moves", CTX)?,
+            cover,
+            violations: u64_field(v, "violations", CTX)?,
+            ok: field(v, "ok", CTX)?
+                .as_bool()
+                .ok_or_else(|| format!("{CTX}: field \"ok\" is not a boolean"))?,
+            dropped_records: u64_field(v, "dropped_records", CTX)?,
+        })
+    }
 }
 
 /// A trial that could not produce an outcome (engine error, round-budget
@@ -517,13 +565,16 @@ impl BenchReport {
 
     /// Write `BENCH_<name>.json` under `dir`, returning the path.
     ///
+    /// The write is atomic-by-rename ([`write_atomic`]): a reader (or the
+    /// shard merger) never observes a truncated report, even if the
+    /// process is killed mid-write.
+    ///
     /// # Errors
     ///
-    /// I/O errors from file creation/write.
+    /// I/O errors from file creation/write/rename.
     pub fn write(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
         let path = dir.as_ref().join(format!("BENCH_{}.json", self.name));
-        let mut file = std::fs::File::create(&path)?;
-        file.write_all(self.json().as_bytes())?;
+        write_atomic(&path, &self.json())?;
         Ok(path)
     }
 
@@ -536,6 +587,26 @@ impl BenchReport {
     pub fn write_default(&self) -> std::io::Result<PathBuf> {
         self.write(".")
     }
+}
+
+/// Write `contents` to `path` atomically: write a `<file>.tmp` sibling in
+/// the same directory, then rename it over `path`.
+///
+/// `File::create` + `write_all` in place used to leave a truncated
+/// `BENCH_*.json` behind when the process was killed mid-write — exactly
+/// the torn file a later shard merge would try to ingest. Rename within
+/// one directory is atomic on POSIX, so readers observe either the old
+/// complete file or the new complete file, never a prefix.
+///
+/// # Errors
+///
+/// I/O errors from temp-file creation/write or the rename.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -764,5 +835,28 @@ mod tests {
     fn retention_default_bounded_for_sweeps() {
         assert_eq!(default_retention(1), TraceRetention::All);
         assert_eq!(default_retention(2), TraceRetention::None);
+    }
+
+    #[test]
+    fn report_write_is_atomic_by_rename() {
+        let dir = std::env::temp_dir().join(format!("bench-atomic-write-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec(1);
+        let mut report = BenchReport::new("atomic_unit");
+        report.push(
+            spec,
+            Aggregate::from_outcomes(1, &[TrialOutcome::default()]),
+        );
+        // Pre-existing (stale) report: replaced whole, tmp file cleaned up.
+        let final_path = dir.join("BENCH_atomic_unit.json");
+        std::fs::write(&final_path, "stale half-written garbag").unwrap();
+        let path = report.write(&dir).unwrap();
+        assert_eq!(path, final_path);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), report.json());
+        assert!(
+            !dir.join("BENCH_atomic_unit.json.tmp").exists(),
+            "temp file must not outlive the rename"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -10,8 +10,11 @@ use fame::{FameFrame, Params};
 use radio_network::adversaries::{
     BusyChannelJammer, NoAdversary, RandomJammer, Spoofer, SweepJammer,
 };
-use radio_network::{seed, Adversary, ChannelSink, OverflowPolicy, TraceRetention, TraceSink};
+use radio_network::{
+    json_escape, seed, Adversary, ChannelSink, OverflowPolicy, TraceRetention, TraceSink,
+};
 
+use crate::json::{field, kind, str_field, u64_field, usize_field, Json};
 use crate::workloads::{complete_pairs, disjoint_pairs, random_pairs, ring_pairs, star_pairs};
 use crate::Regime;
 
@@ -73,6 +76,53 @@ impl Workload {
             Workload::Broadcasts { count } => format!("broadcasts-{count}"),
             Workload::None => "none".into(),
         }
+    }
+
+    /// This workload as a tagged JSON object — the exact (lossless)
+    /// counterpart of the lossy display [`Workload::label`], inverted by
+    /// [`Workload::from_json`]. Part of the shard-file spec encoding
+    /// (`docs/BENCH_FORMAT.md`).
+    pub fn json(&self) -> String {
+        match *self {
+            Workload::RandomPairs { edges } => {
+                format!("{{\"kind\":\"random_pairs\",\"edges\":{edges}}}")
+            }
+            Workload::AllToAll => "{\"kind\":\"all_to_all\"}".into(),
+            Workload::Disjoint { pairs } => format!("{{\"kind\":\"disjoint\",\"pairs\":{pairs}}}"),
+            Workload::Ring => "{\"kind\":\"ring\"}".into(),
+            Workload::Star { leaves } => format!("{{\"kind\":\"star\",\"leaves\":{leaves}}}"),
+            Workload::Broadcasts { count } => {
+                format!("{{\"kind\":\"broadcasts\",\"count\":{count}}}")
+            }
+            Workload::None => "{\"kind\":\"none\"}".into(),
+        }
+    }
+
+    /// Parse a workload from the tagged object [`Workload::json`] emits.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing/mistyped field or unknown kind.
+    pub fn from_json(v: &Json) -> Result<Workload, String> {
+        const CTX: &str = "workload";
+        Ok(match kind(v, CTX)? {
+            "random_pairs" => Workload::RandomPairs {
+                edges: usize_field(v, "edges", CTX)?,
+            },
+            "all_to_all" => Workload::AllToAll,
+            "disjoint" => Workload::Disjoint {
+                pairs: usize_field(v, "pairs", CTX)?,
+            },
+            "ring" => Workload::Ring,
+            "star" => Workload::Star {
+                leaves: usize_field(v, "leaves", CTX)?,
+            },
+            "broadcasts" => Workload::Broadcasts {
+                count: u64_field(v, "count", CTX)?,
+            },
+            "none" => Workload::None,
+            other => return Err(format!("{CTX}: unknown kind \"{other}\"")),
+        })
     }
 }
 
@@ -139,6 +189,67 @@ impl AdversaryChoice {
             AdversaryChoice::OmniPreferNodes => "omni/prefer-nodes",
             AdversaryChoice::OmniVictimsSpoof { .. } => "omni/victims+spoof",
         }
+    }
+
+    /// This choice as a tagged JSON object — lossless, unlike
+    /// [`AdversaryChoice::label`] (which collapses `BusyChannel`'s window
+    /// and `OmniVictimsSpoof`'s victim list). Inverted by
+    /// [`AdversaryChoice::from_json`].
+    pub fn json(&self) -> String {
+        match self {
+            AdversaryChoice::None => "{\"kind\":\"none\"}".into(),
+            AdversaryChoice::RandomJam => "{\"kind\":\"random_jam\"}".into(),
+            AdversaryChoice::SweepJam => "{\"kind\":\"sweep_jam\"}".into(),
+            AdversaryChoice::BusyChannel { window } => {
+                format!("{{\"kind\":\"busy_channel\",\"window\":{window}}}")
+            }
+            AdversaryChoice::Spoof => "{\"kind\":\"spoof\"}".into(),
+            AdversaryChoice::OmniPreferEdges => "{\"kind\":\"omni_prefer_edges\"}".into(),
+            AdversaryChoice::OmniSpoof => "{\"kind\":\"omni_spoof\"}".into(),
+            AdversaryChoice::OmniPreferNodes => "{\"kind\":\"omni_prefer_nodes\"}".into(),
+            AdversaryChoice::OmniVictimsSpoof { victims } => {
+                let victims: Vec<String> = victims.iter().map(ToString::to_string).collect();
+                format!(
+                    "{{\"kind\":\"omni_victims_spoof\",\"victims\":[{}]}}",
+                    victims.join(",")
+                )
+            }
+        }
+    }
+
+    /// Parse a choice from the tagged object [`AdversaryChoice::json`]
+    /// emits.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing/mistyped field or unknown kind.
+    pub fn from_json(v: &Json) -> Result<AdversaryChoice, String> {
+        const CTX: &str = "adversary";
+        Ok(match kind(v, CTX)? {
+            "none" => AdversaryChoice::None,
+            "random_jam" => AdversaryChoice::RandomJam,
+            "sweep_jam" => AdversaryChoice::SweepJam,
+            "busy_channel" => AdversaryChoice::BusyChannel {
+                window: usize_field(v, "window", CTX)?,
+            },
+            "spoof" => AdversaryChoice::Spoof,
+            "omni_prefer_edges" => AdversaryChoice::OmniPreferEdges,
+            "omni_spoof" => AdversaryChoice::OmniSpoof,
+            "omni_prefer_nodes" => AdversaryChoice::OmniPreferNodes,
+            "omni_victims_spoof" => {
+                let victims = field(v, "victims", CTX)?
+                    .as_array()
+                    .ok_or_else(|| format!("{CTX}: field \"victims\" is not an array"))?
+                    .iter()
+                    .map(|x| {
+                        x.as_usize()
+                            .ok_or_else(|| format!("{CTX}: victim is not an unsigned integer"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                AdversaryChoice::OmniVictimsSpoof { victims }
+            }
+            other => return Err(format!("{CTX}: unknown kind \"{other}\"")),
+        })
     }
 
     /// Build the attacker for one trial.
@@ -230,36 +341,127 @@ impl TraceOutput {
     }
 
     /// Parse the experiment bins' shared CLI contract from the process
-    /// arguments: `--trace-out <dir>` selects [`TraceOutput::Stream`]
-    /// (default policy: lossless [`OverflowPolicy::Block`]), and
-    /// `--trace-lossy` switches to [`OverflowPolicy::DropNewest`]
-    /// (dropped records are counted in `BENCH_*.json`). Without
-    /// `--trace-out`, traces stay in memory.
+    /// arguments: `--trace-out <dir>` (or `--trace-out=<dir>`) selects
+    /// [`TraceOutput::Stream`] (default policy: lossless
+    /// [`OverflowPolicy::Block`]), and `--trace-lossy` switches to
+    /// [`OverflowPolicy::DropNewest`] (dropped records are counted in
+    /// `BENCH_*.json`). Without `--trace-out`, traces stay in memory.
     ///
     /// # Panics
     ///
-    /// Panics when `--trace-out` is given without a directory (CLI
-    /// misuse, reported at startup).
+    /// Panics on CLI misuse, reported at startup: `--trace-out` without a
+    /// directory, and `--trace-lossy` without `--trace-out` — the latter
+    /// used to be silently ignored, leaving the user believing they had
+    /// opted into lossy streaming while nothing streamed at all.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let lossy = args.iter().any(|a| a == "--trace-lossy");
-        match args.iter().position(|a| a == "--trace-out") {
-            Some(i) => {
-                let dir = args
-                    .get(i + 1)
-                    .filter(|a| !a.starts_with("--"))
-                    .unwrap_or_else(|| panic!("--trace-out needs a directory"));
-                TraceOutput::Stream {
-                    dir: PathBuf::from(dir),
-                    policy: if lossy {
-                        OverflowPolicy::DropNewest
-                    } else {
-                        OverflowPolicy::Block
-                    },
-                }
-            }
-            None => TraceOutput::Memory,
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match TraceOutput::parse_args(&args) {
+            Ok(trace) => trace,
+            Err(message) => panic!("{message}"),
         }
+    }
+
+    /// The argument-list core of [`TraceOutput::from_args`], split out so
+    /// the contract is unit-testable.
+    ///
+    /// # Errors
+    ///
+    /// A usage message on CLI misuse: a missing `--trace-out` value, a
+    /// value that looks like another flag (use the `--trace-out=<dir>`
+    /// form for directory names that genuinely start with `--`), or an
+    /// orphan `--trace-lossy` with nothing to stream.
+    pub fn parse_args(args: &[String]) -> Result<Self, String> {
+        let mut dir: Option<String> = None;
+        let mut lossy = false;
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if arg == "--trace-lossy" {
+                lossy = true;
+            } else if arg == "--trace-out" {
+                match iter.peek() {
+                    Some(value) if !value.starts_with("--") => {
+                        dir = Some((*value).clone());
+                        iter.next();
+                    }
+                    Some(value) => {
+                        return Err(format!(
+                            "--trace-out {value}: the value looks like another flag; \
+                             use --trace-out={value} if that really is the directory"
+                        ))
+                    }
+                    None => return Err("--trace-out needs a directory".into()),
+                }
+            } else if let Some(value) = arg.strip_prefix("--trace-out=") {
+                if value.is_empty() {
+                    return Err("--trace-out= needs a non-empty directory".into());
+                }
+                dir = Some(value.to_string());
+            } else if arg.starts_with("--trace") {
+                // A typo like `--trace-outdir` or `--tracelossy` must not
+                // silently run without streaming.
+                return Err(format!(
+                    "unrecognized option \"{arg}\"; use --trace-out <dir> \
+                     (or --trace-out=<dir>) and --trace-lossy"
+                ));
+            }
+        }
+        match (dir, lossy) {
+            (Some(dir), lossy) => Ok(TraceOutput::Stream {
+                dir: PathBuf::from(dir),
+                policy: if lossy {
+                    OverflowPolicy::DropNewest
+                } else {
+                    OverflowPolicy::Block
+                },
+            }),
+            (None, true) => Err(
+                "--trace-lossy without --trace-out has no effect: nothing streams, \
+                 so nothing can be lossy; pass --trace-out <dir> or drop the flag"
+                    .into(),
+            ),
+            (None, false) => Ok(TraceOutput::Memory),
+        }
+    }
+
+    /// This output as a tagged JSON object (part of the shard-file spec
+    /// encoding). Inverted by [`TraceOutput::from_json`]; non-UTF-8
+    /// stream directories are encoded lossily.
+    pub fn json(&self) -> String {
+        match self {
+            TraceOutput::Memory => "{\"kind\":\"memory\"}".into(),
+            TraceOutput::Stream { dir, policy } => {
+                let policy = match policy {
+                    OverflowPolicy::Block => "block",
+                    OverflowPolicy::DropNewest => "drop_newest",
+                };
+                format!(
+                    "{{\"kind\":\"stream\",\"dir\":\"{}\",\"policy\":\"{policy}\"}}",
+                    json_escape(&dir.to_string_lossy())
+                )
+            }
+        }
+    }
+
+    /// Parse an output from the tagged object [`TraceOutput::json`]
+    /// emits.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing/mistyped field or unknown kind.
+    pub fn from_json(v: &Json) -> Result<TraceOutput, String> {
+        const CTX: &str = "trace";
+        Ok(match kind(v, CTX)? {
+            "memory" => TraceOutput::Memory,
+            "stream" => TraceOutput::Stream {
+                dir: PathBuf::from(str_field(v, "dir", CTX)?),
+                policy: match str_field(v, "policy", CTX)? {
+                    "block" => OverflowPolicy::Block,
+                    "drop_newest" => OverflowPolicy::DropNewest,
+                    other => return Err(format!("{CTX}: unknown policy \"{other}\"")),
+                },
+            },
+            other => return Err(format!("{CTX}: unknown kind \"{other}\"")),
+        })
     }
 }
 
@@ -365,7 +567,11 @@ impl ScenarioSpec {
     /// The trace-file path trial `trial` streams to under
     /// [`TraceOutput::Stream`] (`None` for in-memory scenarios). The file
     /// name is the scenario name with non-alphanumeric characters mapped
-    /// to `-`.
+    /// to `-`, plus an 8-hex-digit hash of the **exact** name: the slug
+    /// alone is lossy (`fame:n=64` and `fame-n-64` slug identically), and
+    /// two scenarios streaming into one `--trace-out` directory used to
+    /// silently interleave-clobber each other's `.jsonl` files. Distinct
+    /// names now get distinct files.
     pub fn trace_path(&self, trial: usize) -> Option<PathBuf> {
         let TraceOutput::Stream { dir, .. } = &self.trace else {
             return None;
@@ -375,7 +581,15 @@ impl ScenarioSpec {
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
             .collect();
-        Some(dir.join(format!("{slug}.trial{trial}.jsonl")))
+        // FNV-1a, folded to 32 bits — collision-safe at per-directory
+        // scenario counts, and short enough to keep file names readable.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.name.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let disambiguator = (hash ^ (hash >> 32)) & 0xffff_ffff;
+        Some(dir.join(format!("{slug}-{disambiguator:08x}.trial{trial}.jsonl")))
     }
 
     /// Build the per-trial streaming sink this spec requests, if any.
@@ -453,6 +667,49 @@ impl ScenarioSpec {
     pub fn instance(&self) -> AmeInstance {
         AmeInstance::new(self.params().n(), self.pairs()).expect("scenario instance valid")
     }
+
+    /// This spec as a single-line JSON object, in the workspace's
+    /// hand-rolled no-serde style (cf.
+    /// [`BenchReport::json`](crate::BenchReport::json)). Lossless:
+    /// [`ScenarioSpec::from_json`]
+    /// reconstructs an equal spec, which is what lets a merged shard
+    /// report re-emit rows byte-identically to an unsharded run
+    /// (`docs/BENCH_FORMAT.md`, *Shard files*).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"n\":{},\"t\":{},\"channels\":{},\"workload\":{},\
+             \"adversary\":{},\"trials\":{},\"base_seed\":{},\"trace\":{}}}",
+            json_escape(&self.name),
+            self.n,
+            self.t,
+            self.channels,
+            self.workload.json(),
+            self.adversary.json(),
+            self.trials,
+            self.base_seed,
+            self.trace.json(),
+        )
+    }
+
+    /// Parse a spec from the object [`ScenarioSpec::json`] emits.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the missing/mistyped field.
+    pub fn from_json(v: &Json) -> Result<ScenarioSpec, String> {
+        const CTX: &str = "scenario spec";
+        Ok(ScenarioSpec {
+            name: str_field(v, "name", CTX)?.to_string(),
+            n: usize_field(v, "n", CTX)?,
+            t: usize_field(v, "t", CTX)?,
+            channels: usize_field(v, "channels", CTX)?,
+            workload: Workload::from_json(field(v, "workload", CTX)?)?,
+            adversary: AdversaryChoice::from_json(field(v, "adversary", CTX)?)?,
+            trials: usize_field(v, "trials", CTX)?,
+            base_seed: u64_field(v, "base_seed", CTX)?,
+            trace: TraceOutput::from_json(field(v, "trace", CTX)?)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -512,5 +769,137 @@ mod tests {
     fn params_keeps_admissible_n_verbatim() {
         let n = Params::min_nodes(2, 3) + 5;
         assert_eq!(ScenarioSpec::new("s", n, 2, 3).params().n(), n);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn trace_args_contract() {
+        assert_eq!(TraceOutput::parse_args(&args(&[])), Ok(TraceOutput::Memory));
+        assert_eq!(
+            TraceOutput::parse_args(&args(&["--trace-out", "traces"])),
+            Ok(TraceOutput::Stream {
+                dir: PathBuf::from("traces"),
+                policy: OverflowPolicy::Block,
+            })
+        );
+        // The `=` form is equivalent, and the only way to name a
+        // directory that starts with `--`.
+        assert_eq!(
+            TraceOutput::parse_args(&args(&["--trace-out=traces", "--trace-lossy"])),
+            Ok(TraceOutput::Stream {
+                dir: PathBuf::from("traces"),
+                policy: OverflowPolicy::DropNewest,
+            })
+        );
+        assert_eq!(
+            TraceOutput::parse_args(&args(&["--trace-out=--odd-dir"])),
+            Ok(TraceOutput::Stream {
+                dir: PathBuf::from("--odd-dir"),
+                policy: OverflowPolicy::Block,
+            })
+        );
+        // Flag-looking positional value: refused, pointing at the = form.
+        let err = TraceOutput::parse_args(&args(&["--trace-out", "--trace-lossy"])).unwrap_err();
+        assert!(err.contains("--trace-out=--trace-lossy"), "{err}");
+        assert!(TraceOutput::parse_args(&args(&["--trace-out"])).is_err());
+        assert!(TraceOutput::parse_args(&args(&["--trace-out="])).is_err());
+        // Typos must not silently run without streaming.
+        assert!(TraceOutput::parse_args(&args(&["--trace-outdir", "t"])).is_err());
+        assert!(TraceOutput::parse_args(&args(&["--tracelossy", "--trace-out", "t"])).is_err());
+        // Other parsers' flags pass through untouched.
+        assert_eq!(
+            TraceOutput::parse_args(&args(&["--shard", "1/2"])),
+            Ok(TraceOutput::Memory)
+        );
+    }
+
+    #[test]
+    fn orphan_trace_lossy_errors_loudly() {
+        // Regression: `--trace-lossy` without `--trace-out` used to be
+        // silently ignored — the user believed they had opted into lossy
+        // streaming while nothing streamed at all.
+        let err = TraceOutput::parse_args(&args(&["--trace-lossy"])).unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
+    }
+
+    #[test]
+    fn trace_paths_distinguish_colliding_slugs() {
+        // Regression: both names slug to `fame-n-64`, so they used to
+        // stream to the same trial files and silently clobber each other.
+        let stream = TraceOutput::Stream {
+            dir: PathBuf::from("traces"),
+            policy: OverflowPolicy::Block,
+        };
+        let a = ScenarioSpec::new("fame:n=64", 40, 2, 3).with_trace_output(stream.clone());
+        let b = ScenarioSpec::new("fame-n-64", 40, 2, 3).with_trace_output(stream.clone());
+        let (pa, pb) = (a.trace_path(0).unwrap(), b.trace_path(0).unwrap());
+        assert_ne!(pa, pb);
+        for p in [&pa, &pb] {
+            let name = p.file_name().unwrap().to_str().unwrap();
+            assert!(name.starts_with("fame-n-64-"), "{name}");
+            assert!(name.ends_with(".trial0.jsonl"), "{name}");
+        }
+        // Deterministic across calls and trials share the scenario stem.
+        assert_eq!(pa, a.trace_path(0).unwrap());
+        assert_ne!(pa, a.trace_path(1).unwrap());
+        assert_eq!(ScenarioSpec::new("x", 4, 1, 2).trace_path(0), None);
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let workloads = [
+            Workload::RandomPairs { edges: 24 },
+            Workload::AllToAll,
+            Workload::Disjoint { pairs: 3 },
+            Workload::Ring,
+            Workload::Star { leaves: 5 },
+            Workload::Broadcasts { count: 9 },
+            Workload::None,
+        ];
+        let traces = [
+            TraceOutput::Memory,
+            TraceOutput::Stream {
+                dir: PathBuf::from("traces/deep dir"),
+                policy: OverflowPolicy::Block,
+            },
+            TraceOutput::Stream {
+                dir: PathBuf::from("t"),
+                policy: OverflowPolicy::DropNewest,
+            },
+        ];
+        let mut count = 0;
+        for workload in &workloads {
+            for adversary in AdversaryChoice::roster() {
+                for trace in &traces {
+                    let spec = ScenarioSpec::new("E5 \"naïve\"\tt=2", 40, 2, 3)
+                        .with_workload(workload.clone())
+                        .with_adversary(adversary.clone())
+                        .with_trials(17)
+                        .with_seed(u64::MAX - 3)
+                        .with_trace_output(trace.clone());
+                    let parsed =
+                        ScenarioSpec::from_json(&Json::parse(&spec.json()).unwrap()).unwrap();
+                    assert_eq!(parsed, spec);
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, workloads.len() * AdversaryChoice::roster().len() * 3);
+    }
+
+    #[test]
+    fn spec_from_json_names_bad_fields() {
+        let spec = ScenarioSpec::new("s", 40, 2, 3);
+        let good = Json::parse(&spec.json()).unwrap();
+        let err = ScenarioSpec::from_json(&Json::parse("{}").unwrap()).unwrap_err();
+        assert!(err.contains("\"name\""), "{err}");
+        // Unknown adversary kind is named.
+        let doc = spec.json().replace("random_jam", "quantum_jam");
+        let err = ScenarioSpec::from_json(&Json::parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("quantum_jam"), "{err}");
+        assert!(ScenarioSpec::from_json(&good).is_ok());
     }
 }
