@@ -1,28 +1,39 @@
 //! Hot-path bench: raw `Network::resolve_round` throughput.
 //!
-//! Measures the scratch-buffer engine against `baseline` — a faithful
-//! copy of the pre-refactor round-resolution loop (fresh `Vec`s every
-//! round, extra frame clones, unconditional record construction) — across
-//! the trace-retention policies, for a cheap `u64` frame and a clone-heavy
-//! `Vec<u8>` frame.
+//! Measures the arena-backed engine against `baseline` — a faithful copy
+//! of the original (pre-arena, pre-scratch) round-resolution loop (fresh
+//! `Vec`s every round, extra frame clones, unconditional record
+//! construction) — across the trace-retention policies, for a cheap `u64`
+//! frame and a clone-heavy `Vec<u8>` frame.
 //!
-//! A second group (`sinks/*`) compares the pluggable [`TraceSink`]s under
-//! full record construction (`TraceRetention::All` semantics) on a larger
-//! grid, where retention cost dominates: the classic in-memory trace vs a
-//! [`ChannelSink`] streaming line-delimited JSON to a file from a
-//! background writer thread (both overflow policies) vs the record-free
-//! [`NullSink`] floor.
+//! Three groups:
+//!
+//! * `resolve_round/*` — the engine as consumers drive it: per-round
+//!   adversary construction, borrowed [`RoundView`] result.
+//! * `arena/*` — the arena round core isolated: adversary actions are
+//!   pre-built once and reused, so a timed round performs **zero**
+//!   steady-state allocations with retention off, and only recycled
+//!   bounded-window retention otherwise (`tests/zero_alloc.rs` pins the
+//!   zero with a counting allocator). `owned_last64` measures the
+//!   [`RoundView::to_resolution`] migration escape hatch for contrast.
+//! * `sinks/*` — the pluggable [`TraceSink`]s under full record
+//!   construction on a larger grid, where retention cost dominates.
 //!
 //! Besides the usual criterion output, `main` writes the measured
 //! per-round times to `BENCH_engine.json` so the perf trajectory of this
-//! path is tracked in-repo.
+//! path is tracked in-repo. Under `BENCH_SMOKE=1` (the CI per-push leg)
+//! sample counts shrink, the JSON baseline is left untouched, and a loose
+//! sanity gate panics if the arena path regresses past the pre-refactor
+//! baseline — an allocation-storm regression fails the build loudly
+//! instead of silently drifting `BENCH_engine.json`.
 
 use criterion::{black_box, summaries_json, Criterion, Summary};
 use radio_network::{
     Action, AdversaryAction, ChannelId, ChannelOutcome, ChannelSink, Emission, InMemorySink,
-    Network, NetworkConfig, NodeId, NullSink, OverflowPolicy, RoundRecord, TraceRetention,
-    TraceSink,
+    Network, NetworkConfig, NodeId, NullSink, OverflowPolicy, RoundRecord, RoundView,
+    TraceRetention, TraceSink,
 };
+use secure_radio_bench::smoke;
 use std::collections::VecDeque;
 use std::fmt::Debug;
 
@@ -60,8 +71,20 @@ fn adversary<M>(round: usize) -> AdversaryAction<M> {
     ])
 }
 
+/// Drain the parts of a [`RoundView`] a protocol driver touches, without
+/// materializing anything — what the steady-state consumer costs.
+fn consume_view<M>(view: &RoundView<'_, M>) -> usize {
+    let mut delivered = 0usize;
+    for ch in 0..view.channels() {
+        if view.heard_on(ChannelId(ch)).is_some() {
+            delivered += 1;
+        }
+    }
+    delivered
+}
+
 /// A faithful reproduction of the round loop as it was before the
-/// scratch-buffer refactor: every round allocates fresh gather buffers,
+/// scratch/arena refactors: every round allocates fresh gather buffers,
 /// clones each frame twice (gather + record), and always builds the trace
 /// record. Retention semantics match `TraceRetention::LastRounds(k)`.
 mod baseline {
@@ -151,9 +174,17 @@ mod baseline {
     }
 }
 
+fn sample_size(full: usize) -> usize {
+    if smoke() {
+        3
+    } else {
+        full
+    }
+}
+
 fn bench_frame_kind<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str, frame: &M) {
     let mut group = c.benchmark_group(&format!("resolve_round/{kind}"));
-    group.sample_size(20);
+    group.sample_size(sample_size(20));
 
     // Pre-build the action schedule once; the engine sees &[Action<M>].
     let schedule: Vec<Vec<Action<M>>> = (0..ROUNDS_PER_ITER).map(|r| actions(r, frame)).collect();
@@ -182,9 +213,57 @@ fn bench_frame_kind<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: 
                 .with_retention(retention);
             b.iter(|| {
                 let mut net: Network<M> = Network::new(cfg);
+                let mut delivered = 0usize;
                 for (r, acts) in schedule.iter().enumerate() {
-                    black_box(net.resolve_round(acts, adversary(r)).unwrap());
+                    let adv = adversary(r);
+                    let view = net.resolve_round(acts, &adv).unwrap();
+                    delivered += consume_view(black_box(&view));
                 }
+                delivered
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The arena round core isolated: actions *and* adversary moves are
+/// pre-built, so a timed round is exactly the engine's own work — gather,
+/// counting-sort spans, slot tags, stats, and (for the retention-on rows)
+/// the recycled record arena. `owned_last64` adds the
+/// [`RoundView::to_resolution`] materialization for contrast with the
+/// borrowed view path.
+fn bench_arena<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str, frame: &M) {
+    let mut group = c.benchmark_group(&format!("arena/{kind}"));
+    group.sample_size(sample_size(20));
+
+    let schedule: Vec<Vec<Action<M>>> = (0..ROUNDS_PER_ITER).map(|r| actions(r, frame)).collect();
+    let adversaries: Vec<AdversaryAction<M>> = (0..ROUNDS_PER_ITER).map(adversary).collect();
+
+    for (label, retention, owned) in [
+        ("view_none", TraceRetention::None, false),
+        ("view_last64", TraceRetention::LastRounds(64), false),
+        ("owned_last64", TraceRetention::LastRounds(64), true),
+    ] {
+        group.bench_function(label, |b| {
+            let cfg = NetworkConfig::new(CHANNELS, BUDGET)
+                .unwrap()
+                .with_retention(retention);
+            b.iter(|| {
+                let mut net: Network<M> = Network::new(cfg);
+                let mut delivered = 0usize;
+                for (acts, adv) in schedule.iter().zip(&adversaries) {
+                    let view = net.resolve_round(acts, adv).unwrap();
+                    if owned {
+                        delivered += black_box(view.to_resolution())
+                            .outcomes
+                            .iter()
+                            .filter(|o| o.heard().is_some())
+                            .count();
+                    } else {
+                        delivered += consume_view(black_box(&view));
+                    }
+                }
+                delivered
             })
         });
     }
@@ -207,11 +286,12 @@ fn bench_frame_kind<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: 
 /// channel rows are an upper bound there — real cores only widen the gap.
 fn bench_sinks<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str, frame: &M) {
     let mut group = c.benchmark_group(&format!("sinks/{kind}"));
-    group.sample_size(10);
+    group.sample_size(sample_size(10));
 
     let schedule: Vec<Vec<Action<M>>> = (0..SINK_ROUNDS_PER_ITER)
         .map(|r| actions(r, frame))
         .collect();
+    let adversaries: Vec<AdversaryAction<M>> = (0..SINK_ROUNDS_PER_ITER).map(adversary).collect();
     let cfg = NetworkConfig::new(CHANNELS, BUDGET).unwrap();
     let trace_path = std::env::temp_dir().join(format!(
         "secure-radio-bench-sink-{}-{kind}.jsonl",
@@ -250,8 +330,11 @@ fn bench_sinks<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str,
         group.bench_function(label, |b| {
             b.iter(|| {
                 for i in 0..SINK_ROUNDS_PER_ITER {
-                    let acts = &schedule[(round + i) % SINK_ROUNDS_PER_ITER];
-                    black_box(net.resolve_round(acts, adversary(round + i)).unwrap());
+                    let slot = (round + i) % SINK_ROUNDS_PER_ITER;
+                    let view = net
+                        .resolve_round(&schedule[slot], &adversaries[slot])
+                        .unwrap();
+                    black_box(view.round());
                 }
                 round += SINK_ROUNDS_PER_ITER;
                 net.stats().dropped_records
@@ -269,15 +352,17 @@ fn main() {
     let mut c = Criterion::default();
     bench_frame_kind(&mut c, "u64", &0xFEEDu64);
     bench_frame_kind(&mut c, "vec256", &vec![0xA5u8; 256]);
+    bench_arena(&mut c, "u64", &0xFEEDu64);
+    bench_arena(&mut c, "vec256", &vec![0xA5u8; 256]);
     bench_sinks(&mut c, "u64", &0xFEEDu64);
     bench_sinks(&mut c, "vec256", &vec![0xA5u8; 256]);
 
     let summaries: Vec<Summary> = c.take_summaries();
     if summaries.iter().all(|s| s.median_ns > 0.0) {
         // Normalize to per-round cost (each iteration resolves a full
-        // schedule — ROUNDS_PER_ITER rounds for the `resolve_round/*`
-        // group, SINK_ROUNDS_PER_ITER for `sinks/*`) before writing the
-        // JSON baseline.
+        // schedule — ROUNDS_PER_ITER rounds for the `resolve_round/*` and
+        // `arena/*` groups, SINK_ROUNDS_PER_ITER for `sinks/*`) before
+        // writing the JSON baseline.
         let per_round: Vec<Summary> = summaries
             .iter()
             .map(|s| {
@@ -297,34 +382,70 @@ fn main() {
                 }
             })
             .collect();
+        let median = |needle: &str| {
+            per_round
+                .iter()
+                .find(|s| s.id == needle)
+                .map(|s| s.median_ns)
+        };
+        // The smoke-mode regression gate: the arena path with recycled
+        // bounded retention must never fall behind the pre-refactor
+        // baseline loop. The 1.0x threshold is deliberately loose (the
+        // steady-state gap is severalfold) so CI timing noise cannot trip
+        // it, while an accidental per-round allocation storm still fails
+        // the push loudly instead of silently drifting BENCH_engine.json.
+        for kind in ["u64", "vec256"] {
+            if let (Some(naive), Some(arena)) = (
+                median(&format!("resolve_round/{kind}/baseline_last64")),
+                median(&format!("arena/{kind}/view_last64")),
+            ) {
+                assert!(
+                    arena <= naive,
+                    "arena regression ({kind}): view_last64 {arena:.0} ns/round is slower than \
+                     the pre-refactor baseline {naive:.0} ns/round"
+                );
+            }
+        }
+        if smoke() {
+            println!(
+                "\nsmoke mode: sanity gate passed; BENCH_engine.json left untouched \
+                 (run without BENCH_SMOKE to refresh it)"
+            );
+            return;
+        }
         // cargo runs benches with the package dir as CWD; write the
         // baseline next to the other BENCH_*.json at the workspace root.
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
         std::fs::write(path, summaries_json(&per_round)).expect("write BENCH_engine.json");
         println!("\nwrote BENCH_engine.json (times are ns per resolved round)");
         for kind in ["u64", "vec256"] {
-            let median = |needle: &str| {
-                per_round
-                    .iter()
-                    .find(|s| s.id == format!("resolve_round/{kind}/{needle}"))
-                    .map(|s| s.median_ns)
-            };
-            if let (Some(naive), Some(lean)) = (median("baseline_last64"), median("engine_none")) {
+            if let (Some(naive), Some(lean)) = (
+                median(&format!("resolve_round/{kind}/baseline_last64")),
+                median(&format!("resolve_round/{kind}/engine_none")),
+            ) {
                 println!(
                     "{kind}: baseline {naive:.0} ns/round -> retention-none engine \
                      {lean:.0} ns/round ({:.2}x)",
                     naive / lean
                 );
             }
-            let sink = |needle: &str| {
-                per_round
-                    .iter()
-                    .find(|s| s.id == format!("sinks/{kind}/{needle}"))
-                    .map(|s| s.median_ns)
-            };
-            if let (Some(mem), Some(drop), Some(null)) =
-                (sink("inmemory_all"), sink("channel_drop"), sink("null"))
-            {
+            if let (Some(naive), Some(view), Some(none)) = (
+                median(&format!("resolve_round/{kind}/baseline_last64")),
+                median(&format!("arena/{kind}/view_last64")),
+                median(&format!("arena/{kind}/view_none")),
+            ) {
+                println!(
+                    "{kind} arena: retention-on view {view:.0} ns/round ({:.2}x vs baseline), \
+                     zero-alloc view {none:.0} ns/round ({:.2}x)",
+                    naive / view,
+                    naive / none
+                );
+            }
+            if let (Some(mem), Some(drop), Some(null)) = (
+                median(&format!("sinks/{kind}/inmemory_all")),
+                median(&format!("sinks/{kind}/channel_drop")),
+                median(&format!("sinks/{kind}/null")),
+            ) {
                 println!(
                     "{kind} sinks @{SINK_ROUNDS_PER_ITER} rounds: in-memory {mem:.0} \
                      ns/round, channel(drop) {drop:.0} ns/round ({:.2}x), \

@@ -5,19 +5,15 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use removal_game::game::GameState;
-use removal_game::greedy::greedy_proposal;
 use removal_game::referee::{AdversarialReferee, GenerousReferee, Referee};
 use secure_radio_bench::workloads::random_pairs;
 
 fn play<R: Referee>(n: usize, pairs: &[(usize, usize)], t: usize, mut referee: R) -> usize {
     let mut game = GameState::new(n, pairs.iter().copied(), t).unwrap();
-    let mut moves = 0;
-    while let Some(p) = greedy_proposal(&game) {
-        let resp = referee.respond(&game, &p);
-        game.apply_response(&p, &resp).unwrap();
-        moves += 1;
-    }
-    moves
+    // The library driver reuses one response buffer across moves
+    // (`Referee::respond_into`), so this measures the game, not the
+    // allocator.
+    removal_game::greedy::play(&mut game, &mut referee).expect("library referees are legal")
 }
 
 fn bench_game(c: &mut Criterion) {

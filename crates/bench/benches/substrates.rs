@@ -83,9 +83,11 @@ fn bench_engine_round(c: &mut Criterion) {
                 _ => Action::Sleep,
             })
             .collect();
+        let adversary: AdversaryAction<u64> = AdversaryAction::jam([ChannelId(0)]);
         b.iter(|| {
-            net.resolve_round(black_box(&actions), AdversaryAction::jam([ChannelId(0)]))
+            net.resolve_round(black_box(&actions), black_box(&adversary))
                 .expect("resolves")
+                .round()
         })
     });
 }

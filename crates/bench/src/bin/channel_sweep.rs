@@ -32,6 +32,9 @@ fn main() {
     if shard.handle_merge("channel_sweep") {
         return;
     }
+    if shard.handle_exec("channel_sweep") {
+        return;
+    }
     let trace = TraceOutput::from_args();
     let trials = smoke_trials(8);
     let t = 2;
@@ -92,12 +95,7 @@ fn main() {
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
-    if let TraceOutput::Stream { dir, .. } = &trace {
-        println!(
-            "streamed per-trial traces to {} (schema: docs/TRACE_FORMAT.md)",
-            dir.display()
-        );
-    }
+    trace.announce();
     println!(
         "Reading: adding channels pays twice — cheaper feedback everywhere \
          (the (C−t)/C escape probability), and from C = 2t on, double-size \

@@ -16,12 +16,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use fame::compact::{reconstruction_hashes, run_compact_fame};
 use fame::messages::FameFrame;
-use fame::protocol::run_fame;
+
 use radio_network::adversaries::{RandomJammer, Spoofer};
 use radio_network::seed;
 use secure_radio_bench::{
-    smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport, Table,
-    TrialError, TrialOutcome, Workload,
+    fame_run_for_trial, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode,
+    ShardedReport, Table, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
@@ -29,6 +29,13 @@ fn main() {
     if shard.handle_merge("compact_audit") {
         return;
     }
+    if shard.handle_exec("compact_audit") {
+        return;
+    }
+    // The plain f-AME scenarios honor --trace-out; the compact-vector
+    // variant drives its own chunked exchange internally and keeps
+    // traces in memory (its specs say so).
+    let trace = TraceOutput::from_args();
     let base_seed = 0xC0;
     let t = 2;
     let trials = smoke_trials(6);
@@ -59,7 +66,8 @@ fn main() {
         .with_workload(Workload::Star { leaves })
         .with_adversary(AdversaryChoice::RandomJam)
         .with_trials(trials)
-        .with_seed(base_seed);
+        .with_seed(base_seed)
+        .with_trace_output(trace.clone());
     let params = plain_spec.params();
     let instance = plain_spec.instance();
     let plain_max_values = instance.outbox_of(0).len();
@@ -67,14 +75,8 @@ fn main() {
     let plain = report
         .run(&plain_spec, || {
             runner.run(&plain_spec, |ctx| {
-                let adversary = plain_spec
-                    .adversary
-                    .build(&params, instance.pairs(), ctx.seed);
-                let run =
-                    run_fame(&instance, &params, adversary, ctx.seed).map_err(|e| TrialError {
-                        trial: ctx.trial,
-                        message: e.to_string(),
-                    })?;
+                // Streaming-aware: honors the spec's --trace-out.
+                let run = fame_run_for_trial(&params, &instance, ctx)?;
                 delivered_plain.fetch_add(run.outcome.delivered_count() as u64, Ordering::Relaxed);
                 let forged = run.outcome.authentication_violations(&instance).len() as u64;
                 let cover = run.outcome.disruption_cover();
@@ -189,6 +191,7 @@ fn main() {
     );
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
+    trace.announce();
     println!(
         "\nReading: frames drop from {plain_max_values} AME values to \
          {compact_max} (payload + reconstruction hash) with no authenticity \

@@ -16,7 +16,7 @@ use fame::Params;
 use secure_radio_bench::workloads::complete_pairs;
 use secure_radio_bench::{
     smoke, smoke_trials, AdversaryChoice, BenchReport, ExperimentRunner, ScenarioSpec, ShardMode,
-    ShardedReport, TrialError, TrialOutcome, Workload,
+    ShardedReport, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
@@ -24,6 +24,13 @@ fn main() {
     if shard.handle_merge("disruptability") {
         return;
     }
+    if shard.handle_exec("disruptability") {
+        return;
+    }
+    // E4 trials run full f-AME and honor --trace-out; the bespoke E6
+    // triangle-attack trials drive the direct baseline internally and
+    // keep their traces in memory (their specs say so).
+    let trace = TraceOutput::from_args();
     let seed = 77;
     let trials = smoke_trials(4);
     let ts: &[usize] = if smoke() { &[2] } else { &[2, 3] };
@@ -41,7 +48,8 @@ fn main() {
                     .with_workload(Workload::RandomPairs { edges: 24 })
                     .with_adversary(adversary)
                     .with_trials(trials)
-                    .with_seed(seed);
+                    .with_seed(seed)
+                    .with_trace_output(trace.clone());
             let Some(result) = report
                 .run(&spec, || runner.run_fame_scenario(&spec))
                 .expect("fame scenario runs")
@@ -114,6 +122,7 @@ fn main() {
 
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
+    trace.announce();
     println!(
         "Paper claims reproduced: f-AME stays within a vertex cover of t \
          under every attacker (Theorem 6, optimal by Theorem 2), while \

@@ -35,6 +35,21 @@ fn main() {
     if shard.handle_merge("extensions") {
         return;
     }
+    if shard.handle_exec("extensions") {
+        return;
+    }
+    // Parse the shared trace contract so typos and unsupported use fail
+    // loudly: every Section 8 trial (residual re-runs, Byzantine variant,
+    // pairwise slots) drives bespoke multi-phase runners that do not
+    // stream traces yet — refuse rather than silently not stream.
+    if secure_radio_bench::TraceOutput::from_args().is_stream() {
+        eprintln!(
+            "error: --trace-out is not supported by extensions: its Section 8 \
+             trials run bespoke multi-phase runners that do not stream traces \
+             yet; drop the flag (the other experiment bins support it)"
+        );
+        std::process::exit(1);
+    }
     let base_seed = 0xE57;
     let trials = smoke_trials(4);
     println!(

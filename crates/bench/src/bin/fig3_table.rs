@@ -19,17 +19,18 @@
 //! the *shape* columns (measured p50 / theory) should be flat across each
 //! sweep.
 
-use fame::feedback::{default_witness_sets, run_feedback};
+use fame::feedback::{default_witness_sets, run_feedback, run_feedback_streaming};
 use fame::params::FeedbackMode;
 use radio_network::adversaries::RandomJammer;
 use radio_network::seed;
+use radio_network::TraceRetention;
 use removal_game::game::GameState;
-use removal_game::greedy::greedy_proposal;
-use removal_game::referee::{AdversarialReferee, Referee};
+use removal_game::greedy::play;
+use removal_game::referee::AdversarialReferee;
 use secure_radio_bench::workloads::random_pairs;
 use secure_radio_bench::{
     ratio, smoke, smoke_trials, AdversaryChoice, ExperimentRunner, Regime, ScenarioSpec, ShardMode,
-    ShardedReport, Table, TrialError, TrialOutcome, Workload,
+    ShardedReport, Table, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 /// Moves of the standalone game under the adversarial referee.
@@ -38,14 +39,7 @@ fn greedy_moves(n: usize, pairs: &[(usize, usize)], t: usize, cap: usize) -> usi
         .expect("valid game")
         .with_proposal_cap(cap)
         .expect("valid cap");
-    let mut referee = AdversarialReferee::new();
-    let mut moves = 0;
-    while let Some(p) = greedy_proposal(&game) {
-        let resp = referee.respond(&game, &p);
-        game.apply_response(&p, &resp).expect("legal move");
-        moves += 1;
-    }
-    moves
+    play(&mut game, &mut AdversarialReferee::new()).expect("legal referee")
 }
 
 fn main() {
@@ -53,6 +47,12 @@ fn main() {
     if shard.handle_merge("fig3_table") {
         return;
     }
+    if shard.handle_exec("fig3_table") {
+        return;
+    }
+    // E2 (feedback) and E3 (f-AME) trials drive the radio network and
+    // honor --trace-out; E1 is the standalone game — no rounds, no trace.
+    let trace = TraceOutput::from_args();
     let seed = 20080818; // PODC'08 started August 18.
     let trials = smoke_trials(6);
     let regimes: &[Regime] = if smoke() {
@@ -171,17 +171,31 @@ fn main() {
                         .with_workload(Workload::None)
                         .with_adversary(AdversaryChoice::RandomJam)
                         .with_trials(trials)
-                        .with_seed(seed ^ 0xE2);
+                        .with_seed(seed ^ 0xE2)
+                        .with_trace_output(trace.clone());
                 let result = report
                     .run(&spec, || {
                         runner.run(&spec, |ctx| {
-                            let ds = run_feedback(
-                                &p,
-                                default_witness_sets(&p, flags.len()),
-                                &flags,
-                                RandomJammer::new(seed::derive(ctx.seed, 1)),
-                                ctx.seed,
-                            )
+                            let sink = ctx
+                                .spec
+                                .trial_sink(ctx.trial, TraceRetention::All)
+                                .map_err(|e| TrialError {
+                                    trial: ctx.trial,
+                                    message: format!("trace sink: {e}"),
+                                })?;
+                            let witness_sets = default_witness_sets(&p, flags.len());
+                            let jammer = RandomJammer::new(seed::derive(ctx.seed, 1));
+                            let ds = match sink {
+                                Some(sink) => run_feedback_streaming(
+                                    &p,
+                                    witness_sets,
+                                    &flags,
+                                    jammer,
+                                    ctx.seed,
+                                    sink,
+                                ),
+                                None => run_feedback(&p, witness_sets, &flags, jammer, ctx.seed),
+                            }
                             .map_err(|e| TrialError {
                                 trial: ctx.trial,
                                 message: e.to_string(),
@@ -253,7 +267,8 @@ fn main() {
             .with_workload(Workload::RandomPairs { edges: e })
             .with_adversary(AdversaryChoice::OmniPreferEdges)
             .with_trials(trials)
-            .with_seed(seed + e as u64);
+            .with_seed(seed + e as u64)
+            .with_trace_output(trace.clone());
             let Some(result) = report
                 .run(&spec, || runner.run_fame_scenario(&spec))
                 .expect("fame scenario runs")
@@ -292,6 +307,7 @@ fn main() {
 
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
+    trace.announce();
     println!(
         "Interpretation: within each regime the p50/theory column is \
          ~constant across the |E| sweep, reproducing the scaling shape of \

@@ -20,7 +20,7 @@ use radio_network::adversaries::Spoofer;
 use radio_network::{seed, ChannelId};
 use secure_radio_bench::{
     smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport,
-    Table, TrialError, TrialOutcome, Workload,
+    Table, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
@@ -28,6 +28,12 @@ fn main() {
     if shard.handle_merge("gossip_vs_fame") {
         return;
     }
+    if shard.handle_exec("gossip_vs_fame") {
+        return;
+    }
+    // The f-AME scenarios honor --trace-out; the gossip baseline runs its
+    // own unauthenticated flood internally and keeps traces in memory.
+    let trace = TraceOutput::from_args();
     let base_seed = 0x60551;
     let trials = smoke_trials(6);
     let ts: &[usize] = if smoke() { &[1] } else { &[1, 2] };
@@ -106,7 +112,8 @@ fn main() {
             .with_workload(Workload::AllToAll)
             .with_adversary(AdversaryChoice::RandomJam)
             .with_trials(trials)
-            .with_seed(base_seed);
+            .with_seed(base_seed)
+            .with_trace_output(trace.clone());
         let fame_result = report
             .run(&fame_spec, || runner.run_fame_scenario(&fame_spec))
             .expect("fame scenario runs");
@@ -131,6 +138,7 @@ fn main() {
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
+    trace.announce();
     println!(
         "Reading: gossip floods fast but accepts forged rumors and cannot \
          certify who failed; f-AME pays a polylog factor in rounds and in \

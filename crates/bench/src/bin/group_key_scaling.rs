@@ -21,7 +21,7 @@ use radio_network::adversaries::RandomJammer;
 use radio_network::seed;
 use secure_radio_bench::{
     ratio, smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode,
-    ShardedReport, Table, TrialError, TrialOutcome, Workload,
+    ShardedReport, Table, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 const BASE_SEED: u64 = 0x6B07;
@@ -109,6 +109,21 @@ fn main() {
     let shard = ShardMode::from_args();
     if shard.handle_merge("group_key_scaling") {
         return;
+    }
+    if shard.handle_exec("group_key_scaling") {
+        return;
+    }
+    // Parse the shared trace contract so typos and unsupported use fail
+    // loudly: group-key trials chain three internal simulations whose
+    // round numbering restarts per part, which the per-trial trace-file
+    // format cannot express yet — refuse rather than silently not stream.
+    if TraceOutput::from_args().is_stream() {
+        eprintln!(
+            "error: --trace-out is not supported by group_key_scaling: group-key \
+             trials run three chained simulations per trial and do not stream \
+             traces yet; drop the flag (the other experiment bins support it)"
+        );
+        std::process::exit(1);
     }
     println!(
         "# Group key establishment (Section 6) — {} trials/point\n",

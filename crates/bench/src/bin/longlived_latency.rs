@@ -59,6 +59,9 @@ fn main() {
     if shard.handle_merge("longlived_latency") {
         return;
     }
+    if shard.handle_exec("longlived_latency") {
+        return;
+    }
     let trace = TraceOutput::from_args();
     let trials = smoke_trials(4);
     let broadcasts: u64 = if smoke() { 5 } else { 20 };
@@ -193,12 +196,7 @@ fn main() {
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
-    if let TraceOutput::Stream { dir, .. } = &trace {
-        println!(
-            "streamed per-trial traces to {} (schema: docs/TRACE_FORMAT.md)",
-            dir.display()
-        );
-    }
+    trace.announce();
     println!(
         "Shape checks: emulated-round cost tracks t·ln n (minimal) and \
          ln n (C >= 2t); delivery stays at 100% w.h.p. because the hopping \

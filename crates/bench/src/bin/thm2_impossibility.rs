@@ -17,11 +17,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fame::baselines::naive::run_naive_exchange;
-use fame::protocol::run_fame;
 use fame::Params;
 use secure_radio_bench::{
-    smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport,
-    Table, TrialError, TrialOutcome, Workload,
+    fame_run_for_trial, smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec,
+    ShardMode, ShardedReport, Table, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
@@ -29,6 +28,12 @@ fn main() {
     if shard.handle_merge("thm2_impossibility") {
         return;
     }
+    if shard.handle_exec("thm2_impossibility") {
+        return;
+    }
+    // The f-AME scenarios honor --trace-out; the naive baseline runs its
+    // own randomized exchange internally and keeps traces in memory.
+    let trace = TraceOutput::from_args();
     let seed = 0xBAD_C0DE;
     let ts: &[usize] = if smoke() { &[1] } else { &[1, 2, 3] };
     println!("# Theorem 2 — authentication is impossible without structure\n");
@@ -104,20 +109,16 @@ fn main() {
             .with_workload(Workload::Disjoint { pairs: pairs_count })
             .with_adversary(AdversaryChoice::OmniSpoof)
             .with_trials(trials)
-            .with_seed(seed ^ (t as u64) << 4);
+            .with_seed(seed ^ (t as u64) << 4)
+            .with_trace_output(trace.clone());
         let params = spec.params();
         let instance = spec.instance();
         let delivered_total = AtomicU64::new(0);
         let Some(result) = report
             .run(&spec, || {
                 runner.run(&spec, |ctx| {
-                    let adversary = spec.adversary.build(&params, instance.pairs(), ctx.seed);
-                    let run = run_fame(&instance, &params, adversary, ctx.seed).map_err(|e| {
-                        TrialError {
-                            trial: ctx.trial,
-                            message: e.to_string(),
-                        }
-                    })?;
+                    // Streaming-aware: honors the spec's --trace-out.
+                    let run = fame_run_for_trial(&params, &instance, ctx)?;
                     let delivered = run.outcome.delivered_count() as u64;
                     delivered_total.fetch_add(delivered, Ordering::Relaxed);
                     let forged = run.outcome.authentication_violations(&instance).len() as u64;
@@ -152,6 +153,7 @@ fn main() {
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
+    trace.announce();
     println!(
         "Paper claim: the naive receiver accepts the forgery with \
          probability 1/2 (Theorem 2's indistinguishability argument); \

@@ -13,13 +13,14 @@
 
 use std::collections::BTreeSet;
 
-use fame::feedback::{default_witness_sets, run_feedback};
+use fame::feedback::{default_witness_sets, run_feedback, run_feedback_streaming};
 use fame::Params;
 use radio_network::adversaries::RandomJammer;
 use radio_network::seed;
+use radio_network::TraceRetention;
 use secure_radio_bench::{
     smoke, smoke_trials, AdversaryChoice, ExperimentRunner, ScenarioSpec, ShardMode, ShardedReport,
-    Table, TrialError, TrialOutcome, Workload,
+    Table, TraceOutput, TrialError, TrialOutcome, Workload,
 };
 
 fn main() {
@@ -27,6 +28,10 @@ fn main() {
     if shard.handle_merge("whp_knee") {
         return;
     }
+    if shard.handle_exec("whp_knee") {
+        return;
+    }
+    let trace = TraceOutput::from_args();
     println!("# Lemma 5 w.h.p. knee: feedback_scale sweep (E11)\n");
 
     let trials = smoke_trials(40);
@@ -54,7 +59,8 @@ fn main() {
             .with_workload(Workload::None)
             .with_adversary(AdversaryChoice::RandomJam)
             .with_trials(trials)
-            .with_seed(0x5CA1E);
+            .with_seed(0x5CA1E)
+            .with_trace_output(trace.clone());
         let p = Params::minimal(n, t)
             .expect("params")
             .with_feedback_scale(scale)
@@ -65,13 +71,24 @@ fn main() {
         let Some(result) = report
             .run(&spec, || {
                 runner.run(&spec, |ctx| {
-                    let ds = run_feedback(
-                        &p,
-                        default_witness_sets(&p, flags.len()),
-                        &flags,
-                        RandomJammer::new(seed::derive(ctx.seed, 1)),
-                        ctx.seed,
-                    )
+                    // Standalone feedback runs keep the full in-memory
+                    // trace; a streamed trial retains the same history so
+                    // it stays bit-identical to an unstreamed one.
+                    let sink = ctx
+                        .spec
+                        .trial_sink(ctx.trial, TraceRetention::All)
+                        .map_err(|e| TrialError {
+                            trial: ctx.trial,
+                            message: format!("trace sink: {e}"),
+                        })?;
+                    let witness_sets = default_witness_sets(&p, flags.len());
+                    let jammer = RandomJammer::new(seed::derive(ctx.seed, 1));
+                    let ds = match sink {
+                        Some(sink) => {
+                            run_feedback_streaming(&p, witness_sets, &flags, jammer, ctx.seed, sink)
+                        }
+                        None => run_feedback(&p, witness_sets, &flags, jammer, ctx.seed),
+                    }
                     .map_err(|e| TrialError {
                         trial: ctx.trial,
                         message: e.to_string(),
@@ -99,6 +116,7 @@ fn main() {
     println!("{table}");
     let path = report.write_default().expect("write BENCH json");
     println!("wrote {}", path.display());
+    trace.announce();
     println!(
         "Reading: below the knee, listeners miss <true, r> reports and \
          nodes disagree on D; at the default scale the failure rate is 0 \

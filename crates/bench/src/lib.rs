@@ -46,9 +46,12 @@ pub mod shard;
 pub mod table;
 pub mod workloads;
 
-pub use runner::{Aggregate, BenchReport, ExperimentRunner, TrialCtx, TrialError, TrialOutcome};
+pub use runner::{
+    fame_run_for_trial, Aggregate, BenchReport, ExperimentRunner, TrialCtx, TrialError,
+    TrialOutcome,
+};
 pub use scenario::{AdversaryChoice, ScenarioSpec, TraceOutput, Workload};
-pub use shard::{merge_shards, Shard, ShardMode, ShardedReport};
+pub use shard::{exec_shards, merge_shards, Shard, ShardMode, ShardedReport};
 pub use table::Table;
 
 use fame::Params;

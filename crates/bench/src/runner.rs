@@ -411,15 +411,27 @@ pub fn fame_trial(ctx: &TrialCtx<'_>) -> Result<TrialOutcome, TrialError> {
     fame_trial_on(&ctx.spec.params(), &ctx.spec.instance(), ctx)
 }
 
-/// The single source of truth for f-AME trial accounting.
-fn fame_trial_on(
+/// Run f-AME for one trial with the scenario's adversary, honoring the
+/// spec's [`TraceOutput`](crate::TraceOutput): when the scenario streams,
+/// the trial goes through `run_fame_streaming` with a per-trial
+/// [`ChannelSink`](radio_network::ChannelSink) retaining the same
+/// in-memory window `run_fame` uses, so trace-mining adversaries replay
+/// bit-identically either way.
+///
+/// This is the single streaming-aware f-AME entry the standard
+/// [`fame_trial`] *and* the bins' bespoke trial closures share — a bin
+/// that measures something custom still honors `--trace-out` by running
+/// its instance through here.
+///
+/// # Errors
+///
+/// [`TrialError`] on sink creation or engine/validation failure.
+pub fn fame_run_for_trial(
     params: &Params,
     instance: &AmeInstance,
     ctx: &TrialCtx<'_>,
-) -> Result<TrialOutcome, TrialError> {
+) -> Result<fame::protocol::FameRun, TrialError> {
     let adversary = ctx.spec.adversary.build(params, instance.pairs(), ctx.seed);
-    // Streamed traces keep the same in-memory window run_fame uses, so
-    // trace-mining adversaries replay bit-identically either way.
     let sink = ctx
         .spec
         .trial_sink(ctx.trial, TraceRetention::LastRounds(FAME_TRACE_WINDOW))
@@ -427,14 +439,23 @@ fn fame_trial_on(
             trial: ctx.trial,
             message: format!("trace sink: {e}"),
         })?;
-    let run = match sink {
+    match sink {
         Some(sink) => run_fame_streaming(instance, params, adversary, ctx.seed, sink),
         None => run_fame(instance, params, adversary, ctx.seed),
     }
     .map_err(|e| TrialError {
         trial: ctx.trial,
         message: e.to_string(),
-    })?;
+    })
+}
+
+/// The single source of truth for f-AME trial accounting.
+fn fame_trial_on(
+    params: &Params,
+    instance: &AmeInstance,
+    ctx: &TrialCtx<'_>,
+) -> Result<TrialOutcome, TrialError> {
+    let run = fame_run_for_trial(params, instance, ctx)?;
     let cover = run.outcome.disruption_cover();
     let violations = run.outcome.authentication_violations(instance).len() as u64
         + run.outcome.awareness_violations().len() as u64;

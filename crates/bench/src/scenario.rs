@@ -423,6 +423,20 @@ impl TraceOutput {
         }
     }
 
+    /// The experiment bins' shared end-of-run footer: under
+    /// [`TraceOutput::Stream`], print where the per-trial traces went
+    /// (and the schema pointer); silent for in-memory runs. Every bin
+    /// that accepts `--trace-out` calls this once after writing its
+    /// `BENCH_*.json`.
+    pub fn announce(&self) {
+        if let TraceOutput::Stream { dir, .. } = self {
+            println!(
+                "streamed per-trial traces to {} (schema: docs/TRACE_FORMAT.md)",
+                dir.display()
+            );
+        }
+    }
+
     /// This output as a tagged JSON object (part of the shard-file spec
     /// encoding). Inverted by [`TraceOutput::from_json`]; non-UTF-8
     /// stream directories are encoded lossily.

@@ -141,7 +141,7 @@ impl Protocol for DirectNode {
         Action::Sleep
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<DirectFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&DirectFrame>>) {
         if let (
             Some(group),
             Some(Reception {

@@ -96,15 +96,15 @@ impl Protocol for GossipNode {
         }
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<RumorFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&RumorFrame>>) {
         if let Some(Reception {
             frame: Some(RumorFrame { origin, payload }),
             ..
         }) = reception
         {
             // Oblivious and unauthenticated: first writer wins.
-            if origin < self.known.len() && self.known[origin].is_none() {
-                self.known[origin] = Some(payload);
+            if *origin < self.known.len() && self.known[*origin].is_none() {
+                self.known[*origin] = Some(payload.clone());
             }
         }
     }

@@ -106,7 +106,7 @@ impl Protocol for NaiveNode {
         }
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<NaiveFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&NaiveFrame>>) {
         if self.remaining > 0 {
             self.remaining -= 1;
         }
@@ -118,7 +118,7 @@ impl Protocol for NaiveNode {
                 // No authentication structure: accept anything addressed to
                 // me with the right claimed source.
                 if frame.to == self.id && frame.from + self.t == self.id {
-                    self.accepted = Some(frame.payload);
+                    self.accepted = Some(frame.payload.clone());
                 }
             }
         }

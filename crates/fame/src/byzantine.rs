@@ -248,14 +248,14 @@ impl Protocol for ByzantineNode {
             .action(self.move_round - 1)
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<FameFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&FameFrame>>) {
         if self.done {
             return;
         }
         let k = self.proposal.as_ref().expect("active move").len();
         let feedback_rounds = (k * self.params.feedback_reps()) as u64;
         if self.move_round == 0 {
-            self.heard_tx = reception;
+            self.heard_tx = reception.map(|r| r.cloned());
             self.start_feedback();
             self.move_round = 1;
             return;

@@ -160,7 +160,7 @@ impl Protocol for GossipPhaseNode {
         }
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<FameFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&FameFrame>>) {
         if let (
             Some((owner, index, _)),
             Some(Reception {
@@ -177,11 +177,11 @@ impl Protocol for GossipPhaseNode {
         {
             // Accept chunks claimed for the current epoch only — forged
             // ones included; reconstruction + signatures sort them out.
-            if fowner == owner && findex == index {
+            if *fowner == owner && *findex == index {
                 self.candidates
                     .entry((owner, index))
                     .or_default()
-                    .insert((payload, reconstruction));
+                    .insert((payload.clone(), *reconstruction));
             }
         }
         self.round += 1;

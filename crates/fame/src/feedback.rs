@@ -140,7 +140,7 @@ impl FeedbackCore {
     }
 
     /// Feed back what was heard (only meaningful when listening).
-    pub fn observe(&mut self, local_round: u64, reception: Option<Reception<FameFrame>>) {
+    pub fn observe(&mut self, local_round: u64, reception: Option<Reception<&FameFrame>>) {
         let r = self.block_of(local_round);
         if let Some(Reception {
             frame: Some(FameFrame::FeedbackTrue { reported }),
@@ -150,8 +150,8 @@ impl FeedbackCore {
             // Fig. 1 line 21 only collects <true, r> during block r. Since
             // witnesses occupy every channel in every block, a spoofed
             // report can never be delivered, but we keep the strict check.
-            if reported == r {
-                self.d.insert(reported);
+            if *reported == r {
+                self.d.insert(*reported);
             }
         }
     }
@@ -205,7 +205,7 @@ impl Protocol for FeedbackNode {
         }
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<FameFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&FameFrame>>) {
         if let Some(core) = self.core.as_mut() {
             core.observe(self.round, reception);
             self.round += 1;
@@ -239,6 +239,44 @@ pub fn run_feedback<A>(
 where
     A: Adversary<FameFrame>,
 {
+    run_feedback_inner(params, witness_sets, flags, adversary, seed, None)
+}
+
+/// Like [`run_feedback`] but handing every finished round to `sink`
+/// (e.g. a [`ChannelSink`](radio_network::ChannelSink) streaming the
+/// trace to a file). To stay bit-identical to [`run_feedback`], give the
+/// sink a retained `TraceRetention::All` history — the default in-memory
+/// trace a standalone invocation runs with — so trace-mining adversaries
+/// observe the same past.
+///
+/// # Errors
+///
+/// Same as [`run_feedback`].
+pub fn run_feedback_streaming<A>(
+    params: &Params,
+    witness_sets: Vec<Vec<usize>>,
+    flags: &[bool],
+    adversary: A,
+    seed: u64,
+    sink: Box<dyn radio_network::TraceSink<FameFrame>>,
+) -> Result<Vec<BTreeSet<usize>>, EngineError>
+where
+    A: Adversary<FameFrame>,
+{
+    run_feedback_inner(params, witness_sets, flags, adversary, seed, Some(sink))
+}
+
+fn run_feedback_inner<A>(
+    params: &Params,
+    witness_sets: Vec<Vec<usize>>,
+    flags: &[bool],
+    adversary: A,
+    seed: u64,
+    sink: Option<Box<dyn radio_network::TraceSink<FameFrame>>>,
+) -> Result<Vec<BTreeSet<usize>>, EngineError>
+where
+    A: Adversary<FameFrame>,
+{
     assert_eq!(witness_sets.len(), flags.len());
     let cfg = NetworkConfig::new(params.c(), params.t())?;
     let nodes: Vec<FeedbackNode> = (0..params.n())
@@ -257,7 +295,10 @@ where
             ))
         })
         .collect();
-    let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
+    let mut sim = match sink {
+        Some(sink) => Simulation::with_sink(cfg, nodes, adversary, seed, sink)?,
+        None => Simulation::new(cfg, nodes, adversary, seed)?,
+    };
     let blocks = flags.len();
     let reps = params.feedback_reps();
     sim.run((blocks * reps) as u64 + 2)?;

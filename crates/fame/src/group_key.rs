@@ -250,7 +250,7 @@ impl Protocol for Part2Node {
         }
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<KeyFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&KeyFrame>>) {
         if let Some((v, w)) = self.current_epoch() {
             if self.id == w {
                 if let Some(Reception {
@@ -385,7 +385,7 @@ impl Protocol for Part3Node {
         }
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<KeyFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&KeyFrame>>) {
         let current = self.current_reporter();
         if let Some(Reception {
             frame:
@@ -399,10 +399,10 @@ impl Protocol for Part3Node {
         {
             // Accept only reports attributed to the epoch's owner, and only
             // if we can verify the hash against a leader key we hold.
-            if Some(reporter) == current {
-                if let Some(k) = self.leader_keys.get(&leader) {
-                    if k.fingerprint() == key_hash {
-                        self.verified.entry(leader).or_default().insert(reporter);
+            if Some(*reporter) == current {
+                if let Some(k) = self.leader_keys.get(leader) {
+                    if k.fingerprint() == *key_hash {
+                        self.verified.entry(*leader).or_default().insert(*reporter);
                     }
                 }
             }

@@ -127,7 +127,7 @@ impl Protocol for LongLivedNode {
         }
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<SealedBox>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&SealedBox>>) {
         if let (
             Some(key),
             Some(Reception {

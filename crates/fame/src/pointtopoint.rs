@@ -94,7 +94,7 @@ impl Protocol for P2pNode {
         Action::Sleep
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<SealedBox>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&SealedBox>>) {
         if let (
             Some((_, key)),
             Some(Reception {

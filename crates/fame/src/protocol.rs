@@ -50,7 +50,7 @@ impl FeedbackEngine {
         }
     }
 
-    fn observe(&mut self, local_round: u64, reception: Option<Reception<FameFrame>>) {
+    fn observe(&mut self, local_round: u64, reception: Option<Reception<&FameFrame>>) {
         match self {
             FeedbackEngine::Seq(core) => core.observe(local_round, reception),
             FeedbackEngine::Tree(core) => core.observe(local_round, reception),
@@ -416,14 +416,14 @@ impl Protocol for FameNode {
             .action(self.move_round - 1)
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<FameFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&FameFrame>>) {
         if self.done {
             return;
         }
         let k = self.schedule.as_ref().expect("active move").k();
         let feedback_rounds = self.params.feedback_rounds(k);
         if self.move_round == 0 {
-            self.heard_tx = reception;
+            self.heard_tx = reception.map(|r| r.cloned());
             self.start_feedback();
             self.move_round = 1;
             return;

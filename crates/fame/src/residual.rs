@@ -206,14 +206,14 @@ impl Protocol for ResidualNode {
             .action(self.move_round - 1)
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<FameFrame>>) {
+    fn end_round(&mut self, _round: u64, reception: Option<Reception<&FameFrame>>) {
         if self.done {
             return;
         }
         let k = self.current().len();
         let feedback_rounds = (k * self.params.feedback_reps()) as u64;
         if self.move_round == 0 {
-            self.heard_tx = reception;
+            self.heard_tx = reception.map(|r| r.cloned());
             let witness_sets = self.witness_sets();
             let my_flags: Vec<Option<bool>> = (0..k)
                 .map(|c| {

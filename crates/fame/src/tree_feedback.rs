@@ -247,13 +247,13 @@ impl TreeFeedbackCore {
     }
 
     /// Feed back what was heard.
-    pub fn observe(&mut self, _local_round: u64, reception: Option<Reception<FameFrame>>) {
+    pub fn observe(&mut self, _local_round: u64, reception: Option<Reception<&FameFrame>>) {
         if let Some(Reception {
             frame: Some(FameFrame::FeedbackBitmap { known }),
             ..
         }) = reception
         {
-            for (r, b) in known {
+            for (&r, &b) in known {
                 if r < self.blocks {
                     self.known.entry(r).or_insert(b);
                 }
@@ -316,7 +316,7 @@ mod tests {
             }
         }
 
-        fn end_round(&mut self, _round: u64, reception: Option<Reception<FameFrame>>) {
+        fn end_round(&mut self, _round: u64, reception: Option<Reception<&FameFrame>>) {
             if let Some(core) = self.core.as_mut() {
                 core.observe(self.round, reception);
                 self.round += 1;

@@ -80,7 +80,7 @@ mod tests {
                 channel: ChannelId(2),
                 frame: 1,
             }],
-            AdversaryAction::idle(),
+            &AdversaryAction::idle(),
         )
         .unwrap();
 

@@ -1,4 +1,31 @@
 //! The round-resolution engine: pure channel semantics of the model.
+//!
+//! ## The arena-backed round core
+//!
+//! [`Network::resolve_round`] is the innermost loop of every experiment —
+//! an f-AME epoch is millions of tiny rounds — so its steady state must
+//! not touch the allocator. All per-round state lives in a [`RoundArena`]
+//! owned by the network and reused across rounds:
+//!
+//! * honest transmissions are gathered into a flat arena (`tx_node` /
+//!   `tx_chan`, node order) and grouped by channel through a counting-sort
+//!   permutation (`order`) with per-channel `(start, len)` **spans** — no
+//!   per-channel `Vec`s, and collision participant lists come straight
+//!   from the spans instead of per-collision allocations;
+//! * per-channel outcomes are compact [`ChannelSlot`] tags; frames are
+//!   *not* copied into the arena — they are borrowed from the caller's
+//!   action slice and adversary action through the returned
+//!   [`RoundView`];
+//! * when the installed [`TraceSink`] keeps records, the
+//!   [`RoundRecord`] is built in a **record arena** (one `RoundRecord`
+//!   whose vectors are cleared and refilled each round) and handed to the
+//!   sink by reference — sinks copy only what they retain or stream.
+//!
+//! The result: with retention off (or a [`NullSink`]) a steady-state round
+//! performs **zero** heap allocations (verified by the counting-allocator
+//! test in `tests/zero_alloc.rs`), and with a bounded in-memory window the
+//! retained records are recycled in place. Consumers that want the old
+//! owned shape call [`RoundView::to_resolution`].
 
 use crate::adversary::{AdversaryAction, Emission};
 use crate::error::EngineError;
@@ -71,7 +98,8 @@ impl NetworkConfig {
     }
 }
 
-/// How a single channel resolved in one round.
+/// How a single channel resolved in one round (owned form; see
+/// [`OutcomeView`] for the borrowed view the engine hands out).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ChannelOutcome<M> {
     /// Nobody (honest or adversarial) transmitted.
@@ -112,7 +140,9 @@ impl<M: Clone> ChannelOutcome<M> {
     }
 }
 
-/// The full resolution of one round: per-channel outcomes.
+/// The full resolution of one round in owned form — the escape hatch for
+/// consumers that need the round to outlive the network borrow. Produced
+/// by [`RoundView::to_resolution`]; allocates, so keep it off hot paths.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RoundResolution<M> {
     /// Round number resolved.
@@ -128,6 +158,305 @@ impl<M: Clone> RoundResolution<M> {
     }
 }
 
+/// Compact per-channel outcome tag stored in the arena. Frames are not
+/// copied here — [`RoundView`] resolves the indices against the caller's
+/// action slice and adversary action.
+#[derive(Clone, Copy, Debug)]
+enum ChannelSlot {
+    /// Nobody transmitted.
+    Idle,
+    /// Adversary noise on an otherwise idle channel.
+    NoiseOnly,
+    /// Exactly one honest transmitter: node index `node`.
+    Delivered { node: u32 },
+    /// Adversary spoof on an otherwise idle channel: index into the
+    /// adversary's transmission list.
+    Spoof { adv: u32 },
+    /// Two or more transmitters (participants = the channel's span).
+    Collision { adversary: bool },
+}
+
+/// Reusable per-round storage: flat struct-of-arrays gather buffers, the
+/// counting-sort permutation with per-channel spans, per-channel outcome
+/// slots, and the record arena. Everything is cleared (never shrunk)
+/// between rounds, so after warm-up the round loop allocates nothing.
+#[derive(Debug)]
+struct RoundArena<M> {
+    /// Transmitting node indices, in node order.
+    tx_node: Vec<u32>,
+    /// Channel of each transmission (parallel to `tx_node`).
+    tx_chan: Vec<u32>,
+    /// Channel-grouped permutation: indices into `tx_node`/`tx_chan`,
+    /// sorted by (channel, node) via a stable counting sort.
+    order: Vec<u32>,
+    /// Per channel: `(start, len)` span into `order`.
+    spans: Vec<(u32, u32)>,
+    /// Counting-sort scratch: per-channel counts, then write cursors.
+    counts: Vec<u32>,
+    /// Honest listeners this round.
+    listeners: Vec<(NodeId, ChannelId)>,
+    /// Per channel, the index into the adversary's transmission list
+    /// (doubles as the duplicate-channel check).
+    adv_idx: Vec<Option<u32>>,
+    /// Per-channel outcome tags.
+    slots: Vec<ChannelSlot>,
+    /// Record arena: rebuilt in place each round the sink keeps records.
+    record: RoundRecord<M>,
+}
+
+impl<M> RoundArena<M> {
+    fn new(channels: usize) -> Self {
+        let mut arena = RoundArena {
+            tx_node: Vec::new(),
+            tx_chan: Vec::new(),
+            order: Vec::new(),
+            spans: Vec::new(),
+            counts: Vec::new(),
+            listeners: Vec::new(),
+            adv_idx: Vec::new(),
+            slots: Vec::new(),
+            record: RoundRecord {
+                round: 0,
+                transmissions: Vec::new(),
+                listeners: Vec::new(),
+                adversary: Vec::new(),
+                delivered: Vec::new(),
+            },
+        };
+        arena.begin(channels);
+        arena
+    }
+
+    /// Reset for a new round over `channels` channels. `clear` + `resize`
+    /// keeps the allocations warm while guaranteeing no span, listener, or
+    /// slot from a previous round (or a previous, differently sized
+    /// [`NetworkConfig`] — see [`Network::reconfigure`]) survives.
+    fn begin(&mut self, channels: usize) {
+        self.tx_node.clear();
+        self.tx_chan.clear();
+        self.order.clear();
+        self.listeners.clear();
+        self.spans.clear();
+        self.spans.resize(channels, (0, 0));
+        self.counts.clear();
+        self.counts.resize(channels, 0);
+        self.adv_idx.clear();
+        self.adv_idx.resize(channels, None);
+        self.slots.clear();
+        self.slots.resize(channels, ChannelSlot::Idle);
+    }
+}
+
+/// A borrowed view of one resolved round — the allocation-free return
+/// shape of [`Network::resolve_round`].
+///
+/// The view borrows three things for its lifetime: the network's
+/// round arena (outcome tags, spans, listeners), the caller's action
+/// slice (honest frames), and the adversary action (spoofed frames).
+/// Nothing is copied; [`RoundView::heard_on`] and the outcome iterators
+/// hand out `&M`. Call [`RoundView::to_resolution`] for the owned
+/// [`RoundResolution`] escape hatch.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundView<'a, M> {
+    round: u64,
+    arena: &'a RoundArena<M>,
+    actions: &'a [Action<M>],
+    adversary: &'a AdversaryAction<M>,
+}
+
+/// Borrowed per-channel outcome, produced by [`RoundView::outcome`].
+#[derive(Clone, Copy, Debug)]
+pub enum OutcomeView<'a, M> {
+    /// Nobody (honest or adversarial) transmitted.
+    Idle,
+    /// Adversary noise on an otherwise idle channel (sounds like silence).
+    NoiseOnly,
+    /// Exactly one honest transmitter: its frame was delivered.
+    Delivered {
+        /// The transmitting node.
+        from: NodeId,
+        /// The delivered frame (borrowed from the caller's action slice).
+        frame: &'a M,
+    },
+    /// The adversary spoofed an otherwise idle channel.
+    SpoofDelivered {
+        /// The forged frame (borrowed from the adversary action).
+        frame: &'a M,
+    },
+    /// Two or more transmitters: all lost.
+    Collision {
+        /// The honest participants (iterate without allocating).
+        honest: Participants<'a, M>,
+        /// `true` if the adversary contributed to the collision.
+        adversary: bool,
+    },
+}
+
+impl<'a, M> OutcomeView<'a, M> {
+    /// The frame listeners on this channel receive (`None` =
+    /// silence/collision).
+    pub fn heard(&self) -> Option<&'a M> {
+        match self {
+            OutcomeView::Delivered { frame, .. } | OutcomeView::SpoofDelivered { frame } => {
+                Some(frame)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The honest transmitters involved in one channel's collision — a
+/// borrowed span over the arena, iterable without allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct Participants<'a, M> {
+    /// The channel's slice of the arena's `order` permutation.
+    span: &'a [u32],
+    tx_node: &'a [u32],
+    actions: &'a [Action<M>],
+}
+
+impl<'a, M> Participants<'a, M> {
+    /// Number of honest transmitters in the collision.
+    pub fn len(&self) -> usize {
+        self.span.len()
+    }
+
+    /// `true` when no honest node was involved (pure adversary collision
+    /// never happens — a lone emission resolves to noise or spoof).
+    pub fn is_empty(&self) -> bool {
+        self.span.is_empty()
+    }
+
+    /// The participating nodes, in node order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + 'a {
+        let tx_node = self.tx_node;
+        self.span
+            .iter()
+            .map(move |&tx| NodeId(tx_node[tx as usize] as usize))
+    }
+
+    /// The participating nodes with the frames they lost, in node order.
+    pub fn frames(&self) -> impl Iterator<Item = (NodeId, &'a M)> + 'a {
+        let (tx_node, actions) = (self.tx_node, self.actions);
+        self.span.iter().map(move |&tx| {
+            let node = tx_node[tx as usize] as usize;
+            match &actions[node] {
+                Action::Transmit { frame, .. } => (NodeId(node), frame),
+                _ => unreachable!("gathered transmissions come from Transmit actions"),
+            }
+        })
+    }
+}
+
+impl<'a, M> RoundView<'a, M> {
+    /// Round number resolved.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of channels in the round.
+    pub fn channels(&self) -> usize {
+        self.arena.slots.len()
+    }
+
+    /// What a listener tuned to `channel` hears (`None` =
+    /// silence/collision). Borrowed — clone only if you keep it.
+    pub fn heard_on(&self, channel: ChannelId) -> Option<&'a M> {
+        match self.arena.slots[channel.index()] {
+            ChannelSlot::Delivered { node } => match &self.actions[node as usize] {
+                Action::Transmit { frame, .. } => Some(frame),
+                _ => unreachable!("delivered slot points at a Transmit action"),
+            },
+            ChannelSlot::Spoof { adv } => match &self.adversary.transmissions[adv as usize].1 {
+                Emission::Spoof(frame) => Some(frame),
+                Emission::Noise => unreachable!("spoof slot points at a Spoof emission"),
+            },
+            _ => None,
+        }
+    }
+
+    /// The borrowed outcome of `channel`.
+    pub fn outcome(&self, channel: ChannelId) -> OutcomeView<'a, M> {
+        let ch = channel.index();
+        match self.arena.slots[ch] {
+            ChannelSlot::Idle => OutcomeView::Idle,
+            ChannelSlot::NoiseOnly => OutcomeView::NoiseOnly,
+            ChannelSlot::Delivered { node } => OutcomeView::Delivered {
+                from: NodeId(node as usize),
+                frame: self.heard_on(channel).expect("delivered channel heard"),
+            },
+            ChannelSlot::Spoof { .. } => OutcomeView::SpoofDelivered {
+                frame: self.heard_on(channel).expect("spoofed channel heard"),
+            },
+            ChannelSlot::Collision { adversary } => OutcomeView::Collision {
+                honest: self.participants(channel),
+                adversary,
+            },
+        }
+    }
+
+    /// Iterator over all channels' borrowed outcomes, in channel order.
+    pub fn outcomes(&self) -> impl Iterator<Item = OutcomeView<'a, M>> + '_ {
+        (0..self.channels()).map(move |ch| self.outcome(ChannelId(ch)))
+    }
+
+    /// Per-channel delivered frames, in channel order (`None` =
+    /// silence/collision) — the borrowed equivalent of
+    /// [`RoundRecord::delivered`].
+    pub fn delivered(&self) -> impl Iterator<Item = Option<&'a M>> + '_ {
+        (0..self.channels()).map(move |ch| self.heard_on(ChannelId(ch)))
+    }
+
+    /// The honest transmitters on `channel`: every node that chose
+    /// [`Action::Transmit`] there this round, in node order — the single
+    /// transmitter of a delivered channel, the one honest loser of a
+    /// jammed delivery, or all parties of an honest collision. Not a
+    /// collision test — match on [`RoundView::outcome`] for that.
+    pub fn participants(&self, channel: ChannelId) -> Participants<'a, M> {
+        let (start, len) = self.arena.spans[channel.index()];
+        Participants {
+            span: &self.arena.order[start as usize..(start + len) as usize],
+            tx_node: &self.arena.tx_node,
+            actions: self.actions,
+        }
+    }
+
+    /// The honest listeners of the round, in node order.
+    pub fn listeners(&self) -> &'a [(NodeId, ChannelId)] {
+        &self.arena.listeners
+    }
+}
+
+impl<M: Clone> RoundView<'_, M> {
+    /// Materialize the owned [`RoundResolution`] — the migration escape
+    /// hatch for consumers that need the round to outlive the network
+    /// borrow. Allocates the outcome vector and clones delivered/collided
+    /// frames; steady-state consumers should use the borrowed accessors.
+    pub fn to_resolution(&self) -> RoundResolution<M> {
+        let outcomes = (0..self.channels())
+            .map(|ch| match self.outcome(ChannelId(ch)) {
+                OutcomeView::Idle => ChannelOutcome::Idle,
+                OutcomeView::NoiseOnly => ChannelOutcome::NoiseOnly,
+                OutcomeView::Delivered { from, frame } => ChannelOutcome::Delivered {
+                    from,
+                    frame: frame.clone(),
+                },
+                OutcomeView::SpoofDelivered { frame } => ChannelOutcome::SpoofDelivered {
+                    frame: frame.clone(),
+                },
+                OutcomeView::Collision { honest, adversary } => ChannelOutcome::Collision {
+                    honest: honest.nodes().collect(),
+                    adversary,
+                },
+            })
+            .collect();
+        RoundResolution {
+            round: self.round,
+            outcomes,
+        }
+    }
+}
+
 /// The radio medium: resolves rounds, hands each finished round to a
 /// [`TraceSink`], and accumulates [`Stats`].
 ///
@@ -140,41 +469,7 @@ pub struct Network<M> {
     round: u64,
     sink: Box<dyn TraceSink<M>>,
     stats: Stats,
-    scratch: Scratch<M>,
-}
-
-/// Per-round working buffers, reused across rounds so that steady-state
-/// round resolution allocates nothing beyond what the returned
-/// [`RoundResolution`] and the retained trace records themselves need.
-#[derive(Debug)]
-struct Scratch<M> {
-    /// Honest transmissions gathered per channel (index = channel).
-    honest_tx: Vec<Vec<(NodeId, M)>>,
-    /// Honest listeners this round.
-    listeners: Vec<(NodeId, ChannelId)>,
-    /// Per channel, the index into the adversary's transmission list
-    /// (doubles as the duplicate-channel check).
-    adv_idx: Vec<Option<usize>>,
-}
-
-impl<M> Scratch<M> {
-    fn new(channels: usize) -> Self {
-        Scratch {
-            honest_tx: (0..channels).map(|_| Vec::new()).collect(),
-            listeners: Vec::new(),
-            adv_idx: vec![None; channels],
-        }
-    }
-
-    fn reset(&mut self) {
-        for txs in &mut self.honest_tx {
-            txs.clear();
-        }
-        self.listeners.clear();
-        for slot in &mut self.adv_idx {
-            *slot = None;
-        }
-    }
+    arena: RoundArena<M>,
 }
 
 impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
@@ -200,7 +495,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
             round: 0,
             sink,
             stats: Stats::default(),
-            scratch: Scratch::new(cfg.channels()),
+            arena: RoundArena::new(cfg.channels()),
         }
     }
 
@@ -230,11 +525,31 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
         &self.stats
     }
 
+    /// Swap the network's configuration mid-suite, keeping the warm
+    /// round arena, the installed sink, the round counter, and the
+    /// accumulated [`Stats`].
+    ///
+    /// Intended for experiment suites that re-point one long-lived network
+    /// at successive `(C, t)` operating points without paying arena
+    /// warm-up per point. The arena re-sizes its per-channel storage on
+    /// the next round; no span, listener, or slot from the previous
+    /// configuration survives (`tests` pin this). The *sink* is kept as
+    /// is — [`NetworkConfig::retention`] only selects a sink at
+    /// construction time, so reconfigure with a different retention has no
+    /// retroactive effect; install a new sink via [`Network::with_sink`]
+    /// construction if the retention policy itself must change.
+    pub fn reconfigure(&mut self, cfg: NetworkConfig) {
+        self.cfg = cfg;
+    }
+
     /// Resolve one round given every honest action and the adversary's move.
     ///
-    /// `actions[i]` is the action of node `i`. Returns per-channel outcomes;
-    /// the caller distributes receptions to listeners (or uses
-    /// [`Simulation`](crate::Simulation) which does so automatically).
+    /// `actions[i]` is the action of node `i`. Returns a borrowed
+    /// [`RoundView`] over per-channel outcomes; the caller distributes
+    /// receptions to listeners (or uses [`Simulation`](crate::Simulation)
+    /// which does so automatically). The view borrows `actions` and
+    /// `adversary` alongside the network — materialize with
+    /// [`RoundView::to_resolution`] if the round must outlive them.
     ///
     /// # Errors
     ///
@@ -244,22 +559,45 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
     ///   than `t` channels;
     /// * [`EngineError::AdversaryDuplicateChannel`] if it listed one channel
     ///   twice.
-    pub fn resolve_round(
-        &mut self,
-        actions: &[Action<M>],
-        adversary: AdversaryAction<M>,
-    ) -> Result<RoundResolution<M>, EngineError> {
+    pub fn resolve_round<'a>(
+        &'a mut self,
+        actions: &'a [Action<M>],
+        adversary: &'a AdversaryAction<M>,
+    ) -> Result<RoundView<'a, M>, EngineError> {
         let c = self.cfg.channels();
-        // -- validate ---------------------------------------------------
+        self.arena.begin(c);
+
+        // -- gather + validate honest actions in one pass ------------------
+        // A validation failure may leave the arena partially filled: it is
+        // scratch, fully reset by the next round's `begin`, and no stats,
+        // round counter, or sink effect has happened yet. Honest-channel
+        // errors stay detected before the adversary checks below, exactly
+        // as the two-pass validation ordered them.
         for (i, action) in actions.iter().enumerate() {
-            if let Some(ch) = action.channel() {
-                if ch.index() >= c {
-                    return Err(EngineError::ChannelOutOfRange {
-                        node: NodeId(i),
-                        channel: ch,
-                        channels: c,
-                    });
+            match action {
+                Action::Transmit { channel, .. } => {
+                    if channel.index() >= c {
+                        return Err(EngineError::ChannelOutOfRange {
+                            node: NodeId(i),
+                            channel: *channel,
+                            channels: c,
+                        });
+                    }
+                    self.arena.tx_node.push(i as u32);
+                    self.arena.tx_chan.push(channel.index() as u32);
+                    self.arena.counts[channel.index()] += 1;
                 }
+                Action::Listen { channel } => {
+                    if channel.index() >= c {
+                        return Err(EngineError::ChannelOutOfRange {
+                            node: NodeId(i),
+                            channel: *channel,
+                            channels: c,
+                        });
+                    }
+                    self.arena.listeners.push((NodeId(i), *channel));
+                }
+                Action::Sleep => {}
             }
         }
         if adversary.len() > self.cfg.budget() {
@@ -269,7 +607,6 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                 round: self.round,
             });
         }
-        self.scratch.reset();
         for (i, (ch, _)) in adversary.transmissions.iter().enumerate() {
             if ch.index() >= c {
                 return Err(EngineError::AdversaryChannelOutOfRange {
@@ -277,112 +614,126 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                     channels: c,
                 });
             }
-            if self.scratch.adv_idx[ch.index()].is_some() {
+            if self.arena.adv_idx[ch.index()].is_some() {
                 return Err(EngineError::AdversaryDuplicateChannel {
                     channel: *ch,
                     round: self.round,
                 });
             }
-            self.scratch.adv_idx[ch.index()] = Some(i);
+            self.arena.adv_idx[ch.index()] = Some(i as u32);
         }
 
-        // -- gather per channel (into reused scratch buffers) --------------
-        for (i, action) in actions.iter().enumerate() {
-            match action {
-                Action::Transmit { channel, frame } => {
-                    self.scratch.honest_tx[channel.index()].push((NodeId(i), frame.clone()));
-                }
-                Action::Listen { channel } => self.scratch.listeners.push((NodeId(i), *channel)),
-                Action::Sleep => {}
-            }
-        }
-
-        // -- resolve -------------------------------------------------------
-        // When the sink wants no records, delivered frames can be *moved*
-        // out of the scratch buffer instead of cloned — nothing else needs
-        // them.
-        let keeps_records = self.sink.wants_records();
-        let mut outcomes: Vec<ChannelOutcome<M>> = Vec::with_capacity(c);
+        // -- group by channel: spans + stable counting-sort permutation ----
+        let mut start = 0u32;
         for ch in 0..c {
-            let honest = &mut self.scratch.honest_tx[ch];
-            let adv = self.scratch.adv_idx[ch].map(|i| &adversary.transmissions[i].1);
-            let outcome = match (honest.len(), adv) {
-                (0, None) => ChannelOutcome::Idle,
-                (0, Some(Emission::Noise)) => ChannelOutcome::NoiseOnly,
-                (0, Some(Emission::Spoof(frame))) => ChannelOutcome::SpoofDelivered {
-                    frame: frame.clone(),
+            let len = self.arena.counts[ch];
+            self.arena.spans[ch] = (start, len);
+            self.arena.counts[ch] = start; // becomes the write cursor
+            start += len;
+        }
+        self.arena.order.resize(self.arena.tx_node.len(), 0);
+        for (tx, &ch) in self.arena.tx_chan.iter().enumerate() {
+            let cursor = &mut self.arena.counts[ch as usize];
+            self.arena.order[*cursor as usize] = tx as u32;
+            *cursor += 1;
+        }
+
+        // -- resolve (tags only; frames stay where they are) ---------------
+        for ch in 0..c {
+            let (span_start, span_len) = self.arena.spans[ch];
+            self.arena.slots[ch] = match (span_len, self.arena.adv_idx[ch]) {
+                (0, None) => ChannelSlot::Idle,
+                (0, Some(adv)) => match &adversary.transmissions[adv as usize].1 {
+                    Emission::Noise => ChannelSlot::NoiseOnly,
+                    Emission::Spoof(_) => ChannelSlot::Spoof { adv },
                 },
-                (1, None) => {
-                    if keeps_records {
-                        let (from, frame) = &honest[0];
-                        ChannelOutcome::Delivered {
-                            from: *from,
-                            frame: frame.clone(),
-                        }
-                    } else {
-                        let (from, frame) = honest.pop().expect("exactly one transmitter");
-                        ChannelOutcome::Delivered { from, frame }
-                    }
-                }
+                (1, None) => ChannelSlot::Delivered {
+                    node: self.arena.tx_node[self.arena.order[span_start as usize] as usize],
+                },
                 // one honest + adversary, or >=2 honest: collision.
-                _ => ChannelOutcome::Collision {
-                    honest: honest.iter().map(|&(id, _)| id).collect(),
+                (_, adv) => ChannelSlot::Collision {
                     adversary: adv.is_some(),
                 },
             };
-            outcomes.push(outcome);
         }
 
         // -- stats ---------------------------------------------------------
         self.stats.rounds += 1;
         self.stats.adversary_transmissions += adversary.len() as u64;
-        for (ch, outcome) in outcomes.iter().enumerate() {
-            match outcome {
-                ChannelOutcome::Delivered { .. } => {
+        for ch in 0..c {
+            match self.arena.slots[ch] {
+                ChannelSlot::Delivered { .. } => {
                     self.stats.honest_transmissions += 1;
                     self.stats.honest_deliveries += 1;
                 }
-                ChannelOutcome::SpoofDelivered { .. } => {
-                    if self.scratch.listeners.iter().any(|&(_, l)| l.index() == ch) {
+                ChannelSlot::Spoof { .. } => {
+                    if self.arena.listeners.iter().any(|&(_, l)| l.index() == ch) {
                         self.stats.spoofs_delivered += 1;
                     }
                 }
-                ChannelOutcome::Collision { honest, adversary } => {
-                    self.stats.honest_transmissions += honest.len() as u64;
-                    self.stats.collisions += honest.len() as u64;
-                    // A popped delivered frame never lands here: scratch
-                    // buffers with >=2 entries are left intact above.
-                    if *adversary {
+                ChannelSlot::Collision { adversary } => {
+                    let involved = u64::from(self.arena.spans[ch].1);
+                    self.stats.honest_transmissions += involved;
+                    self.stats.collisions += involved;
+                    if adversary {
                         self.stats.jams_effective += 1;
                     }
                 }
-                ChannelOutcome::Idle | ChannelOutcome::NoiseOnly => {}
+                ChannelSlot::Idle | ChannelSlot::NoiseOnly => {}
             }
         }
-        for &(_, ch) in &self.scratch.listeners {
-            match outcomes[ch.index()].heard() {
-                Some(_) => self.stats.frames_received += 1,
-                None => self.stats.silent_receptions += 1,
+        for &(_, ch) in &self.arena.listeners {
+            match self.arena.slots[ch.index()] {
+                ChannelSlot::Delivered { .. } | ChannelSlot::Spoof { .. } => {
+                    self.stats.frames_received += 1;
+                }
+                _ => self.stats.silent_receptions += 1,
             }
         }
 
-        // -- trace -----------------------------------------------------------
-        if keeps_records {
-            let delivered: Vec<Option<M>> = outcomes.iter().map(ChannelOutcome::heard).collect();
-            let tx_total: usize = self.scratch.honest_tx.iter().map(Vec::len).sum();
-            let mut transmissions = Vec::with_capacity(tx_total);
-            for (ch, txs) in self.scratch.honest_tx.iter_mut().enumerate() {
-                for (id, frame) in txs.drain(..) {
-                    transmissions.push((id, ChannelId(ch), frame));
+        // -- trace (record arena, rebuilt in place) ------------------------
+        if self.sink.wants_records() {
+            let RoundArena {
+                tx_node,
+                order,
+                listeners,
+                slots,
+                record,
+                ..
+            } = &mut self.arena;
+            record.round = self.round;
+            record.transmissions.clear();
+            for &tx in order.iter() {
+                let node = tx_node[tx as usize] as usize;
+                match &actions[node] {
+                    Action::Transmit { channel, frame } => {
+                        record
+                            .transmissions
+                            .push((NodeId(node), *channel, frame.clone()));
+                    }
+                    _ => unreachable!("gathered transmissions come from Transmit actions"),
                 }
             }
-            self.sink.record(RoundRecord {
-                round: self.round,
-                transmissions,
-                listeners: std::mem::take(&mut self.scratch.listeners),
-                adversary: adversary.transmissions,
-                delivered,
-            });
+            record.listeners.clone_from(listeners);
+            record.adversary.clear();
+            record
+                .adversary
+                .extend(adversary.transmissions.iter().cloned());
+            record.delivered.clear();
+            for slot in slots.iter() {
+                record.delivered.push(match *slot {
+                    ChannelSlot::Delivered { node } => match &actions[node as usize] {
+                        Action::Transmit { frame, .. } => Some(frame.clone()),
+                        _ => unreachable!("delivered slot points at a Transmit action"),
+                    },
+                    ChannelSlot::Spoof { adv } => match &adversary.transmissions[adv as usize].1 {
+                        Emission::Spoof(frame) => Some(frame.clone()),
+                        Emission::Noise => unreachable!("spoof slot is a Spoof emission"),
+                    },
+                    _ => None,
+                });
+            }
+            self.sink.record_mut(&mut self.arena.record);
             // Lossy sinks (bounded channel, drop policy) discard records;
             // mirror their counter so lossiness is visible in the stats.
             self.stats.dropped_records = self.sink.dropped_records();
@@ -390,12 +741,14 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
             self.sink.note_round();
         }
 
-        let resolution = RoundResolution {
-            round: self.round,
-            outcomes,
-        };
+        let round = self.round;
         self.round += 1;
-        Ok(resolution)
+        Ok(RoundView {
+            round,
+            arena: &self.arena,
+            actions,
+            adversary,
+        })
     }
 }
 
@@ -420,6 +773,17 @@ mod tests {
         }
     }
 
+    /// Resolve one round and materialize the owned resolution (test
+    /// convenience around the borrowed view).
+    fn resolve(
+        net: &mut Network<u32>,
+        actions: &[Action<u32>],
+        adversary: AdversaryAction<u32>,
+    ) -> Result<RoundResolution<u32>, EngineError> {
+        net.resolve_round(actions, &adversary)
+            .map(|view| view.to_resolution())
+    }
+
     #[test]
     fn config_validation() {
         assert_eq!(
@@ -442,9 +806,12 @@ mod tests {
     #[test]
     fn single_transmitter_delivers() {
         let mut net: Network<u32> = Network::new(cfg());
-        let res = net
-            .resolve_round(&[tx(0, 7), listen(0), listen(1)], AdversaryAction::idle())
-            .unwrap();
+        let res = resolve(
+            &mut net,
+            &[tx(0, 7), listen(0), listen(1)],
+            AdversaryAction::idle(),
+        )
+        .unwrap();
         assert_eq!(res.heard_on(ChannelId(0)), Some(7));
         assert_eq!(res.heard_on(ChannelId(1)), None);
         assert_eq!(net.stats().honest_deliveries, 1);
@@ -453,18 +820,59 @@ mod tests {
     }
 
     #[test]
+    fn view_borrows_frames_without_cloning() {
+        let mut net: Network<u32> = Network::new(cfg());
+        let actions = [tx(0, 7), listen(0), listen(1)];
+        let adv = AdversaryAction::idle();
+        let view = net.resolve_round(&actions, &adv).unwrap();
+        assert_eq!(view.round(), 0);
+        assert_eq!(view.channels(), 3);
+        // The delivered frame is literally the one in the action slice.
+        assert!(std::ptr::eq(
+            view.heard_on(ChannelId(0)).unwrap(),
+            match &actions[0] {
+                Action::Transmit { frame, .. } => frame,
+                _ => unreachable!(),
+            }
+        ));
+        assert!(matches!(
+            view.outcome(ChannelId(0)),
+            OutcomeView::Delivered {
+                from: NodeId(0),
+                frame: &7
+            }
+        ));
+        assert_eq!(view.listeners().len(), 2);
+        let delivered: Vec<Option<&u32>> = view.delivered().collect();
+        assert_eq!(delivered, vec![Some(&7), None, None]);
+    }
+
+    #[test]
     fn two_honest_transmitters_collide() {
         let mut net: Network<u32> = Network::new(cfg());
-        let res = net
-            .resolve_round(&[tx(0, 1), tx(0, 2), listen(0)], AdversaryAction::idle())
-            .unwrap();
-        assert_eq!(res.heard_on(ChannelId(0)), None);
+        let actions = [tx(0, 1), tx(0, 2), listen(0)];
+        let adv = AdversaryAction::idle();
+        let view = net.resolve_round(&actions, &adv).unwrap();
+        assert_eq!(view.heard_on(ChannelId(0)), None);
+        match view.outcome(ChannelId(0)) {
+            OutcomeView::Collision { honest, adversary } => {
+                assert!(!adversary);
+                assert_eq!(honest.len(), 2);
+                assert!(!honest.is_empty());
+                let nodes: Vec<NodeId> = honest.nodes().collect();
+                assert_eq!(nodes, vec![NodeId(0), NodeId(1)]);
+                let frames: Vec<(NodeId, &u32)> = honest.frames().collect();
+                assert_eq!(frames, vec![(NodeId(0), &1), (NodeId(1), &2)]);
+            }
+            other => panic!("expected collision, got {other:?}"),
+        }
+        let res = view.to_resolution();
         assert!(matches!(
             res.outcomes[0],
             ChannelOutcome::Collision {
                 ref honest,
                 adversary: false
-            } if honest.len() == 2
+            } if honest == &vec![NodeId(0), NodeId(1)]
         ));
         assert_eq!(net.stats().collisions, 2);
     }
@@ -473,7 +881,7 @@ mod tests {
     fn jam_collides_with_honest_frame() {
         let mut net: Network<u32> = Network::new(cfg());
         let adv = AdversaryAction::jam([ChannelId(0)]);
-        let res = net.resolve_round(&[tx(0, 1), listen(0)], adv).unwrap();
+        let res = resolve(&mut net, &[tx(0, 1), listen(0)], adv).unwrap();
         assert_eq!(res.heard_on(ChannelId(0)), None);
         assert_eq!(net.stats().jams_effective, 1);
         assert_eq!(net.stats().collisions, 1);
@@ -484,7 +892,7 @@ mod tests {
         let mut net: Network<u32> = Network::new(cfg());
         let mut adv = AdversaryAction::idle();
         adv.push(ChannelId(1), Emission::Spoof(666));
-        let res = net.resolve_round(&[listen(1)], adv).unwrap();
+        let res = resolve(&mut net, &[listen(1)], adv).unwrap();
         assert_eq!(res.heard_on(ChannelId(1)), Some(666));
         assert_eq!(net.stats().spoofs_delivered, 1);
     }
@@ -494,7 +902,7 @@ mod tests {
         let mut net: Network<u32> = Network::new(cfg());
         let mut adv = AdversaryAction::idle();
         adv.push(ChannelId(0), Emission::Spoof(666));
-        let res = net.resolve_round(&[tx(0, 1), listen(0)], adv).unwrap();
+        let res = resolve(&mut net, &[tx(0, 1), listen(0)], adv).unwrap();
         assert_eq!(res.heard_on(ChannelId(0)), None);
         assert_eq!(net.stats().spoofs_delivered, 0);
         assert_eq!(net.stats().jams_effective, 1);
@@ -504,7 +912,7 @@ mod tests {
     fn noise_on_idle_channel_sounds_like_silence() {
         let mut net: Network<u32> = Network::new(cfg());
         let adv = AdversaryAction::jam([ChannelId(2)]);
-        let res = net.resolve_round(&[listen(2)], adv).unwrap();
+        let res = resolve(&mut net, &[listen(2)], adv).unwrap();
         assert_eq!(res.heard_on(ChannelId(2)), None);
         assert!(matches!(res.outcomes[2], ChannelOutcome::NoiseOnly));
     }
@@ -513,7 +921,7 @@ mod tests {
     fn budget_enforced_not_clamped() {
         let mut net: Network<u32> = Network::new(cfg());
         let adv = AdversaryAction::jam([ChannelId(0), ChannelId(1), ChannelId(2)]);
-        let err = net.resolve_round(&[], adv).unwrap_err();
+        let err = resolve(&mut net, &[], adv).unwrap_err();
         assert_eq!(
             err,
             EngineError::AdversaryBudgetExceeded {
@@ -528,7 +936,7 @@ mod tests {
     fn duplicate_adversary_channel_rejected() {
         let mut net: Network<u32> = Network::new(cfg());
         let adv = AdversaryAction::jam([ChannelId(1), ChannelId(1)]);
-        let err = net.resolve_round(&[], adv).unwrap_err();
+        let err = resolve(&mut net, &[], adv).unwrap_err();
         assert_eq!(
             err,
             EngineError::AdversaryDuplicateChannel {
@@ -541,13 +949,11 @@ mod tests {
     #[test]
     fn out_of_range_channels_rejected() {
         let mut net: Network<u32> = Network::new(cfg());
-        let err = net
-            .resolve_round(&[tx(9, 0)], AdversaryAction::idle())
-            .unwrap_err();
+        let err = resolve(&mut net, &[tx(9, 0)], AdversaryAction::idle()).unwrap_err();
         assert!(matches!(err, EngineError::ChannelOutOfRange { .. }));
 
         let adv = AdversaryAction::jam([ChannelId(17)]);
-        let err = net.resolve_round(&[], adv).unwrap_err();
+        let err = resolve(&mut net, &[], adv).unwrap_err();
         assert!(matches!(
             err,
             EngineError::AdversaryChannelOutOfRange { .. }
@@ -567,8 +973,8 @@ mod tests {
                 listen((round as usize + 2) % 3),
             ];
             let adv = AdversaryAction::jam([ChannelId((round as usize + 2) % 3)]);
-            let a = traced.resolve_round(&actions, adv.clone()).unwrap();
-            let b = lean.resolve_round(&actions, adv).unwrap();
+            let a = resolve(&mut traced, &actions, adv.clone()).unwrap();
+            let b = resolve(&mut lean, &actions, adv).unwrap();
             assert_eq!(a, b);
         }
         assert_eq!(traced.stats(), lean.stats());
@@ -578,21 +984,20 @@ mod tests {
     }
 
     #[test]
-    fn scratch_state_does_not_leak_across_rounds() {
+    fn arena_state_does_not_leak_across_rounds() {
         let mut net: Network<u32> = Network::new(cfg());
         // Round 0: busy channel 0 (collision), spoof on 1.
         let mut adv = AdversaryAction::idle();
         adv.push(ChannelId(1), Emission::Spoof(9));
-        net.resolve_round(&[tx(0, 1), tx(0, 2), listen(1)], adv)
-            .unwrap();
+        resolve(&mut net, &[tx(0, 1), tx(0, 2), listen(1)], adv).unwrap();
         // Round 1: everything idle except one clean delivery on channel 2 —
         // nothing from round 0 may bleed in.
-        let res = net
-            .resolve_round(
-                &[tx(2, 7), listen(2), Action::Sleep],
-                AdversaryAction::idle(),
-            )
-            .unwrap();
+        let res = resolve(
+            &mut net,
+            &[tx(2, 7), listen(2), Action::Sleep],
+            AdversaryAction::idle(),
+        )
+        .unwrap();
         assert_eq!(res.heard_on(ChannelId(0)), None);
         assert_eq!(res.heard_on(ChannelId(1)), None);
         assert_eq!(res.heard_on(ChannelId(2)), Some(7));
@@ -604,10 +1009,84 @@ mod tests {
     }
 
     #[test]
+    fn arena_survives_reconfiguration_without_stale_state() {
+        // The `Scratch`-reuse regression test from the issue: growing (and
+        // shrinking) the channel count mid-suite must not leave stale
+        // spans, listener entries, or outcome slots in the arena.
+        let mut net: Network<u32> = Network::new(cfg()); // C = 3
+        let mut adv = AdversaryAction::idle();
+        adv.push(ChannelId(2), Emission::Spoof(9));
+        // Busy round: collisions on 0, spoof on 2, listeners everywhere.
+        resolve(
+            &mut net,
+            &[tx(0, 1), tx(0, 2), listen(1), listen(2)],
+            adv.clone(),
+        )
+        .unwrap();
+
+        // Grow to 5 channels (and more nodes than before).
+        net.reconfigure(NetworkConfig::new(5, 2).unwrap());
+        let actions: Vec<Action<u32>> = vec![
+            tx(4, 40),
+            listen(4),
+            listen(3),
+            Action::Sleep,
+            tx(0, 10),
+            tx(0, 11),
+            listen(0),
+        ];
+        let res = resolve(&mut net, &actions, AdversaryAction::idle()).unwrap();
+        assert_eq!(res.outcomes.len(), 5);
+        assert_eq!(res.heard_on(ChannelId(4)), Some(40));
+        assert_eq!(res.heard_on(ChannelId(3)), None);
+        assert!(matches!(res.outcomes[3], ChannelOutcome::Idle));
+        assert!(matches!(res.outcomes[1], ChannelOutcome::Idle));
+        assert!(matches!(res.outcomes[2], ChannelOutcome::Idle));
+        assert!(matches!(
+            res.outcomes[0],
+            ChannelOutcome::Collision {
+                ref honest,
+                adversary: false
+            } if honest == &vec![NodeId(4), NodeId(5)]
+        ));
+        let rec = net.trace().last().unwrap().clone();
+        assert_eq!(rec.delivered.len(), 5);
+        assert_eq!(
+            rec.listeners,
+            vec![
+                (NodeId(1), ChannelId(4)),
+                (NodeId(2), ChannelId(3)),
+                (NodeId(6), ChannelId(0))
+            ]
+        );
+
+        // Shrink back to 2 channels: channel ids 2..5 must be gone.
+        net.reconfigure(NetworkConfig::new(2, 1).unwrap());
+        let res = resolve(&mut net, &[listen(1), tx(1, 5)], AdversaryAction::idle()).unwrap();
+        assert_eq!(res.outcomes.len(), 2);
+        assert_eq!(res.heard_on(ChannelId(1)), Some(5));
+        assert!(matches!(res.outcomes[0], ChannelOutcome::Idle));
+        let rec = net.trace().last().unwrap();
+        assert_eq!(rec.delivered, vec![None, Some(5)]);
+        assert_eq!(rec.listeners, vec![(NodeId(0), ChannelId(1))]);
+
+        // Round numbering and stats carried across both reconfigurations.
+        assert_eq!(net.round(), 3);
+        assert_eq!(net.stats().rounds, 3);
+        assert_eq!(net.trace().completed_rounds(), 3);
+
+        // And the whole run matches a fresh network driven through the
+        // same final configuration (no hidden arena state).
+        let mut fresh: Network<u32> = Network::new(NetworkConfig::new(2, 1).unwrap());
+        let fresh_res =
+            resolve(&mut fresh, &[listen(1), tx(1, 5)], AdversaryAction::idle()).unwrap();
+        assert_eq!(fresh_res.outcomes, res.outcomes);
+    }
+
+    #[test]
     fn trace_records_round() {
         let mut net: Network<u32> = Network::new(cfg());
-        net.resolve_round(&[tx(0, 5), listen(0)], AdversaryAction::idle())
-            .unwrap();
+        resolve(&mut net, &[tx(0, 5), listen(0)], AdversaryAction::idle()).unwrap();
         let rec = net.trace().last().unwrap();
         assert_eq!(rec.transmissions, vec![(NodeId(0), ChannelId(0), 5)]);
         assert_eq!(rec.listeners, vec![(NodeId(1), ChannelId(0))]);

@@ -25,7 +25,10 @@
 //! ## Architecture (module ↦ paper section)
 //!
 //! * [`Network`] (`engine`) — pure round-resolution engine implementing
-//!   the §3 channel semantics above.
+//!   the §3 channel semantics above. Its round loop is arena-backed:
+//!   [`Network::resolve_round`] returns a borrowed [`RoundView`] over
+//!   reused flat storage, so steady-state rounds are allocation-free
+//!   (owned escape hatch: [`RoundView::to_resolution`]).
 //! * [`Protocol`] (`node`) — the state-machine trait honest §3 nodes
 //!   implement.
 //! * [`Adversary`] (`adversary`) — the §3 attacker trait (budget `t`,
@@ -76,7 +79,9 @@ pub mod testing;
 mod trace;
 
 pub use adversary::{Adversary, AdversaryAction, AdversaryView, Emission};
-pub use engine::{ChannelOutcome, Network, NetworkConfig, RoundResolution};
+pub use engine::{
+    ChannelOutcome, Network, NetworkConfig, OutcomeView, Participants, RoundResolution, RoundView,
+};
 pub use error::EngineError;
 pub use node::{Action, ChannelId, NodeId, Protocol, Reception};
 pub use simulation::{Inspector, Simulation, SimulationReport};

@@ -114,12 +114,30 @@ impl<M> Action<M> {
 ///
 /// `frame == None` encodes *silence-or-collision*: per the model, a node
 /// cannot distinguish an idle channel from a collided one.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// The driver hands nodes a **borrowed** reception — `Reception<&M>`,
+/// with the frame borrowed straight from the engine's
+/// [`RoundView`](crate::RoundView) — so a node that only inspects the
+/// frame (the common case: feedback witnesses, channel-escape checks)
+/// costs no clone. Nodes that keep the frame call
+/// [`Reception::cloned`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Reception<M> {
     /// The channel the node was tuned to.
     pub channel: ChannelId,
     /// The received frame, or `None` on silence/collision.
     pub frame: Option<M>,
+}
+
+impl<M: Clone> Reception<&M> {
+    /// Materialize an owned [`Reception`] from a borrowed one — for nodes
+    /// that store what they heard beyond the end of the round.
+    pub fn cloned(&self) -> Reception<M> {
+        Reception {
+            channel: self.channel,
+            frame: self.frame.cloned(),
+        }
+    }
 }
 
 /// State machine implemented by an honest protocol node.
@@ -153,8 +171,10 @@ pub trait Protocol {
     /// Called at the end of round `round`.
     ///
     /// `reception` is `Some` exactly when the node chose [`Action::Listen`]
-    /// this round.
-    fn end_round(&mut self, round: u64, reception: Option<Reception<Self::Msg>>);
+    /// this round. The frame inside is borrowed from the engine's round
+    /// arena/action slice (see [`RoundView`](crate::RoundView)); call
+    /// [`Reception::cloned`] to keep it past the end of the round.
+    fn end_round(&mut self, round: u64, reception: Option<Reception<&Self::Msg>>);
 
     /// `true` once the node has terminated its protocol.
     fn is_done(&self) -> bool;

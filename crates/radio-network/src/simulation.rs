@@ -33,6 +33,9 @@ pub struct Simulation<P: Protocol, A> {
     nodes: Vec<P>,
     adversary: A,
     network: Network<P::Msg>,
+    /// Per-round action buffer, reused so the steady-state driver loop
+    /// allocates nothing (the engine's [`RoundView`] borrows it).
+    actions: Vec<Action<P::Msg>>,
 }
 
 impl<P, A> Simulation<P, A>
@@ -67,6 +70,7 @@ where
             nodes,
             adversary,
             network: Network::new(cfg),
+            actions: Vec::new(),
         })
     }
 
@@ -93,6 +97,7 @@ where
             nodes,
             adversary,
             network: Network::with_sink(cfg, sink),
+            actions: Vec::new(),
         })
     }
 
@@ -144,17 +149,18 @@ where
         };
         let adv_action = self.adversary.act(round, &view);
 
-        // Honest nodes choose their actions.
-        let actions: Vec<Action<P::Msg>> = self
-            .nodes
-            .iter_mut()
-            .map(|n| n.begin_round(round))
-            .collect();
+        // Honest nodes choose their actions (the buffer is reused across
+        // rounds, so the steady-state driver loop is allocation-free).
+        self.actions.clear();
+        for node in &mut self.nodes {
+            self.actions.push(node.begin_round(round));
+        }
 
-        let resolution = self.network.resolve_round(&actions, adv_action)?;
+        let resolution = self.network.resolve_round(&self.actions, &adv_action)?;
 
-        // Deliver receptions.
-        for (node, action) in self.nodes.iter_mut().zip(&actions) {
+        // Deliver receptions, borrowed straight from the round view — a
+        // node clones only if it keeps the frame (`Reception::cloned`).
+        for (node, action) in self.nodes.iter_mut().zip(&self.actions) {
             let reception = match action {
                 Action::Listen { channel } => Some(Reception {
                     channel: *channel,
@@ -239,7 +245,7 @@ mod tests {
             }
         }
 
-        fn end_round(&mut self, _round: u64, reception: Option<Reception<u32>>) {
+        fn end_round(&mut self, _round: u64, reception: Option<Reception<&u32>>) {
             if self.remaining > 0 {
                 self.remaining -= 1;
             }
@@ -247,7 +253,7 @@ mod tests {
                 frame: Some(frame), ..
             }) = reception
             {
-                self.heard.push(frame);
+                self.heard.push(*frame);
             }
         }
 

@@ -83,9 +83,25 @@ pub trait TraceSink<M>: fmt::Debug + Send {
         true
     }
 
-    /// Accept the finished record of one round. Records arrive in round
-    /// order, exactly one per resolved round.
-    fn record(&mut self, record: RoundRecord<M>);
+    /// Accept the finished record of one round, by reference: the engine
+    /// builds it in a record arena reused across rounds, so a sink copies
+    /// only what it retains or streams ([`Trace::push_ref`] recycles
+    /// bounded-window storage; [`ChannelSink`] clones once to hand the
+    /// record to its writer thread). Records arrive in round order,
+    /// exactly one per resolved round.
+    fn record(&mut self, record: &RoundRecord<M>);
+
+    /// Accept the finished record with permission to **swap**: `record`
+    /// is the engine's record arena, rebuilt from scratch next round, so
+    /// a sink retaining a bounded window may take the buffers wholesale
+    /// and hand equally warm evicted buffers back
+    /// ([`Trace::push_swap`]) — retaining a round then costs no element
+    /// copies at all. The default forwards to [`TraceSink::record`];
+    /// implementations overriding this must leave `record` holding *some*
+    /// valid buffers (contents are free to differ).
+    fn record_mut(&mut self, record: &mut RoundRecord<M>) {
+        self.record(record);
+    }
 
     /// Count a completed round for which no record was built (only called
     /// while [`TraceSink::wants_records`] is `false`).
@@ -129,13 +145,17 @@ impl<M> Default for InMemorySink<M> {
     }
 }
 
-impl<M: fmt::Debug + Send> TraceSink<M> for InMemorySink<M> {
+impl<M: Clone + fmt::Debug + Send> TraceSink<M> for InMemorySink<M> {
     fn wants_records(&self) -> bool {
         self.trace.retention().keeps_records()
     }
 
-    fn record(&mut self, record: RoundRecord<M>) {
-        self.trace.push(record);
+    fn record(&mut self, record: &RoundRecord<M>) {
+        self.trace.push_ref(record);
+    }
+
+    fn record_mut(&mut self, record: &mut RoundRecord<M>) {
+        self.trace.push_swap(record);
     }
 
     fn note_round(&mut self) {
@@ -175,7 +195,7 @@ impl<M: fmt::Debug + Send> TraceSink<M> for NullSink<M> {
         false
     }
 
-    fn record(&mut self, _record: RoundRecord<M>) {
+    fn record(&mut self, _record: &RoundRecord<M>) {
         // Only reachable through direct calls; count it like a tick.
         self.trace.note_round();
     }
@@ -362,27 +382,48 @@ impl<M> Drop for ChannelSink<M> {
     }
 }
 
-impl<M: Clone + fmt::Debug + Send + 'static> TraceSink<M> for ChannelSink<M> {
-    fn record(&mut self, record: RoundRecord<M>) {
-        if self.history.retention().keeps_records() {
-            self.history.push(record.clone());
-        } else {
-            self.history.note_round();
-        }
+impl<M: Clone + fmt::Debug + Send + 'static> ChannelSink<M> {
+    /// Hand one record to the writer thread, honoring the overflow
+    /// policy. The writer owns its copy; the one clone of the arena
+    /// record happens here, off the engine's zero-allocation path only
+    /// when streaming is actually on.
+    fn send(&mut self, record: &RoundRecord<M>) {
         let Some(tx) = &self.tx else {
             self.dropped += 1;
             return;
         };
         let lost = match self.policy {
             // The writer disappears only on I/O failure; count the loss.
-            OverflowPolicy::Block => tx.send(record).is_err(),
+            OverflowPolicy::Block => tx.send(record.clone()).is_err(),
             OverflowPolicy::DropNewest => matches!(
-                tx.try_send(record),
+                tx.try_send(record.clone()),
                 Err(TrySendError::Full(_) | TrySendError::Disconnected(_))
             ),
         };
         if lost {
             self.dropped += 1;
+        }
+    }
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> TraceSink<M> for ChannelSink<M> {
+    fn record(&mut self, record: &RoundRecord<M>) {
+        if self.history.retention().keeps_records() {
+            self.history.push_ref(record);
+        } else {
+            self.history.note_round();
+        }
+        self.send(record);
+    }
+
+    fn record_mut(&mut self, record: &mut RoundRecord<M>) {
+        // Send first (needs the contents), then let the history take the
+        // buffers by swap.
+        self.send(record);
+        if self.history.retention().keeps_records() {
+            self.history.push_swap(record);
+        } else {
+            self.history.note_round();
         }
     }
 
@@ -543,7 +584,7 @@ mod tests {
         let mut sink: InMemorySink<u32> = InMemorySink::new(TraceRetention::LastRounds(2));
         assert!(sink.wants_records());
         for r in 0..5 {
-            sink.record(record(r));
+            sink.record(&record(r));
         }
         assert_eq!(sink.history().completed_rounds(), 5);
         assert_eq!(sink.history().len(), 2);
@@ -569,7 +610,7 @@ mod tests {
         let mut sink: ChannelSink<u32> =
             ChannelSink::create(&path, 4, OverflowPolicy::Block).unwrap();
         for r in 0..50 {
-            sink.record(record(r));
+            sink.record(&record(r));
         }
         assert_eq!(sink.history().completed_rounds(), 50);
         assert!(sink.history().is_empty(), "no history by default");
@@ -590,7 +631,7 @@ mod tests {
             ChannelSink::to_writer(io::sink(), 4, OverflowPolicy::Block)
                 .with_history(TraceRetention::All);
         for r in 0..10 {
-            sink.record(record(r));
+            sink.record(&record(r));
         }
         assert_eq!(sink.history().len(), 10);
         assert_eq!(sink.history().round(7).unwrap().round, 7);

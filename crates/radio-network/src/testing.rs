@@ -61,7 +61,7 @@ impl Protocol for BeaconNode {
         }
     }
 
-    fn end_round(&mut self, round: u64, reception: Option<Reception<u64>>) {
+    fn end_round(&mut self, round: u64, reception: Option<Reception<&u64>>) {
         if self.remaining > 0 {
             self.remaining -= 1;
         }
@@ -69,7 +69,7 @@ impl Protocol for BeaconNode {
             frame: Some(frame), ..
         }) = reception
         {
-            self.heard.push((round, frame));
+            self.heard.push((round, *frame));
         }
     }
 

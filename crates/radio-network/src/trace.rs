@@ -38,7 +38,7 @@ impl TraceRetention {
 }
 
 /// Everything that happened in one round.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(PartialEq, Eq, Debug)]
 pub struct RoundRecord<M> {
     /// Round number (0-based).
     pub round: u64,
@@ -51,6 +51,31 @@ pub struct RoundRecord<M> {
     /// Per-channel resolution: `Some(frame)` if a frame was delivered to
     /// listeners of that channel (index = channel).
     pub delivered: Vec<Option<M>>,
+}
+
+/// Hand-rolled so that [`Clone::clone_from`] reuses the destination's
+/// vector capacities field by field — the engine's record arena and
+/// [`Trace::push_ref`]'s bounded-window recycling depend on it to keep
+/// the retention-on round loop allocation-free at steady state (a derived
+/// `Clone` would fall back to allocate-and-drop).
+impl<M: Clone> Clone for RoundRecord<M> {
+    fn clone(&self) -> Self {
+        RoundRecord {
+            round: self.round,
+            transmissions: self.transmissions.clone(),
+            listeners: self.listeners.clone(),
+            adversary: self.adversary.clone(),
+            delivered: self.delivered.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.round = source.round;
+        self.transmissions.clone_from(&source.transmissions);
+        self.listeners.clone_from(&source.listeners);
+        self.adversary.clone_from(&source.adversary);
+        self.delivered.clone_from(&source.delivered);
+    }
 }
 
 impl<M> RoundRecord<M> {
@@ -153,6 +178,72 @@ impl<M> Trace<M> {
         }
     }
 
+    /// Append the record of the next round *by reference*, applying the
+    /// retention policy — the arena-friendly sibling of [`Trace::push`]
+    /// for sinks that receive `&RoundRecord` from the engine's record
+    /// arena.
+    ///
+    /// Under [`TraceRetention::LastRounds`] at capacity, the oldest
+    /// retained record is **recycled**: popped, overwritten in place via
+    /// [`Clone::clone_from`] (which reuses its vector capacities), and
+    /// pushed back — so a warm bounded window retains records without
+    /// allocating, as the counting-allocator test in `tests/zero_alloc.rs`
+    /// verifies.
+    pub fn push_ref(&mut self, record: &RoundRecord<M>)
+    where
+        M: Clone,
+    {
+        debug_assert_eq!(record.round, self.completed_rounds, "trace out of order");
+        self.completed_rounds += 1;
+        match self.retention {
+            TraceRetention::None => {}
+            TraceRetention::All => self.records.push_back(record.clone()),
+            TraceRetention::LastRounds(0) => {}
+            TraceRetention::LastRounds(k) => {
+                if self.records.len() >= k {
+                    let mut recycled = self.records.pop_front().expect("len >= k >= 1");
+                    while self.records.len() >= k {
+                        self.records.pop_front();
+                    }
+                    recycled.clone_from(record);
+                    self.records.push_back(recycled);
+                } else {
+                    self.records.push_back(record.clone());
+                }
+            }
+        }
+    }
+
+    /// Append the record of the next round by **swap**: the retained copy
+    /// takes `record`'s buffers wholesale, and `record` gets the evicted
+    /// record's (equally warm) buffers back in exchange.
+    ///
+    /// This is the zero-copy sibling of [`Trace::push_ref`] for the
+    /// engine's record arena: under [`TraceRetention::LastRounds`] at
+    /// capacity, retaining a round costs two `memswap`s of vector
+    /// headers — no element copies at all — and the arena keeps
+    /// warm-capacity buffers to rebuild into next round. Policies that
+    /// cannot hand buffers back ([`TraceRetention::All`] must keep
+    /// growing) fall back to cloning, leaving `record` untouched.
+    pub fn push_swap(&mut self, record: &mut RoundRecord<M>)
+    where
+        M: Clone,
+    {
+        debug_assert_eq!(record.round, self.completed_rounds, "trace out of order");
+        match self.retention {
+            TraceRetention::LastRounds(k) if k > 0 && self.records.len() >= k => {
+                self.completed_rounds += 1;
+                let mut recycled = self.records.pop_front().expect("len >= k >= 1");
+                while self.records.len() >= k {
+                    self.records.pop_front();
+                }
+                std::mem::swap(&mut recycled, record);
+                self.records.push_back(recycled);
+            }
+            _ => self.push_ref(record),
+        }
+    }
+
     /// Count a completed round without storing a record (the
     /// [`TraceRetention::None`] fast path — the engine never builds the
     /// record in the first place).
@@ -204,6 +295,69 @@ mod tests {
         assert_eq!(trace.round(90).unwrap().round, 90);
         assert_eq!(trace.round(99).unwrap().round, 99);
         assert!(trace.round(100).is_none());
+    }
+
+    #[test]
+    fn push_ref_matches_push_across_retentions() {
+        for retention in [
+            TraceRetention::All,
+            TraceRetention::LastRounds(0),
+            TraceRetention::LastRounds(1),
+            TraceRetention::LastRounds(10),
+            TraceRetention::None,
+        ] {
+            let mut owned = Trace::new(retention);
+            let mut by_ref = Trace::new(retention);
+            for r in 0..40 {
+                owned.push(record(r));
+                by_ref.push_ref(&record(r));
+            }
+            assert_eq!(owned.completed_rounds(), by_ref.completed_rounds());
+            assert_eq!(owned.len(), by_ref.len(), "{retention:?}");
+            assert!(owned.records().zip(by_ref.records()).all(|(a, b)| a == b));
+        }
+    }
+
+    #[test]
+    fn push_swap_matches_push_and_returns_warm_buffers() {
+        for retention in [
+            TraceRetention::All,
+            TraceRetention::LastRounds(0),
+            TraceRetention::LastRounds(1),
+            TraceRetention::LastRounds(10),
+            TraceRetention::None,
+        ] {
+            let mut owned = Trace::new(retention);
+            let mut by_swap = Trace::new(retention);
+            let mut arena = record(0);
+            for r in 0..40 {
+                owned.push(record(r));
+                // Rebuild the "arena" record in place, like the engine.
+                arena.clone_from(&record(r));
+                by_swap.push_swap(&mut arena);
+                // Whatever buffers came back, the arena record must be a
+                // valid RoundRecord (the engine clears + refills next
+                // round); at window capacity they are the evicted
+                // round's, otherwise unchanged.
+                if let TraceRetention::LastRounds(k) = retention {
+                    if k > 0 && r as usize >= k {
+                        assert_eq!(arena.round, r - k as u64, "{retention:?}");
+                    }
+                }
+            }
+            assert_eq!(owned.completed_rounds(), by_swap.completed_rounds());
+            assert_eq!(owned.len(), by_swap.len(), "{retention:?}");
+            assert!(owned.records().zip(by_swap.records()).all(|(a, b)| a == b));
+        }
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let mut dst = record(0);
+        dst.transmissions.reserve(64);
+        let src = record(7);
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! The arena-backed round core is **bit-identical** to the pre-refactor
+//! engine.
+//!
+//! `reference` below is a faithful reimplementation of the engine as it
+//! stood before the `RoundArena`/`RoundView` refactor: per-channel gather
+//! `Vec`s, owned `RoundResolution` returns, per-round record
+//! construction, the same stats accounting. The property tests drive both
+//! engines through identical multi-round executions — arbitrary honest
+//! action mixes, arbitrary jam/spoof adversary moves, and the roster's
+//! history-mining adversaries (random, spoofing, busy-window) whose moves
+//! are derived from the retained trace — and require equal outcomes,
+//! equal [`Stats`], and equal retained trace records after every round.
+
+use proptest::prelude::*;
+
+use radio_network::adversaries::{BusyChannelJammer, RandomJammer, Spoofer};
+use radio_network::{
+    Action, Adversary, AdversaryAction, AdversaryView, ChannelId, ChannelOutcome, Emission,
+    Network, NetworkConfig, NodeId, RoundRecord, RoundResolution, Stats, Trace, TraceRetention,
+};
+
+/// The pre-refactor round engine, kept simple rather than fast.
+mod reference {
+    use super::*;
+
+    pub struct ReferenceNetwork {
+        channels: usize,
+        round: u64,
+        pub stats: Stats,
+        pub trace: Trace<u32>,
+    }
+
+    impl ReferenceNetwork {
+        pub fn new(channels: usize, retention: TraceRetention) -> Self {
+            ReferenceNetwork {
+                channels,
+                round: 0,
+                stats: Stats::default(),
+                trace: Trace::new(retention),
+            }
+        }
+
+        pub fn resolve_round(
+            &mut self,
+            actions: &[Action<u32>],
+            adversary: &AdversaryAction<u32>,
+        ) -> RoundResolution<u32> {
+            let c = self.channels;
+            let mut honest_tx: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); c];
+            let mut listeners: Vec<(NodeId, ChannelId)> = Vec::new();
+            for (i, action) in actions.iter().enumerate() {
+                match action {
+                    Action::Transmit { channel, frame } => {
+                        honest_tx[channel.index()].push((NodeId(i), *frame));
+                    }
+                    Action::Listen { channel } => listeners.push((NodeId(i), *channel)),
+                    Action::Sleep => {}
+                }
+            }
+            let mut adv_tx: Vec<Option<&Emission<u32>>> = vec![None; c];
+            for (ch, emission) in &adversary.transmissions {
+                assert!(adv_tx[ch.index()].is_none(), "duplicate adversary channel");
+                adv_tx[ch.index()] = Some(emission);
+            }
+
+            let mut outcomes: Vec<ChannelOutcome<u32>> = Vec::with_capacity(c);
+            for ch in 0..c {
+                let honest = &honest_tx[ch];
+                let outcome = match (honest.len(), adv_tx[ch]) {
+                    (0, None) => ChannelOutcome::Idle,
+                    (0, Some(Emission::Noise)) => ChannelOutcome::NoiseOnly,
+                    (0, Some(Emission::Spoof(frame))) => {
+                        ChannelOutcome::SpoofDelivered { frame: *frame }
+                    }
+                    (1, None) => {
+                        let (from, frame) = honest[0];
+                        ChannelOutcome::Delivered { from, frame }
+                    }
+                    _ => ChannelOutcome::Collision {
+                        honest: honest.iter().map(|&(id, _)| id).collect(),
+                        adversary: adv_tx[ch].is_some(),
+                    },
+                };
+                outcomes.push(outcome);
+            }
+
+            self.stats.rounds += 1;
+            self.stats.adversary_transmissions += adversary.len() as u64;
+            for (ch, outcome) in outcomes.iter().enumerate() {
+                match outcome {
+                    ChannelOutcome::Delivered { .. } => {
+                        self.stats.honest_transmissions += 1;
+                        self.stats.honest_deliveries += 1;
+                    }
+                    ChannelOutcome::SpoofDelivered { .. } => {
+                        if listeners.iter().any(|&(_, l)| l.index() == ch) {
+                            self.stats.spoofs_delivered += 1;
+                        }
+                    }
+                    ChannelOutcome::Collision { honest, adversary } => {
+                        self.stats.honest_transmissions += honest.len() as u64;
+                        self.stats.collisions += honest.len() as u64;
+                        if *adversary {
+                            self.stats.jams_effective += 1;
+                        }
+                    }
+                    ChannelOutcome::Idle | ChannelOutcome::NoiseOnly => {}
+                }
+            }
+            for &(_, ch) in &listeners {
+                match outcomes[ch.index()].heard() {
+                    Some(_) => self.stats.frames_received += 1,
+                    None => self.stats.silent_receptions += 1,
+                }
+            }
+
+            let delivered: Vec<Option<u32>> = outcomes.iter().map(ChannelOutcome::heard).collect();
+            let mut transmissions = Vec::new();
+            for (ch, txs) in honest_tx.iter().enumerate() {
+                for &(id, frame) in txs {
+                    transmissions.push((id, ChannelId(ch), frame));
+                }
+            }
+            self.trace.push(RoundRecord {
+                round: self.round,
+                transmissions,
+                listeners,
+                adversary: adversary.transmissions.clone(),
+                delivered,
+            });
+
+            let resolution = RoundResolution {
+                round: self.round,
+                outcomes,
+            };
+            self.round += 1;
+            resolution
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum GenAction {
+    Transmit(usize, u32),
+    Listen(usize),
+    Sleep,
+}
+
+fn to_actions(gen: &[GenAction]) -> Vec<Action<u32>> {
+    gen.iter()
+        .map(|g| match *g {
+            GenAction::Transmit(ch, f) => Action::Transmit {
+                channel: ChannelId(ch),
+                frame: f,
+            },
+            GenAction::Listen(ch) => Action::Listen {
+                channel: ChannelId(ch),
+            },
+            GenAction::Sleep => Action::Sleep,
+        })
+        .collect()
+}
+
+fn arb_round(
+    c: usize,
+    n: usize,
+    t: usize,
+) -> impl Strategy<Value = (Vec<GenAction>, Vec<(usize, Option<u32>)>)> {
+    let actions = proptest::collection::vec(
+        prop_oneof![
+            (0..c, any::<u32>()).prop_map(|(ch, f)| GenAction::Transmit(ch, f)),
+            (0..c).prop_map(GenAction::Listen),
+            Just(GenAction::Sleep),
+        ],
+        n,
+    );
+    let adversary =
+        proptest::collection::btree_map(0..c, proptest::option::of(any::<u32>()), 0..=t)
+            .prop_map(|m| m.into_iter().collect::<Vec<_>>());
+    (actions, adversary)
+}
+
+fn to_adversary(gen: &[(usize, Option<u32>)]) -> AdversaryAction<u32> {
+    let mut action = AdversaryAction::idle();
+    for &(ch, spoof) in gen {
+        action.push(
+            ChannelId(ch),
+            match spoof {
+                Some(f) => Emission::Spoof(f),
+                None => Emission::Noise,
+            },
+        );
+    }
+    action
+}
+
+/// Compare the engine against the reference after every round of an
+/// execution: resolutions, stats, completed-round counts, and every
+/// retained record.
+fn assert_equivalent_execution(
+    retention: TraceRetention,
+    c: usize,
+    t: usize,
+    rounds: &[(Vec<Action<u32>>, AdversaryAction<u32>)],
+) {
+    let cfg = NetworkConfig::new(c, t).unwrap().with_retention(retention);
+    let mut engine: Network<u32> = Network::new(cfg);
+    let mut reference = reference::ReferenceNetwork::new(c, retention);
+    for (actions, adversary) in rounds {
+        let expected = reference.resolve_round(actions, adversary);
+        let view = engine.resolve_round(actions, adversary).unwrap();
+        assert_eq!(view.to_resolution(), expected);
+        assert_eq!(engine.stats(), &reference.stats);
+        assert_eq!(
+            engine.trace().completed_rounds(),
+            reference.trace.completed_rounds()
+        );
+        assert_eq!(engine.trace().len(), reference.trace.len());
+        assert!(engine
+            .trace()
+            .records()
+            .zip(reference.trace.records())
+            .all(|(a, b)| a == b));
+    }
+}
+
+proptest! {
+    /// Arbitrary multi-round executions under arbitrary jam/spoof moves:
+    /// the arena engine and the reference agree on every outcome, every
+    /// stat, and every retained record, across all retention policies.
+    #[test]
+    fn arena_engine_matches_reference(
+        rounds in proptest::collection::vec(arb_round(4, 10, 2), 1..12),
+        retention in prop_oneof![
+            Just(TraceRetention::All),
+            Just(TraceRetention::LastRounds(3)),
+            Just(TraceRetention::None),
+        ],
+    ) {
+        let rounds: Vec<(Vec<Action<u32>>, AdversaryAction<u32>)> = rounds
+            .iter()
+            .map(|(gen, adv)| (to_actions(gen), to_adversary(adv)))
+            .collect();
+        assert_equivalent_execution(retention, 4, 2, &rounds);
+    }
+
+    /// The roster's trace-mining adversaries (random jammer, spoofer,
+    /// busy-window jammer) against a scripted honest schedule: adversary
+    /// moves are derived from the engine's retained trace each round, so
+    /// this exercises the record arena, the recycled bounded window, and
+    /// history-dependent behavior end to end.
+    #[test]
+    fn roster_adversaries_stay_bit_identical(
+        seed in any::<u64>(),
+        kind in 0..3usize,
+        rounds in 4..40usize,
+    ) {
+        let (c, t, n) = (5, 2, 12);
+        let cfg = NetworkConfig::new(c, t)
+            .unwrap()
+            .with_retention(TraceRetention::LastRounds(8));
+        let mut engine: Network<u32> = Network::new(cfg);
+        let mut reference =
+            reference::ReferenceNetwork::new(c, TraceRetention::LastRounds(8));
+        let mut adversary: Box<dyn Adversary<u32>> = match kind {
+            0 => Box::new(RandomJammer::new(seed)),
+            1 => Box::new(Spoofer::new(seed, |round, ch: ChannelId| {
+                (round as u32) << 8 | ch.index() as u32
+            })),
+            _ => Box::new(BusyChannelJammer::new(seed, 6)),
+        };
+        for round in 0..rounds as u64 {
+            // A deterministic, channel-skewed honest schedule (some
+            // collisions, some clean deliveries, rotating listeners).
+            let actions: Vec<Action<u32>> = (0..n)
+                .map(|i| match (i + round as usize) % 4 {
+                    0 => Action::Transmit {
+                        channel: ChannelId(i % 2),
+                        frame: (round as u32) * 100 + i as u32,
+                    },
+                    1 => Action::Transmit {
+                        channel: ChannelId(2 + (i + round as usize) % (c - 2)),
+                        frame: (round as u32) * 100 + i as u32,
+                    },
+                    2 => Action::Listen {
+                        channel: ChannelId((i + round as usize) % c),
+                    },
+                    _ => Action::Sleep,
+                })
+                .collect();
+            // The adversary mines the ENGINE's trace; the reference must
+            // have retained the identical history for this to stay fair.
+            let view = AdversaryView {
+                channels: c,
+                budget: t,
+                nodes: n,
+                trace: engine.trace(),
+            };
+            let adv_action = adversary.act(round, &view);
+            let expected = reference.resolve_round(&actions, &adv_action);
+            let got = engine
+                .resolve_round(&actions, &adv_action)
+                .unwrap()
+                .to_resolution();
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(engine.stats(), &reference.stats);
+            prop_assert_eq!(engine.trace().len(), reference.trace.len());
+            prop_assert!(engine
+                .trace()
+                .records()
+                .zip(reference.trace.records())
+                .all(|(a, b)| a == b));
+        }
+    }
+}

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use radio_network::{
     Action, AdversaryAction, ChannelId, ChannelOutcome, Emission, Network, NetworkConfig,
+    OutcomeView,
 };
 
 #[derive(Clone, Debug)]
@@ -69,7 +70,8 @@ proptest! {
         let cfg = NetworkConfig::new(4, 2).unwrap();
         let mut net: Network<u32> = Network::new(cfg);
         let actions = to_actions(&gen);
-        let resolution = net.resolve_round(&actions, to_adversary(&adv)).unwrap();
+        let adversary = to_adversary(&adv);
+        let resolution = net.resolve_round(&actions, &adversary).unwrap().to_resolution();
 
         for ch in 0..4 {
             let honest: Vec<u32> = gen.iter().filter_map(|g| match g {
@@ -96,6 +98,60 @@ proptest! {
         }
     }
 
+    /// The borrowed view and the owned resolution agree channel by channel.
+    #[test]
+    fn view_agrees_with_owned_resolution(
+        gen in arb_actions(4, 12),
+        adv in arb_adversary(4, 2),
+    ) {
+        let cfg = NetworkConfig::new(4, 2).unwrap();
+        let mut net: Network<u32> = Network::new(cfg);
+        let actions = to_actions(&gen);
+        let adversary = to_adversary(&adv);
+        let view = net.resolve_round(&actions, &adversary).unwrap();
+        let owned = view.to_resolution();
+        prop_assert_eq!(view.round(), owned.round);
+        prop_assert_eq!(view.channels(), owned.outcomes.len());
+        for ch in 0..view.channels() {
+            let channel = ChannelId(ch);
+            prop_assert_eq!(view.heard_on(channel).copied(), owned.heard_on(channel));
+            match (view.outcome(channel), &owned.outcomes[ch]) {
+                (OutcomeView::Idle, ChannelOutcome::Idle)
+                | (OutcomeView::NoiseOnly, ChannelOutcome::NoiseOnly) => {}
+                (
+                    OutcomeView::Delivered { from, frame },
+                    ChannelOutcome::Delivered { from: of, frame: off },
+                ) => {
+                    prop_assert_eq!(from, *of);
+                    prop_assert_eq!(frame, off);
+                }
+                (
+                    OutcomeView::SpoofDelivered { frame },
+                    ChannelOutcome::SpoofDelivered { frame: off },
+                ) => prop_assert_eq!(frame, off),
+                (
+                    OutcomeView::Collision { honest, adversary },
+                    ChannelOutcome::Collision { honest: oh, adversary: oa },
+                ) => {
+                    prop_assert_eq!(adversary, *oa);
+                    prop_assert_eq!(honest.len(), oh.len());
+                    prop_assert_eq!(&honest.nodes().collect::<Vec<_>>(), oh);
+                    // Collision participants' frames match their actions.
+                    for (node, frame) in honest.frames() {
+                        match &actions[node.index()] {
+                            Action::Transmit { frame: f, .. } => prop_assert_eq!(frame, f),
+                            other => prop_assert!(false, "non-transmit participant {other:?}"),
+                        }
+                    }
+                }
+                (view_outcome, owned_outcome) => prop_assert!(
+                    false,
+                    "view {view_outcome:?} disagrees with owned {owned_outcome:?}"
+                ),
+            }
+        }
+    }
+
     /// Statistics are conserved: every honest transmission is either
     /// delivered or collided, never both, never lost.
     #[test]
@@ -106,7 +162,8 @@ proptest! {
         let cfg = NetworkConfig::new(4, 2).unwrap();
         let mut net: Network<u32> = Network::new(cfg);
         let actions = to_actions(&gen);
-        net.resolve_round(&actions, to_adversary(&adv)).unwrap();
+        let adversary = to_adversary(&adv);
+        net.resolve_round(&actions, &adversary).unwrap();
         let stats = net.stats();
         let tx_count = gen.iter().filter(|g| matches!(g, GenAction::Transmit(..))).count() as u64;
         prop_assert_eq!(stats.honest_transmissions, tx_count);
@@ -125,7 +182,8 @@ proptest! {
         let cfg = NetworkConfig::new(3, 1).unwrap();
         let mut net: Network<u32> = Network::new(cfg);
         let actions = to_actions(&gen);
-        let resolution = net.resolve_round(&actions, to_adversary(&adv)).unwrap();
+        let adversary = to_adversary(&adv);
+        let resolution = net.resolve_round(&actions, &adversary).unwrap().to_resolution();
         let rec = net.trace().last().unwrap();
         let tx_count = gen.iter().filter(|g| matches!(g, GenAction::Transmit(..))).count();
         prop_assert_eq!(rec.transmissions.len(), tx_count);
@@ -146,7 +204,9 @@ proptest! {
     ) {
         let cfg = NetworkConfig::new(3, 2).unwrap();
         let mut net: Network<u32> = Network::new(cfg);
-        let resolution = net.resolve_round(&to_actions(&gen), to_adversary(&adv)).unwrap();
+        let actions = to_actions(&gen);
+        let adversary = to_adversary(&adv);
+        let resolution = net.resolve_round(&actions, &adversary).unwrap().to_resolution();
         for outcome in &resolution.outcomes {
             match outcome {
                 ChannelOutcome::Delivered { .. } | ChannelOutcome::SpoofDelivered { .. } => {

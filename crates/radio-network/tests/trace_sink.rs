@@ -125,12 +125,12 @@ fn drop_policy_counts_exactly_the_overflow() {
         gated_encoder(gate.clone(), first_tx),
     );
 
-    sink.record(record(0));
+    sink.record(&record(0));
     first_rx.recv().unwrap(); // writer holds record 0; queue is empty
-    sink.record(record(1));
-    sink.record(record(2)); // queue now full (capacity 2)
+    sink.record(&record(1));
+    sink.record(&record(2)); // queue now full (capacity 2)
     for r in 3..10 {
-        sink.record(record(r));
+        sink.record(&record(r));
     }
     assert_eq!(sink.dropped_records(), 7);
     assert_eq!(sink.history().completed_rounds(), 10);
@@ -155,7 +155,7 @@ fn block_policy_is_lossless_under_backpressure() {
     // with capacity 1 the producer must block long before round 100.
     let producer = std::thread::spawn(move || {
         for r in 0..100 {
-            sink.record(record(r));
+            sink.record(&record(r));
         }
         sink.finish().unwrap()
     });
@@ -175,7 +175,7 @@ fn writer_thread_flushes_on_drop() {
         let mut sink: ChannelSink<u32> =
             ChannelSink::create(&path, 8, OverflowPolicy::Block).unwrap();
         for r in 0..64 {
-            sink.record(record(r));
+            sink.record(&record(r));
         }
         // sink dropped here, file closed after the writer drains
     }

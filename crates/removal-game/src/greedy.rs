@@ -17,7 +17,8 @@
 
 use std::collections::BTreeSet;
 
-use crate::game::{GameState, Proposal, ProposalItem};
+use crate::game::{GameError, GameState, Proposal, ProposalItem};
+use crate::referee::Referee;
 
 /// The pool `P1`: unstarred sources, ascending.
 pub fn p1(state: &GameState) -> Vec<usize> {
@@ -90,6 +91,31 @@ pub fn greedy_proposal(state: &GameState) -> Option<Proposal> {
     Some(items)
 }
 
+/// Drive a full greedy-removal game to termination: propose greedily, let
+/// `referee` answer, apply, repeat. Returns the number of moves played;
+/// on return `state` satisfies the Lemma 3 termination condition
+/// (`GameState::cover_at_most_t`).
+///
+/// The referee writes every response into one reused buffer
+/// ([`Referee::respond_into`]), so the referee hook stays off the
+/// allocator across the whole game — the loop the E1 bench and the
+/// fig3 experiment share.
+///
+/// # Errors
+///
+/// [`GameError`] if the referee answers with an illegal response (empty,
+/// or not a subset of the proposal) — impossible for the library referees.
+pub fn play(state: &mut GameState, referee: &mut dyn Referee) -> Result<usize, GameError> {
+    let mut response: Vec<ProposalItem> = Vec::new();
+    let mut moves = 0;
+    while let Some(p) = greedy_proposal(state) {
+        referee.respond_into(state, &p, &mut response);
+        state.apply_response(&p, &response)?;
+        moves += 1;
+    }
+    Ok(moves)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,14 +160,8 @@ mod tests {
     fn full_game_with_generous_referee() {
         let edges: Vec<(usize, usize)> = (0..10).map(|i| (i, (i + 3) % 10)).collect();
         let mut state = GameState::new(10, edges, 2).unwrap();
-        let mut referee = GenerousReferee;
-        let mut moves = 0;
-        while let Some(p) = greedy_proposal(&state) {
-            let resp = referee.respond(&state, &p);
-            state.apply_response(&p, &resp).unwrap();
-            moves += 1;
-            assert!(moves <= 100, "game failed to converge");
-        }
+        let moves = play(&mut state, &mut GenerousReferee).unwrap();
+        assert!(moves <= 100, "game failed to converge");
         assert!(state.cover_at_most_t());
     }
 
@@ -155,15 +175,32 @@ mod tests {
             .collect();
         let e = edges.len();
         let mut state = GameState::new(n, edges, 3).unwrap();
-        let mut referee = AdversarialReferee::new();
-        let mut moves = 0;
-        while let Some(p) = greedy_proposal(&state) {
-            let resp = referee.respond(&state, &p);
-            state.apply_response(&p, &resp).unwrap();
-            moves += 1;
-            assert!(moves <= e + n, "exceeded Theorem 4 bound");
-        }
+        let moves = play(&mut state, &mut AdversarialReferee::new()).unwrap();
+        assert!(moves <= e + n, "exceeded Theorem 4 bound");
         assert!(state.cover_at_most_t());
+    }
+
+    #[test]
+    fn play_matches_the_manual_respond_loop() {
+        let n = 11;
+        let edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| [(i, (i + 2) % n), ((i + 4) % n, i)])
+            .collect();
+        for seed in 0..4 {
+            let mut manual = GameState::new(n, edges.clone(), 2).unwrap();
+            let mut referee = RandomReferee::new(seed);
+            let mut manual_moves = 0usize;
+            while let Some(p) = greedy_proposal(&manual) {
+                let resp = referee.respond(&manual, &p);
+                manual.apply_response(&p, &resp).unwrap();
+                manual_moves += 1;
+            }
+            let mut driven = GameState::new(n, edges.clone(), 2).unwrap();
+            let moves = play(&mut driven, &mut RandomReferee::new(seed)).unwrap();
+            assert_eq!(moves, manual_moves);
+            assert_eq!(driven.starred(), manual.starred());
+            assert!(driven.cover_at_most_t());
+        }
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //!   Theorem 4 upper bound);
 //! * [`RandomReferee`] — a random non-empty subset (models oblivious
 //!   jamming).
+//!
+//! The primitive hook is [`Referee::respond_into`], which writes the
+//! response into a caller-provided buffer — game-driving loops (the E1
+//! bench, [`greedy::play`](crate::greedy::play), f-AME's simulated
+//! referee accounting) reuse one buffer across millions of moves, keeping
+//! the referee hook off the allocator. [`Referee::respond`] is the
+//! allocating convenience wrapper.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -19,8 +26,18 @@ use crate::game::{GameState, Proposal, ProposalItem};
 
 /// A referee: answers a proposal with a non-empty subset.
 pub trait Referee {
-    /// Choose the subset of `proposal` that succeeds this move.
-    fn respond(&mut self, state: &GameState, proposal: &Proposal) -> Vec<ProposalItem>;
+    /// Write the subset of `proposal` that succeeds this move into `out`
+    /// (cleared first). The buffer is caller-owned so driving loops can
+    /// reuse it across moves without allocating.
+    fn respond_into(&mut self, state: &GameState, proposal: &Proposal, out: &mut Vec<ProposalItem>);
+
+    /// Choose the subset of `proposal` that succeeds this move
+    /// (allocating convenience around [`Referee::respond_into`]).
+    fn respond(&mut self, state: &GameState, proposal: &Proposal) -> Vec<ProposalItem> {
+        let mut out = Vec::new();
+        self.respond_into(state, proposal, &mut out);
+        out
+    }
 
     /// Name for reports.
     fn name(&self) -> &'static str {
@@ -33,8 +50,14 @@ pub trait Referee {
 pub struct GenerousReferee;
 
 impl Referee for GenerousReferee {
-    fn respond(&mut self, _state: &GameState, proposal: &Proposal) -> Vec<ProposalItem> {
-        proposal.clone()
+    fn respond_into(
+        &mut self,
+        _state: &GameState,
+        proposal: &Proposal,
+        out: &mut Vec<ProposalItem>,
+    ) {
+        out.clear();
+        out.extend_from_slice(proposal);
     }
 
     fn name(&self) -> &'static str {
@@ -60,23 +83,28 @@ impl AdversarialReferee {
 }
 
 impl Referee for AdversarialReferee {
-    fn respond(&mut self, state: &GameState, proposal: &Proposal) -> Vec<ProposalItem> {
+    fn respond_into(
+        &mut self,
+        state: &GameState,
+        proposal: &Proposal,
+        out: &mut Vec<ProposalItem>,
+    ) {
         let concede = proposal.len().saturating_sub(state.t()).max(1);
-        let mut picks: Vec<ProposalItem> = proposal
-            .iter()
-            .filter(|item| matches!(item, ProposalItem::Node(_)))
-            .copied()
-            .collect();
+        out.clear();
+        out.extend(
+            proposal
+                .iter()
+                .filter(|item| matches!(item, ProposalItem::Node(_))),
+        );
         for item in proposal {
-            if picks.len() >= concede {
+            if out.len() >= concede {
                 break;
             }
             if matches!(item, ProposalItem::Edge(_, _)) {
-                picks.push(*item);
+                out.push(*item);
             }
         }
-        picks.truncate(concede);
-        picks
+        out.truncate(concede);
     }
 
     fn name(&self) -> &'static str {
@@ -100,15 +128,17 @@ impl RandomReferee {
 }
 
 impl Referee for RandomReferee {
-    fn respond(&mut self, _state: &GameState, proposal: &Proposal) -> Vec<ProposalItem> {
+    fn respond_into(
+        &mut self,
+        _state: &GameState,
+        proposal: &Proposal,
+        out: &mut Vec<ProposalItem>,
+    ) {
         loop {
-            let chosen: Vec<ProposalItem> = proposal
-                .iter()
-                .filter(|_| self.rng.gen_bool(0.5))
-                .copied()
-                .collect();
-            if !chosen.is_empty() {
-                return chosen;
+            out.clear();
+            out.extend(proposal.iter().filter(|_| self.rng.gen_bool(0.5)));
+            if !out.is_empty() {
+                return;
             }
         }
     }
@@ -154,6 +184,29 @@ mod tests {
             let resp = referee.respond(&state, &p);
             assert!(!resp.is_empty());
             assert!(resp.iter().all(|item| p.contains(item)));
+        }
+    }
+
+    #[test]
+    fn respond_into_reuses_buffer_and_matches_respond() {
+        let (state, p) = state_and_proposal();
+        let mut buffer = Vec::new();
+        // Stale contents must be cleared, results must match the
+        // allocating wrapper, and the buffer's capacity must be reused.
+        buffer.push(ProposalItem::Node(99));
+        buffer.reserve(16);
+        let capacity = buffer.capacity();
+        GenerousReferee.respond_into(&state, &p, &mut buffer);
+        assert_eq!(buffer, GenerousReferee.respond(&state, &p));
+        assert_eq!(buffer.capacity(), capacity);
+        AdversarialReferee::new().respond_into(&state, &p, &mut buffer);
+        assert_eq!(buffer, AdversarialReferee::new().respond(&state, &p));
+        // Random: identical seeds draw identical subsets either way.
+        let mut a = RandomReferee::new(7);
+        let mut b = RandomReferee::new(7);
+        for _ in 0..20 {
+            a.respond_into(&state, &p, &mut buffer);
+            assert_eq!(buffer, b.respond(&state, &p));
         }
     }
 }
