@@ -6,7 +6,7 @@
 //! construction) — across the trace-retention policies, for a cheap `u64`
 //! frame and a clone-heavy `Vec<u8>` frame.
 //!
-//! Three groups:
+//! Four groups:
 //!
 //! * `resolve_round/*` — the engine as consumers drive it: per-round
 //!   adversary construction, borrowed [`RoundView`] result.
@@ -18,6 +18,12 @@
 //!   [`RoundView::to_resolution`] migration escape hatch for contrast.
 //! * `sinks/*` — the pluggable [`TraceSink`]s under full record
 //!   construction on a larger grid, where retention cost dominates.
+//! * `sparse/*` — O(active) resolution at fixed activity (24 awake nodes)
+//!   as the population grows: `dense_n*` rows pay the dense gather over
+//!   all `n` actions, `sparse_n*` rows feed only the awake pairs to
+//!   [`Network::resolve_round_sparse`], and `sim_n*` rows drive the full
+//!   [`Simulation`] wake-queue from n = 10³ to 10⁶ — the headline claim
+//!   is ns-per-active-node staying flat as `n` grows 1000×.
 //!
 //! Besides the usual criterion output, `main` writes the measured
 //! per-round times to `BENCH_engine.json` so the perf trajectory of this
@@ -30,7 +36,7 @@
 use criterion::{black_box, summaries_json, Criterion, Summary};
 use radio_network::{
     Action, AdversaryAction, ChannelId, ChannelOutcome, ChannelSink, Emission, InMemorySink,
-    Network, NetworkConfig, NodeId, NullSink, OverflowPolicy, RoundRecord, RoundView,
+    Network, NetworkConfig, NodeId, NullSink, OverflowPolicy, RoundRecord, RoundView, Simulation,
     TraceRetention, TraceSink,
 };
 use secure_radio_bench::smoke;
@@ -158,13 +164,13 @@ mod baseline {
                     transmissions.push((*id, ChannelId(ch), frame.clone()));
                 }
             }
-            self.records.push_back(RoundRecord {
-                round: self.round,
+            self.records.push_back(RoundRecord::from_parts(
+                self.round,
                 transmissions,
                 listeners,
-                adversary: adversary.transmissions,
+                adversary.transmissions,
                 delivered,
-            });
+            ));
             while self.records.len() > self.keep_last {
                 self.records.pop_front();
             }
@@ -348,6 +354,145 @@ fn bench_sinks<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str,
     std::fs::remove_file(&trace_path).ok();
 }
 
+/// Fixed activity for the `sparse/*` group: 8 transmitters (one per
+/// channel, modulo jamming) + 16 listeners, regardless of population.
+const ACTIVE_TX: usize = 8;
+const ACTIVE: usize = 24;
+
+/// The action of the `i`-th *active* slot (the population sleeps).
+fn active_action(i: usize, round: usize) -> Action<u64> {
+    if i < ACTIVE_TX {
+        Action::Transmit {
+            channel: ChannelId((i + round) % CHANNELS),
+            frame: (round * 1000 + i) as u64,
+        }
+    } else {
+        Action::Listen {
+            channel: ChannelId((i + 2 * round) % CHANNELS),
+        }
+    }
+}
+
+/// A population node for the `sim_n*` rows: the 24 active slots follow
+/// the fixed schedule every round; everyone else sleeps once at round 0
+/// and then advertises [`radio_network::NEVER`], leaving the wake-queue.
+#[derive(Debug)]
+struct SparseSimNode {
+    /// Active-slot index (< [`ACTIVE`]), or `ACTIVE` for a sleeper.
+    slot: usize,
+}
+
+impl radio_network::Protocol for SparseSimNode {
+    type Msg = u64;
+
+    fn begin_round(&mut self, round: u64) -> Action<u64> {
+        if self.slot < ACTIVE {
+            active_action(self.slot, round as usize)
+        } else {
+            Action::Sleep
+        }
+    }
+
+    fn end_round(&mut self, _round: u64, _reception: Option<radio_network::Reception<&u64>>) {}
+
+    fn is_done(&self) -> bool {
+        false // driven by an explicit step loop
+    }
+
+    fn next_wake(&self, round: u64) -> u64 {
+        if self.slot < ACTIVE {
+            round + 1
+        } else {
+            radio_network::NEVER
+        }
+    }
+}
+
+/// The O(active) scaling group: identical activity (8 tx + 16 listeners +
+/// the reused 2-channel jammer), population as the only variable.
+/// Retention is off everywhere — this measures resolution, not tracing.
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse/u64");
+    group.sample_size(sample_size(10));
+    let adversaries: Vec<AdversaryAction<u64>> = (0..ROUNDS_PER_ITER).map(adversary).collect();
+    let cfg = NetworkConfig::new(CHANNELS, BUDGET)
+        .unwrap()
+        .with_retention(TraceRetention::None);
+
+    // Dense rows: one reusable n-slot action buffer, only the 24 active
+    // slots rewritten per round — the gather loop still walks all n.
+    for n in [10_000usize, 100_000] {
+        group.bench_function(format!("dense_n{n}").as_str(), |b| {
+            let mut net: Network<u64> = Network::new(cfg);
+            let mut acts: Vec<Action<u64>> = vec![Action::Sleep; n];
+            b.iter(|| {
+                let mut delivered = 0usize;
+                for (r, adv) in adversaries.iter().enumerate() {
+                    for (i, slot) in acts.iter_mut().enumerate().take(ACTIVE) {
+                        *slot = active_action(i, r);
+                    }
+                    let view = net.resolve_round(&acts, adv).unwrap();
+                    delivered += consume_view(black_box(&view));
+                }
+                delivered
+            })
+        });
+    }
+
+    // Sparse rows: the same 24 actions as node-sorted pairs (ids spread
+    // across the nominal population); n never enters the engine.
+    for n in [10_000usize, 100_000] {
+        group.bench_function(format!("sparse_n{n}").as_str(), |b| {
+            let mut net: Network<u64> = Network::new(cfg);
+            let stride = n / ACTIVE;
+            let mut pairs: Vec<(NodeId, Action<u64>)> = (0..ACTIVE)
+                .map(|i| (NodeId(i * stride), Action::Sleep))
+                .collect();
+            b.iter(|| {
+                let mut delivered = 0usize;
+                for (r, adv) in adversaries.iter().enumerate() {
+                    for (i, pair) in pairs.iter_mut().enumerate() {
+                        pair.1 = active_action(i, r);
+                    }
+                    let view = net.resolve_round_sparse(&pairs, adv).unwrap();
+                    delivered += consume_view(black_box(&view));
+                }
+                delivered
+            })
+        });
+    }
+
+    // Full-driver n-scaling rows: the wake-queue visits 24 nodes per
+    // round no matter the population. The simulation persists across
+    // samples (like `sinks/*`); round 0 — the one O(n) round, where every
+    // node is polled once and the sleepers leave the queue — runs before
+    // measurement.
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        group.bench_function(format!("sim_n{n}").as_str(), |b| {
+            let stride = n / ACTIVE;
+            let nodes: Vec<SparseSimNode> = (0..n)
+                .map(|id| SparseSimNode {
+                    slot: if id % stride == 0 && id / stride < ACTIVE {
+                        id / stride
+                    } else {
+                        ACTIVE
+                    },
+                })
+                .collect();
+            let mut sim =
+                Simulation::new(cfg, nodes, radio_network::adversaries::NoAdversary, 7).unwrap();
+            sim.step().unwrap(); // round 0: drain the sleepers
+            b.iter(|| {
+                for _ in 0..ROUNDS_PER_ITER {
+                    sim.step().unwrap();
+                }
+                sim.stats().rounds
+            })
+        });
+    }
+    group.finish();
+}
+
 fn main() {
     let mut c = Criterion::default();
     bench_frame_kind(&mut c, "u64", &0xFEEDu64);
@@ -356,6 +501,7 @@ fn main() {
     bench_arena(&mut c, "vec256", &vec![0xA5u8; 256]);
     bench_sinks(&mut c, "u64", &0xFEEDu64);
     bench_sinks(&mut c, "vec256", &vec![0xA5u8; 256]);
+    bench_sparse(&mut c);
 
     let summaries: Vec<Summary> = c.take_summaries();
     if summaries.iter().all(|s| s.median_ns > 0.0) {
@@ -403,6 +549,23 @@ fn main() {
                     arena <= naive,
                     "arena regression ({kind}): view_last64 {arena:.0} ns/round is slower than \
                      the pre-refactor baseline {naive:.0} ns/round"
+                );
+            }
+        }
+        // The large-n sparse gate: at matched activity (24 awake nodes),
+        // the sparse entry point must never be slower than the dense one —
+        // the dense gather walks all n actions, the sparse one only the
+        // awake pairs, so the margin is ~n/activity and timing noise
+        // cannot close it unless the worklist machinery regresses badly.
+        for n in [10_000usize, 100_000] {
+            if let (Some(dense), Some(sparse)) = (
+                median(&format!("sparse/u64/dense_n{n}")),
+                median(&format!("sparse/u64/sparse_n{n}")),
+            ) {
+                assert!(
+                    sparse <= dense,
+                    "sparse regression (n={n}): sparse {sparse:.0} ns/round is slower than \
+                     dense {dense:.0} ns/round at identical activity"
                 );
             }
         }
@@ -454,6 +617,33 @@ fn main() {
                     mem / null
                 );
             }
+        }
+        for n in [10_000usize, 100_000] {
+            if let (Some(dense), Some(sparse)) = (
+                median(&format!("sparse/u64/dense_n{n}")),
+                median(&format!("sparse/u64/sparse_n{n}")),
+            ) {
+                println!(
+                    "sparse engine n={n} @{ACTIVE} active: dense {dense:.0} ns/round -> \
+                     sparse {sparse:.0} ns/round ({:.1}x)",
+                    dense / sparse
+                );
+            }
+        }
+        let mut scaling = String::new();
+        for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+            if let Some(m) = median(&format!("sparse/u64/sim_n{n}")) {
+                use std::fmt::Write as _;
+                write!(
+                    scaling,
+                    " n={n}: {m:.0} ns/round ({:.1} ns/active-node);",
+                    m / ACTIVE as f64
+                )
+                .expect("write to String");
+            }
+        }
+        if !scaling.is_empty() {
+            println!("sparse sim n-scaling @{ACTIVE} active:{scaling}");
         }
     }
 }

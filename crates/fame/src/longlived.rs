@@ -109,7 +109,10 @@ impl LongLivedNode {
 impl Protocol for LongLivedNode {
     type Msg = SealedBox;
 
-    fn begin_round(&mut self, _round: u64) -> Action<SealedBox> {
+    fn begin_round(&mut self, round: u64) -> Action<SealedBox> {
+        // Track the driver's round directly: a node that slept through a
+        // stretch of rounds (see `next_wake`) resumes at the right epoch.
+        self.round = round;
         if self.is_done() {
             return Action::Sleep;
         }
@@ -127,7 +130,7 @@ impl Protocol for LongLivedNode {
         }
     }
 
-    fn end_round(&mut self, _round: u64, reception: Option<Reception<&SealedBox>>) {
+    fn end_round(&mut self, round: u64, reception: Option<Reception<&SealedBox>>) {
         if let (
             Some(key),
             Some(Reception {
@@ -149,11 +152,25 @@ impl Protocol for LongLivedNode {
                 }
             }
         }
-        self.round += 1;
+        self.round = round + 1;
     }
 
     fn is_done(&self) -> bool {
         self.round >= self.emulated_rounds * self.epoch_len
+    }
+
+    fn next_wake(&self, round: u64) -> u64 {
+        if self.is_done() {
+            return radio_network::NEVER;
+        }
+        if self.key.is_none() {
+            // Unkeyed nodes never transmit or listen; sleep until the
+            // session's last round so `is_done` flips in lockstep with
+            // the keyed group and the run length stays unchanged.
+            let total = self.emulated_rounds * self.epoch_len;
+            return total.saturating_sub(1).max(round + 1);
+        }
+        round + 1
     }
 }
 
@@ -420,7 +437,7 @@ mod tests {
         let report = run_longlived(&p, &ks, &script(), NoAdversary, 5, true).unwrap();
         let trace = report.trace.expect("kept");
         for rec in trace.records() {
-            for (_, _, frame) in &rec.transmissions {
+            for (_, _, frame) in rec.transmissions() {
                 // The plaintext never appears in the ciphertext.
                 for entry in script() {
                     if frame.ciphertext.len() >= entry.message.len() {

@@ -33,7 +33,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use radio_network::{Action, ChannelId, Reception};
+use radio_network::{Action, ChannelId, Protocol, Reception};
 
 use crate::messages::FameFrame;
 use crate::params::Params;
@@ -198,6 +198,54 @@ impl TreeFeedbackCore {
         all
     }
 
+    /// Whether this node does anything (transmit or listen) during the
+    /// merge segment `(level, direction)`. Mirrors the `Sleep` arms of
+    /// [`TreeFeedbackCore::action`] exactly; none of those arms draw from
+    /// the RNG, so skipping inactive segments is bit-identical to sitting
+    /// through them.
+    fn merge_is_active(&self, level: u64, direction: usize) -> bool {
+        let Some((group, side)) = self.my_group(level) else {
+            return false; // not a witness: idle until final
+        };
+        if !self.group_merges(level, group) {
+            return false; // unpaired group this level
+        }
+        if side == direction {
+            // Informed side: only the ranked broadcasters act.
+            self.side_broadcasters(level, group, side)
+                .contains(&self.me)
+        } else {
+            true // listening side always listens
+        }
+    }
+
+    /// The smallest local round `>= from` at which [`TreeFeedbackCore::action`]
+    /// returns something other than [`Action::Sleep`].
+    ///
+    /// Leaves that sit out whole merge segments (non-witnesses, unpaired
+    /// groups, surplus witnesses) can hand this to
+    /// [`Protocol::next_wake`] and skip
+    /// those segments entirely. Pure: consults no RNG, so the schedule a
+    /// skipping driver produces is bit-identical to a dense one.
+    pub fn next_active_round(&self, from: u64) -> u64 {
+        let mut r = from;
+        loop {
+            match self.phase_of(r) {
+                // Everyone transmits or listens in the final dissemination.
+                TreePhase::Final => return r,
+                TreePhase::Merge { level, direction } => {
+                    if self.merge_is_active(level, direction) {
+                        return r;
+                    }
+                    // Jump to the start of the next (level, direction)
+                    // segment; segments are `merge_reps` rounds long and
+                    // aligned to multiples of it.
+                    r = (r / self.merge_reps + 1) * self.merge_reps;
+                }
+            }
+        }
+    }
+
     /// The action for `local_round ∈ 0..total_rounds()`.
     pub fn action(&mut self, local_round: u64) -> Action<FameFrame> {
         match self.phase_of(local_round) {
@@ -277,59 +325,85 @@ enum TreePhase {
     Final,
 }
 
+/// Standalone [`Protocol`] wrapper around [`TreeFeedbackCore`], for running
+/// one tree-feedback invocation as its own simulation (the full f-AME
+/// protocol instead drives the core inside its phase machine).
+///
+/// The driver's round number is used as the core's local round, so the
+/// simulation must start at round 0. Leaves advertise their sleep segments
+/// through [`Protocol::next_wake`] via
+/// [`TreeFeedbackCore::next_active_round`], letting the wake-queue driver
+/// skip them without changing the execution.
+#[derive(Clone, Debug)]
+pub struct TreeFeedbackNode {
+    core: Option<TreeFeedbackCore>,
+    result: Option<BTreeSet<usize>>,
+    total: u64,
+}
+
+impl TreeFeedbackNode {
+    /// Wrap a core; the node runs for [`TreeFeedbackCore::total_rounds`]
+    /// driver rounds and then reports done.
+    pub fn new(core: TreeFeedbackCore) -> Self {
+        let total = core.total_rounds();
+        TreeFeedbackNode {
+            core: Some(core),
+            result: None,
+            total,
+        }
+    }
+
+    /// Driver rounds this invocation takes.
+    pub fn total_rounds(&self) -> u64 {
+        self.total
+    }
+
+    /// The agreed disrupted set, available once the node is done.
+    pub fn into_disrupted(self) -> Option<BTreeSet<usize>> {
+        self.result
+    }
+}
+
+impl Protocol for TreeFeedbackNode {
+    type Msg = FameFrame;
+
+    fn begin_round(&mut self, round: u64) -> Action<FameFrame> {
+        match self.core.as_mut() {
+            Some(core) => core.action(round),
+            None => Action::Sleep,
+        }
+    }
+
+    fn end_round(&mut self, round: u64, reception: Option<Reception<&FameFrame>>) {
+        if let Some(core) = self.core.as_mut() {
+            core.observe(round, reception);
+            if round + 1 >= self.total {
+                self.result = Some(self.core.take().unwrap().into_disrupted());
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.core.is_none()
+    }
+
+    fn next_wake(&self, round: u64) -> u64 {
+        match &self.core {
+            None => radio_network::NEVER,
+            // `next_active_round` never overshoots the final phase (where
+            // every node is active), so the node is always visited at
+            // round `total - 1` and finishes on schedule.
+            Some(core) => core.next_active_round(round + 1),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::feedback::FeedbackNode;
     use radio_network::adversaries::{NoAdversary, RandomJammer};
-    use radio_network::{NetworkConfig, Protocol, Simulation};
-
-    /// Wrap the tree core in a standalone protocol node (mirrors
-    /// `FeedbackNode`).
-    #[derive(Clone, Debug)]
-    struct TreeNode {
-        core: Option<TreeFeedbackCore>,
-        result: Option<BTreeSet<usize>>,
-        round: u64,
-        total: u64,
-    }
-
-    impl TreeNode {
-        fn new(core: TreeFeedbackCore) -> Self {
-            let total = core.total_rounds();
-            TreeNode {
-                core: Some(core),
-                result: None,
-                round: 0,
-                total,
-            }
-        }
-    }
-
-    impl Protocol for TreeNode {
-        type Msg = FameFrame;
-
-        fn begin_round(&mut self, _round: u64) -> Action<FameFrame> {
-            match self.core.as_mut() {
-                Some(core) => core.action(self.round),
-                None => Action::Sleep,
-            }
-        }
-
-        fn end_round(&mut self, _round: u64, reception: Option<Reception<&FameFrame>>) {
-            if let Some(core) = self.core.as_mut() {
-                core.observe(self.round, reception);
-                self.round += 1;
-                if self.round == self.total {
-                    self.result = Some(self.core.take().unwrap().into_disrupted());
-                }
-            }
-        }
-
-        fn is_done(&self) -> bool {
-            self.core.is_none()
-        }
-    }
+    use radio_network::{NetworkConfig, Simulation};
 
     fn run_tree(
         params: &Params,
@@ -342,14 +416,14 @@ mod tests {
         let witness_sets: Vec<Vec<usize>> = (0..blocks)
             .map(|r| (r * c..(r + 1) * c).collect())
             .collect();
-        let nodes: Vec<TreeNode> = (0..params.n())
+        let nodes: Vec<TreeFeedbackNode> = (0..params.n())
             .map(|me| {
                 let my_flags: Vec<Option<bool>> = witness_sets
                     .iter()
                     .zip(flags)
                     .map(|(w, &b)| if w.contains(&me) { Some(b) } else { None })
                     .collect();
-                TreeNode::new(TreeFeedbackCore::new(
+                TreeFeedbackNode::new(TreeFeedbackCore::new(
                     me,
                     params,
                     witness_sets.clone(),
@@ -360,11 +434,11 @@ mod tests {
             .collect();
         let cfg = NetworkConfig::new(c, params.t()).unwrap();
         let mut sim = Simulation::new(cfg, nodes, adversary, seed).unwrap();
-        let total = sim.nodes()[0].total;
+        let total = sim.nodes()[0].total_rounds();
         sim.run(total + 2).unwrap();
         sim.into_nodes()
             .into_iter()
-            .map(|n| n.result.unwrap())
+            .map(|n| n.into_disrupted().unwrap())
             .collect()
     }
 
@@ -451,6 +525,40 @@ mod tests {
             vec![None; k],
             1,
         ));
+    }
+
+    /// `next_active_round` must agree exactly with where `action` sleeps:
+    /// for every node and every local round, the advertised next wake is
+    /// the first round at which `action` returns a non-Sleep action.
+    #[test]
+    fn next_active_round_matches_action_sleep_pattern() {
+        let p = tree_params();
+        let blocks = 3; // non-power-of-two exercises unpaired groups
+        let c = p.c();
+        let witness_sets: Vec<Vec<usize>> = (0..blocks)
+            .map(|r| (r * c..(r + 1) * c).collect())
+            .collect();
+        for me in 0..p.n() {
+            let my_flags: Vec<Option<bool>> = witness_sets
+                .iter()
+                .map(|w| if w.contains(&me) { Some(true) } else { None })
+                .collect();
+            let core = TreeFeedbackCore::new(me, &p, witness_sets.clone(), my_flags, 3);
+            let total = core.total_rounds();
+            // Probe each round on a fresh clone so RNG draws in earlier
+            // rounds cannot shift later actions.
+            let active: Vec<bool> = (0..total)
+                .map(|r| !matches!(core.clone().action(r), Action::Sleep))
+                .collect();
+            for r in 0..total {
+                let expected = (r..total).find(|&x| active[x as usize]).unwrap();
+                assert_eq!(
+                    core.next_active_round(r),
+                    expected,
+                    "node {me}, from round {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,10 +38,10 @@ impl<M> Adversary<M> for BusyChannelJammer {
             if rec.round < from {
                 continue;
             }
-            for &(_, ch, _) in &rec.transmissions {
+            for (_, ch, _) in rec.transmissions() {
                 usage[ch.index()] += 1;
             }
-            for &(_, ch) in &rec.listeners {
+            for (_, ch) in rec.listeners() {
                 usage[ch.index()] += 1;
             }
         }

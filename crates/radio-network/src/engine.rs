@@ -11,15 +11,34 @@
 //!   `tx_chan`, node order) and grouped by channel through a counting-sort
 //!   permutation (`order`) with per-channel `(start, len)` **spans** — no
 //!   per-channel `Vec`s, and collision participant lists come straight
-//!   from the spans instead of per-collision allocations;
+//!   from the spans instead of per-collision allocations; listeners get
+//!   the same treatment (`l_order` / `l_spans`), so "any listener on this
+//!   channel?" is an O(1) span lookup;
 //! * per-channel outcomes are compact [`ChannelSlot`] tags; frames are
 //!   *not* copied into the arena — they are borrowed from the caller's
-//!   action slice and adversary action through the returned
+//!   action storage and adversary action through the returned
 //!   [`RoundView`];
 //! * when the installed [`TraceSink`] keeps records, the
 //!   [`RoundRecord`] is built in a **record arena** (one `RoundRecord`
 //!   whose vectors are cleared and refilled each round) and handed to the
 //!   sink by reference — sinks copy only what they retain or stream.
+//!
+//! ## The active-channel worklist
+//!
+//! Per-round cost is proportional to **activity**, not the channel
+//! count. The arena keeps a per-channel epoch stamp (`touched`); the
+//! first event on a channel in a round — honest transmission, listener,
+//! or adversary emission — *touches* it: lazily resets that channel's
+//! scratch and pushes it onto the `active` worklist. Span building,
+//! outcome resolution, stats, and the record's sparse delivered set then
+//! iterate only the (sorted) worklist. Channels never touched this round
+//! are never read or written — their stale spans/slots are fenced off by
+//! the epoch stamp — so a round over a million idle channels costs the
+//! same as a round over ten. [`Network::resolve_round_sparse`] extends
+//! the same contract to the *population*: it accepts only the actions of
+//! awake nodes as sorted `(NodeId, Action)` pairs, making round cost
+//! independent of `n` as well (the [`Simulation`](crate::Simulation)
+//! driver's wake-queue feeds it).
 //!
 //! The result: with retention off (or a [`NullSink`]) a steady-state round
 //! performs **zero** heap allocations (verified by the counting-allocator
@@ -160,15 +179,16 @@ impl<M: Clone> RoundResolution<M> {
 
 /// Compact per-channel outcome tag stored in the arena. Frames are not
 /// copied here — [`RoundView`] resolves the indices against the caller's
-/// action slice and adversary action.
+/// action storage and adversary action.
 #[derive(Clone, Copy, Debug)]
 enum ChannelSlot {
     /// Nobody transmitted.
     Idle,
     /// Adversary noise on an otherwise idle channel.
     NoiseOnly,
-    /// Exactly one honest transmitter: node index `node`.
-    Delivered { node: u32 },
+    /// Exactly one honest transmitter: index into the arena's
+    /// transmission arrays (`tx_node` / `tx_src`).
+    Delivered { tx: u32 },
     /// Adversary spoof on an otherwise idle channel: index into the
     /// adversary's transmission list.
     Spoof { adv: u32 },
@@ -176,25 +196,77 @@ enum ChannelSlot {
     Collision { adversary: bool },
 }
 
+/// The caller's action storage, dense (`actions[i]` = node `i`) or sparse
+/// (node-sorted `(NodeId, Action)` pairs of awake nodes only). The arena
+/// stores per-transmission *source indices* into this storage, so frame
+/// lookups stay O(1) on both paths.
+#[derive(Debug)]
+enum ActionsRef<'a, M> {
+    /// One action per node, indexed by node id.
+    Dense(&'a [Action<M>]),
+    /// Only the awake nodes' actions, sorted by node id.
+    Sparse(&'a [(NodeId, Action<M>)]),
+}
+
+impl<M> Clone for ActionsRef<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for ActionsRef<'_, M> {}
+
+impl<'a, M> ActionsRef<'a, M> {
+    #[inline]
+    fn get(&self, src: u32) -> &'a Action<M> {
+        match self {
+            ActionsRef::Dense(actions) => &actions[src as usize],
+            ActionsRef::Sparse(pairs) => &pairs[src as usize].1,
+        }
+    }
+}
+
 /// Reusable per-round storage: flat struct-of-arrays gather buffers, the
-/// counting-sort permutation with per-channel spans, per-channel outcome
-/// slots, and the record arena. Everything is cleared (never shrunk)
-/// between rounds, so after warm-up the round loop allocates nothing.
+/// counting-sort permutations (transmitters *and* listeners) with
+/// per-channel spans, per-channel outcome slots behind an epoch-stamped
+/// active-channel worklist, and the record arena. Flat buffers are
+/// cleared (never shrunk) between rounds; per-channel buffers are reset
+/// *lazily on first touch*, so after warm-up a round costs O(activity)
+/// and allocates nothing.
 #[derive(Debug)]
 struct RoundArena<M> {
-    /// Transmitting node indices, in node order.
+    /// Monotonic round-reset counter; `touched[ch] == epoch` fences off
+    /// per-channel state written in earlier rounds.
+    epoch: u64,
+    /// Per channel: the epoch that last touched it.
+    touched: Vec<u64>,
+    /// The worklist: channels touched this round (sorted ascending once
+    /// gathering completes, so worklist iteration is channel-major like
+    /// the dense `0..C` loop it replaces).
+    active: Vec<u32>,
+    /// Transmitting node ids, in gather (= node) order.
     tx_node: Vec<u32>,
     /// Channel of each transmission (parallel to `tx_node`).
     tx_chan: Vec<u32>,
-    /// Channel-grouped permutation: indices into `tx_node`/`tx_chan`,
-    /// sorted by (channel, node) via a stable counting sort.
+    /// Index of each transmission into the caller's action storage
+    /// (parallel to `tx_node`; equals the node id on the dense path, the
+    /// pair index on the sparse path).
+    tx_src: Vec<u32>,
+    /// Channel-grouped permutation: indices into the transmission arrays,
+    /// sorted by (channel, gather order) via a stable counting sort.
     order: Vec<u32>,
     /// Per channel: `(start, len)` span into `order`.
     spans: Vec<(u32, u32)>,
     /// Counting-sort scratch: per-channel counts, then write cursors.
     counts: Vec<u32>,
-    /// Honest listeners this round.
+    /// Honest listeners this round, in gather (= node) order.
     listeners: Vec<(NodeId, ChannelId)>,
+    /// Channel-grouped permutation over `listeners`.
+    l_order: Vec<u32>,
+    /// Per channel: `(start, len)` span into `l_order`.
+    l_spans: Vec<(u32, u32)>,
+    /// Counting-sort scratch for listeners.
+    l_counts: Vec<u32>,
     /// Per channel, the index into the adversary's transmission list
     /// (doubles as the duplicate-channel check).
     adv_idx: Vec<Option<u32>>,
@@ -207,43 +279,79 @@ struct RoundArena<M> {
 impl<M> RoundArena<M> {
     fn new(channels: usize) -> Self {
         let mut arena = RoundArena {
+            epoch: 0,
+            touched: Vec::new(),
+            active: Vec::new(),
             tx_node: Vec::new(),
             tx_chan: Vec::new(),
+            tx_src: Vec::new(),
             order: Vec::new(),
             spans: Vec::new(),
             counts: Vec::new(),
             listeners: Vec::new(),
+            l_order: Vec::new(),
+            l_spans: Vec::new(),
+            l_counts: Vec::new(),
             adv_idx: Vec::new(),
             slots: Vec::new(),
-            record: RoundRecord {
-                round: 0,
-                transmissions: Vec::new(),
-                listeners: Vec::new(),
-                adversary: Vec::new(),
-                delivered: Vec::new(),
-            },
+            record: RoundRecord::empty(),
         };
         arena.begin(channels);
         arena
     }
 
-    /// Reset for a new round over `channels` channels. `clear` + `resize`
-    /// keeps the allocations warm while guaranteeing no span, listener, or
-    /// slot from a previous round (or a previous, differently sized
-    /// [`NetworkConfig`] — see [`Network::reconfigure`]) survives.
+    /// Reset for a new round over `channels` channels. Flat buffers are
+    /// cleared (O(activity of the previous round)); per-channel buffers
+    /// are *not* — bumping the epoch invalidates them wholesale, and
+    /// [`RoundArena::touch`] resets each channel's slice lazily on its
+    /// first event. Only a channel-count change (see
+    /// [`Network::reconfigure`]) pays an O(C) re-size, which also wipes
+    /// every stale stamp.
     fn begin(&mut self, channels: usize) {
         self.tx_node.clear();
         self.tx_chan.clear();
+        self.tx_src.clear();
         self.order.clear();
         self.listeners.clear();
-        self.spans.clear();
-        self.spans.resize(channels, (0, 0));
-        self.counts.clear();
-        self.counts.resize(channels, 0);
-        self.adv_idx.clear();
-        self.adv_idx.resize(channels, None);
-        self.slots.clear();
-        self.slots.resize(channels, ChannelSlot::Idle);
+        self.l_order.clear();
+        self.active.clear();
+        self.epoch += 1;
+        if self.touched.len() != channels {
+            self.touched.clear();
+            self.touched.resize(channels, 0);
+            self.counts.clear();
+            self.counts.resize(channels, 0);
+            self.l_counts.clear();
+            self.l_counts.resize(channels, 0);
+            self.adv_idx.clear();
+            self.adv_idx.resize(channels, None);
+            self.spans.clear();
+            self.spans.resize(channels, (0, 0));
+            self.l_spans.clear();
+            self.l_spans.resize(channels, (0, 0));
+            self.slots.clear();
+            self.slots.resize(channels, ChannelSlot::Idle);
+        }
+    }
+
+    /// First event on `ch` this round: reset its scratch and put it on
+    /// the worklist. Idempotent within a round via the epoch stamp.
+    #[inline]
+    fn touch(&mut self, ch: usize) {
+        if self.touched[ch] != self.epoch {
+            self.touched[ch] = self.epoch;
+            self.counts[ch] = 0;
+            self.l_counts[ch] = 0;
+            self.adv_idx[ch] = None;
+            self.active.push(ch as u32);
+        }
+    }
+
+    /// `true` if `ch` saw any event this round (stale per-channel state
+    /// from earlier rounds is fenced off by this check).
+    #[inline]
+    fn is_touched(&self, ch: usize) -> bool {
+        self.touched[ch] == self.epoch
     }
 }
 
@@ -252,7 +360,7 @@ impl<M> RoundArena<M> {
 ///
 /// The view borrows three things for its lifetime: the network's
 /// round arena (outcome tags, spans, listeners), the caller's action
-/// slice (honest frames), and the adversary action (spoofed frames).
+/// storage (honest frames), and the adversary action (spoofed frames).
 /// Nothing is copied; [`RoundView::heard_on`] and the outcome iterators
 /// hand out `&M`. Call [`RoundView::to_resolution`] for the owned
 /// [`RoundResolution`] escape hatch.
@@ -260,7 +368,7 @@ impl<M> RoundArena<M> {
 pub struct RoundView<'a, M> {
     round: u64,
     arena: &'a RoundArena<M>,
-    actions: &'a [Action<M>],
+    actions: ActionsRef<'a, M>,
     adversary: &'a AdversaryAction<M>,
 }
 
@@ -275,7 +383,7 @@ pub enum OutcomeView<'a, M> {
     Delivered {
         /// The transmitting node.
         from: NodeId,
-        /// The delivered frame (borrowed from the caller's action slice).
+        /// The delivered frame (borrowed from the caller's action storage).
         frame: &'a M,
     },
     /// The adversary spoofed an otherwise idle channel.
@@ -312,7 +420,8 @@ pub struct Participants<'a, M> {
     /// The channel's slice of the arena's `order` permutation.
     span: &'a [u32],
     tx_node: &'a [u32],
-    actions: &'a [Action<M>],
+    tx_src: &'a [u32],
+    actions: ActionsRef<'a, M>,
 }
 
 impl<'a, M> Participants<'a, M> {
@@ -337,11 +446,11 @@ impl<'a, M> Participants<'a, M> {
 
     /// The participating nodes with the frames they lost, in node order.
     pub fn frames(&self) -> impl Iterator<Item = (NodeId, &'a M)> + 'a {
-        let (tx_node, actions) = (self.tx_node, self.actions);
+        let (tx_node, tx_src, actions) = (self.tx_node, self.tx_src, self.actions);
         self.span.iter().map(move |&tx| {
-            let node = tx_node[tx as usize] as usize;
-            match &actions[node] {
-                Action::Transmit { frame, .. } => (NodeId(node), frame),
+            let node = NodeId(tx_node[tx as usize] as usize);
+            match actions.get(tx_src[tx as usize]) {
+                Action::Transmit { frame, .. } => (node, frame),
                 _ => unreachable!("gathered transmissions come from Transmit actions"),
             }
         })
@@ -359,14 +468,28 @@ impl<'a, M> RoundView<'a, M> {
         self.arena.slots.len()
     }
 
+    /// The channel's outcome tag, fenced by the epoch stamp: a channel
+    /// untouched this round is idle regardless of what a previous round
+    /// left in its slot.
+    #[inline]
+    fn slot(&self, ch: usize) -> ChannelSlot {
+        if self.arena.is_touched(ch) {
+            self.arena.slots[ch]
+        } else {
+            ChannelSlot::Idle
+        }
+    }
+
     /// What a listener tuned to `channel` hears (`None` =
     /// silence/collision). Borrowed — clone only if you keep it.
     pub fn heard_on(&self, channel: ChannelId) -> Option<&'a M> {
-        match self.arena.slots[channel.index()] {
-            ChannelSlot::Delivered { node } => match &self.actions[node as usize] {
-                Action::Transmit { frame, .. } => Some(frame),
-                _ => unreachable!("delivered slot points at a Transmit action"),
-            },
+        match self.slot(channel.index()) {
+            ChannelSlot::Delivered { tx } => {
+                match self.actions.get(self.arena.tx_src[tx as usize]) {
+                    Action::Transmit { frame, .. } => Some(frame),
+                    _ => unreachable!("delivered slot points at a Transmit action"),
+                }
+            }
             ChannelSlot::Spoof { adv } => match &self.adversary.transmissions[adv as usize].1 {
                 Emission::Spoof(frame) => Some(frame),
                 Emission::Noise => unreachable!("spoof slot points at a Spoof emission"),
@@ -378,11 +501,11 @@ impl<'a, M> RoundView<'a, M> {
     /// The borrowed outcome of `channel`.
     pub fn outcome(&self, channel: ChannelId) -> OutcomeView<'a, M> {
         let ch = channel.index();
-        match self.arena.slots[ch] {
+        match self.slot(ch) {
             ChannelSlot::Idle => OutcomeView::Idle,
             ChannelSlot::NoiseOnly => OutcomeView::NoiseOnly,
-            ChannelSlot::Delivered { node } => OutcomeView::Delivered {
-                from: NodeId(node as usize),
+            ChannelSlot::Delivered { tx } => OutcomeView::Delivered {
+                from: NodeId(self.arena.tx_node[tx as usize] as usize),
                 frame: self.heard_on(channel).expect("delivered channel heard"),
             },
             ChannelSlot::Spoof { .. } => OutcomeView::SpoofDelivered {
@@ -400,9 +523,18 @@ impl<'a, M> RoundView<'a, M> {
         (0..self.channels()).map(move |ch| self.outcome(ChannelId(ch)))
     }
 
+    /// The channels that saw any activity this round — an honest
+    /// transmission, a listener, or an adversary emission — ascending.
+    /// Every channel *not* in this set resolved [`OutcomeView::Idle`];
+    /// iterating it costs O(activity), unlike the dense
+    /// [`RoundView::outcomes`] / [`RoundView::delivered`] sweeps.
+    pub fn active_channels(&self) -> impl Iterator<Item = ChannelId> + 'a {
+        self.arena.active.iter().map(|&ch| ChannelId(ch as usize))
+    }
+
     /// Per-channel delivered frames, in channel order (`None` =
     /// silence/collision) — the borrowed equivalent of
-    /// [`RoundRecord::delivered`].
+    /// [`RoundRecord::delivered_dense`].
     pub fn delivered(&self) -> impl Iterator<Item = Option<&'a M>> + '_ {
         (0..self.channels()).map(move |ch| self.heard_on(ChannelId(ch)))
     }
@@ -413,10 +545,16 @@ impl<'a, M> RoundView<'a, M> {
     /// jammed delivery, or all parties of an honest collision. Not a
     /// collision test — match on [`RoundView::outcome`] for that.
     pub fn participants(&self, channel: ChannelId) -> Participants<'a, M> {
-        let (start, len) = self.arena.spans[channel.index()];
+        let ch = channel.index();
+        let (start, len) = if self.arena.is_touched(ch) {
+            self.arena.spans[ch]
+        } else {
+            (0, 0)
+        };
         Participants {
             span: &self.arena.order[start as usize..(start + len) as usize],
             tx_node: &self.arena.tx_node,
+            tx_src: &self.arena.tx_src,
             actions: self.actions,
         }
     }
@@ -424,6 +562,21 @@ impl<'a, M> RoundView<'a, M> {
     /// The honest listeners of the round, in node order.
     pub fn listeners(&self) -> &'a [(NodeId, ChannelId)] {
         &self.arena.listeners
+    }
+
+    /// The honest listeners tuned to `channel`, in node order — an O(1)
+    /// span lookup, not a scan of the listener list.
+    pub fn listeners_on(&self, channel: ChannelId) -> impl Iterator<Item = NodeId> + 'a {
+        let ch = channel.index();
+        let (start, len) = if self.arena.is_touched(ch) {
+            self.arena.l_spans[ch]
+        } else {
+            (0, 0)
+        };
+        let listeners = &self.arena.listeners;
+        self.arena.l_order[start as usize..(start + len) as usize]
+            .iter()
+            .map(move |&li| listeners[li as usize].0)
     }
 }
 
@@ -569,37 +722,129 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
 
         // -- gather + validate honest actions in one pass ------------------
         // A validation failure may leave the arena partially filled: it is
-        // scratch, fully reset by the next round's `begin`, and no stats,
-        // round counter, or sink effect has happened yet. Honest-channel
-        // errors stay detected before the adversary checks below, exactly
-        // as the two-pass validation ordered them.
+        // scratch, fully invalidated by the next round's `begin` (epoch
+        // bump), and no stats, round counter, or sink effect has happened
+        // yet. Honest-channel errors stay detected before the adversary
+        // checks in `finish`, exactly as the two-pass validation ordered
+        // them.
         for (i, action) in actions.iter().enumerate() {
-            match action {
-                Action::Transmit { channel, .. } => {
-                    if channel.index() >= c {
-                        return Err(EngineError::ChannelOutOfRange {
-                            node: NodeId(i),
-                            channel: *channel,
-                            channels: c,
-                        });
-                    }
-                    self.arena.tx_node.push(i as u32);
-                    self.arena.tx_chan.push(channel.index() as u32);
-                    self.arena.counts[channel.index()] += 1;
-                }
-                Action::Listen { channel } => {
-                    if channel.index() >= c {
-                        return Err(EngineError::ChannelOutOfRange {
-                            node: NodeId(i),
-                            channel: *channel,
-                            channels: c,
-                        });
-                    }
-                    self.arena.listeners.push((NodeId(i), *channel));
-                }
-                Action::Sleep => {}
-            }
+            self.gather_one(i, i, action, c)?;
         }
+
+        let round = self.round;
+        self.finish(ActionsRef::Dense(actions), adversary)?;
+        Ok(RoundView {
+            round,
+            arena: &self.arena,
+            actions: ActionsRef::Dense(actions),
+            adversary,
+        })
+    }
+
+    /// Resolve one round given only the actions of **awake** nodes, as
+    /// `(node, action)` pairs sorted strictly ascending by node id — the
+    /// O(active) sibling of [`Network::resolve_round`] fed by the
+    /// [`Simulation`](crate::Simulation) wake-queue.
+    ///
+    /// Every node absent from `actions` is treated exactly as if it had
+    /// submitted [`Action::Sleep`]: given the same awake set, this path
+    /// is bit-identical to the dense one (outcomes, stats, trace records
+    /// — `tests/arena_equivalence.rs` pins it), but its cost is
+    /// proportional to `actions.len()` rather than the population.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the strict node-id ordering; release builds
+    /// rely on it (an unsorted list changes the order of per-channel
+    /// participant spans and trace records).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::resolve_round`].
+    pub fn resolve_round_sparse<'a>(
+        &'a mut self,
+        actions: &'a [(NodeId, Action<M>)],
+        adversary: &'a AdversaryAction<M>,
+    ) -> Result<RoundView<'a, M>, EngineError> {
+        debug_assert!(
+            actions.windows(2).all(|w| w[0].0 < w[1].0),
+            "sparse actions must be sorted strictly ascending by node id"
+        );
+        let c = self.cfg.channels();
+        self.arena.begin(c);
+
+        for (src, (node, action)) in actions.iter().enumerate() {
+            self.gather_one(node.index(), src, action, c)?;
+        }
+
+        let round = self.round;
+        self.finish(ActionsRef::Sparse(actions), adversary)?;
+        Ok(RoundView {
+            round,
+            arena: &self.arena,
+            actions: ActionsRef::Sparse(actions),
+            adversary,
+        })
+    }
+
+    /// Gather one honest action into the arena: validate its channel,
+    /// touch the channel onto the worklist, and append to the flat
+    /// transmission/listener buffers. `src` is the action's index in the
+    /// caller's storage (= `node` on the dense path).
+    #[inline]
+    fn gather_one(
+        &mut self,
+        node: usize,
+        src: usize,
+        action: &Action<M>,
+        channels: usize,
+    ) -> Result<(), EngineError> {
+        match action {
+            Action::Transmit { channel, .. } => {
+                let ch = channel.index();
+                if ch >= channels {
+                    return Err(EngineError::ChannelOutOfRange {
+                        node: NodeId(node),
+                        channel: *channel,
+                        channels,
+                    });
+                }
+                self.arena.touch(ch);
+                self.arena.tx_node.push(node as u32);
+                self.arena.tx_chan.push(ch as u32);
+                self.arena.tx_src.push(src as u32);
+                self.arena.counts[ch] += 1;
+            }
+            Action::Listen { channel } => {
+                let ch = channel.index();
+                if ch >= channels {
+                    return Err(EngineError::ChannelOutOfRange {
+                        node: NodeId(node),
+                        channel: *channel,
+                        channels,
+                    });
+                }
+                self.arena.touch(ch);
+                self.arena.listeners.push((NodeId(node), *channel));
+                self.arena.l_counts[ch] += 1;
+            }
+            Action::Sleep => {}
+        }
+        Ok(())
+    }
+
+    /// The shared second half of round resolution: validate the adversary
+    /// (touching its channels onto the worklist), sort the worklist into
+    /// channel-major order, build transmitter + listener spans, resolve
+    /// outcome tags, accumulate stats, and hand the record to the sink —
+    /// every per-channel step iterating the active worklist only.
+    fn finish(
+        &mut self,
+        actions: ActionsRef<'_, M>,
+        adversary: &AdversaryAction<M>,
+    ) -> Result<(), EngineError> {
+        let c = self.cfg.channels();
+
         if adversary.len() > self.cfg.budget() {
             return Err(EngineError::AdversaryBudgetExceeded {
                 used: adversary.len(),
@@ -614,6 +859,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                     channels: c,
                 });
             }
+            self.arena.touch(ch.index());
             if self.arena.adv_idx[ch.index()].is_some() {
                 return Err(EngineError::AdversaryDuplicateChannel {
                     channel: *ch,
@@ -623,115 +869,194 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
             self.arena.adv_idx[ch.index()] = Some(i as u32);
         }
 
-        // -- group by channel: spans + stable counting-sort permutation ----
-        let mut start = 0u32;
-        for ch in 0..c {
-            let len = self.arena.counts[ch];
-            self.arena.spans[ch] = (start, len);
-            self.arena.counts[ch] = start; // becomes the write cursor
-            start += len;
-        }
-        self.arena.order.resize(self.arena.tx_node.len(), 0);
-        for (tx, &ch) in self.arena.tx_chan.iter().enumerate() {
-            let cursor = &mut self.arena.counts[ch as usize];
-            self.arena.order[*cursor as usize] = tx as u32;
-            *cursor += 1;
+        // Channel-major worklist order: iterating the sorted active list
+        // visits channels exactly as the dense `0..C` loops did, so span
+        // layout, records, and stats are bit-identical to the dense path.
+        self.arena.active.sort_unstable();
+
+        // -- group by channel: spans + stable counting-sort permutations ---
+        {
+            let RoundArena {
+                active,
+                counts,
+                spans,
+                order,
+                tx_node,
+                tx_chan,
+                l_counts,
+                l_spans,
+                l_order,
+                listeners,
+                ..
+            } = &mut self.arena;
+
+            let mut start = 0u32;
+            for &ch in active.iter() {
+                let ch = ch as usize;
+                let len = counts[ch];
+                spans[ch] = (start, len);
+                counts[ch] = start; // becomes the write cursor
+                start += len;
+            }
+            order.resize(tx_node.len(), 0);
+            for (tx, &ch) in tx_chan.iter().enumerate() {
+                let cursor = &mut counts[ch as usize];
+                order[*cursor as usize] = tx as u32;
+                *cursor += 1;
+            }
+
+            let mut l_start = 0u32;
+            for &ch in active.iter() {
+                let ch = ch as usize;
+                let len = l_counts[ch];
+                l_spans[ch] = (l_start, len);
+                l_counts[ch] = l_start;
+                l_start += len;
+            }
+            l_order.resize(listeners.len(), 0);
+            for (li, &(_, ch)) in listeners.iter().enumerate() {
+                let cursor = &mut l_counts[ch.index()];
+                l_order[*cursor as usize] = li as u32;
+                *cursor += 1;
+            }
         }
 
         // -- resolve (tags only; frames stay where they are) ---------------
-        for ch in 0..c {
-            let (span_start, span_len) = self.arena.spans[ch];
-            self.arena.slots[ch] = match (span_len, self.arena.adv_idx[ch]) {
-                (0, None) => ChannelSlot::Idle,
-                (0, Some(adv)) => match &adversary.transmissions[adv as usize].1 {
-                    Emission::Noise => ChannelSlot::NoiseOnly,
-                    Emission::Spoof(_) => ChannelSlot::Spoof { adv },
-                },
-                (1, None) => ChannelSlot::Delivered {
-                    node: self.arena.tx_node[self.arena.order[span_start as usize] as usize],
-                },
-                // one honest + adversary, or >=2 honest: collision.
-                (_, adv) => ChannelSlot::Collision {
-                    adversary: adv.is_some(),
-                },
-            };
+        {
+            let RoundArena {
+                active,
+                spans,
+                order,
+                adv_idx,
+                slots,
+                ..
+            } = &mut self.arena;
+            for &ch in active.iter() {
+                let ch = ch as usize;
+                let (span_start, span_len) = spans[ch];
+                slots[ch] = match (span_len, adv_idx[ch]) {
+                    (0, None) => ChannelSlot::Idle,
+                    (0, Some(adv)) => match &adversary.transmissions[adv as usize].1 {
+                        Emission::Noise => ChannelSlot::NoiseOnly,
+                        Emission::Spoof(_) => ChannelSlot::Spoof { adv },
+                    },
+                    (1, None) => ChannelSlot::Delivered {
+                        tx: order[span_start as usize],
+                    },
+                    // one honest + adversary, or >=2 honest: collision.
+                    (_, adv) => ChannelSlot::Collision {
+                        adversary: adv.is_some(),
+                    },
+                };
+            }
         }
 
         // -- stats ---------------------------------------------------------
         self.stats.rounds += 1;
         self.stats.adversary_transmissions += adversary.len() as u64;
-        for ch in 0..c {
-            match self.arena.slots[ch] {
-                ChannelSlot::Delivered { .. } => {
-                    self.stats.honest_transmissions += 1;
-                    self.stats.honest_deliveries += 1;
-                }
-                ChannelSlot::Spoof { .. } => {
-                    if self.arena.listeners.iter().any(|&(_, l)| l.index() == ch) {
-                        self.stats.spoofs_delivered += 1;
+        {
+            let arena = &self.arena;
+            for &ch in &arena.active {
+                let ch = ch as usize;
+                match arena.slots[ch] {
+                    ChannelSlot::Delivered { .. } => {
+                        self.stats.honest_transmissions += 1;
+                        self.stats.honest_deliveries += 1;
                     }
-                }
-                ChannelSlot::Collision { adversary } => {
-                    let involved = u64::from(self.arena.spans[ch].1);
-                    self.stats.honest_transmissions += involved;
-                    self.stats.collisions += involved;
-                    if adversary {
-                        self.stats.jams_effective += 1;
+                    ChannelSlot::Spoof { .. } => {
+                        // O(1) listener-span lookup, not a listener scan.
+                        if arena.l_spans[ch].1 > 0 {
+                            self.stats.spoofs_delivered += 1;
+                        }
                     }
+                    ChannelSlot::Collision { adversary } => {
+                        let involved = u64::from(arena.spans[ch].1);
+                        self.stats.honest_transmissions += involved;
+                        self.stats.collisions += involved;
+                        if adversary {
+                            self.stats.jams_effective += 1;
+                        }
+                    }
+                    ChannelSlot::Idle | ChannelSlot::NoiseOnly => {}
                 }
-                ChannelSlot::Idle | ChannelSlot::NoiseOnly => {}
             }
-        }
-        for &(_, ch) in &self.arena.listeners {
-            match self.arena.slots[ch.index()] {
-                ChannelSlot::Delivered { .. } | ChannelSlot::Spoof { .. } => {
-                    self.stats.frames_received += 1;
+            for &(_, ch) in &arena.listeners {
+                // Listener channels are always touched, so the slot is live.
+                match arena.slots[ch.index()] {
+                    ChannelSlot::Delivered { .. } | ChannelSlot::Spoof { .. } => {
+                        self.stats.frames_received += 1;
+                    }
+                    _ => self.stats.silent_receptions += 1,
                 }
-                _ => self.stats.silent_receptions += 1,
             }
         }
 
-        // -- trace (record arena, rebuilt in place) ------------------------
+        // -- trace (record arena, rebuilt in place, SoA) -------------------
         if self.sink.wants_records() {
-            let RoundArena {
-                tx_node,
-                order,
-                listeners,
-                slots,
-                record,
-                ..
-            } = &mut self.arena;
-            record.round = self.round;
-            record.transmissions.clear();
-            for &tx in order.iter() {
-                let node = tx_node[tx as usize] as usize;
-                match &actions[node] {
-                    Action::Transmit { channel, frame } => {
-                        record
-                            .transmissions
-                            .push((NodeId(node), *channel, frame.clone()));
+            {
+                let RoundArena {
+                    active,
+                    tx_node,
+                    tx_chan,
+                    tx_src,
+                    order,
+                    listeners,
+                    slots,
+                    record,
+                    ..
+                } = &mut self.arena;
+                record.round = self.round;
+                record.channels = c;
+                record.tx_nodes.clear();
+                record.tx_channels.clear();
+                record.tx_frames.clear();
+                for &tx in order.iter() {
+                    record.tx_nodes.push(NodeId(tx_node[tx as usize] as usize));
+                    record
+                        .tx_channels
+                        .push(ChannelId(tx_chan[tx as usize] as usize));
+                    match actions.get(tx_src[tx as usize]) {
+                        Action::Transmit { frame, .. } => record.tx_frames.push(frame.clone()),
+                        _ => unreachable!("gathered transmissions come from Transmit actions"),
                     }
-                    _ => unreachable!("gathered transmissions come from Transmit actions"),
                 }
-            }
-            record.listeners.clone_from(listeners);
-            record.adversary.clear();
-            record
-                .adversary
-                .extend(adversary.transmissions.iter().cloned());
-            record.delivered.clear();
-            for slot in slots.iter() {
-                record.delivered.push(match *slot {
-                    ChannelSlot::Delivered { node } => match &actions[node as usize] {
-                        Action::Transmit { frame, .. } => Some(frame.clone()),
-                        _ => unreachable!("delivered slot points at a Transmit action"),
-                    },
-                    ChannelSlot::Spoof { adv } => match &adversary.transmissions[adv as usize].1 {
-                        Emission::Spoof(frame) => Some(frame.clone()),
-                        Emission::Noise => unreachable!("spoof slot is a Spoof emission"),
-                    },
-                    _ => None,
-                });
+                record.listener_nodes.clear();
+                record.listener_channels.clear();
+                for &(node, ch) in listeners.iter() {
+                    record.listener_nodes.push(node);
+                    record.listener_channels.push(ch);
+                }
+                record.adv_channels.clear();
+                record.adv_emissions.clear();
+                for (ch, emission) in &adversary.transmissions {
+                    record.adv_channels.push(*ch);
+                    record.adv_emissions.push(emission.clone());
+                }
+                // Sorted worklist iteration => delivered channels ascending,
+                // as the SoA invariant requires.
+                record.delivered_channels.clear();
+                record.delivered_frames.clear();
+                for &ch in active.iter() {
+                    match slots[ch as usize] {
+                        ChannelSlot::Delivered { tx } => match actions.get(tx_src[tx as usize]) {
+                            Action::Transmit { frame, .. } => {
+                                record.delivered_channels.push(ChannelId(ch as usize));
+                                record.delivered_frames.push(frame.clone());
+                            }
+                            _ => unreachable!("delivered slot points at a Transmit action"),
+                        },
+                        ChannelSlot::Spoof { adv } => {
+                            match &adversary.transmissions[adv as usize].1 {
+                                Emission::Spoof(frame) => {
+                                    record.delivered_channels.push(ChannelId(ch as usize));
+                                    record.delivered_frames.push(frame.clone());
+                                }
+                                Emission::Noise => unreachable!("spoof slot is a Spoof emission"),
+                            }
+                        }
+                        _ => {}
+                    }
+                }
             }
             self.sink.record_mut(&mut self.arena.record);
             // Lossy sinks (bounded channel, drop policy) discard records;
@@ -741,14 +1066,8 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
             self.sink.note_round();
         }
 
-        let round = self.round;
         self.round += 1;
-        Ok(RoundView {
-            round,
-            arena: &self.arena,
-            actions,
-            adversary,
-        })
+        Ok(())
     }
 }
 
@@ -782,6 +1101,14 @@ mod tests {
     ) -> Result<RoundResolution<u32>, EngineError> {
         net.resolve_round(actions, &adversary)
             .map(|view| view.to_resolution())
+    }
+
+    fn record_transmissions(rec: &RoundRecord<u32>) -> Vec<(NodeId, ChannelId, u32)> {
+        rec.transmissions().map(|(n, c, f)| (n, c, *f)).collect()
+    }
+
+    fn record_delivered(rec: &RoundRecord<u32>) -> Vec<Option<u32>> {
+        rec.delivered_dense().map(|f| f.copied()).collect()
     }
 
     #[test]
@@ -845,6 +1172,19 @@ mod tests {
         assert_eq!(view.listeners().len(), 2);
         let delivered: Vec<Option<&u32>> = view.delivered().collect();
         assert_eq!(delivered, vec![Some(&7), None, None]);
+        // The worklist holds exactly the touched channels, ascending.
+        let active: Vec<ChannelId> = view.active_channels().collect();
+        assert_eq!(active, vec![ChannelId(0), ChannelId(1)]);
+        // Per-channel listener spans agree with the flat listener list.
+        assert_eq!(
+            view.listeners_on(ChannelId(0)).collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
+        assert_eq!(
+            view.listeners_on(ChannelId(1)).collect::<Vec<_>>(),
+            vec![NodeId(2)]
+        );
+        assert_eq!(view.listeners_on(ChannelId(2)).count(), 0);
     }
 
     #[test]
@@ -906,6 +1246,37 @@ mod tests {
         assert_eq!(res.heard_on(ChannelId(0)), None);
         assert_eq!(net.stats().spoofs_delivered, 0);
         assert_eq!(net.stats().jams_effective, 1);
+    }
+
+    #[test]
+    fn spoof_delivered_stats_exact_under_many_listeners() {
+        // Satellite regression: the spoof-delivered stat used to scan the
+        // whole listener list once per channel (O(C×L)); the listener
+        // spans make it O(1). Pin the counts with a listener population
+        // big enough that a double count (or a miss) is unambiguous.
+        let mut net: Network<u32> = Network::new(NetworkConfig::new(4, 2).unwrap());
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        // 100 listeners on the spoofed channel 1, 100 on the noisy
+        // channel 2, 100 on the idle channel 3.
+        for _ in 0..100 {
+            actions.push(listen(1));
+            actions.push(listen(2));
+            actions.push(listen(3));
+        }
+        let mut adv = AdversaryAction::idle();
+        adv.push(ChannelId(1), Emission::Spoof(9));
+        adv.push(ChannelId(2), Emission::Noise);
+        resolve(&mut net, &actions, adv).unwrap();
+        // One spoofed channel with listeners => exactly one delivered spoof.
+        assert_eq!(net.stats().spoofs_delivered, 1);
+        assert_eq!(net.stats().frames_received, 100);
+        assert_eq!(net.stats().silent_receptions, 200);
+
+        // A spoof with *no* listeners is not counted as delivered.
+        let mut adv = AdversaryAction::idle();
+        adv.push(ChannelId(0), Emission::Spoof(7));
+        resolve(&mut net, &[listen(3)], adv).unwrap();
+        assert_eq!(net.stats().spoofs_delivered, 1);
     }
 
     #[test]
@@ -984,6 +1355,78 @@ mod tests {
     }
 
     #[test]
+    fn sparse_path_matches_dense_round_by_round() {
+        // The same execution through `resolve_round` (with explicit
+        // Sleeps) and `resolve_round_sparse` (sleepers omitted):
+        // resolutions, stats, and retained records must be identical.
+        let mut dense: Network<u32> = Network::new(cfg());
+        let mut sparse: Network<u32> = Network::new(cfg());
+        for round in 0..12u32 {
+            let actions: Vec<Action<u32>> = (0..8)
+                .map(|i| match (i + round as usize) % 4 {
+                    0 => tx((i + round as usize) % 3, round * 100 + i as u32),
+                    1 => listen(i % 3),
+                    _ => Action::Sleep,
+                })
+                .collect();
+            let pairs: Vec<(NodeId, Action<u32>)> = actions
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !matches!(a, Action::Sleep))
+                .map(|(i, a)| (NodeId(i), a.clone()))
+                .collect();
+            let adv = AdversaryAction::jam([ChannelId(round as usize % 3)]);
+            let a = dense.resolve_round(&actions, &adv).unwrap().to_resolution();
+            let b = sparse
+                .resolve_round_sparse(&pairs, &adv)
+                .unwrap()
+                .to_resolution();
+            assert_eq!(a, b);
+        }
+        assert_eq!(dense.stats(), sparse.stats());
+        assert!(dense
+            .trace()
+            .records()
+            .zip(sparse.trace().records())
+            .all(|(a, b)| a == b));
+        assert_eq!(dense.trace().len(), sparse.trace().len());
+    }
+
+    #[test]
+    fn untouched_channels_resolve_idle_despite_stale_slots() {
+        // Sparse rounds never visit untouched channels, so their arena
+        // slots still hold the previous round's tags — the epoch fence
+        // must hide them.
+        let mut net: Network<u32> = Network::new(cfg());
+        // Round 0: deliver on 0, spoof on 1, collide on 2.
+        let mut adv = AdversaryAction::idle();
+        adv.push(ChannelId(1), Emission::Spoof(9));
+        let pairs = [
+            (NodeId(0), tx(0, 5)),
+            (NodeId(1), listen(1)),
+            (NodeId(2), tx(2, 6)),
+            (NodeId(3), tx(2, 7)),
+        ];
+        net.resolve_round_sparse(&pairs, &adv).unwrap();
+        // Round 1: only channel 1 is touched.
+        let pairs = [(NodeId(0), tx(1, 8))];
+        let idle = AdversaryAction::idle();
+        let view = net.resolve_round_sparse(&pairs, &idle).unwrap();
+        assert!(matches!(view.outcome(ChannelId(0)), OutcomeView::Idle));
+        assert_eq!(view.heard_on(ChannelId(0)), None);
+        assert!(matches!(view.outcome(ChannelId(2)), OutcomeView::Idle));
+        assert_eq!(view.participants(ChannelId(2)).len(), 0);
+        assert_eq!(view.listeners_on(ChannelId(1)).count(), 0);
+        assert_eq!(view.heard_on(ChannelId(1)), Some(&8));
+        assert_eq!(
+            view.active_channels().collect::<Vec<_>>(),
+            vec![ChannelId(1)]
+        );
+        let rec = net.trace().last().unwrap();
+        assert_eq!(record_delivered(rec), vec![None, Some(8), None]);
+    }
+
+    #[test]
     fn arena_state_does_not_leak_across_rounds() {
         let mut net: Network<u32> = Network::new(cfg());
         // Round 0: busy channel 0 (collision), spoof on 1.
@@ -1004,8 +1447,14 @@ mod tests {
         assert!(matches!(res.outcomes[0], ChannelOutcome::Idle));
         assert!(matches!(res.outcomes[1], ChannelOutcome::Idle));
         let rec = net.trace().last().unwrap();
-        assert_eq!(rec.transmissions, vec![(NodeId(0), ChannelId(2), 7)]);
-        assert_eq!(rec.listeners, vec![(NodeId(1), ChannelId(2))]);
+        assert_eq!(
+            record_transmissions(rec),
+            vec![(NodeId(0), ChannelId(2), 7)]
+        );
+        assert_eq!(
+            rec.listeners().collect::<Vec<_>>(),
+            vec![(NodeId(1), ChannelId(2))]
+        );
     }
 
     #[test]
@@ -1050,9 +1499,13 @@ mod tests {
             } if honest == &vec![NodeId(4), NodeId(5)]
         ));
         let rec = net.trace().last().unwrap().clone();
-        assert_eq!(rec.delivered.len(), 5);
+        assert_eq!(rec.channels, 5);
         assert_eq!(
-            rec.listeners,
+            record_delivered(&rec),
+            vec![None, None, None, None, Some(40)]
+        );
+        assert_eq!(
+            rec.listeners().collect::<Vec<_>>(),
             vec![
                 (NodeId(1), ChannelId(4)),
                 (NodeId(2), ChannelId(3)),
@@ -1067,8 +1520,11 @@ mod tests {
         assert_eq!(res.heard_on(ChannelId(1)), Some(5));
         assert!(matches!(res.outcomes[0], ChannelOutcome::Idle));
         let rec = net.trace().last().unwrap();
-        assert_eq!(rec.delivered, vec![None, Some(5)]);
-        assert_eq!(rec.listeners, vec![(NodeId(0), ChannelId(1))]);
+        assert_eq!(record_delivered(rec), vec![None, Some(5)]);
+        assert_eq!(
+            rec.listeners().collect::<Vec<_>>(),
+            vec![(NodeId(0), ChannelId(1))]
+        );
 
         // Round numbering and stats carried across both reconfigurations.
         assert_eq!(net.round(), 3);
@@ -1088,8 +1544,14 @@ mod tests {
         let mut net: Network<u32> = Network::new(cfg());
         resolve(&mut net, &[tx(0, 5), listen(0)], AdversaryAction::idle()).unwrap();
         let rec = net.trace().last().unwrap();
-        assert_eq!(rec.transmissions, vec![(NodeId(0), ChannelId(0), 5)]);
-        assert_eq!(rec.listeners, vec![(NodeId(1), ChannelId(0))]);
-        assert_eq!(rec.delivered, vec![Some(5), None, None]);
+        assert_eq!(
+            record_transmissions(rec),
+            vec![(NodeId(0), ChannelId(0), 5)]
+        );
+        assert_eq!(
+            rec.listeners().collect::<Vec<_>>(),
+            vec![(NodeId(1), ChannelId(0))]
+        );
+        assert_eq!(record_delivered(rec), vec![Some(5), None, None]);
     }
 }

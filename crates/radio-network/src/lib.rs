@@ -25,17 +25,26 @@
 //! ## Architecture (module ↦ paper section)
 //!
 //! * [`Network`] (`engine`) — pure round-resolution engine implementing
-//!   the §3 channel semantics above. Its round loop is arena-backed:
-//!   [`Network::resolve_round`] returns a borrowed [`RoundView`] over
-//!   reused flat storage, so steady-state rounds are allocation-free
-//!   (owned escape hatch: [`RoundView::to_resolution`]).
+//!   the §3 channel semantics above. Its round loop is arena-backed and
+//!   **activity-proportional**: an epoch-stamped active-channel worklist
+//!   plus per-channel transmitter/listener spans make a round cost
+//!   O(active channels + participants), not O(C) — and
+//!   [`Network::resolve_round_sparse`] accepts only the awake nodes'
+//!   actions so cost is independent of `n` too. Both entry points return
+//!   a borrowed [`RoundView`] over reused flat storage, so steady-state
+//!   rounds are allocation-free (owned escape hatch:
+//!   [`RoundView::to_resolution`]).
 //! * [`Protocol`] (`node`) — the state-machine trait honest §3 nodes
-//!   implement.
+//!   implement, including the sleep/wake contract
+//!   ([`Protocol::next_wake`] / [`NEVER`]) that lets long-sleeping nodes
+//!   skip their idle rounds.
 //! * [`Adversary`] (`adversary`) — the §3 attacker trait (budget `t`,
 //!   full hindsight); batteries included in [`adversaries`].
 //! * [`Simulation`] — drives a vector of protocol nodes plus one adversary
 //!   against a [`Network`] until completion, enforcing the §3 information
-//!   flow, collecting a [`Trace`] and [`Stats`].
+//!   flow, collecting a [`Trace`] and [`Stats`]. Its per-round loop pops
+//!   a wake-queue and visits only the due nodes, feeding the sparse
+//!   engine entry point.
 //! * [`TraceSink`] (`sink`) — where finished [`RoundRecord`]s go:
 //!   retained in memory ([`InMemorySink`]), discarded ([`NullSink`]), or
 //!   streamed off the round loop to a line-delimited JSON file by a
@@ -83,7 +92,7 @@ pub use engine::{
     ChannelOutcome, Network, NetworkConfig, OutcomeView, Participants, RoundResolution, RoundView,
 };
 pub use error::EngineError;
-pub use node::{Action, ChannelId, NodeId, Protocol, Reception};
+pub use node::{Action, ChannelId, NodeId, Protocol, Reception, NEVER};
 pub use simulation::{Inspector, Simulation, SimulationReport};
 pub use sink::{
     json_escape, record_line, ChannelSink, InMemorySink, NullSink, OverflowPolicy, SinkReport,

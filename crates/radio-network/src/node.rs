@@ -140,13 +140,24 @@ impl<M: Clone> Reception<&M> {
     }
 }
 
+/// The wake round advertised by a node that never needs to be visited
+/// again (see [`Protocol::next_wake`]).
+pub const NEVER: u64 = u64::MAX;
+
 /// State machine implemented by an honest protocol node.
 ///
 /// The [`Simulation`](crate::Simulation) driver calls [`Protocol::begin_round`]
-/// on every node (collecting actions), resolves the round, then calls
-/// [`Protocol::end_round`] with the node's reception (present only when the
-/// node listened). A node must base decisions solely on its own state — that
-/// is what makes agreement properties of the paper's protocols meaningful.
+/// on every **awake** node (collecting actions), resolves the round, then
+/// calls [`Protocol::end_round`] with the node's reception (present only when
+/// the node listened). A node must base decisions solely on its own state —
+/// that is what makes agreement properties of the paper's protocols
+/// meaningful.
+///
+/// By default every node is awake every round. A node whose protocol
+/// genuinely sleeps for long stretches (epoch scripts, tree-feedback
+/// leaves) overrides [`Protocol::next_wake`] to skip the idle rounds
+/// entirely — the driver then never calls `begin_round`/`end_round` while
+/// it sleeps, which is what makes round cost O(awake) instead of O(n).
 pub trait Protocol {
     /// The frame type broadcast over the air.
     type Msg: Clone;
@@ -178,4 +189,19 @@ pub trait Protocol {
 
     /// `true` once the node has terminated its protocol.
     fn is_done(&self) -> bool;
+
+    /// The next round this node must be visited, queried right after the
+    /// driver finishes `round` (after [`Protocol::end_round`]). Must be
+    /// `> round`; return [`NEVER`] to leave the driver's wake-queue for
+    /// good (a done node, or one that only reacts to rounds it scheduled).
+    ///
+    /// The default — `round + 1`, every round — preserves the classic
+    /// dense visiting order for protocols that don't opt in. A node
+    /// sleeping until round `w` behaves exactly as if it had returned
+    /// [`Action::Sleep`] from `begin_round` every round in `round+1..w`:
+    /// overriding this is purely a cost optimization and must not change
+    /// behavior.
+    fn next_wake(&self, round: u64) -> u64 {
+        round + 1
+    }
 }

@@ -475,7 +475,7 @@ pub fn record_line<M>(record: &RoundRecord<M>, frame: impl Fn(&M) -> String) -> 
     use std::fmt::Write as _;
     let mut out = String::with_capacity(128);
     write!(out, "{{\"round\":{},\"transmissions\":[", record.round).expect("write to String");
-    for (i, (node, channel, f)) in record.transmissions.iter().enumerate() {
+    for (i, (node, channel, f)) in record.transmissions().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -489,14 +489,14 @@ pub fn record_line<M>(record: &RoundRecord<M>, frame: impl Fn(&M) -> String) -> 
         .expect("write to String");
     }
     out.push_str("],\"listeners\":[");
-    for (i, (node, channel)) in record.listeners.iter().enumerate() {
+    for (i, (node, channel)) in record.listeners().enumerate() {
         if i > 0 {
             out.push(',');
         }
         write!(out, "{{\"node\":{},\"channel\":{}}}", node.0, channel.0).expect("write to String");
     }
     out.push_str("],\"adversary\":[");
-    for (i, (channel, emission)) in record.adversary.iter().enumerate() {
+    for (i, (channel, emission)) in record.adversary().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -516,8 +516,10 @@ pub fn record_line<M>(record: &RoundRecord<M>, frame: impl Fn(&M) -> String) -> 
             }
         }
     }
+    // The record stores delivered frames sparsely (active channels only);
+    // the wire format stays the dense per-channel array with nulls.
     out.push_str("],\"delivered\":[");
-    for (i, slot) in record.delivered.iter().enumerate() {
+    for (i, slot) in record.delivered_dense().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -538,16 +540,16 @@ mod tests {
     use crate::node::{ChannelId, NodeId};
 
     fn record(round: u64) -> RoundRecord<u32> {
-        RoundRecord {
+        RoundRecord::from_parts(
             round,
-            transmissions: vec![(NodeId(0), ChannelId(1), 7)],
-            listeners: vec![(NodeId(2), ChannelId(1))],
-            adversary: vec![
+            vec![(NodeId(0), ChannelId(1), 7)],
+            vec![(NodeId(2), ChannelId(1))],
+            vec![
                 (ChannelId(0), Emission::Noise),
                 (ChannelId(2), Emission::Spoof(9)),
             ],
-            delivered: vec![None, Some(7), Some(9)],
-        }
+            vec![None, Some(7), Some(9)],
+        )
     }
 
     #[test]
@@ -566,16 +568,18 @@ mod tests {
 
     #[test]
     fn record_line_escapes_frames() {
-        let mut rec: RoundRecord<String> = RoundRecord {
-            round: 0,
-            transmissions: vec![(NodeId(0), ChannelId(0), "evil\"\n".into())],
-            listeners: vec![],
-            adversary: vec![],
-            delivered: vec![None],
-        };
+        let mut rec: RoundRecord<String> = RoundRecord::from_parts(
+            0,
+            vec![(NodeId(0), ChannelId(0), "evil\"\n".into())],
+            vec![],
+            vec![],
+            vec![None],
+        );
         let line = record_line(&rec, |m| m.clone());
         assert!(line.contains("evil\\\"\\n"));
-        rec.transmissions.clear();
+        rec.tx_nodes.clear();
+        rec.tx_channels.clear();
+        rec.tx_frames.clear();
         assert!(!record_line(&rec, |m| m.clone()).contains('\n'));
     }
 

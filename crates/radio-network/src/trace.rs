@@ -37,20 +37,50 @@ impl TraceRetention {
     }
 }
 
-/// Everything that happened in one round.
+/// Everything that happened in one round, in struct-of-arrays layout.
+///
+/// Every vector is sized by *activity* — the number of transmitters,
+/// listeners, adversary emissions, and delivered frames that round —
+/// never by the channel count or the node population. In particular the
+/// delivered set is **sparse**: only channels that actually delivered a
+/// frame appear, sorted ascending by channel (so a record of a quiet
+/// round over a million idle channels is a handful of empty vectors).
+/// [`RoundRecord::delivered_dense`] reconstructs the dense per-channel
+/// view on demand.
+///
+/// Invariants (upheld by the engine and [`RoundRecord::from_parts`];
+/// consumers constructing records by hand must uphold them too):
+/// `tx_nodes` / `tx_channels` / `tx_frames` are parallel and grouped by
+/// channel (ascending channel, node order within a channel);
+/// `listener_nodes` / `listener_channels` are parallel, in node order;
+/// `adv_channels` / `adv_emissions` are parallel, in the adversary's
+/// emission order; `delivered_channels` / `delivered_frames` are
+/// parallel with `delivered_channels` strictly ascending.
 #[derive(PartialEq, Eq, Debug)]
 pub struct RoundRecord<M> {
     /// Round number (0-based).
     pub round: u64,
-    /// Honest transmissions `(node, channel, frame)`.
-    pub transmissions: Vec<(NodeId, ChannelId, M)>,
-    /// Honest listeners `(node, channel)`.
-    pub listeners: Vec<(NodeId, ChannelId)>,
-    /// The adversary's emissions this round.
-    pub adversary: Vec<(ChannelId, Emission<M>)>,
-    /// Per-channel resolution: `Some(frame)` if a frame was delivered to
-    /// listeners of that channel (index = channel).
-    pub delivered: Vec<Option<M>>,
+    /// Number of channels in the round — the dense width
+    /// [`RoundRecord::delivered_dense`] reconstructs.
+    pub channels: usize,
+    /// Honest transmitters, grouped by channel.
+    pub tx_nodes: Vec<NodeId>,
+    /// Channel of each honest transmission (parallel to `tx_nodes`).
+    pub tx_channels: Vec<ChannelId>,
+    /// Frame of each honest transmission (parallel to `tx_nodes`).
+    pub tx_frames: Vec<M>,
+    /// Honest listeners, in node order.
+    pub listener_nodes: Vec<NodeId>,
+    /// Channel each listener tuned to (parallel to `listener_nodes`).
+    pub listener_channels: Vec<ChannelId>,
+    /// Channels the adversary emitted on, in emission order.
+    pub adv_channels: Vec<ChannelId>,
+    /// The adversary's emissions (parallel to `adv_channels`).
+    pub adv_emissions: Vec<Emission<M>>,
+    /// Channels on which a frame was delivered, strictly ascending.
+    pub delivered_channels: Vec<ChannelId>,
+    /// The delivered frames (parallel to `delivered_channels`).
+    pub delivered_frames: Vec<M>,
 }
 
 /// Hand-rolled so that [`Clone::clone_from`] reuses the destination's
@@ -62,26 +92,154 @@ impl<M: Clone> Clone for RoundRecord<M> {
     fn clone(&self) -> Self {
         RoundRecord {
             round: self.round,
-            transmissions: self.transmissions.clone(),
-            listeners: self.listeners.clone(),
-            adversary: self.adversary.clone(),
-            delivered: self.delivered.clone(),
+            channels: self.channels,
+            tx_nodes: self.tx_nodes.clone(),
+            tx_channels: self.tx_channels.clone(),
+            tx_frames: self.tx_frames.clone(),
+            listener_nodes: self.listener_nodes.clone(),
+            listener_channels: self.listener_channels.clone(),
+            adv_channels: self.adv_channels.clone(),
+            adv_emissions: self.adv_emissions.clone(),
+            delivered_channels: self.delivered_channels.clone(),
+            delivered_frames: self.delivered_frames.clone(),
         }
     }
 
     fn clone_from(&mut self, source: &Self) {
         self.round = source.round;
-        self.transmissions.clone_from(&source.transmissions);
-        self.listeners.clone_from(&source.listeners);
-        self.adversary.clone_from(&source.adversary);
-        self.delivered.clone_from(&source.delivered);
+        self.channels = source.channels;
+        self.tx_nodes.clone_from(&source.tx_nodes);
+        self.tx_channels.clone_from(&source.tx_channels);
+        self.tx_frames.clone_from(&source.tx_frames);
+        self.listener_nodes.clone_from(&source.listener_nodes);
+        self.listener_channels.clone_from(&source.listener_channels);
+        self.adv_channels.clone_from(&source.adv_channels);
+        self.adv_emissions.clone_from(&source.adv_emissions);
+        self.delivered_channels
+            .clone_from(&source.delivered_channels);
+        self.delivered_frames.clone_from(&source.delivered_frames);
+    }
+}
+
+impl<M> Default for RoundRecord<M> {
+    fn default() -> Self {
+        RoundRecord::empty()
     }
 }
 
 impl<M> RoundRecord<M> {
+    /// An all-empty record of round 0 over zero channels — the warm-up
+    /// state of the engine's record arena.
+    pub fn empty() -> Self {
+        RoundRecord {
+            round: 0,
+            channels: 0,
+            tx_nodes: Vec::new(),
+            tx_channels: Vec::new(),
+            tx_frames: Vec::new(),
+            listener_nodes: Vec::new(),
+            listener_channels: Vec::new(),
+            adv_channels: Vec::new(),
+            adv_emissions: Vec::new(),
+            delivered_channels: Vec::new(),
+            delivered_frames: Vec::new(),
+        }
+    }
+
+    /// Build a record from the dense array-of-structs shape: a
+    /// transmission list, a listener list, the adversary's emission list,
+    /// and a per-channel `Option<M>` delivery vector (index = channel,
+    /// length = channel count). The convenient constructor for tests and
+    /// reference implementations; the engine builds SoA fields directly.
+    pub fn from_parts(
+        round: u64,
+        transmissions: Vec<(NodeId, ChannelId, M)>,
+        listeners: Vec<(NodeId, ChannelId)>,
+        adversary: Vec<(ChannelId, Emission<M>)>,
+        delivered: Vec<Option<M>>,
+    ) -> Self {
+        let mut record = RoundRecord::empty();
+        record.round = round;
+        record.channels = delivered.len();
+        for (node, channel, frame) in transmissions {
+            record.tx_nodes.push(node);
+            record.tx_channels.push(channel);
+            record.tx_frames.push(frame);
+        }
+        for (node, channel) in listeners {
+            record.listener_nodes.push(node);
+            record.listener_channels.push(channel);
+        }
+        for (channel, emission) in adversary {
+            record.adv_channels.push(channel);
+            record.adv_emissions.push(emission);
+        }
+        for (ch, frame) in delivered.into_iter().enumerate() {
+            if let Some(frame) = frame {
+                record.delivered_channels.push(ChannelId(ch));
+                record.delivered_frames.push(frame);
+            }
+        }
+        record
+    }
+
+    /// Honest transmissions `(node, channel, frame)`, grouped by channel.
+    pub fn transmissions(&self) -> impl Iterator<Item = (NodeId, ChannelId, &M)> + '_ {
+        self.tx_nodes
+            .iter()
+            .zip(&self.tx_channels)
+            .zip(&self.tx_frames)
+            .map(|((&node, &channel), frame)| (node, channel, frame))
+    }
+
+    /// Honest listeners `(node, channel)`, in node order.
+    pub fn listeners(&self) -> impl Iterator<Item = (NodeId, ChannelId)> + '_ {
+        self.listener_nodes
+            .iter()
+            .zip(&self.listener_channels)
+            .map(|(&node, &channel)| (node, channel))
+    }
+
+    /// The adversary's emissions `(channel, emission)` this round.
+    pub fn adversary(&self) -> impl Iterator<Item = (ChannelId, &Emission<M>)> + '_ {
+        self.adv_channels
+            .iter()
+            .zip(&self.adv_emissions)
+            .map(|(&channel, emission)| (channel, emission))
+    }
+
+    /// The frame delivered on `channel`, if any — `O(log a)` in the
+    /// number of *delivering* channels, independent of the channel count.
+    pub fn delivered_on(&self, channel: ChannelId) -> Option<&M> {
+        self.delivered_channels
+            .binary_search(&channel)
+            .ok()
+            .map(|i| &self.delivered_frames[i])
+    }
+
+    /// The dense per-channel delivery view (`None` = silence/collision),
+    /// reconstructed from the sparse delivered set by a two-pointer walk
+    /// over all [`RoundRecord::channels`] channels.
+    pub fn delivered_dense(&self) -> impl Iterator<Item = Option<&M>> + '_ {
+        let mut next = 0usize;
+        (0..self.channels).map(move |ch| {
+            if self
+                .delivered_channels
+                .get(next)
+                .is_some_and(|c| c.index() == ch)
+            {
+                let frame = &self.delivered_frames[next];
+                next += 1;
+                Some(frame)
+            } else {
+                None
+            }
+        })
+    }
+
     /// Channels on which at least one honest node transmitted.
     pub fn busy_channels(&self) -> Vec<ChannelId> {
-        let mut chans: Vec<ChannelId> = self.transmissions.iter().map(|&(_, c, _)| c).collect();
+        let mut chans = self.tx_channels.clone();
         chans.sort_unstable();
         chans.dedup();
         chans
@@ -90,12 +248,9 @@ impl<M> RoundRecord<M> {
     /// `true` if the adversary delivered a spoofed frame on `channel` —
     /// i.e. it spoofed there and no honest node transmitted on it.
     pub fn spoof_delivered(&self, channel: ChannelId) -> bool {
-        let adversary_spoofed = self
-            .adversary
-            .iter()
-            .any(|(c, e)| *c == channel && e.is_spoof());
-        let honest_busy = self.transmissions.iter().any(|&(_, c, _)| c == channel);
-        adversary_spoofed && !honest_busy && self.delivered[channel.index()].is_some()
+        let adversary_spoofed = self.adversary().any(|(c, e)| c == channel && e.is_spoof());
+        let honest_busy = self.tx_channels.contains(&channel);
+        adversary_spoofed && !honest_busy && self.delivered_on(channel).is_some()
     }
 }
 
@@ -263,13 +418,13 @@ mod tests {
     use super::*;
 
     fn record(round: u64) -> RoundRecord<u32> {
-        RoundRecord {
+        RoundRecord::from_parts(
             round,
-            transmissions: vec![(NodeId(0), ChannelId(0), round as u32)],
-            listeners: vec![(NodeId(1), ChannelId(0))],
-            adversary: vec![],
-            delivered: vec![Some(round as u32), None],
-        }
+            vec![(NodeId(0), ChannelId(0), round as u32)],
+            vec![(NodeId(1), ChannelId(0))],
+            vec![],
+            vec![Some(round as u32), None],
+        )
     }
 
     #[test]
@@ -354,42 +509,82 @@ mod tests {
     #[test]
     fn clone_from_reuses_and_matches() {
         let mut dst = record(0);
-        dst.transmissions.reserve(64);
+        dst.tx_nodes.reserve(64);
         let src = record(7);
         dst.clone_from(&src);
         assert_eq!(dst, src);
     }
 
     #[test]
+    fn from_parts_accessors_roundtrip() {
+        let rec: RoundRecord<u32> = RoundRecord::from_parts(
+            3,
+            vec![(NodeId(4), ChannelId(1), 10), (NodeId(7), ChannelId(2), 20)],
+            vec![(NodeId(0), ChannelId(2)), (NodeId(5), ChannelId(0))],
+            vec![(ChannelId(0), Emission::Noise)],
+            vec![None, Some(10), Some(20), None],
+        );
+        assert_eq!(rec.channels, 4);
+        assert_eq!(
+            rec.transmissions().collect::<Vec<_>>(),
+            vec![
+                (NodeId(4), ChannelId(1), &10),
+                (NodeId(7), ChannelId(2), &20)
+            ]
+        );
+        assert_eq!(
+            rec.listeners().collect::<Vec<_>>(),
+            vec![(NodeId(0), ChannelId(2)), (NodeId(5), ChannelId(0))]
+        );
+        assert_eq!(
+            rec.adversary().collect::<Vec<_>>(),
+            vec![(ChannelId(0), &Emission::Noise)]
+        );
+        assert_eq!(rec.delivered_on(ChannelId(0)), None);
+        assert_eq!(rec.delivered_on(ChannelId(1)), Some(&10));
+        assert_eq!(rec.delivered_on(ChannelId(2)), Some(&20));
+        assert_eq!(rec.delivered_on(ChannelId(3)), None);
+        assert_eq!(
+            rec.delivered_dense().collect::<Vec<_>>(),
+            vec![None, Some(&10), Some(&20), None]
+        );
+    }
+
+    #[test]
     fn spoof_detection_requires_idle_channel() {
-        let mut rec = record(0);
-        rec.adversary = vec![(ChannelId(0), Emission::Spoof(9))];
         // Honest node transmits on ch0 too => not a delivered spoof.
+        let rec: RoundRecord<u32> = RoundRecord::from_parts(
+            0,
+            vec![(NodeId(0), ChannelId(0), 0)],
+            vec![(NodeId(1), ChannelId(0))],
+            vec![(ChannelId(0), Emission::Spoof(9))],
+            vec![Some(0), None],
+        );
         assert!(!rec.spoof_delivered(ChannelId(0)));
 
-        let rec2: RoundRecord<u32> = RoundRecord {
-            round: 0,
-            transmissions: vec![],
-            listeners: vec![(NodeId(1), ChannelId(1))],
-            adversary: vec![(ChannelId(1), Emission::Spoof(9))],
-            delivered: vec![None, Some(9)],
-        };
+        let rec2: RoundRecord<u32> = RoundRecord::from_parts(
+            0,
+            vec![],
+            vec![(NodeId(1), ChannelId(1))],
+            vec![(ChannelId(1), Emission::Spoof(9))],
+            vec![None, Some(9)],
+        );
         assert!(rec2.spoof_delivered(ChannelId(1)));
     }
 
     #[test]
     fn busy_channels_dedup_sorted() {
-        let rec: RoundRecord<u32> = RoundRecord {
-            round: 0,
-            transmissions: vec![
+        let rec: RoundRecord<u32> = RoundRecord::from_parts(
+            0,
+            vec![
                 (NodeId(0), ChannelId(2), 1),
                 (NodeId(1), ChannelId(0), 2),
                 (NodeId(2), ChannelId(2), 3),
             ],
-            listeners: vec![],
-            adversary: vec![],
-            delivered: vec![None, None, None],
-        };
+            vec![],
+            vec![],
+            vec![None, None, None],
+        );
         assert_eq!(rec.busy_channels(), vec![ChannelId(0), ChannelId(2)]);
     }
 }

@@ -121,13 +121,13 @@ mod reference {
                     transmissions.push((id, ChannelId(ch), frame));
                 }
             }
-            self.trace.push(RoundRecord {
-                round: self.round,
+            self.trace.push(RoundRecord::from_parts(
+                self.round,
                 transmissions,
                 listeners,
-                adversary: adversary.transmissions.clone(),
+                adversary.transmissions.clone(),
                 delivered,
-            });
+            ));
 
             let resolution = RoundResolution {
                 round: self.round,
@@ -178,6 +178,18 @@ fn arb_round(
         proptest::collection::btree_map(0..c, proptest::option::of(any::<u32>()), 0..=t)
             .prop_map(|m| m.into_iter().collect::<Vec<_>>());
     (actions, adversary)
+}
+
+/// The sparse form of a dense action slice: awake (non-Sleep) nodes only,
+/// as node-sorted pairs — exactly what the wake-queue driver feeds
+/// [`Network::resolve_round_sparse`].
+fn to_sparse(actions: &[Action<u32>]) -> Vec<(NodeId, Action<u32>)> {
+    actions
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !matches!(a, Action::Sleep))
+        .map(|(i, a)| (NodeId(i), a.clone()))
+        .collect()
 }
 
 fn to_adversary(gen: &[(usize, Option<u32>)]) -> AdversaryAction<u32> {
@@ -242,6 +254,56 @@ proptest! {
             .map(|(gen, adv)| (to_actions(gen), to_adversary(adv)))
             .collect();
         assert_equivalent_execution(retention, 4, 2, &rounds);
+    }
+
+    /// The sparse entry point is bit-identical to the dense one: the same
+    /// execution through `resolve_round` (sleepers as explicit `Sleep`)
+    /// and `resolve_round_sparse` (sleepers omitted) yields the same
+    /// resolutions, stats, and retained records under every retention
+    /// policy — and both match the pre-refactor reference.
+    #[test]
+    fn sparse_engine_matches_dense_and_reference(
+        rounds in proptest::collection::vec(arb_round(4, 10, 2), 1..12),
+        retention in prop_oneof![
+            Just(TraceRetention::All),
+            Just(TraceRetention::LastRounds(3)),
+            Just(TraceRetention::None),
+        ],
+    ) {
+        let cfg = NetworkConfig::new(4, 2).unwrap().with_retention(retention);
+        let mut dense: Network<u32> = Network::new(cfg);
+        let mut sparse: Network<u32> = Network::new(cfg);
+        let mut reference = reference::ReferenceNetwork::new(4, retention);
+        for (gen, adv) in &rounds {
+            let actions = to_actions(gen);
+            let pairs = to_sparse(&actions);
+            let adversary = to_adversary(adv);
+            let expected = reference.resolve_round(&actions, &adversary);
+            let d = dense.resolve_round(&actions, &adversary).unwrap().to_resolution();
+            let s = sparse
+                .resolve_round_sparse(&pairs, &adversary)
+                .unwrap()
+                .to_resolution();
+            prop_assert_eq!(&d, &expected);
+            prop_assert_eq!(&s, &expected);
+            prop_assert_eq!(dense.stats(), sparse.stats());
+            prop_assert_eq!(sparse.stats(), &reference.stats);
+            prop_assert_eq!(dense.trace().len(), sparse.trace().len());
+            prop_assert_eq!(
+                sparse.trace().completed_rounds(),
+                reference.trace.completed_rounds()
+            );
+            prop_assert!(dense
+                .trace()
+                .records()
+                .zip(sparse.trace().records())
+                .all(|(a, b)| a == b));
+            prop_assert!(sparse
+                .trace()
+                .records()
+                .zip(reference.trace.records())
+                .all(|(a, b)| a == b));
+        }
     }
 
     /// The roster's trace-mining adversaries (random jammer, spoofer,
@@ -309,6 +371,83 @@ proptest! {
                 .trace()
                 .records()
                 .zip(reference.trace.records())
+                .all(|(a, b)| a == b));
+        }
+    }
+
+    /// Sparse resolution against the full trace-mining adversary roster,
+    /// under every retention mode: the adversary mines the *dense*
+    /// engine's trace, both engines resolve the identical round, and the
+    /// sparse one must stay bit-identical round by round — outcomes,
+    /// stats, and retained records. (A divergence in any retained record
+    /// would also skew the adversary's future moves, so the execution
+    /// itself is a sensitive detector.)
+    #[test]
+    fn sparse_roster_stays_bit_identical(
+        seed in any::<u64>(),
+        kind in 0..3usize,
+        rounds in 4..40usize,
+        retention in prop_oneof![
+            Just(TraceRetention::All),
+            Just(TraceRetention::LastRounds(8)),
+            Just(TraceRetention::None),
+        ],
+    ) {
+        let (c, t, n) = (5, 2, 12);
+        let cfg = NetworkConfig::new(c, t).unwrap().with_retention(retention);
+        let mut dense: Network<u32> = Network::new(cfg);
+        let mut sparse: Network<u32> = Network::new(cfg);
+        let mut adversary: Box<dyn Adversary<u32>> = match kind {
+            0 => Box::new(RandomJammer::new(seed)),
+            1 => Box::new(Spoofer::new(seed, |round, ch: ChannelId| {
+                (round as u32) << 8 | ch.index() as u32
+            })),
+            _ => Box::new(BusyChannelJammer::new(seed, 6)),
+        };
+        for round in 0..rounds as u64 {
+            let actions: Vec<Action<u32>> = (0..n)
+                .map(|i| match (i + round as usize) % 4 {
+                    0 => Action::Transmit {
+                        channel: ChannelId(i % 2),
+                        frame: (round as u32) * 100 + i as u32,
+                    },
+                    1 => Action::Transmit {
+                        channel: ChannelId(2 + (i + round as usize) % (c - 2)),
+                        frame: (round as u32) * 100 + i as u32,
+                    },
+                    2 => Action::Listen {
+                        channel: ChannelId((i + round as usize) % c),
+                    },
+                    _ => Action::Sleep,
+                })
+                .collect();
+            let pairs = to_sparse(&actions);
+            let view = AdversaryView {
+                channels: c,
+                budget: t,
+                nodes: n,
+                trace: dense.trace(),
+            };
+            let adv_action = adversary.act(round, &view);
+            let expected = dense
+                .resolve_round(&actions, &adv_action)
+                .unwrap()
+                .to_resolution();
+            let got = sparse
+                .resolve_round_sparse(&pairs, &adv_action)
+                .unwrap()
+                .to_resolution();
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(dense.stats(), sparse.stats());
+            prop_assert_eq!(dense.trace().len(), sparse.trace().len());
+            prop_assert_eq!(
+                dense.trace().completed_rounds(),
+                sparse.trace().completed_rounds()
+            );
+            prop_assert!(dense
+                .trace()
+                .records()
+                .zip(sparse.trace().records())
                 .all(|(a, b)| a == b));
         }
     }

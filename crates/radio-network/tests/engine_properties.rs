@@ -186,11 +186,11 @@ proptest! {
         let resolution = net.resolve_round(&actions, &adversary).unwrap().to_resolution();
         let rec = net.trace().last().unwrap();
         let tx_count = gen.iter().filter(|g| matches!(g, GenAction::Transmit(..))).count();
-        prop_assert_eq!(rec.transmissions.len(), tx_count);
-        prop_assert_eq!(rec.adversary.len(), adv.len());
+        prop_assert_eq!(rec.transmissions().count(), tx_count);
+        prop_assert_eq!(rec.adversary().count(), adv.len());
         for ch in 0..3 {
             prop_assert_eq!(
-                rec.delivered[ch],
+                rec.delivered_on(ChannelId(ch)).copied(),
                 resolution.heard_on(ChannelId(ch))
             );
         }

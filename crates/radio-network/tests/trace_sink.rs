@@ -22,13 +22,13 @@ fn tmp_path(tag: &str) -> PathBuf {
 }
 
 fn record(round: u64) -> RoundRecord<u32> {
-    RoundRecord {
+    RoundRecord::from_parts(
         round,
-        transmissions: vec![(radio_network::NodeId(0), radio_network::ChannelId(0), 1)],
-        listeners: vec![],
-        adversary: vec![],
-        delivered: vec![Some(1), None],
-    }
+        vec![(radio_network::NodeId(0), radio_network::ChannelId(0), 1)],
+        vec![],
+        vec![],
+        vec![Some(1), None],
+    )
 }
 
 /// A writer whose every write blocks until the test opens a gate; the

@@ -8,8 +8,12 @@
 //! * with a *bounded in-memory window* (`LastRounds(k)`), where the
 //!   record arena plus [`Trace::push_ref`]'s recycling keep even the
 //!   retention-on loop allocation-free for inline frames,
-//! * and through the full [`Simulation`] driver (reused action buffer,
-//!   borrowed receptions).
+//! * through the full [`Simulation`] driver (reused action buffer,
+//!   borrowed receptions),
+//! * and on the sparse path at large `n` (100 000 nodes, 8 awake): the
+//!   wake-queue driver plus the active-channel worklist keep the
+//!   steady-state round allocation-free even when the population dwarfs
+//!   the activity.
 //!
 //! The file holds exactly one `#[test]` so no sibling test can allocate
 //! on another thread inside a measurement window.
@@ -182,6 +186,51 @@ impl Protocol for LeanNode {
     }
 }
 
+/// A node for the large-`n` sparse check: the first [`SPARSE_ACTIVE`]
+/// slots transmit or listen every round; everyone else sleeps forever and
+/// advertises it, so the wake queue drains them after round 0.
+#[derive(Debug)]
+struct SparseNode {
+    /// `< SPARSE_ACTIVE` for the active minority, `SPARSE_ACTIVE` for
+    /// the sleepers.
+    slot: usize,
+}
+
+const SPARSE_NODES: usize = 100_000;
+const SPARSE_ACTIVE: usize = 8;
+
+impl Protocol for SparseNode {
+    type Msg = u64;
+
+    fn begin_round(&mut self, round: u64) -> Action<u64> {
+        let r = round as usize;
+        match self.slot {
+            s if s < SPARSE_ACTIVE / 2 => Action::Transmit {
+                channel: ChannelId((s + r) % CHANNELS),
+                frame: (round * 1000 + s as u64),
+            },
+            s if s < SPARSE_ACTIVE => Action::Listen {
+                channel: ChannelId((s + 2 * r) % CHANNELS),
+            },
+            _ => Action::Sleep,
+        }
+    }
+
+    fn end_round(&mut self, _round: u64, _reception: Option<Reception<&u64>>) {}
+
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    fn next_wake(&self, round: u64) -> u64 {
+        if self.slot < SPARSE_ACTIVE {
+            round + 1
+        } else {
+            radio_network::NEVER
+        }
+    }
+}
+
 #[test]
 fn steady_state_round_loop_allocates_nothing() {
     let schedule = schedule();
@@ -249,4 +298,37 @@ fn steady_state_round_loop_allocates_nothing() {
     });
     let heard: u64 = sim.nodes().iter().map(|n| n.frames_heard).sum();
     assert!(heard > 0, "the lean protocol must actually communicate");
+
+    // 5. The sparse path at large n: 100 000 nodes of which 8 are awake.
+    //    Round 0 visits everyone (heap + action buffer reach their
+    //    high-water marks) and drains the 99 992 never-waking sleepers
+    //    from the queue; from then on each round touches only the awake
+    //    minority and the channels they occupy, and must stay off the
+    //    allocator — wake-queue requeues included.
+    let cfg_sparse = NetworkConfig::new(CHANNELS, 2)
+        .unwrap()
+        .with_retention(TraceRetention::None);
+    let nodes: Vec<SparseNode> = (0..SPARSE_NODES)
+        .map(|id| SparseNode {
+            slot: if id < SPARSE_ACTIVE {
+                id
+            } else {
+                SPARSE_ACTIVE
+            },
+        })
+        .collect();
+    let mut sim = Simulation::new(cfg_sparse, nodes, NoAdversary, 7).unwrap();
+    for _ in 0..WARMUP {
+        sim.step().unwrap();
+    }
+    assert_zero_alloc("sparse n=100_000, 8 awake", || {
+        for _ in 0..MEASURED {
+            sim.step().unwrap();
+        }
+    });
+    assert_eq!(sim.stats().rounds, (WARMUP + MEASURED) as u64);
+    assert!(
+        sim.stats().honest_deliveries > 0,
+        "the awake minority must actually communicate"
+    );
 }

@@ -50,11 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut cells = Vec::new();
             for ch in 0..params.c() {
                 let honest = rec
-                    .transmissions
-                    .iter()
-                    .filter(|&&(_, c, _)| c.index() == ch)
+                    .transmissions()
+                    .filter(|&(_, c, _)| c.index() == ch)
                     .count();
-                let adv = rec.adversary.iter().any(|(c, _)| c.index() == ch);
+                let adv = rec.adversary().any(|(c, _)| c.index() == ch);
                 let spoofed = rec.spoof_delivered(secure_radio::net::ChannelId(ch));
                 let cell = match (honest, adv, spoofed) {
                     (_, _, true) => " ! ",

@@ -12,7 +12,7 @@ use radio_network::Trace;
 fn observable_bytes(trace: &Trace<KeyFrame>) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     for rec in trace.records() {
-        for (_, _, frame) in &rec.transmissions {
+        for (_, _, frame) in rec.transmissions() {
             match frame {
                 KeyFrame::Sealed(sealed) => {
                     out.push(sealed.ciphertext.clone());

@@ -89,7 +89,7 @@ impl Adversary<SealedBox> for ReplayAdversary {
         use rand::Rng;
         // Capture everything transmitted in completed rounds.
         if let Some(rec) = view.trace.last() {
-            for (_, _, frame) in &rec.transmissions {
+            for (_, _, frame) in rec.transmissions() {
                 if self.captured.len() < 64 {
                     self.captured.push(frame.clone());
                 }
