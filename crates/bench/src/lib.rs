@@ -110,6 +110,7 @@ impl Regime {
 /// trials, so CI can execute all ten bins end-to-end in seconds (see the
 /// `experiments-smoke` job in `.github/workflows/ci.yml`).
 pub fn smoke() -> bool {
+    // detlint: allow(ambient-entropy) BENCH_SMOKE is CI's explicit sweep-shrink switch; it selects a grid, never a seed
     std::env::var_os("BENCH_SMOKE").is_some()
 }
 

@@ -1,0 +1,374 @@
+//! Static validation of committed `BENCH_*.json` files against the
+//! shapes documented in `docs/BENCH_FORMAT.md`, using the bench crate's
+//! own raw-token JSON reader — so the linter rejects exactly what the
+//! shard merger would choke on, including torn files.
+//!
+//! Three schemas are recognized, dispatched the same way a human reads
+//! the directory: a `.shard<k>of<N>.` name is a shard file, a top-level
+//! array is a criterion timing baseline, an object with `summaries` is
+//! the scheduler report (timing rows plus host provenance), and an
+//! object with `report`/`scenarios` is a scenario report.
+
+use crate::rules::Finding;
+use secure_radio_bench::json::Json;
+use std::path::Path;
+
+/// Validate every `BENCH_*.json` directly under `root`, returning one
+/// `bench-schema` finding per violation (empty means all files
+/// conform).
+///
+/// # Errors
+///
+/// Only on I/O failure listing or reading the directory itself —
+/// malformed files are findings, not errors.
+pub fn validate_bench_files(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(root)
+        .map_err(|e| format!("read workspace root: {e}"))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+
+    let mut findings = Vec::new();
+    for name in names {
+        let text =
+            std::fs::read_to_string(root.join(&name)).map_err(|e| format!("read {name}: {e}"))?;
+        if let Err(message) = validate_one(&name, &text) {
+            findings.push(Finding {
+                file: name,
+                line: 1,
+                rule: "bench-schema".into(),
+                message,
+                hint: "see docs/BENCH_FORMAT.md for the three BENCH_*.json schemas".into(),
+                suggestion: None,
+            });
+        }
+    }
+    Ok(findings)
+}
+
+/// Validate one file's text against the schema its name and shape
+/// select.
+pub fn validate_one(name: &str, text: &str) -> Result<(), String> {
+    let value = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let stem = name
+        .strip_prefix("BENCH_")
+        .and_then(|s| s.strip_suffix(".json"))
+        .ok_or_else(|| "file name is not BENCH_<name>.json".to_string())?;
+    if let Some((report, shard_part)) = stem.split_once(".shard") {
+        return shard_file(&value, report, shard_part);
+    }
+    match &value {
+        Json::Arr(rows) => timing_rows(rows, "timing baseline"),
+        Json::Obj(_) if value.get("summaries").is_some() => scheduler_report(&value),
+        Json::Obj(_) => scenario_report(&value, stem),
+        _ => Err("top level must be an object or a timing array".into()),
+    }
+}
+
+fn u64_of(v: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{ctx}: `{key}` missing or not an unsigned integer"))
+}
+
+fn f64_of(v: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{ctx}: `{key}` missing or not a number"))
+}
+
+fn str_of<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: `{key}` missing or not a string"))
+}
+
+/// A `{min, median, mean, p95, max}` distribution over trials.
+fn distribution(row: &Json, key: &str, ctx: &str) -> Result<(), String> {
+    let dist = row
+        .get(key)
+        .ok_or_else(|| format!("{ctx}: missing `{key}` distribution"))?;
+    let ctx = format!("{ctx}.{key}");
+    let min = u64_of(dist, "min", &ctx)?;
+    let median = u64_of(dist, "median", &ctx)?;
+    let p95 = u64_of(dist, "p95", &ctx)?;
+    let max = u64_of(dist, "max", &ctx)?;
+    let mean = f64_of(dist, "mean", &ctx)?;
+    if !(min <= median && median <= p95 && p95 <= max) {
+        return Err(format!(
+            "{ctx}: order violated (min {min} <= median {median} <= p95 {p95} <= max {max})"
+        ));
+    }
+    // The mean is printed rounded; allow the rounding step past the
+    // exact extremes.
+    if mean < min as f64 - 0.005 || mean > max as f64 + 0.005 {
+        return Err(format!("{ctx}: mean {mean} outside [min, max]"));
+    }
+    Ok(())
+}
+
+/// Scenario reports (`BenchReport::json`): one aggregated row per swept
+/// `ScenarioSpec`.
+fn scenario_report(value: &Json, stem: &str) -> Result<(), String> {
+    let report = str_of(value, "report", "report")?;
+    if report != stem {
+        return Err(format!(
+            "`report` is \"{report}\" but the file name says \"{stem}\""
+        ));
+    }
+    let rows = value
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "`scenarios` missing or not an array".to_string())?;
+    if rows.is_empty() {
+        return Err("`scenarios` is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let label = str_of(row, "scenario", &format!("scenarios[{i}]"))?;
+        let ctx = format!("scenarios[{i}] ({label})");
+        str_of(row, "workload", &ctx)?;
+        str_of(row, "adversary", &ctx)?;
+        for key in ["n", "t", "channels", "base_seed", "violations"] {
+            u64_of(row, key, &ctx)?;
+        }
+        let trials = u64_of(row, "trials", &ctx)?;
+        distribution(row, "rounds", &ctx)?;
+        distribution(row, "moves", &ctx)?;
+        let cover_measured = u64_of(row, "cover_measured", &ctx)?;
+        let cover_within_t = u64_of(row, "cover_within_t", &ctx)?;
+        u64_of(row, "cover_max", &ctx)?;
+        let ok = u64_of(row, "ok", &ctx)?;
+        u64_of(row, "dropped_records", &ctx)?;
+        if cover_within_t > cover_measured || cover_measured > trials {
+            return Err(format!(
+                "{ctx}: cover counts violate cover_within_t <= cover_measured <= trials \
+                 ({cover_within_t} / {cover_measured} / {trials})"
+            ));
+        }
+        if ok > trials {
+            return Err(format!("{ctx}: ok {ok} exceeds trials {trials}"));
+        }
+    }
+    Ok(())
+}
+
+/// Criterion `Summary` rows (`BENCH_engine.json` and the scheduler
+/// report's `summaries`).
+fn timing_rows(rows: &[Json], what: &str) -> Result<(), String> {
+    if rows.is_empty() {
+        return Err(format!("{what}: empty"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let id = str_of(row, "id", &format!("{what}[{i}]"))?;
+        let ctx = format!("{what}[{i}] ({id})");
+        if u64_of(row, "samples", &ctx)? == 0 || u64_of(row, "iters_per_sample", &ctx)? == 0 {
+            return Err(format!("{ctx}: zero samples or iterations"));
+        }
+        let median = f64_of(row, "median_ns", &ctx)?;
+        let mean = f64_of(row, "mean_ns", &ctx)?;
+        let min = f64_of(row, "min_ns", &ctx)?;
+        let max = f64_of(row, "max_ns", &ctx)?;
+        if !(min <= median && median <= max) {
+            return Err(format!(
+                "{ctx}: order violated (min {min} <= median {median} <= max {max})"
+            ));
+        }
+        if mean < min - 0.1 || mean > max + 0.1 {
+            return Err(format!("{ctx}: mean {mean} outside [min, max]"));
+        }
+    }
+    Ok(())
+}
+
+/// `BENCH_scheduler.json`: host provenance plus a `summaries` timing
+/// array.
+fn scheduler_report(value: &Json) -> Result<(), String> {
+    for key in ["host_threads", "workers", "trials"] {
+        if u64_of(value, key, "scheduler report")? == 0 {
+            return Err(format!("scheduler report: `{key}` is zero"));
+        }
+    }
+    let rows = value
+        .get("summaries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "`summaries` is not an array".to_string())?;
+    timing_rows(rows, "summaries")
+}
+
+/// Shard files (`BENCH_<name>.shard<k>of<N>.json`): per-trial outcomes
+/// with grid provenance, as the merger consumes them.
+fn shard_file(value: &Json, report_stem: &str, shard_part: &str) -> Result<(), String> {
+    let report = str_of(value, "report", "shard file")?;
+    if report != report_stem {
+        return Err(format!(
+            "`report` is \"{report}\" but the file name says \"{report_stem}\""
+        ));
+    }
+    let shard = u64_of(value, "shard", "shard file")?;
+    let shards = u64_of(value, "shards", "shard file")?;
+    let name_matches = shard_part
+        .split_once("of")
+        .and_then(|(k, n)| Some((k.parse::<u64>().ok()?, n.parse::<u64>().ok()?)))
+        == Some((shard, shards));
+    if !name_matches {
+        return Err(format!(
+            "file name shard{shard_part} disagrees with fields shard {shard} of {shards}"
+        ));
+    }
+    if shard == 0 || shard > shards {
+        return Err(format!("shard {shard} outside 1..={shards}"));
+    }
+    u64_of(value, "host_threads", "shard file")?;
+    let grid = u64_of(value, "grid_scenarios", "shard file")?;
+    u64_of(value, "grid_fingerprint", "shard file")?;
+    let rows = value
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "`scenarios` missing or not an array".to_string())?;
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("scenarios[{i}]");
+        let grid_index = u64_of(row, "grid_index", &ctx)?;
+        if grid_index >= grid {
+            return Err(format!(
+                "{ctx}: grid_index {grid_index} outside the {grid}-scenario grid"
+            ));
+        }
+        if grid_index % shards != shard - 1 {
+            return Err(format!(
+                "{ctx}: grid_index {grid_index} is not owned by shard {shard} of {shards}"
+            ));
+        }
+        let spec = row
+            .get("spec")
+            .ok_or_else(|| format!("{ctx}: missing `spec`"))?;
+        str_of(spec, "name", &format!("{ctx}.spec"))?;
+        let trials = u64_of(spec, "trials", &format!("{ctx}.spec"))?;
+        let outcomes = row
+            .get("outcomes")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{ctx}: `outcomes` missing or not an array"))?;
+        if outcomes.len() as u64 != trials {
+            return Err(format!(
+                "{ctx}: {} outcomes for {trials} trials",
+                outcomes.len()
+            ));
+        }
+        for (j, outcome) in outcomes.iter().enumerate() {
+            let octx = format!("{ctx}.outcomes[{j}]");
+            for key in ["rounds", "moves", "violations", "dropped_records"] {
+                u64_of(outcome, key, &octx)?;
+            }
+            outcome
+                .get("ok")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("{octx}: `ok` missing or not a boolean"))?;
+            let cover = outcome
+                .get("cover")
+                .ok_or_else(|| format!("{octx}: missing `cover`"))?;
+            if !cover.is_null() && cover.as_u64().is_none() {
+                return Err(format!(
+                    "{octx}: `cover` must be null or an unsigned integer"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_minimal_scenario_report() {
+        let text = r#"{"report": "demo", "scenarios": [
+            {"scenario": "s", "n": 4, "t": 1, "channels": 2,
+             "workload": "none", "adversary": "none",
+             "trials": 3, "base_seed": 7,
+             "rounds": {"min": 1, "median": 2, "mean": 2.0, "p95": 3, "max": 3},
+             "moves":  {"min": 0, "median": 0, "mean": 0.0, "p95": 0, "max": 0},
+             "cover_measured": 2, "cover_within_t": 1, "cover_max": 1,
+             "violations": 0, "ok": 3, "dropped_records": 0}
+        ]}"#;
+        validate_one("BENCH_demo.json", text).expect("valid report");
+    }
+
+    #[test]
+    fn rejects_disordered_distribution_and_wrong_stem() {
+        let text = r#"{"report": "demo", "scenarios": [
+            {"scenario": "s", "n": 4, "t": 1, "channels": 2,
+             "workload": "none", "adversary": "none",
+             "trials": 3, "base_seed": 7,
+             "rounds": {"min": 5, "median": 2, "mean": 2.0, "p95": 3, "max": 3},
+             "moves":  {"min": 0, "median": 0, "mean": 0.0, "p95": 0, "max": 0},
+             "cover_measured": 2, "cover_within_t": 1, "cover_max": 1,
+             "violations": 0, "ok": 3, "dropped_records": 0}
+        ]}"#;
+        let err = validate_one("BENCH_demo.json", text).expect_err("disordered rounds");
+        assert!(err.contains("order violated"), "{err}");
+        let err = validate_one("BENCH_other.json", r#"{"report": "demo", "scenarios": []}"#)
+            .expect_err("stem mismatch");
+        assert!(err.contains("file name"), "{err}");
+    }
+
+    #[test]
+    fn rejects_count_violations() {
+        let text = r#"{"report": "demo", "scenarios": [
+            {"scenario": "s", "n": 4, "t": 1, "channels": 2,
+             "workload": "none", "adversary": "none",
+             "trials": 3, "base_seed": 7,
+             "rounds": {"min": 1, "median": 2, "mean": 2.0, "p95": 3, "max": 3},
+             "moves":  {"min": 0, "median": 0, "mean": 0.0, "p95": 0, "max": 0},
+             "cover_measured": 9, "cover_within_t": 1, "cover_max": 1,
+             "violations": 0, "ok": 3, "dropped_records": 0}
+        ]}"#;
+        let err = validate_one("BENCH_demo.json", text).expect_err("cover > trials");
+        assert!(err.contains("cover counts"), "{err}");
+    }
+
+    #[test]
+    fn validates_timing_arrays_and_scheduler() {
+        let good = r#"[{"id": "g/f", "samples": 5, "iters_per_sample": 2,
+                        "median_ns": 10.0, "mean_ns": 11.0, "min_ns": 9.0, "max_ns": 20.0}]"#;
+        validate_one("BENCH_engine.json", good).expect("valid timing baseline");
+        let bad = r#"[{"id": "g/f", "samples": 5, "iters_per_sample": 2,
+                       "median_ns": 10.0, "mean_ns": 99.0, "min_ns": 9.0, "max_ns": 20.0}]"#;
+        let err = validate_one("BENCH_engine.json", bad).expect_err("mean out of range");
+        assert!(err.contains("mean"), "{err}");
+        let sched =
+            format!(r#"{{"host_threads": 2, "workers": 4, "trials": 8, "summaries": {good}}}"#);
+        validate_one("BENCH_scheduler.json", &sched).expect("valid scheduler report");
+    }
+
+    #[test]
+    fn validates_shard_files() {
+        let shard = r#"{"report": "demo", "shard": 2, "shards": 2, "host_threads": 8,
+            "grid_scenarios": 4, "grid_fingerprint": 123,
+            "scenarios": [
+                {"grid_index": 1,
+                 "spec": {"name": "s", "trials": 1},
+                 "outcomes": [{"rounds": 3, "moves": 1, "cover": null,
+                               "violations": 0, "ok": true, "dropped_records": 0}]}
+            ]}"#;
+        validate_one("BENCH_demo.shard2of2.json", shard).expect("valid shard");
+        let err = validate_one("BENCH_demo.shard1of2.json", shard)
+            .expect_err("name/field shard mismatch");
+        assert!(err.contains("disagrees"), "{err}");
+        let wrong_owner = shard.replace(r#""grid_index": 1"#, r#""grid_index": 0"#);
+        let err = validate_one("BENCH_demo.shard2of2.json", &wrong_owner)
+            .expect_err("round-robin ownership");
+        assert!(err.contains("not owned"), "{err}");
+    }
+
+    #[test]
+    fn torn_file_is_a_schema_error() {
+        let err = validate_one(
+            "BENCH_demo.json",
+            r#"{"report": "demo", "scenarios": [{"gr"#,
+        )
+        .expect_err("torn file");
+        assert!(err.contains("not valid JSON"), "{err}");
+    }
+}

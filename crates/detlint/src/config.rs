@@ -1,0 +1,217 @@
+//! `detlint.toml` — the workspace allowlist.
+//!
+//! A deliberately tiny TOML subset (the offline build has no `toml`
+//! crate): `[section]` headers, `key = "string"` and
+//! `key = ["a", "b"]` entries, `#` comments. That is exactly enough to
+//! scope rules to path prefixes and record sanctioned exceptions with
+//! the *reason* next to them.
+//!
+//! Path semantics: every entry is a `/`-separated path **prefix**
+//! relative to the workspace root (`vendor/criterion/` allows the whole
+//! crate, `crates/bench/src/lib.rs` a single file).
+
+/// Scope configuration for one rule.
+#[derive(Clone, Debug, Default)]
+pub struct RuleScope {
+    /// If non-empty, the rule fires **only** under these path prefixes.
+    pub paths: Vec<String>,
+    /// Path prefixes exempt from the rule (checked before `paths`).
+    pub allow: Vec<String>,
+}
+
+impl RuleScope {
+    /// Does the rule apply to `path` (workspace-relative)?
+    pub fn applies(&self, path: &str) -> bool {
+        if self.allow.iter().any(|p| path.starts_with(p.as_str())) {
+            return false;
+        }
+        self.paths.is_empty() || self.paths.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// Parsed `detlint.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Path prefixes never scanned at all.
+    pub exclude: Vec<String>,
+    /// Per-rule scopes, keyed by rule name (`ordered-iteration`, …).
+    rules: Vec<(String, RuleScope)>,
+}
+
+impl Config {
+    /// Parse the config text.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first offending line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section: Option<String> = None;
+        // Fold multi-line arrays into logical lines: an unclosed `[`
+        // value accumulates until its `]` arrives.
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            match logical.last_mut() {
+                Some((_, pending)) if open_array(pending) => {
+                    pending.push(' ');
+                    pending.push_str(&line);
+                }
+                _ => logical.push((idx + 1, line)),
+            }
+        }
+        for (lineno, line) in logical {
+            let line = line.as_str();
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(name.trim().to_string());
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("detlint.toml:{lineno}: expected `key = value`"))?;
+            let key = key.trim();
+            let values = parse_value(value.trim()).ok_or_else(|| {
+                format!("detlint.toml:{lineno}: expected a string or string array")
+            })?;
+            match section.as_deref() {
+                Some("workspace") if key == "exclude" => cfg.exclude = values,
+                Some(rule) if rule.starts_with("rules.") => {
+                    let rule = rule["rules.".len()..].to_string();
+                    let scope = cfg.rule_mut(&rule);
+                    match key {
+                        "paths" => scope.paths = values,
+                        "allow" => scope.allow = values,
+                        other => {
+                            return Err(format!(
+                            "detlint.toml:{lineno}: unknown key `{other}` (expected paths/allow)"
+                        ))
+                        }
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "detlint.toml:{lineno}: unknown section/key `{}` / `{key}`",
+                        section.as_deref().unwrap_or("<none>")
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn rule_mut(&mut self, rule: &str) -> &mut RuleScope {
+        if let Some(pos) = self.rules.iter().position(|(name, _)| name == rule) {
+            return &mut self.rules[pos].1;
+        }
+        self.rules.push((rule.to_string(), RuleScope::default()));
+        &mut self.rules.last_mut().expect("just pushed").1
+    }
+
+    /// The scope of `rule` (an unlisted rule applies everywhere).
+    pub fn scope(&self, rule: &str) -> RuleScope {
+        self.rules
+            .iter()
+            .find(|(name, _)| name == rule)
+            .map(|(_, scope)| scope.clone())
+            .unwrap_or_default()
+    }
+
+    /// Is `path` excluded from scanning entirely?
+    pub fn excluded(&self, path: &str) -> bool {
+        self.exclude.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// Is this logical line a `key = [` value still waiting for its `]`?
+fn open_array(line: &str) -> bool {
+    match line.split_once('=') {
+        Some((_, value)) => value.contains('[') && !value.contains(']'),
+        None => false,
+    }
+}
+
+/// Strip a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `"s"` or `["a", "b"]`.
+fn parse_value(value: &str) -> Option<Vec<String>> {
+    if let Some(one) = parse_str(value) {
+        return Some(vec![one]);
+    }
+    let inner = value.strip_prefix('[')?.strip_suffix(']')?.trim();
+    let inner = inner.strip_suffix(',').unwrap_or(inner).trim();
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| parse_str(item.trim()))
+        .collect()
+}
+
+fn parse_str(s: &str) -> Option<String> {
+    let body = s.strip_prefix('"')?.strip_suffix('"')?;
+    (!body.contains('"')).then(|| body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_scopes() {
+        let cfg = Config::parse(
+            r#"
+# workspace-wide
+[workspace]
+exclude = ["target/", "vendor/rand/"]
+
+[rules.ordered-iteration]
+paths = ["crates/fame/"]
+
+[rules.ambient-entropy]
+allow = ["vendor/criterion/"]  # timing is criterion's job
+"#,
+        )
+        .unwrap();
+        assert!(cfg.excluded("target/debug/x.rs"));
+        assert!(!cfg.excluded("crates/fame/src/lib.rs"));
+        let oi = cfg.scope("ordered-iteration");
+        assert!(oi.applies("crates/fame/src/lib.rs"));
+        assert!(!oi.applies("crates/bench/src/lib.rs"));
+        let ae = cfg.scope("ambient-entropy");
+        assert!(ae.applies("crates/bench/src/lib.rs"));
+        assert!(!ae.applies("vendor/criterion/src/lib.rs"));
+        // Unknown rules apply everywhere.
+        assert!(cfg.scope("panic").applies("anything.rs"));
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(Config::parse("[workspace]\nexclude = nope").is_err());
+        assert!(Config::parse("[mystery]\nkey = \"v\"").is_err());
+        assert!(Config::parse("[rules.panic]\nfrobnicate = \"v\"").is_err());
+        assert!(Config::parse("loose = \"v\"").is_err());
+    }
+
+    #[test]
+    fn empty_array_and_single_string() {
+        let cfg = Config::parse("[rules.panic]\npaths = \"crates/fame/\"\nallow = []").unwrap();
+        let scope = cfg.scope("panic");
+        assert!(scope.applies("crates/fame/src/a.rs"));
+        assert!(!scope.applies("crates/bench/src/a.rs"));
+    }
+}

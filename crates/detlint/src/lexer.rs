@@ -1,0 +1,650 @@
+//! A minimal hand-rolled Rust lexer — the front end of every `detlint`
+//! rule, in the same no-dependency spirit as the bench crate's JSON
+//! reader (`crates/bench/src/json.rs`), since `syn` is unavailable in the
+//! offline build.
+//!
+//! The lexer's one job is to be **comment- and string-aware**: a
+//! `HashMap.iter()` inside a doc comment, a `// unwrap()` remark, or a
+//! raw string fixture must never reach the rule engine as code tokens.
+//! It produces:
+//!
+//! * a flat [`Token`] stream (identifiers, literals, punctuation) with
+//!   1-based line numbers;
+//! * the [`Directive`]s found in plain (non-doc) comments —
+//!   `// detlint: allow(rule) reason` suppressions and
+//!   `// detlint: deny-alloc(start|end)` region markers;
+//! * per-line *test-context* flags covering `#[cfg(test)]` items, so
+//!   rules scoped to library code can skip unit-test modules without
+//!   path information.
+//!
+//! Handled Rust surface: line/nested-block comments (doc and plain),
+//! string and byte-string literals with escapes, raw (byte) strings with
+//! any `#` depth, char and byte-char literals vs. lifetimes, numeric
+//! literals with separators and suffixes, and identifiers (keywords are
+//! just identifiers here). Everything else is single-character
+//! punctuation — nested generics need no special casing because rules
+//! match on identifier/punct sequences, not on a parse tree.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (`HashMap`, `let`, `unwrap`, …).
+    Ident(String),
+    /// A lifetime (`'a`) — kept distinct so it is never confused with a
+    /// char literal.
+    Lifetime,
+    /// Any numeric literal, kept raw (`42`, `0xBAD_5EED`, `1.5e3`).
+    Num(String),
+    /// Any string-like literal (`"…"`, `b"…"`, `r#"…"#`); contents are
+    /// deliberately discarded — strings are data, not code.
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'{'`).
+    Char,
+    /// One punctuation character (`.`, `!`, `<`, `(`, …).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The lexeme.
+    pub tok: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A `detlint:` control comment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Directive {
+    /// `// detlint: allow(<rule>) <reason>` — suppress `<rule>` findings
+    /// on this line and the next code line. An empty reason is itself a
+    /// finding (`bare-allow`).
+    Allow {
+        /// The rule being suppressed.
+        rule: String,
+        /// The justification after the closing parenthesis.
+        reason: String,
+    },
+    /// `// detlint: deny-alloc(start) <label>` — opens a region in which
+    /// allocating constructs are findings.
+    DenyAllocStart {
+        /// Free-text label naming the protected hot path.
+        label: String,
+    },
+    /// `// detlint: deny-alloc(end)` — closes the innermost open region.
+    DenyAllocEnd,
+    /// A `detlint:` comment the lexer could not parse — always reported,
+    /// so a typo cannot silently disable a suppression.
+    Malformed {
+        /// The offending comment text.
+        text: String,
+    },
+}
+
+/// A [`Directive`] with its source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirectiveAt {
+    /// The parsed directive.
+    pub directive: Directive,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// The lexed form of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct LexedFile {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `detlint:` directives in source order.
+    pub directives: Vec<DirectiveAt>,
+    /// Total line count (for region bookkeeping).
+    pub lines: u32,
+}
+
+impl LexedFile {
+    /// `true` if the 1-based `line` lies inside a `#[cfg(test)]` item
+    /// (computed by [`test_context_lines`]).
+    pub fn tokens_on(&self, line: u32) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(move |t| t.line == line)
+    }
+}
+
+/// Lex `source` into tokens and directives. Never fails: unterminated
+/// constructs simply end at EOF (the compiler is the arbiter of validity;
+/// the linter only needs to not misclassify what follows).
+pub fn lex(source: &str) -> LexedFile {
+    let bytes = source.as_bytes();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                scan_line_comment(&source[start..i], line, &mut out);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment; directives are only recognized in
+                // line comments, so just skip (counting lines).
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+                i = skip_string(bytes, i, &mut line);
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                out.tokens.push(Token {
+                    tok: Tok::Str,
+                    line,
+                });
+                i = skip_string_prefixed(bytes, i, &mut line);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                out.tokens.push(Token {
+                    tok: Tok::Char,
+                    line,
+                });
+                i = char_literal_end(bytes, i + 1).unwrap_or(i + 2);
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                    i = end;
+                } else {
+                    // A lifetime: consume the quote and the identifier.
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.'
+                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                            && bytes[i - 1].is_ascii_digit())
+                {
+                    i += 1;
+                }
+                // `1e-3` / `1E+3` exponents.
+                if i < bytes.len()
+                    && (bytes[i] == b'+' || bytes[i] == b'-')
+                    && matches!(bytes[i - 1], b'e' | b'E')
+                {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num(source[start..i].to_string()),
+                    line,
+                });
+            }
+            b if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(source[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(b as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out.lines = line;
+    out
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// `r"`, `r#`, `b"`, `br`, `rb`? (`rb` is not Rust; `br` is) — decide if
+/// the `r`/`b` at `i` starts a (raw/byte) string rather than an ident.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) && raw_has_quote(bytes, i + 1),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'r') => {
+                matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')) && raw_has_quote(bytes, i + 2)
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// From a position at `"` or the first `#` of a raw string head, check a
+/// quote actually follows the `#` run (so `r#foo` raw identifiers and
+/// stray `r #` tokens are not misread as strings).
+fn raw_has_quote(bytes: &[u8], mut i: usize) -> bool {
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    bytes.get(i) == Some(&b'"')
+}
+
+/// Skip a plain (escaped) string starting at the opening quote; returns
+/// the index just past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a string with an `r`/`b`/`br` prefix (raw strings count their
+/// `#` depth; byte strings escape like plain ones).
+fn skip_string_prefixed(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    while matches!(bytes.get(i), Some(b'r') | Some(b'b')) {
+        raw |= bytes[i] == b'r';
+        i += 1;
+    }
+    if !raw {
+        return skip_string(bytes, i, line);
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// If a char literal starts at the `'` at `i`, return the index just past
+/// its closing quote; `None` means it is a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 2;
+            if bytes.get(j).is_some() {
+                j += 1; // the escaped character itself
+            }
+            // \u{…} and \x.. tails.
+            while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                j += 1;
+            }
+            (bytes.get(j) == Some(&b'\'')).then_some(j + 1)
+        }
+        Some(&c) if c != b'\'' => {
+            // `'x'` is a char; `'x` followed by anything else is a
+            // lifetime. Multi-byte UTF-8 scalars also form chars.
+            let mut j = i + 1;
+            if c >= 0x80 {
+                while j < bytes.len() && bytes[j] >= 0x80 {
+                    j += 1;
+                }
+            } else {
+                j += 1;
+            }
+            (bytes.get(j) == Some(&b'\'')).then_some(j + 1)
+        }
+        _ => None,
+    }
+}
+
+/// Parse one line comment for a `detlint:` directive. Doc comments
+/// (`///`, `//!`) are documentation, never directives.
+fn scan_line_comment(text: &str, line: u32, out: &mut LexedFile) {
+    let body = &text[2..];
+    if body.starts_with('/') || body.starts_with('!') {
+        return;
+    }
+    let Some(pos) = body.find("detlint:") else {
+        return;
+    };
+    let rest = body[pos + "detlint:".len()..].trim();
+    let directive = parse_directive(rest).unwrap_or(Directive::Malformed {
+        text: text.trim().to_string(),
+    });
+    out.directives.push(DirectiveAt { directive, line });
+}
+
+fn parse_directive(rest: &str) -> Option<Directive> {
+    if let Some(tail) = rest.strip_prefix("allow(") {
+        let close = tail.find(')')?;
+        let rule = tail[..close].trim().to_string();
+        if rule.is_empty() {
+            return None;
+        }
+        let reason = tail[close + 1..].trim().to_string();
+        return Some(Directive::Allow { rule, reason });
+    }
+    if let Some(tail) = rest.strip_prefix("deny-alloc(") {
+        let close = tail.find(')')?;
+        let kind = tail[..close].trim();
+        let label = tail[close + 1..].trim().to_string();
+        return match kind {
+            "start" => Some(Directive::DenyAllocStart { label }),
+            "end" => Some(Directive::DenyAllocEnd),
+            _ => None,
+        };
+    }
+    None
+}
+
+/// Mark every line covered by a `#[cfg(test)]` item (its attribute line
+/// through the matching close brace or terminating semicolon), so rules
+/// scoped to library code can skip unit tests. Returns a boolean per
+/// 1-based line, index 0 unused.
+pub fn test_context_lines(file: &LexedFile) -> Vec<bool> {
+    let mut test = vec![false; file.lines as usize + 2];
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            let attr_line = toks[i].line;
+            // Skip past this attribute (and any further attributes) to
+            // the item, then to the item's end.
+            let mut j = i;
+            while j < toks.len() && toks[j].tok == Tok::Punct('#') {
+                j = skip_attr(toks, j);
+            }
+            let end = item_end(toks, j);
+            let end_line = toks
+                .get(end.saturating_sub(1))
+                .map_or(file.lines, |t| t.line);
+            for l in attr_line..=end_line {
+                if let Some(slot) = test.get_mut(l as usize) {
+                    *slot = true;
+                }
+            }
+            i = end.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    test
+}
+
+/// `#[cfg(test)]` / `#[cfg(any(test, …))]` / `#[test]` at token index `i`?
+fn is_cfg_test_attr(toks: &[Token], i: usize) -> bool {
+    if toks.get(i).map(|t| &t.tok) != Some(&Tok::Punct('#'))
+        || toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('['))
+    {
+        return false;
+    }
+    let end = skip_attr(toks, i);
+    let body = &toks[i + 2..end];
+    let mut saw_cfg = false;
+    for (k, t) in body.iter().enumerate() {
+        if let Tok::Ident(name) = &t.tok {
+            if name == "cfg" {
+                saw_cfg = true;
+            }
+            if name == "test" {
+                // `cfg(not(test))` selects *library* builds — skip the
+                // `test` idents negated by a preceding `not(`.
+                let negated = k >= 2
+                    && body[k - 1].tok == Tok::Punct('(')
+                    && body[k - 2].tok == Tok::Ident("not".into());
+                if saw_cfg && !negated {
+                    return true;
+                }
+            }
+        }
+    }
+    // A bare `#[test]` attribute.
+    end == i + 4 && body.first().map(|t| &t.tok) == Some(&Tok::Ident("test".into()))
+}
+
+/// Given `#` at `i` opening an attribute, return the index just past its
+/// closing `]`.
+fn skip_attr(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// From the first token of an item, return the index just past its end:
+/// the matching `}` of its first top-level brace, or the first `;`
+/// before any brace opens.
+fn item_end(toks: &[Token], start: usize) -> usize {
+    let mut j = start;
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r####"
+// HashMap.iter() in a comment
+/* HashSet::new() /* nested */ still comment */
+let s = "HashMap.iter()";
+let r = r#"thread_rng() "quoted" here"#;
+let b = b"Instant::now()";
+let real = map.len();
+"####;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "HashMap" || s == "thread_rng"));
+        assert!(ids.contains(&"real".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn raw_string_hash_depths_and_byte_chars() {
+        let src = "let a = r##\"one \"# two\"##; let c = b'{'; let d = 'x'; let lt: &'a str = s;";
+        let file = lex(src);
+        let chars = file.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        let strs = file.tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        let lts = file
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        assert_eq!((strs, chars, lts), (1, 2, 1));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars_in_generics() {
+        // Nested generics with lifetimes must not be eaten as chars.
+        let src = "fn f<'a, T: Iterator<Item = &'a HashMap<K, Vec<V>>>>(x: &'a T) {}";
+        let ids = idents(src);
+        assert!(ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"Vec".to_string()));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let nl = '\n'; let q = '\''; let u = '\u{1F600}'; let next = token;";
+        let ids = idents(src);
+        assert!(ids.contains(&"next".to_string()));
+        assert_eq!(
+            lex(src)
+                .tokens
+                .iter()
+                .filter(|t| t.tok == Tok::Char)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn directives_parse() {
+        let src = "\
+x(); // detlint: allow(panic) join only fails on a panicked thread
+// detlint: deny-alloc(start) round hot path
+// detlint: deny-alloc(end)
+// detlint: allow() missing rule
+/// detlint: allow(panic) doc comments are not directives
+";
+        let file = lex(src);
+        assert_eq!(file.directives.len(), 4);
+        assert_eq!(
+            file.directives[0].directive,
+            Directive::Allow {
+                rule: "panic".into(),
+                reason: "join only fails on a panicked thread".into()
+            }
+        );
+        assert_eq!(file.directives[0].line, 1);
+        assert!(matches!(
+            file.directives[1].directive,
+            Directive::DenyAllocStart { .. }
+        ));
+        assert_eq!(file.directives[2].directive, Directive::DenyAllocEnd);
+        assert!(matches!(
+            file.directives[3].directive,
+            Directive::Malformed { .. }
+        ));
+    }
+
+    #[test]
+    fn cfg_test_regions() {
+        let src = "\
+fn lib_code() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn more_lib() {}
+";
+        let file = lex(src);
+        let test = test_context_lines(&file);
+        assert!(!test[1]);
+        assert!(test[2] && test[3] && test[4] && test[5]);
+        assert!(!test[6]);
+    }
+
+    #[test]
+    fn numeric_literals_lex_whole() {
+        let file = lex("seed_from_u64(0xBAD_5EED); f(1.5e-3); g(42u64);");
+        let nums: Vec<String> = file
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Num(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0xBAD_5EED", "1.5e-3", "42u64"]);
+    }
+}

@@ -1,0 +1,131 @@
+//! `detlint` — the workspace's determinism & hot-path auditor.
+//!
+//! Every guarantee this reproduction ships — bit-identical results
+//! across thread counts, byte-identical shard merges, zero allocations
+//! per steady-state round — is otherwise enforced only *dynamically*
+//! (proptests, the counting allocator in
+//! `crates/radio-network/tests/zero_alloc.rs`). `detlint` proves the
+//! same invariants at the source level: a registry-free static pass
+//! (hand-rolled [`lexer`], no `syn`) over every `.rs` file in the
+//! workspace, enforcing five rule families ([`rules`]):
+//!
+//! 1. **ordered-iteration** — no iteration over `HashMap`/`HashSet` in
+//!    the deterministic crates;
+//! 2. **ambient-entropy** — no wall-clock/OS-entropy/environment reads
+//!    outside the bench-timing allowlist;
+//! 3. **rng-discipline** — seeds flow from
+//!    `radio_network::seed::derive`, never literals outside tests;
+//! 4. **deny-alloc** — allocating constructs inside
+//!    `// detlint: deny-alloc(start|end)` regions are findings;
+//! 5. **panic** — library panic sites must carry a justification.
+//!
+//! Exceptions are always *visible*: inline
+//! `// detlint: allow(<rule>) <reason>` suppressions ([`lexer`]
+//! directives) or path prefixes in `detlint.toml` ([`config`]). The
+//! [`bench_schema`] module additionally validates every committed
+//! `BENCH_*.json` against `docs/BENCH_FORMAT.md`.
+//!
+//! Run it as `cargo run -p detlint -- --deny` (see `main.rs` for the
+//! CLI); `docs/DETLINT.md` is the user-facing rule catalog.
+
+pub mod bench_schema;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::{scan_source, Finding};
+
+use std::path::Path;
+
+/// The result of a whole-workspace scan.
+#[derive(Clone, Debug)]
+pub struct ScanReport {
+    /// Number of `.rs` files scanned (after `detlint.toml` exclusions).
+    pub files_scanned: usize,
+    /// All findings, sorted by `(file, line, rule)`.
+    pub findings: Vec<Finding>,
+}
+
+/// Load `detlint.toml` from `root`, or the default (empty) config when
+/// the file does not exist.
+///
+/// # Errors
+///
+/// Unreadable or unparseable config text.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("detlint.toml");
+    if !path.exists() {
+        return Ok(Config::default());
+    }
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Config::parse(&text)
+}
+
+/// Scan every `.rs` file under `root` (excluding `.git`, `target`, and
+/// the config's `exclude` prefixes) and return the findings in a
+/// deterministic order — the walk is sorted, so two runs over the same
+/// tree print byte-identical output.
+///
+/// # Errors
+///
+/// Directory or file I/O failures (a non-UTF-8 source file is an error:
+/// the workspace has none, and silently skipping one would un-audit
+/// it).
+pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<ScanReport, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, "", cfg, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in &files {
+        let text =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        findings.extend(rules::scan_source(rel, &text, cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(ScanReport {
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+/// Recursively collect workspace-relative `.rs` paths (with `/`
+/// separators regardless of platform).
+fn collect_rs_files(
+    root: &Path,
+    rel: &str,
+    cfg: &Config,
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let dir = if rel.is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(rel)
+    };
+    let entries =
+        std::fs::read_dir(&dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let Ok(name) = entry.file_name().into_string() else {
+            continue; // non-UTF-8 names cannot be workspace sources
+        };
+        let child = if rel.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel}/{name}")
+        };
+        let file_type = entry
+            .file_type()
+            .map_err(|e| format!("stat {child}: {e}"))?;
+        if file_type.is_dir() {
+            if name == ".git" || name == "target" || cfg.excluded(&format!("{child}/")) {
+                continue;
+            }
+            collect_rs_files(root, &child, cfg, out)?;
+        } else if name.ends_with(".rs") && !cfg.excluded(&child) {
+            out.push(child);
+        }
+    }
+    Ok(())
+}

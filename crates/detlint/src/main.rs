@@ -1,0 +1,89 @@
+//! CLI front end: `cargo run -p detlint -- [--deny] [--fix]
+//! [--bench-schema] [--root <dir>]`.
+//!
+//! * `--deny` — exit non-zero when any finding survives (the CI mode).
+//! * `--fix` — print the ordered-iteration rewrite diffs (dry run; no
+//!   file is ever mutated).
+//! * `--bench-schema` — also validate every committed `BENCH_*.json`
+//!   at the workspace root against `docs/BENCH_FORMAT.md`.
+//! * `--root <dir>` — workspace root to scan (default: the current
+//!   directory, which is the workspace root under `cargo run`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut fix = false;
+    let mut bench_schema = false;
+    let mut root = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--fix" => fix = true,
+            "--bench-schema" => bench_schema = true,
+            "--root" => match args.next() {
+                Some(dir) => root = dir,
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "detlint [--deny] [--fix] [--bench-schema] [--root <dir>]\n\
+                     Workspace determinism & hot-path auditor; see docs/DETLINT.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = std::path::PathBuf::from(root);
+    match run(&root, fix, bench_schema) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) if deny => ExitCode::FAILURE,
+        Ok(_) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("detlint: error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "detlint: {problem}\nusage: detlint [--deny] [--fix] [--bench-schema] [--root <dir>]"
+    );
+    ExitCode::from(2)
+}
+
+/// Scan, print, and return the finding count.
+fn run(root: &std::path::Path, fix: bool, bench_schema: bool) -> Result<usize, String> {
+    let cfg = detlint::load_config(root)?;
+    let report = detlint::scan_workspace(root, &cfg)?;
+    let mut findings = report.findings;
+    if bench_schema {
+        findings.extend(detlint::bench_schema::validate_bench_files(root)?);
+    }
+
+    for f in &findings {
+        println!("{f}");
+        println!("    hint: {}", f.hint);
+        if fix {
+            if let Some(diff) = &f.suggestion {
+                for line in diff.lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+    }
+    if findings.is_empty() {
+        println!("detlint: clean ({} files scanned)", report.files_scanned);
+    } else {
+        println!(
+            "detlint: {} finding(s) across {} files scanned",
+            findings.len(),
+            report.files_scanned
+        );
+    }
+    Ok(findings.len())
+}

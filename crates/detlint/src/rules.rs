@@ -1,0 +1,744 @@
+//! The five `detlint` rule families, run over a [`LexedFile`] token
+//! stream.
+//!
+//! Every rule is a token-pattern heuristic, not a type check — the
+//! contract is defined by the fixture tests in
+//! `crates/detlint/tests/`, and false positives are handled by inline
+//! `// detlint: allow(<rule>) <reason>` suppressions or the
+//! `detlint.toml` path allowlist, never by weakening a rule silently.
+//!
+//! Rule scoping:
+//!
+//! * **ordered-iteration** and **ambient-entropy** apply to *all* code
+//!   under their configured paths, including tests — nondeterministic
+//!   iteration makes tests flaky, and wall-clock reads make them
+//!   unreproducible.
+//! * **rng-discipline** and **panic** skip test code (test paths and
+//!   `#[cfg(test)]` items): literal seeds and `unwrap()` are the normal
+//!   idiom there.
+//! * **deny-alloc** applies exactly where the explicit
+//!   `// detlint: deny-alloc(start|end)` markers say, in any file.
+
+use crate::config::Config;
+use crate::lexer::{self, Directive, LexedFile, Tok, Token};
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule family name (`ordered-iteration`, `panic`, …).
+    pub rule: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or justify it.
+    pub hint: String,
+    /// Optional `--fix` dry-run rewrite, as a `-`/`+` diff pair.
+    pub suggestion: Option<String>,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Methods that observe a hash container's nondeterministic order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Scan one file's source and return its findings, sorted by line.
+///
+/// `path` must be workspace-relative with `/` separators — it drives
+/// the config scoping and the test-path exemptions.
+pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let file = lexer::lex(source);
+    let test_lines = lexer::test_context_lines(&file);
+    let test_path = is_test_path(path);
+    let src_lines: Vec<&str> = source.lines().collect();
+    let mut raw = Vec::new();
+
+    directive_findings(path, &file, &mut raw);
+    if cfg.scope("ordered-iteration").applies(path) {
+        ordered_iteration(path, &file, &src_lines, &mut raw);
+    }
+    if cfg.scope("ambient-entropy").applies(path) {
+        ambient_entropy(path, &file, &mut raw);
+    }
+    if !test_path && cfg.scope("rng-discipline").applies(path) {
+        rng_discipline(path, &file, &test_lines, &mut raw);
+    }
+    if !test_path && cfg.scope("panic").applies(path) {
+        panic_surface(path, &file, &test_lines, &mut raw);
+    }
+    deny_alloc(path, &file, &mut raw);
+
+    raw.retain(|f| !suppressed(&file, f));
+    raw.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    raw
+}
+
+/// Test-only path classes, exempt from the rng and panic rules.
+fn is_test_path(path: &str) -> bool {
+    ["tests/", "benches/", "examples/", "src/bin/"]
+        .iter()
+        .any(|dir| path.starts_with(dir) || path.contains(&format!("/{dir}")))
+}
+
+/// Is the finding covered by an `allow` directive on its line or the
+/// line above? Directive hygiene findings are never suppressible.
+fn suppressed(file: &LexedFile, f: &Finding) -> bool {
+    if f.rule == "directive" {
+        return false;
+    }
+    file.directives.iter().any(|d| match &d.directive {
+        Directive::Allow { rule, reason } => {
+            !reason.is_empty() && *rule == f.rule && (d.line == f.line || d.line + 1 == f.line)
+        }
+        _ => false,
+    })
+}
+
+/// Directive hygiene: malformed `detlint:` comments and reason-less
+/// allows are findings themselves, so a typo cannot silently disable a
+/// suppression.
+fn directive_findings(path: &str, file: &LexedFile, out: &mut Vec<Finding>) {
+    for d in &file.directives {
+        match &d.directive {
+            Directive::Malformed { text } => out.push(Finding {
+                file: path.to_string(),
+                line: d.line,
+                rule: "directive".into(),
+                message: format!("unparseable detlint directive: `{text}`"),
+                hint: "use `// detlint: allow(<rule>) <reason>` or \
+                       `// detlint: deny-alloc(start|end)`"
+                    .into(),
+                suggestion: None,
+            }),
+            Directive::Allow { rule, reason } if reason.is_empty() => out.push(Finding {
+                file: path.to_string(),
+                line: d.line,
+                rule: "directive".into(),
+                message: format!("allow({rule}) without a reason"),
+                hint: "state why the exception is sound after the closing parenthesis".into(),
+                suggestion: None,
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Rule 1 — **ordered-iteration**: no iteration over `HashMap`/`HashSet`
+/// in deterministic crates. Tracks `let` bindings whose declaration
+/// mentions a hash container, then flags order-observing method calls
+/// and bare `for … in` loops over those names.
+fn ordered_iteration(path: &str, file: &LexedFile, src_lines: &[&str], out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut hash_names: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.tok != Tok::Ident("let".into()) {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).map(|t| &t.tok) == Some(&Tok::Ident("mut".into())) {
+            j += 1;
+        }
+        let Some(Tok::Ident(name)) = toks.get(j).map(|t| &t.tok) else {
+            continue;
+        };
+        // Scan the rest of the statement (type annotation and
+        // initializer) for a hash container, stopping at the
+        // statement's own `;`.
+        let mut depth = 0usize;
+        for t in toks.iter().skip(j + 1).take(200) {
+            match &t.tok {
+                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                    depth = depth.saturating_sub(1)
+                }
+                Tok::Punct(';') if depth == 0 => break,
+                Tok::Ident(id) if id == "HashMap" || id == "HashSet" => {
+                    if !hash_names.contains(name) {
+                        hash_names.push(name.clone());
+                    }
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        // `name.iter()` and friends.
+        if let Tok::Ident(name) = &t.tok {
+            if hash_names.contains(name)
+                && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('.'))
+            {
+                if let Some(Tok::Ident(method)) = toks.get(i + 2).map(|t| &t.tok) {
+                    if ITER_METHODS.contains(&method.as_str())
+                        && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    {
+                        out.push(Finding {
+                            file: path.to_string(),
+                            line: t.line,
+                            rule: "ordered-iteration".into(),
+                            message: format!(
+                                "iteration over hash-ordered `{name}` via `.{method}()`"
+                            ),
+                            hint: "collect and sort before iterating, or switch the container \
+                                   to BTreeMap/BTreeSet"
+                                .into(),
+                            suggestion: sorted_iter_suggestion(src_lines, t.line, name, method),
+                        });
+                    }
+                }
+            }
+        }
+        // `for x in [&][mut] name { … }` without any method call.
+        if t.tok == Tok::Ident("in".into()) && i > 0 {
+            let mut j = i + 1;
+            loop {
+                match toks.get(j).map(|t| &t.tok) {
+                    Some(Tok::Punct('&')) => j += 1,
+                    Some(Tok::Ident(m)) if m == "mut" => j += 1,
+                    _ => break,
+                }
+            }
+            if let (Some(Tok::Ident(name)), Some(Tok::Punct('{'))) =
+                (toks.get(j).map(|t| &t.tok), toks.get(j + 1).map(|t| &t.tok))
+            {
+                if hash_names.contains(name) {
+                    out.push(Finding {
+                        file: path.to_string(),
+                        line: toks[j].line,
+                        rule: "ordered-iteration".into(),
+                        message: format!("`for … in {name}` iterates a hash container"),
+                        hint: "collect and sort before iterating, or switch the container to \
+                               BTreeMap/BTreeSet"
+                            .into(),
+                        suggestion: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Build the `--fix` dry-run diff for an ordered-iteration finding:
+/// rewrite `name.method()` into a collected-and-sorted iteration on the
+/// offending line. Returns `None` when the call spans lines or takes
+/// arguments — the hint still applies, only the mechanical rewrite is
+/// unavailable.
+fn sorted_iter_suggestion(
+    src_lines: &[&str],
+    line: u32,
+    name: &str,
+    method: &str,
+) -> Option<String> {
+    let text = src_lines.get(line as usize - 1)?;
+    let call = format!("{name}.{method}()");
+    if !text.contains(call.as_str()) {
+        return None;
+    }
+    let rewrite = format!(
+        "{{ let mut sorted: Vec<_> = {name}.{method}().collect(); sorted.sort(); \
+         sorted.into_iter() }}"
+    );
+    let fixed = text.replacen(call.as_str(), rewrite.as_str(), 1);
+    Some(format!("-{}\n+{}", text.trim_end(), fixed.trim_end()))
+}
+
+/// Rule 2 — **ambient-entropy**: no wall-clock, OS entropy, or
+/// environment reads outside the allowlist. Flags `Instant::now`,
+/// any `SystemTime` use, `thread_rng`, `from_entropy`, and
+/// `env::var`/`var_os`/`vars` (CLI `env::args` is input, not entropy,
+/// and stays legal).
+fn ambient_entropy(path: &str, file: &LexedFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut push = |line: u32, what: &str| {
+        out.push(Finding {
+            file: path.to_string(),
+            line,
+            rule: "ambient-entropy".into(),
+            message: format!("{what} injects ambient nondeterminism"),
+            hint: "derive the value from the scenario seed tree, or allowlist the path in \
+                   detlint.toml if it is bench-timing code"
+                .into(),
+            suggestion: None,
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        match name.as_str() {
+            "Instant" if path_call(toks, i, "now") => push(t.line, "`Instant::now()`"),
+            "SystemTime" => push(t.line, "`SystemTime`"),
+            "thread_rng" => push(t.line, "`thread_rng()`"),
+            "from_entropy" => push(t.line, "`from_entropy()`"),
+            "env"
+                if ["var", "var_os", "vars", "vars_os"]
+                    .iter()
+                    .any(|m| path_call(toks, i, m)) =>
+            {
+                push(t.line, "an environment-variable read");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Does `toks[i]` begin `X::method` for the given `method`?
+fn path_call(toks: &[Token], i: usize, method: &str) -> bool {
+    toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct(':'))
+        && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Ident(method.into()))
+}
+
+/// Rule 3 — **rng-discipline**: RNG seeds must flow from
+/// `radio_network::seed::derive`, so every stream is reproducible from
+/// `(base_seed, stream)`. Flags `seed_from_u64(<pure literal>)` and
+/// `from_seed(<pure literal>)` outside tests — a variable-derived seed
+/// (e.g. `derive(base, 3)` or `seed ^ 0x9E37`) passes.
+fn rng_discipline(path: &str, file: &LexedFile, test_lines: &[bool], out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if name != "seed_from_u64" && name != "from_seed" {
+            continue;
+        }
+        if test_lines.get(t.line as usize).copied().unwrap_or(false) {
+            continue;
+        }
+        if toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+            continue;
+        }
+        // Pure-literal argument: no identifier between the parens.
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        let mut has_ident = false;
+        let mut has_any = false;
+        while depth > 0 {
+            match toks.get(j).map(|t| &t.tok) {
+                Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => depth += 1,
+                Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => depth -= 1,
+                Some(Tok::Ident(_)) => {
+                    has_ident = true;
+                    has_any = true;
+                }
+                Some(_) => has_any = true,
+                None => break,
+            }
+            j += 1;
+        }
+        if has_any && !has_ident {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "rng-discipline".into(),
+                message: format!("`{name}` with a literal seed outside tests"),
+                hint: "derive the seed with radio_network::seed::derive(base, stream) so the \
+                       stream is part of the scenario's seed tree"
+                    .into(),
+                suggestion: None,
+            });
+        }
+    }
+}
+
+/// Rule 4 — **deny-alloc regions**: between
+/// `// detlint: deny-alloc(start) <label>` and the matching `(end)`,
+/// allocating constructs are findings — the static complement to the
+/// counting-allocator test `crates/radio-network/tests/zero_alloc.rs`.
+fn deny_alloc(path: &str, file: &LexedFile, out: &mut Vec<Finding>) {
+    let mut stack: Vec<(u32, String)> = Vec::new();
+    let mut regions: Vec<(u32, u32, String)> = Vec::new();
+    for d in &file.directives {
+        match &d.directive {
+            Directive::DenyAllocStart { label } => stack.push((d.line, label.clone())),
+            Directive::DenyAllocEnd => match stack.pop() {
+                Some((start, label)) => regions.push((start, d.line, label)),
+                None => out.push(Finding {
+                    file: path.to_string(),
+                    line: d.line,
+                    rule: "directive".into(),
+                    message: "deny-alloc(end) without a matching start".into(),
+                    hint: "open the region with `// detlint: deny-alloc(start) <label>`".into(),
+                    suggestion: None,
+                }),
+            },
+            _ => {}
+        }
+    }
+    for (line, label) in stack {
+        out.push(Finding {
+            file: path.to_string(),
+            line,
+            rule: "directive".into(),
+            message: format!("deny-alloc(start) `{label}` is never closed"),
+            hint: "close the region with `// detlint: deny-alloc(end)`".into(),
+            suggestion: None,
+        });
+    }
+
+    let toks = &file.tokens;
+    let in_region = |line: u32| {
+        regions
+            .iter()
+            .find(|(s, e, _)| (*s..=*e).contains(&line))
+            .map(|(_, _, label)| label.as_str())
+    };
+    for (i, t) in toks.iter().enumerate() {
+        let Some(label) = in_region(t.line) else {
+            continue;
+        };
+        let flagged: Option<String> = match &t.tok {
+            // `.clone()`, `.to_vec()`, `.collect()`, … method calls.
+            Tok::Punct('.') => match toks.get(i + 1).map(|t| &t.tok) {
+                Some(Tok::Ident(m))
+                    if [
+                        "clone",
+                        "to_vec",
+                        "to_owned",
+                        "to_string",
+                        "collect",
+                        "into_vec",
+                    ]
+                    .contains(&m.as_str())
+                        && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('(')) =>
+                {
+                    Some(format!(".{m}()"))
+                }
+                _ => None,
+            },
+            // `Vec::new`, `Box::new`, `String::from`, `Rc::new`, …
+            Tok::Ident(ty)
+                if [
+                    "Vec", "Box", "String", "Rc", "Arc", "VecDeque", "HashMap", "HashSet",
+                    "BTreeMap", "BTreeSet",
+                ]
+                .contains(&ty.as_str()) =>
+            {
+                ["new", "with_capacity", "from"]
+                    .iter()
+                    .find(|m| path_call(toks, i, m))
+                    .map(|m| format!("{ty}::{m}"))
+            }
+            // `format!` / `vec!` macros.
+            Tok::Ident(mac) if mac == "format" || mac == "vec" => (toks.get(i + 1).map(|t| &t.tok)
+                == Some(&Tok::Punct('!')))
+            .then(|| format!("{mac}!")),
+            _ => None,
+        };
+        if let Some(what) = flagged {
+            out.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "deny-alloc".into(),
+                message: format!("allocating `{what}` inside deny-alloc region `{label}`"),
+                hint: "reuse an arena/scratch buffer, or justify with \
+                       `// detlint: allow(deny-alloc) <reason>`"
+                    .into(),
+                suggestion: None,
+            });
+        }
+    }
+}
+
+/// Rule 5 — **panic surface**: every panic site in library code must
+/// carry its own justification. `expect("message")` and
+/// `panic!("message")` are self-justifying; bare `unwrap()`, bare
+/// `panic!()`/`unreachable!()`, and any `todo!`/`unimplemented!` are
+/// findings. Non-string `expect` arguments (e.g. the JSON parser's
+/// `expect(b'{')`) are custom fallible methods, not `Option::expect`.
+fn panic_surface(path: &str, file: &LexedFile, test_lines: &[bool], out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut push = |line: u32, message: String| {
+        out.push(Finding {
+            file: path.to_string(),
+            line,
+            rule: "panic".into(),
+            message,
+            hint: "state the invariant in an expect()/panic! message, or justify with \
+                   `// detlint: allow(panic) <reason>`"
+                .into(),
+            suggestion: None,
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if test_lines.get(t.line as usize).copied().unwrap_or(false) {
+            continue;
+        }
+        match &t.tok {
+            Tok::Punct('.') => {
+                let Some(Tok::Ident(m)) = toks.get(i + 1).map(|t| &t.tok) else {
+                    continue;
+                };
+                if m == "unwrap"
+                    && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct(')'))
+                {
+                    push(
+                        toks[i + 1].line,
+                        "bare `.unwrap()` in library code".to_string(),
+                    );
+                }
+                if m == "expect"
+                    && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct(')'))
+                {
+                    push(toks[i + 1].line, "`.expect()` with no message".to_string());
+                }
+            }
+            Tok::Ident(mac)
+                if (mac == "panic" || mac == "unreachable")
+                    && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('!'))
+                    && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                    && toks.get(i + 3).map(|t| &t.tok) == Some(&Tok::Punct(')')) =>
+            {
+                push(t.line, format!("bare `{mac}!()` without a message"));
+            }
+            Tok::Ident(mac)
+                if (mac == "todo" || mac == "unimplemented")
+                    && toks.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('!')) =>
+            {
+                push(t.line, format!("`{mac}!()` in library code"));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> Vec<Finding> {
+        scan_source(path, src, &Config::default())
+    }
+
+    fn rules_fired(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn ordered_iteration_tracks_bindings() {
+        let src = "
+fn f() {
+    let mut degree: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let picked = degree.iter().find(|&(_, &d)| d > 0);
+    let ordered: Vec<usize> = vec![];
+    for x in &ordered {
+        let _ = x;
+    }
+}
+";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert_eq!(rules_fired(&f), vec!["ordered-iteration"]);
+        assert_eq!(f[0].line, 4);
+        let diff = f[0]
+            .suggestion
+            .as_deref()
+            .expect("inline rewrite available");
+        assert!(diff.contains("sorted.sort()"));
+    }
+
+    #[test]
+    fn for_loop_over_hash_set_fires() {
+        let src = "
+fn f() {
+    let seen = std::collections::HashSet::new();
+    for v in &seen {
+        use_it(v);
+    }
+}
+";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert_eq!(rules_fired(&f), vec!["ordered-iteration"]);
+        assert!(f[0].suggestion.is_none());
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let src = "
+fn f() {
+    let m: std::collections::BTreeMap<u32, u32> = Default::default();
+    for (k, v) in &m {
+        let _ = (k, v);
+    }
+    let lookup: std::collections::HashMap<u32, u32> = Default::default();
+    let _ = lookup.get(&3); // point lookups never observe order
+}
+";
+        assert!(scan("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ambient_entropy_patterns() {
+        let src = "
+fn f() {
+    let t = Instant::now();
+    let rng = thread_rng();
+    let smoke = std::env::var_os(\"BENCH_SMOKE\");
+    let args = std::env::args(); // CLI input, not entropy
+}
+";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_fired(&f),
+            vec!["ambient-entropy", "ambient-entropy", "ambient-entropy"]
+        );
+    }
+
+    #[test]
+    fn rng_discipline_literal_vs_derived() {
+        let src = "
+fn f(base: u64) {
+    let bad = SmallRng::seed_from_u64(99);
+    let good = SmallRng::seed_from_u64(seed::derive(base, 1));
+    let mixed = SmallRng::seed_from_u64(base ^ 0x9E37_79B9);
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let fine = SmallRng::seed_from_u64(42); // literal seeds are the test idiom
+    }
+}
+";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert_eq!(rules_fired(&f), vec!["rng-discipline"]);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn panic_surface_variants() {
+        let src = "
+fn f(x: Option<u32>, p: &mut Parser) {
+    let a = x.unwrap();
+    let b = x.expect(\"stamped by begin()\");
+    p.expect(b'{'); // custom fallible method, not Option::expect
+    match a {
+        0 => unreachable!(\"zero is filtered by the caller\"),
+        1 => panic!(),
+        _ => {}
+    }
+}
+";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert_eq!(rules_fired(&f), vec!["panic", "panic"]);
+        assert_eq!((f[0].line, f[1].line), (3, 8));
+    }
+
+    #[test]
+    fn panic_rule_skips_tests_and_test_paths() {
+        let src = "
+#[cfg(test)]
+mod tests {
+    fn t(x: Option<u32>) {
+        x.unwrap();
+    }
+}
+";
+        assert!(scan("crates/x/src/lib.rs", src).is_empty());
+        assert!(scan("crates/x/tests/it.rs", "fn t() { x.unwrap(); }").is_empty());
+        assert!(scan("crates/x/src/bin/tool.rs", "fn t() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn deny_alloc_region_flags_and_pairing() {
+        let src = "
+// detlint: deny-alloc(start) round hot path
+fn hot(&mut self) {
+    self.scratch.push(1); // reuse is fine
+    let v = Vec::new();
+    let s = format!(\"{}\", 1);
+    let c = frame.clone();
+}
+// detlint: deny-alloc(end)
+fn cold(&mut self) {
+    let v = vec![1, 2, 3]; // outside the region
+}
+";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert_eq!(
+            rules_fired(&f),
+            vec!["deny-alloc", "deny-alloc", "deny-alloc"]
+        );
+        assert!(f[0].message.contains("Vec::new"));
+        assert!(f[1].message.contains("format!"));
+        assert!(f[2].message.contains(".clone()"));
+        assert!(f.iter().all(|x| x.message.contains("round hot path")));
+    }
+
+    #[test]
+    fn deny_alloc_unbalanced_markers() {
+        let open = "// detlint: deny-alloc(start) never closed\nfn f() {}\n";
+        let f = scan("crates/x/src/lib.rs", open);
+        assert_eq!(rules_fired(&f), vec!["directive"]);
+
+        let stray = "fn f() {}\n// detlint: deny-alloc(end)\n";
+        let f = scan("crates/x/src/lib.rs", stray);
+        assert_eq!(rules_fired(&f), vec!["directive"]);
+    }
+
+    #[test]
+    fn allow_suppresses_with_reason_only() {
+        let with_reason = "
+fn f(x: Option<u32>) {
+    // detlint: allow(panic) poisoned lock means a sibling already panicked
+    x.unwrap();
+}
+";
+        assert!(scan("crates/x/src/lib.rs", with_reason).is_empty());
+
+        let bare = "
+fn f(x: Option<u32>) {
+    x.unwrap(); // detlint: allow(panic)
+}
+";
+        let f = scan("crates/x/src/lib.rs", bare);
+        assert_eq!(rules_fired(&f), vec!["directive", "panic"]);
+
+        let wrong_rule = "
+fn f(x: Option<u32>) {
+    x.unwrap(); // detlint: allow(deny-alloc) wrong family
+}
+";
+        let f = scan("crates/x/src/lib.rs", wrong_rule);
+        assert_eq!(rules_fired(&f), vec!["panic"]);
+    }
+
+    #[test]
+    fn config_scopes_rules_by_path() {
+        let cfg = Config::parse(
+            "[rules.ordered-iteration]\npaths = [\"crates/fame/\"]\n\
+             [rules.ambient-entropy]\nallow = [\"vendor/criterion/\"]",
+        )
+        .expect("valid config");
+        let src = "fn f() { let m = HashMap::new(); let _ = m.iter(); let t = Instant::now(); }";
+        let out_of_scope = scan_source("crates/bench/src/lib.rs", src, &cfg);
+        assert_eq!(rules_fired(&out_of_scope), vec!["ambient-entropy"]);
+        let vendored = scan_source("vendor/criterion/src/lib.rs", src, &cfg);
+        assert!(vendored.is_empty());
+        let in_scope = scan_source("crates/fame/src/lib.rs", src, &cfg);
+        assert_eq!(
+            rules_fired(&in_scope),
+            vec!["ambient-entropy", "ordered-iteration"]
+        );
+    }
+}

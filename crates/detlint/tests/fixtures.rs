@@ -1,0 +1,111 @@
+//! Rule-family contract tests: each fixture under `tests/fixtures/`
+//! carries `// FIRE:` markers on exactly the lines that must produce a
+//! finding — everything else in the fixture (tricky comments, raw
+//! strings, nested generics, suppressed sites, `#[cfg(test)]` items) is
+//! a decoy that must stay silent.
+//!
+//! The fixtures are scanned with the **default** (empty) config and a
+//! library-crate path, so every rule applies — which is also why
+//! `detlint.toml` excludes `crates/detlint/tests/fixtures/` from the
+//! real workspace scan.
+
+use detlint::{scan_source, Config};
+
+/// 1-based lines carrying a `FIRE:` marker.
+fn fire_lines(src: &str) -> Vec<u32> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, line)| line.contains("FIRE:"))
+        .map(|(i, _)| i as u32 + 1)
+        .collect()
+}
+
+/// Scan a fixture as library code and assert its findings are exactly
+/// the `FIRE:`-marked lines, all from the expected rule.
+fn check(name: &str, src: &str, rule: &str) -> Vec<detlint::Finding> {
+    let path = format!("crates/fixture/src/{name}.rs");
+    let findings = scan_source(&path, src, &Config::default());
+    for f in &findings {
+        assert_eq!(f.rule, rule, "unexpected rule in {name}: {f}");
+    }
+    let got: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    let expected = fire_lines(src);
+    assert!(!expected.is_empty(), "{name} has no FIRE markers");
+    assert_eq!(got, expected, "finding lines in {name}");
+    findings
+}
+
+#[test]
+fn ordered_iteration_fixture() {
+    let src = include_str!("fixtures/ordered_iteration.rs");
+    let findings = check("ordered_iteration", src, "ordered-iteration");
+    // The --fix dry run offers the sorted-collect rewrite for plain
+    // `name.method()` calls (not for the bare for-in form).
+    let with_diff: Vec<_> = findings
+        .iter()
+        .filter_map(|f| f.suggestion.as_deref())
+        .collect();
+    assert!(
+        with_diff.len() >= 2,
+        "expected rewrite diffs for the method-call findings"
+    );
+    for diff in with_diff {
+        let (minus, plus) = diff.split_once('\n').expect("two-line diff");
+        assert!(minus.starts_with('-') && plus.starts_with('+'), "{diff}");
+        assert!(plus.contains("sorted.sort()"), "{diff}");
+    }
+}
+
+#[test]
+fn ambient_entropy_fixture() {
+    check(
+        "ambient_entropy",
+        include_str!("fixtures/ambient_entropy.rs"),
+        "ambient-entropy",
+    );
+}
+
+#[test]
+fn rng_discipline_fixture() {
+    check(
+        "rng_discipline",
+        include_str!("fixtures/rng_discipline.rs"),
+        "rng-discipline",
+    );
+}
+
+#[test]
+fn deny_alloc_fixture() {
+    check(
+        "deny_alloc",
+        include_str!("fixtures/deny_alloc.rs"),
+        "deny-alloc",
+    );
+}
+
+#[test]
+fn panic_surface_fixture() {
+    check(
+        "panic_surface",
+        include_str!("fixtures/panic_surface.rs"),
+        "panic",
+    );
+}
+
+#[test]
+fn fixtures_fire_even_though_workspace_scan_excludes_them() {
+    // The workspace config must silence fixtures by *exclusion*, not by
+    // weakening rules: the same sources scanned under the real
+    // detlint.toml path scoping (as a deterministic-crate lib file)
+    // still fire.
+    let cfg = Config::parse(concat!(
+        "[rules.ordered-iteration]\n",
+        "paths = [\"crates/radio-network/\"]\n"
+    ))
+    .expect("valid config");
+    let src = include_str!("fixtures/ordered_iteration.rs");
+    let scoped = scan_source("crates/radio-network/src/fixture.rs", src, &cfg);
+    assert!(!scoped.is_empty());
+    let outside = scan_source("crates/bench/src/fixture.rs", src, &cfg);
+    assert!(outside.is_empty(), "path scoping failed: {outside:?}");
+}

@@ -1,0 +1,23 @@
+// detlint fixture: ambient-entropy. Never compiled; scanned by
+// tests/fixtures.rs.
+
+fn decoys_that_must_not_fire() {
+    // Instant::now() in a comment, and "SystemTime" in a string:
+    let doc = "SystemTime::now() as data";
+    let raw = r#"thread_rng() "in a raw string""#;
+    let args: Vec<String> = std::env::args().collect(); // CLI input is fine
+    let instant_shaped = my_instant.now_ish(); // not Instant::now
+}
+
+fn must_fire() {
+    let t0 = std::time::Instant::now(); // FIRE: wall clock
+    let wall = SystemTime::now(); // FIRE: wall clock
+    let mut rng = rand::thread_rng(); // FIRE: OS-seeded rng
+    let other = SmallRng::from_entropy(); // FIRE: OS entropy
+    let secret = std::env::var("SEED_OVERRIDE"); // FIRE: env-derived value
+}
+
+fn suppressed_with_reason() {
+    // detlint: allow(ambient-entropy) smoke switch selects a grid, never a seed
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+}

@@ -1,0 +1,26 @@
+// detlint fixture: deny-alloc regions. Never compiled; scanned by
+// tests/fixtures.rs.
+
+fn outside_any_region() {
+    let v = vec![1, 2, 3]; // fine out here
+    let s = format!("{}", 42);
+    let b = Box::new(0u8);
+}
+
+// detlint: deny-alloc(start) fixture hot path
+fn inside_region(&mut self, frame: &Frame) {
+    self.scratch.push(frame.id); // reused buffer: fine
+    self.scratch.clear();
+    let fresh = Vec::new(); // FIRE: Vec::new
+    let sized: Vec<u8> = Vec::with_capacity(64); // FIRE: with_capacity
+    let msg = format!("round {}", self.round); // FIRE: format!
+    let owned = frame.clone(); // FIRE: owning clone
+    let gathered: Vec<_> = self.scratch.iter().collect(); // FIRE: collect
+    // detlint: allow(deny-alloc) record arena clone is the retention cost
+    let justified = frame.clone();
+}
+// detlint: deny-alloc(end)
+
+fn after_region_is_free_again() {
+    let v = frame.to_vec();
+}

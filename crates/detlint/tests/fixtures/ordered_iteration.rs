@@ -1,0 +1,41 @@
+// detlint fixture: ordered-iteration. Never compiled; scanned by
+// tests/fixtures.rs. Lines marked FIRE below must produce findings,
+// everything else must not.
+
+fn decoys_that_must_not_fire() {
+    // HashMap.iter() in a line comment is not code.
+    /* neither is HashSet::new().iter() in a block comment,
+       /* even nested */ like this */
+    let text = "HashMap.iter() inside a string";
+    let raw = r##"let m = HashMap::new(); for x in m.iter() { "quoted \"#" } "##;
+    let bytes = b"HashSet iteration: seen.drain()";
+    let lookup: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let _ = lookup.get(&3); // point lookup: no order observed
+    let ordered: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+    for (k, v) in ordered.iter() {
+        let _ = (k, v);
+    }
+}
+
+fn generic_soup<'a, K: Ord, V>(input: &'a Vec<std::collections::HashMap<K, Vec<V>>>) {
+    // Nested generics with lifetimes: the declaration alone is fine,
+    // and `'a` must not be lexed as an unterminated char literal.
+    let tracked: std::collections::HashMap<K, Vec<V>> = std::collections::HashMap::new();
+    let _ = tracked.keys(); // FIRE: keys() observes hash order
+}
+
+fn must_fire() {
+    let mut seen = std::collections::HashSet::new();
+    let mut degree: std::collections::HashMap<usize, usize> = Default::default();
+    let first = degree.iter().find(|_| true); // FIRE: iter()
+    for v in &seen { // FIRE: bare for-in over a HashSet
+        let _ = v;
+    }
+    let all: Vec<_> = degree.drain().collect(); // FIRE: drain()
+}
+
+fn suppressed_with_reason() {
+    let m = std::collections::HashMap::new();
+    // detlint: allow(ordered-iteration) order is folded through a commutative sum below
+    let total: usize = m.values().sum();
+}

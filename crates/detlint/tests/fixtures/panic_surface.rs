@@ -1,0 +1,44 @@
+// detlint fixture: panic surface. Never compiled; scanned by
+// tests/fixtures.rs.
+
+fn decoys_that_must_not_fire(x: Option<u32>, p: &mut Parser) {
+    let a = x.expect("stamped by begin() before any read"); // message = justified
+    let b = x.unwrap_or(0);
+    let c = x.unwrap_or_else(|| 7);
+    p.expect(b'{'); // custom fallible method, not Option::expect
+    match a {
+        0 => unreachable!("zero is filtered by the caller"),
+        1 => panic!("caller violated the documented precondition: {a}"),
+        _ => {}
+    }
+    assert!(a > 0, "asserts are fine");
+    // x.unwrap() in a comment; "x.unwrap()" in a string:
+    let s = "x.unwrap()";
+}
+
+fn must_fire(x: Option<u32>) {
+    let a = x.unwrap(); // FIRE: bare unwrap
+    let b = x.expect(); // FIRE: expect with no message
+    if a > 1 {
+        panic!(); // FIRE: bare panic
+    }
+    match a {
+        0 => unreachable!(), // FIRE: bare unreachable
+        1 => todo!(), // FIRE: todo is never justified
+        _ => unimplemented!("even with text"), // FIRE: unimplemented
+    }
+}
+
+fn suppressed_with_reason(x: Option<u32>) {
+    // detlint: allow(panic) poisoned mutex means a sibling thread already panicked
+    let a = x.unwrap();
+    let b = x.unwrap(); // detlint: allow(panic) same-line form works too
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_the_test_idiom(x: Option<u32>) {
+        x.unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+// detlint fixture: rng-discipline. Never compiled; scanned by
+// tests/fixtures.rs.
+
+fn decoys_that_must_not_fire(base: u64) {
+    // Derived seeds are the sanctioned pattern:
+    let a = SmallRng::seed_from_u64(radio_network::seed::derive(base, 1));
+    let b = SmallRng::seed_from_u64(base ^ 0x9E37_79B9_7F4A_7C15);
+    let c = SmallRng::seed_from_u64(base.wrapping_add(7));
+    // seed_from_u64(42) in a comment, "seed_from_u64(42)" in a string.
+    let s = "seed_from_u64(42)";
+}
+
+fn must_fire() {
+    let rng = SmallRng::seed_from_u64(0xDEAD_BEEF); // FIRE: literal seed
+    let rng2 = StdRng::seed_from_u64(12345); // FIRE: literal seed
+    let rng3 = SmallRng::from_seed([0; 32]); // FIRE: literal seed array
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literal_seeds_are_the_test_idiom() {
+        let rng = SmallRng::seed_from_u64(99); // cfg(test): exempt
+    }
+}

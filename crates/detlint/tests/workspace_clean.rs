@@ -1,0 +1,62 @@
+//! The self-check the CI `detlint` job relies on: the committed
+//! workspace is clean under `--deny`, and every committed
+//! `BENCH_*.json` conforms to `docs/BENCH_FORMAT.md`.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_clean_under_deny() {
+    let root = workspace_root();
+    let cfg = detlint::load_config(&root).expect("detlint.toml parses");
+    let report = detlint::scan_workspace(&root, &cfg).expect("workspace scan succeeds");
+    // Guard against the scan vacuously passing because an exclusion
+    // swallowed the tree: the workspace has well over 60 Rust files.
+    assert!(
+        report.files_scanned > 60,
+        "only {} files scanned — exclusions are too broad",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{f}\n    hint: {}", f.hint))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn committed_bench_reports_conform_to_schema() {
+    let root = workspace_root();
+    let bench_files = std::fs::read_dir(&root)
+        .expect("workspace root readable")
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("BENCH_") && name.ends_with(".json")
+        })
+        .count();
+    assert!(
+        bench_files >= 10,
+        "expected the committed BENCH_*.json set, found {bench_files}"
+    );
+    let findings =
+        detlint::bench_schema::validate_bench_files(&root).expect("bench validation runs");
+    assert!(
+        findings.is_empty(),
+        "BENCH schema findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -375,10 +375,14 @@ impl Protocol for TreeFeedbackNode {
     }
 
     fn end_round(&mut self, round: u64, reception: Option<Reception<&FameFrame>>) {
-        if let Some(core) = self.core.as_mut() {
+        // Move the core out for the round so the final round can consume
+        // it by value — no unwrap needed, the slot is simply not put back.
+        if let Some(mut core) = self.core.take() {
             core.observe(round, reception);
             if round + 1 >= self.total {
-                self.result = Some(self.core.take().unwrap().into_disrupted());
+                self.result = Some(core.into_disrupted());
+            } else {
+                self.core = Some(core);
             }
         }
     }

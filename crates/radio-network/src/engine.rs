@@ -300,6 +300,7 @@ impl<M> RoundArena<M> {
         arena
     }
 
+    // detlint: deny-alloc(start) arena per-round reset (begin/touch)
     /// Reset for a new round over `channels` channels. Flat buffers are
     /// cleared (O(activity of the previous round)); per-channel buffers
     /// are *not* — bumping the epoch invalidates them wholesale, and
@@ -353,6 +354,7 @@ impl<M> RoundArena<M> {
     fn is_touched(&self, ch: usize) -> bool {
         self.touched[ch] == self.epoch
     }
+    // detlint: deny-alloc(end)
 }
 
 /// A borrowed view of one resolved round — the allocation-free return
@@ -697,6 +699,14 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
 
     /// Resolve one round given every honest action and the adversary's move.
     ///
+    // detlint: deny-alloc(start) round resolution (resolve_round / resolve_round_sparse / gather_one / finish)
+    //
+    // The static complement of tests/zero_alloc.rs: a steady-state round
+    // with retention off must not allocate, and with the recycled
+    // LastRounds window only the record-arena frame clones below (each
+    // carrying its own allow) may. Scratch vectors reuse capacity;
+    // `resize`/`push` on them is growth to the high-water mark, not a
+    // per-round cost.
     /// `actions[i]` is the action of node `i`. Returns a borrowed
     /// [`RoundView`] over per-channel outcomes; the caller distributes
     /// receptions to listeners (or uses [`Simulation`](crate::Simulation)
@@ -1016,6 +1026,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                         .tx_channels
                         .push(ChannelId(tx_chan[tx as usize] as usize));
                     match actions.get(tx_src[tx as usize]) {
+                        // detlint: allow(deny-alloc) retention cost: frame clone into the capacity-reusing record arena; free for Copy frames (zero_alloc.rs pins it)
                         Action::Transmit { frame, .. } => record.tx_frames.push(frame.clone()),
                         _ => unreachable!("gathered transmissions come from Transmit actions"),
                     }
@@ -1030,6 +1041,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                 record.adv_emissions.clear();
                 for (ch, emission) in &adversary.transmissions {
                     record.adv_channels.push(*ch);
+                    // detlint: allow(deny-alloc) retention cost: emission clone into the capacity-reusing record arena; free for Copy frames
                     record.adv_emissions.push(emission.clone());
                 }
                 // Sorted worklist iteration => delivered channels ascending,
@@ -1041,6 +1053,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                         ChannelSlot::Delivered { tx } => match actions.get(tx_src[tx as usize]) {
                             Action::Transmit { frame, .. } => {
                                 record.delivered_channels.push(ChannelId(ch as usize));
+                                // detlint: allow(deny-alloc) retention cost: delivered-frame clone into the capacity-reusing record arena
                                 record.delivered_frames.push(frame.clone());
                             }
                             _ => unreachable!("delivered slot points at a Transmit action"),
@@ -1049,6 +1062,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                             match &adversary.transmissions[adv as usize].1 {
                                 Emission::Spoof(frame) => {
                                     record.delivered_channels.push(ChannelId(ch as usize));
+                                    // detlint: allow(deny-alloc) retention cost: spoofed-frame clone into the capacity-reusing record arena
                                     record.delivered_frames.push(frame.clone());
                                 }
                                 Emission::Noise => unreachable!("spoof slot is a Spoof emission"),
@@ -1069,6 +1083,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
         self.round += 1;
         Ok(())
     }
+    // detlint: deny-alloc(end)
 }
 
 #[cfg(test)]

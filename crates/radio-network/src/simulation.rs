@@ -175,6 +175,11 @@ where
         self.unfinished == 0
     }
 
+    // detlint: deny-alloc(start) wake-queue driver round (Simulation::step)
+    //
+    // The action buffer and the wake heap are reused across rounds; a
+    // steady-state step must stay allocation-free end to end
+    // (tests/zero_alloc.rs drives a full Simulation under this claim).
     /// Execute exactly one round, visiting only the nodes the wake-queue
     /// says are due.
     ///
@@ -255,6 +260,7 @@ where
         }
         Ok(())
     }
+    // detlint: deny-alloc(end)
 
     /// Run until every node is done, or until `max_rounds` have elapsed.
     ///

@@ -154,6 +154,7 @@ impl<M: Clone + fmt::Debug + Send> TraceSink<M> for InMemorySink<M> {
         self.trace.push_ref(record);
     }
 
+    // detlint: deny-alloc(start) in-memory sink steady-state paths
     fn record_mut(&mut self, record: &mut RoundRecord<M>) {
         self.trace.push_swap(record);
     }
@@ -161,6 +162,7 @@ impl<M: Clone + fmt::Debug + Send> TraceSink<M> for InMemorySink<M> {
     fn note_round(&mut self) {
         self.trace.note_round();
     }
+    // detlint: deny-alloc(end)
 
     fn history(&self) -> &Trace<M> {
         &self.trace
@@ -190,6 +192,7 @@ impl<M> Default for NullSink<M> {
     }
 }
 
+// detlint: deny-alloc(start) null sink (the record-free floor)
 impl<M: fmt::Debug + Send> TraceSink<M> for NullSink<M> {
     fn wants_records(&self) -> bool {
         false
@@ -208,6 +211,7 @@ impl<M: fmt::Debug + Send> TraceSink<M> for NullSink<M> {
         &self.trace
     }
 }
+// detlint: deny-alloc(end)
 
 /// What [`ChannelSink`] does when the bounded queue to the writer thread
 /// is full.

@@ -380,6 +380,7 @@ impl<M> Trace<M> {
     /// warm-capacity buffers to rebuild into next round. Policies that
     /// cannot hand buffers back ([`TraceRetention::All`] must keep
     /// growing) fall back to cloning, leaving `record` untouched.
+    // detlint: deny-alloc(start) trace retention steady state (push_swap at capacity / note_round)
     pub fn push_swap(&mut self, record: &mut RoundRecord<M>)
     where
         M: Clone,
@@ -395,6 +396,9 @@ impl<M> Trace<M> {
                 std::mem::swap(&mut recycled, record);
                 self.records.push_back(recycled);
             }
+            // A window still filling (or All retention) clones via
+            // push_ref — legitimately allocating, outside this region's
+            // steady-state claim.
             _ => self.push_ref(record),
         }
     }
@@ -405,6 +409,7 @@ impl<M> Trace<M> {
     pub fn note_round(&mut self) {
         self.completed_rounds += 1;
     }
+    // detlint: deny-alloc(end)
 }
 
 impl<M> Default for Trace<M> {
