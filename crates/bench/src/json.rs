@@ -134,34 +134,49 @@ impl Json {
 }
 
 /// Look up a required object field, with a uniform error message.
-pub(crate) fn field<'a>(v: &'a Json, key: &str, context: &str) -> Result<&'a Json, String> {
+///
+/// # Errors
+/// When the field is absent (the message names `context` and `key`).
+pub fn field<'a>(v: &'a Json, key: &str, context: &str) -> Result<&'a Json, String> {
     v.get(key)
         .ok_or_else(|| format!("{context}: missing field \"{key}\""))
 }
 
 /// Look up a required exact-`u64` field.
-pub(crate) fn u64_field(v: &Json, key: &str, context: &str) -> Result<u64, String> {
+///
+/// # Errors
+/// When the field is absent or not an unsigned integer.
+pub fn u64_field(v: &Json, key: &str, context: &str) -> Result<u64, String> {
     field(v, key, context)?
         .as_u64()
         .ok_or_else(|| format!("{context}: field \"{key}\" is not an unsigned integer"))
 }
 
 /// Look up a required exact-`usize` field.
-pub(crate) fn usize_field(v: &Json, key: &str, context: &str) -> Result<usize, String> {
+///
+/// # Errors
+/// When the field is absent or not an unsigned integer.
+pub fn usize_field(v: &Json, key: &str, context: &str) -> Result<usize, String> {
     field(v, key, context)?
         .as_usize()
         .ok_or_else(|| format!("{context}: field \"{key}\" is not an unsigned integer"))
 }
 
 /// Look up a required string field.
-pub(crate) fn str_field<'a>(v: &'a Json, key: &str, context: &str) -> Result<&'a str, String> {
+///
+/// # Errors
+/// When the field is absent or not a string.
+pub fn str_field<'a>(v: &'a Json, key: &str, context: &str) -> Result<&'a str, String> {
     field(v, key, context)?
         .as_str()
         .ok_or_else(|| format!("{context}: field \"{key}\" is not a string"))
 }
 
 /// Look up the `"kind"` discriminant of a tagged object.
-pub(crate) fn kind<'a>(v: &'a Json, context: &str) -> Result<&'a str, String> {
+///
+/// # Errors
+/// When `"kind"` is absent or not a string.
+pub fn kind<'a>(v: &'a Json, context: &str) -> Result<&'a str, String> {
     str_field(v, "kind", context)
 }
 

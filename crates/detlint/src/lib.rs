@@ -23,7 +23,9 @@
 //! `// detlint: allow(<rule>) <reason>` suppressions ([`lexer`]
 //! directives) or path prefixes in `detlint.toml` ([`config`]). The
 //! [`bench_schema`] module additionally validates every committed
-//! `BENCH_*.json` against `docs/BENCH_FORMAT.md`.
+//! `BENCH_*.json` against `docs/BENCH_FORMAT.md`, and [`trace_corpus`]
+//! validates the golden-trace corpus under `tests/corpus/` against
+//! `docs/TRACE_FORMAT.md`.
 //!
 //! Run it as `cargo run -p detlint -- --deny` (see `main.rs` for the
 //! CLI); `docs/DETLINT.md` is the user-facing rule catalog.
@@ -32,6 +34,7 @@ pub mod bench_schema;
 pub mod config;
 pub mod lexer;
 pub mod rules;
+pub mod trace_corpus;
 
 pub use config::Config;
 pub use rules::{scan_source, Finding};

@@ -1,11 +1,14 @@
 //! CLI front end: `cargo run -p detlint -- [--deny] [--fix]
-//! [--bench-schema] [--root <dir>]`.
+//! [--bench-schema] [--trace-corpus] [--root <dir>]`.
 //!
 //! * `--deny` — exit non-zero when any finding survives (the CI mode).
 //! * `--fix` — print the ordered-iteration rewrite diffs (dry run; no
 //!   file is ever mutated).
 //! * `--bench-schema` — also validate every committed `BENCH_*.json`
 //!   at the workspace root against `docs/BENCH_FORMAT.md`.
+//! * `--trace-corpus` — also validate the golden-trace corpus under
+//!   `tests/corpus/` against `docs/TRACE_FORMAT.md` (pairing, round
+//!   gaps, canonical `record_line` lines).
 //! * `--root <dir>` — workspace root to scan (default: the current
 //!   directory, which is the workspace root under `cargo run`).
 
@@ -15,6 +18,7 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut fix = false;
     let mut bench_schema = false;
+    let mut trace_corpus = false;
     let mut root = String::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -22,13 +26,14 @@ fn main() -> ExitCode {
             "--deny" => deny = true,
             "--fix" => fix = true,
             "--bench-schema" => bench_schema = true,
+            "--trace-corpus" => trace_corpus = true,
             "--root" => match args.next() {
                 Some(dir) => root = dir,
                 None => return usage("--root needs a directory"),
             },
             "--help" | "-h" => {
                 println!(
-                    "detlint [--deny] [--fix] [--bench-schema] [--root <dir>]\n\
+                    "detlint [--deny] [--fix] [--bench-schema] [--trace-corpus] [--root <dir>]\n\
                      Workspace determinism & hot-path auditor; see docs/DETLINT.md."
                 );
                 return ExitCode::SUCCESS;
@@ -38,7 +43,7 @@ fn main() -> ExitCode {
     }
 
     let root = std::path::PathBuf::from(root);
-    match run(&root, fix, bench_schema) {
+    match run(&root, fix, bench_schema, trace_corpus) {
         Ok(0) => ExitCode::SUCCESS,
         Ok(_) if deny => ExitCode::FAILURE,
         Ok(_) => ExitCode::SUCCESS,
@@ -51,18 +56,27 @@ fn main() -> ExitCode {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!(
-        "detlint: {problem}\nusage: detlint [--deny] [--fix] [--bench-schema] [--root <dir>]"
+        "detlint: {problem}\nusage: detlint [--deny] [--fix] [--bench-schema] [--trace-corpus] \
+         [--root <dir>]"
     );
     ExitCode::from(2)
 }
 
 /// Scan, print, and return the finding count.
-fn run(root: &std::path::Path, fix: bool, bench_schema: bool) -> Result<usize, String> {
+fn run(
+    root: &std::path::Path,
+    fix: bool,
+    bench_schema: bool,
+    trace_corpus: bool,
+) -> Result<usize, String> {
     let cfg = detlint::load_config(root)?;
     let report = detlint::scan_workspace(root, &cfg)?;
     let mut findings = report.findings;
     if bench_schema {
         findings.extend(detlint::bench_schema::validate_bench_files(root)?);
+    }
+    if trace_corpus {
+        findings.extend(detlint::trace_corpus::validate_trace_corpus(root)?);
     }
 
     for f in &findings {

@@ -1,0 +1,147 @@
+//! Byte-level comparison of an original trace against a replayed one,
+//! reporting the **first divergent round** with both records
+//! pretty-printed — the bisect-to-round output the differential runner
+//! and CI print on failure.
+
+use crate::parse::parse_record_line;
+use crate::reader::TraceFile;
+
+/// The first round where the replay stopped matching the recording.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Divergence {
+    /// Round number of the first mismatch.
+    pub round: u64,
+    /// The recorded line (expected).
+    pub expected: String,
+    /// The replayed line (actual), or a placeholder when the replay
+    /// produced no line for this round.
+    pub actual: String,
+}
+
+impl Divergence {
+    /// A multi-line human-readable report: the round, both raw lines,
+    /// and both records pretty-printed for eyeballing the exact field
+    /// that moved.
+    pub fn render(&self) -> String {
+        let pretty = |line: &str| match parse_record_line(line) {
+            Ok(record) => format!("{record:#?}"),
+            Err(e) => format!("<unparseable: {e}>"),
+        };
+        format!(
+            "first divergence at round {}\n\
+             --- expected (recorded) ---\n{}\n{}\n\
+             --- actual (replayed) ---\n{}\n{}\n",
+            self.round,
+            self.expected,
+            pretty(&self.expected),
+            self.actual,
+            pretty(&self.actual),
+        )
+    }
+}
+
+/// The outcome of one original-vs-replay comparison.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplayReport {
+    /// Rounds with a recorded line that were compared.
+    pub rounds_compared: u64,
+    /// Rounds missing from the original (gap-skipped) and therefore not
+    /// comparable.
+    pub skipped: u64,
+    /// The first mismatch, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl ReplayReport {
+    /// `true` when every recorded round matched byte-for-byte.
+    pub fn identical(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Compare a recorded trace against replayed lines (`replayed[r]` is
+/// round `r`). Rounds missing from a gap-skipped original are not
+/// compared; the earliest mismatching recorded round wins.
+pub fn compare(original: &TraceFile, replayed: &[String]) -> ReplayReport {
+    let mut compared = 0u64;
+    for (record, line) in original.records.iter().zip(&original.lines) {
+        let actual = usize::try_from(record.round)
+            .ok()
+            .and_then(|r| replayed.get(r));
+        match actual {
+            Some(actual) if actual == line => compared += 1,
+            other => {
+                return ReplayReport {
+                    rounds_compared: compared,
+                    skipped: original.skipped,
+                    divergence: Some(Divergence {
+                        round: record.round,
+                        expected: line.clone(),
+                        actual: other
+                            .cloned()
+                            .unwrap_or_else(|| "<replay produced no line for this round>".into()),
+                    }),
+                };
+            }
+        }
+    }
+    ReplayReport {
+        rounds_compared: compared,
+        skipped: original.skipped,
+        divergence: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::GapPolicy;
+
+    fn line(round: u64, listeners: &str) -> String {
+        format!(
+            "{{\"round\":{round},\"transmissions\":[],\"listeners\":[{listeners}],\
+             \"adversary\":[],\"delivered\":[null,null]}}"
+        )
+    }
+
+    #[test]
+    fn identical_lines_compare_clean() {
+        let text = format!("{}\n{}\n", line(0, ""), line(1, ""));
+        let trace = TraceFile::parse_str(&text, GapPolicy::Reject).expect("clean");
+        let report = compare(&trace, &[line(0, ""), line(1, "")]);
+        assert!(report.identical());
+        assert_eq!(report.rounds_compared, 2);
+    }
+
+    #[test]
+    fn first_divergent_round_is_named() {
+        let text = format!("{}\n{}\n{}\n", line(0, ""), line(1, ""), line(2, ""));
+        let trace = TraceFile::parse_str(&text, GapPolicy::Reject).expect("clean");
+        let replayed = vec![
+            line(0, ""),
+            line(1, "{\"node\":9,\"channel\":0}"),
+            line(2, "{\"node\":9,\"channel\":0}"),
+        ];
+        let report = compare(&trace, &replayed);
+        let div = report.divergence.expect("diverges");
+        assert_eq!(div.round, 1);
+        assert_eq!(report.rounds_compared, 1);
+        let rendered = div.render();
+        assert!(
+            rendered.contains("first divergence at round 1"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("expected (recorded)"), "{rendered}");
+        assert!(rendered.contains("NodeId("), "{rendered}");
+    }
+
+    #[test]
+    fn missing_replay_rounds_diverge() {
+        let text = format!("{}\n{}\n", line(0, ""), line(1, ""));
+        let trace = TraceFile::parse_str(&text, GapPolicy::Reject).expect("clean");
+        let report = compare(&trace, &[line(0, "")]);
+        let div = report.divergence.expect("diverges");
+        assert_eq!(div.round, 1);
+        assert!(div.actual.contains("no line"), "{}", div.actual);
+    }
+}

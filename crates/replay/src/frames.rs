@@ -1,0 +1,246 @@
+//! Decode recorded [`FameFrame`] strings back into frames.
+//!
+//! The trace encoders render frames with `Debug`, so this module is a
+//! small strict parser over the `Debug` grammar of the frame variants a
+//! spoofing adversary can actually inject. `GossipChunk` and
+//! `VectorSignature` carry a [`radio_crypto`] digest whose `Debug` form
+//! is deliberately truncated (lossy), so they cannot be decoded — no
+//! roster adversary forges them, and the decoder says so explicitly if a
+//! trace ever contains one as a spoof.
+
+use std::collections::BTreeMap;
+
+use fame::FameFrame;
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Cursor {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_whitespace)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(format!("expected \"{token}\" at byte {}", self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<u64>()
+            .map_err(|e| format!("number at byte {start}: {e}"))
+    }
+
+    fn parse_usize(&mut self) -> Result<usize, String> {
+        let n = self.parse_u64()?;
+        usize::try_from(n).map_err(|_| format!("number {n} overflows usize"))
+    }
+
+    fn parse_bool(&mut self) -> Result<bool, String> {
+        if self.expect("true").is_ok() {
+            Ok(true)
+        } else if self.expect("false").is_ok() {
+            Ok(false)
+        } else {
+            Err(format!("expected true/false at byte {}", self.pos))
+        }
+    }
+
+    /// `[1, 2, 3]` — a `Debug`-printed `Vec<u8>`.
+    fn parse_byte_list(&mut self) -> Result<Vec<u8>, String> {
+        self.expect("[")?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let n = self.parse_u64()?;
+            out.push(u8::try_from(n).map_err(|_| format!("byte value {n} out of range"))?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected \",\" or \"]\" at byte {}", self.pos)),
+            }
+        }
+    }
+
+    /// `{k1: v1, k2: v2}` — a `Debug`-printed `BTreeMap<usize, V>`.
+    fn parse_map<V>(
+        &mut self,
+        mut value: impl FnMut(&mut Self) -> Result<V, String>,
+    ) -> Result<BTreeMap<usize, V>, String> {
+        self.expect("{")?;
+        let mut out = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.parse_usize()?;
+            self.expect(":")?;
+            out.insert(key, value(self)?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected \",\" or \"}}\" at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing input at byte {}", self.pos))
+        }
+    }
+}
+
+/// Decode the `Debug` rendering of a [`FameFrame`] back into the frame.
+///
+/// Handles exactly the variants a roster spoofer can inject (`Vector`,
+/// `FeedbackFalse`, `FeedbackTrue`, `FeedbackBitmap`); the digest-bearing
+/// `GossipChunk`/`VectorSignature` renderings are lossy by design and
+/// yield a descriptive error.
+///
+/// # Errors
+/// On digest-bearing variants and on any string that is not the exact
+/// `Debug` form of a decodable variant.
+pub fn decode_fame_frame(s: &str) -> Result<FameFrame, String> {
+    let t = s.trim();
+    if t.starts_with("GossipChunk") || t.starts_with("VectorSignature") {
+        return Err(format!(
+            "cannot decode digest-bearing frame (its recorded Debug form is lossy): {t}"
+        ));
+    }
+    let mut c = Cursor::new(t);
+    if c.expect("FeedbackFalse").is_ok() && c.finish().is_ok() {
+        return Ok(FameFrame::FeedbackFalse);
+    }
+    let mut c = Cursor::new(t);
+    if c.expect("FeedbackTrue").is_ok() {
+        c.expect("{")?;
+        c.expect("reported")?;
+        c.expect(":")?;
+        let reported = c.parse_usize()?;
+        c.expect("}")?;
+        c.finish()?;
+        return Ok(FameFrame::FeedbackTrue { reported });
+    }
+    let mut c = Cursor::new(t);
+    if c.expect("FeedbackBitmap").is_ok() {
+        c.expect("{")?;
+        c.expect("known")?;
+        c.expect(":")?;
+        let known = c.parse_map(Cursor::parse_bool)?;
+        c.expect("}")?;
+        c.finish()?;
+        return Ok(FameFrame::FeedbackBitmap { known });
+    }
+    let mut c = Cursor::new(t);
+    if c.expect("Vector").is_ok() {
+        c.expect("{")?;
+        c.expect("owner")?;
+        c.expect(":")?;
+        let owner = c.parse_usize()?;
+        c.expect(",")?;
+        c.expect("messages")?;
+        c.expect(":")?;
+        let messages = c.parse_map(Cursor::parse_byte_list)?;
+        c.expect("}")?;
+        c.finish()?;
+        return Ok(FameFrame::Vector { owner, messages });
+    }
+    Err(format!("unrecognized frame encoding: {t}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_encodings_roundtrip() {
+        let frames = vec![
+            FameFrame::FeedbackFalse,
+            FameFrame::FeedbackTrue { reported: 17 },
+            FameFrame::Vector {
+                owner: 0,
+                messages: BTreeMap::new(),
+            },
+            FameFrame::Vector {
+                owner: 3,
+                messages: [(1usize, b"forged".to_vec()), (2, Vec::new())]
+                    .into_iter()
+                    .collect(),
+            },
+            FameFrame::FeedbackBitmap {
+                known: [(0usize, true), (5, false)].into_iter().collect(),
+            },
+        ];
+        for frame in frames {
+            let encoded = format!("{frame:?}");
+            assert_eq!(
+                decode_fame_frame(&encoded).expect("decodes"),
+                frame,
+                "{encoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn digest_bearing_variants_are_named_lossy() {
+        let err = decode_fame_frame("GossipChunk { owner: 0, index: 1, .. }").unwrap_err();
+        assert!(err.contains("lossy"), "{err}");
+        let err = decode_fame_frame("VectorSignature { owner: 0, .. }").unwrap_err();
+        assert!(err.contains("lossy"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(decode_fame_frame("Vector { owner: }").is_err());
+        assert!(decode_fame_frame("ping").is_err());
+        assert!(decode_fame_frame("FeedbackTrue { reported: 1 } x").is_err());
+    }
+}

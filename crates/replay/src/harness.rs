@@ -1,0 +1,400 @@
+//! Protocol-aware replay: rebuild the exact honest-side run a corpus
+//! trace was recorded from, drive it against the [`ScriptedAdversary`],
+//! and hand back the re-encoded lines for byte comparison.
+//!
+//! Every corpus trace ships with a `.meta.json` sidecar describing the
+//! run — a [`CorpusScenario`]. The honest side is fully determined by
+//! the sidecar (nodes, seeds, retention window); the adversary side
+//! comes verbatim from the trace itself, so the *same* sidecar replays
+//! a healthy trace bit-identically and exposes the first divergent
+//! round of a corrupted one.
+
+use std::fmt;
+use std::path::Path;
+
+use fame::longlived::LongLivedNode;
+use fame::longlived::{run_longlived_streaming, ScriptEntry, LONGLIVED_TRACE_WINDOW};
+use fame::protocol::{make_nodes, run_fame_streaming, FAME_TRACE_WINDOW};
+use fame::Params;
+use radio_crypto::{SealedBox, SymmetricKey};
+use radio_network::adversaries::{BusyChannelJammer, NoAdversary, RandomJammer, SweepJammer};
+use radio_network::{
+    Adversary, ChannelSink, NetworkConfig, OverflowPolicy, Protocol, Simulation, TraceRetention,
+};
+use secure_radio_bench::json::{self, Json};
+use secure_radio_bench::scenario::TRACE_QUEUE_CAPACITY;
+use secure_radio_bench::{AdversaryChoice, ScenarioSpec};
+
+use crate::driver::{collected_lines, run_dense, CollectorSink, EngineMode};
+use crate::frames::decode_fame_frame;
+use crate::reader::TraceFile;
+use crate::scripted::ScriptedAdversary;
+
+/// The fixed group key corpus long-lived sessions run under (the session
+/// is a regression fixture, not a security artifact).
+fn corpus_key() -> SymmetricKey {
+    SymmetricKey::from_bytes([42u8; 32])
+}
+
+/// One recorded run, as described by a corpus `.meta.json` sidecar:
+/// everything needed to rebuild the honest side of the execution.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CorpusScenario {
+    /// One trial of a bench [`ScenarioSpec`] driven through wide-band
+    /// f-AME ([`run_fame_streaming`]).
+    Fame {
+        /// The scenario (workload, adversary, seeds) — lossless JSON via
+        /// [`ScenarioSpec::json`].
+        spec: ScenarioSpec,
+        /// Which trial of the scenario was recorded.
+        trial: usize,
+    },
+    /// A long-lived emulated-channel session
+    /// ([`run_longlived_streaming`]), under a noise-only adversary.
+    LongLived {
+        /// Honest node count.
+        n: usize,
+        /// Adversary budget.
+        t: usize,
+        /// Channel count.
+        channels: usize,
+        /// Simulation seed.
+        seed: u64,
+        /// The (noise-only) attacker.
+        adversary: AdversaryChoice,
+        /// Node ids holding the group key.
+        keyed: Vec<usize>,
+        /// The broadcast script.
+        script: Vec<ScriptEntry>,
+    },
+}
+
+/// Build a noise-only adversary generically over the frame type — the
+/// long-lived channel's frames ([`SealedBox`]) cannot be forged from a
+/// recorded string, so spoofing roster members are rejected here.
+fn noise_adversary<M: 'static>(
+    choice: &AdversaryChoice,
+    seed: u64,
+) -> Result<Box<dyn Adversary<M>>, String> {
+    match choice {
+        AdversaryChoice::None => Ok(Box::new(NoAdversary)),
+        AdversaryChoice::RandomJam => Ok(Box::new(RandomJammer::new(seed))),
+        AdversaryChoice::SweepJam => Ok(Box::new(SweepJammer::new())),
+        AdversaryChoice::BusyChannel { window } => {
+            Ok(Box::new(BusyChannelJammer::new(seed, *window)))
+        }
+        other => Err(format!(
+            "adversary \"{}\" spoofs protocol frames and cannot drive the long-lived channel",
+            other.label()
+        )),
+    }
+}
+
+/// Drive a prepared node vector against a scripted schedule for exactly
+/// `rounds` rounds and return the re-encoded lines.
+fn drive<P>(
+    cfg: NetworkConfig,
+    retention: TraceRetention,
+    nodes: Vec<P>,
+    scripted: ScriptedAdversary<P::Msg>,
+    seed: u64,
+    rounds: u64,
+    mode: EngineMode,
+) -> Result<Vec<String>, String>
+where
+    P: Protocol,
+    P::Msg: fmt::Debug + Send + 'static,
+{
+    let (sink, lines) = CollectorSink::new(retention);
+    match mode {
+        EngineMode::Dense => {
+            run_dense(cfg, nodes, scripted, seed, rounds, Box::new(sink))?;
+        }
+        EngineMode::Sparse => {
+            let mut sim = Simulation::with_sink(cfg, nodes, scripted, seed, Box::new(sink))
+                .map_err(|e| format!("assemble replay simulation: {e}"))?;
+            for _ in 0..rounds {
+                sim.step().map_err(|e| format!("replay step: {e}"))?;
+            }
+        }
+    }
+    Ok(collected_lines(&lines))
+}
+
+impl CorpusScenario {
+    /// Replay `trace` under this scenario's honest side with the chosen
+    /// engine, returning the re-encoded line per driven round.
+    ///
+    /// # Errors
+    /// On spec/trace mismatches (undecodable spoof frames, invalid
+    /// parameters) or engine errors mid-replay.
+    pub fn replay(&self, trace: &TraceFile, mode: EngineMode) -> Result<Vec<String>, String> {
+        let rounds = trace.total_rounds();
+        match self {
+            CorpusScenario::Fame { spec, trial } => {
+                let params = spec.params();
+                let instance = spec.instance();
+                let seed = spec.trial_seed(*trial);
+                let nodes = make_nodes(&instance, &params, seed)
+                    .map_err(|e| format!("assemble f-AME nodes: {e}"))?;
+                let scripted =
+                    ScriptedAdversary::from_records(&trace.records, rounds, decode_fame_frame)?;
+                let retention = TraceRetention::LastRounds(FAME_TRACE_WINDOW);
+                let cfg = NetworkConfig::new(params.c(), params.t())
+                    .map_err(|e| format!("network config: {e}"))?
+                    .with_retention(retention);
+                drive(cfg, retention, nodes, scripted, seed, rounds, mode)
+            }
+            CorpusScenario::LongLived {
+                n,
+                t,
+                channels,
+                seed,
+                adversary: _,
+                keyed,
+                script,
+            } => {
+                let params = Params::new(*n, *t, *channels)
+                    .map_err(|e| format!("long-lived params: {e:?}"))?;
+                let keys: Vec<Option<SymmetricKey>> = (0..*n)
+                    .map(|id| keyed.contains(&id).then(corpus_key))
+                    .collect();
+                for entry in script {
+                    if keys.get(entry.sender).is_none_or(Option::is_none) {
+                        return Err(format!("scripted sender {} has no group key", entry.sender));
+                    }
+                }
+                let emulated_rounds = script.iter().map(|e| e.eround + 1).max().unwrap_or(0);
+                let nodes: Vec<LongLivedNode> = (0..*n)
+                    .map(|id| {
+                        let my_script = script
+                            .iter()
+                            .filter(|e| e.sender == id)
+                            .map(|e| (e.eround, e.message.clone()))
+                            .collect();
+                        LongLivedNode::new(id, params, keys[id], my_script, emulated_rounds)
+                    })
+                    .collect();
+                let scripted: ScriptedAdversary<SealedBox> =
+                    ScriptedAdversary::from_records(&trace.records, rounds, |s| {
+                        Err(format!(
+                            "long-lived corpus adversaries never spoof; cannot decode a \
+                             SealedBox from \"{s}\""
+                        ))
+                    })?;
+                let retention = TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW);
+                let cfg = NetworkConfig::new(params.c(), params.t())
+                    .map_err(|e| format!("network config: {e}"))?
+                    .with_retention(retention);
+                drive(cfg, retention, nodes, scripted, *seed, rounds, mode)
+            }
+        }
+    }
+
+    /// Record this scenario's trace to `path` through the shared
+    /// [`radio_network::record_line`] encoder (via [`ChannelSink`]) —
+    /// the corpus (re)generation path.
+    ///
+    /// # Errors
+    /// On I/O failure or a failed run.
+    pub fn record(&self, path: &Path) -> Result<(), String> {
+        match self {
+            CorpusScenario::Fame { spec, trial } => {
+                let params = spec.params();
+                let instance = spec.instance();
+                let seed = spec.trial_seed(*trial);
+                let adversary = spec.adversary.build(&params, instance.pairs(), seed);
+                let sink = ChannelSink::create(path, TRACE_QUEUE_CAPACITY, OverflowPolicy::Block)
+                    .map_err(|e| format!("create {}: {e}", path.display()))?
+                    .with_history(TraceRetention::LastRounds(FAME_TRACE_WINDOW));
+                run_fame_streaming(&instance, &params, adversary, seed, Box::new(sink))
+                    .map_err(|e| format!("record f-AME run: {e}"))?;
+                Ok(())
+            }
+            CorpusScenario::LongLived {
+                n,
+                t,
+                channels,
+                seed,
+                adversary,
+                keyed,
+                script,
+            } => {
+                let params = Params::new(*n, *t, *channels)
+                    .map_err(|e| format!("long-lived params: {e:?}"))?;
+                let keys: Vec<Option<SymmetricKey>> = (0..*n)
+                    .map(|id| keyed.contains(&id).then(corpus_key))
+                    .collect();
+                let adversary = noise_adversary::<SealedBox>(adversary, *seed)?;
+                let sink = ChannelSink::create(path, TRACE_QUEUE_CAPACITY, OverflowPolicy::Block)
+                    .map_err(|e| format!("create {}: {e}", path.display()))?
+                    .with_history(TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW));
+                run_longlived_streaming(&params, &keys, script, adversary, *seed, Box::new(sink))
+                    .map_err(|e| format!("record long-lived run: {e}"))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// This scenario as a single-line `.meta.json` sidecar object.
+    pub fn json(&self) -> String {
+        match self {
+            CorpusScenario::Fame { spec, trial } => {
+                format!(
+                    "{{\"kind\":\"fame\",\"trial\":{trial},\"spec\":{}}}",
+                    spec.json()
+                )
+            }
+            CorpusScenario::LongLived {
+                n,
+                t,
+                channels,
+                seed,
+                adversary,
+                keyed,
+                script,
+            } => {
+                let keyed: Vec<String> = keyed.iter().map(usize::to_string).collect();
+                let script: Vec<String> = script
+                    .iter()
+                    .map(|e| {
+                        let bytes: Vec<String> = e.message.iter().map(u8::to_string).collect();
+                        format!(
+                            "{{\"eround\":{},\"sender\":{},\"message\":[{}]}}",
+                            e.eround,
+                            e.sender,
+                            bytes.join(",")
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"kind\":\"longlived\",\"n\":{n},\"t\":{t},\"channels\":{channels},\
+                     \"seed\":{seed},\"adversary\":{},\"keyed\":[{}],\"script\":[{}]}}",
+                    adversary.json(),
+                    keyed.join(","),
+                    script.join(",")
+                )
+            }
+        }
+    }
+
+    /// Parse a `.meta.json` sidecar.
+    ///
+    /// # Errors
+    /// On malformed JSON or an unknown `kind`.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        const CTX: &str = "corpus meta";
+        let v = Json::parse(text).map_err(|e| format!("{CTX}: {e}"))?;
+        match json::kind(&v, CTX)? {
+            "fame" => Ok(CorpusScenario::Fame {
+                spec: ScenarioSpec::from_json(json::field(&v, "spec", CTX)?)?,
+                trial: json::usize_field(&v, "trial", CTX)?,
+            }),
+            "longlived" => {
+                let keyed = json::field(&v, "keyed", CTX)?
+                    .as_array()
+                    .ok_or_else(|| format!("{CTX}: \"keyed\" is not an array"))?
+                    .iter()
+                    .map(|e| {
+                        e.as_usize()
+                            .ok_or_else(|| format!("{CTX}: keyed entry is not an index"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut script = Vec::new();
+                for (i, entry) in json::field(&v, "script", CTX)?
+                    .as_array()
+                    .ok_or_else(|| format!("{CTX}: \"script\" is not an array"))?
+                    .iter()
+                    .enumerate()
+                {
+                    let ctx = format!("script[{i}]");
+                    let message = json::field(entry, "message", &ctx)?
+                        .as_array()
+                        .ok_or_else(|| format!("{ctx}: \"message\" is not an array"))?
+                        .iter()
+                        .map(|b| {
+                            b.as_u64()
+                                .and_then(|n| u8::try_from(n).ok())
+                                .ok_or_else(|| format!("{ctx}: message byte out of range"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    script.push(ScriptEntry {
+                        eround: json::u64_field(entry, "eround", &ctx)?,
+                        sender: json::usize_field(entry, "sender", &ctx)?,
+                        message,
+                    });
+                }
+                Ok(CorpusScenario::LongLived {
+                    n: json::usize_field(&v, "n", CTX)?,
+                    t: json::usize_field(&v, "t", CTX)?,
+                    channels: json::usize_field(&v, "channels", CTX)?,
+                    seed: json::u64_field(&v, "seed", CTX)?,
+                    adversary: AdversaryChoice::from_json(json::field(&v, "adversary", CTX)?)?,
+                    keyed,
+                    script,
+                })
+            }
+            other => Err(format!("{CTX}: unknown kind \"{other}\"")),
+        }
+    }
+
+    /// A short human label (used in corpus file names and reports).
+    pub fn label(&self) -> String {
+        match self {
+            CorpusScenario::Fame { spec, trial } => format!("fame/{} trial {trial}", spec.name),
+            CorpusScenario::LongLived { adversary, .. } => {
+                format!("longlived/{}", adversary.label())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn longlived_scenario() -> CorpusScenario {
+        CorpusScenario::LongLived {
+            n: 40,
+            t: 2,
+            channels: 3,
+            seed: 11,
+            adversary: AdversaryChoice::RandomJam,
+            keyed: vec![0, 1, 2, 3, 4],
+            script: vec![
+                ScriptEntry {
+                    eround: 0,
+                    sender: 0,
+                    message: b"hello".to_vec(),
+                },
+                ScriptEntry {
+                    eround: 1,
+                    sender: 3,
+                    message: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn meta_sidecars_roundtrip() {
+        let fame = CorpusScenario::Fame {
+            spec: ScenarioSpec::new("corpus", 40, 2, 3),
+            trial: 0,
+        };
+        for scenario in [fame, longlived_scenario()] {
+            let encoded = scenario.json();
+            let decoded = CorpusScenario::from_json_str(&encoded).expect("parses");
+            assert_eq!(decoded, scenario, "{encoded}");
+        }
+    }
+
+    #[test]
+    fn spoofing_adversaries_cannot_drive_longlived() {
+        let err = match noise_adversary::<SealedBox>(&AdversaryChoice::Spoof, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("spoofing adversary must be rejected"),
+        };
+        assert!(err.contains("spoof"), "{err}");
+    }
+}

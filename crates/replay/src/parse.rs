@@ -1,0 +1,159 @@
+//! Inverse of [`radio_network::record_line`]: one JSONL trace line back
+//! into a [`RoundRecord<String>`].
+//!
+//! Frames stay as the recorded **strings** (the encoder's rendering of
+//! the protocol frame, `Debug` by default); decoding them back into
+//! protocol messages is the job of [`crate::frames`]. Field order inside
+//! the record is the line's order, and [`RoundRecord::from_parts`]
+//! preserves it, so re-encoding a parsed line with
+//! [`radio_network::record_line`] reproduces it byte-for-byte — the
+//! round-trip guarantee pinned by `tests/roundtrip.rs`.
+
+use radio_network::{ChannelId, Emission, NodeId, RoundRecord};
+use secure_radio_bench::json::{self, Json};
+
+fn arr_field<'a>(v: &'a Json, key: &str, context: &str) -> Result<&'a [Json], String> {
+    json::field(v, key, context)?
+        .as_array()
+        .ok_or_else(|| format!("{context}: field \"{key}\" is not an array"))
+}
+
+/// Parse one trace line (no trailing newline required) into a
+/// [`RoundRecord`] whose frames are the recorded frame strings.
+///
+/// The line must follow `docs/TRACE_FORMAT.md`: a single object with
+/// `round`, `transmissions`, `listeners`, `adversary`, and a dense
+/// `delivered` array (one slot per channel, `null` where nothing was
+/// delivered). The record's channel count is the `delivered` length.
+///
+/// # Errors
+/// On malformed JSON or any missing/ill-typed field; the message names
+/// the offending field.
+pub fn parse_record_line(line: &str) -> Result<RoundRecord<String>, String> {
+    let v = Json::parse(line).map_err(|e| format!("trace line: {e}"))?;
+    let round = json::u64_field(&v, "round", "trace line")?;
+
+    let mut transmissions = Vec::new();
+    for (i, entry) in arr_field(&v, "transmissions", "trace line")?
+        .iter()
+        .enumerate()
+    {
+        let ctx = format!("transmissions[{i}]");
+        transmissions.push((
+            NodeId(json::usize_field(entry, "node", &ctx)?),
+            ChannelId(json::usize_field(entry, "channel", &ctx)?),
+            json::str_field(entry, "frame", &ctx)?.to_string(),
+        ));
+    }
+
+    let mut listeners = Vec::new();
+    for (i, entry) in arr_field(&v, "listeners", "trace line")?.iter().enumerate() {
+        let ctx = format!("listeners[{i}]");
+        listeners.push((
+            NodeId(json::usize_field(entry, "node", &ctx)?),
+            ChannelId(json::usize_field(entry, "channel", &ctx)?),
+        ));
+    }
+
+    let mut adversary = Vec::new();
+    for (i, entry) in arr_field(&v, "adversary", "trace line")?.iter().enumerate() {
+        let ctx = format!("adversary[{i}]");
+        let channel = ChannelId(json::usize_field(entry, "channel", &ctx)?);
+        let emission = match json::kind(entry, &ctx)? {
+            "noise" => Emission::Noise,
+            "spoof" => Emission::Spoof(json::str_field(entry, "frame", &ctx)?.to_string()),
+            other => return Err(format!("{ctx}: unknown emission kind \"{other}\"")),
+        };
+        adversary.push((channel, emission));
+    }
+
+    let mut delivered = Vec::new();
+    for (i, slot) in arr_field(&v, "delivered", "trace line")?.iter().enumerate() {
+        delivered.push(match slot {
+            Json::Null => None,
+            Json::Str(s) => Some(s.clone()),
+            _ => return Err(format!("delivered[{i}]: expected a frame string or null")),
+        });
+    }
+
+    Ok(RoundRecord::from_parts(
+        round,
+        transmissions,
+        listeners,
+        adversary,
+        delivered,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_network::record_line;
+
+    #[test]
+    fn parses_the_format_doc_example() {
+        let line = "{\"round\":17,\"transmissions\":[{\"node\":3,\"channel\":1,\"frame\":\"ping\"}],\
+                    \"listeners\":[{\"node\":5,\"channel\":1}],\
+                    \"adversary\":[{\"channel\":0,\"kind\":\"noise\"},{\"channel\":2,\"kind\":\"spoof\",\"frame\":\"fake\"}],\
+                    \"delivered\":[null,\"ping\",null]}";
+        let record = parse_record_line(line).expect("valid line");
+        assert_eq!(record.round, 17);
+        assert_eq!(record.channels, 3);
+        assert_eq!(record.transmissions().count(), 1);
+        assert_eq!(record.listeners().count(), 1);
+        assert_eq!(record.adversary().count(), 2);
+        assert_eq!(
+            record.delivered_on(ChannelId(1)).map(String::as_str),
+            Some("ping")
+        );
+        assert_eq!(record.delivered_on(ChannelId(0)), None);
+        // And the re-encoding is byte-identical (whitespace-free input).
+        let line: String = line.split_whitespace().collect::<Vec<_>>().join("");
+        assert_eq!(record_line(&record, String::clone), line);
+    }
+
+    #[test]
+    fn empty_round_roundtrips() {
+        let record = RoundRecord::<String>::from_parts(
+            0,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            vec![None, None],
+        );
+        let line = record_line(&record, String::clone);
+        assert_eq!(parse_record_line(&line).expect("valid"), record);
+    }
+
+    #[test]
+    fn control_characters_in_frames_roundtrip() {
+        let nasty = "a\"b\\c\nd\te\rf\u{1}g\u{7f}π🦀".to_string();
+        let record = RoundRecord::from_parts(
+            3,
+            vec![(NodeId(1), ChannelId(0), nasty.clone())],
+            Vec::new(),
+            vec![(ChannelId(1), Emission::Spoof(nasty.clone()))],
+            vec![Some(nasty), None],
+        );
+        let line = record_line(&record, String::clone);
+        assert_eq!(parse_record_line(&line).expect("valid"), record);
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_bad_kinds() {
+        assert!(parse_record_line("{}").unwrap_err().contains("round"));
+        let no_frame = "{\"round\":0,\"transmissions\":[{\"node\":0,\"channel\":0}],\
+                        \"listeners\":[],\"adversary\":[],\"delivered\":[null]}";
+        assert!(parse_record_line(no_frame).unwrap_err().contains("frame"));
+        let bad_kind = "{\"round\":0,\"transmissions\":[],\"listeners\":[],\
+                        \"adversary\":[{\"channel\":0,\"kind\":\"jam\"}],\"delivered\":[null]}";
+        assert!(parse_record_line(bad_kind)
+            .unwrap_err()
+            .contains("unknown emission kind"));
+        let bad_slot = "{\"round\":0,\"transmissions\":[],\"listeners\":[],\
+                        \"adversary\":[],\"delivered\":[7]}";
+        assert!(parse_record_line(bad_slot)
+            .unwrap_err()
+            .contains("delivered[0]"));
+    }
+}

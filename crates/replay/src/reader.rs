@@ -1,0 +1,203 @@
+//! Whole-file trace reading: parse every line, keep the original bytes
+//! for byte-level comparison, and police the round numbering.
+//!
+//! A healthy trace written by [`radio_network::ChannelSink`] under
+//! [`radio_network::OverflowPolicy::Block`] numbers its rounds
+//! `0, 1, 2, …` with no holes. Under `DropNewest` back-pressure (or a
+//! torn copy) records can go missing; [`GapPolicy`] decides whether that
+//! is an error or merely counted.
+
+use std::fs;
+use std::path::Path;
+
+use radio_network::{record_line, RoundRecord};
+
+use crate::parse::parse_record_line;
+
+/// What to do when round numbers in a trace file are not consecutive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GapPolicy {
+    /// Refuse the file: every round `0..n` must be present exactly once.
+    Reject,
+    /// Tolerate holes (rounds must still be strictly increasing); the
+    /// number of missing rounds is reported in [`TraceFile::skipped`].
+    Skip,
+}
+
+/// A fully parsed trace file: the records, the original line bytes
+/// (parallel to `records`), and how many rounds were missing.
+#[derive(Clone, Debug)]
+pub struct TraceFile {
+    /// Parsed records, in file order (round numbers strictly increasing).
+    pub records: Vec<RoundRecord<String>>,
+    /// The original lines, byte-for-byte, parallel to `records`.
+    pub lines: Vec<String>,
+    /// Rounds missing from `0..total_rounds()` (0 under [`GapPolicy::Reject`]).
+    pub skipped: u64,
+}
+
+impl TraceFile {
+    /// Parse a whole trace from text, one JSON object per non-empty line.
+    ///
+    /// # Errors
+    /// On any unparsable line (with its 1-based line number), on
+    /// duplicate or decreasing round numbers, and — under
+    /// [`GapPolicy::Reject`] — on any hole in the round sequence.
+    pub fn parse_str(text: &str, policy: GapPolicy) -> Result<Self, String> {
+        let mut records = Vec::new();
+        let mut lines = Vec::new();
+        let mut skipped = 0u64;
+        let mut expect = 0u64;
+        for (idx, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let record = parse_record_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            if record.round < expect {
+                return Err(format!(
+                    "line {lineno}: round {} repeats or decreases (expected >= {expect})",
+                    record.round
+                ));
+            }
+            if record.round > expect {
+                let missing = record.round - expect;
+                match policy {
+                    GapPolicy::Reject => {
+                        let prev = if expect == 0 {
+                            "the start of the trace".to_string()
+                        } else {
+                            format!("round {}", expect - 1)
+                        };
+                        return Err(format!(
+                            "line {lineno}: round {} follows {prev} — {missing} record(s) \
+                             missing (re-run with gap-skipping to tolerate lossy traces)",
+                            record.round,
+                        ));
+                    }
+                    GapPolicy::Skip => skipped += missing,
+                }
+            }
+            expect = record.round + 1;
+            records.push(record);
+            lines.push(line.to_string());
+        }
+        Ok(TraceFile {
+            records,
+            lines,
+            skipped,
+        })
+    }
+
+    /// Read and parse a trace file from disk.
+    ///
+    /// # Errors
+    /// On I/O failure or any [`TraceFile::parse_str`] error.
+    pub fn load(path: &Path, policy: GapPolicy) -> Result<Self, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse_str(&text, policy)
+    }
+
+    /// One past the highest recorded round (the number of rounds a
+    /// faithful replay must drive), or 0 for an empty trace.
+    pub fn total_rounds(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.round + 1)
+    }
+
+    /// The channel count, taken from the first record.
+    pub fn channels(&self) -> Option<usize> {
+        self.records.first().map(|r| r.channels)
+    }
+
+    /// Corrupt the stored *expected* side of round `round` by inserting a
+    /// listener no real run can produce (`node 4096`), then re-encode the
+    /// stored line from the mutated record. A replay of the unmodified
+    /// schedule is then guaranteed to diverge at exactly this round —
+    /// the negative control for the differential runner.
+    ///
+    /// # Errors
+    /// If `round` is not present in the trace.
+    pub fn mutate_round(&mut self, round: u64) -> Result<(), String> {
+        let idx = self
+            .records
+            .iter()
+            .position(|r| r.round == round)
+            .ok_or_else(|| format!("round {round} is not present in the trace"))?;
+        let old = &self.records[idx];
+        let mutated = RoundRecord::from_parts(
+            old.round,
+            old.transmissions()
+                .map(|(n, c, f)| (n, c, f.clone()))
+                .collect(),
+            std::iter::once((radio_network::NodeId(4096), radio_network::ChannelId(0)))
+                .chain(old.listeners())
+                .collect(),
+            old.adversary().map(|(c, e)| (c, e.clone())).collect(),
+            old.delivered_dense().map(|s| s.cloned()).collect(),
+        );
+        self.lines[idx] = record_line(&mutated, String::clone);
+        self.records[idx] = mutated;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(round: u64) -> String {
+        format!(
+            "{{\"round\":{round},\"transmissions\":[],\"listeners\":[],\"adversary\":[],\
+             \"delivered\":[null,null]}}"
+        )
+    }
+
+    #[test]
+    fn consecutive_rounds_load_cleanly() {
+        let text = format!("{}\n{}\n{}\n", line(0), line(1), line(2));
+        let trace = TraceFile::parse_str(&text, GapPolicy::Reject).expect("clean trace");
+        assert_eq!(trace.records.len(), 3);
+        assert_eq!(trace.total_rounds(), 3);
+        assert_eq!(trace.skipped, 0);
+        assert_eq!(trace.channels(), Some(2));
+    }
+
+    #[test]
+    fn gaps_reject_by_default_and_count_under_skip() {
+        let text = format!("{}\n{}\n{}\n", line(0), line(3), line(4));
+        let err = TraceFile::parse_str(&text, GapPolicy::Reject).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("2 record(s) missing"), "{err}");
+
+        let trace = TraceFile::parse_str(&text, GapPolicy::Skip).expect("skip tolerates gaps");
+        assert_eq!(trace.records.len(), 3);
+        assert_eq!(trace.skipped, 2);
+        assert_eq!(trace.total_rounds(), 5);
+    }
+
+    #[test]
+    fn duplicates_and_reordering_always_reject() {
+        let dup = format!("{}\n{}\n", line(1), line(1));
+        // A trace must start at round 0, so a leading round 1 is a gap…
+        assert!(TraceFile::parse_str(&dup, GapPolicy::Reject).is_err());
+        // …and even under Skip, the repeat is fatal.
+        let err = TraceFile::parse_str(&dup, GapPolicy::Skip).unwrap_err();
+        assert!(err.contains("repeats or decreases"), "{err}");
+
+        let reordered = format!("{}\n{}\n", line(2), line(0));
+        let err = TraceFile::parse_str(&reordered, GapPolicy::Skip).unwrap_err();
+        assert!(err.contains("repeats or decreases"), "{err}");
+    }
+
+    #[test]
+    fn mutate_round_rewrites_one_line() {
+        let text = format!("{}\n{}\n", line(0), line(1));
+        let mut trace = TraceFile::parse_str(&text, GapPolicy::Reject).expect("clean");
+        let before = trace.lines[1].clone();
+        trace.mutate_round(1).expect("round exists");
+        assert_ne!(trace.lines[1], before);
+        assert!(trace.lines[1].contains("\"node\":4096"));
+        assert_eq!(trace.lines[0], line(0));
+        assert!(trace.mutate_round(7).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Satellite: lossy-trace handling. A file whose `round` numbers are not
+//! consecutive (here: synthetically truncated mid-file) is rejected by
+//! default, or gap-skipped behind [`GapPolicy::Skip`] with the
+//! dropped-record count reported.
+
+use std::path::PathBuf;
+
+use replay::{GapPolicy, TraceFile};
+
+fn temp_file(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("replay-lossy-{}-{tag}.jsonl", std::process::id()))
+}
+
+fn synthetic_line(round: u64) -> String {
+    format!(
+        "{{\"round\":{round},\"transmissions\":[{{\"node\":1,\"channel\":0,\"frame\":\"f{round}\"}}],\
+         \"listeners\":[],\"adversary\":[],\"delivered\":[\"f{round}\",null,null]}}"
+    )
+}
+
+/// Ten recorded rounds with rounds 3–5 torn out, as a file on disk.
+fn truncated_trace(tag: &str) -> PathBuf {
+    let path = temp_file(tag);
+    let mut text = String::new();
+    for round in (0..10).filter(|r| !(3..=5).contains(r)) {
+        text.push_str(&synthetic_line(round));
+        text.push('\n');
+    }
+    std::fs::write(&path, text).expect("write truncated trace");
+    path
+}
+
+#[test]
+fn truncated_file_is_rejected_by_default() {
+    let path = truncated_trace("reject");
+    let err = TraceFile::load(&path, GapPolicy::Reject).unwrap_err();
+    std::fs::remove_file(&path).expect("cleanup");
+    // The error names the line, the surrounding rounds, and the count.
+    assert!(err.contains("line 4"), "{err}");
+    assert!(err.contains("round 6 follows round 2"), "{err}");
+    assert!(err.contains("3 record(s) missing"), "{err}");
+}
+
+#[test]
+fn truncated_file_gap_skips_behind_the_flag_and_reports_the_count() {
+    let path = truncated_trace("skip");
+    let trace = TraceFile::load(&path, GapPolicy::Skip).expect("Skip tolerates the tear");
+    std::fs::remove_file(&path).expect("cleanup");
+    assert_eq!(trace.records.len(), 7);
+    assert_eq!(trace.skipped, 3, "dropped-record count");
+    assert_eq!(trace.total_rounds(), 10);
+    // The surviving records are intact and in order.
+    let rounds: Vec<u64> = trace.records.iter().map(|r| r.round).collect();
+    assert_eq!(rounds, vec![0, 1, 2, 6, 7, 8, 9]);
+}
+
+#[test]
+fn leading_truncation_counts_from_round_zero() {
+    let path = temp_file("leading");
+    let text = format!("{}\n{}\n", synthetic_line(2), synthetic_line(3));
+    std::fs::write(&path, text).expect("write");
+    let err = TraceFile::load(&path, GapPolicy::Reject).unwrap_err();
+    assert!(err.contains("follows the start of the trace"), "{err}");
+    let trace = TraceFile::load(&path, GapPolicy::Skip).expect("Skip tolerates");
+    std::fs::remove_file(&path).expect("cleanup");
+    assert_eq!(trace.skipped, 2);
+    assert_eq!(trace.total_rounds(), 4);
+}

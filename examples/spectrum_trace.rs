@@ -3,73 +3,56 @@
 //! attempts marked.
 //!
 //! ```text
-//! cargo run --example spectrum_trace
+//! cargo run --example spectrum_trace [output.jsonl]
 //! ```
 //!
 //! Legend: `T` honest transmission delivered, `x` collision (jam or
 //! honest-honest), `!` spoofed frame delivered, `.` idle, `~` noise.
+//!
+//! The run is streamed through the shared `record_line` encoder into a
+//! JSONL trace file (default: under the system temp directory), so the
+//! exact run shown here can be re-driven with the `replay` binary.
 
-use secure_radio::fame::adversaries::{FeedbackPolicy, OmniscientJammer, TransmissionPolicy};
-use secure_radio::fame::protocol::{make_nodes, round_budget};
-use secure_radio::fame::{AmeInstance, Params};
-use secure_radio::net::{NetworkConfig, Simulation};
+use std::path::PathBuf;
+
+use secure_radio::net::ChannelId;
+use secure_radio::spectrum::run_spectrum_demo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = Params::minimal(40, 2)?;
-    let pairs = [(0, 20), (1, 21), (2, 22), (3, 23)];
-    let instance = AmeInstance::new(params.n(), pairs)?;
-    let adversary = OmniscientJammer::new(
-        &params,
-        instance.pairs(),
-        TransmissionPolicy::PreferEdges,
-        FeedbackPolicy::Random,
-        5,
-    )
-    .with_spoofing();
-
-    let nodes = make_nodes(&instance, &params, 7)?;
-    let cfg = NetworkConfig::new(params.c(), params.t())?;
-    let mut sim = Simulation::new(cfg, nodes, adversary, 7)?;
-
-    // Step manually for the first rounds and draw the waterfall from the
-    // trace. (`Network::resolve_round` is also usable directly — see the
-    // `radio_network` docs.)
-    let budget = round_budget(&params, instance.len());
-    let draw_rounds = 60u64;
-    println!(
-        "spectrum waterfall (first {draw_rounds} rounds, C = {}):\n",
-        params.c()
+    let trace_path = std::env::args().nth(1).map_or_else(
+        || std::env::temp_dir().join("spectrum_trace.jsonl"),
+        PathBuf::from,
     );
+
+    let draw_rounds = 60u64;
+    println!("spectrum waterfall (first {draw_rounds} rounds, C = 3):\n");
     println!("round | ch0 ch1 ch2");
     println!("------+------------");
-    let mut drawn = 0u64;
-    while !sim.all_done() && drawn < budget {
-        sim.step()?;
-        if drawn < draw_rounds {
-            let rec = sim.trace().last().expect("just stepped");
-            let mut cells = Vec::new();
-            for ch in 0..params.c() {
-                let honest = rec
-                    .transmissions()
-                    .filter(|&(_, c, _)| c.index() == ch)
-                    .count();
-                let adv = rec.adversary().any(|(c, _)| c.index() == ch);
-                let spoofed = rec.spoof_delivered(secure_radio::net::ChannelId(ch));
-                let cell = match (honest, adv, spoofed) {
-                    (_, _, true) => " ! ",
-                    (1, false, _) => " T ",
-                    (0, true, _) => " ~ ",
-                    (0, false, _) => " . ",
-                    _ => " x ",
-                };
-                cells.push(cell);
-            }
-            println!("{:>5} |{}", rec.round, cells.join(" "));
+    let (stats, rounds) = run_spectrum_demo(&trace_path, |rec| {
+        if rec.round >= draw_rounds {
+            return;
         }
-        drawn += 1;
-    }
-    println!("\n(run continued to completion in {drawn} rounds)");
-    let stats = sim.stats();
+        let mut cells = Vec::new();
+        for ch in 0..rec.channels {
+            let honest = rec
+                .transmissions()
+                .filter(|&(_, c, _)| c.index() == ch)
+                .count();
+            let adv = rec.adversary().any(|(c, _)| c.index() == ch);
+            let spoofed = rec.spoof_delivered(ChannelId(ch));
+            let cell = match (honest, adv, spoofed) {
+                (_, _, true) => " ! ",
+                (1, false, _) => " T ",
+                (0, true, _) => " ~ ",
+                (0, false, _) => " . ",
+                _ => " x ",
+            };
+            cells.push(cell);
+        }
+        println!("{:>5} |{}", rec.round, cells.join(" "));
+    })?;
+
+    println!("\n(run continued to completion in {rounds} rounds)");
     println!(
         "stats: {} honest frames delivered, {} collisions, {} adversary emissions, {} spoofs delivered",
         stats.honest_deliveries, stats.collisions, stats.adversary_transmissions, stats.spoofs_delivered
@@ -78,6 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "note: spoofs can deliver on witness-free channels, but no f-AME \
          node ever *accepts* one — acceptance requires the deterministic \
          schedule to name the transmitter."
+    );
+    println!("\ntrace written to {}", trace_path.display());
+    println!(
+        "every line is canonical `record_line` output; tests/spectrum_replay.rs \
+         re-drives this exact run from the file via the replay crate's \
+         ScriptedAdversary and checks it byte-for-byte"
     );
     Ok(())
 }

@@ -20,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod spectrum;
+
 pub use fame;
 pub use radio_crypto as crypto;
 pub use radio_network as net;
