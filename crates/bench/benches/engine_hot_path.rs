@@ -218,7 +218,7 @@ fn bench_frame_kind<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: 
                 .unwrap()
                 .with_retention(retention);
             b.iter(|| {
-                let mut net: Network<M> = Network::new(cfg);
+                let mut net: Network<M> = Network::new(cfg.clone());
                 let mut delivered = 0usize;
                 for (r, acts) in schedule.iter().enumerate() {
                     let adv = adversary(r);
@@ -255,7 +255,7 @@ fn bench_arena<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str,
                 .unwrap()
                 .with_retention(retention);
             b.iter(|| {
-                let mut net: Network<M> = Network::new(cfg);
+                let mut net: Network<M> = Network::new(cfg.clone());
                 let mut delivered = 0usize;
                 for (acts, adv) in schedule.iter().zip(&adversaries) {
                     let view = net.resolve_round(acts, adv).unwrap();
@@ -331,7 +331,7 @@ fn bench_sinks<M: Clone + Debug + Send + 'static>(c: &mut Criterion, kind: &str,
         ("null", Box::new(|| Box::new(NullSink::new()))),
     ];
     for (label, make_sink) in variants {
-        let mut net: Network<M> = Network::with_sink(cfg, make_sink());
+        let mut net: Network<M> = Network::with_sink(cfg.clone(), make_sink());
         let mut round = 0usize;
         group.bench_function(label, |b| {
             b.iter(|| {
@@ -423,7 +423,7 @@ fn bench_sparse(c: &mut Criterion) {
     // slots rewritten per round — the gather loop still walks all n.
     for n in [10_000usize, 100_000] {
         group.bench_function(format!("dense_n{n}").as_str(), |b| {
-            let mut net: Network<u64> = Network::new(cfg);
+            let mut net: Network<u64> = Network::new(cfg.clone());
             let mut acts: Vec<Action<u64>> = vec![Action::Sleep; n];
             b.iter(|| {
                 let mut delivered = 0usize;
@@ -443,7 +443,7 @@ fn bench_sparse(c: &mut Criterion) {
     // across the nominal population); n never enters the engine.
     for n in [10_000usize, 100_000] {
         group.bench_function(format!("sparse_n{n}").as_str(), |b| {
-            let mut net: Network<u64> = Network::new(cfg);
+            let mut net: Network<u64> = Network::new(cfg.clone());
             let stride = n / ACTIVE;
             let mut pairs: Vec<(NodeId, Action<u64>)> = (0..ACTIVE)
                 .map(|i| (NodeId(i * stride), Action::Sleep))
@@ -479,8 +479,13 @@ fn bench_sparse(c: &mut Criterion) {
                     },
                 })
                 .collect();
-            let mut sim =
-                Simulation::new(cfg, nodes, radio_network::adversaries::NoAdversary, 7).unwrap();
+            let mut sim = Simulation::new(
+                cfg.clone(),
+                nodes,
+                radio_network::adversaries::NoAdversary,
+                7,
+            )
+            .unwrap();
             sim.step().unwrap(); // round 0: drain the sleepers
             b.iter(|| {
                 for _ in 0..ROUNDS_PER_ITER {

@@ -20,7 +20,7 @@ fn bench_fame(c: &mut Criterion) {
             let instance = AmeInstance::new(p.n(), pairs.iter().copied()).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(format!("random_jam/{}", regime.label()), e),
-                &(p, instance.clone()),
+                &(p.clone(), instance.clone()),
                 |b, (p, instance)| {
                     b.iter(|| run_fame(instance, p, RandomJammer::new(7), 5).expect("runs"))
                 },

@@ -70,7 +70,7 @@ fn bench_vertex_cover(c: &mut Criterion) {
 fn bench_engine_round(c: &mut Criterion) {
     let cfg = NetworkConfig::new(4, 2).unwrap();
     c.bench_function("engine/resolve_round/64nodes", |b| {
-        let mut net: Network<u64> = Network::new(cfg);
+        let mut net: Network<u64> = Network::new(cfg.clone());
         let actions: Vec<Action<u64>> = (0..64)
             .map(|i| match i % 3 {
                 0 => Action::Transmit {

@@ -111,6 +111,15 @@ impl Json {
         }
     }
 
+    /// The value as an exact `i64`, if it is a (possibly signed) integer
+    /// token.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// The value as `f64`, if it is any number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

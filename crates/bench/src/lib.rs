@@ -39,6 +39,7 @@
 //! all the paper's theorems are stated in. The Criterion benches under
 //! `benches/` additionally track wall-clock time of the simulator itself.
 
+pub mod channel_axis;
 pub mod json;
 pub mod runner;
 pub mod scenario;
@@ -46,11 +47,12 @@ pub mod shard;
 pub mod table;
 pub mod workloads;
 
+pub use channel_axis::{ChannelModelAxis, ChannelModelChoice};
 pub use runner::{
-    fame_run_for_trial, Aggregate, BenchReport, ExperimentRunner, TrialCtx, TrialError,
-    TrialOutcome,
+    fame_run_for_trial, fame_trial_outcome, Aggregate, BenchReport, ExperimentRunner, TrialCtx,
+    TrialError, TrialOutcome,
 };
-pub use scenario::{AdversaryChoice, ScenarioSpec, TraceOutput, Workload};
+pub use scenario::{channel_model_from_json, AdversaryChoice, ScenarioSpec, TraceOutput, Workload};
 pub use shard::{exec_shards, merge_shards, Shard, ShardMode, ShardedReport};
 pub use table::Table;
 

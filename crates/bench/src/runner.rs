@@ -393,7 +393,7 @@ impl ExperimentRunner {
         // Workload/instance are trial-invariant: build once, share.
         let params = spec.params();
         let instance = spec.instance();
-        self.run(spec, |ctx| fame_trial_on(&params, &instance, ctx))
+        self.run(spec, |ctx| fame_trial_outcome(&params, &instance, ctx))
     }
 }
 
@@ -408,7 +408,7 @@ impl ExperimentRunner {
 ///
 /// [`TrialError`] on engine/validation failure.
 pub fn fame_trial(ctx: &TrialCtx<'_>) -> Result<TrialOutcome, TrialError> {
-    fame_trial_on(&ctx.spec.params(), &ctx.spec.instance(), ctx)
+    fame_trial_outcome(&ctx.spec.params(), &ctx.spec.instance(), ctx)
 }
 
 /// Run f-AME for one trial with the scenario's adversary, honoring the
@@ -449,8 +449,18 @@ pub fn fame_run_for_trial(
     })
 }
 
-/// The single source of truth for f-AME trial accounting.
-fn fame_trial_on(
+/// The single source of truth for f-AME trial accounting: run the trial
+/// through [`fame_run_for_trial`] and fold the run into a
+/// [`TrialOutcome`] (rounds, moves, disruption cover, property
+/// violations, `ok = cover <= t && violations == 0`). Public so bins
+/// composing their own sweeps (e.g. the `--channel-model` axis, which
+/// must tolerate round-budget overruns) reuse the exact accounting the
+/// standard [`fame_trial`] applies.
+///
+/// # Errors
+///
+/// [`TrialError`] on sink creation or engine/validation failure.
+pub fn fame_trial_outcome(
     params: &Params,
     instance: &AmeInstance,
     ctx: &TrialCtx<'_>,
@@ -544,9 +554,19 @@ impl BenchReport {
             .rows
             .iter()
             .map(|(spec, a)| {
+                // Emitted only for non-ideal models so every pre-model
+                // report regenerates byte-identically.
+                let model = if spec.channel_model.is_ideal() {
+                    String::new()
+                } else {
+                    format!(
+                        ",\"channel_model\":\"{}\"",
+                        json_escape(&spec.channel_model.label())
+                    )
+                };
                 format!(
                     "    {{\"scenario\":\"{}\",\"n\":{},\"t\":{},\"channels\":{},\
-                     \"workload\":\"{}\",\"adversary\":\"{}\",\"trials\":{},\
+                     \"workload\":\"{}\",\"adversary\":\"{}\"{},\"trials\":{},\
                      \"base_seed\":{},\"rounds\":{{\"min\":{},\"median\":{},\"mean\":{:.2},\
                      \"p95\":{},\"max\":{}}},\"moves\":{{\"min\":{},\"median\":{},\
                      \"mean\":{:.2},\"p95\":{},\"max\":{}}},\"cover_measured\":{},\
@@ -558,6 +578,7 @@ impl BenchReport {
                     spec.channels,
                     json_escape(&spec.workload.label()),
                     json_escape(spec.adversary.label()),
+                    model,
                     spec.trials,
                     spec.base_seed,
                     a.rounds.min,
@@ -850,6 +871,26 @@ mod tests {
         assert!(json.contains("\"rounds\":{\"min\":"));
         let table = report.table("unit");
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn report_rows_label_non_ideal_models_only() {
+        use radio_network::ChannelModelSpec;
+        let mut report = BenchReport::new("cm");
+        report.push(
+            tiny_spec(1),
+            Aggregate::from_outcomes(1, &[TrialOutcome::default()]),
+        );
+        report.push(
+            tiny_spec(1).with_channel_model(ChannelModelSpec::Capture { threshold: 128 }),
+            Aggregate::from_outcomes(1, &[TrialOutcome::default()]),
+        );
+        let json = report.json();
+        assert_eq!(json.matches("\"channel_model\"").count(), 1);
+        assert!(
+            json.contains("\"channel_model\":\"capture-t128\""),
+            "{json}"
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@ use radio_network::adversaries::{
     BusyChannelJammer, NoAdversary, RandomJammer, Spoofer, SweepJammer,
 };
 use radio_network::{
-    json_escape, seed, Adversary, ChannelSink, OverflowPolicy, TraceRetention, TraceSink,
+    json_escape, seed, Adversary, ChannelModelSpec, ChannelSink, OverflowPolicy, TraceRetention,
+    TraceSink,
 };
 
 use crate::json::{field, kind, str_field, u64_field, usize_field, Json};
@@ -510,6 +511,10 @@ pub struct ScenarioSpec {
     pub base_seed: u64,
     /// Where execution traces go (in memory, or streamed to files).
     pub trace: TraceOutput,
+    /// The physical-layer channel model the trials run under
+    /// ([`ChannelModelSpec::Ideal`] by default — the paper's §3
+    /// semantics).
+    pub channel_model: ChannelModelSpec,
 }
 
 impl ScenarioSpec {
@@ -533,6 +538,7 @@ impl ScenarioSpec {
             trials: 1,
             base_seed: 0,
             trace: TraceOutput::Memory,
+            channel_model: ChannelModelSpec::Ideal,
         }
     }
 
@@ -575,6 +581,13 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_trace_output(mut self, trace: TraceOutput) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Set the physical-layer channel model (see [`ChannelModelSpec`]).
+    #[must_use]
+    pub fn with_channel_model(mut self, model: ChannelModelSpec) -> Self {
+        self.channel_model = model;
         self
     }
 
@@ -631,6 +644,14 @@ impl ScenarioSpec {
         std::fs::create_dir_all(dir)?;
         let path = self.trace_path(trial).expect("stream output has a path");
         let sink = ChannelSink::create(path, TRACE_QUEUE_CAPACITY, *policy)?.with_history(history);
+        // Non-ideal models stamp the trace with a header line so a replay
+        // can rebuild the exact network (docs/TRACE_FORMAT.md); ideal
+        // traces stay headerless, byte-identical to the pre-model format.
+        let sink = if self.channel_model.is_ideal() {
+            sink
+        } else {
+            sink.with_header(self.channel_model.header_line())
+        };
         Ok(Some(Box::new(sink)))
     }
 
@@ -656,7 +677,9 @@ impl ScenarioSpec {
             self.t,
             self.channels,
         );
-        Params::new(self.n, self.t, self.channels).expect("scenario params valid")
+        Params::new(self.n, self.t, self.channels)
+            .expect("scenario params valid")
+            .with_channel_model(self.channel_model.clone())
     }
 
     /// The seed stream for trial `trial` (stream 0 is reserved for the
@@ -690,9 +713,17 @@ impl ScenarioSpec {
     /// report re-emit rows byte-identically to an unsharded run
     /// (`docs/BENCH_FORMAT.md`, *Shard files*).
     pub fn json(&self) -> String {
+        // The channel model is appended only when non-ideal, so every
+        // pre-model spec encoding (committed shard files, corpus
+        // sidecars, grid fingerprints) stays byte-identical.
+        let model = if self.channel_model.is_ideal() {
+            String::new()
+        } else {
+            format!(",\"channel_model\":{}", self.channel_model.json())
+        };
         format!(
             "{{\"name\":\"{}\",\"n\":{},\"t\":{},\"channels\":{},\"workload\":{},\
-             \"adversary\":{},\"trials\":{},\"base_seed\":{},\"trace\":{}}}",
+             \"adversary\":{},\"trials\":{},\"base_seed\":{},\"trace\":{}{}}}",
             json_escape(&self.name),
             self.n,
             self.t,
@@ -702,6 +733,7 @@ impl ScenarioSpec {
             self.trials,
             self.base_seed,
             self.trace.json(),
+            model,
         )
     }
 
@@ -709,9 +741,35 @@ impl ScenarioSpec {
     ///
     /// # Errors
     ///
-    /// A message naming the missing/mistyped field.
+    /// A message naming the missing/mistyped field — including any
+    /// *unknown* field: a spec written by a newer binary (say, with a
+    /// `channel_model` this one does not know) must fail loudly, never
+    /// silently run a different experiment than the file describes.
     pub fn from_json(v: &Json) -> Result<ScenarioSpec, String> {
         const CTX: &str = "scenario spec";
+        const KNOWN: &[&str] = &[
+            "name",
+            "n",
+            "t",
+            "channels",
+            "workload",
+            "adversary",
+            "trials",
+            "base_seed",
+            "trace",
+            "channel_model",
+        ];
+        if let Json::Obj(fields) = v {
+            for (key, _) in fields {
+                if !KNOWN.contains(&key.as_str()) {
+                    return Err(format!("{CTX}: unknown field \"{key}\""));
+                }
+            }
+        }
+        let channel_model = match v.get("channel_model") {
+            None => ChannelModelSpec::Ideal,
+            Some(m) => channel_model_from_json(m)?,
+        };
         Ok(ScenarioSpec {
             name: str_field(v, "name", CTX)?.to_string(),
             n: usize_field(v, "n", CTX)?,
@@ -722,8 +780,54 @@ impl ScenarioSpec {
             trials: usize_field(v, "trials", CTX)?,
             base_seed: u64_field(v, "base_seed", CTX)?,
             trace: TraceOutput::from_json(field(v, "trace", CTX)?)?,
+            channel_model,
         })
     }
+}
+
+/// Parse a [`ChannelModelSpec`] from the tagged object
+/// [`ChannelModelSpec::json`] emits (also the payload of a trace file's
+/// `{"channel_model":…}` header line — see `docs/TRACE_FORMAT.md`).
+///
+/// # Errors
+///
+/// A message naming the missing/mistyped field or unknown kind.
+pub fn channel_model_from_json(v: &Json) -> Result<ChannelModelSpec, String> {
+    const CTX: &str = "channel model";
+    Ok(match kind(v, CTX)? {
+        "ideal" => ChannelModelSpec::Ideal,
+        "lossy" => ChannelModelSpec::Lossy {
+            p_loss_ppm: u64_field(v, "p_loss_ppm", CTX)?
+                .try_into()
+                .map_err(|_| format!("{CTX}: field \"p_loss_ppm\" does not fit in u32"))?,
+        },
+        "capture" => ChannelModelSpec::Capture {
+            threshold: u64_field(v, "threshold", CTX)?
+                .try_into()
+                .map_err(|_| format!("{CTX}: field \"threshold\" does not fit in u32"))?,
+        },
+        "geometric" => {
+            let radius = u64_field(v, "radius", CTX)?;
+            let positions = field(v, "positions", CTX)?
+                .as_array()
+                .ok_or_else(|| format!("{CTX}: field \"positions\" is not an array"))?
+                .iter()
+                .map(|p| {
+                    let pair = p
+                        .as_array()
+                        .filter(|xy| xy.len() == 2)
+                        .ok_or_else(|| format!("{CTX}: position is not an [x,y] pair"))?;
+                    let coord = |v: &Json| {
+                        v.as_i64()
+                            .ok_or_else(|| format!("{CTX}: coordinate is not an integer"))
+                    };
+                    Ok((coord(&pair[0])?, coord(&pair[1])?))
+                })
+                .collect::<Result<Vec<(i64, i64)>, String>>()?;
+            ChannelModelSpec::Geometric { positions, radius }
+        }
+        other => return Err(format!("{CTX}: unknown kind \"{other}\"")),
+    })
 }
 
 #[cfg(test)]
@@ -884,24 +988,47 @@ mod tests {
                 policy: OverflowPolicy::DropNewest,
             },
         ];
+        let models = [
+            ChannelModelSpec::Ideal,
+            ChannelModelSpec::Lossy { p_loss_ppm: 50_000 },
+            ChannelModelSpec::Capture { threshold: 128 },
+            ChannelModelSpec::Geometric {
+                positions: vec![(0, 0), (2, -3), (-7, 5)],
+                radius: 4,
+            },
+        ];
         let mut count = 0;
         for workload in &workloads {
             for adversary in AdversaryChoice::roster() {
                 for trace in &traces {
-                    let spec = ScenarioSpec::new("E5 \"naïve\"\tt=2", 40, 2, 3)
-                        .with_workload(workload.clone())
-                        .with_adversary(adversary.clone())
-                        .with_trials(17)
-                        .with_seed(u64::MAX - 3)
-                        .with_trace_output(trace.clone());
-                    let parsed =
-                        ScenarioSpec::from_json(&Json::parse(&spec.json()).unwrap()).unwrap();
-                    assert_eq!(parsed, spec);
-                    count += 1;
+                    for model in &models {
+                        let spec = ScenarioSpec::new("E5 \"naïve\"\tt=2", 40, 2, 3)
+                            .with_workload(workload.clone())
+                            .with_adversary(adversary.clone())
+                            .with_trials(17)
+                            .with_seed(u64::MAX - 3)
+                            .with_trace_output(trace.clone())
+                            .with_channel_model(model.clone());
+                        let parsed =
+                            ScenarioSpec::from_json(&Json::parse(&spec.json()).unwrap()).unwrap();
+                        assert_eq!(parsed, spec);
+                        // The pre-model encoding is preserved verbatim:
+                        // ideal specs never mention the model.
+                        assert_eq!(
+                            spec.json().contains("channel_model"),
+                            !model.is_ideal(),
+                            "{}",
+                            spec.json()
+                        );
+                        count += 1;
+                    }
                 }
             }
         }
-        assert_eq!(count, workloads.len() * AdversaryChoice::roster().len() * 3);
+        assert_eq!(
+            count,
+            workloads.len() * AdversaryChoice::roster().len() * 3 * 4
+        );
     }
 
     #[test]
@@ -915,5 +1042,47 @@ mod tests {
         let err = ScenarioSpec::from_json(&Json::parse(&doc).unwrap()).unwrap_err();
         assert!(err.contains("quantum_jam"), "{err}");
         assert!(ScenarioSpec::from_json(&good).is_ok());
+        // Unknown top-level fields are a hard error naming the field —
+        // a spec from a newer binary must never silently degrade.
+        let doc = spec.json().replace("\"trials\"", "\"channel_mode1\"");
+        let err = ScenarioSpec::from_json(&Json::parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("channel_mode1"), "{err}");
+        // Unknown channel-model kinds are named too.
+        let doc = spec.json().replace(
+            "\"trace\":",
+            "\"channel_model\":{\"kind\":\"quantum\"},\"trace\":",
+        );
+        let err = ScenarioSpec::from_json(&Json::parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("quantum"), "{err}");
+    }
+
+    #[test]
+    fn channel_model_json_round_trips() {
+        let models = [
+            ChannelModelSpec::Ideal,
+            ChannelModelSpec::Lossy { p_loss_ppm: 1 },
+            ChannelModelSpec::Capture { threshold: 1023 },
+            ChannelModelSpec::Geometric {
+                positions: vec![(i64::MIN, i64::MAX), (0, -1)],
+                radius: u64::MAX,
+            },
+        ];
+        for model in &models {
+            let parsed = channel_model_from_json(&Json::parse(&model.json()).unwrap()).unwrap();
+            assert_eq!(&parsed, model);
+        }
+        // Malformed positions are refused with context.
+        let err = channel_model_from_json(
+            &Json::parse("{\"kind\":\"geometric\",\"radius\":2,\"positions\":[[1]]}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("[x,y]"), "{err}");
+    }
+
+    #[test]
+    fn params_carry_the_channel_model() {
+        let model = ChannelModelSpec::Lossy { p_loss_ppm: 9 };
+        let spec = ScenarioSpec::new("s", 40, 2, 3).with_channel_model(model.clone());
+        assert_eq!(spec.params().channel_model(), &model);
     }
 }

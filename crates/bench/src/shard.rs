@@ -1151,6 +1151,45 @@ mod tests {
     }
 
     #[test]
+    fn merge_rejects_channel_model_only_grid_mismatch() {
+        // Regression for the channel-model axis: two shard runs identical
+        // in every classical dimension (n, t, C, workload, adversary,
+        // trials, seed) but differing in channel model must refuse to
+        // merge — the model is part of the spec's lossless JSON, so it
+        // feeds the grid fingerprint like any other axis.
+        use radio_network::ChannelModelSpec;
+        let run_with = |index: usize, model: ChannelModelSpec| {
+            let mut report = ShardedReport::new("cm", ShardMode::Run(Shard { index, count: 2 }));
+            for s in 0..4 {
+                let spec = sample_spec(&format!("s{s}"), 2).with_channel_model(model.clone());
+                report
+                    .run(&spec, || {
+                        let outcomes = vec![synthetic_outcome(spec.trial_seed(0)); 2];
+                        let aggregate = Aggregate::from_outcomes(spec.t, &outcomes);
+                        Ok(ScenarioResult {
+                            outcomes,
+                            aggregate,
+                        })
+                    })
+                    .unwrap();
+            }
+            report
+        };
+        let dir = temp_dir("channel-model-fp");
+        run_with(1, ChannelModelSpec::Ideal).write(&dir).unwrap();
+        run_with(2, ChannelModelSpec::Lossy { p_loss_ppm: 50_000 })
+            .write(&dir)
+            .unwrap();
+        let err = merge_shards(&dir, "cm").unwrap_err().to_string();
+        assert!(err.contains("disagree on the scenario grid"), "{err}");
+        assert!(err.contains("fingerprint"), "{err}");
+        // Matching models merge cleanly.
+        run_with(2, ChannelModelSpec::Ideal).write(&dir).unwrap();
+        assert!(merge_shards(&dir, "cm").is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn grid_identity_ignores_trace_dir_but_not_policy() {
         use radio_network::OverflowPolicy;
         let base = sample_spec("s", 2);

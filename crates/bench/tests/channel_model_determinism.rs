@@ -1,0 +1,82 @@
+//! Channel models keep the harness's thread-count invariance: a lossy
+//! scenario streamed through [`ExperimentRunner`] produces **byte\-
+//! identical** per-trial traces (and equal aggregates) whether trials run
+//! on 1, 2, 7, or 16 worker threads.
+//!
+//! This holds because models draw no sequential randomness — every drop
+//! decision is a pure function of `(model seed, round, channel, node)` —
+//! so the work-stealing schedule cannot leak into outcomes.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+
+use radio_network::{ChannelModelSpec, OverflowPolicy};
+use secure_radio_bench::scenario::Workload;
+use secure_radio_bench::{AdversaryChoice, ExperimentRunner, ScenarioSpec, TraceOutput};
+
+const TRIALS: usize = 8;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bench-lossy-threads-{}-{tag}", std::process::id()))
+}
+
+fn lossy_spec(dir: PathBuf) -> ScenarioSpec {
+    ScenarioSpec::new("lossy-threads", 18, 1, 2)
+        .with_workload(Workload::RandomPairs { edges: 2 })
+        .with_adversary(AdversaryChoice::RandomJam)
+        .with_seed(11)
+        .with_trials(TRIALS)
+        .with_channel_model(ChannelModelSpec::Lossy { p_loss_ppm: 50_000 })
+        .with_trace_output(TraceOutput::Stream {
+            dir,
+            policy: OverflowPolicy::Block,
+        })
+}
+
+/// Run the scenario on `threads` workers and return (file name → bytes)
+/// for every streamed trial trace, plus the fold's summary line.
+fn run_on(threads: usize, tag: &str) -> (BTreeMap<String, Vec<u8>>, String) {
+    let dir = temp_dir(tag);
+    let _ = fs::remove_dir_all(&dir);
+    let spec = lossy_spec(dir.clone());
+    let result = ExperimentRunner::with_threads(threads)
+        .run_fame_scenario(&spec)
+        .expect("lossy scenario runs");
+    let summary = format!("{:?}", result.aggregate);
+    let mut traces = BTreeMap::new();
+    for trial in 0..TRIALS {
+        let path = spec.trace_path(trial).expect("streaming spec has paths");
+        let name = path
+            .file_name()
+            .expect("trace file name")
+            .to_string_lossy()
+            .into_owned();
+        traces.insert(name, fs::read(&path).expect("trial trace written"));
+    }
+    let _ = fs::remove_dir_all(&dir);
+    (traces, summary)
+}
+
+#[test]
+fn lossy_traces_are_byte_identical_across_thread_counts() {
+    let (baseline, baseline_summary) = run_on(1, "t1");
+    assert_eq!(baseline.len(), TRIALS);
+    // The traces really ran under the lossy model: header line present.
+    let header = ChannelModelSpec::Lossy { p_loss_ppm: 50_000 }.header_line();
+    for bytes in baseline.values() {
+        let text = std::str::from_utf8(bytes).expect("utf-8 trace");
+        assert_eq!(text.lines().next(), Some(header.as_str()));
+    }
+    for threads in [2, 7, 16] {
+        let (traces, summary) = run_on(threads, &format!("t{threads}"));
+        assert_eq!(summary, baseline_summary, "{threads} threads");
+        assert_eq!(traces.len(), baseline.len(), "{threads} threads");
+        for (name, bytes) in &baseline {
+            assert!(
+                traces.get(name).is_some_and(|b| b == bytes),
+                "trial trace {name} diverged at {threads} threads"
+            );
+        }
+    }
+}

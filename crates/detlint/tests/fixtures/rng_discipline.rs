@@ -16,6 +16,17 @@ fn must_fire() {
     let rng3 = SmallRng::from_seed([0; 32]); // FIRE: literal seed array
 }
 
+// Channel models draw their randomness from the network's master seed
+// via `radio_network::seed::derive` — never from a private constant,
+// which would make a Lossy drop pattern immune to the scenario seed.
+fn lossy_model_seeding(network_seed: u64) {
+    // The sanctioned pattern (what `Network::seed_channel_model` feeds):
+    let model_rng = SmallRng::seed_from_u64(radio_network::seed::derive(network_seed, u64::MAX));
+    // A model that invents its own seed breaks trial determinism:
+    let rogue = SmallRng::seed_from_u64(0x10_55_7C_47); // FIRE: literal seed
+    let rogue_drop = StdRng::seed_from_u64(50_000); // FIRE: literal seed
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -102,7 +102,7 @@ impl OmniscientJammer {
         let surrogates = BTreeMap::new();
         let schedule = build_schedule(params, &game, &surrogates).expect("schedulable");
         OmniscientJammer {
-            params: *params,
+            params: params.clone(),
             tx_policy,
             fb_policy,
             spoof: false,

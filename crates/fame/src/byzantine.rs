@@ -299,7 +299,7 @@ where
         .map(|id| {
             ByzantineNode::new(
                 id,
-                *params,
+                params.clone(),
                 instance.pairs(),
                 instance.outbox_of(id),
                 seed ^ ((id as u64) << 32),
@@ -308,6 +308,7 @@ where
         .collect();
     let cfg = NetworkConfig::new(params.c(), params.t())
         .map_err(FameError::Engine)?
+        .with_channel_model(params.channel_model().clone())
         .with_retention(TraceRetention::LastRounds(16));
     let mut sim = Simulation::new(cfg, nodes, adversary, seed).map_err(FameError::Engine)?;
     let budget = crate::protocol::round_budget(params, instance.len());

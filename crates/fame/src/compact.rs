@@ -276,6 +276,7 @@ where
     // ---- Phase 1: gossip ---------------------------------------------------
     let cfg = NetworkConfig::new(params.c(), params.t())
         .map_err(FameError::Engine)?
+        .with_channel_model(params.channel_model().clone())
         .with_retention(TraceRetention::LastRounds(8));
     let nodes: Vec<GossipPhaseNode> = (0..params.n())
         .map(|id| GossipPhaseNode::new(id, params, instance, seed))

@@ -278,7 +278,8 @@ where
     A: Adversary<FameFrame>,
 {
     assert_eq!(witness_sets.len(), flags.len());
-    let cfg = NetworkConfig::new(params.c(), params.t())?;
+    let cfg = NetworkConfig::new(params.c(), params.t())?
+        .with_channel_model(params.channel_model().clone());
     let nodes: Vec<FeedbackNode> = (0..params.n())
         .map(|me| {
             let my_flags: Vec<Option<bool>> = witness_sets

@@ -517,6 +517,7 @@ where
     };
     let cfg = NetworkConfig::new(params.c(), t)
         .map_err(FameError::Engine)?
+        .with_channel_model(params.channel_model().clone())
         .with_retention(retention);
     let part2_nodes: Vec<Part2Node> = (0..n)
         .map(|id| {
@@ -525,7 +526,7 @@ where
             } else {
                 None
             };
-            Part2Node::new(id, *params, pairwise.keys[id].clone(), my_leader_key)
+            Part2Node::new(id, params.clone(), pairwise.keys[id].clone(), my_leader_key)
         })
         .collect();
     let mut sim2 = Simulation::new(cfg, part2_nodes, adv2, seed).map_err(FameError::Engine)?;
@@ -537,6 +538,7 @@ where
     // ---- Part 3 -----------------------------------------------------------
     let cfg3 = NetworkConfig::new(params.c(), t)
         .map_err(FameError::Engine)?
+        .with_channel_model(params.channel_model().clone())
         .with_retention(retention);
     let part3_nodes: Vec<Part3Node> = (0..n)
         .map(|id| {
@@ -544,7 +546,7 @@ where
             if pairwise.complete_leaders.contains(&id) {
                 leader_keys.insert(id, leader_key_of(id));
             }
-            Part3Node::new(id, *params, leader_keys, seed)
+            Part3Node::new(id, params.clone(), leader_keys, seed)
         })
         .collect();
     let mut sim3 = Simulation::new(cfg3, part3_nodes, adv3, seed).map_err(FameError::Engine)?;

@@ -294,7 +294,9 @@ where
     } else {
         TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW)
     };
-    let cfg = NetworkConfig::new(params.c(), params.t())?.with_retention(retention);
+    let cfg = NetworkConfig::new(params.c(), params.t())?
+        .with_channel_model(params.channel_model().clone())
+        .with_retention(retention);
     let nodes: Vec<LongLivedNode> = (0..params.n())
         .map(|id| {
             let my_script: BTreeMap<u64, Vec<u8>> = script
@@ -302,7 +304,7 @@ where
                 .filter(|e| e.sender == id)
                 .map(|e| (e.eround, e.message.clone()))
                 .collect();
-            LongLivedNode::new(id, *params, keys[id], my_script, emulated_rounds)
+            LongLivedNode::new(id, params.clone(), keys[id], my_script, emulated_rounds)
         })
         .collect();
     let mut sim = match sink {

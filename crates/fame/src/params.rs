@@ -8,6 +8,8 @@
 use std::error::Error;
 use std::fmt;
 
+use radio_network::ChannelModelSpec;
+
 /// Errors from parameter validation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ParamsError {
@@ -66,7 +68,7 @@ pub enum FeedbackMode {
 }
 
 /// All parameters of an f-AME deployment.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Params {
     n: usize,
     t: usize,
@@ -79,6 +81,7 @@ pub struct Params {
     /// Multiplier on the `t²·ln n` epochs of the gossip phase (§5.6) and
     /// group-key Part 3.
     pub gossip_scale: f64,
+    channel_model: ChannelModelSpec,
 }
 
 impl Params {
@@ -102,6 +105,7 @@ impl Params {
             feedback_scale: 4.0,
             epoch_scale: 6.0,
             gossip_scale: 4.0,
+            channel_model: ChannelModelSpec::Ideal,
         };
         let min = Params::min_nodes(t, c);
         if n < min {
@@ -162,6 +166,21 @@ impl Params {
         }
         self.gossip_scale = scale;
         Ok(self)
+    }
+
+    /// Select the physical-layer [`ChannelModelSpec`] the deployment's
+    /// network runs under (default [`ChannelModelSpec::Ideal`], the
+    /// paper's §3 semantics). Non-ideal models void the paper's
+    /// guarantees by design — that degradation is exactly what the
+    /// channel-model experiment axis charts.
+    pub fn with_channel_model(mut self, model: ChannelModelSpec) -> Self {
+        self.channel_model = model;
+        self
+    }
+
+    /// The physical-layer channel model the deployment runs under.
+    pub fn channel_model(&self) -> &ChannelModelSpec {
+        &self.channel_model
     }
 
     /// Number of nodes `n`.
@@ -354,8 +373,8 @@ mod tests {
     #[test]
     fn scales_must_be_positive() {
         let p = Params::minimal(60, 2).unwrap();
-        assert!(p.with_feedback_scale(0.0).is_err());
-        assert!(p.with_epoch_scale(-1.0).is_err());
+        assert!(p.clone().with_feedback_scale(0.0).is_err());
+        assert!(p.clone().with_epoch_scale(-1.0).is_err());
         assert!(p.with_gossip_scale(0.5).is_ok());
     }
 

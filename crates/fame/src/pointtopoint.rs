@@ -197,8 +197,9 @@ where
             node
         })
         .collect();
-    let cfg =
-        NetworkConfig::new(params.c(), params.t())?.with_retention(TraceRetention::LastRounds(8));
+    let cfg = NetworkConfig::new(params.c(), params.t())?
+        .with_channel_model(params.channel_model().clone())
+        .with_retention(TraceRetention::LastRounds(8));
     let mut sim = Simulation::new(cfg, nodes, adversary, seed)?;
     let report = sim.run(total_rounds + 2)?;
     let nodes = sim.into_nodes();

@@ -485,7 +485,7 @@ pub fn make_nodes(
         .map(|id| {
             FameNode::new(
                 id,
-                *params,
+                params.clone(),
                 instance.pairs(),
                 instance.outbox_of(id),
                 seed ^ ((id as u64) << 32),
@@ -598,6 +598,7 @@ where
 {
     let nodes = make_nodes(instance, params, seed)?;
     let cfg = NetworkConfig::new(params.c(), params.t())?
+        .with_channel_model(params.channel_model().clone())
         .with_retention(TraceRetention::LastRounds(FAME_TRACE_WINDOW));
     let mut sim = match sink {
         Some(sink) => Simulation::with_sink(cfg, nodes, adversary, seed, sink)?,

@@ -289,7 +289,7 @@ where
         .map(|id| {
             ResidualNode::new(
                 id,
-                *params,
+                params.clone(),
                 slots.clone(),
                 instance.outbox_of(id),
                 seed ^ 0x4E51D ^ ((id as u64) << 28),
@@ -298,6 +298,7 @@ where
         .collect();
     let cfg = NetworkConfig::new(params.c(), params.t())
         .map_err(FameError::Engine)?
+        .with_channel_model(params.channel_model().clone())
         .with_retention(TraceRetention::LastRounds(8));
     let mut sim =
         Simulation::new(cfg, nodes, residual_adversary, seed).map_err(FameError::Engine)?;

@@ -47,6 +47,10 @@
 //! owned shape call [`RoundView::to_resolution`].
 
 use crate::adversary::{AdversaryAction, Emission};
+use crate::channel_model::{
+    ChannelContext, ChannelModel, ChannelModelSpec, ChannelVerdict, EmissionKind, ListenerOutcome,
+    TxSpan,
+};
 use crate::error::EngineError;
 use crate::node::{Action, ChannelId, NodeId};
 use crate::sink::{InMemorySink, NullSink, TraceSink};
@@ -54,11 +58,12 @@ use crate::stats::Stats;
 use crate::trace::{RoundRecord, Trace, TraceRetention};
 
 /// Static configuration of the radio network.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct NetworkConfig {
     channels: usize,
     budget: usize,
     retention: TraceRetention,
+    channel_model: ChannelModelSpec,
 }
 
 impl NetworkConfig {
@@ -82,6 +87,7 @@ impl NetworkConfig {
             channels,
             budget,
             retention: TraceRetention::default(),
+            channel_model: ChannelModelSpec::default(),
         })
     }
 
@@ -101,6 +107,14 @@ impl NetworkConfig {
         self
     }
 
+    /// Replace the channel model (default: [`ChannelModelSpec::Ideal`],
+    /// the paper's semantics).
+    #[must_use]
+    pub fn with_channel_model(mut self, channel_model: ChannelModelSpec) -> Self {
+        self.channel_model = channel_model;
+        self
+    }
+
     /// Number of channels `C`.
     pub fn channels(&self) -> usize {
         self.channels
@@ -114,6 +128,11 @@ impl NetworkConfig {
     /// Trace-retention policy.
     pub fn retention(&self) -> TraceRetention {
         self.retention
+    }
+
+    /// The channel model rounds resolve under.
+    pub fn channel_model(&self) -> &ChannelModelSpec {
+        &self.channel_model
     }
 }
 
@@ -372,6 +391,39 @@ pub struct RoundView<'a, M> {
     arena: &'a RoundArena<M>,
     actions: ActionsRef<'a, M>,
     adversary: &'a AdversaryAction<M>,
+    model: &'a dyn ChannelModel,
+    model_seed: u64,
+}
+
+/// Build the [`ChannelContext`] of one channel from the arena, fencing
+/// off stale per-channel state: an untouched channel presents an empty
+/// transmitter span and no adversary, whatever earlier rounds left
+/// behind.
+fn model_ctx<'a, M>(
+    arena: &'a RoundArena<M>,
+    adversary: &'a AdversaryAction<M>,
+    model_seed: u64,
+    round: u64,
+    ch: usize,
+) -> ChannelContext<'a> {
+    let ((start, len), adv) = if arena.is_touched(ch) {
+        (arena.spans[ch], arena.adv_idx[ch])
+    } else {
+        ((0, 0), None)
+    };
+    ChannelContext {
+        seed: model_seed,
+        round,
+        channel: ChannelId(ch),
+        transmitters: TxSpan::new(
+            &arena.order[start as usize..(start + len) as usize],
+            &arena.tx_node,
+        ),
+        adversary: adv.map(|a| match &adversary.transmissions[a as usize].1 {
+            Emission::Noise => EmissionKind::Noise,
+            Emission::Spoof(_) => EmissionKind::Spoof,
+        }),
+    }
 }
 
 /// Borrowed per-channel outcome, produced by [`RoundView::outcome`].
@@ -500,6 +552,43 @@ impl<'a, M> RoundView<'a, M> {
         }
     }
 
+    /// What `node`, listening on `channel`, actually receives — the
+    /// channel-model-aware sibling of [`RoundView::heard_on`]. Under
+    /// non-diverging models (ideal, capture) the two agree exactly; under
+    /// per-listener models (lossy, geometric) this consults the model for
+    /// the listener's own truth. Drivers distributing receptions must use
+    /// this one.
+    pub fn reception_for(&self, node: NodeId, channel: ChannelId) -> Option<&'a M> {
+        if !self.model.diverges() {
+            return self.heard_on(channel);
+        }
+        let ch = channel.index();
+        let ctx = model_ctx(self.arena, self.adversary, self.model_seed, self.round, ch);
+        match self.model.listener_outcome(&ctx, node) {
+            ListenerOutcome::Channel => self.heard_on(channel),
+            ListenerOutcome::Nothing => None,
+            ListenerOutcome::Honest { idx } => {
+                let tx = ctx.transmitters.tx(idx);
+                match self.actions.get(self.arena.tx_src[tx as usize]) {
+                    Action::Transmit { frame, .. } => Some(frame),
+                    _ => unreachable!("transmitter span points at Transmit actions"),
+                }
+            }
+            ListenerOutcome::Adversary => {
+                let adv = if self.arena.is_touched(ch) {
+                    self.arena.adv_idx[ch]
+                } else {
+                    None
+                };
+                match adv.map(|a| &self.adversary.transmissions[a as usize].1) {
+                    Some(Emission::Spoof(frame)) => Some(frame),
+                    // A noise emission (or no emission) delivers nothing.
+                    _ => None,
+                }
+            }
+        }
+    }
+
     /// The borrowed outcome of `channel`.
     pub fn outcome(&self, channel: ChannelId) -> OutcomeView<'a, M> {
         let ch = channel.index();
@@ -625,6 +714,11 @@ pub struct Network<M> {
     sink: Box<dyn TraceSink<M>>,
     stats: Stats,
     arena: RoundArena<M>,
+    /// The live channel model built from the config's spec.
+    model: Box<dyn ChannelModel>,
+    /// Base seed for the model's deterministic draws (see
+    /// [`Network::seed_channel_model`]).
+    model_seed: u64,
 }
 
 impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
@@ -645,13 +739,29 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
     /// alone decides what is stored (and whether records are built at
     /// all, via [`TraceSink::wants_records`]).
     pub fn with_sink(cfg: NetworkConfig, sink: Box<dyn TraceSink<M>>) -> Self {
+        let arena = RoundArena::new(cfg.channels());
+        let model = cfg.channel_model().build();
         Network {
             cfg,
             round: 0,
             sink,
             stats: Stats::default(),
-            arena: RoundArena::new(cfg.channels()),
+            arena,
+            model,
+            model_seed: 0,
         }
+    }
+
+    /// Set the base seed of the channel model's deterministic draws.
+    ///
+    /// Drivers derive it from the run seed on the reserved stream
+    /// (`seed::derive(seed, u64::MAX)` — node reseeding uses streams
+    /// `0..n`), so a run is reproducible from its seed alone and
+    /// per-node streams never collide with the model's. The default of
+    /// `0` is fine for ideal (seed-free) rounds and for direct
+    /// [`Network::resolve_round`] use in tests.
+    pub fn seed_channel_model(&mut self, seed: u64) {
+        self.model_seed = seed;
     }
 
     /// The configuration this network runs with.
@@ -694,6 +804,11 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
     /// retroactive effect; install a new sink via [`Network::with_sink`]
     /// construction if the retention policy itself must change.
     pub fn reconfigure(&mut self, cfg: NetworkConfig) {
+        // Rebuild the model only when the spec changed, so re-pointing a
+        // long-lived network at successive (C, t) points stays cheap.
+        if self.cfg.channel_model() != cfg.channel_model() {
+            self.model = cfg.channel_model().build();
+        }
         self.cfg = cfg;
     }
 
@@ -748,6 +863,8 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
             arena: &self.arena,
             actions: ActionsRef::Dense(actions),
             adversary,
+            model: self.model.as_ref(),
+            model_seed: self.model_seed,
         })
     }
 
@@ -794,6 +911,8 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
             arena: &self.arena,
             actions: ActionsRef::Sparse(actions),
             adversary,
+            model: self.model.as_ref(),
+            model_seed: self.model_seed,
         })
     }
 
@@ -932,30 +1051,64 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
         }
 
         // -- resolve (tags only; frames stay where they are) ---------------
+        //
+        // The channel model decides each channel's wire outcome: the
+        // ideal model always returns `Classic` (the paper's semantics,
+        // reproduced verbatim below), other models may override with a
+        // capture delivery or a forced collision. Verdicts are mapped
+        // back onto the same compact slot tags, so everything downstream
+        // (stats, records, views) is model-agnostic.
         {
-            let RoundArena {
-                active,
-                spans,
-                order,
-                adv_idx,
-                slots,
-                ..
-            } = &mut self.arena;
-            for &ch in active.iter() {
-                let ch = ch as usize;
-                let (span_start, span_len) = spans[ch];
-                slots[ch] = match (span_len, adv_idx[ch]) {
+            let model_seed = self.model_seed;
+            let round = self.round;
+            for i in 0..self.arena.active.len() {
+                let ch = self.arena.active[i] as usize;
+                let verdict = {
+                    let ctx = model_ctx(&self.arena, adversary, model_seed, round, ch);
+                    self.model.resolve(&ctx)
+                };
+                let (span_start, span_len) = self.arena.spans[ch];
+                let adv_slot = self.arena.adv_idx[ch];
+                let classic = match (span_len, adv_slot) {
                     (0, None) => ChannelSlot::Idle,
                     (0, Some(adv)) => match &adversary.transmissions[adv as usize].1 {
                         Emission::Noise => ChannelSlot::NoiseOnly,
                         Emission::Spoof(_) => ChannelSlot::Spoof { adv },
                     },
                     (1, None) => ChannelSlot::Delivered {
-                        tx: order[span_start as usize],
+                        tx: self.arena.order[span_start as usize],
                     },
                     // one honest + adversary, or >=2 honest: collision.
                     (_, adv) => ChannelSlot::Collision {
                         adversary: adv.is_some(),
+                    },
+                };
+                self.arena.slots[ch] = match verdict {
+                    ChannelVerdict::Classic => classic,
+                    ChannelVerdict::DeliverHonest { idx } => {
+                        assert!(
+                            idx < span_len as usize,
+                            "channel model delivered an out-of-span transmitter"
+                        );
+                        ChannelSlot::Delivered {
+                            tx: self.arena.order[span_start as usize + idx],
+                        }
+                    }
+                    ChannelVerdict::DeliverAdversary => match adv_slot {
+                        Some(adv)
+                            if matches!(
+                                &adversary.transmissions[adv as usize].1,
+                                Emission::Spoof(_)
+                            ) =>
+                        {
+                            ChannelSlot::Spoof { adv }
+                        }
+                        // Nothing to deliver (no spoof on the channel):
+                        // fall back to the classic outcome.
+                        _ => classic,
+                    },
+                    ChannelVerdict::Collision => ChannelSlot::Collision {
+                        adversary: adv_slot.is_some(),
                     },
                 };
             }
@@ -968,12 +1121,24 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
             let arena = &self.arena;
             for &ch in &arena.active {
                 let ch = ch as usize;
+                // Honest transmitters beyond the delivered one exist only
+                // under non-ideal models (capture); under the ideal model
+                // a Delivered span is exactly 1 and a Spoof span exactly
+                // 0, reproducing the original counts bit for bit.
                 match arena.slots[ch] {
                     ChannelSlot::Delivered { .. } => {
-                        self.stats.honest_transmissions += 1;
+                        let involved = u64::from(arena.spans[ch].1);
+                        self.stats.honest_transmissions += involved;
                         self.stats.honest_deliveries += 1;
+                        self.stats.collisions += involved.saturating_sub(1);
                     }
                     ChannelSlot::Spoof { .. } => {
+                        let involved = u64::from(arena.spans[ch].1);
+                        self.stats.honest_transmissions += involved;
+                        self.stats.collisions += involved;
+                        if involved > 0 {
+                            self.stats.jams_effective += 1;
+                        }
                         // O(1) listener-span lookup, not a listener scan.
                         if arena.l_spans[ch].1 > 0 {
                             self.stats.spoofs_delivered += 1;
@@ -990,13 +1155,40 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                     ChannelSlot::Idle | ChannelSlot::NoiseOnly => {}
                 }
             }
-            for &(_, ch) in &arena.listeners {
-                // Listener channels are always touched, so the slot is live.
-                match arena.slots[ch.index()] {
-                    ChannelSlot::Delivered { .. } | ChannelSlot::Spoof { .. } => {
-                        self.stats.frames_received += 1;
+            if !self.model.diverges() {
+                for &(_, ch) in &arena.listeners {
+                    // Listener channels are always touched, so the slot is live.
+                    match arena.slots[ch.index()] {
+                        ChannelSlot::Delivered { .. } | ChannelSlot::Spoof { .. } => {
+                            self.stats.frames_received += 1;
+                        }
+                        _ => self.stats.silent_receptions += 1,
                     }
-                    _ => self.stats.silent_receptions += 1,
+                }
+            } else {
+                // Per-listener models: ask the model what each listener
+                // actually received (same dispatch as
+                // [`RoundView::reception_for`]).
+                for &(node, ch) in &arena.listeners {
+                    let ch = ch.index();
+                    let ctx = model_ctx(arena, adversary, self.model_seed, self.round, ch);
+                    let heard = match self.model.listener_outcome(&ctx, node) {
+                        ListenerOutcome::Channel => matches!(
+                            arena.slots[ch],
+                            ChannelSlot::Delivered { .. } | ChannelSlot::Spoof { .. }
+                        ),
+                        ListenerOutcome::Nothing => false,
+                        ListenerOutcome::Honest { .. } => true,
+                        ListenerOutcome::Adversary => matches!(
+                            arena.adv_idx[ch].map(|a| &adversary.transmissions[a as usize].1),
+                            Some(Emission::Spoof(_))
+                        ),
+                    };
+                    if heard {
+                        self.stats.frames_received += 1;
+                    } else {
+                        self.stats.silent_receptions += 1;
+                    }
                 }
             }
         }
@@ -1004,13 +1196,20 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
         // -- trace (record arena, rebuilt in place, SoA) -------------------
         if self.sink.wants_records() {
             {
+                let diverges = self.model.diverges();
+                let model = self.model.as_ref();
+                let model_seed = self.model_seed;
                 let RoundArena {
                     active,
                     tx_node,
                     tx_chan,
                     tx_src,
                     order,
+                    spans,
                     listeners,
+                    l_order,
+                    l_spans,
+                    adv_idx,
                     slots,
                     record,
                     ..
@@ -1069,6 +1268,66 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> Network<M> {
                             }
                         }
                         _ => {}
+                    }
+                }
+                // Per-listener receptions that diverge from the wire
+                // outcome (lossy drops, geometric shadowing). Empty —
+                // and absent from the encoded line — under non-diverging
+                // models, so ideal traces stay byte-identical.
+                record.reception_nodes.clear();
+                record.reception_frames.clear();
+                if diverges {
+                    for &ch in active.iter() {
+                        let chu = ch as usize;
+                        let (l_start, l_len) = l_spans[chu];
+                        if l_len == 0 {
+                            continue;
+                        }
+                        let (start, len) = spans[chu];
+                        let adv_kind =
+                            adv_idx[chu].map(|a| match &adversary.transmissions[a as usize].1 {
+                                Emission::Noise => EmissionKind::Noise,
+                                Emission::Spoof(_) => EmissionKind::Spoof,
+                            });
+                        for &li in &l_order[l_start as usize..(l_start + l_len) as usize] {
+                            let node = listeners[li as usize].0;
+                            let ctx = ChannelContext {
+                                seed: model_seed,
+                                round: self.round,
+                                channel: ChannelId(chu),
+                                transmitters: TxSpan::new(
+                                    &order[start as usize..(start + len) as usize],
+                                    tx_node,
+                                ),
+                                adversary: adv_kind,
+                            };
+                            let frame = match model.listener_outcome(&ctx, node) {
+                                // Agrees with the wire outcome: not recorded.
+                                ListenerOutcome::Channel => continue,
+                                ListenerOutcome::Nothing => None,
+                                ListenerOutcome::Honest { idx } => {
+                                    let tx = ctx.transmitters.tx(idx);
+                                    match actions.get(tx_src[tx as usize]) {
+                                        Action::Transmit { frame, .. } => {
+                                            // detlint: allow(deny-alloc) retention cost: diverging-reception frame clone into the capacity-reusing record arena
+                                            Some(frame.clone())
+                                        }
+                                        _ => unreachable!(
+                                            "transmitter span points at Transmit actions"
+                                        ),
+                                    }
+                                }
+                                ListenerOutcome::Adversary => match adv_idx[chu]
+                                    .map(|a| &adversary.transmissions[a as usize].1)
+                                {
+                                    // detlint: allow(deny-alloc) retention cost: diverging-reception spoof clone into the capacity-reusing record arena
+                                    Some(Emission::Spoof(frame)) => Some(frame.clone()),
+                                    _ => None,
+                                },
+                            };
+                            record.reception_nodes.push(node);
+                            record.reception_frames.push(frame);
+                        }
                     }
                 }
             }

@@ -38,6 +38,13 @@
 //!   implement, including the sleep/wake contract
 //!   ([`Protocol::next_wake`] / [`NEVER`]) that lets long-sleeping nodes
 //!   skip their idle rounds.
+//! * [`ChannelModel`] (`channel_model`) — the pluggable physical-layer
+//!   policy deciding what each listener hears from a channel's
+//!   transmitter/adversary spans. [`ChannelModelSpec::Ideal`] (the
+//!   default) reproduces the §3 semantics bit-for-bit; `Lossy`,
+//!   `Capture`, and `Geometric` bend them (see
+//!   `docs/CHANNEL_MODELS.md`). Models are pure functions of a derived
+//!   seed, so every run replays deterministically.
 //! * [`Adversary`] (`adversary`) — the §3 attacker trait (budget `t`,
 //!   full hindsight); batteries included in [`adversaries`].
 //! * [`Simulation`] — drives a vector of protocol nodes plus one adversary
@@ -77,6 +84,7 @@
 
 pub mod adversaries;
 mod adversary;
+mod channel_model;
 mod engine;
 mod error;
 mod node;
@@ -88,6 +96,10 @@ pub mod testing;
 mod trace;
 
 pub use adversary::{Adversary, AdversaryAction, AdversaryView, Emission};
+pub use channel_model::{
+    ChannelContext, ChannelModel, ChannelModelSpec, ChannelVerdict, EmissionKind, ListenerOutcome,
+    TxSpan,
+};
 pub use engine::{
     ChannelOutcome, Network, NetworkConfig, OutcomeView, Participants, RoundResolution, RoundView,
 };

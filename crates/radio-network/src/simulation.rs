@@ -119,12 +119,15 @@ where
     fn assemble(
         mut nodes: Vec<P>,
         adversary: A,
-        network: Network<P::Msg>,
+        mut network: Network<P::Msg>,
         seed: u64,
     ) -> Result<Self, EngineError> {
         for (i, node) in nodes.iter_mut().enumerate() {
             node.reseed(crate::seed::derive(seed, i as u64));
         }
+        // The channel model draws from its own reserved stream so adding a
+        // node never perturbs the channel randomness (and vice versa).
+        network.seed_channel_model(crate::seed::derive(seed, u64::MAX));
         // Every node starts queued for round 0 — even an already-done
         // node, whose default `next_wake` keeps it visited, matching the
         // dense driver exactly.
@@ -237,7 +240,7 @@ where
             let reception = match action {
                 Action::Listen { channel } => Some(Reception {
                     channel: *channel,
-                    frame: resolution.heard_on(*channel),
+                    frame: resolution.reception_for(*id, *channel),
                 }),
                 _ => None,
             };

@@ -239,6 +239,18 @@ pub struct SinkReport {
     pub dropped: u64,
 }
 
+/// What flows over a [`ChannelSink`]'s queue to the writer thread:
+/// round records, or the one optional header line written before them.
+enum SinkMsg<M> {
+    /// A raw line written verbatim (the trace header; see
+    /// `docs/TRACE_FORMAT.md`). Not counted as a written record.
+    Header(String),
+    /// One round's record, encoded by the writer thread. Boxed so a
+    /// queued record costs the channel slot one pointer, not the whole
+    /// struct-of-arrays header block.
+    Record(Box<RoundRecord<M>>),
+}
+
 /// Streams records through a bounded channel to a background writer
 /// thread emitting one line of JSON per round (see
 /// `docs/TRACE_FORMAT.md`).
@@ -254,7 +266,7 @@ pub struct SinkReport {
 /// the caller must observe the same history the in-memory default would
 /// have kept.
 pub struct ChannelSink<M> {
-    tx: Option<SyncSender<RoundRecord<M>>>,
+    tx: Option<SyncSender<SinkMsg<M>>>,
     writer: Option<JoinHandle<io::Result<u64>>>,
     policy: OverflowPolicy,
     dropped: u64,
@@ -308,16 +320,24 @@ impl<M: Send + 'static> ChannelSink<M> {
         W: Write + Send + 'static,
         F: Fn(&M) -> String + Send + 'static,
     {
-        let (tx, rx) = mpsc::sync_channel::<RoundRecord<M>>(capacity.max(1));
+        let (tx, rx) = mpsc::sync_channel::<SinkMsg<M>>(capacity.max(1));
         let writer = thread::Builder::new()
             .name("trace-writer".into())
             .spawn(move || -> io::Result<u64> {
                 let mut out = BufWriter::new(out);
                 let mut written = 0u64;
-                for record in rx {
-                    out.write_all(record_line(&record, &frame).as_bytes())?;
-                    out.write_all(b"\n")?;
-                    written += 1;
+                for msg in rx {
+                    match msg {
+                        SinkMsg::Header(line) => {
+                            out.write_all(line.as_bytes())?;
+                            out.write_all(b"\n")?;
+                        }
+                        SinkMsg::Record(record) => {
+                            out.write_all(record_line(&record, &frame).as_bytes())?;
+                            out.write_all(b"\n")?;
+                            written += 1;
+                        }
+                    }
                 }
                 out.flush()?;
                 Ok(written)
@@ -337,6 +357,22 @@ impl<M: Send + 'static> ChannelSink<M> {
     #[must_use]
     pub fn with_history(mut self, retention: TraceRetention) -> Self {
         self.history = Trace::new(retention);
+        self
+    }
+
+    /// Write `line` verbatim as the file's first line, ahead of every
+    /// record. Recording tools use it to pin the channel model a trace
+    /// was produced under (see `docs/TRACE_FORMAT.md`); call it at
+    /// construction time, before any record is sent. The header is
+    /// delivered through the same ordered queue as the records, so it
+    /// always lands first.
+    #[must_use]
+    pub fn with_header(self, line: impl Into<String>) -> Self {
+        if let Some(tx) = &self.tx {
+            // The queue is empty at construction time, so this cannot
+            // block; a dead writer surfaces later through the drop count.
+            let _ = tx.send(SinkMsg::Header(line.into()));
+        }
         self
     }
 
@@ -398,9 +434,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> ChannelSink<M> {
         };
         let lost = match self.policy {
             // The writer disappears only on I/O failure; count the loss.
-            OverflowPolicy::Block => tx.send(record.clone()).is_err(),
+            OverflowPolicy::Block => tx.send(SinkMsg::Record(Box::new(record.clone()))).is_err(),
             OverflowPolicy::DropNewest => matches!(
-                tx.try_send(record.clone()),
+                tx.try_send(SinkMsg::Record(Box::new(record.clone()))),
                 Err(TrySendError::Full(_) | TrySendError::Disconnected(_))
             ),
         };
@@ -534,7 +570,33 @@ pub fn record_line<M>(record: &RoundRecord<M>, frame: impl Fn(&M) -> String) -> 
             None => out.push_str("null"),
         }
     }
-    out.push_str("]}");
+    out.push(']');
+    // Per-listener receptions that diverged from the wire outcome exist
+    // only under per-listener channel models; the field is omitted when
+    // empty, so ideal-model lines are byte-identical to the pre-model
+    // format.
+    if !record.reception_nodes.is_empty() {
+        out.push_str(",\"receptions\":[");
+        for (i, (node, heard)) in record.receptions().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match heard {
+                Some(f) => write!(
+                    out,
+                    "{{\"node\":{},\"frame\":\"{}\"}}",
+                    node.0,
+                    json_escape(&frame(f))
+                )
+                .expect("write to String"),
+                None => {
+                    write!(out, "{{\"node\":{},\"frame\":null}}", node.0).expect("write to String")
+                }
+            }
+        }
+        out.push(']');
+    }
+    out.push('}');
     out
 }
 

@@ -81,6 +81,15 @@ pub struct RoundRecord<M> {
     pub delivered_channels: Vec<ChannelId>,
     /// The delivered frames (parallel to `delivered_channels`).
     pub delivered_frames: Vec<M>,
+    /// Listeners whose reception **diverged** from their channel's wire
+    /// outcome — only populated by per-listener channel models (lossy,
+    /// geometric); always empty under the ideal model, so pre-model
+    /// records and trace lines are unchanged. Ordered by (channel
+    /// ascending, node ascending).
+    pub reception_nodes: Vec<NodeId>,
+    /// What each diverging listener heard (`None` = nothing; parallel to
+    /// `reception_nodes`).
+    pub reception_frames: Vec<Option<M>>,
 }
 
 /// Hand-rolled so that [`Clone::clone_from`] reuses the destination's
@@ -102,6 +111,8 @@ impl<M: Clone> Clone for RoundRecord<M> {
             adv_emissions: self.adv_emissions.clone(),
             delivered_channels: self.delivered_channels.clone(),
             delivered_frames: self.delivered_frames.clone(),
+            reception_nodes: self.reception_nodes.clone(),
+            reception_frames: self.reception_frames.clone(),
         }
     }
 
@@ -118,6 +129,8 @@ impl<M: Clone> Clone for RoundRecord<M> {
         self.delivered_channels
             .clone_from(&source.delivered_channels);
         self.delivered_frames.clone_from(&source.delivered_frames);
+        self.reception_nodes.clone_from(&source.reception_nodes);
+        self.reception_frames.clone_from(&source.reception_frames);
     }
 }
 
@@ -143,6 +156,8 @@ impl<M> RoundRecord<M> {
             adv_emissions: Vec::new(),
             delivered_channels: Vec::new(),
             delivered_frames: Vec::new(),
+            reception_nodes: Vec::new(),
+            reception_frames: Vec::new(),
         }
     }
 
@@ -206,6 +221,16 @@ impl<M> RoundRecord<M> {
             .iter()
             .zip(&self.adv_emissions)
             .map(|(&channel, emission)| (channel, emission))
+    }
+
+    /// The diverging receptions `(node, heard)` — listeners whose
+    /// reception differed from their channel's wire outcome (per-listener
+    /// channel models only; empty under the ideal model).
+    pub fn receptions(&self) -> impl Iterator<Item = (NodeId, Option<&M>)> + '_ {
+        self.reception_nodes
+            .iter()
+            .zip(&self.reception_frames)
+            .map(|(&node, frame)| (node, frame.as_ref()))
     }
 
     /// The frame delivered on `channel`, if any — `O(log a)` in the

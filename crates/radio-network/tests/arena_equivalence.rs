@@ -15,8 +15,9 @@ use proptest::prelude::*;
 
 use radio_network::adversaries::{BusyChannelJammer, RandomJammer, Spoofer};
 use radio_network::{
-    Action, Adversary, AdversaryAction, AdversaryView, ChannelId, ChannelOutcome, Emission,
-    Network, NetworkConfig, NodeId, RoundRecord, RoundResolution, Stats, Trace, TraceRetention,
+    Action, Adversary, AdversaryAction, AdversaryView, ChannelId, ChannelModelSpec, ChannelOutcome,
+    Emission, Network, NetworkConfig, NodeId, RoundRecord, RoundResolution, Stats, Trace,
+    TraceRetention,
 };
 
 /// The pre-refactor round engine, kept simple rather than fast.
@@ -271,7 +272,7 @@ proptest! {
         ],
     ) {
         let cfg = NetworkConfig::new(4, 2).unwrap().with_retention(retention);
-        let mut dense: Network<u32> = Network::new(cfg);
+        let mut dense: Network<u32> = Network::new(cfg.clone());
         let mut sparse: Network<u32> = Network::new(cfg);
         let mut reference = reference::ReferenceNetwork::new(4, retention);
         for (gen, adv) in &rounds {
@@ -375,6 +376,96 @@ proptest! {
         }
     }
 
+    /// Selecting [`ChannelModelSpec::Ideal`] explicitly is bit-identical
+    /// to the default (model-less) configuration — on the dense AND the
+    /// sparse path, under every retention policy, against the
+    /// history-mining roster. This is the guarantee that lets the
+    /// committed BENCH files and golden corpus stay valid across the
+    /// channel-model refactor: threading the trait through the engine
+    /// changed no ideal-path byte.
+    #[test]
+    fn explicit_ideal_model_is_bit_identical_to_default(
+        seed in any::<u64>(),
+        kind in 0..3usize,
+        rounds in 4..40usize,
+        retention in prop_oneof![
+            Just(TraceRetention::All),
+            Just(TraceRetention::LastRounds(8)),
+            Just(TraceRetention::None),
+        ],
+    ) {
+        let (c, t, n) = (5, 2, 12);
+        let cfg = NetworkConfig::new(c, t).unwrap().with_retention(retention);
+        let cfg_ideal = cfg.clone().with_channel_model(ChannelModelSpec::Ideal);
+        let mut default_dense: Network<u32> = Network::new(cfg);
+        let mut ideal_dense: Network<u32> = Network::new(cfg_ideal.clone());
+        let mut ideal_sparse: Network<u32> = Network::new(cfg_ideal);
+        // The model seed must be irrelevant under Ideal; give the
+        // explicit-model engines one anyway to prove it.
+        ideal_dense.seed_channel_model(seed ^ 0xDEAD_BEEF);
+        ideal_sparse.seed_channel_model(!seed);
+        let mut adversary: Box<dyn Adversary<u32>> = match kind {
+            0 => Box::new(RandomJammer::new(seed)),
+            1 => Box::new(Spoofer::new(seed, |round, ch: ChannelId| {
+                (round as u32) << 8 | ch.index() as u32
+            })),
+            _ => Box::new(BusyChannelJammer::new(seed, 6)),
+        };
+        for round in 0..rounds as u64 {
+            let actions: Vec<Action<u32>> = (0..n)
+                .map(|i| match (i + round as usize) % 4 {
+                    0 => Action::Transmit {
+                        channel: ChannelId(i % 2),
+                        frame: (round as u32) * 100 + i as u32,
+                    },
+                    1 => Action::Transmit {
+                        channel: ChannelId(2 + (i + round as usize) % (c - 2)),
+                        frame: (round as u32) * 100 + i as u32,
+                    },
+                    2 => Action::Listen {
+                        channel: ChannelId((i + round as usize) % c),
+                    },
+                    _ => Action::Sleep,
+                })
+                .collect();
+            let pairs = to_sparse(&actions);
+            let view = AdversaryView {
+                channels: c,
+                budget: t,
+                nodes: n,
+                trace: default_dense.trace(),
+            };
+            let adv_action = adversary.act(round, &view);
+            let expected = default_dense
+                .resolve_round(&actions, &adv_action)
+                .unwrap()
+                .to_resolution();
+            let got_dense = ideal_dense
+                .resolve_round(&actions, &adv_action)
+                .unwrap()
+                .to_resolution();
+            let got_sparse = ideal_sparse
+                .resolve_round_sparse(&pairs, &adv_action)
+                .unwrap()
+                .to_resolution();
+            prop_assert_eq!(&got_dense, &expected);
+            prop_assert_eq!(&got_sparse, &expected);
+            prop_assert_eq!(default_dense.stats(), ideal_dense.stats());
+            prop_assert_eq!(default_dense.stats(), ideal_sparse.stats());
+            prop_assert_eq!(default_dense.trace().len(), ideal_dense.trace().len());
+            prop_assert!(default_dense
+                .trace()
+                .records()
+                .zip(ideal_dense.trace().records())
+                .all(|(a, b)| a == b && a.reception_nodes.is_empty()));
+            prop_assert!(default_dense
+                .trace()
+                .records()
+                .zip(ideal_sparse.trace().records())
+                .all(|(a, b)| a == b));
+        }
+    }
+
     /// Sparse resolution against the full trace-mining adversary roster,
     /// under every retention mode: the adversary mines the *dense*
     /// engine's trace, both engines resolve the identical round, and the
@@ -395,7 +486,7 @@ proptest! {
     ) {
         let (c, t, n) = (5, 2, 12);
         let cfg = NetworkConfig::new(c, t).unwrap().with_retention(retention);
-        let mut dense: Network<u32> = Network::new(cfg);
+        let mut dense: Network<u32> = Network::new(cfg.clone());
         let mut sparse: Network<u32> = Network::new(cfg);
         let mut adversary: Box<dyn Adversary<u32>> = match kind {
             0 => Box::new(RandomJammer::new(seed)),

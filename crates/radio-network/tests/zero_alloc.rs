@@ -23,8 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use radio_network::adversaries::NoAdversary;
 use radio_network::{
-    Action, AdversaryAction, ChannelId, Network, NetworkConfig, NullSink, Protocol, Reception,
-    Simulation, TraceRetention,
+    Action, AdversaryAction, ChannelId, ChannelModelSpec, Network, NetworkConfig, NullSink,
+    Protocol, Reception, Simulation, TraceRetention,
 };
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
@@ -115,6 +115,28 @@ fn schedule() -> Vec<Vec<Action<u64>>> {
                         frame: (round * 1000 + i) as u64,
                     },
                     1 | 2 => Action::Listen {
+                        channel: ChannelId((i + 2 * round) % CHANNELS),
+                    },
+                    _ => Action::Sleep,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Like [`schedule`], but with exactly one transmitter per channel (the
+/// [`LeanNode`] pattern), so channels actually deliver — the shape the
+/// lossy model needs: only deliverable frames can be dropped.
+fn lone_tx_schedule() -> Vec<Vec<Action<u64>>> {
+    (0..64)
+        .map(|round| {
+            (0..NODES)
+                .map(|i| match i % 8 {
+                    0 => Action::Transmit {
+                        channel: ChannelId((i / 8 + round) % CHANNELS),
+                        frame: (round * 1000 + i) as u64,
+                    },
+                    1..=3 => Action::Listen {
                         channel: ChannelId((i + 2 * round) % CHANNELS),
                     },
                     _ => Action::Sleep,
@@ -330,5 +352,55 @@ fn steady_state_round_loop_allocates_nothing() {
     assert!(
         sim.stats().honest_deliveries > 0,
         "the awake minority must actually communicate"
+    );
+
+    // 6. A diverging channel model (Lossy at 25% drop): per-listener
+    //    outcomes are pure derive() draws with no sequential state, and
+    //    the record arena's reception vectors recycle like every other
+    //    column, so the model layer adds nothing to the steady-state
+    //    allocation count — with retention off and with a bounded window
+    //    (where divergent receptions are actually recorded).
+    let lossy = ChannelModelSpec::Lossy {
+        p_loss_ppm: 250_000,
+    };
+    let lone_schedule = lone_tx_schedule();
+    let cfg_lossy = NetworkConfig::new(CHANNELS, 2)
+        .unwrap()
+        .with_retention(TraceRetention::None)
+        .with_channel_model(lossy);
+    let mut net: Network<u64> = Network::new(cfg_lossy);
+    net.seed_channel_model(99);
+    drive(&mut net, &lone_schedule, &adversaries, WARMUP);
+    assert_zero_alloc("lossy model, retention off", || {
+        drive(&mut net, &lone_schedule, &adversaries, MEASURED);
+    });
+    assert!(
+        net.stats().silent_receptions > 0,
+        "25% loss must actually drop frames"
+    );
+
+    // The recorded-window variant drops *every* deliverable frame: a
+    // fractional rate makes the per-round reception count stochastic, so
+    // recycled buffers keep meeting new all-time maxima (and realloc)
+    // indefinitely; full drop makes each round's reception column a pure
+    // function of the schedule shape. The window holds 64 records plus
+    // the arena's — 65 buffers rotating one slot per round over the
+    // 64-round schedule — so 65 cycles of warm-up let every buffer meet
+    // every shape's high-water mark.
+    let cfg_lossy_window = NetworkConfig::new(CHANNELS, 2)
+        .unwrap()
+        .with_retention(TraceRetention::LastRounds(64))
+        .with_channel_model(ChannelModelSpec::Lossy {
+            p_loss_ppm: 1_000_000,
+        });
+    let mut net: Network<u64> = Network::new(cfg_lossy_window);
+    net.seed_channel_model(99);
+    drive(&mut net, &lone_schedule, &adversaries, 65 * 64);
+    assert_zero_alloc("lossy model, LastRounds(64) recycled window", || {
+        drive(&mut net, &lone_schedule, &adversaries, MEASURED);
+    });
+    assert!(
+        net.trace().records().any(|r| !r.reception_nodes.is_empty()),
+        "the retained window must contain divergent receptions"
     );
 }

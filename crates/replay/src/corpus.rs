@@ -11,7 +11,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use fame::longlived::ScriptEntry;
-use radio_network::record_line;
+use radio_network::{record_line, ChannelModelSpec};
 use secure_radio_bench::scenario::Workload;
 use secure_radio_bench::{AdversaryChoice, ScenarioSpec};
 
@@ -44,6 +44,18 @@ pub fn corpus_members() -> Vec<(String, CorpusScenario)> {
             .with_adversary(adversary);
         members.push((stem, CorpusScenario::Fame { spec, trial: 0 }));
     }
+    // One golden trace per non-ideal channel model (same compact regime),
+    // so the replayer's model threading — header, receptions, per-listener
+    // divergence — is pinned byte-for-byte like the adversary roster is.
+    for (i, model) in non_ideal_models(18).into_iter().enumerate() {
+        let stem = format!("fame-channel-{}", slug(&model.label()));
+        let spec = ScenarioSpec::new(stem.clone(), 18, 1, 2)
+            .with_workload(Workload::RandomPairs { edges: 2 })
+            .with_seed(2000 + i as u64)
+            .with_adversary(AdversaryChoice::RandomJam)
+            .with_channel_model(model);
+        members.push((stem, CorpusScenario::Fame { spec, trial: 0 }));
+    }
     members.push((
         "longlived-session".to_string(),
         CorpusScenario::LongLived {
@@ -73,6 +85,25 @@ pub fn corpus_members() -> Vec<(String, CorpusScenario)> {
         },
     ));
     members
+}
+
+/// The non-ideal channel models the corpus pins, sized for `n` nodes:
+/// mild Bernoulli loss, a moderate capture threshold, and a near-complete
+/// unit grid (only the farthest corner pairs fall out of earshot) — each
+/// perturbs the protocol without stalling it past its round budget.
+fn non_ideal_models(n: usize) -> Vec<ChannelModelSpec> {
+    let side = (1..).find(|s| s * s >= n).expect("some square covers n");
+    let positions: Vec<(i64, i64)> = (0..n as i64)
+        .map(|i| (i % side as i64, i / side as i64))
+        .collect();
+    vec![
+        ChannelModelSpec::Lossy { p_loss_ppm: 50_000 },
+        ChannelModelSpec::Capture { threshold: 128 },
+        ChannelModelSpec::Geometric {
+            positions,
+            radius: side as u64 - 1,
+        },
+    ]
 }
 
 /// The sidecar path for a trace file (`x.jsonl` → `x.meta.json`).
@@ -122,6 +153,21 @@ pub fn validate_corpus_entry(trace_text: &str, meta_text: &str) -> Result<u64, S
             ));
         }
     }
+    // The trace's channel-model header and the sidecar's model must tell
+    // the same story — a mismatch would replay under the wrong channel
+    // semantics and report a bogus divergence (or hide a real one).
+    let expected_header = match &scenario {
+        CorpusScenario::Fame { spec, .. } if !spec.channel_model.is_ideal() => {
+            Some(spec.channel_model.header_line())
+        }
+        _ => None,
+    };
+    if trace.header != expected_header {
+        return Err(format!(
+            "trace channel-model header {:?} does not match the sidecar's model {:?}",
+            trace.header, expected_header
+        ));
+    }
     let expected_channels = match &scenario {
         CorpusScenario::Fame { spec, .. } => spec.channels,
         CorpusScenario::LongLived { channels, .. } => *channels,
@@ -141,12 +187,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn roster_covers_every_adversary_plus_longlived() {
+    fn roster_covers_every_adversary_plus_models_plus_longlived() {
         let members = corpus_members();
-        assert_eq!(members.len(), AdversaryChoice::roster().len() + 1);
+        assert_eq!(members.len(), AdversaryChoice::roster().len() + 3 + 1);
         let stems: Vec<&str> = members.iter().map(|(s, _)| s.as_str()).collect();
         assert!(stems.contains(&"fame-busy-channel"));
         assert!(stems.contains(&"fame-omni-prefer-edges-spoof"));
+        assert!(stems.contains(&"fame-channel-lossy-p50000"));
+        assert!(stems.contains(&"fame-channel-capture-t128"));
+        assert!(stems.contains(&"fame-channel-geometric-r4-n18"));
         assert!(stems.contains(&"longlived-session"));
         // Stems are unique and filesystem-safe.
         let mut sorted = stems.clone();

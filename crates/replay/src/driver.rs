@@ -19,8 +19,8 @@ use std::sync::{Arc, Mutex};
 
 use radio_network::seed;
 use radio_network::{
-    Action, Adversary, AdversaryView, Network, NetworkConfig, Protocol, Reception, RoundRecord,
-    Trace, TraceRetention, TraceSink,
+    Action, Adversary, AdversaryView, Network, NetworkConfig, NodeId, Protocol, Reception,
+    RoundRecord, Trace, TraceRetention, TraceSink,
 };
 
 pub use radio_network::record_line;
@@ -137,7 +137,11 @@ where
     P::Msg: fmt::Debug + Send + 'static,
     A: Adversary<P::Msg>,
 {
+    let (channels, budget) = (cfg.channels(), cfg.budget());
     let mut network = Network::with_sink(cfg, sink);
+    // Same reserved stream Simulation::assemble uses, so a model-bearing
+    // replay is bit-identical to the original sparse run.
+    network.seed_channel_model(seed::derive(seed, u64::MAX));
     for (i, node) in nodes.iter_mut().enumerate() {
         node.reseed(seed::derive(seed, i as u64));
     }
@@ -146,8 +150,8 @@ where
         let round = network.round();
         let adversary_action = {
             let view = AdversaryView {
-                channels: cfg.channels(),
-                budget: cfg.budget(),
+                channels,
+                budget,
                 nodes: nodes.len(),
                 trace: network.trace(),
             };
@@ -164,7 +168,7 @@ where
             let reception = match &actions[i] {
                 Action::Listen { channel } => Some(Reception {
                     channel: *channel,
-                    frame: resolution.heard_on(*channel),
+                    frame: resolution.reception_for(NodeId(i), *channel),
                 }),
                 _ => None,
             };
@@ -192,9 +196,14 @@ mod tests {
             .with_retention(TraceRetention::LastRounds(4));
 
         let (sink, sparse_lines) = CollectorSink::new(TraceRetention::LastRounds(4));
-        let mut sim =
-            Simulation::with_sink(cfg, beacons(5, 3), RandomJammer::new(99), 7, Box::new(sink))
-                .expect("simulation assembles");
+        let mut sim = Simulation::with_sink(
+            cfg.clone(),
+            beacons(5, 3),
+            RandomJammer::new(99),
+            7,
+            Box::new(sink),
+        )
+        .expect("simulation assembles");
         for _ in 0..20 {
             sim.step().expect("sparse step");
         }

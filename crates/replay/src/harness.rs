@@ -90,6 +90,20 @@ fn noise_adversary<M: 'static>(
     }
 }
 
+/// Fail on any object key outside `allowed`, naming the field — sidecar
+/// parsing is strict so a partially-understood scenario can never replay
+/// as the wrong run.
+fn reject_unknown_fields(v: &Json, allowed: &[&str], context: &str) -> Result<(), String> {
+    if let Json::Obj(entries) = v {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("{context}: unknown field \"{key}\""));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Drive a prepared node vector against a scripted schedule for exactly
 /// `rounds` rounds and return the re-encoded lines.
 fn drive<P>(
@@ -142,7 +156,8 @@ impl CorpusScenario {
                 let retention = TraceRetention::LastRounds(FAME_TRACE_WINDOW);
                 let cfg = NetworkConfig::new(params.c(), params.t())
                     .map_err(|e| format!("network config: {e}"))?
-                    .with_retention(retention);
+                    .with_retention(retention)
+                    .with_channel_model(spec.channel_model.clone());
                 drive(cfg, retention, nodes, scripted, seed, rounds, mode)
             }
             CorpusScenario::LongLived {
@@ -172,7 +187,7 @@ impl CorpusScenario {
                             .filter(|e| e.sender == id)
                             .map(|e| (e.eround, e.message.clone()))
                             .collect();
-                        LongLivedNode::new(id, params, keys[id], my_script, emulated_rounds)
+                        LongLivedNode::new(id, params.clone(), keys[id], my_script, emulated_rounds)
                     })
                     .collect();
                 let scripted: ScriptedAdversary<SealedBox> =
@@ -204,9 +219,13 @@ impl CorpusScenario {
                 let instance = spec.instance();
                 let seed = spec.trial_seed(*trial);
                 let adversary = spec.adversary.build(&params, instance.pairs(), seed);
-                let sink = ChannelSink::create(path, TRACE_QUEUE_CAPACITY, OverflowPolicy::Block)
-                    .map_err(|e| format!("create {}: {e}", path.display()))?
-                    .with_history(TraceRetention::LastRounds(FAME_TRACE_WINDOW));
+                let mut sink =
+                    ChannelSink::create(path, TRACE_QUEUE_CAPACITY, OverflowPolicy::Block)
+                        .map_err(|e| format!("create {}: {e}", path.display()))?
+                        .with_history(TraceRetention::LastRounds(FAME_TRACE_WINDOW));
+                if !spec.channel_model.is_ideal() {
+                    sink = sink.with_header(spec.channel_model.header_line());
+                }
                 run_fame_streaming(&instance, &params, adversary, seed, Box::new(sink))
                     .map_err(|e| format!("record f-AME run: {e}"))?;
                 Ok(())
@@ -280,17 +299,40 @@ impl CorpusScenario {
 
     /// Parse a `.meta.json` sidecar.
     ///
+    /// Unknown fields are a **hard error** naming the field: a sidecar
+    /// the replayer does not fully understand could describe a run it
+    /// cannot faithfully rebuild, and silently ignoring the field would
+    /// turn that into a spurious replay divergence (or worse, a spurious
+    /// match).
+    ///
     /// # Errors
-    /// On malformed JSON or an unknown `kind`.
+    /// On malformed JSON, an unknown `kind`, or any unknown field.
     pub fn from_json_str(text: &str) -> Result<Self, String> {
         const CTX: &str = "corpus meta";
         let v = Json::parse(text).map_err(|e| format!("{CTX}: {e}"))?;
         match json::kind(&v, CTX)? {
-            "fame" => Ok(CorpusScenario::Fame {
-                spec: ScenarioSpec::from_json(json::field(&v, "spec", CTX)?)?,
-                trial: json::usize_field(&v, "trial", CTX)?,
-            }),
+            "fame" => {
+                reject_unknown_fields(&v, &["kind", "trial", "spec"], CTX)?;
+                Ok(CorpusScenario::Fame {
+                    spec: ScenarioSpec::from_json(json::field(&v, "spec", CTX)?)?,
+                    trial: json::usize_field(&v, "trial", CTX)?,
+                })
+            }
             "longlived" => {
+                reject_unknown_fields(
+                    &v,
+                    &[
+                        "kind",
+                        "n",
+                        "t",
+                        "channels",
+                        "seed",
+                        "adversary",
+                        "keyed",
+                        "script",
+                    ],
+                    CTX,
+                )?;
                 let keyed = json::field(&v, "keyed", CTX)?
                     .as_array()
                     .ok_or_else(|| format!("{CTX}: \"keyed\" is not an array"))?
@@ -308,6 +350,7 @@ impl CorpusScenario {
                     .enumerate()
                 {
                     let ctx = format!("script[{i}]");
+                    reject_unknown_fields(entry, &["eround", "sender", "message"], &ctx)?;
                     let message = json::field(entry, "message", &ctx)?
                         .as_array()
                         .ok_or_else(|| format!("{ctx}: \"message\" is not an array"))?
@@ -387,6 +430,48 @@ mod tests {
             let decoded = CorpusScenario::from_json_str(&encoded).expect("parses");
             assert_eq!(decoded, scenario, "{encoded}");
         }
+    }
+
+    #[test]
+    fn unknown_sidecar_fields_are_hard_errors_naming_the_field() {
+        let fame = CorpusScenario::Fame {
+            spec: ScenarioSpec::new("corpus", 40, 2, 3),
+            trial: 0,
+        };
+        // Smuggle an extra key into each object level of a valid sidecar.
+        let err = CorpusScenario::from_json_str(&fame.json().replacen("\"trial\"", "\"tril\"", 1))
+            .unwrap_err();
+        assert!(err.contains("unknown field \"tril\""), "{err}");
+
+        let longlived = longlived_scenario().json();
+        let err = CorpusScenario::from_json_str(&longlived.replacen(
+            "\"seed\":11",
+            "\"seed\":11,\"sede\":11",
+            1,
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown field \"sede\""), "{err}");
+        let err = CorpusScenario::from_json_str(&longlived.replacen(
+            "\"sender\":0",
+            "\"sender\":0,\"loud\":true",
+            1,
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown field \"loud\""), "{err}");
+        assert!(err.contains("script[0]"), "{err}");
+    }
+
+    #[test]
+    fn fame_sidecars_roundtrip_non_ideal_channel_models() {
+        let scenario = CorpusScenario::Fame {
+            spec: ScenarioSpec::new("corpus", 40, 2, 3)
+                .with_channel_model(radio_network::ChannelModelSpec::Capture { threshold: 128 }),
+            trial: 1,
+        };
+        let encoded = scenario.json();
+        assert!(encoded.contains("\"channel_model\""), "{encoded}");
+        let decoded = CorpusScenario::from_json_str(&encoded).expect("parses");
+        assert_eq!(decoded, scenario);
     }
 
     #[test]

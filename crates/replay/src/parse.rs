@@ -76,13 +76,30 @@ pub fn parse_record_line(line: &str) -> Result<RoundRecord<String>, String> {
         });
     }
 
-    Ok(RoundRecord::from_parts(
-        round,
-        transmissions,
-        listeners,
-        adversary,
-        delivered,
-    ))
+    let mut record = RoundRecord::from_parts(round, transmissions, listeners, adversary, delivered);
+
+    // Per-listener receptions exist only under diverging channel models;
+    // the encoder omits the field entirely when there are none.
+    if let Some(receptions) = v.get("receptions") {
+        let entries = receptions
+            .as_array()
+            .ok_or_else(|| "trace line: field \"receptions\" is not an array".to_string())?;
+        for (i, entry) in entries.iter().enumerate() {
+            let ctx = format!("receptions[{i}]");
+            record
+                .reception_nodes
+                .push(NodeId(json::usize_field(entry, "node", &ctx)?));
+            record
+                .reception_frames
+                .push(match json::field(entry, "frame", &ctx)? {
+                    Json::Null => None,
+                    Json::Str(s) => Some(s.clone()),
+                    _ => return Err(format!("{ctx}: \"frame\" must be a string or null")),
+                });
+        }
+    }
+
+    Ok(record)
 }
 
 #[cfg(test)]
@@ -137,6 +154,26 @@ mod tests {
         );
         let line = record_line(&record, String::clone);
         assert_eq!(parse_record_line(&line).expect("valid"), record);
+    }
+
+    #[test]
+    fn divergent_receptions_roundtrip() {
+        let line = "{\"round\":4,\"transmissions\":[{\"node\":0,\"channel\":0,\"frame\":\"m\"}],\
+                    \"listeners\":[{\"node\":2,\"channel\":0},{\"node\":3,\"channel\":0}],\
+                    \"adversary\":[],\"delivered\":[\"m\",null],\
+                    \"receptions\":[{\"node\":2,\"frame\":null},{\"node\":3,\"frame\":\"m\"}]}";
+        let record = parse_record_line(line).expect("valid line");
+        assert_eq!(
+            record.receptions().collect::<Vec<_>>(),
+            vec![(NodeId(2), None), (NodeId(3), Some(&"m".to_string()))]
+        );
+        assert_eq!(record_line(&record, String::clone), line);
+
+        let bad = "{\"round\":0,\"transmissions\":[],\"listeners\":[],\"adversary\":[],\
+                   \"delivered\":[null],\"receptions\":[{\"node\":0,\"frame\":7}]}";
+        assert!(parse_record_line(bad)
+            .unwrap_err()
+            .contains("receptions[0]"));
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum GapPolicy {
 /// (parallel to `records`), and how many rounds were missing.
 #[derive(Clone, Debug)]
 pub struct TraceFile {
+    /// The channel-model header line, byte-for-byte, if the trace was
+    /// recorded under a non-ideal model (see `docs/TRACE_FORMAT.md`).
+    /// Never counted as a record.
+    pub header: Option<String>,
     /// Parsed records, in file order (round numbers strictly increasing).
     pub records: Vec<RoundRecord<String>>,
     /// The original lines, byte-for-byte, parallel to `records`.
@@ -35,6 +39,9 @@ pub struct TraceFile {
     /// Rounds missing from `0..total_rounds()` (0 under [`GapPolicy::Reject`]).
     pub skipped: u64,
 }
+
+/// The prefix a channel-model header line starts with.
+const HEADER_PREFIX: &str = "{\"channel_model\":";
 
 impl TraceFile {
     /// Parse a whole trace from text, one JSON object per non-empty line.
@@ -44,6 +51,7 @@ impl TraceFile {
     /// duplicate or decreasing round numbers, and — under
     /// [`GapPolicy::Reject`] — on any hole in the round sequence.
     pub fn parse_str(text: &str, policy: GapPolicy) -> Result<Self, String> {
+        let mut header = None;
         let mut records = Vec::new();
         let mut lines = Vec::new();
         let mut skipped = 0u64;
@@ -53,6 +61,16 @@ impl TraceFile {
                 continue;
             }
             let lineno = idx + 1;
+            if line.starts_with(HEADER_PREFIX) {
+                if header.is_some() || !records.is_empty() {
+                    return Err(format!(
+                        "line {lineno}: a channel-model header must be the first line of the \
+                         trace, exactly once"
+                    ));
+                }
+                header = Some(line.to_string());
+                continue;
+            }
             let record = parse_record_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
             if record.round < expect {
                 return Err(format!(
@@ -83,6 +101,7 @@ impl TraceFile {
             lines.push(line.to_string());
         }
         Ok(TraceFile {
+            header,
             records,
             lines,
             skipped,
@@ -124,7 +143,7 @@ impl TraceFile {
             .position(|r| r.round == round)
             .ok_or_else(|| format!("round {round} is not present in the trace"))?;
         let old = &self.records[idx];
-        let mutated = RoundRecord::from_parts(
+        let mut mutated = RoundRecord::from_parts(
             old.round,
             old.transmissions()
                 .map(|(n, c, f)| (n, c, f.clone()))
@@ -135,6 +154,8 @@ impl TraceFile {
             old.adversary().map(|(c, e)| (c, e.clone())).collect(),
             old.delivered_dense().map(|s| s.cloned()).collect(),
         );
+        mutated.reception_nodes = old.reception_nodes.clone();
+        mutated.reception_frames = old.reception_frames.clone();
         self.lines[idx] = record_line(&mutated, String::clone);
         self.records[idx] = mutated;
         Ok(())
@@ -187,6 +208,28 @@ mod tests {
         let reordered = format!("{}\n{}\n", line(2), line(0));
         let err = TraceFile::parse_str(&reordered, GapPolicy::Skip).unwrap_err();
         assert!(err.contains("repeats or decreases"), "{err}");
+    }
+
+    #[test]
+    fn channel_model_header_is_kept_apart_from_records() {
+        let header = "{\"channel_model\":{\"kind\":\"lossy\",\"p_loss_ppm\":250000}}";
+        let text = format!("{header}\n{}\n{}\n", line(0), line(1));
+        let trace = TraceFile::parse_str(&text, GapPolicy::Reject).expect("clean trace");
+        assert_eq!(trace.header.as_deref(), Some(header));
+        assert_eq!(trace.records.len(), 2);
+        assert_eq!(trace.total_rounds(), 2);
+
+        // No header at all is fine (the ideal-model format).
+        let trace = TraceFile::parse_str(&line(0), GapPolicy::Reject).expect("clean");
+        assert_eq!(trace.header, None);
+
+        // A header after the first record, or a second header, is fatal.
+        let late = format!("{}\n{header}\n", line(0));
+        let err = TraceFile::parse_str(&late, GapPolicy::Reject).unwrap_err();
+        assert!(err.contains("first line"), "{err}");
+        let twice = format!("{header}\n{header}\n{}\n", line(0));
+        let err = TraceFile::parse_str(&twice, GapPolicy::Reject).unwrap_err();
+        assert!(err.contains("exactly once"), "{err}");
     }
 
     #[test]
