@@ -3,11 +3,12 @@
 //! own raw-token JSON reader — so the linter rejects exactly what the
 //! shard merger would choke on, including torn files.
 //!
-//! Three schemas are recognized, dispatched the same way a human reads
-//! the directory: a `.shard<k>of<N>.` name is a shard file, a top-level
+//! The schemas are dispatched the same way a human reads the
+//! directory: a `.shard<k>of<N>.` name is a shard file, a top-level
 //! array is a criterion timing baseline, an object with `summaries` is
-//! the scheduler report (timing rows plus host provenance), and an
-//! object with `report`/`scenarios` is a scenario report.
+//! the scheduler report (timing rows plus host provenance), an object
+//! with `rows` is the gateway service-load report, and an object with
+//! `report`/`scenarios` is a scenario report.
 
 use crate::rules::Finding;
 use secure_radio_bench::json::Json;
@@ -62,6 +63,7 @@ pub fn validate_one(name: &str, text: &str) -> Result<(), String> {
     match &value {
         Json::Arr(rows) => timing_rows(rows, "timing baseline"),
         Json::Obj(_) if value.get("summaries").is_some() => scheduler_report(&value),
+        Json::Obj(_) if value.get("rows").is_some() => service_report(&value, stem),
         Json::Obj(_) => scenario_report(&value, stem),
         _ => Err("top level must be an object or a timing array".into()),
     }
@@ -177,6 +179,115 @@ fn timing_rows(rows: &[Json], what: &str) -> Result<(), String> {
         }
         if mean < min - 0.1 || mean > max + 0.1 {
             return Err(format!("{ctx}: mean {mean} outside [min, max]"));
+        }
+    }
+    Ok(())
+}
+
+/// `BENCH_service.json` (the gateway's `service_load` bench): host
+/// provenance, one row per (sessions, workers, intensity) grid cell,
+/// and a 1-vs-N worker scaling point.
+fn service_report(value: &Json, stem: &str) -> Result<(), String> {
+    let report = str_of(value, "report", "service report")?;
+    if report != stem {
+        return Err(format!(
+            "`report` is \"{report}\" but the file name says \"{stem}\""
+        ));
+    }
+    for key in ["host_threads", "epoch_len"] {
+        if u64_of(value, key, "service report")? == 0 {
+            return Err(format!("service report: `{key}` is zero"));
+        }
+    }
+    let rows = value
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "`rows` is not an array".to_string())?;
+    if rows.is_empty() {
+        return Err("`rows` is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("rows[{i}]");
+        let workers = u64_of(row, "workers", &ctx)?;
+        if u64_of(row, "sessions", &ctx)? == 0 || workers == 0 {
+            return Err(format!("{ctx}: zero sessions or workers"));
+        }
+        u64_of(row, "intensity", &ctx)?;
+        u64_of(row, "rounds", &ctx)?;
+        u64_of(row, "dropped_ingress", &ctx)?;
+        u64_of(row, "rejected", &ctx)?;
+        let delivered = u64_of(row, "delivered", &ctx)?;
+        let expected = u64_of(row, "expected", &ctx)?;
+        if delivered > expected {
+            return Err(format!(
+                "{ctx}: delivered {delivered} exceeds expected {expected}"
+            ));
+        }
+        if f64_of(row, "elapsed_ms", &ctx)? <= 0.0 {
+            return Err(format!("{ctx}: `elapsed_ms` is not positive"));
+        }
+        if f64_of(row, "msgs_per_sec", &ctx)? < 0.0 {
+            return Err(format!("{ctx}: `msgs_per_sec` is negative"));
+        }
+        let latency = row
+            .get("latency_rounds")
+            .ok_or_else(|| format!("{ctx}: missing `latency_rounds`"))?;
+        if latency.is_null() {
+            if delivered != 0 {
+                return Err(format!(
+                    "{ctx}: `latency_rounds` is null but {delivered} messages were delivered"
+                ));
+            }
+        } else {
+            let lctx = format!("{ctx}.latency_rounds");
+            let p50 = u64_of(latency, "p50", &lctx)?;
+            let p95 = u64_of(latency, "p95", &lctx)?;
+            let p99 = u64_of(latency, "p99", &lctx)?;
+            if !(1 <= p50 && p50 <= p95 && p95 <= p99) {
+                return Err(format!(
+                    "{lctx}: order violated (1 <= p50 {p50} <= p95 {p95} <= p99 {p99})"
+                ));
+            }
+        }
+        let util = row
+            .get("worker_utilization")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{ctx}: `worker_utilization` missing or not an array"))?;
+        if util.len() as u64 != workers {
+            return Err(format!(
+                "{ctx}: {} utilization shares for {workers} workers",
+                util.len()
+            ));
+        }
+        let mut sum = 0.0f64;
+        for (j, share) in util.iter().enumerate() {
+            let share = share
+                .as_f64()
+                .ok_or_else(|| format!("{ctx}: worker_utilization[{j}] is not a number"))?;
+            if !(0.0..=1.0).contains(&share) {
+                return Err(format!(
+                    "{ctx}: worker_utilization[{j}] = {share} outside [0, 1]"
+                ));
+            }
+            sum += share;
+        }
+        // Shares are work fractions of one service run, printed rounded.
+        if sum > 1.0 + 0.005 * workers as f64 {
+            return Err(format!("{ctx}: utilization shares sum to {sum} > 1"));
+        }
+    }
+    let scaling = value
+        .get("scaling")
+        .ok_or_else(|| "service report: missing `scaling`".to_string())?;
+    let ctx = "scaling";
+    u64_of(scaling, "sessions", ctx)?;
+    u64_of(scaling, "intensity", ctx)?;
+    if u64_of(scaling, "base_workers", ctx)? == 0 || u64_of(scaling, "multi_workers", ctx)? == 0 {
+        return Err("scaling: zero base_workers or multi_workers".into());
+    }
+    for key in ["base_msgs_per_sec", "multi_msgs_per_sec", "speedup"] {
+        if f64_of(scaling, key, ctx)? < 0.0 {
+            return Err(format!("scaling: `{key}` is negative"));
         }
     }
     Ok(())
@@ -360,6 +471,40 @@ mod tests {
         let err = validate_one("BENCH_demo.shard2of2.json", &wrong_owner)
             .expect_err("round-robin ownership");
         assert!(err.contains("not owned"), "{err}");
+    }
+
+    #[test]
+    fn validates_service_reports() {
+        let good = r#"{"report": "service", "host_threads": 1, "epoch_len": 65,
+            "rows": [
+                {"sessions": 4, "workers": 2, "intensity": 1, "delivered": 10,
+                 "expected": 12, "rounds": 390, "elapsed_ms": 12.5,
+                 "msgs_per_sec": 800.0,
+                 "latency_rounds": {"p50": 1, "p95": 3, "p99": 5},
+                 "dropped_ingress": 0, "rejected": 0,
+                 "worker_utilization": [0.5, 0.5]}
+            ],
+            "scaling": {"sessions": 4, "intensity": 1, "base_workers": 1,
+                        "multi_workers": 2, "base_msgs_per_sec": 700.0,
+                        "multi_msgs_per_sec": 800.0, "speedup": 1.14}}"#;
+        validate_one("BENCH_service.json", good).expect("valid service report");
+
+        let over = good.replace(r#""delivered": 10"#, r#""delivered": 13"#);
+        let err = validate_one("BENCH_service.json", &over).expect_err("delivered > expected");
+        assert!(err.contains("exceeds expected"), "{err}");
+
+        let short = good.replace("[0.5, 0.5]", "[1.0]");
+        let err = validate_one("BENCH_service.json", &short).expect_err("share count");
+        assert!(err.contains("utilization shares for"), "{err}");
+
+        let disordered = good.replace(r#""p95": 3"#, r#""p95": 9"#);
+        let err = validate_one("BENCH_service.json", &disordered).expect_err("p95 > p99");
+        assert!(err.contains("order violated"), "{err}");
+
+        let silent_null = good.replace(r#"{"p50": 1, "p95": 3, "p99": 5}"#, "null");
+        let err = validate_one("BENCH_service.json", &silent_null)
+            .expect_err("null latency with deliveries");
+        assert!(err.contains("null"), "{err}");
     }
 
     #[test]

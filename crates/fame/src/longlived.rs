@@ -59,6 +59,21 @@ fn decode(bytes: &[u8]) -> Option<(usize, u64, Vec<u8>)> {
     Some((sender, eround, bytes[12..].to_vec()))
 }
 
+/// One accepted broadcast, as the accepting node logged it: which
+/// physical `round` the frame landed in, which emulated round it
+/// belonged to, and who sent it. The physical round is what delivery
+/// *latency* means for a long-lived session — rounds elapsed between the
+/// start of the emulated round (`eround * epoch_len`) and acceptance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Accept {
+    /// Physical round the frame was accepted in.
+    pub round: u64,
+    /// Emulated round the broadcast belonged to.
+    pub eround: u64,
+    /// Broadcasting node.
+    pub sender: usize,
+}
+
 /// A participant in the emulated channel.
 #[derive(Clone, Debug)]
 pub struct LongLivedNode {
@@ -67,10 +82,16 @@ pub struct LongLivedNode {
     key: Option<SymmetricKey>,
     /// My scripted broadcasts: emulated round -> message.
     script: BTreeMap<u64, Vec<u8>>,
+    /// Scheduled key rotations: from emulated round -> new group key.
+    rekeys: BTreeMap<u64, SymmetricKey>,
     epoch_len: u64,
     emulated_rounds: u64,
     /// Accepted broadcasts: emulated round -> (sender, message).
     received: BTreeMap<u64, (usize, Vec<u8>)>,
+    /// Acceptance log, in order, one entry per accepted broadcast.
+    /// Pre-sized to the session horizon so steady-state pushes never
+    /// reallocate (at most one acceptance per emulated round).
+    accepts: Vec<Accept>,
     round: u64,
 }
 
@@ -90,15 +111,35 @@ impl LongLivedNode {
             params,
             key,
             script,
+            rekeys: BTreeMap::new(),
             emulated_rounds,
             received: BTreeMap::new(),
+            accepts: Vec::with_capacity(emulated_rounds as usize),
             round: 0,
         }
+    }
+
+    /// Schedule key rotations: at the start of each emulated round named
+    /// in `rekeys`, the node switches to that key for hopping, sealing,
+    /// and opening. Every keyed node in a session must carry the same
+    /// schedule (the model's out-of-band re-agreement, e.g. a Section 6
+    /// re-run); nodes outside the keyed group ignore it.
+    #[must_use]
+    pub fn with_rekeys(mut self, rekeys: BTreeMap<u64, SymmetricKey>) -> Self {
+        self.rekeys = rekeys;
+        self
     }
 
     /// Broadcasts accepted so far.
     pub fn received(&self) -> &BTreeMap<u64, (usize, Vec<u8>)> {
         &self.received
+    }
+
+    /// The in-order acceptance log (see [`Accept`]). Grows by at most one
+    /// entry per emulated round; the gateway drains it incrementally with
+    /// a cursor to build per-session delivery transcripts.
+    pub fn accepts(&self) -> &[Accept] {
+        &self.accepts
     }
 
     fn current_eround(&self) -> u64 {
@@ -116,10 +157,24 @@ impl Protocol for LongLivedNode {
         if self.is_done() {
             return Action::Sleep;
         }
+        let e = self.current_eround();
+        // Key rotation: apply every scheduled rekey due at or before this
+        // emulated round. All keyed nodes carry the same schedule, so the
+        // whole group switches hop sequence and sealing key in lockstep
+        // at the epoch boundary. (`pop_first` only releases tree nodes —
+        // no allocation on the steady-state tick.)
+        while self
+            .rekeys
+            .first_key_value()
+            .is_some_and(|(&at, _)| at <= e)
+        {
+            if let Some((_, key)) = self.rekeys.pop_first() {
+                self.key = Some(key);
+            }
+        }
         let Some(key) = &self.key else {
             return Action::Sleep; // outside the keyed group
         };
-        let e = self.current_eround();
         let channel = ChannelId(ChannelHopper::new(key, self.params.c()).channel_for(self.round));
         match self.script.get(&e) {
             Some(message) => Action::Transmit {
@@ -145,8 +200,13 @@ impl Protocol for LongLivedNode {
             if sealed.nonce == e {
                 if let Some(plain) = sealed.open(key) {
                     if let Some((sender, eround, message)) = decode(&plain) {
-                        if eround == e {
-                            self.received.entry(e).or_insert((sender, message));
+                        if eround == e && !self.received.contains_key(&e) {
+                            self.accepts.push(Accept {
+                                round,
+                                eround: e,
+                                sender,
+                            });
+                            self.received.insert(e, (sender, message));
                         }
                     }
                 }
@@ -268,6 +328,168 @@ where
 /// for its trace-mining adversaries (rounds).
 pub const LONGLIVED_TRACE_WINDOW: usize = 8;
 
+/// An open long-lived session as a *steppable handle*: the same network,
+/// nodes, and drive order as [`run_longlived`], but advanced one physical
+/// round at a time by the caller instead of run-to-completion. This is
+/// what the session gateway multiplexes — each worker owns many open
+/// sessions and interleaves their [`LongLivedSession::step`] calls — and
+/// `run_longlived` itself is the degenerate one-session case
+/// ([`LongLivedSession::run`]), so both paths are bit-identical by
+/// construction.
+pub struct LongLivedSession<A: Adversary<SealedBox>> {
+    sim: Simulation<LongLivedNode, A>,
+    epoch_len: u64,
+    total: u64,
+    rounds: u64,
+}
+
+impl<A: Adversary<SealedBox>> LongLivedSession<A> {
+    /// Open a session.
+    ///
+    /// `keys[v]` is node `v`'s group key (or `None` for the ≤ t nodes the
+    /// setup could not reach); `script` lists the broadcasts; `rekeys`
+    /// schedules group-wide key rotations (applied to every keyed node;
+    /// see [`LongLivedNode::with_rekeys`]). The session lasts
+    /// `max(horizon, last scripted eround + 1)` emulated rounds — pass
+    /// `horizon = 0` to derive the length from the script alone, as
+    /// [`run_longlived`] does. `retention` is the in-memory history the
+    /// adversary observes; `sink` optionally streams finished rounds
+    /// (e.g. to a trace file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine configuration failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys` and `params.n()` disagree or a scripted sender
+    /// has no group key (configuration bugs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        params: &Params,
+        keys: &[Option<SymmetricKey>],
+        script: &[ScriptEntry],
+        rekeys: &[(u64, SymmetricKey)],
+        horizon: u64,
+        adversary: A,
+        seed: u64,
+        retention: TraceRetention,
+        sink: Option<Box<dyn TraceSink<SealedBox>>>,
+    ) -> Result<Self, EngineError> {
+        assert_eq!(keys.len(), params.n(), "one key slot per node");
+        let emulated_rounds = script
+            .iter()
+            .map(|e| e.eround + 1)
+            .max()
+            .unwrap_or(0)
+            .max(horizon);
+        for entry in script {
+            assert!(
+                keys[entry.sender].is_some(),
+                "scripted sender {} has no group key",
+                entry.sender
+            );
+        }
+        let cfg = NetworkConfig::new(params.c(), params.t())?
+            .with_channel_model(params.channel_model().clone())
+            .with_retention(retention);
+        let rekey_map: BTreeMap<u64, SymmetricKey> = rekeys.iter().copied().collect();
+        let nodes: Vec<LongLivedNode> = (0..params.n())
+            .map(|id| {
+                let my_script: BTreeMap<u64, Vec<u8>> = script
+                    .iter()
+                    .filter(|e| e.sender == id)
+                    .map(|e| (e.eround, e.message.clone()))
+                    .collect();
+                let node =
+                    LongLivedNode::new(id, params.clone(), keys[id], my_script, emulated_rounds);
+                if keys[id].is_some() {
+                    node.with_rekeys(rekey_map.clone())
+                } else {
+                    node
+                }
+            })
+            .collect();
+        let sim = match sink {
+            Some(sink) => Simulation::with_sink(cfg, nodes, adversary, seed, sink)?,
+            None => Simulation::new(cfg, nodes, adversary, seed)?,
+        };
+        Ok(LongLivedSession {
+            sim,
+            epoch_len: params.epoch_rounds(),
+            total: emulated_rounds * params.epoch_rounds(),
+            rounds: 0,
+        })
+    }
+
+    /// Advance the session by one physical round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures; the round is re-queued, so a caller
+    /// may retry.
+    pub fn step(&mut self) -> Result<(), EngineError> {
+        self.sim.step()?;
+        self.rounds += 1;
+        Ok(())
+    }
+
+    /// `true` once every node has finished its emulated rounds.
+    pub fn is_done(&self) -> bool {
+        self.sim.all_done()
+    }
+
+    /// Physical rounds stepped so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Physical rounds per emulated round.
+    pub fn epoch_len(&self) -> u64 {
+        self.epoch_len
+    }
+
+    /// Nominal session length in physical rounds (`emulated rounds ×
+    /// epoch length`); [`LongLivedSession::run`] allows two rounds of
+    /// slack beyond it, matching [`run_longlived`].
+    pub fn total_rounds(&self) -> u64 {
+        self.total
+    }
+
+    /// The nodes, for reading acceptance logs and received broadcasts.
+    pub fn nodes(&self) -> &[LongLivedNode] {
+        self.sim.nodes()
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &Stats {
+        self.sim.stats()
+    }
+
+    /// Drive the session to completion and wrap up the standard report.
+    ///
+    /// # Errors
+    ///
+    /// Engine failures, or `RoundLimitExceeded` past the session length.
+    pub fn run(&mut self, keep_trace: bool) -> Result<LongLivedReport, EngineError> {
+        let report = self.sim.run(self.total + 2)?;
+        self.rounds = report.rounds;
+        let trace = keep_trace.then(|| self.sim.trace().clone());
+        Ok(LongLivedReport {
+            received: self
+                .sim
+                .nodes()
+                .iter()
+                .map(|n| n.received().clone())
+                .collect(),
+            rounds: report.rounds,
+            epoch_len: self.epoch_len,
+            stats: report.stats,
+            trace,
+        })
+    }
+}
+
 fn run_longlived_inner<A>(
     params: &Params,
     keys: &[Option<SymmetricKey>],
@@ -280,47 +502,23 @@ fn run_longlived_inner<A>(
 where
     A: Adversary<SealedBox>,
 {
-    assert_eq!(keys.len(), params.n(), "one key slot per node");
-    let emulated_rounds = script.iter().map(|e| e.eround + 1).max().unwrap_or(0);
-    for entry in script {
-        assert!(
-            keys[entry.sender].is_some(),
-            "scripted sender {} has no group key",
-            entry.sender
-        );
-    }
     let retention = if keep_trace {
         TraceRetention::All
     } else {
         TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW)
     };
-    let cfg = NetworkConfig::new(params.c(), params.t())?
-        .with_channel_model(params.channel_model().clone())
-        .with_retention(retention);
-    let nodes: Vec<LongLivedNode> = (0..params.n())
-        .map(|id| {
-            let my_script: BTreeMap<u64, Vec<u8>> = script
-                .iter()
-                .filter(|e| e.sender == id)
-                .map(|e| (e.eround, e.message.clone()))
-                .collect();
-            LongLivedNode::new(id, params.clone(), keys[id], my_script, emulated_rounds)
-        })
-        .collect();
-    let mut sim = match sink {
-        Some(sink) => Simulation::with_sink(cfg, nodes, adversary, seed, sink)?,
-        None => Simulation::new(cfg, nodes, adversary, seed)?,
-    };
-    let total = emulated_rounds * params.epoch_rounds();
-    let report = sim.run(total + 2)?;
-    let trace = keep_trace.then(|| sim.trace().clone());
-    Ok(LongLivedReport {
-        received: sim.nodes().iter().map(|n| n.received().clone()).collect(),
-        rounds: report.rounds,
-        epoch_len: params.epoch_rounds(),
-        stats: report.stats,
-        trace,
-    })
+    let mut session = LongLivedSession::open(
+        params,
+        keys,
+        script,
+        &[],
+        0,
+        adversary,
+        seed,
+        retention,
+        sink,
+    )?;
+    session.run(keep_trace)
 }
 
 #[cfg(test)]

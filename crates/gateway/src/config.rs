@@ -1,0 +1,160 @@
+//! Service configuration and the gateway error type.
+
+use std::error::Error;
+use std::fmt;
+
+use radio_network::{EngineError, OverflowPolicy};
+
+/// Configuration for one gateway run: the session grid, the worker pool,
+/// the per-session network shape, the workload mix, and the attack
+/// intensity.
+///
+/// Every random choice downstream — engine seeds, group keys, workload
+/// rolls, jamming schedules — derives from `seed` through
+/// [`radio_network::seed::derive`], so a config value pins the entire
+/// service outcome bit-for-bit regardless of `workers`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServiceConfig {
+    /// Number of long-lived sessions to serve.
+    pub sessions: usize,
+    /// Worker threads; session `s` is pinned to worker `s % workers`.
+    pub workers: usize,
+    /// Nodes per session.
+    pub n: usize,
+    /// Adversary budget (channels jammable per round) per session.
+    pub t: usize,
+    /// Channels per session network.
+    pub channels: usize,
+    /// Emulated rounds each session lives for (its horizon). Scripted
+    /// broadcasts beyond the horizon are rejected at admission.
+    pub horizon: u64,
+    /// Rotate the group key every this many emulated rounds (0 = never).
+    /// Applied by [`workload`](crate::workload) as explicit
+    /// [`Request::Rekey`](crate::Request) entries.
+    pub rekey_every: u64,
+    /// Percent (0–100) of `(session, eround)` slots carrying a broadcast
+    /// in the generated workload.
+    pub broadcast_pct: u8,
+    /// Channels the service-level jammer disrupts per physical round,
+    /// clamped to the per-session budget `t`. `0` = quiet channel.
+    pub intensity: usize,
+    /// Base seed for the whole service.
+    pub seed: u64,
+    /// Capacity of each worker's bounded ingress queue.
+    pub ingress_capacity: usize,
+    /// What a full ingress queue does to a submission:
+    /// [`OverflowPolicy::Block`] is lossless backpressure,
+    /// [`OverflowPolicy::DropNewest`] sheds the request and counts it
+    /// against the targeted session.
+    pub ingress_policy: OverflowPolicy,
+}
+
+impl ServiceConfig {
+    /// A config with the required axes set and the workload knobs at
+    /// their defaults: 60% broadcast load, no rekeying, quiet channel,
+    /// lossless ingress with a 1024-slot queue.
+    pub fn new(
+        sessions: usize,
+        workers: usize,
+        n: usize,
+        t: usize,
+        channels: usize,
+        horizon: u64,
+        seed: u64,
+    ) -> Self {
+        ServiceConfig {
+            sessions,
+            workers,
+            n,
+            t,
+            channels,
+            horizon,
+            rekey_every: 0,
+            broadcast_pct: 60,
+            intensity: 0,
+            seed,
+            ingress_capacity: 1024,
+            ingress_policy: OverflowPolicy::Block,
+        }
+    }
+
+    /// Set the rekeying cadence (emulated rounds between rotations).
+    #[must_use]
+    pub fn with_rekey_every(mut self, erounds: u64) -> Self {
+        self.rekey_every = erounds;
+        self
+    }
+
+    /// Set the broadcast load (percent of slots carrying a broadcast).
+    #[must_use]
+    pub fn with_broadcast_pct(mut self, pct: u8) -> Self {
+        self.broadcast_pct = pct;
+        self
+    }
+
+    /// Set the jamming intensity (channels disrupted per round, ≤ `t`).
+    #[must_use]
+    pub fn with_intensity(mut self, intensity: usize) -> Self {
+        self.intensity = intensity;
+        self
+    }
+
+    /// Set the ingress queue capacity and overflow policy.
+    #[must_use]
+    pub fn with_ingress(mut self, capacity: usize, policy: OverflowPolicy) -> Self {
+        self.ingress_capacity = capacity;
+        self.ingress_policy = policy;
+        self
+    }
+
+    /// Validate the axes the gateway itself owns (the network shape is
+    /// validated by `Params::new` when sessions open).
+    ///
+    /// # Errors
+    ///
+    /// A [`ServeError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::Config("workers must be >= 1".into()));
+        }
+        if self.sessions == 0 {
+            return Err(ServeError::Config("sessions must be >= 1".into()));
+        }
+        if self.horizon == 0 {
+            return Err(ServeError::Config("horizon must be >= 1".into()));
+        }
+        if self.broadcast_pct > 100 {
+            return Err(ServeError::Config("broadcast_pct must be <= 100".into()));
+        }
+        if self.ingress_capacity == 0 {
+            return Err(ServeError::Config("ingress_capacity must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Why a gateway run failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServeError {
+    /// A configuration field was out of range (message names it).
+    Config(String),
+    /// A session's engine failed.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "gateway config: {msg}"),
+            ServeError::Engine(e) => write!(f, "gateway engine: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}

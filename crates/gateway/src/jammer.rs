@@ -1,0 +1,115 @@
+//! The gateway's attack-intensity axis: a stateless, seed-derived
+//! jammer.
+//!
+//! Sweeping intensity by varying the budget `t` would change
+//! [`Params::epoch_rounds`](fame::Params::epoch_rounds) and with it the
+//! session length — the throughput axes would confound. This jammer
+//! keeps the network shape fixed and varies only how many of the
+//! budgeted channels are actually disrupted each round.
+
+use radio_network::seed;
+use radio_network::{Adversary, AdversaryAction, AdversaryView, ChannelId};
+
+/// Jams `intensity` distinct channels per round (clamped to the budget),
+/// the window placed by a pure `derive(seed, round)` draw — no RNG
+/// state, so the schedule is a function of `(seed, round)` alone and
+/// replays identically from any starting point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IntensityJammer {
+    intensity: usize,
+    seed: u64,
+}
+
+impl IntensityJammer {
+    /// A jammer disrupting `intensity` channels per round under `seed`.
+    pub fn new(intensity: usize, seed: u64) -> Self {
+        IntensityJammer { intensity, seed }
+    }
+}
+
+impl<M> Adversary<M> for IntensityJammer {
+    fn act(&mut self, round: u64, view: &AdversaryView<'_, M>) -> AdversaryAction<M> {
+        let k = self.intensity.min(view.budget).min(view.channels);
+        if k == 0 {
+            return AdversaryAction::idle();
+        }
+        let start = seed::derive(self.seed, round) as usize % view.channels;
+        AdversaryAction::jam((0..k).map(|i| ChannelId((start + i) % view.channels)))
+    }
+
+    fn name(&self) -> &'static str {
+        "intensity-jammer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radio_network::Trace;
+
+    fn view(channels: usize, budget: usize) -> (Trace<u8>, usize, usize) {
+        (Trace::default(), channels, budget)
+    }
+
+    #[test]
+    fn jams_exactly_intensity_distinct_channels() {
+        let (trace, channels, budget) = view(5, 3);
+        let v = AdversaryView {
+            channels,
+            budget,
+            nodes: 4,
+            trace: &trace,
+        };
+        let mut adv = IntensityJammer::new(2, 9);
+        for round in 0..50 {
+            let act = adv.act(round, &v);
+            assert_eq!(act.transmissions.len(), 2);
+            let (a, b) = (act.transmissions[0].0, act.transmissions[1].0);
+            assert_ne!(a, b, "jammed channels must be distinct");
+        }
+    }
+
+    #[test]
+    fn intensity_clamps_to_budget() {
+        let (trace, channels, budget) = view(4, 1);
+        let v = AdversaryView {
+            channels,
+            budget,
+            nodes: 4,
+            trace: &trace,
+        };
+        let mut adv = IntensityJammer::new(10, 9);
+        assert_eq!(adv.act(0, &v).transmissions.len(), 1);
+    }
+
+    #[test]
+    fn zero_intensity_is_idle() {
+        let (trace, channels, budget) = view(4, 2);
+        let v = AdversaryView {
+            channels,
+            budget,
+            nodes: 4,
+            trace: &trace,
+        };
+        let mut adv = IntensityJammer::new(0, 9);
+        assert!(adv.act(0, &v).transmissions.is_empty());
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_round() {
+        let (trace, channels, budget) = view(6, 2);
+        let v = AdversaryView {
+            channels,
+            budget,
+            nodes: 4,
+            trace: &trace,
+        };
+        let mut a = IntensityJammer::new(2, 7);
+        let mut b = IntensityJammer::new(2, 7);
+        // b starts "mid-run": statelessness means history cannot matter.
+        let _ = b.act(1000, &v);
+        for round in 0..20 {
+            assert_eq!(a.act(round, &v), b.act(round, &v));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The concurrent front door: bounded ingress, thread-per-core workers,
+//! bounded egress, deterministic merge.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread;
+
+use radio_network::{send_bounded, OverflowPolicy};
+
+use crate::shard::{SessionOutcome, WorkerShard};
+use crate::{Request, ServeError, ServiceConfig};
+
+/// Capacity of the bounded egress queue (finished sessions flowing back
+/// to the merge thread). Egress is always lossless (`Block`): outcomes
+/// are results, not telemetry.
+pub const EGRESS_CAPACITY: usize = 64;
+
+/// A client handle over the workers' bounded ingress queues. Requests
+/// route to the owning worker (`session % workers`); a full queue
+/// blocks or sheds per [`ServiceConfig::ingress_policy`], and shed
+/// requests are counted **against the session they targeted** — the
+/// same counted-drop contract as
+/// [`ChannelSink`](radio_network::ChannelSink), but with per-session
+/// attribution.
+pub struct Client {
+    txs: Vec<SyncSender<Request>>,
+    policy: OverflowPolicy,
+    dropped: Vec<u64>,
+    rejected: u64,
+    submitted: u64,
+}
+
+impl Client {
+    /// A client over raw per-worker queues. [`serve`] wires this up for
+    /// you; tests use it directly to pin backpressure behavior against
+    /// a gated (deliberately stalled) consumer.
+    pub fn over_queues(
+        txs: Vec<SyncSender<Request>>,
+        sessions: usize,
+        policy: OverflowPolicy,
+    ) -> Self {
+        Client {
+            txs,
+            policy,
+            dropped: vec![0; sessions],
+            rejected: 0,
+            submitted: 0,
+        }
+    }
+
+    /// Submit one request; `true` if it was enqueued. Unroutable
+    /// requests (session out of range) are rejected; lost ones (full
+    /// queue under `DropNewest`, or a dead worker) are dropped and
+    /// counted against their session.
+    pub fn submit(&mut self, req: Request) -> bool {
+        let s = req.session();
+        if s >= self.dropped.len() {
+            self.rejected += 1;
+            return false;
+        }
+        if send_bounded(&self.txs[s % self.txs.len()], req, self.policy) {
+            self.submitted += 1;
+            true
+        } else {
+            self.dropped[s] += 1;
+            false
+        }
+    }
+
+    /// Ingress drops so far, per session.
+    pub fn dropped_per_session(&self) -> &[u64] {
+        &self.dropped
+    }
+
+    /// Requests successfully enqueued so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Close the ingress queues (workers stop admitting) and surrender
+    /// the counters: `(dropped_per_session, rejected, submitted)`.
+    pub fn finish(self) -> (Vec<u64>, u64, u64) {
+        (self.dropped, self.rejected, self.submitted)
+    }
+}
+
+/// Delivery-latency percentiles over every acceptance in the service,
+/// in **physical rounds** from the start of the broadcast's emulated
+/// round to acceptance (deterministic — no wall clock involved).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// The merged result of one gateway run. Everything here is
+/// bit-identical across worker counts **except** the per-worker
+/// utilization vectors, whose length is the worker count itself.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GatewayReport {
+    /// Per-session outcomes, sorted by session id.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Total acceptances across sessions.
+    pub delivered: u64,
+    /// Total acceptances a lossless channel would have produced.
+    pub expected: u64,
+    /// Delivery-latency percentiles (`None` when nothing delivered).
+    pub latency: Option<LatencyPercentiles>,
+    /// Physical rounds per emulated round (all sessions share it).
+    pub epoch_len: u64,
+    /// Ingress drops per session (all zero under `Block`).
+    pub dropped_per_session: Vec<u64>,
+    /// Total ingress drops.
+    pub dropped: u64,
+    /// Requests rejected (unroutable at the client, or refused at
+    /// admission: out-of-horizon, unkeyed sender, duplicate slot).
+    pub rejected: u64,
+    /// Requests the client successfully enqueued.
+    pub submitted: u64,
+    /// Per-worker tick counts (each tick advances that worker's live
+    /// sessions by one round).
+    pub ticks_per_worker: Vec<u64>,
+    /// Per-worker session-rounds stepped — the deterministic work
+    /// measure behind the bench's utilization column.
+    pub steps_per_worker: Vec<u64>,
+}
+
+impl GatewayReport {
+    /// Latency of one delivery in physical rounds (≥ 1).
+    fn latency_of(d: &crate::Delivery, epoch_len: u64) -> u64 {
+        d.round - d.eround * epoch_len + 1
+    }
+
+    /// Nearest-rank percentiles over all transcripts.
+    fn percentiles(outcomes: &[SessionOutcome], epoch_len: u64) -> Option<LatencyPercentiles> {
+        let mut lat: Vec<u64> = outcomes
+            .iter()
+            .flat_map(|o| o.transcript.iter())
+            .map(|d| Self::latency_of(d, epoch_len))
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_unstable();
+        let pick = |p: usize| lat[(lat.len() - 1) * p / 100];
+        Some(LatencyPercentiles {
+            p50: pick(50),
+            p95: pick(95),
+            p99: pick(99),
+        })
+    }
+}
+
+/// What each worker thread reports back through its join handle.
+struct WorkerSummary {
+    ticks: u64,
+    steps: u64,
+    rejected: u64,
+}
+
+/// Serve `cfg.sessions` long-lived sessions on `cfg.workers` threads.
+///
+/// `client_fn` runs on the calling thread with a [`Client`] handle and
+/// submits the whole workload; when it returns, admission closes and
+/// the workers drive their sessions to completion, streaming finished
+/// sessions back through the bounded egress queue. The merge sorts
+/// outcomes by session id, so the report is independent of retirement
+/// interleaving.
+///
+/// # Errors
+///
+/// Config validation, or the first engine failure any worker hit.
+///
+/// # Panics
+///
+/// Propagates a worker-thread panic (none are expected).
+pub fn serve<F>(cfg: &ServiceConfig, client_fn: F) -> Result<GatewayReport, ServeError>
+where
+    F: FnOnce(&mut Client),
+{
+    cfg.validate()?;
+    let mut ingress_txs = Vec::with_capacity(cfg.workers);
+    let mut ingress_rxs: Vec<Receiver<Request>> = Vec::with_capacity(cfg.workers);
+    for _ in 0..cfg.workers {
+        let (tx, rx) = sync_channel(cfg.ingress_capacity);
+        ingress_txs.push(tx);
+        ingress_rxs.push(rx);
+    }
+    let (egress_tx, egress_rx) = sync_channel::<SessionOutcome>(EGRESS_CAPACITY);
+
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for (worker, rx) in ingress_rxs.into_iter().enumerate() {
+            let etx = egress_tx.clone();
+            handles.push(scope.spawn(move || -> Result<WorkerSummary, ServeError> {
+                let mut shard = WorkerShard::new(cfg, worker)?;
+                // Admission: drain until every client handle is gone.
+                for req in rx {
+                    shard.admit(req);
+                }
+                shard.open_sessions()?;
+                while shard.live_sessions() > 0 {
+                    shard.tick()?;
+                }
+                for outcome in shard.take_outcomes() {
+                    if !send_bounded(&etx, outcome, OverflowPolicy::Block) {
+                        return Err(ServeError::Config("egress queue closed early".into()));
+                    }
+                }
+                Ok(WorkerSummary {
+                    ticks: shard.ticks(),
+                    steps: shard.steps(),
+                    rejected: shard.rejected(),
+                })
+            }));
+        }
+        drop(egress_tx);
+
+        let mut client = Client::over_queues(ingress_txs, cfg.sessions, cfg.ingress_policy);
+        client_fn(&mut client);
+        let (dropped_per_session, client_rejected, submitted) = client.finish();
+
+        // Workers tick while the merge drains: bounded memory end to end.
+        let mut outcomes: Vec<SessionOutcome> = egress_rx.iter().collect();
+
+        let mut ticks_per_worker = Vec::with_capacity(cfg.workers);
+        let mut steps_per_worker = Vec::with_capacity(cfg.workers);
+        let mut rejected = client_rejected;
+        for handle in handles {
+            let summary = handle.join().expect("gateway worker thread panicked")?;
+            ticks_per_worker.push(summary.ticks);
+            steps_per_worker.push(summary.steps);
+            rejected += summary.rejected;
+        }
+
+        outcomes.sort_unstable_by_key(|o| o.session);
+        let delivered = outcomes.iter().map(|o| o.delivered).sum();
+        let expected = outcomes.iter().map(|o| o.expected).sum();
+        let epoch_len = fame::Params::new(cfg.n, cfg.t, cfg.channels)
+            .map_err(|e| ServeError::Config(format!("session network shape: {e}")))?
+            .epoch_rounds();
+        let latency = GatewayReport::percentiles(&outcomes, epoch_len);
+        let dropped = dropped_per_session.iter().sum();
+        Ok(GatewayReport {
+            outcomes,
+            delivered,
+            expected,
+            latency,
+            epoch_len,
+            dropped_per_session,
+            dropped,
+            rejected,
+            submitted,
+            ticks_per_worker,
+            steps_per_worker,
+        })
+    })
+}

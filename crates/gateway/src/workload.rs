@@ -1,0 +1,250 @@
+//! The gateway's request language and the deterministic mixed-workload
+//! generator.
+//!
+//! Everything here is a pure function of `(ServiceConfig, session)`: the
+//! bench client, the determinism proptest, and the replay-corpus
+//! recorder all call the same generator, so "the workload" is a value,
+//! not a side effect. Seed fan-out (all via [`seed::derive`]):
+//!
+//! * `session_seed(cfg.seed, s)` = `derive(cfg.seed, 1 + s)` — the
+//!   per-session base;
+//! * stream 0 of the base: the session's engine seed;
+//! * stream 1: the initial group key (4 derived words);
+//! * stream 2: the session jammer's seed;
+//! * streams `3 + 2e` / `4 + 2e`: broadcast roll and sender pick for
+//!   emulated round `e`;
+//! * stream `0x10_0000 + e`: the rotated key for a rekey at `e`.
+
+use fame::longlived::ScriptEntry;
+use radio_crypto::key::SymmetricKey;
+use radio_network::seed;
+
+use crate::{IntensityJammer, ServiceConfig};
+
+/// One client request to the gateway.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Broadcast `payload` from `sender` at emulated round `eround` of
+    /// `session`.
+    Broadcast {
+        /// Target session.
+        session: usize,
+        /// Broadcasting node (must hold the group key).
+        sender: usize,
+        /// Emulated round of the broadcast (must be `< horizon`).
+        eround: u64,
+        /// Plaintext payload.
+        payload: Vec<u8>,
+    },
+    /// Rotate `session`'s group key to `key` at the start of emulated
+    /// round `eround` (all keyed nodes switch in lockstep).
+    Rekey {
+        /// Target session.
+        session: usize,
+        /// Emulated round the rotation takes effect.
+        eround: u64,
+        /// The new group key.
+        key: SymmetricKey,
+    },
+}
+
+impl Request {
+    /// The session this request targets (the shard routing key).
+    pub fn session(&self) -> usize {
+        match self {
+            Request::Broadcast { session, .. } | Request::Rekey { session, .. } => *session,
+        }
+    }
+}
+
+/// The per-session base seed: stream `1 + session` of the service seed.
+pub fn session_seed(service_seed: u64, session: usize) -> u64 {
+    seed::derive(service_seed, 1 + session as u64)
+}
+
+/// Expand one derived stream into a 32-byte symmetric key.
+fn derive_key(base: u64, stream: u64) -> SymmetricKey {
+    let k = seed::derive(base, stream);
+    let mut bytes = [0u8; 32];
+    for (i, chunk) in bytes.chunks_exact_mut(8).enumerate() {
+        chunk.copy_from_slice(&seed::derive(k, i as u64 + 1).to_le_bytes());
+    }
+    SymmetricKey::from_bytes(bytes)
+}
+
+/// The initial group key of `session`.
+pub fn initial_key(service_seed: u64, session: usize) -> SymmetricKey {
+    derive_key(session_seed(service_seed, session), 1)
+}
+
+/// Which nodes of `session` hold the group key. Models the paper's
+/// "setup reaches all but ≤ t nodes" with churn across sessions: session
+/// `s` has `s % (t + 1)` unkeyed nodes at session-dependent positions,
+/// so the keyed-set shape varies over the service like real group
+/// membership would.
+pub fn keyed_nodes(cfg: &ServiceConfig, session: usize) -> Vec<bool> {
+    let mut keyed = vec![true; cfg.n];
+    let missing = session % (cfg.t + 1);
+    for j in 0..missing {
+        // Distinct offsets for j in 0..=t (1, 2, 5, 10, … are distinct
+        // mod n for the small t the paper's parameter ranges allow).
+        keyed[(session + j * j + 1) % cfg.n] = false;
+    }
+    keyed
+}
+
+/// The deterministic mixed workload for `session`: broadcasts on
+/// `broadcast_pct`% of emulated-round slots (senders drawn from the
+/// session's keyed set) interleaved with rekeying every `rekey_every`
+/// emulated rounds. Requests arrive sorted by `eround`, each slot at
+/// most once — admission order cannot change the outcome.
+pub fn workload(cfg: &ServiceConfig, session: usize) -> Vec<Request> {
+    let base = session_seed(cfg.seed, session);
+    let keyed = keyed_nodes(cfg, session);
+    let mut reqs = Vec::new();
+    for e in 0..cfg.horizon {
+        if cfg.rekey_every != 0 && e != 0 && e % cfg.rekey_every == 0 {
+            reqs.push(Request::Rekey {
+                session,
+                eround: e,
+                key: derive_key(base, 0x10_0000 + e),
+            });
+        }
+        let roll = seed::derive(base, 3 + 2 * e) % 100;
+        if roll < u64::from(cfg.broadcast_pct) {
+            let mut sender = seed::derive(base, 4 + 2 * e) as usize % cfg.n;
+            while !keyed[sender] {
+                sender = (sender + 1) % cfg.n;
+            }
+            let mut payload = Vec::with_capacity(16);
+            payload.extend_from_slice(&(session as u64).to_be_bytes());
+            payload.extend_from_slice(&e.to_be_bytes());
+            reqs.push(Request::Broadcast {
+                session,
+                sender,
+                eround: e,
+                payload,
+            });
+        }
+    }
+    reqs
+}
+
+/// The session plan the canonical workload admits to: `workload`'s
+/// requests split into the broadcast script and the rekey schedule,
+/// exactly as [`WorkerShard`](crate::WorkerShard) admission accumulates
+/// them (every generated request is admissible, so no request is shed).
+/// The replay-corpus recorder rebuilds gateway sessions from this plan.
+pub fn session_plan(
+    cfg: &ServiceConfig,
+    session: usize,
+) -> (Vec<ScriptEntry>, Vec<(u64, SymmetricKey)>) {
+    let mut script = Vec::new();
+    let mut rekeys = Vec::new();
+    for req in workload(cfg, session) {
+        match req {
+            Request::Broadcast {
+                sender,
+                eround,
+                payload,
+                ..
+            } => script.push(ScriptEntry {
+                eround,
+                sender,
+                message: payload,
+            }),
+            Request::Rekey { eround, key, .. } => rekeys.push((eround, key)),
+        }
+    }
+    (script, rekeys)
+}
+
+/// Per-node key slots of `session`: the keyed set each holding the
+/// initial group key, the churned-out nodes holding `None`.
+pub fn session_keys(cfg: &ServiceConfig, session: usize) -> Vec<Option<SymmetricKey>> {
+    let group_key = initial_key(cfg.seed, session);
+    keyed_nodes(cfg, session)
+        .into_iter()
+        .map(|k| k.then_some(group_key))
+        .collect()
+}
+
+/// The engine seed `session` runs under (stream 0 of the session base).
+pub fn session_engine_seed(cfg: &ServiceConfig, session: usize) -> u64 {
+    seed::derive(session_seed(cfg.seed, session), 0)
+}
+
+/// The jammer `session` runs under (stream 2 of the session base).
+pub fn session_jammer(cfg: &ServiceConfig, session: usize) -> IntensityJammer {
+    IntensityJammer::new(
+        cfg.intensity,
+        seed::derive(session_seed(cfg.seed, session), 2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServiceConfig {
+        ServiceConfig::new(8, 2, 18, 1, 2, 6, 42).with_rekey_every(2)
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_slot_unique() {
+        let c = cfg();
+        for s in 0..c.sessions {
+            let a = workload(&c, s);
+            assert_eq!(a, workload(&c, s));
+            let mut bcast_slots: Vec<u64> = a
+                .iter()
+                .filter_map(|r| match r {
+                    Request::Broadcast { eround, .. } => Some(*eround),
+                    Request::Rekey { .. } => None,
+                })
+                .collect();
+            let before = bcast_slots.len();
+            bcast_slots.dedup();
+            assert_eq!(before, bcast_slots.len(), "duplicate broadcast slot");
+        }
+    }
+
+    #[test]
+    fn senders_are_always_keyed() {
+        let c = cfg();
+        for s in 0..c.sessions {
+            let keyed = keyed_nodes(&c, s);
+            for req in workload(&c, s) {
+                if let Request::Broadcast { sender, .. } = req {
+                    assert!(keyed[sender], "session {s} scripted an unkeyed sender");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_churn_spans_sessions() {
+        let c = cfg();
+        let missing: Vec<usize> = (0..c.sessions)
+            .map(|s| keyed_nodes(&c, s).iter().filter(|&&k| !k).count())
+            .collect();
+        assert!(missing.contains(&0));
+        assert!(missing.iter().any(|&m| m > 0));
+        for (s, &m) in missing.iter().enumerate() {
+            assert!(m <= c.t, "session {s} lost more than t nodes");
+        }
+    }
+
+    #[test]
+    fn rekeys_follow_cadence() {
+        let c = cfg();
+        let rekeys: Vec<u64> = workload(&c, 0)
+            .iter()
+            .filter_map(|r| match r {
+                Request::Rekey { eround, .. } => Some(*eround),
+                Request::Broadcast { .. } => None,
+            })
+            .collect();
+        assert_eq!(rekeys, vec![2, 4]);
+    }
+}

@@ -1,0 +1,125 @@
+//! The gateway's core guarantee: the worker grid changes *where* a
+//! session runs, never *what* it computes. A service outcome —
+//! per-session delivery transcripts and every aggregate — is
+//! bit-identical across 1/2/7/16 worker threads (the same pattern the
+//! workspace pins for the experiment runner in `tests/determinism.rs`).
+
+use gateway::{serve, workload, Delivery, GatewayReport, ServiceConfig};
+use proptest::prelude::*;
+
+/// Run the full generated workload through `serve` at `workers`.
+fn run(cfg: &ServiceConfig, workers: usize) -> GatewayReport {
+    let cfg = ServiceConfig { workers, ..*cfg };
+    serve(&cfg, |client| {
+        for s in 0..cfg.sessions {
+            for req in workload(&cfg, s) {
+                assert!(client.submit(req), "lossless ingress must accept");
+            }
+        }
+    })
+    .expect("gateway run succeeds")
+}
+
+/// One per-session outcome, flattened for comparison.
+type OutcomeView = (usize, u64, u64, u64, u64, Vec<Delivery>);
+
+/// Everything in a report that must not depend on the worker count
+/// (the per-worker utilization vectors are the one excluded family:
+/// their *length* is the worker count).
+type InvariantView = (
+    Vec<OutcomeView>,
+    u64,
+    u64,
+    Option<(u64, u64, u64)>,
+    u64,
+    Vec<u64>,
+    u64,
+    u64,
+    u64,
+);
+
+fn invariant_view(r: &GatewayReport) -> InvariantView {
+    (
+        r.outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.session,
+                    o.rounds,
+                    o.delivered,
+                    o.expected,
+                    o.broadcasts,
+                    o.transcript.clone(),
+                )
+            })
+            .collect(),
+        r.delivered,
+        r.expected,
+        r.latency.map(|l| (l.p50, l.p95, l.p99)),
+        r.epoch_len,
+        r.dropped_per_session.clone(),
+        r.dropped,
+        r.rejected,
+        r.submitted,
+    )
+}
+
+#[test]
+fn quiet_channel_service_delivers_every_broadcast() {
+    let cfg = ServiceConfig::new(6, 2, 18, 1, 2, 3, 11);
+    let report = run(&cfg, 2);
+    assert_eq!(report.outcomes.len(), cfg.sessions);
+    assert!(report.expected > 0, "workload must script broadcasts");
+    assert_eq!(report.delivered, report.expected);
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.rejected, 0);
+    let latency = report.latency.expect("deliveries happened");
+    assert!(latency.p50 >= 1 && latency.p50 <= latency.p95 && latency.p95 <= latency.p99);
+    assert!(
+        latency.p99 <= report.epoch_len,
+        "acceptance happens within the broadcast's own epoch"
+    );
+}
+
+#[test]
+fn jammed_service_still_delivers_and_degrades_gracefully() {
+    let cfg = ServiceConfig::new(6, 2, 18, 1, 2, 3, 13).with_intensity(1);
+    let report = run(&cfg, 2);
+    assert!(
+        report.delivered > 0,
+        "jamming t of C channels cannot silence the service"
+    );
+    assert!(report.delivered <= report.expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Bit-identical outcomes across 1/2/7/16 workers, for arbitrary
+    /// seeds and workload mixes; the deterministic work measure
+    /// (session-rounds stepped) is conserved across the grids too.
+    #[test]
+    fn outcomes_are_bit_identical_across_worker_counts(
+        seed in 0u64..1_000_000,
+        sessions in 3usize..7,
+        horizon in 2u64..4,
+        intensity in 0usize..2,
+        rekey_every in 0u64..3,
+        broadcast_pct in 40u8..100,
+    ) {
+        let cfg = ServiceConfig::new(sessions, 1, 18, 1, 2, horizon, seed)
+            .with_intensity(intensity)
+            .with_rekey_every(rekey_every)
+            .with_broadcast_pct(broadcast_pct);
+        let reference = run(&cfg, 1);
+        let ref_view = invariant_view(&reference);
+        let ref_steps: u64 = reference.steps_per_worker.iter().sum();
+        for workers in [2usize, 7, 16] {
+            let other = run(&cfg, workers);
+            prop_assert_eq!(&invariant_view(&other), &ref_view);
+            prop_assert_eq!(other.ticks_per_worker.len(), workers);
+            let steps: u64 = other.steps_per_worker.iter().sum();
+            prop_assert_eq!(steps, ref_steps);
+        }
+    }
+}

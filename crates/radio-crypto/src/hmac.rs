@@ -27,15 +27,23 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
         key_block[..key.len()].copy_from_slice(key);
     }
 
+    // Pads live on the stack: this runs once per PRF evaluation, which is
+    // once per node per round on the channel-hopping hot path, and the
+    // gateway's steady-state tick is pinned at zero heap allocations.
+    let mut pad = [0u8; BLOCK];
+    for (p, b) in pad.iter_mut().zip(&key_block) {
+        *p = b ^ IPAD;
+    }
     let mut inner = Sha256::new();
-    let ipad: Vec<u8> = key_block.iter().map(|b| b ^ IPAD).collect();
-    inner.update(&ipad);
+    inner.update(&pad);
     inner.update(message);
     let inner_digest = inner.finalize();
 
+    for (p, b) in pad.iter_mut().zip(&key_block) {
+        *p = b ^ OPAD;
+    }
     let mut outer = Sha256::new();
-    let opad: Vec<u8> = key_block.iter().map(|b| b ^ OPAD).collect();
-    outer.update(&opad);
+    outer.update(&pad);
     outer.update(inner_digest.as_bytes());
     outer.finalize()
 }

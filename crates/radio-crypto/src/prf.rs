@@ -20,27 +20,43 @@ pub struct Prf {
     label: &'static [u8],
 }
 
+/// Longest domain-separation label a [`Prf`] accepts — sized so every
+/// evaluation's `label || counter || tweak` input fits a stack buffer
+/// (the hopping PRF runs once per node per round; heap traffic here
+/// would break the gateway's zero-allocation steady-state tick).
+pub const MAX_LABEL: usize = 48;
+
 impl Prf {
     /// A PRF under `key` with domain-separation `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` exceeds [`MAX_LABEL`] bytes.
     pub fn new(key: &SymmetricKey, label: &'static [u8]) -> Self {
+        assert!(
+            label.len() <= MAX_LABEL,
+            "PRF label exceeds MAX_LABEL bytes"
+        );
         Prf { key: *key, label }
     }
 
     /// Evaluate at `counter`.
     pub fn eval(&self, counter: u64) -> Digest {
-        let mut msg = Vec::with_capacity(self.label.len() + 8);
-        msg.extend_from_slice(self.label);
-        msg.extend_from_slice(&counter.to_be_bytes());
-        hmac_sha256(self.key.as_bytes(), &msg)
+        let mut msg = [0u8; MAX_LABEL + 8];
+        let l = self.label.len();
+        msg[..l].copy_from_slice(self.label);
+        msg[l..l + 8].copy_from_slice(&counter.to_be_bytes());
+        hmac_sha256(self.key.as_bytes(), &msg[..l + 8])
     }
 
     /// Evaluate at `(counter, tweak)` — two-dimensional inputs.
     pub fn eval2(&self, counter: u64, tweak: u64) -> Digest {
-        let mut msg = Vec::with_capacity(self.label.len() + 16);
-        msg.extend_from_slice(self.label);
-        msg.extend_from_slice(&counter.to_be_bytes());
-        msg.extend_from_slice(&tweak.to_be_bytes());
-        hmac_sha256(self.key.as_bytes(), &msg)
+        let mut msg = [0u8; MAX_LABEL + 16];
+        let l = self.label.len();
+        msg[..l].copy_from_slice(self.label);
+        msg[l..l + 8].copy_from_slice(&counter.to_be_bytes());
+        msg[l + 8..l + 16].copy_from_slice(&tweak.to_be_bytes());
+        hmac_sha256(self.key.as_bytes(), &msg[..l + 16])
     }
 }
 

@@ -107,8 +107,8 @@ pub use error::EngineError;
 pub use node::{Action, ChannelId, NodeId, Protocol, Reception, NEVER};
 pub use simulation::{Inspector, Simulation, SimulationReport};
 pub use sink::{
-    json_escape, record_line, ChannelSink, InMemorySink, NullSink, OverflowPolicy, SinkReport,
-    TraceSink,
+    json_escape, record_line, send_bounded, ChannelSink, InMemorySink, NullSink, OverflowPolicy,
+    SinkReport, TraceSink,
 };
 pub use stats::Stats;
 pub use trace::{RoundRecord, Trace, TraceRetention};

@@ -27,7 +27,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
-use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::mpsc::{self, SyncSender};
 use std::thread::{self, JoinHandle};
 
 use crate::adversary::Emission;
@@ -227,6 +227,25 @@ pub enum OverflowPolicy {
     /// [`Stats::dropped_records`](crate::Stats::dropped_records) (and in
     /// `BENCH_*.json` rows).
     DropNewest,
+}
+
+/// Push `msg` into a bounded queue honoring `policy`, returning `true`
+/// if it was enqueued and `false` if it was lost (a full queue under
+/// [`OverflowPolicy::DropNewest`], or a disconnected receiver under
+/// either policy — a vanished consumer can never absorb the message, so
+/// even [`OverflowPolicy::Block`] reports it as lost rather than stall
+/// forever).
+///
+/// This is the one backpressure primitive shared by every bounded
+/// producer/consumer pair in the workspace: [`ChannelSink`] uses it to
+/// feed its writer thread, and the session gateway uses it for its
+/// ingress/egress queues, so "lossless" and "counted drops" mean exactly
+/// the same thing everywhere a queue can fill.
+pub fn send_bounded<T>(tx: &SyncSender<T>, msg: T, policy: OverflowPolicy) -> bool {
+    match policy {
+        OverflowPolicy::Block => tx.send(msg).is_ok(),
+        OverflowPolicy::DropNewest => tx.try_send(msg).is_ok(),
+    }
 }
 
 /// Summary returned by [`ChannelSink::finish`].
@@ -432,15 +451,8 @@ impl<M: Clone + fmt::Debug + Send + 'static> ChannelSink<M> {
             self.dropped += 1;
             return;
         };
-        let lost = match self.policy {
-            // The writer disappears only on I/O failure; count the loss.
-            OverflowPolicy::Block => tx.send(SinkMsg::Record(Box::new(record.clone()))).is_err(),
-            OverflowPolicy::DropNewest => matches!(
-                tx.try_send(SinkMsg::Record(Box::new(record.clone()))),
-                Err(TrySendError::Full(_) | TrySendError::Disconnected(_))
-            ),
-        };
-        if lost {
+        // The writer disappears only on I/O failure; count the loss.
+        if !send_bounded(tx, SinkMsg::Record(Box::new(record.clone())), self.policy) {
             self.dropped += 1;
         }
     }

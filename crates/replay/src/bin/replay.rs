@@ -92,6 +92,7 @@ fn protocol_kind(scenario: &CorpusScenario) -> &'static str {
     match scenario {
         CorpusScenario::Fame { .. } => "fame",
         CorpusScenario::LongLived { .. } => "longlived",
+        CorpusScenario::Gateway { .. } => "gateway",
     }
 }
 

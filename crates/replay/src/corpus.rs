@@ -1,7 +1,8 @@
 //! The committed golden-trace corpus under `tests/corpus/`.
 //!
 //! One f-AME trace per adversary roster member plus one long-lived
-//! session, each with a `.meta.json` sidecar describing the run
+//! session and one gateway-served session, each with a `.meta.json`
+//! sidecar describing the run
 //! ([`CorpusScenario`]). CI replays every trace through the
 //! [`crate::ScriptedAdversary`] on both engines under
 //! `--expect-identical`; `replay --regen tests/corpus` rewrites the
@@ -82,6 +83,24 @@ pub fn corpus_members() -> Vec<(String, CorpusScenario)> {
                     message: Vec::new(),
                 },
             ],
+        },
+    ));
+    // One gateway-served session (the serving layer's seed fan-out,
+    // keyed-set churn, rekey schedule, and intensity jammer): session 3
+    // of a 6-session service loses one setup key and rekeys mid-run.
+    members.push((
+        "gateway-session".to_string(),
+        CorpusScenario::Gateway {
+            sessions: 6,
+            n: 18,
+            t: 1,
+            channels: 2,
+            horizon: 3,
+            rekey_every: 2,
+            broadcast_pct: 60,
+            intensity: 1,
+            seed: 3000,
+            session: 3,
         },
     ));
     members
@@ -170,7 +189,9 @@ pub fn validate_corpus_entry(trace_text: &str, meta_text: &str) -> Result<u64, S
     }
     let expected_channels = match &scenario {
         CorpusScenario::Fame { spec, .. } => spec.channels,
-        CorpusScenario::LongLived { channels, .. } => *channels,
+        CorpusScenario::LongLived { channels, .. } | CorpusScenario::Gateway { channels, .. } => {
+            *channels
+        }
     };
     if let Some(channels) = trace.channels() {
         if channels != expected_channels {
@@ -189,7 +210,7 @@ mod tests {
     #[test]
     fn roster_covers_every_adversary_plus_models_plus_longlived() {
         let members = corpus_members();
-        assert_eq!(members.len(), AdversaryChoice::roster().len() + 3 + 1);
+        assert_eq!(members.len(), AdversaryChoice::roster().len() + 3 + 1 + 1);
         let stems: Vec<&str> = members.iter().map(|(s, _)| s.as_str()).collect();
         assert!(stems.contains(&"fame-busy-channel"));
         assert!(stems.contains(&"fame-omni-prefer-edges-spoof"));
@@ -197,6 +218,7 @@ mod tests {
         assert!(stems.contains(&"fame-channel-capture-t128"));
         assert!(stems.contains(&"fame-channel-geometric-r4-n18"));
         assert!(stems.contains(&"longlived-session"));
+        assert!(stems.contains(&"gateway-session"));
         // Stems are unique and filesystem-safe.
         let mut sorted = stems.clone();
         sorted.sort_unstable();

@@ -9,11 +9,14 @@
 //! a healthy trace bit-identically and exposes the first divergent
 //! round of a corrupted one.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 
 use fame::longlived::LongLivedNode;
-use fame::longlived::{run_longlived_streaming, ScriptEntry, LONGLIVED_TRACE_WINDOW};
+use fame::longlived::{
+    run_longlived_streaming, LongLivedSession, ScriptEntry, LONGLIVED_TRACE_WINDOW,
+};
 use fame::protocol::{make_nodes, run_fame_streaming, FAME_TRACE_WINDOW};
 use fame::Params;
 use radio_crypto::{SealedBox, SymmetricKey};
@@ -24,6 +27,8 @@ use radio_network::{
 use secure_radio_bench::json::{self, Json};
 use secure_radio_bench::scenario::TRACE_QUEUE_CAPACITY;
 use secure_radio_bench::{AdversaryChoice, ScenarioSpec};
+
+use gateway::{session_engine_seed, session_jammer, session_keys, session_plan, ServiceConfig};
 
 use crate::driver::{collected_lines, run_dense, CollectorSink, EngineMode};
 use crate::frames::decode_fame_frame;
@@ -67,6 +72,32 @@ pub enum CorpusScenario {
         /// The broadcast script.
         script: Vec<ScriptEntry>,
     },
+    /// One session of the gateway's canonical service workload
+    /// ([`gateway::workload`]), exactly as a worker shard opens it —
+    /// pinning the serving layer's seed fan-out, keyed-set churn, rekey
+    /// schedule, and intensity jammer byte-for-byte.
+    Gateway {
+        /// Total sessions in the service (the keyed-churn axis).
+        sessions: usize,
+        /// Honest node count per session.
+        n: usize,
+        /// Adversary budget per session.
+        t: usize,
+        /// Channel count.
+        channels: usize,
+        /// Service horizon in emulated rounds.
+        horizon: u64,
+        /// Rekey cadence in emulated rounds (0 = never).
+        rekey_every: u64,
+        /// Broadcast probability per slot, in percent.
+        broadcast_pct: u8,
+        /// Jamming intensity (channels jammed per round).
+        intensity: usize,
+        /// Service seed (every per-session seed fans out of it).
+        seed: u64,
+        /// The recorded session's id.
+        session: usize,
+    },
 }
 
 /// Build a noise-only adversary generically over the frame type — the
@@ -88,6 +119,45 @@ fn noise_adversary<M: 'static>(
             other.label()
         )),
     }
+}
+
+/// Rebuild the validated service config a [`CorpusScenario::Gateway`]
+/// sidecar describes, plus the per-session network shape and the
+/// recorded session id.
+fn gateway_config(scenario: &CorpusScenario) -> Result<(ServiceConfig, Params, usize), String> {
+    let CorpusScenario::Gateway {
+        sessions,
+        n,
+        t,
+        channels,
+        horizon,
+        rekey_every,
+        broadcast_pct,
+        intensity,
+        seed,
+        session,
+    } = scenario
+    else {
+        return Err("not a gateway corpus scenario".into());
+    };
+    // One worker: the gateway's outcomes are bit-identical across worker
+    // counts (pinned by its determinism proptest), so the sidecar does
+    // not need to remember the fleet shape the trace was served under.
+    let cfg = ServiceConfig::new(*sessions, 1, *n, *t, *channels, *horizon, *seed)
+        .with_rekey_every(*rekey_every)
+        .with_broadcast_pct(*broadcast_pct)
+        .with_intensity(*intensity);
+    cfg.validate()
+        .map_err(|e| format!("gateway sidecar: {e}"))?;
+    if *session >= cfg.sessions {
+        return Err(format!(
+            "gateway sidecar: session {session} outside the {}-session service",
+            cfg.sessions
+        ));
+    }
+    let params = Params::new(cfg.n, cfg.t, cfg.channels)
+        .map_err(|e| format!("gateway session shape: {e:?}"))?;
+    Ok((cfg, params, *session))
 }
 
 /// Fail on any object key outside `allowed`, naming the field — sidecar
@@ -203,6 +273,63 @@ impl CorpusScenario {
                     .with_retention(retention);
                 drive(cfg, retention, nodes, scripted, *seed, rounds, mode)
             }
+            CorpusScenario::Gateway { .. } => {
+                let (service, params, session) = gateway_config(self)?;
+                let (script, rekeys) = session_plan(&service, session);
+                let keys = session_keys(&service, session);
+                // Node assembly mirrors `LongLivedSession::open` exactly:
+                // the session lasts max(horizon, last scripted eround + 1)
+                // emulated rounds and only keyed nodes carry the rekey
+                // schedule.
+                let emulated_rounds = script
+                    .iter()
+                    .map(|e| e.eround + 1)
+                    .max()
+                    .unwrap_or(0)
+                    .max(service.horizon);
+                let rekey_map: BTreeMap<u64, SymmetricKey> = rekeys.into_iter().collect();
+                let nodes: Vec<LongLivedNode> = (0..service.n)
+                    .map(|id| {
+                        let my_script = script
+                            .iter()
+                            .filter(|e| e.sender == id)
+                            .map(|e| (e.eround, e.message.clone()))
+                            .collect();
+                        let node = LongLivedNode::new(
+                            id,
+                            params.clone(),
+                            keys[id],
+                            my_script,
+                            emulated_rounds,
+                        );
+                        if keys[id].is_some() {
+                            node.with_rekeys(rekey_map.clone())
+                        } else {
+                            node
+                        }
+                    })
+                    .collect();
+                let scripted: ScriptedAdversary<SealedBox> =
+                    ScriptedAdversary::from_records(&trace.records, rounds, |s| {
+                        Err(format!(
+                            "gateway corpus jammers never spoof; cannot decode a \
+                             SealedBox from \"{s}\""
+                        ))
+                    })?;
+                let retention = TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW);
+                let cfg = NetworkConfig::new(params.c(), params.t())
+                    .map_err(|e| format!("network config: {e}"))?
+                    .with_retention(retention);
+                drive(
+                    cfg,
+                    retention,
+                    nodes,
+                    scripted,
+                    session_engine_seed(&service, session),
+                    rounds,
+                    mode,
+                )
+            }
         }
     }
 
@@ -252,6 +379,29 @@ impl CorpusScenario {
                     .map_err(|e| format!("record long-lived run: {e}"))?;
                 Ok(())
             }
+            CorpusScenario::Gateway { .. } => {
+                let (service, params, session) = gateway_config(self)?;
+                let (script, rekeys) = session_plan(&service, session);
+                let keys = session_keys(&service, session);
+                let sink = ChannelSink::create(path, TRACE_QUEUE_CAPACITY, OverflowPolicy::Block)
+                    .map_err(|e| format!("create {}: {e}", path.display()))?
+                    .with_history(TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW));
+                let mut live = LongLivedSession::open(
+                    &params,
+                    &keys,
+                    &script,
+                    &rekeys,
+                    service.horizon,
+                    session_jammer(&service, session),
+                    session_engine_seed(&service, session),
+                    TraceRetention::LastRounds(LONGLIVED_TRACE_WINDOW),
+                    Some(Box::new(sink)),
+                )
+                .map_err(|e| format!("open gateway session: {e}"))?;
+                live.run(false)
+                    .map_err(|e| format!("record gateway session: {e}"))?;
+                Ok(())
+            }
         }
     }
 
@@ -294,6 +444,23 @@ impl CorpusScenario {
                     script.join(",")
                 )
             }
+            CorpusScenario::Gateway {
+                sessions,
+                n,
+                t,
+                channels,
+                horizon,
+                rekey_every,
+                broadcast_pct,
+                intensity,
+                seed,
+                session,
+            } => format!(
+                "{{\"kind\":\"gateway\",\"sessions\":{sessions},\"n\":{n},\"t\":{t},\
+                 \"channels\":{channels},\"horizon\":{horizon},\"rekey_every\":{rekey_every},\
+                 \"broadcast_pct\":{broadcast_pct},\"intensity\":{intensity},\"seed\":{seed},\
+                 \"session\":{session}}}"
+            ),
         }
     }
 
@@ -377,6 +544,40 @@ impl CorpusScenario {
                     script,
                 })
             }
+            "gateway" => {
+                reject_unknown_fields(
+                    &v,
+                    &[
+                        "kind",
+                        "sessions",
+                        "n",
+                        "t",
+                        "channels",
+                        "horizon",
+                        "rekey_every",
+                        "broadcast_pct",
+                        "intensity",
+                        "seed",
+                        "session",
+                    ],
+                    CTX,
+                )?;
+                let broadcast_pct = json::u64_field(&v, "broadcast_pct", CTX)?;
+                let broadcast_pct = u8::try_from(broadcast_pct)
+                    .map_err(|_| format!("{CTX}: \"broadcast_pct\" out of range"))?;
+                Ok(CorpusScenario::Gateway {
+                    sessions: json::usize_field(&v, "sessions", CTX)?,
+                    n: json::usize_field(&v, "n", CTX)?,
+                    t: json::usize_field(&v, "t", CTX)?,
+                    channels: json::usize_field(&v, "channels", CTX)?,
+                    horizon: json::u64_field(&v, "horizon", CTX)?,
+                    rekey_every: json::u64_field(&v, "rekey_every", CTX)?,
+                    broadcast_pct,
+                    intensity: json::usize_field(&v, "intensity", CTX)?,
+                    seed: json::u64_field(&v, "seed", CTX)?,
+                    session: json::usize_field(&v, "session", CTX)?,
+                })
+            }
             other => Err(format!("{CTX}: unknown kind \"{other}\"")),
         }
     }
@@ -388,6 +589,9 @@ impl CorpusScenario {
             CorpusScenario::LongLived { adversary, .. } => {
                 format!("longlived/{}", adversary.label())
             }
+            CorpusScenario::Gateway {
+                session, intensity, ..
+            } => format!("gateway/session {session} (intensity {intensity})"),
         }
     }
 }
@@ -419,13 +623,28 @@ mod tests {
         }
     }
 
+    fn gateway_scenario() -> CorpusScenario {
+        CorpusScenario::Gateway {
+            sessions: 6,
+            n: 18,
+            t: 1,
+            channels: 2,
+            horizon: 3,
+            rekey_every: 2,
+            broadcast_pct: 60,
+            intensity: 1,
+            seed: 3000,
+            session: 3,
+        }
+    }
+
     #[test]
     fn meta_sidecars_roundtrip() {
         let fame = CorpusScenario::Fame {
             spec: ScenarioSpec::new("corpus", 40, 2, 3),
             trial: 0,
         };
-        for scenario in [fame, longlived_scenario()] {
+        for scenario in [fame, longlived_scenario(), gateway_scenario()] {
             let encoded = scenario.json();
             let decoded = CorpusScenario::from_json_str(&encoded).expect("parses");
             assert_eq!(decoded, scenario, "{encoded}");
@@ -459,6 +678,25 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown field \"loud\""), "{err}");
         assert!(err.contains("script[0]"), "{err}");
+
+        let gateway = gateway_scenario().json();
+        let err = CorpusScenario::from_json_str(&gateway.replacen(
+            "\"intensity\":1",
+            "\"intensity\":1,\"workers\":4",
+            1,
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown field \"workers\""), "{err}");
+    }
+
+    #[test]
+    fn gateway_sidecars_reject_out_of_range_sessions() {
+        let encoded = gateway_scenario()
+            .json()
+            .replacen("\"session\":3", "\"session\":9", 1);
+        let scenario = CorpusScenario::from_json_str(&encoded).expect("parses");
+        let err = gateway_config(&scenario).expect_err("session 9 of 6");
+        assert!(err.contains("outside"), "{err}");
     }
 
     #[test]
